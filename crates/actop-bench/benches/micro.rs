@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks of the hot paths underneath every experiment:
+//! the event engine, the processor-sharing CPU, the Space-Saving sketch,
+//! the latency histogram, the exchange-subset selection, and the
+//! closed-form thread allocator.
+
+use actop_metrics::LatencyHistogram;
+use actop_partition::score::ScoredVertex;
+use actop_partition::{select_exchange, ExchangeRequest, PartitionConfig};
+use actop_seda::allocate_threads;
+use actop_seda::model::{SedaModel, StageParams, ETA_CALIBRATED};
+use actop_sim::{DetRng, Engine, Nanos, PsCpu};
+use actop_sketch::SpaceSaving;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_schedule_run_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            for i in 0..10_000u64 {
+                engine.schedule(Nanos(i), |w, _| *w += 1);
+            }
+            let mut world = 0u64;
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    c.bench_function("pscpu_1k_tasks", |b| {
+        b.iter(|| {
+            let mut cpu = PsCpu::new(8, 0.018);
+            cpu.set_configured_threads(Nanos::ZERO, 32);
+            let mut t = Nanos::ZERO;
+            for _ in 0..1_000u64 {
+                cpu.add(t, 50_000.0);
+                t = t + Nanos(10_000);
+                cpu.advance(t);
+            }
+            while let Some(next) = cpu.next_completion() {
+                cpu.advance(next);
+                t = next;
+            }
+            black_box(cpu.take_completed(t).len())
+        })
+    });
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    c.bench_function("space_saving_offer_10k", |b| {
+        let mut rng = DetRng::new(5);
+        let stream: Vec<(u64, u64)> = (0..10_000)
+            .map(|_| (rng.below(4096) as u64, 1))
+            .collect();
+        b.iter(|| {
+            let mut sketch: SpaceSaving<u64> = SpaceSaving::new(1024);
+            for &(item, w) in &stream {
+                sketch.offer(item, w);
+            }
+            black_box(sketch.len())
+        })
+    });
+}
+
+fn bench_hist(c: &mut Criterion) {
+    c.bench_function("histogram_record_and_quantile_10k", |b| {
+        let mut rng = DetRng::new(6);
+        let values: Vec<u64> = (0..10_000)
+            .map(|_| (rng.exp(5e6)) as u64)
+            .collect();
+        b.iter(|| {
+            let mut hist = LatencyHistogram::new();
+            for &v in &values {
+                hist.record(v);
+            }
+            black_box((hist.quantile(0.5), hist.quantile(0.99)))
+        })
+    });
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    c.bench_function("select_exchange_128_candidates", |b| {
+        let mut rng = DetRng::new(7);
+        let make_cands = |rng: &mut DetRng, base: u32| -> Vec<ScoredVertex<u32>> {
+            (0..128)
+                .map(|i| ScoredVertex {
+                    vertex: base + i,
+                    score: rng.below(100) as i64 + 1,
+                    edges: (0..8)
+                        .map(|_| (rng.below(4096) as u32, rng.below(20) as u64 + 1))
+                        .collect(),
+                })
+                .collect()
+        };
+        let incoming = make_cands(&mut rng, 0);
+        let own = make_cands(&mut rng, 10_000);
+        let request = ExchangeRequest {
+            from: 0,
+            from_size: 2_000,
+            candidates: incoming,
+        };
+        let config = PartitionConfig {
+            candidate_set_size: 128,
+            imbalance_tolerance: 64,
+            exchange_cooldown_ns: 0,
+            min_total_score: 1,
+        };
+        b.iter(|| black_box(select_exchange(&request, 2_000, &own, &config).moves()))
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("allocate_threads_4_stages", |b| {
+        let model = SedaModel::new(
+            vec![
+                StageParams::cpu_bound(4_000.0, 7_000.0),
+                StageParams::cpu_bound(11_000.0, 6_000.0),
+                StageParams::cpu_bound(3_500.0, 7_000.0),
+                StageParams::cpu_bound(600.0, 9_000.0),
+            ],
+            8,
+            ETA_CALIBRATED,
+        )
+        .unwrap();
+        b.iter(|| black_box(allocate_threads(&model).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_cpu,
+    bench_sketch,
+    bench_hist,
+    bench_exchange,
+    bench_allocator
+);
+criterion_main!(benches);

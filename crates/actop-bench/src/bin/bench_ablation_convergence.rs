@@ -1,0 +1,117 @@
+//! Ablation: the pairwise protocol vs the §4.2 design alternatives.
+//!
+//! On a static clustered graph (the Theorem 1 setting) this compares:
+//!
+//! * the paper's pairwise coordination protocol,
+//! * unilateral one-sided migration (no responder coordination) — the
+//!   alternative the paper rules out for racing and imbalance,
+//! * centralized greedy refinement with full graph knowledge — the
+//!   quality ceiling a METIS-class partitioner represents.
+//!
+//! Reported: cut cost per sweep, final balance, and migrations used.
+
+use actop_partition::baselines::{centralized_refine, one_sided_sweep, random_partition};
+use actop_partition::driver::run_to_convergence;
+use actop_partition::{CommGraph, PartitionConfig};
+use actop_sim::DetRng;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A Halo-like clustered graph: `clusters` cliques of 9 vertices (one hub
+/// plus 8 members, mirroring a game with its players).
+fn clustered_graph(clusters: u32) -> CommGraph<u32> {
+    let mut g = CommGraph::new();
+    for c in 0..clusters {
+        let hub = c * 16;
+        for m in 1..=8 {
+            g.add_edge(hub, hub + m, 10);
+        }
+    }
+    let mut rng = DetRng::new(7);
+    // Sparse random background edges.
+    for _ in 0..clusters {
+        let a = rng.below(clusters as usize) as u32 * 16 + rng.below(9) as u32;
+        let b = rng.below(clusters as usize) as u32 * 16 + rng.below(9) as u32;
+        g.add_edge(a, b, 1);
+    }
+    g
+}
+
+fn main() {
+    let servers = 8;
+    let graph = clustered_graph(400);
+    let vertices = graph.vertices();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let config = PartitionConfig {
+        candidate_set_size: 64,
+        imbalance_tolerance: 18,
+        exchange_cooldown_ns: 0,
+        min_total_score: 1,
+    };
+    println!("== Ablation: partitioning algorithms on a static clustered graph ==");
+    println!(
+        "{} vertices, {} total edge weight, {} servers",
+        graph.vertex_count(),
+        graph.total_weight(),
+        servers
+    );
+    println!();
+
+    // Pairwise protocol.
+    let mut pairwise = random_partition(&vertices, servers, &mut rng);
+    let start_cost = graph.cut_cost(&pairwise);
+    let report = run_to_convergence(&graph, &mut pairwise, &config, 60);
+    println!("pairwise protocol:");
+    println!("  cost per sweep: {:?}", report.cost_history);
+    println!(
+        "  final cost {} ({:.1}% of start), moves {}, imbalance {}, converged: {}",
+        graph.cut_cost(&pairwise),
+        100.0 * graph.cut_cost(&pairwise) as f64 / start_cost as f64,
+        report.total_moves(),
+        pairwise.max_imbalance(),
+        report.converged
+    );
+    println!();
+
+    // One-sided unilateral migration.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut one_sided = random_partition(&vertices, servers, &mut rng);
+    let mut costs = vec![graph.cut_cost(&one_sided)];
+    let mut moves = 0;
+    for _ in 0..60 {
+        let m = one_sided_sweep(&graph, &mut one_sided, &config);
+        moves += m;
+        costs.push(graph.cut_cost(&one_sided));
+        if m == 0 {
+            break;
+        }
+    }
+    println!("one-sided unilateral migration (ruled out in §4.2):");
+    println!("  cost per sweep: {costs:?}");
+    println!(
+        "  final cost {}, moves {}, imbalance {} (no balance guarantee)",
+        graph.cut_cost(&one_sided),
+        moves,
+        one_sided.max_imbalance()
+    );
+    println!();
+
+    // Centralized greedy refinement.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut central = random_partition(&vertices, servers, &mut rng);
+    let applied = centralized_refine(&graph, &mut central, config.imbalance_tolerance, 1_000_000);
+    println!("centralized greedy refinement (full graph knowledge):");
+    println!(
+        "  final cost {}, moves {}, imbalance {}",
+        graph.cut_cost(&central),
+        applied,
+        central.max_imbalance()
+    );
+    println!();
+    println!(
+        "summary: pairwise {} vs one-sided {} vs centralized {} (lower cut is better)",
+        graph.cut_cost(&pairwise),
+        graph.cut_cost(&one_sided),
+        graph.cut_cost(&central)
+    );
+}

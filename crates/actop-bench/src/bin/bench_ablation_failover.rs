@@ -1,0 +1,88 @@
+//! Ablation: ActOp under server failure.
+//!
+//! Not a paper figure — the paper relies on Orleans' fault tolerance but
+//! never crashes a server in the evaluation. This bench shows the pieces
+//! composing: mid-run, one of the ten servers dies. Its actors re-activate
+//! across the cluster (losing locality), the remote-message share spikes,
+//! and the partition agent pulls it back down; requests resident on the
+//! dead server time out, everything else completes.
+
+use actop_bench::{full_scale, HaloScenario};
+use actop_core::controllers::install_actop;
+use actop_core::experiment::run_steady_state;
+use actop_runtime::{Cluster, RuntimeConfig};
+use actop_sim::{Engine, Nanos};
+use actop_workloads::halo::HaloConfig;
+use actop_workloads::HaloWorkload;
+
+fn main() {
+    let scenario = HaloScenario::paper(4_000.0, 210);
+    let mut cfg = HaloConfig::paper_scale(
+        scenario.players,
+        scenario.request_rate,
+        scenario.duration(),
+        scenario.seed,
+    );
+    if !full_scale() {
+        cfg.game_duration_s = (120.0, 180.0);
+    }
+    let (app, workload) = HaloWorkload::build(cfg);
+    let mut rt = RuntimeConfig::paper_testbed(scenario.seed);
+    rt.servers = scenario.servers;
+    rt.request_timeout = Some(Nanos::from_secs(5));
+    rt.series_bin_ns = 5_000_000_000;
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    install_actop(&mut engine, scenario.servers, &scenario.actop(true, true));
+
+    // Crash server 3 a third into the measurement window; recover it later.
+    let crash_at = scenario.warmup + scenario.measure / 3;
+    let recover_at = scenario.warmup + scenario.measure * 2 / 3;
+    engine.schedule(crash_at, |c: &mut Cluster, e| {
+        c.fail_server(e, 3);
+        println!("  !! server 3 crashed at t={:.0}s", e.now().as_secs_f64());
+    });
+    engine.schedule(recover_at, |c: &mut Cluster, e| {
+        c.recover_server(3);
+        println!("  !! server 3 recovered at t={:.0}s", e.now().as_secs_f64());
+    });
+
+    println!("== Failover ablation: Halo @ 4K req/s, crash + recovery of 1 of {} servers ==", scenario.servers);
+    let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
+    println!();
+    println!(
+        "submitted {}  completed {}  timed out {}  rejected {}  stale responses {}",
+        summary.submitted,
+        summary.completed,
+        cluster.metrics.timed_out,
+        summary.rejected,
+        cluster.metrics.stale_responses
+    );
+    println!(
+        "availability: {:.3}% of requests completed; p50 {:.1} ms p99 {:.1} ms",
+        100.0 * summary.completed as f64 / summary.submitted.max(1) as f64,
+        summary.p50_ms,
+        summary.p99_ms
+    );
+    println!();
+    println!("remote-message share per 5-s bin (watch the crash spike and re-convergence):");
+    let shares: Vec<String> = cluster
+        .metrics
+        .remote_share_series
+        .means()
+        .iter()
+        .map(|m| format!("{m:.2}"))
+        .collect();
+    println!("  {}", shares.join(" "));
+    println!("final server sizes: {:?}", cluster.server_sizes());
+    // Requests still in flight when the measurement window closes are
+    // neither completed nor lost; conservation holds modulo that residue.
+    let accounted = summary.completed + summary.rejected + cluster.metrics.timed_out;
+    let in_flight = summary.submitted - accounted;
+    println!("in flight at window close: {in_flight}");
+    assert!(
+        in_flight < 100,
+        "unaccounted requests beyond the in-flight residue: {in_flight}"
+    );
+}

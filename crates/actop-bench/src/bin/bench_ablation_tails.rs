@@ -1,0 +1,71 @@
+//! Ablation: latency tails with a GC-pause model.
+//!
+//! The calibrated simulator deliberately omits stop-the-world pauses, so
+//! its tail-to-median ratios are tighter than the paper's (their baseline:
+//! p99 736 ms over a 41 ms median, ≈18×). This bench re-runs the Fig. 10b
+//! comparison with a .NET-era GC profile (a 20–80 ms pause every ~2 s per
+//! server) to show where the paper's heavy tails come from and that
+//! ActOp's relative tail gains survive — and grow — once pauses exist:
+//! a loaded baseline takes far longer to drain a pause backlog than the
+//! partitioned system running at half the utilization.
+
+use actop_bench::{full_scale, print_row, HaloScenario};
+use actop_core::controllers::{install_actop, ActOpConfig};
+use actop_core::experiment::run_steady_state;
+use actop_runtime::config::HiccupModel;
+use actop_runtime::{Cluster, RuntimeConfig};
+use actop_sim::Engine;
+use actop_workloads::halo::HaloConfig;
+use actop_workloads::HaloWorkload;
+
+fn run(scenario: &HaloScenario, actop: &ActOpConfig, gc: bool) -> actop_core::RunSummary {
+    let mut cfg = HaloConfig::paper_scale(
+        scenario.players,
+        scenario.request_rate,
+        scenario.duration(),
+        scenario.seed,
+    );
+    if !full_scale() {
+        cfg.game_duration_s = (120.0, 180.0);
+    }
+    let (app, workload) = HaloWorkload::build(cfg);
+    let mut rt = RuntimeConfig::paper_testbed(scenario.seed);
+    rt.servers = scenario.servers;
+    if gc {
+        rt.hiccups = Some(HiccupModel::dotnet_gc());
+    }
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    cluster.install_hiccups(&mut engine, scenario.duration());
+    workload.install(&mut engine);
+    install_actop(&mut engine, scenario.servers, actop);
+    run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure)
+}
+
+fn main() {
+    let scenario = HaloScenario::paper(6_000.0, 220);
+    println!("== Tails ablation: Fig. 10b with and without a GC-pause model ==");
+    println!("paper baseline p99/p50 = 736/41 ~ 18x; ours without pauses ~ 1.8x");
+    println!();
+    let base_plain = run(&scenario, &ActOpConfig::default(), false);
+    let opt_plain = run(&scenario, &scenario.actop(true, false), false);
+    print_row("baseline, no pauses", &base_plain);
+    print_row("partitioned, no pauses", &opt_plain);
+    let base_gc = run(&scenario, &ActOpConfig::default(), true);
+    let opt_gc = run(&scenario, &scenario.actop(true, false), true);
+    print_row("baseline, GC pauses", &base_gc);
+    print_row("partitioned, GC pauses", &opt_gc);
+    println!();
+    println!(
+        "tail ratio p99/p50: baseline {:.1}x -> {:.1}x with pauses; partitioned {:.1}x -> {:.1}x",
+        base_plain.p99_ms / base_plain.p50_ms,
+        base_gc.p99_ms / base_gc.p50_ms,
+        opt_plain.p99_ms / opt_plain.p50_ms,
+        opt_gc.p99_ms / opt_gc.p50_ms,
+    );
+    println!(
+        "p99 improvement from partitioning: {:.0}% without pauses, {:.0}% with pauses",
+        100.0 * (1.0 - opt_plain.p99_ms / base_plain.p99_ms),
+        100.0 * (1.0 - opt_gc.p99_ms / base_gc.p99_ms),
+    );
+}

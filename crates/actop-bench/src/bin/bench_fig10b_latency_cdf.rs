@@ -1,0 +1,41 @@
+//! Fig. 10b: end-to-end latency CDF at 6K requests/s.
+//!
+//! The paper reports medians of 24 ms (partitioned) vs 41 ms (baseline)
+//! and 99th percentiles of 225 ms vs 736 ms — a >3× tail reduction that
+//! "eliminates the perception of a sluggish server". This bench prints
+//! both CDFs (sampled at round fractions) and the headline percentiles.
+
+use actop_bench::{print_row, run_halo, HaloScenario};
+use actop_core::controllers::ActOpConfig;
+use actop_metrics::LatencyHistogram;
+
+fn cdf_samples(hist: &LatencyHistogram) -> Vec<(f64, f64)> {
+    [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999]
+        .iter()
+        .map(|&q| (hist.quantile(q) as f64 / 1e6, q))
+        .collect()
+}
+
+fn main() {
+    let scenario = HaloScenario::paper(6_000.0, 120);
+    println!("== Fig. 10b: end-to-end latency CDF, Halo @ 6K req/s ==");
+    println!("paper: medians 24 vs 41 ms; p99 225 vs 736 ms");
+    println!();
+    let (baseline, base_cluster) = run_halo(&scenario, &ActOpConfig::default());
+    let (optimized, opt_cluster) = run_halo(&scenario, &scenario.actop(true, false));
+    print_row("baseline", &baseline);
+    print_row("ActOp partitioning", &optimized);
+    println!();
+    println!("{:>10} {:>14} {:>14}", "fraction", "baseline (ms)", "actop (ms)");
+    let base_cdf = cdf_samples(&base_cluster.metrics.e2e_latency);
+    let opt_cdf = cdf_samples(&opt_cluster.metrics.e2e_latency);
+    for ((b_ms, q), (o_ms, _)) in base_cdf.iter().zip(&opt_cdf) {
+        println!("{q:>10.3} {b_ms:>14.2} {o_ms:>14.2}");
+    }
+    println!();
+    println!(
+        "median improvement {:.0}%  p99 improvement {:.0}%",
+        100.0 * (1.0 - optimized.p50_ms / baseline.p50_ms),
+        100.0 * (1.0 - optimized.p99_ms / baseline.p99_ms)
+    );
+}

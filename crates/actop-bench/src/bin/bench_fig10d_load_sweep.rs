@@ -1,0 +1,28 @@
+//! Fig. 10d: latency improvement of partitioning at different loads.
+//!
+//! The paper sweeps 2K / 4K / 6K requests/s and reports the improvement
+//! `100% × (1 − optimized/baseline)` for the median, 95th, and 99th
+//! percentiles; the gains grow with load because queuing in the RPC
+//! serialization stages amplifies the benefit of locality.
+
+use actop_bench::{print_improvement, print_row, run_halo, HaloScenario};
+use actop_core::controllers::ActOpConfig;
+
+fn main() {
+    println!("== Fig. 10d: latency improvement vs load (partitioning only) ==");
+    println!("paper: improvements grow with load; e.g. at 6K: median ~41%, p99 ~69%");
+    println!();
+    let mut rows = Vec::new();
+    for (i, load) in [2_000.0, 4_000.0, 6_000.0].into_iter().enumerate() {
+        let scenario = HaloScenario::paper(load, 140 + i as u64);
+        let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
+        let (optimized, _) = run_halo(&scenario, &scenario.actop(true, false));
+        print_row(&format!("baseline @{load}"), &baseline);
+        print_row(&format!("partitioned @{load}"), &optimized);
+        rows.push((load, baseline, optimized));
+    }
+    println!();
+    for (load, baseline, optimized) in &rows {
+        print_improvement(&format!("improvement @{load}"), baseline, optimized);
+    }
+}

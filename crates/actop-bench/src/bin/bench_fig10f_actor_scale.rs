@@ -1,0 +1,42 @@
+//! Fig. 10f: latency improvement as the actor population grows.
+//!
+//! The paper runs 10K / 100K / 1M live players at 4K requests/s and shows
+//! the distributed partitioner keeps delivering its latency gains at every
+//! scale — the point of avoiding any centralized graph store. At the
+//! default bench scale the sweep is 2K / 20K / 100K players (1M with
+//! `ACTOP_FULL_SCALE=1`).
+
+use actop_bench::{full_scale, print_improvement, print_row, run_halo, HaloScenario};
+use actop_sim::Nanos;
+use actop_core::controllers::ActOpConfig;
+
+fn main() {
+    let populations: &[u64] = if full_scale() {
+        &[10_000, 100_000, 1_000_000]
+    } else {
+        &[2_000, 20_000, 100_000]
+    };
+    println!("== Fig. 10f: latency improvement vs live players @ 4K req/s ==");
+    println!("paper: significant reductions sustained from 10K up to 1M actors");
+    println!();
+    let mut rows = Vec::new();
+    for (i, &players) in populations.iter().enumerate() {
+        let mut scenario = HaloScenario::paper(4_000.0, 160 + i as u64);
+        scenario.players = players;
+        // The initial migration wave is proportional to the population;
+        // give the partitioner a warmup that scales with it (the paper's
+        // hour-long runs always exclude the first ~10 minutes).
+        if !full_scale() && players > 20_000 {
+            scenario.warmup = Nanos::from_secs(40 * players / 20_000);
+        }
+        let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
+        let (optimized, _) = run_halo(&scenario, &scenario.actop(true, false));
+        print_row(&format!("baseline {players} players"), &baseline);
+        print_row(&format!("partitioned {players}"), &optimized);
+        rows.push((players, baseline, optimized));
+    }
+    println!();
+    for (players, baseline, optimized) in &rows {
+        print_improvement(&format!("improvement @{players}"), baseline, optimized);
+    }
+}

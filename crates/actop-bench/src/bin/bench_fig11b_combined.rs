@@ -1,0 +1,34 @@
+//! Fig. 11b: combining actor partitioning with thread allocation.
+//!
+//! The paper runs Halo Presence (100K players, 6K requests/s) and compares
+//! partitioning alone against partitioning plus the thread allocator,
+//! both relative to the untouched baseline. Partitioning is the primary
+//! factor; the allocator adds a further 21% median / 9% p99 on top, for
+//! totals of −55% median and −75% p99. After partitioning the allocator
+//! shifts threads toward application logic (6 workers, 1 server sender,
+//! 1 client sender instead of 5/2/1 under random placement).
+
+use actop_bench::{print_improvement, print_row, run_halo, HaloScenario};
+use actop_core::controllers::ActOpConfig;
+
+fn main() {
+    let scenario = HaloScenario::paper(6_000.0, 180);
+    println!("== Fig. 11b: partitioning alone vs both optimizations, Halo @ 6K req/s ==");
+    println!("paper: partitioning is primary; both together reach -55% median, -75% p99");
+    println!();
+    let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
+    let (partition_only, _) = run_halo(&scenario, &scenario.actop(true, false));
+    let (both, cluster) = run_halo(&scenario, &scenario.actop(true, true));
+    print_row("baseline", &baseline);
+    print_row("partitioning only", &partition_only);
+    print_row("partitioning + threads", &both);
+    println!();
+    print_improvement("partitioning only", &baseline, &partition_only);
+    print_improvement("partitioning + threads", &baseline, &both);
+    println!();
+    println!(
+        "thread allocation chosen after partitioning (R/W/SS/CS): {:?}",
+        cluster.servers[0].thread_allocation()
+    );
+    println!("paper's counterpart: 6 workers, 1 server sender, 1 client sender");
+}

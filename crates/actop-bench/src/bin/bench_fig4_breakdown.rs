@@ -1,0 +1,53 @@
+//! Fig. 4: average latency breakdown of a request on one server.
+//!
+//! The paper runs the counter application (8K actors) at 15K requests/s on
+//! a single server with Orleans' default thread allocation (one thread per
+//! stage per core) and finds that queuing — not processing, not the
+//! network — dominates end-to-end latency: ≈33% receive queue, ≈24% worker
+//! queue, ≈31% sender queue, with every processing share below 0.3% and
+//! network ≈1%.
+
+use actop_bench::{full_scale, run_uniform};
+use actop_runtime::RuntimeConfig;
+use actop_sim::Nanos;
+use actop_workloads::uniform;
+
+fn main() {
+    let (warmup, measure) = if full_scale() {
+        (Nanos::from_secs(60), Nanos::from_secs(300))
+    } else {
+        (Nanos::from_secs(10), Nanos::from_secs(40))
+    };
+    // The paper runs 15K req/s, which put its Orleans server at heavy
+    // queuing (Fig. 4 shows ~88% of latency in queues). Our simulated
+    // per-message costs differ from Orleans', so we run at the same
+    // *relative* operating point instead: ~95% of the server's effective
+    // capacity under the default thread allocation.
+    let workload = uniform::counter(19_800.0, warmup + measure, 401);
+    let rt = RuntimeConfig::single_server(401);
+    let (summary, cluster) = run_uniform(workload, rt, None, None, warmup, measure);
+
+    println!("== Fig. 4: latency breakdown, counter at ~95% capacity, 1 server, default threads ==");
+    println!(
+        "paper shares: Recv q 32.9%, Recv proc 0.2%, Worker q 24.2%, Worker proc 0.3%,"
+    );
+    println!("              Sender q 31.3%, Sender proc 0.2%, Network 0.9%, Other 10.1%");
+    println!();
+    println!(
+        "measured: {} requests, mean latency {:.2} ms, cpu {:.0}%",
+        cluster.metrics.breakdown.requests(),
+        summary.mean_ms,
+        summary.cpu_utilization * 100.0
+    );
+    for (name, pct) in cluster.metrics.breakdown.shares_pct() {
+        let avg = cluster
+            .metrics
+            .breakdown
+            .averages_ns()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v / 1e6)
+            .unwrap_or(0.0);
+        println!("{name:<18} {pct:5.1}%   ({avg:.3} ms/request)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 5: median request latency under different thread allocations.
+//!
+//! The paper varies worker threads and sender threads from 2 to 8 on an
+//! 8-core server running the counter application and finds a 4× spread:
+//! best ≈9.9 ms at (2 workers, 3 senders), worst ≈38.2 ms at (8, 6), with
+//! Orleans' default (8, 8) among the worst. Rows are worker threads, columns
+//! sender threads; the receiver keeps 2 threads and the (unused) server
+//! sender 1, as the single-server flow never crosses servers.
+
+use actop_bench::{full_scale, run_uniform};
+use actop_runtime::RuntimeConfig;
+use actop_sim::Nanos;
+use actop_workloads::uniform;
+
+fn main() {
+    let (warmup, measure) = if full_scale() {
+        (Nanos::from_secs(30), Nanos::from_secs(120))
+    } else {
+        (Nanos::from_secs(5), Nanos::from_secs(20))
+    };
+    println!("== Fig. 5: median latency (ms) vs (worker, sender) threads; counter near receiver saturation ==");
+    println!("paper: best 9.9 ms at (2,3); worst 38.2 ms at (8,6); ~4x spread");
+    println!();
+    print!("      ");
+    for senders in 2..=8 {
+        print!("   s={senders}  ");
+    }
+    println!();
+    let mut best = (f64::INFINITY, (0, 0));
+    let mut worst = (0.0f64, (0, 0));
+    for workers in 2..=8 {
+        print!("w={workers}   ");
+        for senders in 2..=8 {
+            let workload = uniform::counter(16_000.0, warmup + measure, 555);
+            let rt = RuntimeConfig::single_server(555);
+            let threads = [2, workers, 1, senders];
+            let (summary, _) = run_uniform(workload, rt, Some(threads), None, warmup, measure);
+            print!(" {:6.2} ", summary.p50_ms);
+            if summary.p50_ms < best.0 {
+                best = (summary.p50_ms, (workers, senders));
+            }
+            if summary.p50_ms > worst.0 {
+                worst = (summary.p50_ms, (workers, senders));
+            }
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "best {:.2} ms at (w={}, s={}); worst {:.2} ms at (w={}, s={}); spread {:.1}x",
+        best.0,
+        best.1 .0,
+        best.1 .1,
+        worst.0,
+        worst.1 .0,
+        worst.1 .1,
+        worst.0 / best.0
+    );
+}

@@ -1,0 +1,60 @@
+//! Fig. 7: queue-length-based thread control oscillates.
+//!
+//! The paper's six-stage SEDA emulator with a queue-threshold controller
+//! (`Th = 100`, `Tl = 10`, 30-second sampling) never settles: queues sit
+//! empty until a stage saturates, then explode; adding a thread flips the
+//! bottleneck elsewhere. The same emulator driven by ActOp's model-based
+//! allocator settles after the first measurement window. This bench prints
+//! both traces plus an oscillation measure (peak-to-trough thread swing
+//! after warmup).
+
+use actop_seda::controller::ModelDrivenController;
+use actop_seda::emulator::{run_emulator, EmuController, EmulatorConfig};
+use actop_seda::model::ETA_CALIBRATED;
+
+fn print_trace(label: &str, result: &actop_seda::emulator::EmulatorResult) {
+    println!("--- {label} ---");
+    println!(
+        "completed {} of {} arrivals; pipeline p99 {:.1} ms",
+        result.completed,
+        result.arrived,
+        result.latency.quantile(0.99) as f64 / 1e6
+    );
+    for (i, trace) in result.traces.iter().enumerate() {
+        let threads: Vec<String> = trace.iter().map(|s| format!("{:>3}", s.threads)).collect();
+        println!("stage {i} threads: {}", threads.join(" "));
+    }
+    for (i, trace) in result.traces.iter().enumerate() {
+        let queues: Vec<String> = trace
+            .iter()
+            .map(|s| format!("{:>5}", s.queue_len))
+            .collect();
+        println!("stage {i} queue:   {}", queues.join(" "));
+    }
+    let swing = result.thread_swing(4);
+    println!("thread swing after warmup (per stage): {swing:?}");
+    println!("queue spikes over Th=100 (per stage): {:?}", result.queue_spikes(100));
+    println!();
+}
+
+fn main() {
+    println!("== Fig. 7: six-stage SEDA emulator, queue-length controller vs model-driven ==");
+    println!("paper: queue controller oscillates indefinitely (Fig. 7a/7b)");
+    println!();
+    let queue_cfg = EmulatorConfig::fig7(1_000.0, 77);
+    let queue = run_emulator(&queue_cfg);
+    print_trace("queue-length controller (Th=100, Tl=10, 30 s sampling)", &queue);
+
+    let model_cfg = EmulatorConfig {
+        controller: EmuController::ModelDriven(ModelDrivenController::new(ETA_CALIBRATED, 64)),
+        ..EmulatorConfig::fig7(1_000.0, 77)
+    };
+    let model = run_emulator(&model_cfg);
+    print_trace("ActOp model-driven allocator", &model);
+
+    let queue_swing: usize = queue.thread_swing(4).iter().sum();
+    let model_swing: usize = model.thread_swing(4).iter().sum();
+    println!(
+        "total thread swing: queue-length {queue_swing} vs model-driven {model_swing} (lower is steadier)"
+    );
+}

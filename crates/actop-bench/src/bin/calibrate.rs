@@ -1,0 +1,54 @@
+//! Calibration check: does the simulated baseline land near the paper's
+//! §3 operating point (≈80% CPU at 6K req/s on ten servers, median in the
+//! tens of milliseconds, ~90% remote messages), and does partitioning
+//! recover the co-located numbers?
+
+use actop_bench::{print_row, run_halo, HaloScenario};
+use actop_core::controllers::ActOpConfig;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let scenario = HaloScenario::paper(6_000.0, 42);
+    println!(
+        "calibration at {} players, {} req/s, {} servers",
+        scenario.players, scenario.request_rate, scenario.servers
+    );
+    let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
+    print_row("baseline (random)", &baseline);
+    println!("  [{}s wall]", start.elapsed().as_secs());
+    let (optimized, cluster) = run_halo(&scenario, &scenario.actop(true, false));
+    print_row("ActOp partitioning", &optimized);
+    let remote_over_time: Vec<String> = cluster
+        .metrics
+        .remote_share_series
+        .means()
+        .iter()
+        .map(|m| format!("{:.2}", m))
+        .collect();
+    println!("  remote share/bin: {}", remote_over_time.join(" "));
+    println!("  migrations: {}", cluster.metrics.migrations);
+    println!("  [{}s wall]", start.elapsed().as_secs());
+    let mut frozen = scenario;
+    frozen.game_duration_s = Some((100_000.0, 100_001.0));
+    let (nochurn, cluster) = run_halo(&frozen, &frozen.actop(true, false));
+    print_row("partitioning, zero churn", &nochurn);
+    let remote_over_time: Vec<String> = cluster
+        .metrics
+        .remote_share_series
+        .means()
+        .iter()
+        .map(|m| format!("{:.2}", m))
+        .collect();
+    println!("  remote share/bin: {}", remote_over_time.join(" "));
+    println!("  [{}s wall]", start.elapsed().as_secs());
+    let (both, cluster) = run_halo(&scenario, &scenario.actop(true, true));
+    print_row("ActOp both", &both);
+    for s in 0..3 {
+        println!(
+            "  server {s}: threads {:?} queues {:?}",
+            cluster.servers[s].thread_allocation(),
+            cluster.servers[s].queue_lengths()
+        );
+    }
+    println!("  [{}s wall]", start.elapsed().as_secs());
+}

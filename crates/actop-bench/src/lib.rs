@@ -1,0 +1,217 @@
+//! Shared scaffolding for the figure/table benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; this library holds the scenario builders and the
+//! row printers they share. The default scale is chosen so each bench
+//! finishes in tens of seconds on a laptop; set `ACTOP_FULL_SCALE=1` to
+//! run at the paper's full population and durations.
+
+use actop_core::controllers::{
+    install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
+};
+use actop_core::experiment::{run_steady_state, RunSummary};
+use actop_runtime::{Cluster, RuntimeConfig};
+use actop_sim::{Engine, Nanos};
+use actop_workloads::halo::HaloConfig;
+use actop_workloads::HaloWorkload;
+
+/// Scale knobs for a Halo scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct HaloScenario {
+    /// Concurrent players.
+    pub players: u64,
+    /// Cluster-wide client request rate, req/s.
+    pub request_rate: f64,
+    /// Number of servers.
+    pub servers: usize,
+    /// Warmup excluded from measurement.
+    pub warmup: Nanos,
+    /// Measurement window.
+    pub measure: Nanos,
+    /// Seed.
+    pub seed: u64,
+    /// Game-duration override in seconds (`None` = the scale default:
+    /// 1200–1800 s at full scale, 80–120 s scaled).
+    pub game_duration_s: Option<(f64, f64)>,
+}
+
+impl HaloScenario {
+    /// The paper's headline operating point, at the default bench scale
+    /// (or full scale with `ACTOP_FULL_SCALE=1`).
+    pub fn paper(request_rate: f64, seed: u64) -> Self {
+        if full_scale() {
+            HaloScenario {
+                players: 100_000,
+                request_rate,
+                servers: 10,
+                warmup: Nanos::from_secs(600),
+                measure: Nanos::from_secs(1200),
+                seed,
+                game_duration_s: None,
+            }
+        } else {
+            HaloScenario {
+                players: 20_000,
+                request_rate,
+                servers: 10,
+                warmup: Nanos::from_secs(40),
+                measure: Nanos::from_secs(60),
+                seed,
+                game_duration_s: None,
+            }
+        }
+    }
+
+    /// Total run duration.
+    pub fn duration(&self) -> Nanos {
+        self.warmup + self.measure
+    }
+
+    /// Partition-agent settings scaled to this scenario: the agent must
+    /// complete its initial migration wave within the warmup (the paper's
+    /// system converges in ~10 minutes of its 60-minute runs; scaled runs
+    /// shrink the control intervals proportionally).
+    pub fn partition_agent(&self) -> PartitionAgentConfig {
+        let interval = Nanos((self.warmup.as_nanos() / 40).max(1_000_000_000));
+        PartitionAgentConfig {
+            protocol: actop_partition::PartitionConfig {
+                candidate_set_size: 128,
+                imbalance_tolerance: 64,
+                exchange_cooldown_ns: interval.as_nanos() / 2,
+                min_total_score: 1,
+            },
+            interval,
+            sketch_age_factor: 0.8,
+        }
+    }
+
+    /// Thread-agent settings scaled to this scenario.
+    pub fn thread_agent(&self) -> ThreadAgentConfig {
+        ThreadAgentConfig {
+            interval: Nanos((self.warmup.as_nanos() / 10).max(1_000_000_000)),
+            ..ThreadAgentConfig::default()
+        }
+    }
+
+    /// The ActOp configuration for this scenario with either optimization
+    /// enabled independently.
+    pub fn actop(&self, partition: bool, threads: bool) -> ActOpConfig {
+        ActOpConfig {
+            partition: partition.then(|| self.partition_agent()),
+            threads: threads.then(|| self.thread_agent()),
+        }
+    }
+}
+
+/// Whether benches run at the paper's full population and durations.
+pub fn full_scale() -> bool {
+    std::env::var("ACTOP_FULL_SCALE").map_or(false, |v| v == "1")
+}
+
+/// Runs one Halo scenario under the given ActOp configuration and returns
+/// the steady-state summary plus the cluster for follow-up inspection.
+pub fn run_halo(scenario: &HaloScenario, actop: &ActOpConfig) -> (RunSummary, Cluster) {
+    let mut cfg = HaloConfig::paper_scale(
+        scenario.players,
+        scenario.request_rate,
+        scenario.duration(),
+        scenario.seed,
+    );
+    if let Some(duration) = scenario.game_duration_s {
+        cfg.game_duration_s = duration;
+    } else if !full_scale() {
+        // Scaled runs shrink the lifecycle with the control intervals so
+        // the churn-to-reaction-time ratio matches the paper's: 20–30 min
+        // games against a one-minute exchange cooldown become ~150 s games
+        // against a one-second cooldown.
+        cfg.game_duration_s = (120.0, 180.0);
+    }
+    let (app, workload) = HaloWorkload::build(cfg);
+    let mut rt = RuntimeConfig::paper_testbed(scenario.seed);
+    rt.servers = scenario.servers;
+    rt.record_remote_call_latency = true;
+    if !full_scale() {
+        rt.series_bin_ns = 5_000_000_000; // 5 s bins for the short runs.
+    }
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    install_actop(&mut engine, scenario.servers, actop);
+    let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
+    (summary, cluster)
+}
+
+/// Runs a single-actor-type workload (counter / heartbeat) on a cluster.
+///
+/// `threads` fixes the per-stage allocation for the whole run (`None`
+/// keeps the Orleans default of one thread per stage per core);
+/// `agent` optionally installs a thread-allocation agent.
+pub fn run_uniform(
+    workload: actop_workloads::UniformConfig,
+    mut rt: RuntimeConfig,
+    threads: Option<[usize; 4]>,
+    agent: Option<ThreadAgentConfig>,
+    warmup: Nanos,
+    measure: Nanos,
+) -> (RunSummary, Cluster) {
+    rt.record_breakdown = true;
+    let servers = rt.servers;
+    let (app, driver) = actop_workloads::UniformWorkload::build(workload);
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    driver.install(&mut engine);
+    if let Some(alloc) = threads {
+        engine.schedule(Nanos::ZERO, move |c: &mut Cluster, e| {
+            for server in 0..c.server_count() {
+                c.set_stage_threads(e, server, alloc);
+            }
+        });
+    }
+    if let Some(agent) = agent {
+        install_actop(
+            &mut engine,
+            servers,
+            &ActOpConfig {
+                partition: None,
+                threads: Some(agent),
+            },
+        );
+    }
+    let summary = run_steady_state(&mut engine, &mut cluster, warmup, measure);
+    (summary, cluster)
+}
+
+/// Prints a labeled summary row in a fixed format shared by the benches.
+pub fn print_row(label: &str, s: &RunSummary) {
+    println!(
+        "{label:<28} p50={:8.1}ms p95={:8.1}ms p99={:8.1}ms mean={:7.1}ms remote={:5.1}% cpu={:5.1}% thr={:7.0}/s rej={}",
+        s.p50_ms,
+        s.p95_ms,
+        s.p99_ms,
+        s.mean_ms,
+        s.remote_fraction * 100.0,
+        s.cpu_utilization * 100.0,
+        s.throughput_per_s,
+        s.rejected,
+    );
+}
+
+/// Prints the paper-vs-measured improvement block used by Fig. 10d/10f/11.
+pub fn print_improvement(label: &str, baseline: &RunSummary, optimized: &RunSummary) {
+    let med = RunSummary::improvement_pct(baseline, optimized, |s| s.p50_ms);
+    let p95 = RunSummary::improvement_pct(baseline, optimized, |s| s.p95_ms);
+    let p99 = RunSummary::improvement_pct(baseline, optimized, |s| s.p99_ms);
+    println!("{label:<28} median={med:6.1}%  p95={p95:6.1}%  p99={p99:6.1}%");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_durations() {
+        let s = HaloScenario::paper(6_000.0, 1);
+        assert_eq!(s.duration(), s.warmup + s.measure);
+        assert_eq!(s.servers, 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! The steady-state measurement harness shared by examples and benches.
+//!
+//! The paper measures after the system reaches steady state (§6.1): the
+//! warmup window is excluded, and client latencies, message-locality
+//! counters, CPU utilization, and throughput are reported for the
+//! measurement window only.
+
+use actop_runtime::Cluster;
+use actop_sim::{Engine, Nanos};
+
+/// Steady-state measurements over one run window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub mean_ms: f64,
+    /// Fraction of actor-to-actor messages that crossed servers.
+    pub remote_fraction: f64,
+    /// Mean CPU utilization across servers over the window.
+    pub cpu_utilization: f64,
+    /// Client requests completed in the window.
+    pub completed: u64,
+    /// Client requests submitted in the window.
+    pub submitted: u64,
+    /// Client requests shed by overload control in the window.
+    pub rejected: u64,
+    /// Actor migrations during the whole run so far.
+    pub migrations: u64,
+    /// Completed requests per second over the window.
+    pub throughput_per_s: f64,
+}
+
+impl RunSummary {
+    /// The paper's improvement metric `100 * (1 - optimized/baseline)` for
+    /// a latency field selected by `f`.
+    pub fn improvement_pct(baseline: &RunSummary, optimized: &RunSummary, f: impl Fn(&RunSummary) -> f64) -> f64 {
+        actop_metrics::stats::improvement_pct(f(baseline), f(optimized))
+    }
+}
+
+/// Runs the cluster for `warmup` (relative to the current clock), resets
+/// the steady-state counters, runs for `measure` more, and summarizes the
+/// measurement window.
+///
+/// The workload and any ActOp agents must already be installed on the
+/// engine.
+pub fn run_steady_state(
+    engine: &mut Engine<Cluster>,
+    cluster: &mut Cluster,
+    warmup: Nanos,
+    measure: Nanos,
+) -> RunSummary {
+    let warmup_end = engine.now() + warmup;
+    engine.run_until(cluster, warmup_end);
+    cluster.metrics.reset_steady_state();
+    let snapshots: Vec<f64> = (0..cluster.server_count())
+        .map(|s| cluster.busy_core_ns(s))
+        .collect();
+    let start = engine.now();
+    engine.run_until(cluster, start + measure);
+    let now = engine.now();
+
+    let hist = &cluster.metrics.e2e_latency;
+    let summary = hist.summary();
+    RunSummary {
+        p50_ms: summary.p50 as f64 / 1e6,
+        p95_ms: summary.p95 as f64 / 1e6,
+        p99_ms: summary.p99 as f64 / 1e6,
+        mean_ms: hist.mean() / 1e6,
+        remote_fraction: cluster.metrics.remote_fraction(),
+        cpu_utilization: cluster.mean_utilization(&snapshots, start, now),
+        completed: cluster.metrics.completed,
+        submitted: cluster.metrics.submitted,
+        rejected: cluster.metrics.rejected,
+        migrations: cluster.metrics.migrations,
+        throughput_per_s: cluster.metrics.completed as f64 / measure.as_secs_f64().max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actop_runtime::RuntimeConfig;
+    use actop_workloads::{uniform, UniformWorkload};
+
+    #[test]
+    fn steady_state_summary_is_filled() {
+        let cfg = uniform::counter(2_000.0, Nanos::from_secs(6), 3);
+        let (app, driver) = UniformWorkload::build(cfg);
+        let mut cluster = Cluster::new(RuntimeConfig::single_server(3), app);
+        let mut engine: Engine<Cluster> = Engine::new();
+        driver.install(&mut engine);
+        let summary = run_steady_state(
+            &mut engine,
+            &mut cluster,
+            Nanos::from_secs(2),
+            Nanos::from_secs(4),
+        );
+        assert!(summary.completed > 6_000, "completed {}", summary.completed);
+        assert!(summary.p50_ms > 0.0);
+        assert!(summary.p99_ms >= summary.p95_ms && summary.p95_ms >= summary.p50_ms);
+        assert!(summary.cpu_utilization > 0.0 && summary.cpu_utilization < 1.0);
+        assert!((summary.throughput_per_s - 2_000.0).abs() < 200.0);
+        assert_eq!(summary.rejected, 0);
+    }
+
+    #[test]
+    fn improvement_metric() {
+        let mut a = RunSummary {
+            p50_ms: 41.0,
+            p95_ms: 450.0,
+            p99_ms: 736.0,
+            mean_ms: 60.0,
+            remote_fraction: 0.9,
+            cpu_utilization: 0.8,
+            completed: 0,
+            submitted: 0,
+            rejected: 0,
+            migrations: 0,
+            throughput_per_s: 0.0,
+        };
+        let b = RunSummary {
+            p50_ms: 24.0,
+            p99_ms: 225.0,
+            ..a
+        };
+        a.p95_ms = 450.0;
+        let gain = RunSummary::improvement_pct(&a, &b, |s| s.p99_ms);
+        assert!((gain - 69.4).abs() < 0.5, "gain {gain}");
+    }
+
+    #[test]
+    fn second_cpu_util_window_is_independent() {
+        let cfg = uniform::counter(1_000.0, Nanos::from_secs(4), 5);
+        let (app, driver) = UniformWorkload::build(cfg);
+        let mut cluster = Cluster::new(RuntimeConfig::single_server(5), app);
+        let mut engine: Engine<Cluster> = Engine::new();
+        driver.install(&mut engine);
+        let s1 = run_steady_state(
+            &mut engine,
+            &mut cluster,
+            Nanos::from_secs(1),
+            Nanos::from_secs(1),
+        );
+        // Second window continues from the clock, no warmup needed.
+        let s2 = run_steady_state(
+            &mut engine,
+            &mut cluster,
+            Nanos::ZERO,
+            Nanos::from_secs(1),
+        );
+        assert!(s1.cpu_utilization > 0.0);
+        assert!(s2.cpu_utilization > 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! ActOp: the paper's primary contribution, wired into the actor runtime.
+//!
+//! Two independent online controllers run per server, exactly as §4 and §5
+//! describe:
+//!
+//! * the **partition agent** periodically initiates the pairwise
+//!   coordination protocol against the server whose candidate set promises
+//!   the largest communication-cost reduction, migrating actors
+//!   transparently while holding the balance constraint;
+//! * the **thread agent** drains each stage's measurement window, estimates
+//!   the queuing-model parameters (§5.4), re-solves the latency-optimal
+//!   allocation (Theorem 2 / KKT), and reconfigures the stage thread pools.
+//!
+//! [`install_actop`] attaches either or both controllers to a simulated
+//! cluster; [`experiment`] provides the steady-state measurement harness
+//! shared by the examples and every figure bench.
+
+pub mod controllers;
+pub mod experiment;
+
+pub use controllers::{install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig};
+pub use experiment::{run_steady_state, RunSummary};

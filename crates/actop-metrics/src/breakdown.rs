@@ -1,0 +1,137 @@
+//! End-to-end latency breakdown by component.
+//!
+//! Fig. 4 of the paper decomposes the average lifetime of a request into
+//! time spent in each SEDA queue, processing time in each stage, network
+//! latency, and "other". [`Breakdown`] accumulates nanoseconds per named
+//! component across many requests and reports the average share of each.
+
+/// Accumulates latency components across requests.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    components: Vec<(&'static str, f64)>,
+    requests: u64,
+}
+
+impl Breakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ns` nanoseconds to the named component.
+    pub fn add(&mut self, component: &'static str, ns: f64) {
+        debug_assert!(ns >= 0.0, "negative component time {component}: {ns}");
+        match self.components.iter_mut().find(|(n, _)| *n == component) {
+            Some((_, sum)) => *sum += ns,
+            None => self.components.push((component, ns)),
+        }
+    }
+
+    /// Marks one request as fully accounted (the denominator for averages).
+    pub fn finish_request(&mut self) {
+        self.requests += 1;
+    }
+
+    /// Number of requests accounted.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Total accumulated nanoseconds across all components.
+    pub fn total_ns(&self) -> f64 {
+        self.components.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Average nanoseconds per request for each component, in insertion
+    /// order.
+    pub fn averages_ns(&self) -> Vec<(&'static str, f64)> {
+        if self.requests == 0 {
+            return Vec::new();
+        }
+        self.components
+            .iter()
+            .map(|&(n, s)| (n, s / self.requests as f64))
+            .collect()
+    }
+
+    /// Share of the end-to-end total for each component, in percent —
+    /// the quantity Fig. 4 plots.
+    pub fn shares_pct(&self) -> Vec<(&'static str, f64)> {
+        let total = self.total_ns();
+        if total == 0.0 {
+            return Vec::new();
+        }
+        self.components
+            .iter()
+            .map(|&(n, s)| (n, 100.0 * s / total))
+            .collect()
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for &(name, sum) in &other.components {
+            self.add(name, sum);
+        }
+        self.requests += other.requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_100() {
+        let mut b = Breakdown::new();
+        b.add("recv queue", 30.0);
+        b.add("worker queue", 50.0);
+        b.add("network", 20.0);
+        b.finish_request();
+        let shares = b.shares_pct();
+        let total: f64 = shares.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(shares[1], ("worker queue", 50.0));
+    }
+
+    #[test]
+    fn averages_divide_by_requests() {
+        let mut b = Breakdown::new();
+        for _ in 0..4 {
+            b.add("proc", 10.0);
+            b.finish_request();
+        }
+        assert_eq!(b.averages_ns(), vec![("proc", 10.0)]);
+        assert_eq!(b.requests(), 4);
+    }
+
+    #[test]
+    fn repeated_adds_accumulate() {
+        let mut b = Breakdown::new();
+        b.add("x", 1.0);
+        b.add("x", 2.0);
+        assert_eq!(b.total_ns(), 3.0);
+        assert_eq!(b.shares_pct().len(), 1);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = Breakdown::new();
+        assert!(b.averages_ns().is_empty());
+        assert!(b.shares_pct().is_empty());
+        assert_eq!(b.total_ns(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_components_and_requests() {
+        let mut a = Breakdown::new();
+        a.add("q", 5.0);
+        a.finish_request();
+        let mut b = Breakdown::new();
+        b.add("q", 15.0);
+        b.add("net", 10.0);
+        b.finish_request();
+        a.merge(&b);
+        assert_eq!(a.requests(), 2);
+        assert_eq!(a.averages_ns(), vec![("q", 10.0), ("net", 5.0)]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Exponentially weighted moving average.
+//!
+//! The online parameter estimators (§5.4) smooth noisy per-window
+//! measurements of arrival rates and service times before feeding them to
+//! the thread-allocation solver; an EWMA keeps the controller responsive to
+//! load shifts without chasing noise.
+
+/// An exponentially weighted moving average with smoothing factor `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`. Larger
+    /// `alpha` weighs recent observations more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds an observation; the first observation initializes the average.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current average, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current average, or `default` before any observation.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Discards all state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes() {
+        let mut e = Ewma::new(0.2);
+        assert_eq!(e.value(), None);
+        e.observe(10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        e.observe(0.0);
+        for _ in 0..100 {
+            e.observe(5.0);
+        }
+        assert!((e.value().unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.observe(3.0);
+        e.observe(8.0);
+        assert_eq!(e.value(), Some(8.0));
+    }
+
+    #[test]
+    fn smooths_alternating_input() {
+        let mut e = Ewma::new(0.1);
+        for i in 0..1000 {
+            e.observe(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let v = e.value().unwrap();
+        assert!((v - 5.0).abs() < 1.0, "smoothed value {v}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.observe(1.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.value_or(9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha")]
+    fn invalid_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Values (nanoseconds) are binned into base-2 octaves with 32 sub-buckets
+//! per octave, giving a worst-case relative value error of 1/32 ≈ 3% —
+//! plenty for reproducing the paper's percentile tables — at a fixed cost of
+//! a few kilobytes per histogram regardless of sample count.
+
+/// Number of sub-bucket precision bits (32 sub-buckets per octave).
+const K: u32 = 5;
+const SUB: u64 = 1 << K;
+/// Total bucket count: exact region plus (64 - K) octaves of SUB buckets.
+const BUCKETS: usize = (SUB as usize) + ((64 - K as usize) * SUB as usize);
+
+/// The three percentiles the paper reports, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PercentileSummary {
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// A fixed-size log-bucketed histogram of `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use actop_metrics::LatencyHistogram;
+///
+/// let mut hist = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     hist.record(v * 1_000); // 1..1000 microseconds
+/// }
+/// let median = hist.quantile(0.5);
+/// assert!((median as f64 - 500_000.0).abs() / 500_000.0 < 0.05);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("mean", &self.mean())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= K
+        let sub = (v >> (octave - K)) - SUB;
+        (SUB + (octave as u64 - K as u64) * SUB + sub) as usize
+    }
+}
+
+/// Midpoint of the value range covered by a bucket index.
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let rel = idx - SUB;
+    let octave = rel / SUB + K as u64;
+    let sub = rel % SUB;
+    let width = 1u64 << (octave - K as u64);
+    let lower = (SUB + sub) << (octave - K as u64);
+    lower + width / 2
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records a value `n` times.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (`0 <= q <= 1`) of the recorded values.
+    /// Returns 0 when empty. The result is exact below 32 ns and within
+    /// ≈3% above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median, 95th, and 99th percentiles.
+    pub fn summary(&self) -> PercentileSummary {
+        PercentileSummary {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// CDF sample points `(value, cumulative_fraction)` — one per non-empty
+    /// bucket — suitable for plotting Fig. 10b/10c-style curves.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut points = Vec::new();
+        if self.total == 0 {
+            return points;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            points.push((
+                bucket_value(idx).clamp(self.min, self.max),
+                seen as f64 / self.total as f64,
+            ));
+        }
+        points
+    }
+
+    /// Resets the histogram to empty.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        for exp in 5..40u32 {
+            let v = (1u64 << exp) + 12345 % (1 << exp);
+            h.clear();
+            h.record(v);
+            let q = h.quantile(0.5);
+            let err = (q as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "v={v} q={q} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5000.0), (0.95, 9500.0), (0.99, 9900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.05,
+                "q={q} got {got} expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for v in [5u64, 100, 4_000, 1_000_000, 77] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [9u64, 250_000, 3] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = LatencyHistogram::new();
+        for v in [1u64, 10, 100, 1000, 10_000, 100_000] {
+            h.record_n(v, 10);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(42, 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(123);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn summary_matches_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 100);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50, h.quantile(0.5));
+        assert_eq!(s.p95, h.quantile(0.95));
+        assert_eq!(s.p99, h.quantile(0.99));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+    }
+}

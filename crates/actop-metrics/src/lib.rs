@@ -1,0 +1,26 @@
+//! Measurement infrastructure for the ActOp reproduction.
+//!
+//! The paper reports latency distributions (median / 95th / 99th
+//! percentiles and CDFs), per-stage latency breakdowns (Fig. 4), rates over
+//! time (Fig. 10a), and CPU utilization (Fig. 10e). This crate implements
+//! the corresponding recorders:
+//!
+//! * [`hist::LatencyHistogram`] — HDR-style log-bucketed histogram with
+//!   ≈3% relative value error, percentile and CDF queries, and merging.
+//! * [`breakdown::Breakdown`] — accumulates end-to-end latency by component
+//!   (stage queue wait, stage processing, network, other).
+//! * [`series::BinnedSeries`] — fixed-width time bins for rates over time.
+//! * [`ewma::Ewma`] — exponentially weighted moving averages for the online
+//!   parameter estimators.
+//! * [`stats`] — exact small-sample statistics used by tests and benches.
+
+pub mod breakdown;
+pub mod ewma;
+pub mod hist;
+pub mod series;
+pub mod stats;
+
+pub use breakdown::Breakdown;
+pub use ewma::Ewma;
+pub use hist::{LatencyHistogram, PercentileSummary};
+pub use series::BinnedSeries;

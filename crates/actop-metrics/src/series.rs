@@ -1,0 +1,156 @@
+//! Fixed-width time-binned series for rates over time.
+//!
+//! Fig. 10a plots the proportion of remote messages and the number of actor
+//! movements per minute as the partitioner converges. [`BinnedSeries`]
+//! accumulates `(sum, count)` per fixed-width bin of simulation time and can
+//! report per-bin means (for proportions) or per-second rates (for event
+//! counts).
+
+/// One accumulation bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Bin {
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl Bin {
+    /// Mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A series of fixed-width time bins, indexed by nanosecond timestamps.
+#[derive(Debug, Clone)]
+pub struct BinnedSeries {
+    bin_width_ns: u64,
+    bins: Vec<Bin>,
+}
+
+impl BinnedSeries {
+    /// Creates a series with the given bin width in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width_ns == 0`.
+    pub fn new(bin_width_ns: u64) -> Self {
+        assert!(bin_width_ns > 0, "bin width must be positive");
+        BinnedSeries {
+            bin_width_ns,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Bin width in nanoseconds.
+    pub fn bin_width_ns(&self) -> u64 {
+        self.bin_width_ns
+    }
+
+    /// Records `value` at time `at_ns`.
+    pub fn record(&mut self, at_ns: u64, value: f64) {
+        let idx = (at_ns / self.bin_width_ns) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, Bin::default());
+        }
+        let bin = &mut self.bins[idx];
+        bin.sum += value;
+        bin.count += 1;
+    }
+
+    /// Records an event occurrence (value 1) at time `at_ns`; combined with
+    /// [`BinnedSeries::rates_per_sec`] this yields an event rate series.
+    pub fn mark(&mut self, at_ns: u64) {
+        self.record(at_ns, 1.0);
+    }
+
+    /// Number of bins (up to the last one with data).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Raw bins.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Per-bin means, e.g. a proportion over time.
+    pub fn means(&self) -> Vec<f64> {
+        self.bins.iter().map(Bin::mean).collect()
+    }
+
+    /// Per-bin event counts divided by the bin width, in events/second.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let width_s = self.bin_width_ns as f64 / 1e9;
+        self.bins.iter().map(|b| b.count as f64 / width_s).collect()
+    }
+
+    /// Per-bin sums.
+    pub fn sums(&self) -> Vec<f64> {
+        self.bins.iter().map(|b| b.sum).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_correct_bins() {
+        let mut s = BinnedSeries::new(100);
+        s.record(0, 1.0);
+        s.record(99, 3.0);
+        s.record(100, 5.0);
+        s.record(250, 7.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bins()[0], Bin { sum: 4.0, count: 2 });
+        assert_eq!(s.bins()[1], Bin { sum: 5.0, count: 1 });
+        assert_eq!(s.bins()[2], Bin { sum: 7.0, count: 1 });
+    }
+
+    #[test]
+    fn means_and_gap_bins() {
+        let mut s = BinnedSeries::new(10);
+        s.record(5, 2.0);
+        s.record(5, 4.0);
+        s.record(35, 9.0);
+        let means = s.means();
+        assert_eq!(means, vec![3.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn rates_per_sec() {
+        // 1-second bins; 5 marks in bin 0, 2 in bin 1.
+        let mut s = BinnedSeries::new(1_000_000_000);
+        for _ in 0..5 {
+            s.mark(10);
+        }
+        s.mark(1_000_000_000);
+        s.mark(1_999_999_999);
+        assert_eq!(s.rates_per_sec(), vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = BinnedSeries::new(10);
+        assert!(s.is_empty());
+        assert!(s.means().is_empty());
+        assert!(s.rates_per_sec().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_width_panics() {
+        let _ = BinnedSeries::new(0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Placement and partitioning baselines.
+//!
+//! * [`random_partition`] — Orleans' default policy (§3): uniform random
+//!   server per actor. Balanced in expectation, oblivious to communication.
+//! * [`hash_partition`] — consistent-hash-style placement as used by
+//!   key-value stores; deterministic but equally communication-oblivious.
+//! * [`one_sided_sweep`] — the §4.2 design alternative the paper rules out:
+//!   every server unilaterally migrates its best candidates from a stale
+//!   snapshot, with no responder coordination. Races (both endpoints of a
+//!   heavy edge migrating past each other) and imbalance follow.
+//! * [`centralized_refine`] — a centralized greedy refinement with full
+//!   graph knowledge, standing in for the METIS-class comparator: good
+//!   quality, but requires the entire graph at one place.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::Rng;
+
+use crate::config::PartitionConfig;
+use crate::driver::local_view;
+use crate::graph::{CommGraph, Partition};
+use crate::score::{candidate_set, transfer_scores};
+
+/// Places every vertex on a uniformly random server (Orleans' default).
+pub fn random_partition<V, R>(vertices: &[V], servers: usize, rng: &mut R) -> Partition<V>
+where
+    V: Copy + Eq + Hash + Ord,
+    R: Rng,
+{
+    let mut partition = Partition::new(servers);
+    for &v in vertices {
+        partition.place(v, rng.gen_range(0..servers));
+    }
+    partition
+}
+
+/// Places every vertex by hashing its identity.
+pub fn hash_partition<V>(vertices: &[V], servers: usize) -> Partition<V>
+where
+    V: Copy + Eq + Hash + Ord,
+{
+    let mut partition = Partition::new(servers);
+    for &v in vertices {
+        let mut hasher = DefaultHasher::new();
+        v.hash(&mut hasher);
+        partition.place(v, (hasher.finish() % servers as u64) as usize);
+    }
+    partition
+}
+
+/// One sweep of uncoordinated unilateral migration: every server computes
+/// its candidate sets from the *same pre-sweep snapshot* and migrates its
+/// top candidates without asking the destination. Returns the number of
+/// migrations.
+///
+/// This models the racy design alternative of §4.2: because decisions are
+/// simultaneous, both endpoints of a heavy edge can swap servers and stay
+/// remote, and destinations can be overloaded because no one accounts for
+/// concurrent inflows.
+pub fn one_sided_sweep<V>(
+    graph: &CommGraph<V>,
+    partition: &mut Partition<V>,
+    config: &PartitionConfig,
+) -> usize
+where
+    V: Copy + Eq + Hash + Ord,
+{
+    let servers = partition.servers();
+    // Snapshot the assignment: all servers decide from the same stale view.
+    let snapshot = partition.clone();
+    let mut moves: Vec<(V, usize)> = Vec::new();
+    for p in 0..servers {
+        let view = local_view(graph, &snapshot, p);
+        let sets = candidate_set(&view, p, servers, config.candidate_set_size, |v| {
+            snapshot.server_of(v)
+        });
+        // Take each vertex's single best destination; dedupe across sets.
+        let mut best: std::collections::HashMap<V, (i64, usize)> = std::collections::HashMap::new();
+        for (q, set) in sets.iter().enumerate() {
+            for c in set {
+                let entry = best.entry(c.vertex).or_insert((c.score, q));
+                if c.score > entry.0 {
+                    *entry = (c.score, q);
+                }
+            }
+        }
+        let mut chosen: Vec<(V, i64, usize)> =
+            best.into_iter().map(|(v, (s, q))| (v, s, q)).collect();
+        chosen.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        chosen.truncate(config.candidate_set_size);
+        moves.extend(chosen.into_iter().map(|(v, _, q)| (v, q)));
+    }
+    for (v, q) in &moves {
+        partition.migrate(v, *q);
+    }
+    moves.len()
+}
+
+/// Streaming placement (Stanton & Kliot, KDD'12 — reference \[31\] of the
+/// paper): vertices arrive one at a time and are placed greedily on the
+/// server maximizing `(weight of edges to that server) * (1 - load
+/// fraction)` — the *linear weighted deterministic greedy* heuristic. A
+/// single pass, no migration; good initial cuts, but static: it cannot
+/// follow a changing graph, which is the paper's argument for continuous
+/// re-partitioning.
+pub fn streaming_greedy<V>(
+    graph: &CommGraph<V>,
+    arrival_order: &[V],
+    servers: usize,
+    capacity_per_server: usize,
+) -> Partition<V>
+where
+    V: Copy + Eq + Hash + Ord,
+{
+    let mut partition = Partition::new(servers);
+    for &v in arrival_order {
+        let mut weight_to: Vec<u64> = vec![0; servers];
+        for (peer, w) in graph.neighbors(&v) {
+            if let Some(s) = partition.server_of(&peer) {
+                weight_to[s] += w;
+            }
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::MIN;
+        for s in 0..servers {
+            let load = partition.sizes()[s] as f64 / capacity_per_server.max(1) as f64;
+            if load >= 1.0 {
+                continue;
+            }
+            let score = weight_to[s] as f64 * (1.0 - load) + (1.0 - load) * 1e-6;
+            if score > best_score {
+                best_score = score;
+                best = s;
+            }
+        }
+        partition.place(v, best);
+    }
+    partition
+}
+
+/// Centralized greedy refinement with full graph knowledge: repeatedly
+/// applies the best single-vertex move (highest positive transfer score)
+/// that respects the pairwise balance constraint, until none exists or
+/// `max_moves` is reached. Returns the number of moves applied.
+pub fn centralized_refine<V>(
+    graph: &CommGraph<V>,
+    partition: &mut Partition<V>,
+    delta: usize,
+    max_moves: usize,
+) -> usize
+where
+    V: Copy + Eq + Hash + Ord,
+{
+    let servers = partition.servers();
+    let mut applied = 0;
+    while applied < max_moves {
+        let mut best: Option<(V, usize, i64)> = None;
+        let sizes = partition.sizes().to_vec();
+        for v in graph.vertices() {
+            let Some(home) = partition.server_of(&v) else {
+                continue;
+            };
+            let edges = graph.neighbors(&v);
+            let scores = transfer_scores(&edges, home, servers, |u| partition.server_of(u));
+            for (q, &score) in scores.iter().enumerate() {
+                if q == home || score <= 0 {
+                    continue;
+                }
+                let diff = (sizes[home] as i64 - 1 - (sizes[q] as i64 + 1)).abs();
+                if diff > delta as i64 {
+                    continue;
+                }
+                if best.map_or(true, |(_, _, s)| score > s) {
+                    best = Some((v, q, score));
+                }
+            }
+        }
+        match best {
+            Some((v, q, _)) => {
+                partition.migrate(&v, q);
+                applied += 1;
+            }
+            None => break,
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actop_sim::DetRng;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ring_graph(n: u32) -> CommGraph<u32> {
+        let mut g = CommGraph::new();
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 5);
+        }
+        g
+    }
+
+    #[test]
+    fn random_partition_is_roughly_balanced() {
+        let vertices: Vec<u32> = (0..10_000).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = random_partition(&vertices, 10, &mut rng);
+        for &size in p.sizes() {
+            assert!((800..1200).contains(&size), "size {size}");
+        }
+    }
+
+    #[test]
+    fn hash_partition_is_deterministic() {
+        let vertices: Vec<u32> = (0..1000).collect();
+        let a = hash_partition(&vertices, 7);
+        let b = hash_partition(&vertices, 7);
+        for v in &vertices {
+            assert_eq!(a.server_of(v), b.server_of(v));
+        }
+        assert!(a.max_imbalance() < 200, "imbalance {}", a.max_imbalance());
+    }
+
+    #[test]
+    fn random_cut_of_clustered_graph_is_bad() {
+        // Sanity for the §3 claim: with random placement, ~(n-1)/n of
+        // edges inside tight groups are remote.
+        let mut g = CommGraph::new();
+        for group in 0..100u32 {
+            let base = group * 8;
+            for a in 0..8 {
+                for b in (a + 1)..8 {
+                    g.add_edge(base + a, base + b, 1);
+                }
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = random_partition(&g.vertices(), 10, &mut rng);
+        let cut = g.cut_cost(&p) as f64 / g.total_weight() as f64;
+        assert!(cut > 0.8, "remote fraction {cut}");
+    }
+
+    #[test]
+    fn one_sided_sweep_moves_but_can_thrash() {
+        // A heavy pair split across servers: both servers try to send
+        // their endpoint to the other in the same sweep — the edge stays
+        // remote. This is the §4.2 race.
+        let mut g = CommGraph::new();
+        g.add_edge(1u32, 2, 100);
+        // Ballast so balance is not the binding issue.
+        for v in 10..14 {
+            g.add_vertex(v);
+        }
+        let mut p = Partition::new(2);
+        p.place(1, 0);
+        p.place(2, 1);
+        p.place(10, 0);
+        p.place(11, 1);
+        p.place(12, 0);
+        p.place(13, 1);
+        let before = g.cut_cost(&p);
+        let moves = one_sided_sweep(&g, &mut p, &PartitionConfig::for_tests());
+        assert_eq!(moves, 2, "both endpoints moved");
+        // They crossed: the edge is still cut.
+        assert_eq!(g.cut_cost(&p), before);
+        assert_ne!(p.server_of(&1), p.server_of(&2));
+    }
+
+    #[test]
+    fn centralized_refine_cuts_cost_and_respects_balance() {
+        let g = ring_graph(32);
+        let mut rng = DetRng::new(3);
+        let vertices = g.vertices();
+        let mut p = Partition::new(4);
+        for &v in &vertices {
+            p.place(v, rng.below(4));
+        }
+        let before = g.cut_cost(&p);
+        let initial_imbalance = p.max_imbalance();
+        centralized_refine(&g, &mut p, 4, 10_000);
+        let after = g.cut_cost(&p);
+        assert!(after < before, "{before} -> {after}");
+        // Refinement must not worsen balance beyond delta from any pair it
+        // touched; globally it should stay in the same ballpark.
+        assert!(p.max_imbalance() <= initial_imbalance.max(4) + 2);
+    }
+
+    #[test]
+    fn streaming_greedy_beats_random_on_clustered_graph() {
+        let mut g = CommGraph::new();
+        for group in 0..50u32 {
+            let base = group * 8;
+            for a in 0..8 {
+                for b in (a + 1)..8 {
+                    g.add_edge(base + a, base + b, 3);
+                }
+            }
+        }
+        let order = g.vertices(); // Clustered arrival order: cliques together.
+        let servers = 4;
+        let capacity = order.len() / servers + 8;
+        let streamed = streaming_greedy(&g, &order, servers, capacity);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let random = random_partition(&order, servers, &mut rng);
+        assert!(
+            g.cut_cost(&streamed) < g.cut_cost(&random) / 2,
+            "streamed {} vs random {}",
+            g.cut_cost(&streamed),
+            g.cut_cost(&random)
+        );
+        // Capacity respected.
+        assert!(streamed.sizes().iter().all(|&s| s <= capacity));
+    }
+
+    #[test]
+    fn streaming_greedy_balances_when_graph_is_edgeless() {
+        let mut g = CommGraph::new();
+        for v in 0..100u32 {
+            g.add_vertex(v);
+        }
+        let order = g.vertices();
+        let p = streaming_greedy(&g, &order, 4, 25);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 100);
+        assert!(p.max_imbalance() <= 4, "sizes {:?}", p.sizes());
+    }
+
+    #[test]
+    fn centralized_refine_honors_move_budget() {
+        let g = ring_graph(64);
+        let mut rng = DetRng::new(4);
+        let mut p = Partition::new(4);
+        for &v in &g.vertices() {
+            p.place(v, rng.below(4));
+        }
+        let applied = centralized_refine(&g, &mut p, 4, 3);
+        assert!(applied <= 3);
+    }
+}

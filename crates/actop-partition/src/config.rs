@@ -1,0 +1,93 @@
+//! Tunables of the partitioning algorithm.
+
+/// Configuration of the pairwise coordination protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConfig {
+    /// Candidate-set size `k`: the maximum number of vertices offered in
+    /// one exchange. Limits per-round migration churn (§4.1) and bounds the
+    /// protocol's message size.
+    pub candidate_set_size: usize,
+    /// Imbalance tolerance `delta`: after any exchange,
+    /// `| |V_p| - |V_q| | <= delta` must hold for the participating pair.
+    pub imbalance_tolerance: usize,
+    /// Minimum interval between exchanges *accepted by* a server, in
+    /// nanoseconds (the paper rejects partners that exchanged less than a
+    /// minute ago).
+    pub exchange_cooldown_ns: u64,
+    /// Only propose exchanges whose anticipated total score is at least
+    /// this (scores are in edge-weight units).
+    pub min_total_score: i64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            candidate_set_size: 64,
+            imbalance_tolerance: 16,
+            exchange_cooldown_ns: 60_000_000_000, // One minute, as in §4.2.
+            min_total_score: 1,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A configuration for small unit-test graphs.
+    pub fn for_tests() -> Self {
+        PartitionConfig {
+            candidate_set_size: 8,
+            imbalance_tolerance: 2,
+            exchange_cooldown_ns: 0,
+            min_total_score: 1,
+        }
+    }
+}
+
+/// Tracks when a server last participated in an exchange, implementing the
+/// §4.2 cooldown rejection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExchangeThrottle {
+    last_exchange_ns: Option<u64>,
+}
+
+impl ExchangeThrottle {
+    /// True when an exchange at `now_ns` would violate the cooldown.
+    pub fn should_reject(&self, now_ns: u64, cooldown_ns: u64) -> bool {
+        match self.last_exchange_ns {
+            Some(last) => now_ns.saturating_sub(last) < cooldown_ns,
+            None => false,
+        }
+    }
+
+    /// Records that an exchange happened at `now_ns`.
+    pub fn record(&mut self, now_ns: u64) {
+        self.last_exchange_ns = Some(now_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = PartitionConfig::default();
+        assert_eq!(c.exchange_cooldown_ns, 60 * 1_000_000_000);
+        assert!(c.candidate_set_size > 0);
+    }
+
+    #[test]
+    fn throttle_rejects_within_cooldown() {
+        let mut t = ExchangeThrottle::default();
+        assert!(!t.should_reject(0, 100));
+        t.record(50);
+        assert!(t.should_reject(100, 100));
+        assert!(!t.should_reject(151, 100));
+    }
+
+    #[test]
+    fn zero_cooldown_never_rejects() {
+        let mut t = ExchangeThrottle::default();
+        t.record(10);
+        assert!(!t.should_reject(10, 0));
+    }
+}

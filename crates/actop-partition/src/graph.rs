@@ -1,0 +1,293 @@
+//! A concrete weighted communication graph and a vertex-to-server partition.
+//!
+//! These are the data structures for the *static* setting: Theorem 1 tests,
+//! the standalone convergence experiments, and the centralized baselines.
+//! (The live runtime never materializes the full graph — that is the point
+//! of the paper's distributed algorithm — it feeds sampled edges straight
+//! into the exchange protocol.)
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An undirected weighted multigraph; parallel edge weights accumulate.
+#[derive(Debug, Clone, Default)]
+pub struct CommGraph<V> {
+    adj: HashMap<V, HashMap<V, u64>>,
+}
+
+impl<V: Copy + Eq + Hash + Ord> CommGraph<V> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        CommGraph {
+            adj: HashMap::new(),
+        }
+    }
+
+    /// Adds `weight` to the undirected edge `{a, b}`. Self-loops are
+    /// ignored (an actor messaging itself never crosses servers).
+    pub fn add_edge(&mut self, a: V, b: V, weight: u64) {
+        if a == b || weight == 0 {
+            return;
+        }
+        *self.adj.entry(a).or_default().entry(b).or_default() += weight;
+        *self.adj.entry(b).or_default().entry(a).or_default() += weight;
+    }
+
+    /// Ensures a vertex exists even if isolated.
+    pub fn add_vertex(&mut self, v: V) {
+        self.adj.entry(v).or_default();
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// All vertices, sorted for determinism.
+    pub fn vertices(&self) -> Vec<V> {
+        let mut vs: Vec<V> = self.adj.keys().copied().collect();
+        vs.sort_unstable();
+        vs
+    }
+
+    /// The weighted neighbors of `v`, sorted by neighbor for determinism.
+    pub fn neighbors(&self, v: &V) -> Vec<(V, u64)> {
+        let mut out: Vec<(V, u64)> = self
+            .adj
+            .get(v)
+            .map(|m| m.iter().map(|(&u, &w)| (u, w)).collect())
+            .unwrap_or_default();
+        out.sort_unstable_by_key(|&(u, _)| u);
+        out
+    }
+
+    /// The weight of edge `{a, b}` (0 if absent).
+    pub fn weight(&self, a: &V, b: &V) -> u64 {
+        self.adj
+            .get(a)
+            .and_then(|m| m.get(b))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_weight(&self) -> u64 {
+        let sum: u64 = self
+            .adj
+            .iter()
+            .flat_map(|(_, m)| m.values())
+            .sum();
+        sum / 2
+    }
+
+    /// The total communication cost `C` of a partition: the sum of weights
+    /// of edges whose endpoints live on different servers (each edge
+    /// counted once).
+    pub fn cut_cost(&self, partition: &Partition<V>) -> u64 {
+        let mut cost = 0u64;
+        for (v, peers) in &self.adj {
+            let pv = partition.server_of(v);
+            for (u, w) in peers {
+                if v < u {
+                    continue; // Count each undirected edge once.
+                }
+                if pv != partition.server_of(u) {
+                    cost += w;
+                }
+            }
+        }
+        cost
+    }
+}
+
+/// A vertex-to-server assignment with per-server size accounting.
+#[derive(Debug, Clone)]
+pub struct Partition<V> {
+    assign: HashMap<V, usize>,
+    sizes: Vec<usize>,
+}
+
+impl<V: Copy + Eq + Hash + Ord> Partition<V> {
+    /// Creates an empty partition over `servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        Partition {
+            assign: HashMap::new(),
+            sizes: vec![0; servers],
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of assigned vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Assigns a new vertex to a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex is already assigned or the server is out of
+    /// range.
+    pub fn place(&mut self, v: V, server: usize) {
+        assert!(server < self.sizes.len(), "server out of range");
+        let prev = self.assign.insert(v, server);
+        assert!(prev.is_none(), "vertex already assigned");
+        self.sizes[server] += 1;
+    }
+
+    /// Moves a vertex to another server (no-op when already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex is unassigned or the server is out of range.
+    pub fn migrate(&mut self, v: &V, to: usize) {
+        assert!(to < self.sizes.len(), "server out of range");
+        let slot = self.assign.get_mut(v).expect("vertex not assigned");
+        if *slot == to {
+            return;
+        }
+        self.sizes[*slot] -= 1;
+        self.sizes[to] += 1;
+        *slot = to;
+    }
+
+    /// Removes a vertex (e.g. a departed actor).
+    pub fn remove(&mut self, v: &V) {
+        if let Some(server) = self.assign.remove(v) {
+            self.sizes[server] -= 1;
+        }
+    }
+
+    /// The server of a vertex, if assigned.
+    pub fn server_of(&self, v: &V) -> Option<usize> {
+        self.assign.get(v).copied()
+    }
+
+    /// Number of vertices on each server.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The vertices on `server`, sorted for determinism.
+    pub fn vertices_on(&self, server: usize) -> Vec<V> {
+        let mut out: Vec<V> = self
+            .assign
+            .iter()
+            .filter(|&(_, &s)| s == server)
+            .map(|(&v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The largest pairwise size difference `max_p,q ||V_p| - |V_q||`.
+    pub fn max_imbalance(&self) -> usize {
+        let max = self.sizes.iter().copied().max().unwrap_or(0);
+        let min = self.sizes.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CommGraph<u32> {
+        let mut g = CommGraph::new();
+        g.add_edge(1, 2, 10);
+        g.add_edge(2, 3, 20);
+        g.add_edge(1, 3, 30);
+        g
+    }
+
+    #[test]
+    fn edges_accumulate_and_are_symmetric() {
+        let mut g = CommGraph::new();
+        g.add_edge(1u32, 2, 5);
+        g.add_edge(2, 1, 3);
+        assert_eq!(g.weight(&1, &2), 8);
+        assert_eq!(g.weight(&2, &1), 8);
+        assert_eq!(g.total_weight(), 8);
+    }
+
+    #[test]
+    fn self_loops_and_zero_weights_ignored() {
+        let mut g = CommGraph::new();
+        g.add_edge(1u32, 1, 100);
+        g.add_edge(1, 2, 0);
+        assert_eq!(g.total_weight(), 0);
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = triangle();
+        assert_eq!(g.neighbors(&1), vec![(2, 10), (3, 30)]);
+        assert_eq!(g.neighbors(&99), vec![]);
+    }
+
+    #[test]
+    fn cut_cost_counts_crossing_edges_once() {
+        let g = triangle();
+        let mut p = Partition::new(2);
+        p.place(1, 0);
+        p.place(2, 0);
+        p.place(3, 1);
+        // Crossing edges: {2,3} = 20 and {1,3} = 30.
+        assert_eq!(g.cut_cost(&p), 50);
+        p.migrate(&3, 0);
+        assert_eq!(g.cut_cost(&p), 0);
+    }
+
+    #[test]
+    fn partition_sizes_track_moves() {
+        let mut p = Partition::new(3);
+        p.place(1u32, 0);
+        p.place(2, 0);
+        p.place(3, 1);
+        assert_eq!(p.sizes(), &[2, 1, 0]);
+        assert_eq!(p.max_imbalance(), 2);
+        p.migrate(&1, 2);
+        assert_eq!(p.sizes(), &[1, 1, 1]);
+        assert_eq!(p.max_imbalance(), 0);
+        p.remove(&2);
+        assert_eq!(p.sizes(), &[0, 1, 1]);
+        assert_eq!(p.server_of(&2), None);
+        assert_eq!(p.server_of(&3), Some(1));
+    }
+
+    #[test]
+    fn migrate_to_same_server_is_noop() {
+        let mut p = Partition::new(2);
+        p.place(1u32, 0);
+        p.migrate(&1, 0);
+        assert_eq!(p.sizes(), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex already assigned")]
+    fn double_place_panics() {
+        let mut p = Partition::new(2);
+        p.place(1u32, 0);
+        p.place(1, 1);
+    }
+
+    #[test]
+    fn vertices_on_is_sorted() {
+        let mut p = Partition::new(2);
+        for v in [5u32, 1, 9, 3] {
+            p.place(v, 0);
+        }
+        assert_eq!(p.vertices_on(0), vec![1, 3, 5, 9]);
+        assert!(p.vertices_on(1).is_empty());
+    }
+}

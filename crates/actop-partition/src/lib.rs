@@ -1,0 +1,39 @@
+//! Locality-aware actor partitioning (§4 of the ActOp paper).
+//!
+//! Actors are vertices of a weighted communication graph; servers are
+//! partitions. The goal is a *balanced* partition minimizing the total
+//! weight of edges that cross servers. The paper's algorithm is fully
+//! distributed: each server keeps only a sampled list of its heaviest
+//! edges, and servers periodically run a *pairwise coordination protocol*
+//! (Alg. 1) exchanging small candidate sets of actors.
+//!
+//! Modules:
+//!
+//! * [`config`] — tunables: candidate-set size `k`, imbalance tolerance
+//!   `delta`, exchange cooldown.
+//! * [`score`] — transfer scores `R_{p,q}(v)` and candidate-set selection.
+//! * [`exchange`] — the pairwise protocol: the initiator's proposal and the
+//!   responder's greedy two-heap selection of the exchange subsets
+//!   `S0 ⊆ S`, `T0 ⊆ T` under the balance constraint.
+//! * [`graph`] — a concrete weighted graph + partition used by the static
+//!   experiments, Theorem 1 tests, and baselines.
+//! * [`driver`] — a standalone driver running protocol rounds over a static
+//!   graph (the setting of Theorem 1).
+//! * [`baselines`] — random/hash placement, unilateral (one-sided)
+//!   migration, and a centralized greedy refinement partitioner, used as
+//!   comparison points and ablations.
+//! * [`sized`] — the §4.2 extension: heterogeneous actor sizes, migration
+//!   costs, and size-based balance.
+
+pub mod baselines;
+pub mod config;
+pub mod driver;
+pub mod exchange;
+pub mod graph;
+pub mod score;
+pub mod sized;
+
+pub use config::PartitionConfig;
+pub use exchange::{select_exchange, ExchangeOutcome, ExchangeRequest};
+pub use graph::{CommGraph, Partition};
+pub use score::{candidate_set, transfer_scores, ScoredVertex};

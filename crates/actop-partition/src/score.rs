@@ -1,0 +1,195 @@
+//! Transfer scores and candidate-set selection (§4.2).
+//!
+//! The transfer score of vertex `v` (on server `p`) toward server `q` is
+//! the communication-cost reduction its migration would achieve:
+//!
+//! ```text
+//! R_{p,q}(v) = sum_{u in V_q} w_{v,u} - sum_{u in V_p} w_{v,u}
+//! ```
+//!
+//! i.e. edges that become local minus edges that become remote. Each server
+//! computes scores only from its sampled heavy-edge list, so scores are
+//! estimates — the responder side of the protocol re-checks them against
+//! its own state before accepting.
+
+use std::hash::Hash;
+
+/// Per-destination transfer scores for one vertex.
+///
+/// `edges` are the (sampled) weighted edges of the vertex; `home` is the
+/// vertex's current server; `locate` maps a peer vertex to its server, if
+/// known (unknown peers are ignored — they contribute to neither term).
+///
+/// Returns a vector of length `servers` with `R_{home,q}` per server `q`
+/// (the entry for `home` itself is 0).
+pub fn transfer_scores<V, F>(
+    edges: &[(V, u64)],
+    home: usize,
+    servers: usize,
+    mut locate: F,
+) -> Vec<i64>
+where
+    V: Eq + Hash,
+    F: FnMut(&V) -> Option<usize>,
+{
+    let mut per_server = vec![0i64; servers];
+    let mut local_sum = 0i64;
+    for (peer, w) in edges {
+        let Some(server) = locate(peer) else {
+            continue;
+        };
+        if server == home {
+            local_sum += *w as i64;
+        } else if server < servers {
+            per_server[server] += *w as i64;
+        }
+    }
+    for (q, score) in per_server.iter_mut().enumerate() {
+        if q == home {
+            *score = 0;
+        } else {
+            *score -= local_sum;
+        }
+    }
+    per_server
+}
+
+/// A vertex offered in an exchange, together with its sampled edges so the
+/// responder can re-score it and maintain scores during selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoredVertex<V> {
+    /// The vertex.
+    pub vertex: V,
+    /// The initiator's estimated transfer score toward the destination.
+    pub score: i64,
+    /// The vertex's sampled weighted edges.
+    pub edges: Vec<(V, u64)>,
+}
+
+/// Selects the candidate set toward each destination server: for every
+/// server `q != home`, the up-to-`k` local vertices with the highest
+/// positive `R_{home,q}`.
+///
+/// `vertices` provides, per local vertex, its sampled edge list. Returns
+/// one candidate vector per server, each sorted by descending score with
+/// deterministic tie-breaking on the vertex itself.
+pub fn candidate_set<V, F>(
+    vertices: &[(V, Vec<(V, u64)>)],
+    home: usize,
+    servers: usize,
+    k: usize,
+    mut locate: F,
+) -> Vec<Vec<ScoredVertex<V>>>
+where
+    V: Copy + Eq + Hash + Ord,
+    F: FnMut(&V) -> Option<usize>,
+{
+    let mut per_server: Vec<Vec<ScoredVertex<V>>> = vec![Vec::new(); servers];
+    for (vertex, edges) in vertices {
+        let scores = transfer_scores(edges, home, servers, &mut locate);
+        for (q, &score) in scores.iter().enumerate() {
+            if q == home || score <= 0 {
+                continue;
+            }
+            per_server[q].push(ScoredVertex {
+                vertex: *vertex,
+                score,
+                edges: edges.clone(),
+            });
+        }
+    }
+    for candidates in &mut per_server {
+        candidates.sort_by(|a, b| b.score.cmp(&a.score).then(a.vertex.cmp(&b.vertex)));
+        candidates.truncate(k);
+    }
+    per_server
+}
+
+/// Total anticipated score of a candidate set — what the initiator uses to
+/// rank destination servers.
+pub fn total_score<V>(candidates: &[ScoredVertex<V>]) -> i64 {
+    candidates.iter().map(|c| c.score).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_counts_remote_minus_local() {
+        // v on server 0; peers: a on 0 (w 5), b on 1 (w 7), c on 1 (w 3),
+        // d on 2 (w 4).
+        let edges = vec![("a", 5u64), ("b", 7), ("c", 3), ("d", 4)];
+        let locate = |peer: &&str| match *peer {
+            "a" => Some(0),
+            "b" | "c" => Some(1),
+            "d" => Some(2),
+            _ => None,
+        };
+        let scores = transfer_scores(&edges, 0, 3, locate);
+        assert_eq!(scores[0], 0);
+        assert_eq!(scores[1], 10 - 5);
+        assert_eq!(scores[2], 4 - 5);
+    }
+
+    #[test]
+    fn unknown_peers_are_ignored() {
+        let edges = vec![("x", 100u64), ("b", 7)];
+        let scores = transfer_scores(&edges, 0, 2, |p: &&str| (*p == "b").then_some(1));
+        assert_eq!(scores[1], 7);
+    }
+
+    #[test]
+    fn isolated_vertex_has_zero_scores() {
+        let edges: Vec<(u32, u64)> = vec![];
+        let scores = transfer_scores(&edges, 0, 4, |_| None);
+        assert_eq!(scores, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn candidate_set_keeps_top_k_positive() {
+        // Three vertices on server 0, all pulled toward server 1 with
+        // different strengths; k = 2 keeps the two strongest.
+        let vertices = vec![
+            (1u32, vec![(10u32, 5u64)]),
+            (2, vec![(10, 9)]),
+            (3, vec![(10, 7)]),
+            (4, vec![(5, 2)]), // Peer on home server: negative score.
+        ];
+        let locate = |peer: &u32| match peer {
+            10 => Some(1),
+            5 => Some(0),
+            _ => None,
+        };
+        let sets = candidate_set(&vertices, 0, 2, 2, locate);
+        let toward_1: Vec<u32> = sets[1].iter().map(|c| c.vertex).collect();
+        assert_eq!(toward_1, vec![2, 3], "top-2 by score");
+        assert_eq!(total_score(&sets[1]), 16);
+        assert!(sets[0].is_empty(), "no self-candidates");
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_vertex() {
+        let vertices = vec![
+            (7u32, vec![(100u32, 5u64)]),
+            (3, vec![(100, 5)]),
+            (9, vec![(100, 5)]),
+        ];
+        let sets = candidate_set(&vertices, 0, 2, 2, |p: &u32| (*p == 100).then_some(1));
+        let picked: Vec<u32> = sets[1].iter().map(|c| c.vertex).collect();
+        assert_eq!(picked, vec![3, 7]);
+    }
+
+    #[test]
+    fn vertex_with_balanced_edges_not_a_candidate() {
+        // Equal weight home and away: score 0, not positive, excluded.
+        let vertices = vec![(1u32, vec![(2u32, 5u64), (3u32, 5u64)])];
+        let locate = |peer: &u32| match peer {
+            2 => Some(0),
+            3 => Some(1),
+            _ => None,
+        };
+        let sets = candidate_set(&vertices, 0, 2, 8, locate);
+        assert!(sets[1].is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! Size-aware partitioning — the §4.2 extension.
+//!
+//! The core algorithm assumes uniform actors. The paper sketches (but does
+//! not evaluate) the generalization to heterogeneous actors: migration
+//! costs enter the transfer score with a term scaled by the actor's size,
+//! the candidate set is limited by *total size* instead of count, and the
+//! imbalance tolerance `delta` bounds the difference in total hosted size.
+//! This module implements that generalization; the unsized protocol in
+//! [`crate::exchange`] stays exactly as the paper evaluates it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::score::ScoredVertex;
+
+/// Configuration of the size-aware exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizedConfig {
+    /// Maximum total size offered/returned in one exchange (replaces the
+    /// candidate-set *count* limit).
+    pub candidate_size_budget: u64,
+    /// Maximum allowed difference in total hosted size between the
+    /// exchanging pair.
+    pub size_imbalance_tolerance: u64,
+    /// Migration cost per size unit, in edge-weight units: a vertex only
+    /// moves when its communication saving exceeds `cost_per_unit * size`.
+    /// (The paper phrases this as adding "a term ... inversely
+    /// proportional to the actor size" to the score — i.e. small actors
+    /// are favored; charging a size-proportional cost is the equivalent
+    /// monotone formulation.)
+    pub migration_cost_per_unit: f64,
+}
+
+impl Default for SizedConfig {
+    fn default() -> Self {
+        SizedConfig {
+            candidate_size_budget: 1 << 20, // 1 MiB of actor state per exchange.
+            size_imbalance_tolerance: 1 << 18,
+            migration_cost_per_unit: 0.0,
+        }
+    }
+}
+
+/// A candidate vertex with a size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizedCandidate<V> {
+    /// The scored vertex (score *before* the migration-cost adjustment).
+    pub scored: ScoredVertex<V>,
+    /// The vertex's size (bytes of state, or any consistent unit).
+    pub size: u64,
+}
+
+/// The outcome of a size-aware exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizedOutcome<V> {
+    /// Vertices accepted from the initiator (migrate initiator → responder).
+    pub accepted: Vec<V>,
+    /// Responder vertices returned (migrate responder → initiator).
+    pub returned: Vec<V>,
+    /// Total size moved initiator → responder.
+    pub accepted_size: u64,
+    /// Total size moved responder → initiator.
+    pub returned_size: u64,
+}
+
+impl<V> SizedOutcome<V> {
+    /// True when nothing moves.
+    pub fn is_empty(&self) -> bool {
+        self.accepted.is_empty() && self.returned.is_empty()
+    }
+}
+
+/// The migration-cost-adjusted score of a candidate.
+fn adjusted(score: i64, size: u64, config: &SizedConfig) -> i64 {
+    score - (config.migration_cost_per_unit * size as f64).round() as i64
+}
+
+/// Caps a candidate list at the size budget, keeping the best adjusted
+/// scores (the size-aware analogue of the top-`k` candidate set).
+pub fn cap_candidates<V: Copy + Eq + Ord>(
+    mut candidates: Vec<SizedCandidate<V>>,
+    config: &SizedConfig,
+) -> Vec<SizedCandidate<V>> {
+    candidates.sort_by(|a, b| {
+        adjusted(b.scored.score, b.size, config)
+            .cmp(&adjusted(a.scored.score, a.size, config))
+            .then(a.scored.vertex.cmp(&b.scored.vertex))
+    });
+    let mut total = 0u64;
+    candidates.retain(|c| {
+        if total + c.size <= config.candidate_size_budget {
+            total += c.size;
+            true
+        } else {
+            false
+        }
+    });
+    candidates
+}
+
+/// The size-aware greedy selection: the two-heap procedure of Alg. 1 with
+/// size-based balance and migration costs.
+///
+/// `initiator_size` / `responder_size` are the servers' total hosted sizes.
+pub fn select_sized_exchange<V>(
+    incoming: &[SizedCandidate<V>],
+    initiator_size: u64,
+    own: &[SizedCandidate<V>],
+    responder_size: u64,
+    config: &SizedConfig,
+) -> SizedOutcome<V>
+where
+    V: Copy + Eq + Hash + Ord,
+{
+    struct Item<V> {
+        vertex: V,
+        score: i64,
+        size: u64,
+        from_initiator: bool,
+        taken: bool,
+    }
+    let mut items: Vec<Item<V>> = Vec::with_capacity(incoming.len() + own.len());
+    let mut index: HashMap<V, usize> = HashMap::new();
+    for c in incoming {
+        index.insert(c.scored.vertex, items.len());
+        items.push(Item {
+            vertex: c.scored.vertex,
+            score: adjusted(c.scored.score, c.size, config),
+            size: c.size,
+            from_initiator: true,
+            taken: false,
+        });
+    }
+    for c in own {
+        if index.contains_key(&c.scored.vertex) {
+            continue;
+        }
+        index.insert(c.scored.vertex, items.len());
+        items.push(Item {
+            vertex: c.scored.vertex,
+            score: adjusted(c.scored.score, c.size, config),
+            size: c.size,
+            from_initiator: false,
+            taken: false,
+        });
+    }
+    // Pairwise weights between candidates (for score updates).
+    let mut pair_w: HashMap<(usize, usize), u64> = HashMap::new();
+    for cands in [incoming, own] {
+        for c in cands {
+            let Some(&i) = index.get(&c.scored.vertex) else {
+                continue;
+            };
+            for (peer, w) in &c.scored.edges {
+                if let Some(&j) = index.get(peer) {
+                    if i != j {
+                        let key = (i.min(j), i.max(j));
+                        let entry = pair_w.entry(key).or_default();
+                        *entry = (*entry).max(*w);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut p_size = initiator_size as i64;
+    let mut q_size = responder_size as i64;
+    let delta = config.size_imbalance_tolerance as i64;
+    let mut outcome = SizedOutcome {
+        accepted: Vec::new(),
+        returned: Vec::new(),
+        accepted_size: 0,
+        returned_size: 0,
+    };
+    loop {
+        let pre = (p_size - q_size).abs();
+        let movable = |item: &Item<V>| -> bool {
+            let sz = item.size as i64;
+            let post = if item.from_initiator {
+                (p_size - sz - (q_size + sz)).abs()
+            } else {
+                (p_size + sz - (q_size - sz)).abs()
+            };
+            post <= delta || post < pre
+        };
+        let mut best: Option<usize> = None;
+        for (i, item) in items.iter().enumerate() {
+            if item.taken || item.score <= 0 || !movable(item) {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let cur = (items[b].score, std::cmp::Reverse(items[b].vertex));
+                    let cand = (item.score, std::cmp::Reverse(item.vertex));
+                    if cand > cur {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(chosen) = best else {
+            break;
+        };
+        items[chosen].taken = true;
+        let side = items[chosen].from_initiator;
+        let sz = items[chosen].size as i64;
+        if side {
+            p_size -= sz;
+            q_size += sz;
+            outcome.accepted.push(items[chosen].vertex);
+            outcome.accepted_size += items[chosen].size;
+        } else {
+            p_size += sz;
+            q_size -= sz;
+            outcome.returned.push(items[chosen].vertex);
+            outcome.returned_size += items[chosen].size;
+        }
+        for i in 0..items.len() {
+            if items[i].taken || i == chosen {
+                continue;
+            }
+            let key = (i.min(chosen), i.max(chosen));
+            let Some(&w) = pair_w.get(&key) else {
+                continue;
+            };
+            let delta_score = 2 * w as i64;
+            if items[i].from_initiator == side {
+                items[i].score += delta_score;
+            } else {
+                items[i].score -= delta_score;
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(vertex: u32, score: i64, size: u64) -> SizedCandidate<u32> {
+        SizedCandidate {
+            scored: ScoredVertex {
+                vertex,
+                score,
+                edges: vec![],
+            },
+            size,
+        }
+    }
+
+    fn config(budget: u64, delta: u64, cost: f64) -> SizedConfig {
+        SizedConfig {
+            candidate_size_budget: budget,
+            size_imbalance_tolerance: delta,
+            migration_cost_per_unit: cost,
+        }
+    }
+
+    #[test]
+    fn cap_respects_size_budget_and_prefers_adjusted_score() {
+        let cands = vec![cand(1, 10, 600), cand(2, 9, 300), cand(3, 8, 300)];
+        let capped = cap_candidates(cands, &config(600, 1000, 0.0));
+        // Vertex 1 alone exhausts the budget; 2 and 3 no longer fit.
+        assert_eq!(capped.len(), 1);
+        assert_eq!(capped[0].scored.vertex, 1);
+        // With migration costs, the big vertex scores worse per its size.
+        let cands = vec![cand(1, 10, 600), cand(2, 9, 300), cand(3, 8, 300)];
+        let capped = cap_candidates(cands, &config(600, 1000, 0.01));
+        // Adjusted: v1 = 10-6 = 4, v2 = 9-3 = 6, v3 = 8-3 = 5: take 2 and 3.
+        assert_eq!(
+            capped.iter().map(|c| c.scored.vertex).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn migration_cost_blocks_marginal_moves() {
+        // Saving 5 edge units, but the vertex weighs 1000 units at cost
+        // 0.01/unit = 10: not worth moving.
+        let incoming = vec![cand(1, 5, 1000)];
+        let outcome = select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(4096, 4096, 0.01));
+        assert!(outcome.is_empty());
+        // At zero migration cost the same move goes through.
+        let outcome = select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(4096, 4096, 0.0));
+        assert_eq!(outcome.accepted, vec![1]);
+        assert_eq!(outcome.accepted_size, 1000);
+    }
+
+    #[test]
+    fn size_balance_deflects_large_vertices() {
+        // Accepting the 3000-unit vertex would skew sizes beyond delta;
+        // the 500-unit one still fits.
+        let incoming = vec![cand(1, 50, 3_000), cand(2, 20, 500)];
+        let outcome = select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(8_192, 2_000, 0.0));
+        assert_eq!(outcome.accepted, vec![2]);
+    }
+
+    #[test]
+    fn bidirectional_sizes_rebalance() {
+        // Returning a big vertex makes room to accept two smaller ones.
+        let incoming = vec![cand(1, 30, 900), cand(2, 25, 900)];
+        let own = vec![cand(100, 28, 1_800)];
+        let outcome =
+            select_sized_exchange(&incoming, 10_000, &own, 10_000, &config(8_192, 1_900, 0.0));
+        assert_eq!(outcome.accepted, vec![1, 2]);
+        assert_eq!(outcome.returned, vec![100]);
+        assert_eq!(outcome.accepted_size, 1_800);
+        assert_eq!(outcome.returned_size, 1_800);
+    }
+
+    #[test]
+    fn imbalance_reducing_moves_allowed_past_delta() {
+        // Responder far heavier: returning reduces the gap even though the
+        // post-move difference still exceeds delta.
+        let own = vec![cand(100, 10, 1_000)];
+        let outcome = select_sized_exchange(&[], 1_000, &own, 9_000, &config(4_096, 500, 0.0));
+        assert_eq!(outcome.returned, vec![100]);
+    }
+
+    #[test]
+    fn deterministic_tie_break_on_vertex() {
+        let incoming = vec![cand(5, 7, 10), cand(3, 7, 10)];
+        let outcome = select_sized_exchange(&incoming, 100, &[], 100, &config(4_096, 4_096, 0.0));
+        assert_eq!(outcome.accepted, vec![3, 5]);
+    }
+}

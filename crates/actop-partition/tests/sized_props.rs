@@ -1,0 +1,136 @@
+//! Property tests for the size-aware exchange (§4.2 extension).
+
+use actop_partition::score::ScoredVertex;
+use actop_partition::sized::{cap_candidates, select_sized_exchange, SizedCandidate, SizedConfig};
+use proptest::prelude::*;
+
+fn arb_candidates(base: u32) -> impl Strategy<Value = Vec<SizedCandidate<u32>>> {
+    proptest::collection::vec((0u32..64, -50i64..100, 1u64..2_000), 0..24).prop_map(
+        move |raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (_, score, size))| SizedCandidate {
+                    scored: ScoredVertex {
+                        vertex: base + i as u32,
+                        score,
+                        edges: vec![],
+                    },
+                    size,
+                })
+                .collect()
+        },
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = SizedConfig> {
+    (500u64..10_000, 100u64..5_000, 0.0f64..0.05).prop_map(
+        |(budget, delta, cost)| SizedConfig {
+            candidate_size_budget: budget,
+            size_imbalance_tolerance: delta,
+            migration_cost_per_unit: cost,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The capped candidate list never exceeds the size budget and is a
+    /// subset of the input.
+    #[test]
+    fn cap_respects_budget(
+        cands in arb_candidates(0),
+        config in arb_config(),
+    ) {
+        let input: Vec<u32> = cands.iter().map(|c| c.scored.vertex).collect();
+        let capped = cap_candidates(cands, &config);
+        let total: u64 = capped.iter().map(|c| c.size).sum();
+        prop_assert!(total <= config.candidate_size_budget);
+        for c in &capped {
+            prop_assert!(input.contains(&c.scored.vertex));
+        }
+    }
+
+    /// Selected vertices come from the offered sets, each at most once,
+    /// and accounting sums match.
+    #[test]
+    fn selection_is_a_consistent_subset(
+        incoming in arb_candidates(0),
+        own in arb_candidates(1_000),
+        config in arb_config(),
+        p_size in 0u64..50_000,
+        q_size in 0u64..50_000,
+    ) {
+        let outcome = select_sized_exchange(&incoming, p_size, &own, q_size, &config);
+        let mut seen = std::collections::HashSet::new();
+        for v in outcome.accepted.iter().chain(&outcome.returned) {
+            prop_assert!(seen.insert(*v), "vertex {v} moved twice");
+        }
+        let accepted_size: u64 = outcome
+            .accepted
+            .iter()
+            .map(|v| incoming.iter().find(|c| c.scored.vertex == *v).unwrap().size)
+            .sum();
+        prop_assert_eq!(accepted_size, outcome.accepted_size);
+        let returned_size: u64 = outcome
+            .returned
+            .iter()
+            .map(|v| own.iter().find(|c| c.scored.vertex == *v).unwrap().size)
+            .sum();
+        prop_assert_eq!(returned_size, outcome.returned_size);
+    }
+
+    /// The balance rule bounds the final size difference: every applied
+    /// move either lands within `delta` of balance or strictly shrinks the
+    /// difference, so the final difference can never exceed
+    /// `max(initial difference, delta + 2 * largest moved vertex)`.
+    #[test]
+    fn size_balance_outcome_is_bounded(
+        incoming in arb_candidates(0),
+        own in arb_candidates(1_000),
+        config in arb_config(),
+        p0 in 0i64..50_000,
+        q0 in 0i64..50_000,
+    ) {
+        let outcome = select_sized_exchange(
+            &incoming,
+            p0 as u64,
+            &own,
+            q0 as u64,
+            &config,
+        );
+        let moved_sizes: Vec<i64> = outcome
+            .accepted
+            .iter()
+            .map(|v| incoming.iter().find(|c| c.scored.vertex == *v).unwrap().size as i64)
+            .chain(outcome.returned.iter().map(|v| {
+                own.iter().find(|c| c.scored.vertex == *v).unwrap().size as i64
+            }))
+            .collect();
+        let max_moved = moved_sizes.iter().copied().max().unwrap_or(0);
+        let p_final = p0 - outcome.accepted_size as i64 + outcome.returned_size as i64;
+        let q_final = q0 + outcome.accepted_size as i64 - outcome.returned_size as i64;
+        let initial = (p0 - q0).abs();
+        let bound = initial.max(config.size_imbalance_tolerance as i64 + 2 * max_moved);
+        prop_assert!(
+            (p_final - q_final).abs() <= bound,
+            "final diff {} exceeds bound {bound} (initial {initial}, max moved {max_moved})",
+            (p_final - q_final).abs()
+        );
+    }
+
+    /// With a huge migration cost nothing ever moves.
+    #[test]
+    fn prohibitive_migration_cost_freezes_everything(
+        incoming in arb_candidates(0),
+        own in arb_candidates(1_000),
+    ) {
+        let config = SizedConfig {
+            candidate_size_budget: u64::MAX / 4,
+            size_imbalance_tolerance: u64::MAX / 4,
+            migration_cost_per_unit: 1e6,
+        };
+        let outcome = select_sized_exchange(&incoming, 1_000, &own, 1_000, &config);
+        prop_assert!(outcome.is_empty());
+    }
+}

@@ -1,0 +1,1000 @@
+//! The cluster: servers, the placement directory, message routing, and
+//! request/join bookkeeping.
+//!
+//! [`Cluster`] is the discrete-event world. Workload drivers inject client
+//! requests; every subsequent hop — deserialization, worker execution,
+//! serialization, network transfer — is an engine event driven by the
+//! server's processor-sharing CPU and stage thread pools. The ActOp
+//! controllers interact with the cluster only through the public hooks at
+//! the bottom of this file, mirroring how ActOp integrates with Orleans as
+//! a runtime extension rather than application code.
+
+use std::collections::HashMap;
+
+use actop_partition::{ExchangeOutcome, Partition};
+use actop_sim::{DetRng, Engine, Nanos};
+
+use crate::app::{AppLogic, Call, Outcome, Reaction};
+use crate::config::{HiccupModel, RuntimeConfig};
+use crate::ids::{ActorId, CallId, RequestId, StageKind};
+use crate::metrics::ClusterMetrics;
+use crate::proto::{
+    Message, MsgKind, PendingJoin, PostAction, ReplyTarget, RequestMeta, RunningTask, StageItem,
+};
+use crate::server::Server;
+
+/// Per-stage observation drained by the thread-allocation controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageReport {
+    /// Events that arrived at the stage during the window.
+    pub arrivals: u64,
+    /// Events whose processing finished during the window.
+    pub completions: u64,
+    /// Window length.
+    pub window: Nanos,
+    /// Sum of per-event wallclock processing time, nanoseconds.
+    pub sum_wallclock_ns: f64,
+    /// Sum of per-event CPU demand, nanoseconds.
+    pub sum_cpu_ns: f64,
+    /// Time-average queue length over the window.
+    pub mean_queue_len: f64,
+}
+
+/// Breakdown component labels, matching Fig. 4 of the paper. Both sender
+/// stages share the "Sender" label, as in the figure.
+const QUEUE_LABEL: [&str; 4] = [
+    "Recv. queue",
+    "Worker queue",
+    "Sender queue",
+    "Sender queue",
+];
+const PROC_LABEL: [&str; 4] = [
+    "Recv. processing",
+    "Worker processing",
+    "Sender processing",
+    "Sender processing",
+];
+
+/// The simulated cluster (the discrete-event world type).
+pub struct Cluster {
+    /// Static configuration.
+    pub config: RuntimeConfig,
+    /// The servers.
+    pub servers: Vec<Server>,
+    /// The distributed placement directory (actor -> hosting server).
+    pub directory: Partition<ActorId>,
+    /// Cluster-wide measurements.
+    pub metrics: ClusterMetrics,
+    app: Box<dyn AppLogic>,
+    rng_place: DetRng,
+    rng_net: DetRng,
+    rng_app: DetRng,
+    rng_gateway: DetRng,
+    failed: Vec<bool>,
+    joins: HashMap<u64, PendingJoin>,
+    requests: HashMap<u64, RequestMeta>,
+    next_call: u64,
+    next_request: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration and the application logic.
+    pub fn new(config: RuntimeConfig, app: Box<dyn AppLogic>) -> Self {
+        config.validate();
+        let servers = (0..config.servers)
+            .map(|id| {
+                Server::new(
+                    id,
+                    &config.costs,
+                    config.initial_threads_per_stage,
+                    config.sketch_capacity,
+                )
+            })
+            .collect();
+        Cluster {
+            servers,
+            directory: Partition::new(config.servers),
+            metrics: ClusterMetrics::new(config.series_bin_ns),
+            app,
+            rng_place: DetRng::stream(config.seed, 0x01),
+            rng_net: DetRng::stream(config.seed, 0x02),
+            rng_app: DetRng::stream(config.seed, 0x03),
+            rng_gateway: DetRng::stream(config.seed, 0x04),
+            failed: vec![false; config.servers],
+            joins: HashMap::new(),
+            requests: HashMap::new(),
+            next_call: 0,
+            next_request: 0,
+            config,
+        }
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Client request injection.
+    // ------------------------------------------------------------------
+
+    /// Submits a client request to `to` with application `tag` and payload
+    /// `bytes`. The request enters the cluster through a uniformly random
+    /// gateway server (clients connect to arbitrary gateways, as in
+    /// Orleans) and the response is recorded when it reaches the client.
+    pub fn submit_client_request(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        to: ActorId,
+        tag: u32,
+        bytes: u64,
+    ) -> RequestId {
+        let now = engine.now();
+        let rid = RequestId(self.next_request);
+        self.next_request += 1;
+        self.metrics.submitted += 1;
+        self.requests.insert(
+            rid.0,
+            RequestMeta {
+                start: now,
+                accounted_ns: 0.0,
+            },
+        );
+        let gateway = {
+            let first = self.rng_gateway.below(self.servers.len());
+            self.next_live(first)
+        };
+        if let Some(timeout) = self.config.request_timeout {
+            engine.schedule_after(timeout, move |c: &mut Cluster, _| {
+                if c.requests.remove(&rid.0).is_some() {
+                    c.metrics.timed_out += 1;
+                }
+            });
+        }
+        let msg = Message {
+            to,
+            tag,
+            bytes,
+            kind: MsgKind::Request {
+                reply_to: ReplyTarget::Client(rid),
+            },
+            request: rid,
+            issued_at: now,
+            delivered_remotely: true,
+            from_actor: None,
+            forwarded: false,
+            call_was_remote: false,
+        };
+        let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
+        self.account(rid, "Network", delay.as_nanos() as f64);
+        engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, gateway, msg));
+        rid
+    }
+
+    // ------------------------------------------------------------------
+    // Message movement.
+    // ------------------------------------------------------------------
+
+    /// A message arrives on the wire at `server` and enters the receiver
+    /// stage. Client-originated requests are shed when the receiver queue
+    /// is over the overload bound.
+    fn wire_arrive(&mut self, engine: &mut Engine<Cluster>, server: usize, mut msg: Message) {
+        msg.delivered_remotely = true;
+        if self.failed[server] {
+            // The destination crashed while the message was on the wire.
+            // Requests are retried against a live server (the virtual actor
+            // re-activates there); responses are lost, and the root request
+            // eventually times out.
+            match msg.kind {
+                MsgKind::Request { .. } => {
+                    let retry = {
+                        let first = self.rng_gateway.below(self.servers.len());
+                        self.next_live(first)
+                    };
+                    msg.forwarded = true;
+                    self.enqueue(
+                        engine,
+                        retry,
+                        StageKind::Receiver.index(),
+                        StageItem::Deserialize(msg),
+                    );
+                }
+                MsgKind::Response { .. } => {
+                    self.metrics.stale_responses += 1;
+                }
+            }
+            return;
+        }
+        let is_fresh_client_request = msg.from_actor.is_none()
+            && !msg.forwarded
+            && matches!(msg.kind, MsgKind::Request { .. });
+        if is_fresh_client_request
+            && self.servers[server].stages[StageKind::Receiver.index()].queue_len()
+                >= self.config.max_receiver_queue
+        {
+            self.metrics.rejected += 1;
+            self.requests.remove(&msg.request.0);
+            return;
+        }
+        self.enqueue(
+            engine,
+            server,
+            StageKind::Receiver.index(),
+            StageItem::Deserialize(msg),
+        );
+    }
+
+    /// Pushes an item into a stage queue and pumps the server.
+    fn enqueue(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        stage: usize,
+        item: StageItem,
+    ) {
+        let now = engine.now();
+        self.servers[server].stages[stage].push(now, item);
+        self.pump(engine, server);
+    }
+
+    /// Starts queued items on every stage with a free thread, then
+    /// re-arms the CPU completion event.
+    fn pump(&mut self, engine: &mut Engine<Cluster>, server: usize) {
+        if self.failed[server] {
+            return;
+        }
+        let now = engine.now();
+        loop {
+            let mut started = false;
+            for stage in 0..4 {
+                loop {
+                    let Some((item, wait)) = self.servers[server].stages[stage].try_start(now)
+                    else {
+                        break;
+                    };
+                    if self.config.record_breakdown {
+                        let rid = item_request(&item);
+                        self.account(rid, QUEUE_LABEL[stage], wait.as_nanos() as f64);
+                    }
+                    let (cpu_ns, wait_ns, post, request) = self.prepare(now, server, item);
+                    let cpu_ns = cpu_ns.max(1.0);
+                    let tid = self.servers[server].cpu.add(now, cpu_ns);
+                    self.servers[server].running.insert(
+                        tid,
+                        RunningTask {
+                            stage,
+                            post,
+                            started: now,
+                            cpu_ns,
+                            wait_ns,
+                            request,
+                        },
+                    );
+                    started = true;
+                }
+            }
+            if !started {
+                break;
+            }
+        }
+        self.sync_cpu(engine, server);
+    }
+
+    /// Computes a stage item's CPU demand, blocking time, and completion
+    /// action. For worker requests this invokes the application handler
+    /// (its decision is captured now and applied when the compute phase
+    /// ends).
+    fn prepare(
+        &mut self,
+        _now: Nanos,
+        server: usize,
+        item: StageItem,
+    ) -> (f64, f64, PostAction, RequestId) {
+        let costs = &self.config.costs;
+        match item {
+            StageItem::Deserialize(msg) => (
+                costs.deserialize_ns(msg.bytes),
+                0.0,
+                PostAction::RouteToWorker(msg),
+                msg.request,
+            ),
+            StageItem::Execute(msg) => {
+                let hosted = self.directory.server_of(&msg.to) == Some(server);
+                if !hosted {
+                    return (
+                        costs.dispatch_fixed_ns,
+                        0.0,
+                        PostAction::Forward(msg),
+                        msg.request,
+                    );
+                }
+                let local_copy = if !msg.delivered_remotely && msg.from_actor.is_some() {
+                    costs.local_copy_ns(msg.bytes)
+                } else {
+                    0.0
+                };
+                match msg.kind {
+                    MsgKind::Request { .. } => {
+                        let reaction = self.app.on_request(msg.to, msg.tag, &mut self.rng_app);
+                        (
+                            reaction.cpu_ns + local_copy,
+                            reaction.blocking_ns,
+                            PostAction::ApplyRequest { msg, reaction },
+                            msg.request,
+                        )
+                    }
+                    MsgKind::Response { .. } => (
+                        self.app.continuation_cpu_ns() + local_copy,
+                        0.0,
+                        PostAction::ApplyResponse(msg),
+                        msg.request,
+                    ),
+                }
+            }
+            StageItem::SerializeRemote { dst, msg } => (
+                costs.serialize_ns(msg.bytes),
+                0.0,
+                PostAction::NetSend { dst, msg },
+                msg.request,
+            ),
+            StageItem::SerializeClient { request, bytes } => (
+                costs.serialize_ns(bytes),
+                0.0,
+                PostAction::ClientReply { request, bytes },
+                request,
+            ),
+        }
+    }
+
+    /// Re-arms the pending CPU-completion event to the CPU's current next
+    /// completion time.
+    fn sync_cpu(&mut self, engine: &mut Engine<Cluster>, server: usize) {
+        let next = self.servers[server].cpu.next_completion();
+        match (self.servers[server].cpu_event, next) {
+            (Some((at, _)), Some(target)) if at == target => {}
+            (prev, _) => {
+                if let Some((_, id)) = prev {
+                    engine.cancel(id);
+                }
+                self.servers[server].cpu_event = next.map(|at| {
+                    (
+                        at,
+                        engine.schedule(at, move |c: &mut Cluster, e| c.cpu_done(e, server)),
+                    )
+                });
+            }
+        }
+    }
+
+    /// The CPU-completion event: collect finished compute phases, run their
+    /// blocking waits (if any), finish tasks, and pump.
+    fn cpu_done(&mut self, engine: &mut Engine<Cluster>, server: usize) {
+        if self.failed[server] {
+            return; // The event raced with a crash; the work is gone.
+        }
+        self.servers[server].cpu_event = None;
+        let now = engine.now();
+        let done = self.servers[server].cpu.take_completed(now);
+        for tid in done {
+            let task = self.servers[server]
+                .running
+                .remove(&tid)
+                .expect("completed CPU task must be tracked");
+            if task.wait_ns > 0.0 {
+                let wait = Nanos::from_nanos_f64(task.wait_ns);
+                engine.schedule_after(wait, move |c: &mut Cluster, e| {
+                    c.task_finished(e, server, task);
+                });
+            } else {
+                self.task_finished(engine, server, task);
+            }
+        }
+        self.pump(engine, server);
+    }
+
+    /// A stage task fully finished (compute + blocking wait): free the
+    /// thread, record the estimator window, apply the completion action.
+    fn task_finished(&mut self, engine: &mut Engine<Cluster>, server: usize, task: RunningTask) {
+        if self.failed[server] {
+            return; // A blocking wait outlived its server's crash.
+        }
+        let now = engine.now();
+        self.servers[server].stages[task.stage].finish(now);
+        let window = &mut self.servers[server].windows[task.stage];
+        window.completions += 1;
+        window.sum_wallclock_ns += (now - task.started).as_nanos() as f64;
+        window.sum_cpu_ns += task.cpu_ns;
+        if self.config.record_breakdown {
+            self.account(
+                task.request,
+                PROC_LABEL[task.stage],
+                (now - task.started).as_nanos() as f64,
+            );
+        }
+        match task.post {
+            PostAction::RouteToWorker(msg) => {
+                self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+            }
+            PostAction::ApplyRequest { msg, reaction } => {
+                self.apply_request(engine, server, msg, reaction);
+            }
+            PostAction::ApplyResponse(msg) => {
+                self.apply_response(engine, server, msg);
+            }
+            PostAction::Forward(msg) => {
+                self.forward(engine, server, msg);
+            }
+            PostAction::NetSend { dst, msg } => {
+                let delay = self.config.costs.network.delay(&mut self.rng_net, msg.bytes);
+                self.account(msg.request, "Network", delay.as_nanos() as f64);
+                engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, dst, msg));
+            }
+            PostAction::ClientReply { request, bytes } => {
+                let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
+                self.account(request, "Network", delay.as_nanos() as f64);
+                engine.schedule_after(delay, move |c: &mut Cluster, e| {
+                    c.complete_request(e.now(), request);
+                });
+            }
+        }
+        self.pump(engine, server);
+    }
+
+    /// Applies a request handler's decision.
+    fn apply_request(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        msg: Message,
+        reaction: Reaction,
+    ) {
+        let MsgKind::Request { reply_to } = msg.kind else {
+            unreachable!("apply_request on a response");
+        };
+        match reaction.outcome {
+            Outcome::Reply { bytes } => {
+                self.emit_reply(
+                    engine,
+                    server,
+                    msg.to,
+                    reply_to,
+                    bytes,
+                    msg.request,
+                    msg.issued_at,
+                    msg.call_was_remote,
+                );
+            }
+            Outcome::FanOut { calls, reply_bytes } => {
+                if calls.is_empty() {
+                    self.emit_reply(
+                        engine,
+                        server,
+                        msg.to,
+                        reply_to,
+                        reply_bytes,
+                        msg.request,
+                        msg.issued_at,
+                        msg.call_was_remote,
+                    );
+                    return;
+                }
+                let cid = CallId(self.next_call);
+                self.next_call += 1;
+                self.joins.insert(
+                    cid.0,
+                    PendingJoin {
+                        reply_to,
+                        actor: msg.to,
+                        remaining: calls.len(),
+                        reply_bytes,
+                        request: msg.request,
+                        issued_at: msg.issued_at,
+                        call_was_remote: msg.call_was_remote,
+                    },
+                );
+                for call in calls {
+                    self.send_request(engine, server, msg.to, call, ReplyTarget::Join(cid), msg.request);
+                }
+            }
+        }
+    }
+
+    /// Issues an actor-to-actor request.
+    fn send_request(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        from: ActorId,
+        call: Call,
+        reply_to: ReplyTarget,
+        request: RequestId,
+    ) {
+        let now = engine.now();
+        let dst = self.resolve(call.to, Some(server));
+        let remote = dst != server;
+        self.note_actor_message(now, server, dst, from, call.to);
+        let msg = Message {
+            to: call.to,
+            tag: call.tag,
+            bytes: call.bytes,
+            kind: MsgKind::Request { reply_to },
+            request,
+            issued_at: now,
+            delivered_remotely: remote,
+            from_actor: Some(from),
+            forwarded: false,
+            call_was_remote: remote,
+        };
+        if remote {
+            self.enqueue(
+                engine,
+                server,
+                StageKind::ServerSender.index(),
+                StageItem::SerializeRemote { dst, msg },
+            );
+        } else {
+            self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+        }
+    }
+
+    /// Folds a sub-call response into its join; emits the actor's own reply
+    /// when the join completes.
+    fn apply_response(&mut self, engine: &mut Engine<Cluster>, server: usize, msg: Message) {
+        let MsgKind::Response { target } = msg.kind else {
+            unreachable!("apply_response on a request");
+        };
+        let now = engine.now();
+        if self.config.record_remote_call_latency && msg.call_was_remote {
+            self.metrics
+                .remote_call_latency
+                .record((now - msg.issued_at).as_nanos());
+        }
+        let Some(join) = self.joins.get_mut(&target.0) else {
+            // The join was lost (crash) or abandoned (timeout).
+            self.metrics.stale_responses += 1;
+            return;
+        };
+        join.remaining -= 1;
+        if join.remaining == 0 {
+            let join = self.joins.remove(&target.0).expect("join present");
+            self.emit_reply(
+                engine,
+                server,
+                join.actor,
+                join.reply_to,
+                join.reply_bytes,
+                join.request,
+                join.issued_at,
+                join.call_was_remote,
+            );
+        }
+    }
+
+    /// Sends an actor's reply to its caller (client or awaiting join).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_reply(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        from: ActorId,
+        reply_to: ReplyTarget,
+        bytes: u64,
+        request: RequestId,
+        orig_issued_at: Nanos,
+        orig_was_remote: bool,
+    ) {
+        match reply_to {
+            ReplyTarget::Client(rid) => {
+                self.enqueue(
+                    engine,
+                    server,
+                    StageKind::ClientSender.index(),
+                    StageItem::SerializeClient {
+                        request: rid,
+                        bytes,
+                    },
+                );
+            }
+            ReplyTarget::Join(cid) => {
+                let Some(join) = self.joins.get(&cid.0) else {
+                    self.metrics.stale_responses += 1;
+                    return;
+                };
+                let target_actor = join.actor;
+                let now = engine.now();
+                let dst = self.resolve(target_actor, Some(server));
+                let remote = dst != server;
+                self.note_actor_message(now, server, dst, from, target_actor);
+                let msg = Message {
+                    to: target_actor,
+                    tag: 0,
+                    bytes,
+                    kind: MsgKind::Response { target: cid },
+                    request,
+                    issued_at: orig_issued_at,
+                    delivered_remotely: remote,
+                    from_actor: Some(from),
+                    forwarded: false,
+                    call_was_remote: orig_was_remote || remote,
+                };
+                if remote {
+                    self.enqueue(
+                        engine,
+                        server,
+                        StageKind::ServerSender.index(),
+                        StageItem::SerializeRemote { dst, msg },
+                    );
+                } else {
+                    self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+                }
+            }
+        }
+    }
+
+    /// Re-routes a message whose target actor is not hosted on `server`
+    /// (gateway hops, stale deliveries after migration).
+    fn forward(&mut self, engine: &mut Engine<Cluster>, server: usize, mut msg: Message) {
+        self.metrics.forwarded_messages += 1;
+        msg.forwarded = true;
+        let dst = self.resolve(msg.to, Some(server));
+        if dst == server {
+            self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+        } else {
+            self.enqueue(
+                engine,
+                server,
+                StageKind::ServerSender.index(),
+                StageItem::SerializeRemote { dst, msg },
+            );
+        }
+    }
+
+    /// Records an actor-to-actor message in the locality metrics and both
+    /// endpoint servers' edge sketches.
+    fn note_actor_message(
+        &mut self,
+        now: Nanos,
+        src_server: usize,
+        dst_server: usize,
+        from: ActorId,
+        to: ActorId,
+    ) {
+        let remote = src_server != dst_server;
+        if remote {
+            self.metrics.remote_messages += 1;
+        } else {
+            self.metrics.local_messages += 1;
+        }
+        self.metrics
+            .remote_share_series
+            .record(now.as_nanos(), if remote { 1.0 } else { 0.0 });
+        self.servers[src_server].edge_sketch.offer((from, to), 1);
+        self.servers[dst_server].edge_sketch.offer((to, from), 1);
+    }
+
+    /// Resolves the hosting server for `actor`, activating it if needed:
+    /// the directory wins; otherwise the origin server's location hint
+    /// (left by a migration, §4.3); otherwise the placement policy.
+    fn resolve(&mut self, actor: ActorId, origin: Option<usize>) -> usize {
+        if let Some(server) = self.directory.server_of(&actor) {
+            return server;
+        }
+        let hinted = origin
+            .and_then(|o| self.servers[o].take_location_hint(&actor))
+            .filter(|&hint| !self.failed[hint]);
+        let preferred = hinted.unwrap_or_else(|| {
+            self.config.placement.choose(
+                actor,
+                origin.filter(|&o| !self.failed[o]),
+                self.servers.len(),
+                &mut self.rng_place,
+            )
+        });
+        let target = self.next_live(preferred);
+        self.directory.place(actor, target);
+        target
+    }
+
+    /// Completes a client request: the response reached the client.
+    fn complete_request(&mut self, now: Nanos, request: RequestId) {
+        let Some(meta) = self.requests.remove(&request.0) else {
+            return;
+        };
+        self.metrics.completed += 1;
+        let total = (now - meta.start).as_nanos();
+        self.metrics.e2e_latency.record(total);
+        if self.config.record_breakdown {
+            let other = (total as f64 - meta.accounted_ns).max(0.0);
+            self.metrics.breakdown.add("Other", other);
+            self.metrics.breakdown.finish_request();
+        }
+    }
+
+    /// Attributes `ns` of a request's latency to a named component.
+    fn account(&mut self, request: RequestId, component: &'static str, ns: f64) {
+        if !self.config.record_breakdown {
+            return;
+        }
+        self.metrics.breakdown.add(component, ns);
+        if let Some(meta) = self.requests.get_mut(&request.0) {
+            meta.accounted_ns += ns;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ActOp hooks (what the controllers drive).
+    // ------------------------------------------------------------------
+
+    /// The server's partition view: its hosted actors with their sampled
+    /// edges, sorted by actor for determinism. This is the input the
+    /// distributed partitioner's candidate-set selection consumes.
+    pub fn partition_view(&self, server: usize) -> Vec<(ActorId, Vec<(ActorId, u64)>)> {
+        let mut by_actor: HashMap<ActorId, Vec<(ActorId, u64)>> = HashMap::new();
+        for entry in self.servers[server].edge_sketch.entries() {
+            let (local, peer) = entry.item;
+            if self.directory.server_of(&local) == Some(server) {
+                by_actor.entry(local).or_default().push((peer, entry.count));
+            }
+        }
+        let mut out: Vec<(ActorId, Vec<(ActorId, u64)>)> = by_actor.into_iter().collect();
+        out.sort_unstable_by_key(|(a, _)| *a);
+        for (_, edges) in &mut out {
+            edges.sort_unstable_by_key(|&(peer, _)| peer);
+        }
+        out
+    }
+
+    /// Actors hosted per server (the balance-constraint input).
+    pub fn server_sizes(&self) -> Vec<usize> {
+        self.directory.sizes().to_vec()
+    }
+
+    /// Where an actor currently lives (directory view).
+    pub fn locate(&self, actor: ActorId) -> Option<usize> {
+        self.directory.server_of(&actor)
+    }
+
+    /// Applies an exchange outcome from the pairwise protocol: accepted
+    /// actors migrate initiator → responder, returned actors the other way.
+    pub fn apply_exchange(
+        &mut self,
+        now: Nanos,
+        initiator: usize,
+        responder: usize,
+        outcome: &ExchangeOutcome<ActorId>,
+    ) {
+        for actor in &outcome.accepted {
+            self.migrate_actor(now, *actor, responder);
+        }
+        for actor in &outcome.returned {
+            self.migrate_actor(now, *actor, initiator);
+        }
+        let ns = now.as_nanos();
+        self.servers[initiator].last_exchange_ns = Some(ns);
+        self.servers[responder].last_exchange_ns = Some(ns);
+    }
+
+    /// Migrates an actor by deactivation + opportunistic re-placement
+    /// (§4.3): the directory entry is dropped and both the old and the new
+    /// server cache the intended location; the next message re-activates
+    /// the actor — at the intended server when it originates from either of
+    /// the two, at the originating server otherwise.
+    pub fn migrate_actor(&mut self, now: Nanos, actor: ActorId, to: usize) {
+        let Some(from) = self.directory.server_of(&actor) else {
+            return;
+        };
+        if from == to {
+            return;
+        }
+        self.directory.remove(&actor);
+        self.servers[from].cache_location(actor, to);
+        self.servers[to].cache_location(actor, to);
+        self.servers[from]
+            .edge_sketch
+            .retain(|&(local, _)| local != actor);
+        self.metrics.migrations += 1;
+        self.metrics.migration_series.mark(now.as_nanos());
+    }
+
+    /// Drains the per-stage observation windows of a server.
+    pub fn drain_stage_stats(&mut self, now: Nanos, server: usize) -> [StageReport; 4] {
+        let mut out = [StageReport {
+            arrivals: 0,
+            completions: 0,
+            window: Nanos::ZERO,
+            sum_wallclock_ns: 0.0,
+            sum_cpu_ns: 0.0,
+            mean_queue_len: 0.0,
+        }; 4];
+        for (i, report) in out.iter_mut().enumerate() {
+            let pool_stats = self.servers[server].stages[i].drain_stats(now);
+            let window = std::mem::take(&mut self.servers[server].windows[i]);
+            *report = StageReport {
+                arrivals: pool_stats.arrivals,
+                completions: window.completions,
+                window: pool_stats.window,
+                sum_wallclock_ns: window.sum_wallclock_ns,
+                sum_cpu_ns: window.sum_cpu_ns,
+                mean_queue_len: pool_stats.mean_queue_len(),
+            };
+        }
+        out
+    }
+
+    /// Reconfigures a server's per-stage thread allocation, in stage order.
+    pub fn set_stage_threads(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        allocation: [usize; 4],
+    ) {
+        let now = engine.now();
+        for (i, &threads) in allocation.iter().enumerate() {
+            self.servers[server].stages[i].set_threads(now, threads);
+        }
+        // The multithreading-overhead tax follows the configured total.
+        let total: usize = allocation.iter().sum();
+        self.servers[server].cpu.set_configured_threads(now, total);
+        // Extra threads may unblock queued work immediately (and the CPU
+        // completion event must be re-armed for the new rates).
+        self.pump(engine, server);
+    }
+
+    /// Multiplies every server's edge-sketch counters by `factor`, aging
+    /// out stale communication history.
+    pub fn age_edge_sketches(&mut self, factor: f64) {
+        for server in &mut self.servers {
+            server.edge_sketch.scale(factor);
+        }
+    }
+
+    /// Snapshot of a server's cumulative busy core-nanoseconds (pair two
+    /// snapshots to compute utilization over a window).
+    pub fn busy_core_ns(&self, server: usize) -> f64 {
+        self.servers[server].cpu.busy_core_ns()
+    }
+
+    /// Mean CPU utilization across all servers over `[since, now]`, given
+    /// the per-server snapshots taken at `since`.
+    pub fn mean_utilization(&self, snapshots: &[f64], since: Nanos, now: Nanos) -> f64 {
+        assert_eq!(snapshots.len(), self.servers.len(), "snapshot per server");
+        let sum: f64 = self
+            .servers
+            .iter()
+            .zip(snapshots)
+            .map(|(s, &snap)| s.cpu.utilization_since(snap, since, now))
+            .sum();
+        sum / self.servers.len() as f64
+    }
+
+    /// Installs the configured stop-the-world pause model (if any):
+    /// schedules an independent pause/resume loop per server until
+    /// `horizon`. Call once after constructing the engine; a no-op when
+    /// `config.hiccups` is `None`. The horizon keeps the event queue
+    /// drainable — without it the pause loop would keep the simulation
+    /// alive forever.
+    pub fn install_hiccups(&self, engine: &mut Engine<Cluster>, horizon: Nanos) {
+        let Some(model) = self.config.hiccups else {
+            return;
+        };
+        for server in 0..self.servers.len() {
+            let rng = DetRng::stream(self.config.seed, 0x500 + server as u64);
+            schedule_next_hiccup(engine, server, model, rng, horizon);
+        }
+    }
+
+    /// The first live server at or after `preferred` (wrapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics when every server has failed.
+    pub fn next_live(&self, preferred: usize) -> usize {
+        let n = self.servers.len();
+        for i in 0..n {
+            let s = (preferred + i) % n;
+            if !self.failed[s] {
+                return s;
+            }
+        }
+        panic!("all servers failed");
+    }
+
+    /// Whether a server is currently failed.
+    pub fn is_failed(&self, server: usize) -> bool {
+        self.failed[server]
+    }
+
+    /// Crashes a server: its activations, queued messages, and in-progress
+    /// work are lost. Virtual actors re-activate on a live server at their
+    /// next message (Orleans' fault-tolerance model, §2); requests whose
+    /// state died with the server complete via the client timeout.
+    pub fn fail_server(&mut self, engine: &mut Engine<Cluster>, server: usize) {
+        if self.failed[server] {
+            return;
+        }
+        self.failed[server] = true;
+        self.metrics.server_failures += 1;
+        // Drop every activation the server hosted. No location hints: the
+        // server crashed, it had no chance to leave forwarding state.
+        for actor in self.directory.vertices_on(server) {
+            self.directory.remove(&actor);
+        }
+        // Lose in-memory state: queues, running tasks, sketches, caches.
+        let threads = self.servers[server].thread_allocation();
+        if let Some((_, id)) = self.servers[server].cpu_event.take() {
+            engine.cancel(id);
+        }
+        let fresh = Server::new(
+            server,
+            &self.config.costs,
+            self.config.initial_threads_per_stage,
+            self.config.sketch_capacity,
+        );
+        self.servers[server] = fresh;
+        let _ = threads; // The replacement process boots with defaults.
+    }
+
+    /// Brings a crashed server back (a fresh, empty process). New
+    /// activations flow to it through the placement policy; the partition
+    /// agent rebalances actors onto it over time.
+    pub fn recover_server(&mut self, server: usize) {
+        self.failed[server] = false;
+    }
+
+    /// True when no request is in flight anywhere (drained).
+    pub fn is_drained(&self) -> bool {
+        self.requests.is_empty()
+            && self.joins.is_empty()
+            && self
+                .servers
+                .iter()
+                .all(|s| s.running.is_empty() && s.stages.iter().all(|st| st.is_idle()))
+    }
+}
+
+/// Schedules the next pause for `server` and, when it fires, the resume.
+fn schedule_next_hiccup(
+    engine: &mut Engine<Cluster>,
+    server: usize,
+    model: HiccupModel,
+    mut rng: DetRng,
+    horizon: Nanos,
+) {
+    let gap = Nanos::from_secs_f64(rng.exp(model.mean_interval.as_secs_f64()));
+    if engine.now() + gap >= horizon {
+        return;
+    }
+    engine.schedule_after(gap, move |c: &mut Cluster, e| {
+        let pause = Nanos::from_nanos(rng.range_inclusive(
+            model.min_pause.as_nanos(),
+            model.max_pause.as_nanos().max(model.min_pause.as_nanos() + 1),
+        ));
+        if !c.failed[server] {
+            let now = e.now();
+            c.servers[server].cpu.pause(now);
+            c.sync_cpu(e, server);
+        }
+        engine_resume(e, server, pause);
+        schedule_next_hiccup(e, server, model, rng, horizon);
+    });
+}
+
+/// Schedules the resume event ending a pause.
+fn engine_resume(engine: &mut Engine<Cluster>, server: usize, pause: Nanos) {
+    engine.schedule_after(pause, move |c: &mut Cluster, e| {
+        if !c.failed[server] && c.servers[server].cpu.is_paused() {
+            let now = e.now();
+            c.servers[server].cpu.resume(now);
+            c.pump(e, server);
+        }
+    });
+}
+
+/// The root request of a queued stage item (for breakdown accounting).
+fn item_request(item: &StageItem) -> RequestId {
+    match item {
+        StageItem::Deserialize(m) | StageItem::Execute(m) => m.request,
+        StageItem::SerializeRemote { msg, .. } => msg.request,
+        StageItem::SerializeClient { request, .. } => *request,
+    }
+}

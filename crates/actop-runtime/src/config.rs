@@ -1,0 +1,133 @@
+//! Runtime configuration.
+
+use actop_sim::{CostModel, Nanos};
+
+use crate::placement::PlacementPolicy;
+
+/// Stop-the-world pause model (.NET garbage collection and similar
+/// runtime hiccups). The paper's heavy latency tails (baseline p99 of
+/// 736 ms against a 41 ms median) ride on such pauses; the simulator can
+/// reproduce them with this optional model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiccupModel {
+    /// Mean interval between pauses per server (exponential).
+    pub mean_interval: Nanos,
+    /// Minimum pause duration (uniform draw).
+    pub min_pause: Nanos,
+    /// Maximum pause duration.
+    pub max_pause: Nanos,
+}
+
+impl HiccupModel {
+    /// A .NET-era server-GC profile: a pause every ~2 s on average,
+    /// lasting 20–80 ms.
+    pub fn dotnet_gc() -> Self {
+        HiccupModel {
+            mean_interval: Nanos::from_secs(2),
+            min_pause: Nanos::from_millis(20),
+            max_pause: Nanos::from_millis(80),
+        }
+    }
+}
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of servers (the paper's testbed: 10).
+    pub servers: usize,
+    /// The cost model (cores, serialization, network, context switching).
+    pub costs: CostModel,
+    /// Placement policy for new activations.
+    pub placement: PlacementPolicy,
+    /// Initial threads per SEDA stage. Orleans' default is one thread per
+    /// stage per core (§3), i.e. `cores_per_server`.
+    pub initial_threads_per_stage: usize,
+    /// Run seed; all randomness derives from it.
+    pub seed: u64,
+    /// Record the per-stage latency breakdown (Fig. 4). Off by default —
+    /// it adds per-event accounting.
+    pub record_breakdown: bool,
+    /// Record remote-call (server-to-server) latencies (Fig. 10c).
+    pub record_remote_call_latency: bool,
+    /// Capacity of each server's Space-Saving edge sketch (§4.3).
+    pub sketch_capacity: usize,
+    /// A server rejects new client requests when its receiver queue exceeds
+    /// this length (overload shedding; drives the peak-throughput
+    /// experiment).
+    pub max_receiver_queue: usize,
+    /// Width of the time bins used by rate-over-time metrics, nanoseconds.
+    pub series_bin_ns: u64,
+    /// Client-request timeout. Required for failure-injection runs: a
+    /// request whose response was lost to a server crash completes as
+    /// `timed_out` instead of leaking. `None` disables timeouts.
+    pub request_timeout: Option<Nanos>,
+    /// Optional stop-the-world pause model (GC hiccups). `None` disables
+    /// pauses (the calibrated default; see DESIGN.md §5).
+    pub hiccups: Option<HiccupModel>,
+}
+
+impl RuntimeConfig {
+    /// The paper's testbed shape: ten 8-core servers, Orleans default
+    /// thread allocation, random placement.
+    pub fn paper_testbed(seed: u64) -> Self {
+        let costs = CostModel::calibrated();
+        RuntimeConfig {
+            servers: 10,
+            initial_threads_per_stage: costs.cores_per_server,
+            costs,
+            placement: PlacementPolicy::Random,
+            seed,
+            record_breakdown: false,
+            record_remote_call_latency: false,
+            sketch_capacity: 16_384,
+            max_receiver_queue: 20_000,
+            series_bin_ns: 60 * 1_000_000_000, // One-minute bins, as Fig. 10a.
+            request_timeout: None,
+            hiccups: None,
+        }
+    }
+
+    /// A single-server configuration (Heartbeat / counter experiments).
+    pub fn single_server(seed: u64) -> Self {
+        RuntimeConfig {
+            servers: 1,
+            ..Self::paper_testbed(seed)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate settings; configurations are build-time inputs,
+    /// not runtime data.
+    pub fn validate(&self) {
+        assert!(self.servers > 0, "need at least one server");
+        assert!(self.initial_threads_per_stage > 0, "need threads per stage");
+        assert!(self.sketch_capacity > 0, "need a sketch capacity");
+        assert!(self.max_receiver_queue > 0, "need a queue bound");
+        assert!(self.series_bin_ns > 0, "need a series bin width");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let cfg = RuntimeConfig::paper_testbed(1);
+        cfg.validate();
+        assert_eq!(cfg.servers, 10);
+        assert_eq!(cfg.costs.cores_per_server, 8);
+        assert_eq!(cfg.initial_threads_per_stage, 8);
+        assert_eq!(cfg.placement, PlacementPolicy::Random);
+    }
+
+    #[test]
+    fn single_server_overrides_count() {
+        let cfg = RuntimeConfig::single_server(1);
+        cfg.validate();
+        assert_eq!(cfg.servers, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! An Orleans-like distributed virtual-actor runtime on a simulated cluster.
+//!
+//! This crate is the substrate the paper's optimizations plug into. It
+//! reproduces the parts of Orleans that matter to ActOp:
+//!
+//! * **Virtual actors** — actors are identities ([`ActorId`]); the runtime
+//!   activates them on demand, places them by a pluggable
+//!   [`PlacementPolicy`], and migrates them transparently (deactivation +
+//!   opportunistic re-placement driven by per-server location caches,
+//!   §4.3).
+//! * **SEDA servers** — each server runs the paper's stage pipeline
+//!   (receiver → worker → server sender / client sender), every stage with
+//!   its own queue and reconfigurable thread pool, all threads sharing the
+//!   server's cores under processor sharing (Fig. 2/3).
+//! * **RPC vs LPC** — calls to remote actors pay serialization CPU on both
+//!   sides plus a network hop; local calls pay only an argument deep copy
+//!   (§2, §3).
+//! * **Join semantics** — an actor handles a request by replying directly
+//!   or by fanning calls out to other actors and replying once all
+//!   sub-replies arrive, which is exactly the call shape of the paper's
+//!   Halo Presence service.
+//! * **Measurement** — end-to-end request latency, remote-call latency,
+//!   per-stage latency breakdown (Fig. 4), remote/local message counts,
+//!   migration rates, and CPU utilization.
+//!
+//! Applications implement [`AppLogic`]; workload drivers inject client
+//! requests with [`Cluster::submit_client_request`] from scheduled engine
+//! events. The ActOp controllers (crate `actop-core`) run as periodic
+//! events against the hooks exposed here: [`Cluster::partition_view`],
+//! [`Cluster::apply_exchange`], [`Cluster::drain_stage_stats`], and
+//! [`Cluster::set_stage_threads`].
+
+pub mod app;
+pub mod cluster;
+pub mod config;
+pub mod ids;
+pub mod metrics;
+pub mod placement;
+pub(crate) mod proto;
+pub mod server;
+
+pub use app::{AppLogic, Call, Outcome, Reaction};
+pub use cluster::Cluster;
+pub use config::RuntimeConfig;
+pub use ids::{ActorId, RequestId, StageKind};
+pub use metrics::ClusterMetrics;
+pub use placement::PlacementPolicy;

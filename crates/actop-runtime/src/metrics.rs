@@ -1,0 +1,118 @@
+//! Cluster-wide measurement state.
+
+use actop_metrics::{BinnedSeries, Breakdown, LatencyHistogram};
+
+/// Everything the evaluation section measures, accumulated during a run.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    /// End-to-end client request latency (Fig. 10b, 10d, 11).
+    pub e2e_latency: LatencyHistogram,
+    /// Remote actor-to-actor call latency (Fig. 10c): from call issue to
+    /// reply processed, for calls that crossed servers.
+    pub remote_call_latency: LatencyHistogram,
+    /// Per-stage latency breakdown (Fig. 4), when enabled.
+    pub breakdown: Breakdown,
+    /// Actor-to-actor messages that crossed servers.
+    pub remote_messages: u64,
+    /// Actor-to-actor messages delivered locally.
+    pub local_messages: u64,
+    /// Messages re-routed because the target actor was not where the
+    /// sender expected (activation races, migrations, gateway hops).
+    pub forwarded_messages: u64,
+    /// Remote share over time: one sample per actor-to-actor message
+    /// (1 = remote, 0 = local), binned (Fig. 10a).
+    pub remote_share_series: BinnedSeries,
+    /// Actor migrations over time (Fig. 10a).
+    pub migration_series: BinnedSeries,
+    /// Total actor migrations.
+    pub migrations: u64,
+    /// Client requests submitted.
+    pub submitted: u64,
+    /// Client requests completed.
+    pub completed: u64,
+    /// Client requests rejected by overload shedding.
+    pub rejected: u64,
+    /// Client requests that timed out (responses lost to a failure).
+    pub timed_out: u64,
+    /// Responses that arrived for an already-abandoned join (their request
+    /// timed out or the join was lost to a crash).
+    pub stale_responses: u64,
+    /// Server failures injected.
+    pub server_failures: u64,
+}
+
+impl ClusterMetrics {
+    /// Creates empty metrics with the given time-series bin width.
+    pub fn new(series_bin_ns: u64) -> Self {
+        ClusterMetrics {
+            e2e_latency: LatencyHistogram::new(),
+            remote_call_latency: LatencyHistogram::new(),
+            breakdown: Breakdown::new(),
+            remote_messages: 0,
+            local_messages: 0,
+            forwarded_messages: 0,
+            remote_share_series: BinnedSeries::new(series_bin_ns),
+            migration_series: BinnedSeries::new(series_bin_ns),
+            migrations: 0,
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            timed_out: 0,
+            stale_responses: 0,
+            server_failures: 0,
+        }
+    }
+
+    /// Fraction of actor-to-actor messages that were remote.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.remote_messages + self.local_messages;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_messages as f64 / total as f64
+        }
+    }
+
+    /// Resets the latency/counter state but keeps the time series (used to
+    /// exclude warmup from steady-state measurements while still plotting
+    /// convergence from time zero).
+    pub fn reset_steady_state(&mut self) {
+        self.e2e_latency.clear();
+        self.remote_call_latency.clear();
+        self.breakdown = Breakdown::new();
+        self.remote_messages = 0;
+        self.local_messages = 0;
+        self.forwarded_messages = 0;
+        self.submitted = 0;
+        self.completed = 0;
+        self.rejected = 0;
+        self.timed_out = 0;
+        self.stale_responses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_fraction() {
+        let mut m = ClusterMetrics::new(1_000);
+        assert_eq!(m.remote_fraction(), 0.0);
+        m.remote_messages = 9;
+        m.local_messages = 1;
+        assert!((m.remote_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_keeps_series() {
+        let mut m = ClusterMetrics::new(1_000);
+        m.e2e_latency.record(5);
+        m.migration_series.mark(10);
+        m.submitted = 3;
+        m.reset_steady_state();
+        assert!(m.e2e_latency.is_empty());
+        assert_eq!(m.submitted, 0);
+        assert_eq!(m.migration_series.len(), 1, "series survives reset");
+    }
+}

@@ -1,0 +1,82 @@
+//! Placement policies for new actor activations (§3).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use actop_sim::DetRng;
+
+use crate::ids::ActorId;
+
+/// Where to activate an actor that has no current activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Uniform random server — Orleans' default: balanced, oblivious to
+    /// communication locality.
+    Random,
+    /// Hash of the actor identity — deterministic consistent-hash-style
+    /// placement, equally oblivious.
+    Hash,
+    /// The server that originated the first call — good when the callee is
+    /// exclusively used by its first caller, skewed otherwise (§3).
+    Local,
+}
+
+impl PlacementPolicy {
+    /// Chooses a server for a brand-new activation.
+    ///
+    /// `origin` is the server the triggering call came from (`None` for a
+    /// client request arriving from outside the cluster — those fall back
+    /// to random placement under `Local` too, as there is no hosting
+    /// server yet).
+    pub fn choose(
+        self,
+        actor: ActorId,
+        origin: Option<usize>,
+        servers: usize,
+        rng: &mut DetRng,
+    ) -> usize {
+        match self {
+            PlacementPolicy::Random => rng.below(servers),
+            PlacementPolicy::Hash => {
+                let mut hasher = DefaultHasher::new();
+                actor.hash(&mut hasher);
+                (hasher.finish() % servers as u64) as usize
+            }
+            PlacementPolicy::Local => origin.unwrap_or_else(|| rng.below(servers)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_covers_all_servers() {
+        let mut rng = DetRng::new(1);
+        let mut seen = [false; 4];
+        for i in 0..200 {
+            seen[PlacementPolicy::Random.choose(ActorId(i), None, 4, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let mut rng = DetRng::new(1);
+        let a = PlacementPolicy::Hash.choose(ActorId(42), None, 8, &mut rng);
+        let b = PlacementPolicy::Hash.choose(ActorId(42), Some(3), 8, &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_uses_origin_when_known() {
+        let mut rng = DetRng::new(1);
+        assert_eq!(
+            PlacementPolicy::Local.choose(ActorId(1), Some(5), 8, &mut rng),
+            5
+        );
+        let fallback = PlacementPolicy::Local.choose(ActorId(1), None, 8, &mut rng);
+        assert!(fallback < 8);
+    }
+}

@@ -1,0 +1,63 @@
+//! Stop-the-world pause model: tails inflate, medians survive.
+
+use actop_runtime::app::FixedCostApp;
+use actop_runtime::config::HiccupModel;
+use actop_runtime::{ActorId, Cluster, RuntimeConfig};
+use actop_sim::{DetRng, Engine, Nanos};
+
+fn run(hiccups: Option<HiccupModel>) -> (u64, u64, u64) {
+    let mut cfg = RuntimeConfig::single_server(9);
+    cfg.hiccups = hiccups;
+    let mut cluster = Cluster::new(
+        cfg,
+        Box::new(FixedCostApp {
+            cpu_ns: 50_000.0,
+            reply_bytes: 200,
+        }),
+    );
+    let mut engine: Engine<Cluster> = Engine::new();
+    cluster.install_hiccups(&mut engine, Nanos::from_secs(11));
+    let mut rng = DetRng::stream(9, 0x66);
+    for i in 0..20_000u64 {
+        let actor = ActorId(rng.below(500) as u64);
+        engine.schedule(Nanos::from_micros(i * 500), move |c: &mut Cluster, e| {
+            c.submit_client_request(e, actor, 0, 300);
+        });
+    }
+    engine.run(&mut cluster);
+    assert_eq!(cluster.metrics.completed, cluster.metrics.submitted);
+    (
+        cluster.metrics.e2e_latency.quantile(0.5),
+        cluster.metrics.e2e_latency.quantile(0.99),
+        cluster.metrics.e2e_latency.max(),
+    )
+}
+
+#[test]
+fn pauses_inflate_the_tail_not_the_median() {
+    let (p50_plain, p99_plain, _) = run(None);
+    let (p50_gc, p99_gc, max_gc) = run(Some(HiccupModel::dotnet_gc()));
+    // Median moves a little (drain backlogs), the tail moves a lot.
+    assert!(
+        p50_gc < 3 * p50_plain,
+        "median should survive pauses: {p50_plain} -> {p50_gc}"
+    );
+    assert!(
+        p99_gc > 3 * p99_plain,
+        "p99 should inflate: {p99_plain} -> {p99_gc}"
+    );
+    // The worst request ate most of a pause (pauses run 20-80 ms).
+    assert!(max_gc > 20_000_000, "max {max_gc} ns");
+    // The tail-to-median ratio enters the paper's regime (their baseline:
+    // 736 ms p99 over a 41 ms median, ~18x).
+    assert!(
+        p99_gc as f64 / p50_gc as f64 > 5.0,
+        "tail ratio {:.1}",
+        p99_gc as f64 / p50_gc as f64
+    );
+}
+
+#[test]
+fn hiccups_are_deterministic() {
+    assert_eq!(run(Some(HiccupModel::dotnet_gc())), run(Some(HiccupModel::dotnet_gc())));
+}

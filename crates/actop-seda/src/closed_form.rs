@@ -1,0 +1,503 @@
+//! Solvers for the latency-minimization problem (*).
+//!
+//! Theorem 2: when the system is feasible and `eta >= zeta`, the optimum of
+//! (*) is
+//!
+//! ```text
+//! t_i = lambda_i / s_i + sqrt(lambda_i / (lambda_tot * eta * s_i))
+//! ```
+//!
+//! When `eta < zeta` the CPU budget binds. The problem stays convex; the
+//! first-order (KKT) conditions give the same form with `eta` replaced by
+//! `eta + nu * beta_i` for the budget multiplier `nu >= 0`, and `nu` is
+//! found by bisection on the (monotone) budget residual. A
+//! projected-gradient solver is included as an independent cross-check used
+//! by the test suite and the solver-ablation bench.
+//!
+//! Real servers need whole threads: [`integerize`] converts the continuous
+//! optimum into an integer allocation with a deterministic local search
+//! that preserves stability and the CPU budget.
+
+use crate::model::{SedaError, SedaModel};
+
+/// Continuous thread allocation for a given budget multiplier `nu`.
+fn allocation_for_nu(model: &SedaModel, nu: f64) -> Vec<f64> {
+    let lambda_tot = model.lambda_tot();
+    model
+        .stages
+        .iter()
+        .map(|s| {
+            if s.lambda == 0.0 {
+                0.0
+            } else {
+                s.lambda / s.service_rate
+                    + (s.lambda / (lambda_tot * (model.eta + nu * s.beta) * s.service_rate)).sqrt()
+            }
+        })
+        .collect()
+}
+
+/// The continuous optimum of (*): Theorem 2's closed form when the CPU
+/// budget is slack (`eta >= zeta`), otherwise the KKT solution with the
+/// budget multiplier found by bisection.
+///
+/// # Errors
+///
+/// Returns [`SedaError::Infeasible`] when `sum_i lambda_i beta_i / s_i >= p`
+/// and [`SedaError::NoLoad`] when every stage has zero arrivals.
+pub fn continuous_allocation(model: &SedaModel) -> Result<Vec<f64>, SedaError> {
+    for stage in &model.stages {
+        stage.validate()?;
+    }
+    if !model.is_feasible() {
+        return Err(SedaError::Infeasible);
+    }
+    if model.lambda_tot() == 0.0 {
+        return Err(SedaError::NoLoad);
+    }
+    // Theorem 2 case: budget slack at nu = 0.
+    let unconstrained = allocation_for_nu(model, 0.0);
+    if model.allocation_cpu(&unconstrained) <= model.processors {
+        return Ok(unconstrained);
+    }
+    // Budget binds: bisect nu so that sum_i beta_i t_i(nu) = p. The budget
+    // usage is strictly decreasing in nu and tends to the inherent CPU
+    // demand (< p by feasibility) as nu -> infinity.
+    let mut lo = 0.0;
+    let mut hi = model.eta.max(1e-12);
+    while model.allocation_cpu(&allocation_for_nu(model, hi)) > model.processors {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "budget bisection diverged");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if model.allocation_cpu(&allocation_for_nu(model, mid)) > model.processors {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(allocation_for_nu(model, hi))
+}
+
+/// Projected-gradient solver for (*); an independent cross-check of
+/// [`continuous_allocation`]. Converges to the same optimum (the problem is
+/// convex) but much more slowly, which is exactly the paper's argument for
+/// deriving the closed form.
+pub fn gradient_allocation(model: &SedaModel, iterations: usize) -> Result<Vec<f64>, SedaError> {
+    if !model.is_feasible() {
+        return Err(SedaError::Infeasible);
+    }
+    let lambda_tot = model.lambda_tot();
+    if lambda_tot == 0.0 {
+        return Err(SedaError::NoLoad);
+    }
+    let n = model.stages.len();
+    // Stability lower bounds with a safety margin.
+    let lower: Vec<f64> = model
+        .stages
+        .iter()
+        .map(|s| {
+            if s.lambda == 0.0 {
+                0.0
+            } else {
+                s.lambda / s.service_rate * 1.000_001 + 1e-9
+            }
+        })
+        .collect();
+
+    // Start from a feasible interior point: spread the headroom evenly.
+    let headroom = model.processors - model.allocation_cpu(&lower);
+    let beta_sum: f64 = model.stages.iter().map(|s| s.beta).sum();
+    let mut t: Vec<f64> = lower
+        .iter()
+        .zip(&model.stages)
+        .map(|(&lb, _s)| lb + 0.5 * headroom / beta_sum.max(1e-12))
+        .collect();
+    project(model, &lower, &mut t);
+
+    for iter in 0..iterations {
+        let step = 1e-3 / (1.0 + iter as f64).sqrt();
+        let grad: Vec<f64> = model
+            .stages
+            .iter()
+            .zip(&t)
+            .map(|(s, &ti)| {
+                if s.lambda == 0.0 {
+                    model.eta
+                } else {
+                    let mu = ti * s.service_rate;
+                    -(s.lambda * s.service_rate) / (lambda_tot * (mu - s.lambda).powi(2))
+                        + model.eta
+                }
+            })
+            .collect();
+        // Normalized gradient step to make step sizes scale-free.
+        let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt().max(1e-12);
+        for i in 0..n {
+            t[i] -= step * grad[i] / norm * model.processors;
+        }
+        project(model, &lower, &mut t);
+    }
+    Ok(t)
+}
+
+/// Euclidean projection onto `{t : t >= lower, sum_i beta_i t_i <= p}`.
+fn project(model: &SedaModel, lower: &[f64], t: &mut [f64]) {
+    for (ti, &lb) in t.iter_mut().zip(lower) {
+        *ti = ti.max(lb);
+    }
+    if model.allocation_cpu(t) <= model.processors {
+        return;
+    }
+    // Water-filling: t_i' = max(lower_i, t_i - mu * beta_i) with mu chosen
+    // by bisection so the budget is met with equality.
+    let betas: Vec<f64> = model.stages.iter().map(|s| s.beta).collect();
+    let usage = |mu: f64, t: &[f64]| -> f64 {
+        t.iter()
+            .zip(lower)
+            .zip(&betas)
+            .map(|((&ti, &lb), &b)| (ti - mu * b).max(lb) * b)
+            .sum()
+    };
+    let mut lo = 0.0;
+    let mut hi = 1.0;
+    while usage(hi, t) > model.processors {
+        hi *= 2.0;
+        if hi > 1e18 {
+            break; // Lower bounds alone exceed the budget; nothing to do.
+        }
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if usage(mid, t) > model.processors {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    for ((ti, &lb), &b) in t.iter_mut().zip(lower).zip(&betas) {
+        *ti = (*ti - hi * b).max(lb);
+    }
+}
+
+/// Converts a continuous allocation into whole threads.
+///
+/// Starts from the rounded continuous optimum clamped to per-stage
+/// stability minima, restores the CPU budget by removing the threads whose
+/// loss hurts least, then hill-climbs with single-thread moves (add, drop,
+/// and shift between stages) until no move improves the objective. The
+/// search is deterministic.
+///
+/// # Errors
+///
+/// Returns [`SedaError::Infeasible`] when even the per-stage minimum
+/// allocation exceeds the CPU budget.
+pub fn integerize(model: &SedaModel, continuous: &[f64]) -> Result<Vec<usize>, SedaError> {
+    assert_eq!(continuous.len(), model.stages.len(), "allocation length");
+    let n = model.stages.len();
+    // Integer stability minima: smallest t with t * s > lambda, at least 1.
+    let minima: Vec<usize> = model
+        .stages
+        .iter()
+        .map(|s| {
+            let mut t = (s.lambda / s.service_rate).floor() as usize + 1;
+            if (t as f64) * s.service_rate <= s.lambda {
+                t += 1;
+            }
+            t.max(1)
+        })
+        .collect();
+    let as_f64 = |t: &[usize]| t.iter().map(|&x| x as f64).collect::<Vec<f64>>();
+    if model.allocation_cpu(&as_f64(&minima)) > model.processors + 1e-9 {
+        return Err(SedaError::Infeasible);
+    }
+
+    let mut t: Vec<usize> = continuous
+        .iter()
+        .zip(&minima)
+        .map(|(&c, &lb)| (c.round() as usize).max(lb))
+        .collect();
+
+    // Shed threads (cheapest first) until the budget holds.
+    while model.allocation_cpu(&as_f64(&t)) > model.processors + 1e-9 {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if t[i] <= minima[i] {
+                continue;
+            }
+            t[i] -= 1;
+            let obj = model.objective(&as_f64(&t)).unwrap_or(f64::INFINITY);
+            t[i] += 1;
+            if best.map_or(true, |(_, b)| obj < b) {
+                best = Some((i, obj));
+            }
+        }
+        match best {
+            Some((i, _)) => t[i] -= 1,
+            None => return Err(SedaError::Infeasible),
+        }
+    }
+
+    // Hill-climb: single-thread add/drop/shift moves.
+    let mut current = model
+        .objective(&as_f64(&t))
+        .expect("stable by construction");
+    loop {
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let consider = |cand: Vec<usize>, best: &mut Option<(Vec<usize>, f64)>| {
+            if model.allocation_cpu(&as_f64(&cand)) > model.processors + 1e-9 {
+                return;
+            }
+            if let Some(obj) = model.objective(&as_f64(&cand)) {
+                if obj < current - 1e-15 && best.as_ref().map_or(true, |(_, b)| obj < *b) {
+                    *best = Some((cand, obj));
+                }
+            }
+        };
+        for i in 0..n {
+            let mut add = t.clone();
+            add[i] += 1;
+            consider(add, &mut best);
+            if t[i] > minima[i] {
+                let mut drop = t.clone();
+                drop[i] -= 1;
+                consider(drop, &mut best);
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let mut shift = t.clone();
+                    shift[i] -= 1;
+                    shift[j] += 1;
+                    consider(shift, &mut best);
+                }
+            }
+        }
+        match best {
+            Some((cand, obj)) => {
+                t = cand;
+                current = obj;
+            }
+            None => break,
+        }
+    }
+    Ok(t)
+}
+
+/// End-to-end solve: continuous optimum (Theorem 2 / KKT) followed by
+/// integerization. This is what the runtime controller calls.
+pub fn allocate_threads(model: &SedaModel) -> Result<Vec<usize>, SedaError> {
+    let continuous = continuous_allocation(model)?;
+    integerize(model, &continuous)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StageParams, ETA_CALIBRATED};
+
+    fn model(stages: Vec<StageParams>, p: usize, eta: f64) -> SedaModel {
+        SedaModel::new(stages, p, eta).expect("valid model")
+    }
+
+    #[test]
+    fn theorem2_formula_when_budget_slack() {
+        let m = model(
+            vec![
+                StageParams::cpu_bound(1000.0, 4000.0),
+                StageParams::cpu_bound(2000.0, 5000.0),
+            ],
+            16,
+            ETA_CALIBRATED,
+        );
+        assert!(m.eta >= m.zeta(), "test intends the slack-budget case");
+        let t = continuous_allocation(&m).unwrap();
+        let lambda_tot = m.lambda_tot();
+        for (i, s) in m.stages.iter().enumerate() {
+            let expect = s.lambda / s.service_rate
+                + (s.lambda / (lambda_tot * m.eta * s.service_rate)).sqrt();
+            assert!(
+                (t[i] - expect).abs() < 1e-12,
+                "stage {i}: got {} expect {expect}",
+                t[i]
+            );
+        }
+    }
+
+    #[test]
+    fn kkt_case_meets_budget_exactly() {
+        // Tiny eta forces enormous unconstrained allocations, so the CPU
+        // budget must bind.
+        let m = model(
+            vec![
+                StageParams::cpu_bound(1000.0, 2000.0),
+                StageParams::cpu_bound(1500.0, 2500.0),
+            ],
+            4,
+            1e-9,
+        );
+        assert!(m.eta < m.zeta());
+        let t = continuous_allocation(&m).unwrap();
+        let used = m.allocation_cpu(&t);
+        assert!(
+            (used - m.processors).abs() < 1e-6,
+            "budget should bind: used {used} of {}",
+            m.processors
+        );
+        assert!(m.is_valid_allocation(&t));
+    }
+
+    #[test]
+    fn infeasible_model_is_rejected() {
+        let m = model(vec![StageParams::cpu_bound(10_000.0, 1000.0)], 4, 1e-4);
+        assert_eq!(continuous_allocation(&m), Err(SedaError::Infeasible));
+        assert_eq!(allocate_threads(&m), Err(SedaError::Infeasible));
+    }
+
+    #[test]
+    fn no_load_is_rejected() {
+        let m = model(vec![StageParams::cpu_bound(0.0, 1000.0)], 4, 1e-4);
+        assert_eq!(continuous_allocation(&m), Err(SedaError::NoLoad));
+    }
+
+    #[test]
+    fn gradient_agrees_with_closed_form() {
+        let m = model(
+            vec![
+                StageParams::cpu_bound(800.0, 3000.0),
+                StageParams::cpu_bound(1200.0, 2500.0),
+                StageParams {
+                    lambda: 400.0,
+                    service_rate: 900.0,
+                    beta: 0.4,
+                },
+            ],
+            8,
+            ETA_CALIBRATED,
+        );
+        let closed = continuous_allocation(&m).unwrap();
+        let grad = gradient_allocation(&m, 20_000).unwrap();
+        let obj_closed = m.objective(&closed).unwrap();
+        let obj_grad = m.objective(&grad).unwrap();
+        assert!(
+            obj_grad >= obj_closed - 1e-9,
+            "closed form should be optimal: {obj_closed} vs {obj_grad}"
+        );
+        assert!(
+            (obj_grad - obj_closed) / obj_closed < 0.02,
+            "gradient should approach the optimum: {obj_closed} vs {obj_grad}"
+        );
+    }
+
+    #[test]
+    fn gradient_agrees_in_kkt_case() {
+        let m = model(
+            vec![
+                StageParams::cpu_bound(1000.0, 2000.0),
+                StageParams::cpu_bound(1500.0, 2500.0),
+            ],
+            4,
+            1e-9,
+        );
+        let closed = continuous_allocation(&m).unwrap();
+        let grad = gradient_allocation(&m, 20_000).unwrap();
+        let obj_closed = m.objective(&closed).unwrap();
+        let obj_grad = m.objective(&grad).unwrap();
+        assert!((obj_grad - obj_closed).abs() / obj_closed < 0.05);
+    }
+
+    #[test]
+    fn integer_allocation_is_valid_and_near_brute_force() {
+        let m = model(
+            vec![
+                StageParams::cpu_bound(900.0, 1000.0),
+                StageParams::cpu_bound(400.0, 800.0),
+                StageParams::cpu_bound(900.0, 1500.0),
+            ],
+            8,
+            ETA_CALIBRATED,
+        );
+        let t = allocate_threads(&m).unwrap();
+        let t_f: Vec<f64> = t.iter().map(|&x| x as f64).collect();
+        assert!(m.is_valid_allocation(&t_f), "allocation {t:?}");
+        let ours = m.objective(&t_f).unwrap();
+
+        // Brute force over all integer allocations within the budget.
+        let mut best = f64::INFINITY;
+        for a in 1..=8usize {
+            for b in 1..=8usize {
+                for c in 1..=8usize {
+                    let cand = [a as f64, b as f64, c as f64];
+                    if m.allocation_cpu(&cand) > m.processors {
+                        continue;
+                    }
+                    if let Some(obj) = m.objective(&cand) {
+                        best = best.min(obj);
+                    }
+                }
+            }
+        }
+        assert!(
+            ours <= best * 1.001,
+            "local search {ours} vs brute force {best}"
+        );
+    }
+
+    #[test]
+    fn higher_eta_allocates_fewer_threads() {
+        let stages = vec![
+            StageParams::cpu_bound(500.0, 2000.0),
+            StageParams::cpu_bound(700.0, 2500.0),
+        ];
+        let lean = continuous_allocation(&model(stages.clone(), 8, 1e-3)).unwrap();
+        let rich = continuous_allocation(&model(stages, 8, 1e-5)).unwrap();
+        let total_lean: f64 = lean.iter().sum();
+        let total_rich: f64 = rich.iter().sum();
+        assert!(total_lean < total_rich);
+    }
+
+    #[test]
+    fn blocking_stage_gets_more_threads_same_cpu() {
+        // Two stages with equal lambda and compute time x, but one waits on
+        // synchronous calls (w > 0): the blocking stage must get more
+        // threads (the paper's §5.2 requirement).
+        let x = 1.0 / 2000.0; // 0.5 ms of compute.
+        let w = 3.0 * x; // 1.5 ms of blocking wait.
+        let compute_only = StageParams::cpu_bound(1000.0, 1.0 / x);
+        let blocking = StageParams {
+            lambda: 1000.0,
+            service_rate: 1.0 / (x + w),
+            beta: x / (x + w),
+        };
+        let m = model(vec![compute_only, blocking], 8, ETA_CALIBRATED);
+        let t = allocate_threads(&m).unwrap();
+        assert!(
+            t[1] > t[0],
+            "blocking stage should get more threads: {t:?}"
+        );
+    }
+
+    #[test]
+    fn integerize_respects_stability_minimum() {
+        // lambda/s = 2.999...: needs at least 3 threads.
+        let m = model(vec![StageParams::cpu_bound(2999.0, 1000.0)], 8, 1e-4);
+        let t = allocate_threads(&m).unwrap();
+        assert!(t[0] >= 3);
+        assert!(t[0] as f64 * 1000.0 > 2999.0);
+    }
+
+    #[test]
+    fn zero_lambda_stage_gets_one_thread() {
+        let m = model(
+            vec![
+                StageParams::cpu_bound(1000.0, 2000.0),
+                StageParams::cpu_bound(0.0, 2000.0),
+            ],
+            8,
+            ETA_CALIBRATED,
+        );
+        let t = allocate_threads(&m).unwrap();
+        assert_eq!(t[1], 1, "idle stage keeps its minimum thread: {t:?}");
+    }
+}

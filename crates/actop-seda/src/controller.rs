@@ -1,0 +1,201 @@
+//! Thread-allocation controllers.
+//!
+//! Two controllers, matching the paper's comparison in §5.1:
+//!
+//! * [`QueueLengthController`] — the Welsh-style threshold heuristic the
+//!   paper argues against: sample each stage's queue length; above `Th`
+//!   add a thread, below `Tl` remove one. Prone to oscillation because the
+//!   M/M/1 queue length responds extremely non-linearly to capacity.
+//! * [`ModelDrivenController`] — ActOp's approach: estimate the queuing
+//!   model online and re-solve problem (*) for all stages jointly.
+
+use crate::closed_form::allocate_threads;
+use crate::estimator::ParamEstimator;
+use crate::model::{SedaError, SedaModel, StageParams};
+
+/// The queue-length threshold controller (baseline, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueLengthController {
+    /// Add a thread to any stage whose sampled queue exceeds this.
+    pub high_watermark: usize,
+    /// Remove a thread from any stage whose sampled queue is below this.
+    pub low_watermark: usize,
+    /// Lower bound per stage (the paper's controller never goes below one
+    /// thread).
+    pub min_threads: usize,
+    /// Upper bound per stage.
+    pub max_threads: usize,
+}
+
+impl QueueLengthController {
+    /// The configuration used in Fig. 7: `Th = 100`, `Tl = 10`.
+    pub fn paper_config() -> Self {
+        QueueLengthController {
+            high_watermark: 100,
+            low_watermark: 10,
+            min_threads: 1,
+            max_threads: 64,
+        }
+    }
+
+    /// One control step: given sampled queue lengths and the current
+    /// allocation, returns the new allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn step(&self, queue_lengths: &[usize], current: &[usize]) -> Vec<usize> {
+        assert_eq!(queue_lengths.len(), current.len(), "stage count mismatch");
+        queue_lengths
+            .iter()
+            .zip(current)
+            .map(|(&q, &t)| {
+                if q > self.high_watermark {
+                    (t + 1).min(self.max_threads)
+                } else if q < self.low_watermark {
+                    t.saturating_sub(1).max(self.min_threads)
+                } else {
+                    t
+                }
+            })
+            .collect()
+    }
+}
+
+/// ActOp's model-driven controller: solve (*) for all stages jointly.
+#[derive(Debug, Clone)]
+pub struct ModelDrivenController {
+    /// Thread-count penalty `eta` (seconds per thread).
+    pub eta: f64,
+    /// Processor count `p` of the server.
+    pub processors: usize,
+}
+
+impl ModelDrivenController {
+    /// Creates a controller with the given penalty and processor count.
+    pub fn new(eta: f64, processors: usize) -> Self {
+        ModelDrivenController { eta, processors }
+    }
+
+    /// Computes the latency-optimal integer allocation for the estimated
+    /// stage parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SedaError::Infeasible`] when the measured load cannot be
+    /// stabilized with the available processors — the caller should keep the
+    /// previous allocation (the server is saturated and sheds load).
+    pub fn allocate(&self, stages: &[StageParams]) -> Result<Vec<usize>, SedaError> {
+        let model = SedaModel::new(stages.to_vec(), self.processors, self.eta)?;
+        allocate_threads(&model)
+    }
+
+    /// Convenience: allocate directly from an estimator, returning `None`
+    /// while the estimator lacks data or the load is infeasible.
+    pub fn allocate_from(&self, estimator: &ParamEstimator) -> Option<Vec<usize>> {
+        let stages = estimator.estimate()?;
+        // Stages with zero estimated arrivals are legal; the solver pins
+        // them at one thread.
+        self.allocate(&stages).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{StageKind, StageObservation};
+    use crate::model::ETA_CALIBRATED;
+
+    #[test]
+    fn queue_controller_moves_one_thread_at_a_time() {
+        let c = QueueLengthController::paper_config();
+        let next = c.step(&[500, 50, 3], &[4, 4, 4]);
+        assert_eq!(next, vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn queue_controller_respects_bounds() {
+        let c = QueueLengthController {
+            high_watermark: 10,
+            low_watermark: 5,
+            min_threads: 1,
+            max_threads: 6,
+        };
+        assert_eq!(c.step(&[1000], &[6]), vec![6], "capped at max");
+        assert_eq!(c.step(&[0], &[1]), vec![1], "floored at min");
+    }
+
+    #[test]
+    fn queue_controller_oscillates_on_nonlinear_plant() {
+        // A single M/M/1 stage at rho near 1: with t threads the queue is
+        // long, with t+1 threads it is nearly empty. The controller must
+        // bounce between the two forever — the Fig. 7 pathology in
+        // miniature.
+        let c = QueueLengthController::paper_config();
+        let lambda = 995.0;
+        let s = 500.0; // Per-thread rate: needs just under 2 threads.
+        let queue_for = |threads: usize| -> usize {
+            crate::model::mm1_queue_len(lambda, threads as f64 * s)
+                .map(|q| q.round() as usize)
+                .unwrap_or(10_000)
+        };
+        let mut t = 2; // rho = 0.995 -> queue ~199, above Th = 100.
+        let mut seen = Vec::new();
+        for _ in 0..20 {
+            let q = queue_for(t);
+            t = c.step(&[q], &[t])[0];
+            seen.push(t);
+        }
+        let min = *seen.iter().min().unwrap();
+        let max = *seen.iter().max().unwrap();
+        assert!(max > min, "controller should oscillate, got steady {min}");
+        // And it never settles: the last few samples still differ.
+        let tail = &seen[seen.len() - 4..];
+        assert!(tail.iter().any(|&x| x != tail[0]));
+    }
+
+    #[test]
+    fn model_controller_allocates_jointly() {
+        let c = ModelDrivenController::new(ETA_CALIBRATED, 8);
+        let stages = vec![
+            StageParams::cpu_bound(3000.0, 2000.0), // Needs ~1.5 cores.
+            StageParams::cpu_bound(1000.0, 2000.0),
+            StageParams::cpu_bound(500.0, 4000.0),
+        ];
+        let t = c.allocate(&stages).unwrap();
+        assert_eq!(t.len(), 3);
+        // The heavy stage gets the most threads.
+        assert!(t[0] >= t[1] && t[1] >= t[2], "allocation {t:?}");
+        // Valid under the model.
+        let m = SedaModel::new(stages, 8, ETA_CALIBRATED).unwrap();
+        let t_f: Vec<f64> = t.iter().map(|&x| x as f64).collect();
+        assert!(m.is_valid_allocation(&t_f));
+    }
+
+    #[test]
+    fn model_controller_propagates_infeasibility() {
+        let c = ModelDrivenController::new(ETA_CALIBRATED, 2);
+        let stages = vec![StageParams::cpu_bound(10_000.0, 1000.0)];
+        assert_eq!(c.allocate(&stages), Err(SedaError::Infeasible));
+    }
+
+    #[test]
+    fn allocate_from_estimator_waits_for_data() {
+        let c = ModelDrivenController::new(ETA_CALIBRATED, 8);
+        let mut est = ParamEstimator::new(vec![StageKind { blocking: false }], 1.0);
+        assert_eq!(c.allocate_from(&est), None);
+        est.observe(
+            0,
+            StageObservation {
+                arrivals: 1000,
+                completions: 1000,
+                window_secs: 1.0,
+                sum_wallclock_secs: 1.0,
+                sum_cpu_secs: 1.0,
+            },
+        );
+        let t = c.allocate_from(&est).expect("has data now");
+        assert_eq!(t.len(), 1);
+        assert!(t[0] >= 2, "lambda 1000 at s 1000 needs > 1 thread: {t:?}");
+    }
+}

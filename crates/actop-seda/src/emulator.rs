@@ -1,0 +1,446 @@
+//! The standalone multi-stage SEDA emulator (Fig. 7).
+//!
+//! The paper builds a six-stage SEDA emulator to show that a queue-length
+//! threshold controller oscillates: queues sit empty until a stage nears
+//! saturation, then explode; adding a thread flips the bottleneck to another
+//! stage and the allocations never settle. This module reproduces that
+//! emulator: a linear pipeline of stages, Poisson arrivals, exponential
+//! per-thread service, a pluggable controller sampled on a fixed interval,
+//! and per-sample traces of queue lengths and thread counts.
+
+use actop_metrics::LatencyHistogram;
+use actop_sim::{DetRng, Engine, Nanos, StagePool};
+
+use crate::controller::{ModelDrivenController, QueueLengthController};
+use crate::estimator::{ParamEstimator, StageKind, StageObservation};
+
+/// Configuration of one emulated stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmuStageConfig {
+    /// Per-thread service rate, events per second.
+    pub service_rate: f64,
+    /// Threads at start.
+    pub initial_threads: usize,
+}
+
+/// Which controller adjusts the thread allocation during the run.
+#[derive(Debug, Clone)]
+pub enum EmuController {
+    /// Fixed allocation for the whole run.
+    Fixed,
+    /// The queue-length threshold heuristic (the Fig. 7 baseline).
+    QueueLength(QueueLengthController),
+    /// ActOp's model-driven allocator.
+    ModelDriven(ModelDrivenController),
+}
+
+/// Emulator run configuration.
+#[derive(Debug, Clone)]
+pub struct EmulatorConfig {
+    /// The pipeline stages, in order.
+    pub stages: Vec<EmuStageConfig>,
+    /// Poisson arrival rate into the first stage, events per second.
+    pub arrival_rate: f64,
+    /// Total simulated duration in seconds.
+    pub duration_secs: f64,
+    /// Controller sampling interval in seconds (the paper samples every
+    /// 30 s).
+    pub control_interval_secs: f64,
+    /// The controller under test.
+    pub controller: EmuController,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl EmulatorConfig {
+    /// The paper's Fig. 7 setup: six stages, queue-length controller with
+    /// `Th = 100`, `Tl = 10`, sampled every 30 seconds.
+    ///
+    /// Stage rates are chosen so several stages are near saturation at the
+    /// given arrival rate, which is what makes the controller oscillate.
+    pub fn fig7(arrival_rate: f64, seed: u64) -> Self {
+        let rates = [
+            arrival_rate / 2.6,
+            arrival_rate / 2.4,
+            arrival_rate / 2.8,
+            arrival_rate / 2.5,
+            arrival_rate / 2.7,
+            arrival_rate / 2.3,
+        ];
+        EmulatorConfig {
+            stages: rates
+                .iter()
+                .map(|&service_rate| EmuStageConfig {
+                    service_rate,
+                    initial_threads: 3,
+                })
+                .collect(),
+            arrival_rate,
+            duration_secs: 450.0,
+            control_interval_secs: 30.0,
+            controller: EmuController::QueueLength(QueueLengthController::paper_config()),
+            seed,
+        }
+    }
+}
+
+/// One controller sample for one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample time in seconds.
+    pub at_secs: f64,
+    /// Queue length at the sample.
+    pub queue_len: usize,
+    /// Thread allocation after the controller acted.
+    pub threads: usize,
+}
+
+/// Result of an emulator run.
+#[derive(Debug)]
+pub struct EmulatorResult {
+    /// Per-stage traces of `(time, queue length, threads)` samples.
+    pub traces: Vec<Vec<Sample>>,
+    /// End-to-end pipeline latency of completed events, nanoseconds.
+    pub latency: LatencyHistogram,
+    /// Events that left the pipeline.
+    pub completed: u64,
+    /// Events that entered the pipeline.
+    pub arrived: u64,
+}
+
+impl EmulatorResult {
+    /// Peak-to-trough thread swing per stage — an oscillation measure used
+    /// by the Fig. 7 bench (steady controllers have swing 0 after warmup).
+    pub fn thread_swing(&self, warmup_samples: usize) -> Vec<usize> {
+        self.traces
+            .iter()
+            .map(|trace| {
+                let tail: Vec<usize> = trace
+                    .iter()
+                    .skip(warmup_samples)
+                    .map(|s| s.threads)
+                    .collect();
+                match (tail.iter().max(), tail.iter().min()) {
+                    (Some(&max), Some(&min)) => max - min,
+                    _ => 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of controller samples whose queue exceeded `threshold`, per
+    /// stage.
+    pub fn queue_spikes(&self, threshold: usize) -> Vec<usize> {
+        self.traces
+            .iter()
+            .map(|t| t.iter().filter(|s| s.queue_len > threshold).count())
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    created: Nanos,
+}
+
+struct EmuWorld {
+    stages: Vec<StagePool<Job>>,
+    service_rates: Vec<f64>,
+    rng: DetRng,
+    arrival_rate: f64,
+    end: Nanos,
+    latency: LatencyHistogram,
+    completed: u64,
+    arrived: u64,
+    controller: EmuController,
+    estimator: ParamEstimator,
+    /// Per-stage service-time sums for the current controller window.
+    win_service_secs: Vec<f64>,
+    win_completions: Vec<u64>,
+    traces: Vec<Vec<Sample>>,
+}
+
+fn service_time(world: &mut EmuWorld, stage: usize) -> Nanos {
+    let mean = 1.0 / world.service_rates[stage];
+    Nanos::from_secs_f64(world.rng.exp(mean))
+}
+
+/// Starts as many queued jobs as the stage's free threads allow.
+fn dispatch(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>, stage: usize) {
+    let now = engine.now();
+    while let Some((job, _wait)) = world.stages[stage].try_start(now) {
+        let dur = service_time(world, stage);
+        engine.schedule_after(dur, move |w: &mut EmuWorld, eng| {
+            complete(w, eng, stage, job, dur);
+        });
+    }
+}
+
+fn complete(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>, stage: usize, job: Job, dur: Nanos) {
+    let now = engine.now();
+    world.stages[stage].finish(now);
+    world.win_service_secs[stage] += dur.as_secs_f64();
+    world.win_completions[stage] += 1;
+    let next = stage + 1;
+    if next < world.stages.len() {
+        world.stages[next].push(now, job);
+        dispatch(world, engine, next);
+    } else {
+        world.completed += 1;
+        world
+            .latency
+            .record((now - job.created).as_nanos());
+    }
+    dispatch(world, engine, stage);
+}
+
+fn arrival(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>) {
+    let now = engine.now();
+    world.arrived += 1;
+    world.stages[0].push(now, Job { created: now });
+    dispatch(world, engine, 0);
+    let gap = Nanos::from_secs_f64(world.rng.exp(1.0 / world.arrival_rate));
+    if now + gap < world.end {
+        engine.schedule_after(gap, arrival);
+    }
+}
+
+fn control_tick(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>, interval: Nanos) {
+    let now = engine.now();
+    let queue_lens: Vec<usize> = world.stages.iter().map(StagePool::queue_len).collect();
+    let current: Vec<usize> = world.stages.iter().map(StagePool::threads).collect();
+
+    let next_alloc = match &world.controller {
+        EmuController::Fixed => current.clone(),
+        EmuController::QueueLength(c) => c.step(&queue_lens, &current),
+        EmuController::ModelDriven(c) => {
+            // Feed this window's observations, then re-solve.
+            for i in 0..world.stages.len() {
+                let stats = world.stages[i].drain_stats(now);
+                let completions = world.win_completions[i];
+                world.estimator.observe(
+                    i,
+                    StageObservation {
+                        arrivals: stats.arrivals,
+                        completions,
+                        window_secs: stats.window.as_secs_f64().max(1e-9),
+                        sum_wallclock_secs: world.win_service_secs[i],
+                        sum_cpu_secs: world.win_service_secs[i],
+                    },
+                );
+            }
+            c.allocate_from(&world.estimator).unwrap_or(current.clone())
+        }
+    };
+    world.win_service_secs.iter_mut().for_each(|v| *v = 0.0);
+    world.win_completions.iter_mut().for_each(|v| *v = 0);
+
+    for (i, (&threads, trace)) in next_alloc.iter().zip(world.traces.iter_mut()).enumerate() {
+        world.stages[i].set_threads(now, threads);
+        trace.push(Sample {
+            at_secs: now.as_secs_f64(),
+            queue_len: queue_lens[i],
+            threads,
+        });
+    }
+    // New threads may unblock queued work immediately.
+    for i in 0..world.stages.len() {
+        dispatch(world, engine, i);
+    }
+    if now + interval < world.end {
+        engine.schedule_after(interval, move |w: &mut EmuWorld, eng| {
+            control_tick(w, eng, interval);
+        });
+    }
+}
+
+/// Runs the emulator to completion and returns the traces.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no stages, non-positive
+/// rates or durations).
+pub fn run_emulator(config: &EmulatorConfig) -> EmulatorResult {
+    assert!(!config.stages.is_empty(), "emulator needs stages");
+    assert!(config.arrival_rate > 0.0, "arrival rate must be positive");
+    assert!(config.duration_secs > 0.0, "duration must be positive");
+    assert!(
+        config.control_interval_secs > 0.0,
+        "control interval must be positive"
+    );
+    let n = config.stages.len();
+    let mut world = EmuWorld {
+        stages: config
+            .stages
+            .iter()
+            .map(|s| StagePool::new("emu", s.initial_threads))
+            .collect(),
+        service_rates: config.stages.iter().map(|s| s.service_rate).collect(),
+        rng: DetRng::stream(config.seed, 0xE5),
+        arrival_rate: config.arrival_rate,
+        end: Nanos::from_secs_f64(config.duration_secs),
+        latency: LatencyHistogram::new(),
+        completed: 0,
+        arrived: 0,
+        controller: config.controller.clone(),
+        estimator: ParamEstimator::new(vec![StageKind { blocking: false }; n], 0.5),
+        win_service_secs: vec![0.0; n],
+        win_completions: vec![0; n],
+        traces: vec![Vec::new(); n],
+    };
+    let mut engine: Engine<EmuWorld> = Engine::new();
+    let interval = Nanos::from_secs_f64(config.control_interval_secs);
+    engine.schedule(Nanos::ZERO, arrival);
+    engine.schedule(interval, move |w: &mut EmuWorld, eng| {
+        control_tick(w, eng, interval);
+    });
+    let end = world.end;
+    engine.run_until(&mut world, end);
+    EmulatorResult {
+        traces: world.traces,
+        latency: world.latency,
+        completed: world.completed,
+        arrived: world.arrived,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ETA_CALIBRATED;
+
+    fn short_config(controller: EmuController) -> EmulatorConfig {
+        EmulatorConfig {
+            stages: vec![
+                EmuStageConfig {
+                    service_rate: 400.0,
+                    initial_threads: 3,
+                },
+                EmuStageConfig {
+                    service_rate: 450.0,
+                    initial_threads: 3,
+                },
+                EmuStageConfig {
+                    service_rate: 380.0,
+                    initial_threads: 3,
+                },
+            ],
+            arrival_rate: 1000.0,
+            duration_secs: 120.0,
+            control_interval_secs: 5.0,
+            controller,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn fixed_run_completes_events() {
+        let result = run_emulator(&short_config(EmuController::Fixed));
+        assert!(result.arrived > 100_000, "arrived {}", result.arrived);
+        assert!(result.completed > 0);
+        assert!(result.completed <= result.arrived);
+        assert!(result.latency.count() == result.completed);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_emulator(&short_config(EmuController::Fixed));
+        let b = run_emulator(&short_config(EmuController::Fixed));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency.quantile(0.99), b.latency.quantile(0.99));
+    }
+
+    #[test]
+    fn traces_are_recorded_per_interval() {
+        let result = run_emulator(&short_config(EmuController::Fixed));
+        assert_eq!(result.traces.len(), 3);
+        // 120 s at 5 s interval: samples at 5..115 -> 23 samples.
+        assert_eq!(result.traces[0].len(), 23);
+        assert!(result.traces[0][0].at_secs > 4.9);
+    }
+
+    #[test]
+    fn queue_controller_oscillates_model_driven_settles() {
+        // Under-provisioned start: the queue controller chases the moving
+        // bottleneck; the model-driven controller computes one joint
+        // allocation and sticks close to it.
+        let queue = run_emulator(&short_config(EmuController::QueueLength(
+            QueueLengthController::paper_config(),
+        )));
+        let model = run_emulator(&short_config(EmuController::ModelDriven(
+            ModelDrivenController::new(ETA_CALIBRATED, 64),
+        )));
+        let queue_swing: usize = queue.thread_swing(6).iter().sum();
+        let model_swing: usize = model.thread_swing(6).iter().sum();
+        assert!(
+            model_swing < queue_swing,
+            "model-driven should be steadier: {model_swing} vs {queue_swing}"
+        );
+        // And it should actually keep up with the load.
+        assert!(model.completed as f64 > 0.9 * model.arrived as f64);
+    }
+
+    #[test]
+    fn model_driven_achieves_lower_latency_than_undersized_fixed() {
+        let fixed = run_emulator(&short_config(EmuController::Fixed));
+        let model = run_emulator(&short_config(EmuController::ModelDriven(
+            ModelDrivenController::new(ETA_CALIBRATED, 64),
+        )));
+        assert!(
+            model.latency.quantile(0.99) < fixed.latency.quantile(0.99),
+            "model p99 {} vs fixed p99 {}",
+            model.latency.quantile(0.99),
+            fixed.latency.quantile(0.99)
+        );
+    }
+
+    #[test]
+    fn emulator_matches_jackson_product_form() {
+        // The emulator *is* a Jackson network (Poisson arrivals,
+        // exponential service, probabilistic-free tandem routing), so its
+        // measured mean pipeline latency must match the sum of per-stage
+        // M/M/c sojourn times. This validates both the emulator and the
+        // paper's Eq. 1 modeling choice.
+        let lambda = 800.0;
+        let config = EmulatorConfig {
+            stages: vec![
+                EmuStageConfig {
+                    service_rate: 500.0,
+                    initial_threads: 3,
+                },
+                EmuStageConfig {
+                    service_rate: 300.0,
+                    initial_threads: 4,
+                },
+                EmuStageConfig {
+                    service_rate: 1_000.0,
+                    initial_threads: 2,
+                },
+            ],
+            arrival_rate: lambda,
+            duration_secs: 300.0,
+            control_interval_secs: 60.0,
+            controller: EmuController::Fixed,
+            seed: 123,
+        };
+        let result = run_emulator(&config);
+        let measured = result.latency.mean() / 1e9;
+        let analytic: f64 = [(500.0, 3), (300.0, 4), (1_000.0, 2)]
+            .iter()
+            .map(|&(s, c)| crate::model::mmc_latency(lambda, s, c).expect("stable"))
+            .sum();
+        let err = (measured - analytic).abs() / analytic;
+        assert!(
+            err < 0.05,
+            "measured {measured:.6}s vs analytic {analytic:.6}s (err {err:.3})"
+        );
+    }
+
+    #[test]
+    fn fig7_config_shape() {
+        let cfg = EmulatorConfig::fig7(1000.0, 7);
+        assert_eq!(cfg.stages.len(), 6);
+        assert!(matches!(cfg.controller, EmuController::QueueLength(_)));
+        assert_eq!(cfg.control_interval_secs, 30.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Online estimation of the queuing-model parameters (§5.4).
+//!
+//! The solver needs, per stage: the arrival rate `lambda_i`, the per-thread
+//! service rate `s_i = 1 / (x_i + w_i)` and the CPU fraction
+//! `beta_i = x_i / (x_i + w_i)`. Only the wallclock time `z_i` and the CPU
+//! time `x_i` of event processing are measurable; the OS ready time `r_i`
+//! and the synchronous-blocking time `w_i` are not (`z = x + w + r`).
+//!
+//! The paper's scheme: assume the ready-to-compute ratio `alpha = r_i / x_i`
+//! is the same for every stage (true under fair OS scheduling — and true by
+//! construction under our processor-sharing CPU model). Estimate `alpha`
+//! from the stages known to perform no blocking calls (`w = 0`, so
+//! `r = z - x`), then for every blocking stage take `r_j = alpha * x_j`,
+//! `s_j = 1 / (z_j - r_j)` and `beta_j = x_j / (z_j - r_j)`.
+
+use actop_metrics::Ewma;
+
+use crate::model::StageParams;
+
+/// One observation window for a single stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageObservation {
+    /// Events that arrived during the window.
+    pub arrivals: u64,
+    /// Events fully processed during the window.
+    pub completions: u64,
+    /// Window length in seconds.
+    pub window_secs: f64,
+    /// Sum of per-event wallclock processing time `z`, in seconds.
+    pub sum_wallclock_secs: f64,
+    /// Sum of per-event CPU time `x`, in seconds.
+    pub sum_cpu_secs: f64,
+}
+
+/// Per-stage static configuration for the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageKind {
+    /// Whether this stage may block on synchronous calls (`w > 0`). Stages
+    /// with `blocking == false` form the set `S0` used to estimate `alpha`.
+    pub blocking: bool,
+}
+
+/// Estimates `lambda_i`, `s_i`, `beta_i` for every stage from a stream of
+/// windowed observations.
+#[derive(Debug, Clone)]
+pub struct ParamEstimator {
+    kinds: Vec<StageKind>,
+    lambda: Vec<Ewma>,
+    z: Vec<Ewma>,
+    x: Vec<Ewma>,
+}
+
+impl ParamEstimator {
+    /// Creates an estimator for the given stage kinds with EWMA smoothing
+    /// factor `alpha_smoothing`.
+    pub fn new(kinds: Vec<StageKind>, alpha_smoothing: f64) -> Self {
+        let n = kinds.len();
+        ParamEstimator {
+            kinds,
+            lambda: vec![Ewma::new(alpha_smoothing); n],
+            z: vec![Ewma::new(alpha_smoothing); n],
+            x: vec![Ewma::new(alpha_smoothing); n],
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Feeds one window of observations for stage `idx`.
+    ///
+    /// Windows with no completions update only the arrival rate (there is
+    /// no service-time information in them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or the window length is not positive.
+    pub fn observe(&mut self, idx: usize, obs: StageObservation) {
+        assert!(obs.window_secs > 0.0, "window must be positive");
+        self.lambda[idx].observe(obs.arrivals as f64 / obs.window_secs);
+        if obs.completions > 0 {
+            let z = obs.sum_wallclock_secs / obs.completions as f64;
+            let x = obs.sum_cpu_secs / obs.completions as f64;
+            // Wallclock can never be shorter than CPU time; guard against
+            // measurement noise.
+            self.z[idx].observe(z.max(x));
+            self.x[idx].observe(x.max(1e-12));
+        }
+    }
+
+    /// The estimated ready-time ratio `alpha`, from the non-blocking stages
+    /// that have data. `None` until at least one such stage has been
+    /// observed.
+    pub fn alpha(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if kind.blocking {
+                continue;
+            }
+            let (Some(z), Some(x)) = (self.z[i].value(), self.x[i].value()) else {
+                continue;
+            };
+            sum += (z - x) / x;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some((sum / n as f64).max(0.0))
+        }
+    }
+
+    /// Current per-stage parameter estimates, or `None` while a *loaded*
+    /// stage still lacks service-time data. A stage that has never
+    /// completed an event **and** has (near-)zero arrivals is idle — e.g.
+    /// the server-sender stage of a single-server deployment — and gets a
+    /// placeholder service rate; with `lambda = 0` the solver pins it at
+    /// its one-thread minimum regardless of the placeholder.
+    pub fn estimate(&self) -> Option<Vec<StageParams>> {
+        let alpha = self.alpha()?;
+        let mut out = Vec::with_capacity(self.kinds.len());
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let lambda = self.lambda[i].value_or(0.0);
+            let (Some(z), Some(x)) = (self.z[i].value(), self.x[i].value()) else {
+                if lambda < 1.0 {
+                    out.push(StageParams {
+                        lambda: 0.0,
+                        service_rate: 1_000.0,
+                        beta: 1.0,
+                    });
+                    continue;
+                }
+                return None;
+            };
+            let r = if kind.blocking { alpha * x } else { z - x };
+            // The busy span x + w = z - r; it can never be below x.
+            let busy = (z - r).max(x);
+            out.push(StageParams {
+                lambda,
+                service_rate: 1.0 / busy,
+                beta: (x / busy).clamp(0.0, 1.0),
+            });
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(arrivals: u64, completions: u64, z_each: f64, x_each: f64) -> StageObservation {
+        StageObservation {
+            arrivals,
+            completions,
+            window_secs: 1.0,
+            sum_wallclock_secs: z_each * completions as f64,
+            sum_cpu_secs: x_each * completions as f64,
+        }
+    }
+
+    #[test]
+    fn non_blocking_stage_recovers_exact_params() {
+        // One non-blocking stage; z = x means no ready time, so s = 1/x and
+        // beta = 1.
+        let mut est = ParamEstimator::new(vec![StageKind { blocking: false }], 1.0);
+        est.observe(0, obs(1000, 1000, 2e-3, 2e-3));
+        assert_eq!(est.alpha(), Some(0.0));
+        let params = est.estimate().unwrap();
+        assert!((params[0].lambda - 1000.0).abs() < 1e-9);
+        assert!((params[0].service_rate - 500.0).abs() < 1e-6);
+        assert!((params[0].beta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_stage_recovers_wait_time() {
+        // Ground truth: x = 1 ms, w = 3 ms, ready time r = 0.5 * x for all
+        // stages (alpha = 0.5).
+        let alpha = 0.5;
+        let x0 = 2e-3; // Non-blocking stage: z = x + r = x (1 + alpha).
+        let z0 = x0 * (1.0 + alpha);
+        let x1 = 1e-3;
+        let w1 = 3e-3;
+        let z1 = x1 + w1 + alpha * x1;
+        let mut est = ParamEstimator::new(
+            vec![StageKind { blocking: false }, StageKind { blocking: true }],
+            1.0,
+        );
+        est.observe(0, obs(500, 500, z0, x0));
+        est.observe(1, obs(800, 800, z1, x1));
+        let got_alpha = est.alpha().unwrap();
+        assert!((got_alpha - alpha).abs() < 1e-9, "alpha {got_alpha}");
+        let params = est.estimate().unwrap();
+        // Stage 1: s = 1/(x+w) = 250, beta = x/(x+w) = 0.25.
+        assert!((params[1].service_rate - 250.0).abs() < 1e-6);
+        assert!((params[1].beta - 0.25).abs() < 1e-9);
+        assert!((params[1].lambda - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_waits_for_loaded_stages() {
+        let mut est = ParamEstimator::new(
+            vec![StageKind { blocking: false }, StageKind { blocking: true }],
+            0.5,
+        );
+        assert_eq!(est.estimate(), None, "no alpha source yet");
+        est.observe(0, obs(10, 10, 1e-3, 1e-3));
+        // Stage 1 has arrivals but no completions: loaded without data.
+        est.observe(
+            1,
+            StageObservation {
+                arrivals: 10,
+                completions: 0,
+                window_secs: 1.0,
+                sum_wallclock_secs: 0.0,
+                sum_cpu_secs: 0.0,
+            },
+        );
+        assert_eq!(est.estimate(), None);
+        est.observe(1, obs(10, 10, 2e-3, 1e-3));
+        assert!(est.estimate().is_some());
+    }
+
+    #[test]
+    fn idle_stage_gets_placeholder_params() {
+        // A stage that never sees traffic (e.g. the server sender on a
+        // single-server deployment) must not block estimation forever.
+        let mut est = ParamEstimator::new(
+            vec![StageKind { blocking: false }, StageKind { blocking: false }],
+            0.5,
+        );
+        est.observe(0, obs(10, 10, 1e-3, 1e-3));
+        let params = est.estimate().expect("idle stage defaults");
+        assert_eq!(params[1].lambda, 0.0);
+        assert!(params[1].service_rate > 0.0);
+    }
+
+    #[test]
+    fn alpha_needs_a_nonblocking_stage() {
+        let mut est = ParamEstimator::new(vec![StageKind { blocking: true }], 0.5);
+        est.observe(0, obs(10, 10, 2e-3, 1e-3));
+        assert_eq!(est.alpha(), None);
+        assert_eq!(est.estimate(), None);
+    }
+
+    #[test]
+    fn negative_wait_is_clamped() {
+        // A blocking stage whose measured z is *less* than alpha would
+        // imply: the busy span clamps at x, so beta = 1.
+        let mut est = ParamEstimator::new(
+            vec![StageKind { blocking: false }, StageKind { blocking: true }],
+            1.0,
+        );
+        // Non-blocking stage implies alpha = 1.0.
+        est.observe(0, obs(100, 100, 2e-3, 1e-3));
+        // Blocking stage: z = 1.5 ms, x = 1 ms; alpha * x = 1 ms, so
+        // z - r = 0.5 ms < x, which must clamp to x.
+        est.observe(1, obs(100, 100, 1.5e-3, 1e-3));
+        let params = est.estimate().unwrap();
+        assert!((params[1].beta - 1.0).abs() < 1e-12);
+        assert!((params[1].service_rate - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_smooths_noisy_windows() {
+        let mut est = ParamEstimator::new(vec![StageKind { blocking: false }], 0.2);
+        for i in 0..200 {
+            let lambda = if i % 2 == 0 { 900 } else { 1100 };
+            est.observe(0, obs(lambda, lambda, 1e-3, 1e-3));
+        }
+        let params = est.estimate().unwrap();
+        assert!(
+            (params[0].lambda - 1000.0).abs() < 50.0,
+            "lambda {}",
+            params[0].lambda
+        );
+    }
+
+    #[test]
+    fn empty_window_updates_only_lambda() {
+        let mut est = ParamEstimator::new(vec![StageKind { blocking: false }], 1.0);
+        est.observe(
+            0,
+            StageObservation {
+                arrivals: 50,
+                completions: 0,
+                window_secs: 1.0,
+                sum_wallclock_secs: 0.0,
+                sum_cpu_secs: 0.0,
+            },
+        );
+        assert_eq!(est.estimate(), None, "no service data yet");
+        est.observe(0, obs(50, 50, 1e-3, 1e-3));
+        let params = est.estimate().unwrap();
+        assert!((params[0].lambda - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! Latency-optimized SEDA thread allocation (§5 of the ActOp paper).
+//!
+//! A SEDA server splits request processing into stages, each with a queue
+//! and a dedicated thread pool. This crate implements the paper's
+//! model-driven allocator end to end:
+//!
+//! * [`model`] — the Jackson-network latency proxy (Eq. 1), the regularized
+//!   optimization problem (*), feasibility, and the `zeta` threshold.
+//! * [`closed_form`] — Theorem 2's closed-form solution, the general KKT
+//!   solution when the capacity constraint binds (`eta < zeta`), a
+//!   projected-gradient cross-check solver, and integerization.
+//! * [`estimator`] — §5.4's estimation of per-thread service rate `s_i` and
+//!   CPU fraction `beta_i` from wallclock/CPU samples via the shared
+//!   ready-time ratio `alpha`.
+//! * [`controller`] — the ActOp model-driven controller and the
+//!   queue-length threshold controller it is compared against (Fig. 7).
+//! * [`emulator`] — the standalone six-stage SEDA emulator used by the
+//!   paper to demonstrate queue-length-controller oscillation (Fig. 7).
+
+pub mod closed_form;
+pub mod controller;
+pub mod emulator;
+pub mod estimator;
+pub mod model;
+
+pub use closed_form::{allocate_threads, continuous_allocation, gradient_allocation, integerize};
+pub use controller::{ModelDrivenController, QueueLengthController};
+pub use estimator::{ParamEstimator, StageObservation};
+pub use model::{SedaError, SedaModel, StageParams};

@@ -1,0 +1,442 @@
+//! The SEDA queuing model and the latency-minimization problem (*).
+//!
+//! Each stage `i` is modeled as an M/M/1 queue with arrival rate `lambda_i`
+//! and service rate `mu_i = t_i * s_i`, where `t_i` is the stage's thread
+//! count and `s_i` the per-thread service rate. The end-to-end latency proxy
+//! is the expected packet delay of a Jackson network (Eq. 1):
+//!
+//! ```text
+//! L(t) = (1 / lambda_tot) * sum_i lambda_i / (mu_i - lambda_i)
+//! ```
+//!
+//! and the optimization problem (*) adds a thread-count regularizer
+//! `eta * sum_i t_i` capturing multithreading overhead, subject to
+//! stability (`mu_i > lambda_i`) and the CPU budget
+//! `sum_i t_i * beta_i <= p`.
+
+use std::fmt;
+
+/// Workload parameters of one SEDA stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageParams {
+    /// Event arrival rate, events per second.
+    pub lambda: f64,
+    /// Service rate per thread, events per second (`s_i = 1 / (x_i + w_i)`).
+    pub service_rate: f64,
+    /// Fraction of a processor one thread consumes while processing
+    /// (`beta_i = x_i / (x_i + w_i)`; 1.0 for a stage with no blocking).
+    pub beta: f64,
+}
+
+impl StageParams {
+    /// A fully CPU-bound stage (`beta = 1`).
+    pub fn cpu_bound(lambda: f64, service_rate: f64) -> Self {
+        StageParams {
+            lambda,
+            service_rate,
+            beta: 1.0,
+        }
+    }
+
+    /// Minimum (fractional) threads for stability: `lambda / s`.
+    pub fn min_threads(&self) -> f64 {
+        self.lambda / self.service_rate
+    }
+
+    /// CPU cores this stage inherently consumes: `lambda * beta / s`.
+    pub fn cpu_demand(&self) -> f64 {
+        self.lambda * self.beta / self.service_rate
+    }
+
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), SedaError> {
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return Err(SedaError::InvalidParameter("lambda"));
+        }
+        if !(self.service_rate.is_finite() && self.service_rate > 0.0) {
+            return Err(SedaError::InvalidParameter("service_rate"));
+        }
+        if !(self.beta.is_finite() && self.beta > 0.0 && self.beta <= 1.0) {
+            return Err(SedaError::InvalidParameter("beta"));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the SEDA model and solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SedaError {
+    /// A stage parameter is out of range.
+    InvalidParameter(&'static str),
+    /// The total CPU demand exceeds the processor budget; no allocation can
+    /// stabilize every queue.
+    Infeasible,
+    /// The model has no stages with positive arrival rate.
+    NoLoad,
+}
+
+impl fmt::Display for SedaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SedaError::InvalidParameter(p) => write!(f, "invalid stage parameter: {p}"),
+            SedaError::Infeasible => {
+                write!(f, "CPU demand exceeds processors; system is infeasible")
+            }
+            SedaError::NoLoad => write!(f, "no stage has positive arrival rate"),
+        }
+    }
+}
+
+impl std::error::Error for SedaError {}
+
+/// The full model: per-stage parameters, processor count, and the thread
+/// regularizer `eta`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SedaModel {
+    /// Per-stage workload parameters.
+    pub stages: Vec<StageParams>,
+    /// Number of processors `p` at the server.
+    pub processors: f64,
+    /// Thread-count penalty `eta`, in seconds per thread. The paper
+    /// calibrates 100 µs/thread on its testbed.
+    pub eta: f64,
+}
+
+/// The paper's calibrated thread penalty: 100 µs per thread.
+pub const ETA_CALIBRATED: f64 = 100e-6;
+
+impl SedaModel {
+    /// Creates and validates a model.
+    pub fn new(stages: Vec<StageParams>, processors: usize, eta: f64) -> Result<Self, SedaError> {
+        if !(eta.is_finite() && eta > 0.0) {
+            return Err(SedaError::InvalidParameter("eta"));
+        }
+        if processors == 0 {
+            return Err(SedaError::InvalidParameter("processors"));
+        }
+        for stage in &stages {
+            stage.validate()?;
+        }
+        Ok(SedaModel {
+            stages,
+            processors: processors as f64,
+            eta,
+        })
+    }
+
+    /// Total arrival rate `lambda_tot` across stages.
+    pub fn lambda_tot(&self) -> f64 {
+        self.stages.iter().map(|s| s.lambda).sum()
+    }
+
+    /// Total inherent CPU demand `sum_i lambda_i beta_i / s_i`.
+    pub fn cpu_demand(&self) -> f64 {
+        self.stages.iter().map(StageParams::cpu_demand).sum()
+    }
+
+    /// Feasibility condition of Theorem 2: `sum_i lambda_i beta_i / s_i < p`.
+    pub fn is_feasible(&self) -> bool {
+        self.cpu_demand() < self.processors
+    }
+
+    /// The `zeta` threshold of Theorem 2: when `eta >= zeta` the CPU budget
+    /// is slack at the optimum and the closed form applies directly.
+    pub fn zeta(&self) -> f64 {
+        let lambda_tot = self.lambda_tot();
+        if lambda_tot == 0.0 {
+            return 0.0;
+        }
+        let headroom = self.processors - self.cpu_demand();
+        if headroom <= 0.0 {
+            return f64::INFINITY;
+        }
+        let numer: f64 = self
+            .stages
+            .iter()
+            .map(|s| s.beta * (s.lambda / s.service_rate).sqrt())
+            .sum();
+        (numer / headroom).powi(2) / lambda_tot
+    }
+
+    /// The Jackson-network latency proxy (Eq. 1) in seconds for a
+    /// (fractional) thread allocation, or `None` when some stage is
+    /// unstable (`mu_i <= lambda_i`).
+    pub fn jackson_latency(&self, threads: &[f64]) -> Option<f64> {
+        assert_eq!(threads.len(), self.stages.len(), "allocation length");
+        let lambda_tot = self.lambda_tot();
+        if lambda_tot == 0.0 {
+            return Some(0.0);
+        }
+        let mut sum = 0.0;
+        for (stage, &t) in self.stages.iter().zip(threads) {
+            if stage.lambda == 0.0 {
+                continue;
+            }
+            let mu = t * stage.service_rate;
+            if mu <= stage.lambda {
+                return None;
+            }
+            sum += stage.lambda / (mu - stage.lambda);
+        }
+        Some(sum / lambda_tot)
+    }
+
+    /// The regularized objective of problem (*): Jackson latency plus
+    /// `eta * sum_i t_i`. `None` when unstable.
+    pub fn objective(&self, threads: &[f64]) -> Option<f64> {
+        let latency = self.jackson_latency(threads)?;
+        let total: f64 = threads.iter().sum();
+        Some(latency + self.eta * total)
+    }
+
+    /// CPU cores consumed by an allocation: `sum_i t_i beta_i`.
+    pub fn allocation_cpu(&self, threads: &[f64]) -> f64 {
+        self.stages
+            .iter()
+            .zip(threads)
+            .map(|(s, &t)| t * s.beta)
+            .sum()
+    }
+
+    /// True when the allocation satisfies both the stability and CPU-budget
+    /// constraints of (*).
+    pub fn is_valid_allocation(&self, threads: &[f64]) -> bool {
+        if threads.len() != self.stages.len() {
+            return false;
+        }
+        let stable = self
+            .stages
+            .iter()
+            .zip(threads)
+            .all(|(s, &t)| s.lambda == 0.0 || t * s.service_rate > s.lambda);
+        stable && self.allocation_cpu(threads) <= self.processors + 1e-9
+    }
+}
+
+/// The M/M/1 mean latency `1 / (mu - lambda)` in seconds; `None` when
+/// unstable.
+pub fn mm1_latency(lambda: f64, mu: f64) -> Option<f64> {
+    if mu > lambda {
+        Some(1.0 / (mu - lambda))
+    } else {
+        None
+    }
+}
+
+/// The M/M/c mean sojourn time (Erlang C): arrival rate `lambda`, `c`
+/// servers of rate `s` each. `None` when unstable (`lambda >= c * s`).
+///
+/// The paper's Eq. 1 approximates each stage as M/M/1 with pooled rate
+/// `mu = t * s`; the exact per-stage model of a thread pool is M/M/t.
+/// This function quantifies the gap (small at the utilizations the
+/// optimizer targets) and lets tests validate the emulator against the
+/// Jackson product form exactly.
+pub fn mmc_latency(lambda: f64, s: f64, c: usize) -> Option<f64> {
+    if c == 0 || s <= 0.0 {
+        return None;
+    }
+    let a = lambda / s; // Offered load in Erlangs.
+    let c_f = c as f64;
+    if a >= c_f {
+        return None;
+    }
+    if lambda == 0.0 {
+        return Some(1.0 / s);
+    }
+    let rho = a / c_f;
+    // Erlang C probability of waiting.
+    let mut term = 1.0; // a^k / k!, k = 0.
+    let mut sum = term;
+    for k in 1..c {
+        term *= a / k as f64;
+        sum += term;
+    }
+    let top = term * a / c_f / (1.0 - rho); // a^c / c! / (1 - rho).
+    let p_wait = top / (sum + top);
+    let wq = p_wait / (c_f * s - lambda);
+    Some(wq + 1.0 / s)
+}
+
+/// The M/M/1 mean queue length `rho / (1 - rho)`; `None` when unstable.
+/// This is the nonlinearity behind queue-length-controller oscillation
+/// (§5.1).
+pub fn mm1_queue_len(lambda: f64, mu: f64) -> Option<f64> {
+    if mu > lambda && mu > 0.0 {
+        let rho = lambda / mu;
+        Some(rho / (1.0 - rho))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stage_model() -> SedaModel {
+        SedaModel::new(
+            vec![
+                StageParams::cpu_bound(1000.0, 2000.0),
+                StageParams::cpu_bound(500.0, 1000.0),
+            ],
+            8,
+            ETA_CALIBRATED,
+        )
+        .expect("valid model")
+    }
+
+    #[test]
+    fn lambda_tot_and_cpu_demand() {
+        let m = two_stage_model();
+        assert_eq!(m.lambda_tot(), 1500.0);
+        assert!((m.cpu_demand() - 1.0).abs() < 1e-12); // 0.5 + 0.5 cores.
+        assert!(m.is_feasible());
+    }
+
+    #[test]
+    fn jackson_latency_matches_hand_computation() {
+        let m = two_stage_model();
+        // t = [1, 1]: mu = [2000, 1000], waits = 1000/(1000) and 500/(500).
+        let latency = m.jackson_latency(&[1.0, 1.0]).expect("stable");
+        let expect = (1000.0 / 1000.0 + 500.0 / 500.0) / 1500.0;
+        assert!((latency - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_allocation_is_none() {
+        let m = two_stage_model();
+        assert_eq!(m.jackson_latency(&[0.5, 1.0]), None); // mu_0 = 1000 = lambda_0.
+        assert_eq!(m.objective(&[0.4, 1.0]), None);
+    }
+
+    #[test]
+    fn more_threads_lower_latency_higher_penalty() {
+        let m = two_stage_model();
+        let low = m.jackson_latency(&[1.0, 1.0]).unwrap();
+        let high = m.jackson_latency(&[4.0, 4.0]).unwrap();
+        assert!(high < low);
+        // But the objective eventually punishes thread count.
+        let obj_many = m.objective(&[40.0, 40.0]);
+        // 80 threads * beta 1 > 8 cores: not valid, though objective still
+        // computes (the solver enforces the budget separately).
+        assert!(obj_many.is_some());
+        assert!(!m.is_valid_allocation(&[40.0, 40.0]));
+    }
+
+    #[test]
+    fn zeta_threshold_properties() {
+        let m = two_stage_model();
+        let zeta = m.zeta();
+        assert!(zeta > 0.0 && zeta.is_finite());
+        // Shrinking the headroom (fewer processors) raises zeta.
+        let tight = SedaModel::new(m.stages.clone(), 2, m.eta).unwrap();
+        assert!(tight.zeta() > zeta);
+    }
+
+    #[test]
+    fn zeta_infinite_when_infeasible() {
+        let m = SedaModel::new(vec![StageParams::cpu_bound(10_000.0, 1000.0)], 8, 1e-4).unwrap();
+        assert!(!m.is_feasible());
+        assert_eq!(m.zeta(), f64::INFINITY);
+    }
+
+    #[test]
+    fn blocking_stage_consumes_less_cpu() {
+        let blocking = StageParams {
+            lambda: 1000.0,
+            service_rate: 500.0,
+            beta: 0.25,
+        };
+        // 2 threads of inherent demand but only 0.5 core of CPU.
+        assert!((blocking.min_threads() - 2.0).abs() < 1e-12);
+        assert!((blocking.cpu_demand() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(StageParams {
+            lambda: -1.0,
+            service_rate: 10.0,
+            beta: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(StageParams {
+            lambda: 1.0,
+            service_rate: 0.0,
+            beta: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(StageParams {
+            lambda: 1.0,
+            service_rate: 10.0,
+            beta: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(SedaModel::new(vec![], 0, 1e-4).is_err());
+        assert!(SedaModel::new(vec![], 8, 0.0).is_err());
+    }
+
+    #[test]
+    fn mm1_helpers() {
+        assert_eq!(mm1_latency(10.0, 10.0), None);
+        assert!((mm1_latency(0.0, 10.0).unwrap() - 0.1).abs() < 1e-12);
+        // rho = 0.9 -> queue length 9.
+        assert!((mm1_queue_len(9.0, 10.0).unwrap() - 9.0).abs() < 1e-9);
+        assert_eq!(mm1_queue_len(10.0, 10.0), None);
+    }
+
+    #[test]
+    fn queue_length_nonlinearity() {
+        // The Fig. 7 explanation: queue length is flat at low rho and
+        // explodes near 1.
+        let q_low = mm1_queue_len(1.0, 10.0).unwrap();
+        let q_mid = mm1_queue_len(5.0, 10.0).unwrap();
+        let q_high = mm1_queue_len(9.9, 10.0).unwrap();
+        assert!(q_low < 0.2);
+        assert!(q_mid < 1.5);
+        assert!(q_high > 90.0);
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1_for_one_server() {
+        let lambda = 700.0;
+        let s = 1000.0;
+        let mmc = mmc_latency(lambda, s, 1).unwrap();
+        let mm1 = mm1_latency(lambda, s).unwrap();
+        assert!((mmc - mm1).abs() < 1e-12, "mmc {mmc} vs mm1 {mm1}");
+    }
+
+    #[test]
+    fn mmc_pooling_beats_mm1_approximation() {
+        // At the same total capacity, c pooled servers wait less than the
+        // paper's single-fast-server approximation predicts... actually the
+        // single fast server (M/M/1 at mu = c*s) is the *lower* bound; the
+        // M/M/c sojourn sits between it and the per-thread service time.
+        let lambda = 3000.0;
+        let s = 1000.0;
+        let c = 4;
+        let mmc = mmc_latency(lambda, s, c).unwrap();
+        let pooled = mm1_latency(lambda, c as f64 * s).unwrap();
+        assert!(mmc >= pooled, "mmc {mmc} < pooled bound {pooled}");
+        assert!(mmc <= 1.0 / s + pooled, "mmc {mmc} too large");
+    }
+
+    #[test]
+    fn mmc_unstable_and_edge_cases() {
+        assert_eq!(mmc_latency(4000.0, 1000.0, 4), None);
+        assert_eq!(mmc_latency(100.0, 0.0, 4), None);
+        assert_eq!(mmc_latency(100.0, 1000.0, 0), None);
+        assert!((mmc_latency(0.0, 1000.0, 4).unwrap() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_model() {
+        let m = SedaModel::new(vec![StageParams::cpu_bound(0.0, 100.0)], 4, 1e-4).unwrap();
+        assert_eq!(m.lambda_tot(), 0.0);
+        assert_eq!(m.jackson_latency(&[1.0]), Some(0.0));
+        assert_eq!(m.zeta(), 0.0);
+    }
+}

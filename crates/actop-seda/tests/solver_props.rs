@@ -1,0 +1,106 @@
+//! Property tests for the thread-allocation solvers.
+
+use actop_seda::model::{SedaModel, StageParams};
+use actop_seda::{allocate_threads, continuous_allocation, integerize};
+use proptest::prelude::*;
+
+/// Strategy for a random feasible model: 2-6 stages, moderate utilization.
+fn arb_model() -> impl Strategy<Value = SedaModel> {
+    let stage = (10.0f64..5000.0, 100.0f64..10_000.0, 0.1f64..=1.0).prop_map(
+        |(lambda, service_rate, beta)| StageParams {
+            lambda,
+            service_rate,
+            beta,
+        },
+    );
+    (
+        proptest::collection::vec(stage, 2..6),
+        4usize..32,
+        1e-6f64..1e-3,
+    )
+        .prop_filter_map("feasible models only", |(stages, p, eta)| {
+            let model = SedaModel::new(stages, p, eta).ok()?;
+            // Keep clear of the feasibility boundary so integer minima fit.
+            let int_min: f64 = model
+                .stages
+                .iter()
+                .map(|s| ((s.lambda / s.service_rate).floor() + 1.0) * s.beta)
+                .sum();
+            (model.is_feasible() && int_min < model.processors * 0.9).then_some(model)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The continuous solution satisfies both constraints of (*).
+    #[test]
+    fn continuous_solution_is_always_valid(model in arb_model()) {
+        let t = continuous_allocation(&model).expect("feasible by construction");
+        prop_assert!(model.is_valid_allocation(&t), "allocation {:?}", t);
+    }
+
+    /// First-order optimality: random single-coordinate perturbations never
+    /// improve the objective (the problem is convex, so local implies
+    /// global).
+    #[test]
+    fn continuous_solution_is_locally_optimal(
+        model in arb_model(),
+        idx_frac in 0.0f64..1.0,
+        delta in -0.2f64..0.2,
+    ) {
+        let t = continuous_allocation(&model).unwrap();
+        let obj = model.objective(&t).unwrap();
+        let i = ((idx_frac * model.stages.len() as f64) as usize)
+            .min(model.stages.len() - 1);
+        let mut perturbed = t.clone();
+        perturbed[i] = (perturbed[i] + delta).max(0.0);
+        if model.is_valid_allocation(&perturbed) {
+            if let Some(obj_p) = model.objective(&perturbed) {
+                prop_assert!(
+                    obj_p >= obj - 1e-7,
+                    "perturbation improved objective: {} -> {} (stage {}, delta {})",
+                    obj, obj_p, i, delta
+                );
+            }
+        }
+    }
+
+    /// The integer allocation is stable, within budget, and no worse than
+    /// doubling every stage's minimum (a sanity upper bound).
+    #[test]
+    fn integer_allocation_is_valid(model in arb_model()) {
+        let t = allocate_threads(&model).expect("feasible");
+        let t_f: Vec<f64> = t.iter().map(|&x| x as f64).collect();
+        prop_assert!(model.is_valid_allocation(&t_f), "allocation {:?}", t);
+        for (i, stage) in model.stages.iter().enumerate() {
+            prop_assert!(t[i] >= 1);
+            prop_assert!(
+                t[i] as f64 * stage.service_rate > stage.lambda,
+                "stage {i} unstable: {} threads", t[i]
+            );
+        }
+    }
+
+    /// Integerization never loses more than the discretization must: the
+    /// integer objective is within the objective of ceil(continuous), which
+    /// is itself a valid integer point when it fits the budget.
+    #[test]
+    fn integerization_beats_naive_ceiling(model in arb_model()) {
+        let continuous = continuous_allocation(&model).unwrap();
+        let ours = integerize(&model, &continuous).expect("feasible");
+        let ours_f: Vec<f64> = ours.iter().map(|&x| x as f64).collect();
+        let ours_obj = model.objective(&ours_f).unwrap();
+
+        let ceil: Vec<f64> = continuous.iter().map(|c| c.ceil().max(1.0)).collect();
+        if model.is_valid_allocation(&ceil) {
+            if let Some(ceil_obj) = model.objective(&ceil) {
+                prop_assert!(
+                    ours_obj <= ceil_obj + 1e-9,
+                    "hill climb worse than ceiling: {} vs {}",
+                    ours_obj, ceil_obj
+                );
+            }
+        }
+    }
+}

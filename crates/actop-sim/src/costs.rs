@@ -1,0 +1,130 @@
+//! The calibrated cost model shared by all experiments.
+//!
+//! The paper's testbed is ten 8-core servers running Orleans. Our substitute
+//! is a simulated cluster whose free parameters live here, in one place, so
+//! that every experiment runs against the same calibration. The values are
+//! chosen so the baseline Halo Presence run (6K requests/s on ten servers,
+//! random placement) lands near the paper's operating point: ≈80% CPU
+//! utilization and a median end-to-end latency of a few tens of
+//! milliseconds.
+//!
+//! Where the costs come from:
+//!
+//! * **Serialization / deserialization** dominate remote calls (§3): in
+//!   Orleans a remote call serializes arguments and deserializes them on the
+//!   receiving server. We charge a fixed per-message cost plus a per-byte
+//!   cost on each side.
+//! * **Local calls** deep-copy arguments for isolation (§2), which is much
+//!   cheaper than serialization.
+//! * **Dispatch** is the fixed cost of moving a message between SEDA stages.
+//! * **Context switching** penalizes oversubscribed thread allocations — the
+//!   effect behind Fig. 5 and the `eta` thread regularizer.
+
+use crate::net::NetworkModel;
+
+/// Per-message, per-byte, and per-server cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Physical cores per server (the paper's testbed: 8).
+    pub cores_per_server: usize,
+    /// Context-switch coefficient `kappa` of the processor-sharing CPU.
+    pub ctx_switch_coeff: f64,
+    /// Inter-server network model.
+    pub network: NetworkModel,
+    /// Fixed CPU cost of deserializing one inbound remote message, ns.
+    pub deserialize_fixed_ns: f64,
+    /// Per-byte CPU cost of deserialization, ns.
+    pub deserialize_per_byte_ns: f64,
+    /// Fixed CPU cost of serializing one outbound remote message, ns.
+    pub serialize_fixed_ns: f64,
+    /// Per-byte CPU cost of serialization, ns.
+    pub serialize_per_byte_ns: f64,
+    /// Fixed CPU cost of the deep copy performed for a local call, ns.
+    pub local_copy_fixed_ns: f64,
+    /// Per-byte CPU cost of the local deep copy, ns.
+    pub local_copy_per_byte_ns: f64,
+    /// Fixed CPU cost of dispatching a message into a stage queue, ns.
+    pub dispatch_fixed_ns: f64,
+}
+
+impl CostModel {
+    /// The calibration used throughout the reproduction.
+    pub fn calibrated() -> Self {
+        CostModel {
+            cores_per_server: 8,
+            ctx_switch_coeff: 0.022,
+            network: NetworkModel::datacenter(),
+            deserialize_fixed_ns: 40_000.0,
+            deserialize_per_byte_ns: 100.0,
+            serialize_fixed_ns: 40_000.0,
+            serialize_per_byte_ns: 100.0,
+            local_copy_fixed_ns: 8_000.0,
+            local_copy_per_byte_ns: 18.0,
+            dispatch_fixed_ns: 4_000.0,
+        }
+    }
+
+    /// CPU nanoseconds to deserialize an inbound remote message.
+    pub fn deserialize_ns(&self, bytes: u64) -> f64 {
+        self.deserialize_fixed_ns + self.deserialize_per_byte_ns * bytes as f64
+    }
+
+    /// CPU nanoseconds to serialize an outbound remote message.
+    pub fn serialize_ns(&self, bytes: u64) -> f64 {
+        self.serialize_fixed_ns + self.serialize_per_byte_ns * bytes as f64
+    }
+
+    /// CPU nanoseconds for the deep copy of a local call's arguments.
+    pub fn local_copy_ns(&self, bytes: u64) -> f64 {
+        self.local_copy_fixed_ns + self.local_copy_per_byte_ns * bytes as f64
+    }
+
+    /// The full CPU cost a remote hop adds across both servers, relative to
+    /// a local call with the same payload. Useful for back-of-envelope
+    /// capacity checks in tests.
+    pub fn remote_overhead_ns(&self, bytes: u64) -> f64 {
+        self.serialize_ns(bytes) + self.deserialize_ns(bytes) - self.local_copy_ns(bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_call_is_much_more_expensive_than_local() {
+        let costs = CostModel::calibrated();
+        let bytes = 1_000;
+        let remote = costs.serialize_ns(bytes) + costs.deserialize_ns(bytes);
+        let local = costs.local_copy_ns(bytes);
+        assert!(
+            remote > 5.0 * local,
+            "remote {remote} should dwarf local {local}"
+        );
+    }
+
+    #[test]
+    fn costs_scale_with_bytes() {
+        let costs = CostModel::calibrated();
+        assert!(costs.serialize_ns(2000) > costs.serialize_ns(100));
+        assert!(costs.deserialize_ns(2000) > costs.deserialize_ns(100));
+        assert!(costs.local_copy_ns(2000) > costs.local_copy_ns(100));
+    }
+
+    #[test]
+    fn remote_overhead_positive() {
+        let costs = CostModel::calibrated();
+        assert!(costs.remote_overhead_ns(500) > 0.0);
+    }
+
+    #[test]
+    fn default_is_calibrated() {
+        assert_eq!(CostModel::default(), CostModel::calibrated());
+    }
+}

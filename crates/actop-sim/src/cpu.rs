@@ -1,0 +1,465 @@
+//! Processor-sharing CPU model with a context-switch penalty.
+//!
+//! Each simulated server owns one [`PsCpu`]. Threads that are executing the
+//! compute phase of an event are *runnable tasks*; the OS scheduler is
+//! modeled as egalitarian processor sharing across `p` cores: with `n`
+//! runnable tasks each progresses at rate `min(1, p_eff / n)` where
+//!
+//! ```text
+//! p_eff = p / (1 + kappa * max(0, T - p))
+//! ```
+//!
+//! and `T` is the *configured* thread count across all of the server's
+//! stage pools ([`PsCpu::set_configured_threads`]). `kappa` is the
+//! multithreading-overhead coefficient: a server configured with more
+//! threads than cores loses part of its CPU to context switching, timer and
+//! scheduler bookkeeping, and cache pressure — whether or not every thread
+//! is busy at this instant. This is the mechanism behind two of the paper's
+//! observations: the Fig. 5 heatmap (over-allocating threads to SEDA stages
+//! *increases* latency) and the `eta` thread-count regularizer in the
+//! allocation objective (*).
+//!
+//! The model also makes the paper's §5.4 estimation assumption hold by
+//! construction: the ready-time-to-compute-time ratio `r_i / x_i` is the
+//! same for every stage on a server, because slowdown under processor
+//! sharing is uniform across runnable threads.
+//!
+//! [`PsCpu`] is passive: the owner advances it to the current time, adds
+//! tasks, asks for the next provisional completion instant, and schedules or
+//! cancels engine events accordingly.
+
+use crate::time::Nanos;
+
+/// Identifier of a task running on a [`PsCpu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuTaskId(u64);
+
+#[derive(Debug, Clone)]
+struct Task {
+    id: CpuTaskId,
+    /// Remaining pure-CPU demand in nanoseconds.
+    remaining: f64,
+}
+
+/// Processor-sharing CPU with `cores` cores and a context-switch penalty.
+#[derive(Debug, Clone)]
+pub struct PsCpu {
+    cores: f64,
+    ctx_coeff: f64,
+    /// Total threads configured across the server's stage pools.
+    configured_threads: usize,
+    /// True while the CPU is stalled by a stop-the-world pause (GC).
+    paused: bool,
+    tasks: Vec<Task>,
+    last_update: Nanos,
+    next_id: u64,
+    /// Integral of occupied cores over time, in core-nanoseconds.
+    busy_core_ns: f64,
+    completed: Vec<CpuTaskId>,
+}
+
+/// Residual demand below this many nanoseconds counts as completed.
+const DONE_EPS: f64 = 1e-3;
+
+impl PsCpu {
+    /// Creates a CPU with the given core count and context-switch
+    /// coefficient (`kappa`, slowdown per runnable thread beyond the core
+    /// count; `0.0` disables the penalty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `ctx_coeff < 0`.
+    pub fn new(cores: usize, ctx_coeff: f64) -> Self {
+        assert!(cores > 0, "server needs at least one core");
+        assert!(ctx_coeff >= 0.0, "negative context-switch coefficient");
+        PsCpu {
+            cores: cores as f64,
+            ctx_coeff,
+            configured_threads: cores,
+            paused: false,
+            tasks: Vec::new(),
+            last_update: Nanos::ZERO,
+            next_id: 0,
+            busy_core_ns: 0.0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Updates the total configured thread count (applies progress at the
+    /// old rate first). The owner must re-arm its completion event
+    /// afterwards, as pending completion times change.
+    pub fn set_configured_threads(&mut self, now: Nanos, total: usize) {
+        self.advance(now);
+        self.configured_threads = total;
+    }
+
+    /// Total configured threads.
+    pub fn configured_threads(&self) -> usize {
+        self.configured_threads
+    }
+
+    /// The effective core capacity under the current thread configuration.
+    pub fn effective_cores(&self) -> f64 {
+        let extra = (self.configured_threads as f64 - self.cores).max(0.0);
+        self.cores / (1.0 + self.ctx_coeff * extra)
+    }
+
+    /// Begins a stop-the-world pause (e.g. a garbage collection): no task
+    /// makes progress until [`PsCpu::resume`], and the cores count as busy
+    /// (the collector is using them). The owner must re-arm its completion
+    /// event — [`PsCpu::next_completion`] returns `None` while paused.
+    pub fn pause(&mut self, now: Nanos) {
+        self.advance(now);
+        self.paused = true;
+    }
+
+    /// Ends a stop-the-world pause.
+    pub fn resume(&mut self, now: Nanos) {
+        self.advance(now);
+        self.paused = false;
+    }
+
+    /// True while a stop-the-world pause is in effect.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Number of physical cores.
+    pub fn cores(&self) -> usize {
+        self.cores as usize
+    }
+
+    /// Number of currently runnable tasks.
+    pub fn runnable(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Per-task progress rate (fraction of a dedicated core) with `n`
+    /// runnable tasks: `p_eff / max(n, p)`. The `max` term means the
+    /// multithreading tax slows *every* task — even a lone one — not just
+    /// saturated servers: scheduler wakeup latency and cache pressure from
+    /// an oversized thread pool are paid per event, which is why the
+    /// paper's Fig. 5 shows over-threading hurting latency well below
+    /// saturation.
+    fn rate_with(&self, n: usize) -> f64 {
+        if n == 0 || self.paused {
+            return 0.0;
+        }
+        self.effective_cores() / (n as f64).max(self.cores)
+    }
+
+    /// Current per-task progress rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_with(self.tasks.len())
+    }
+
+    /// The current slowdown factor: wall-clock time per unit of CPU demand.
+    /// Equals `1.0` when a task has a dedicated core.
+    pub fn slowdown(&self) -> f64 {
+        let r = self.rate();
+        if r == 0.0 {
+            1.0
+        } else {
+            1.0 / r
+        }
+    }
+
+    /// Advances internal state to `now`, applying progress to all runnable
+    /// tasks and moving finished tasks to the completed list.
+    ///
+    /// Completion boundaries inside the interval are handled exactly: when a
+    /// task finishes partway through, the remaining tasks speed up for the
+    /// rest of the interval, so callers may advance by arbitrary spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the last update.
+    pub fn advance(&mut self, now: Nanos) {
+        assert!(now >= self.last_update, "PsCpu time went backwards");
+        let mut dt = (now - self.last_update).as_nanos() as f64;
+        self.last_update = now;
+        while dt > 0.0 && !self.tasks.is_empty() {
+            let n = self.tasks.len();
+            let rate = self.rate_with(n);
+            let min_rem = self
+                .tasks
+                .iter()
+                .map(|t| t.remaining)
+                .fold(f64::INFINITY, f64::min);
+            // Time until the earliest completion at the current rate.
+            let boundary = min_rem / rate;
+            let step = boundary.min(dt);
+            let occupied = (n as f64).min(self.cores);
+            self.busy_core_ns += occupied * step;
+            let progress = rate * step;
+            let mut i = 0;
+            while i < self.tasks.len() {
+                self.tasks[i].remaining -= progress;
+                if self.tasks[i].remaining <= DONE_EPS {
+                    let task = self.tasks.swap_remove(i);
+                    self.completed.push(task.id);
+                } else {
+                    i += 1;
+                }
+            }
+            dt -= step;
+        }
+        // Keep completion order deterministic despite swap_remove.
+        self.completed.sort_unstable();
+    }
+
+    /// Adds a task with `demand_ns` nanoseconds of pure-CPU work. The caller
+    /// must have advanced the CPU to `now` first (this method does so
+    /// defensively).
+    ///
+    /// A zero-demand task completes immediately and is reported by the next
+    /// [`PsCpu::take_completed`] call.
+    pub fn add(&mut self, now: Nanos, demand_ns: f64) -> CpuTaskId {
+        assert!(
+            demand_ns.is_finite() && demand_ns >= 0.0,
+            "invalid CPU demand {demand_ns}"
+        );
+        self.advance(now);
+        let id = CpuTaskId(self.next_id);
+        self.next_id += 1;
+        if demand_ns <= DONE_EPS {
+            self.completed.push(id);
+        } else {
+            self.tasks.push(Task {
+                id,
+                remaining: demand_ns,
+            });
+        }
+        id
+    }
+
+    /// Removes and returns the tasks that completed up to the last
+    /// [`PsCpu::advance`].
+    pub fn take_completed(&mut self, now: Nanos) -> Vec<CpuTaskId> {
+        self.advance(now);
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The instant at which the next task will complete if the runnable set
+    /// does not change, or `None` when idle. Always strictly later than the
+    /// last update (times are rounded up to whole nanoseconds).
+    pub fn next_completion(&self) -> Option<Nanos> {
+        let rate = self.rate();
+        let min_rem = self
+            .tasks
+            .iter()
+            .map(|t| t.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if !min_rem.is_finite() || rate <= 0.0 {
+            return None;
+        }
+        let dt = (min_rem / rate).ceil().max(1.0) as u64;
+        Some(self.last_update + Nanos(dt))
+    }
+
+    /// Integral of occupied cores over time (core-nanoseconds) since
+    /// construction. Utilization over a window is the difference of two
+    /// snapshots divided by `cores * window`.
+    pub fn busy_core_ns(&self) -> f64 {
+        self.busy_core_ns
+    }
+
+    /// Utilization in `[0, 1]` over `[since, now]`, given a snapshot of
+    /// [`PsCpu::busy_core_ns`] taken at `since`.
+    pub fn utilization_since(&self, busy_at_since: f64, since: Nanos, now: Nanos) -> f64 {
+        let window = (now.saturating_sub(since)).as_nanos() as f64;
+        if window == 0.0 {
+            return 0.0;
+        }
+        ((self.busy_core_ns - busy_at_since) / (self.cores * window)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn single_task_runs_at_full_rate() {
+        let mut cpu = PsCpu::new(4, 0.0);
+        cpu.add(Nanos::ZERO, 1e6); // 1 ms of CPU.
+        assert_eq!(cpu.next_completion(), Some(ms(1)));
+        let done = cpu.take_completed(ms(1));
+        assert_eq!(done.len(), 1);
+        assert_eq!(cpu.runnable(), 0);
+    }
+
+    #[test]
+    fn fewer_tasks_than_cores_no_slowdown() {
+        let mut cpu = PsCpu::new(4, 0.5);
+        for _ in 0..4 {
+            cpu.add(Nanos::ZERO, 1e6);
+        }
+        assert!((cpu.rate() - 1.0).abs() < 1e-12);
+        assert_eq!(cpu.next_completion(), Some(ms(1)));
+    }
+
+    #[test]
+    fn oversubscription_shares_processor() {
+        let mut cpu = PsCpu::new(2, 0.0);
+        for _ in 0..4 {
+            cpu.add(Nanos::ZERO, 1e6);
+        }
+        // Four tasks on two cores: each runs at rate 1/2, so 1 ms of demand
+        // takes 2 ms of wall clock.
+        assert!((cpu.rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cpu.next_completion(), Some(ms(2)));
+        let done = cpu.take_completed(ms(2));
+        assert_eq!(done.len(), 4);
+    }
+
+    #[test]
+    fn thread_pressure_penalty_slows_everything() {
+        let mut plain = PsCpu::new(2, 0.0);
+        let mut penalized = PsCpu::new(2, 0.25);
+        plain.set_configured_threads(Nanos::ZERO, 6);
+        penalized.set_configured_threads(Nanos::ZERO, 6);
+        for _ in 0..6 {
+            plain.add(Nanos::ZERO, 1e6);
+            penalized.add(Nanos::ZERO, 1e6);
+        }
+        // p_eff = 2 / (1 + 0.25 * 4) = 1.0, rate = 1/6 vs plain 2/6.
+        assert!(penalized.rate() < plain.rate());
+        assert!((penalized.rate() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((penalized.effective_cores() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_at_or_below_cores_is_free() {
+        let mut cpu = PsCpu::new(4, 0.5);
+        cpu.set_configured_threads(Nanos::ZERO, 4);
+        assert!((cpu.effective_cores() - 4.0).abs() < 1e-12);
+        cpu.set_configured_threads(Nanos::ZERO, 2);
+        assert!((cpu.effective_cores() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_midway_slows_existing_task() {
+        let mut cpu = PsCpu::new(1, 0.0);
+        cpu.add(Nanos::ZERO, 2e6); // 2 ms demand, alone on 1 core.
+        cpu.advance(ms(1)); // 1 ms progressed, 1 ms left.
+        cpu.add(ms(1), 1e6); // Now two tasks share the core at rate 1/2.
+        // First task: 1 ms left at rate 0.5 -> completes at t = 3 ms.
+        assert_eq!(cpu.next_completion(), Some(ms(3)));
+        let done = cpu.take_completed(ms(3));
+        assert_eq!(done.len(), 2, "both finish together at 3 ms");
+    }
+
+    #[test]
+    fn zero_demand_completes_immediately() {
+        let mut cpu = PsCpu::new(1, 0.0);
+        let id = cpu.add(ms(5), 0.0);
+        let done = cpu.take_completed(ms(5));
+        assert_eq!(done, vec![id]);
+    }
+
+    #[test]
+    fn busy_integral_tracks_occupied_cores() {
+        let mut cpu = PsCpu::new(4, 0.0);
+        cpu.add(Nanos::ZERO, 2e6);
+        cpu.add(Nanos::ZERO, 2e6);
+        cpu.advance(ms(2));
+        // Two tasks occupied two cores for 2 ms.
+        let expect = 2.0 * 2e6;
+        assert!((cpu.busy_core_ns() - expect).abs() < 1.0);
+        // Utilization over the window: 2 of 4 cores -> 0.5.
+        let util = cpu.utilization_since(0.0, Nanos::ZERO, ms(2));
+        assert!((util - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_cpu_reports_no_completion() {
+        let cpu = PsCpu::new(2, 0.1);
+        assert_eq!(cpu.next_completion(), None);
+        assert_eq!(cpu.rate(), 0.0);
+        assert_eq!(cpu.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn completion_order_is_deterministic() {
+        let mut a = PsCpu::new(1, 0.0);
+        let mut b = PsCpu::new(1, 0.0);
+        for cpu in [&mut a, &mut b] {
+            for d in [3e5, 1e5, 2e5] {
+                cpu.add(Nanos::ZERO, d);
+            }
+        }
+        a.advance(ms(1));
+        b.advance(ms(1));
+        assert_eq!(a.take_completed(ms(1)), b.take_completed(ms(1)));
+    }
+
+    #[test]
+    fn pause_stalls_progress_and_resume_restores_it() {
+        let mut cpu = PsCpu::new(2, 0.0);
+        cpu.add(Nanos::ZERO, 1e6); // 1 ms of demand.
+        cpu.advance(ms(0) + Nanos::from_micros(400));
+        cpu.pause(ms(0) + Nanos::from_micros(400));
+        assert!(cpu.is_paused());
+        assert_eq!(cpu.next_completion(), None, "no completion while paused");
+        // A 5 ms pause: no progress.
+        cpu.resume(Nanos::from_micros(5_400));
+        // 0.6 ms of demand left; completes 0.6 ms after resume.
+        assert_eq!(
+            cpu.next_completion(),
+            Some(Nanos::from_micros(6_000)),
+        );
+        let done = cpu.take_completed(Nanos::from_micros(6_000));
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn tasks_added_during_pause_wait_for_resume() {
+        let mut cpu = PsCpu::new(1, 0.0);
+        cpu.pause(Nanos::ZERO);
+        cpu.add(ms(1), 1e6);
+        assert_eq!(cpu.next_completion(), None);
+        cpu.resume(ms(3));
+        assert_eq!(cpu.next_completion(), Some(ms(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn advance_backwards_panics() {
+        let mut cpu = PsCpu::new(1, 0.0);
+        cpu.advance(ms(2));
+        cpu.advance(ms(1));
+    }
+
+    #[test]
+    fn work_conservation_under_churn() {
+        // Total CPU demand in must equal busy core time out when the core
+        // count is 1 and there is always work.
+        let mut cpu = PsCpu::new(1, 0.0);
+        let mut t = Nanos::ZERO;
+        let mut total_demand = 0.0;
+        for step in 1..=20u64 {
+            let demand = (step as f64) * 1e4;
+            total_demand += demand;
+            cpu.add(t, demand);
+            t = t + Nanos(7_500 * step);
+            cpu.advance(t);
+        }
+        // Drain.
+        while let Some(at) = cpu.next_completion() {
+            cpu.advance(at);
+            t = at;
+        }
+        cpu.take_completed(t);
+        assert!(
+            (cpu.busy_core_ns() - total_demand).abs() < 10.0,
+            "busy {} vs demand {}",
+            cpu.busy_core_ns(),
+            total_demand
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! The discrete-event engine: a time-ordered queue of scheduled closures.
+//!
+//! Events are closures over a user-supplied world type `W`. Ties in firing
+//! time are broken by schedule order (a monotone sequence number), so runs
+//! are fully deterministic. Events can be cancelled by id, which is how the
+//! processor-sharing CPU retracts a provisional completion when the set of
+//! runnable tasks changes.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::Nanos;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: Nanos,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulation engine over a world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use actop_sim::{Engine, Nanos};
+///
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// engine.schedule(Nanos::from_millis(2), |w, _| w.push(2));
+/// engine.schedule(Nanos::from_millis(1), |w, eng| {
+///     w.push(1);
+///     eng.schedule_after(Nanos::from_millis(5), |w, _| w.push(6));
+/// });
+/// let mut world = Vec::new();
+/// engine.run(&mut world);
+/// assert_eq!(world, vec![1, 2, 6]);
+/// assert_eq!(engine.now(), Nanos::from_millis(6));
+/// ```
+pub struct Engine<W> {
+    now: Nanos,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<u64>,
+    processed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: Nanos::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending (including cancelled ones not yet
+    /// drained from the queue).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now": the event runs at the
+    /// current time, after all events already scheduled for it.
+    pub fn schedule(
+        &mut self,
+        at: Nanos,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_after(
+        &mut self,
+        delay: Nanos,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulation time overflow");
+        self.schedule(at, f)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    fn pop_live(&mut self, horizon: Nanos) -> Option<Scheduled<W>> {
+        while let Some(head) = self.queue.peek() {
+            if head.at > horizon {
+                return None;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run(&mut self, world: &mut W) {
+        self.run_until(world, Nanos::MAX);
+    }
+
+    /// Runs all events with firing time `<= end`, then advances the clock to
+    /// `end` (if the queue drained earlier, the clock still ends at `end`).
+    pub fn run_until(&mut self, world: &mut W, end: Nanos) {
+        while let Some(ev) = self.pop_live(end) {
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.processed += 1;
+            (ev.f)(world, self);
+        }
+        if end != Nanos::MAX {
+            self.now = self.now.max(end);
+        }
+    }
+
+    /// Runs events until `stop` returns true (checked after each event) or
+    /// the queue empties. Returns the number of events executed.
+    pub fn run_while(&mut self, world: &mut W, mut keep_going: impl FnMut(&W) -> bool) -> u64 {
+        let start = self.processed;
+        while keep_going(world) {
+            match self.pop_live(Nanos::MAX) {
+                Some(ev) => {
+                    self.now = ev.at;
+                    self.processed += 1;
+                    (ev.f)(world, self);
+                }
+                None => break,
+            }
+        }
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule(Nanos(30), |w, _| w.push(3));
+        engine.schedule(Nanos(10), |w, _| w.push(1));
+        engine.schedule(Nanos(20), |w, _| w.push(2));
+        let mut out = Vec::new();
+        engine.run(&mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        for i in 0..10 {
+            engine.schedule(Nanos(5), move |w, _| w.push(i));
+        }
+        let mut out = Vec::new();
+        engine.run(&mut out);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        let keep = engine.schedule(Nanos(1), |w, _| w.push(1));
+        let drop1 = engine.schedule(Nanos(2), |w, _| w.push(2));
+        engine.schedule(Nanos(3), |w, _| w.push(3));
+        engine.cancel(drop1);
+        let _ = keep;
+        let mut out = Vec::new();
+        engine.run(&mut out);
+        assert_eq!(out, vec![1, 3]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut engine: Engine<u32> = Engine::new();
+        let id = engine.schedule(Nanos(1), |w, _| *w += 1);
+        let mut world = 0;
+        engine.run(&mut world);
+        engine.cancel(id);
+        engine.schedule(Nanos(2), |w, _| *w += 10);
+        engine.run(&mut world);
+        assert_eq!(world, 11);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_advances_clock() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule(Nanos(10), |w, _| w.push(1));
+        engine.schedule(Nanos(100), |w, _| w.push(2));
+        let mut out = Vec::new();
+        engine.run_until(&mut out, Nanos(50));
+        assert_eq!(out, vec![1]);
+        assert_eq!(engine.now(), Nanos(50));
+        engine.run_until(&mut out, Nanos(200));
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(engine.now(), Nanos(200));
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut engine: Engine<Vec<Nanos>> = Engine::new();
+        engine.schedule(Nanos(100), |_, eng| {
+            eng.schedule(Nanos(5), |w, eng2| w.push(eng2.now()));
+        });
+        let mut out = Vec::new();
+        engine.run(&mut out);
+        assert_eq!(out, vec![Nanos(100)]);
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        let mut engine: Engine<u64> = Engine::new();
+        fn tick(w: &mut u64, eng: &mut Engine<u64>) {
+            *w += 1;
+            if *w < 5 {
+                eng.schedule_after(Nanos(10), tick);
+            }
+        }
+        engine.schedule(Nanos(0), tick);
+        let mut world = 0;
+        engine.run(&mut world);
+        assert_eq!(world, 5);
+        assert_eq!(engine.now(), Nanos(40));
+        assert_eq!(engine.events_processed(), 5);
+    }
+
+    #[test]
+    fn run_while_predicate_stops() {
+        let mut engine: Engine<u64> = Engine::new();
+        for i in 0..100u64 {
+            engine.schedule(Nanos(i), |w, _| *w += 1);
+        }
+        let mut world = 0;
+        let n = engine.run_while(&mut world, |w| *w < 10);
+        assert_eq!(n, 10);
+        assert_eq!(world, 10);
+    }
+
+    #[test]
+    fn pending_excludes_cancelled() {
+        let mut engine: Engine<()> = Engine::new();
+        let a = engine.schedule(Nanos(1), |_, _| {});
+        engine.schedule(Nanos(2), |_, _| {});
+        engine.cancel(a);
+        assert_eq!(engine.pending(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation kernel for the ActOp reproduction.
+//!
+//! The paper evaluates ActOp on a ten-server Orleans cluster. This crate is
+//! the substitute substrate: a deterministic discrete-event simulator with an
+//! explicit cost model for CPU time (processor sharing across cores with a
+//! context-switch penalty), SEDA stage queues with bounded thread pools, and
+//! a network delay model. All of the queuing and CPU-contention effects the
+//! paper measures arise from these components rather than from wall-clock
+//! execution, which makes every experiment reproducible from a seed.
+//!
+//! Components:
+//!
+//! * [`time`] — nanosecond simulation time.
+//! * [`rng`] — seeded, stream-split deterministic randomness.
+//! * [`engine`] — the event queue and simulation loop.
+//! * [`cpu`] — processor-sharing CPU with context-switch overhead.
+//! * [`stage`] — SEDA stage: FIFO queue plus a bounded thread pool.
+//! * [`net`] — inter-server network delay model.
+//! * [`costs`] — the calibrated cost model shared by all experiments.
+
+pub mod costs;
+pub mod cpu;
+pub mod engine;
+pub mod net;
+pub mod rng;
+pub mod stage;
+pub mod time;
+
+pub use costs::CostModel;
+pub use cpu::{CpuTaskId, PsCpu};
+pub use engine::{Engine, EventId};
+pub use net::NetworkModel;
+pub use rng::DetRng;
+pub use stage::StagePool;
+pub use time::Nanos;

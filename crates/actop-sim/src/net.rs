@@ -1,0 +1,113 @@
+//! Inter-server network delay model.
+//!
+//! The paper's Fig. 4 shows network latency is a small slice of end-to-end
+//! latency (≈1%) inside a datacenter; the dominant remote-call cost is the
+//! CPU spent on serialization plus the extra queue traversals. The network
+//! model therefore only needs to be plausible: a base one-way propagation
+//! delay, a per-byte transmission component, and bounded multiplicative
+//! jitter.
+
+use crate::rng::DetRng;
+use crate::time::Nanos;
+
+/// Delay model for one message hop between two servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Base one-way delay in nanoseconds (propagation + kernel stack).
+    pub base_ns: f64,
+    /// Transmission time per payload byte, in nanoseconds.
+    pub per_byte_ns: f64,
+    /// Multiplicative jitter: the delay is scaled by a uniform factor in
+    /// `[1, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+}
+
+impl NetworkModel {
+    /// A typical intra-datacenter link: 250 µs one-way, 10 Gbps-ish
+    /// per-byte cost, 20% jitter.
+    pub fn datacenter() -> Self {
+        NetworkModel {
+            base_ns: 250_000.0,
+            per_byte_ns: 0.8,
+            jitter_frac: 0.2,
+        }
+    }
+
+    /// An idealized zero-latency network (useful in unit tests).
+    pub fn instant() -> Self {
+        NetworkModel {
+            base_ns: 0.0,
+            per_byte_ns: 0.0,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Samples the one-way delay for a message of `bytes` payload bytes.
+    pub fn delay(&self, rng: &mut DetRng, bytes: u64) -> Nanos {
+        let raw = self.base_ns + self.per_byte_ns * bytes as f64;
+        let jitter = if self.jitter_frac > 0.0 {
+            1.0 + rng.uniform(0.0, self.jitter_frac)
+        } else {
+            1.0
+        };
+        Nanos::from_nanos_f64(raw * jitter)
+    }
+
+    /// The mean one-way delay for a message of `bytes` payload bytes.
+    pub fn mean_delay(&self, bytes: u64) -> Nanos {
+        let raw = self.base_ns + self.per_byte_ns * bytes as f64;
+        Nanos::from_nanos_f64(raw * (1.0 + self.jitter_frac / 2.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_network_has_zero_delay() {
+        let net = NetworkModel::instant();
+        let mut rng = DetRng::new(1);
+        assert_eq!(net.delay(&mut rng, 10_000), Nanos::ZERO);
+    }
+
+    #[test]
+    fn delay_grows_with_bytes() {
+        let net = NetworkModel {
+            base_ns: 1000.0,
+            per_byte_ns: 2.0,
+            jitter_frac: 0.0,
+        };
+        let mut rng = DetRng::new(1);
+        assert_eq!(net.delay(&mut rng, 0), Nanos(1000));
+        assert_eq!(net.delay(&mut rng, 500), Nanos(2000));
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let net = NetworkModel {
+            base_ns: 1_000_000.0,
+            per_byte_ns: 0.0,
+            jitter_frac: 0.5,
+        };
+        let mut rng = DetRng::new(2);
+        for _ in 0..1000 {
+            let d = net.delay(&mut rng, 0).as_nanos();
+            assert!((1_000_000..=1_500_001).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn mean_delay_matches_sampled_mean() {
+        let net = NetworkModel::datacenter();
+        let mut rng = DetRng::new(3);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| net.delay(&mut rng, 1000).as_nanos()).sum();
+        let sampled = sum as f64 / n as f64;
+        let analytic = net.mean_delay(1000).as_nanos() as f64;
+        assert!(
+            (sampled - analytic).abs() / analytic < 0.01,
+            "sampled {sampled} analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic random-number streams for the simulator.
+//!
+//! Every stochastic component (workload arrivals, network jitter, placement
+//! choices, ...) draws from its own [`DetRng`] stream derived from the run
+//! seed and a stream label. Components therefore stay statistically
+//! independent and a run is reproducible regardless of the order in which
+//! components happen to draw.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+/// SplitMix64 finalizer; used to derive well-separated stream seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates the root stream for a run seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derives an independent stream from a run seed and a stream label.
+    pub fn stream(seed: u64, label: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(splitmix64(
+                splitmix64(seed) ^ splitmix64(label.wrapping_mul(0xa076_1d64_78bd_642f)),
+            )),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform range inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer draw in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range inverted: [{lo}, {hi}]");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential draw with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times and exponential service demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        // Use 1 - u to avoid ln(0).
+        -mean * (1.0 - self.unit()).ln()
+    }
+
+    /// Poisson draw with the given mean.
+    ///
+    /// Knuth's method for small means, a clamped normal approximation for
+    /// large ones (sufficient for workload batch sizing).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean.is_finite() && mean >= 0.0, "poisson mean {mean}");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean < 30.0 {
+            let limit = (-mean).exp();
+            let mut product = self.unit();
+            let mut count = 0u64;
+            while product > limit {
+                product *= self.unit();
+                count += 1;
+            }
+            count
+        } else {
+            let draw = mean + mean.sqrt() * self.normal();
+            draw.max(0.0).round() as u64
+        }
+    }
+
+    /// Standard-normal draw (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = DetRng::stream(42, 0);
+        let mut b = DetRng::stream(42, 1);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4, "streams should be independent");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = DetRng::new(7);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close_small_and_large() {
+        let mut rng = DetRng::new(9);
+        for target in [0.5, 4.0, 80.0] {
+            let n = 10_000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(target)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - target).abs() < 0.15 * target.max(1.0),
+                "target {target} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = DetRng::new(1);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = DetRng::new(5);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_and_range_inclusive_bounds() {
+        let mut rng = DetRng::new(6);
+        for _ in 0..1000 {
+            assert!(rng.below(3) < 3);
+            let v = rng.range_inclusive(10, 12);
+            assert!((10..=12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DetRng::new(11);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(17);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

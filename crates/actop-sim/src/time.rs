@@ -1,0 +1,220 @@
+//! Simulation time as integer nanoseconds.
+//!
+//! A single type, [`Nanos`], represents both instants and durations. Integer
+//! nanoseconds keep event ordering exact and runs bit-reproducible; `f64`
+//! conversions are provided for the queuing-model math, which is tolerant of
+//! rounding.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulation time, or a span of it, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero instant (simulation start).
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable instant; used as an "infinitely far" bound.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a time from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional seconds, saturating at zero for
+    /// negative inputs.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Nanos((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Creates a time from fractional milliseconds, saturating at zero.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Nanos((ms.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Creates a time from fractional nanoseconds, saturating at zero.
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        Nanos(ns.max(0.0).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction: returns zero instead of wrapping.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(Nanos::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(Nanos::from_micros(7).as_nanos(), 7_000);
+        assert!((Nanos::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
+        assert!((Nanos::from_millis(250).as_millis_f64() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_secs_f64_saturates_negative() {
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_millis_f64(-0.5), Nanos::ZERO);
+        assert_eq!(Nanos::from_nanos_f64(-3.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_micros(10);
+        let b = Nanos::from_micros(4);
+        assert_eq!(a + b, Nanos::from_micros(14));
+        assert_eq!(a - b, Nanos::from_micros(6));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a * 3, Nanos::from_micros(30));
+        assert_eq!(a / 2, Nanos::from_micros(5));
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(format!("{}", Nanos(500)), "500ns");
+        assert_eq!(format!("{}", Nanos::from_micros(2)), "2.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Nanos::MAX.checked_add(Nanos(1)), None);
+        assert_eq!(Nanos(1).checked_add(Nanos(2)), Some(Nanos(3)));
+    }
+}

@@ -1,0 +1,370 @@
+//! The Space-Saving heavy-hitter sketch with weighted updates.
+//!
+//! The sketch monitors at most `capacity` items. An update to a monitored
+//! item increments its counter; an update to an unmonitored item evicts the
+//! item with the smallest counter and inherits that counter as the new
+//! item's overestimation error. Two classic guarantees follow (and are
+//! enforced by this module's property tests):
+//!
+//! 1. `estimate >= true_count >= estimate - error` for every monitored item;
+//! 2. every item with true count greater than `total_weight / capacity` is
+//!    monitored.
+//!
+//! A [`SpaceSaving::scale`] operation ages all counters multiplicatively so
+//! the partitioner tracks the *recent* communication graph rather than its
+//! full history — the property that matters for rapidly changing graphs.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+/// A monitored item with its estimated weight and overestimation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchEntry<T> {
+    /// The monitored item.
+    pub item: T,
+    /// Estimated total weight (an overestimate).
+    pub count: u64,
+    /// Maximum overestimation: the true weight is at least `count - error`.
+    pub error: u64,
+}
+
+/// Weighted Space-Saving sketch over items of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use actop_sketch::SpaceSaving;
+///
+/// let mut sketch = SpaceSaving::new(2);
+/// sketch.offer("a", 10);
+/// sketch.offer("b", 5);
+/// sketch.offer("c", 1); // evicts "b" (smallest), inherits its count
+/// assert!(sketch.estimate(&"a").is_some());
+/// assert_eq!(sketch.top_k(1)[0].item, "a");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<T> {
+    capacity: usize,
+    slots: Vec<SketchEntry<T>>,
+    index: HashMap<T, usize>,
+    /// Ordered (count, slot) pairs for O(log n) min lookup.
+    by_count: BTreeSet<(u64, usize)>,
+    total_weight: u64,
+}
+
+impl<T: Eq + Hash + Clone> SpaceSaving<T> {
+    /// Creates a sketch monitoring at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sketch capacity must be positive");
+        SpaceSaving {
+            capacity,
+            slots: Vec::with_capacity(capacity.min(4096)),
+            index: HashMap::new(),
+            by_count: BTreeSet::new(),
+            total_weight: 0,
+        }
+    }
+
+    /// Maximum number of monitored items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently monitored items.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total weight offered so far (after any [`SpaceSaving::scale`]).
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Offers `weight` units of the item to the stream.
+    pub fn offer(&mut self, item: T, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.total_weight += weight;
+        if let Some(&slot) = self.index.get(&item) {
+            let old = self.slots[slot].count;
+            self.by_count.remove(&(old, slot));
+            self.slots[slot].count = old + weight;
+            self.by_count.insert((old + weight, slot));
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            let slot = self.slots.len();
+            self.slots.push(SketchEntry {
+                item: item.clone(),
+                count: weight,
+                error: 0,
+            });
+            self.index.insert(item, slot);
+            self.by_count.insert((weight, slot));
+            return;
+        }
+        // Evict the minimum-count item; the newcomer inherits its count as
+        // overestimation error.
+        let &(min_count, slot) = self.by_count.iter().next().expect("sketch full");
+        self.by_count.remove(&(min_count, slot));
+        let evicted = std::mem::replace(
+            &mut self.slots[slot],
+            SketchEntry {
+                item: item.clone(),
+                count: min_count + weight,
+                error: min_count,
+            },
+        );
+        self.index.remove(&evicted.item);
+        self.index.insert(item, slot);
+        self.by_count.insert((min_count + weight, slot));
+    }
+
+    /// Estimated weight and error bound for an item, if monitored.
+    pub fn estimate(&self, item: &T) -> Option<(u64, u64)> {
+        self.index
+            .get(item)
+            .map(|&slot| (self.slots[slot].count, self.slots[slot].error))
+    }
+
+    /// Guaranteed lower bound on the item's true weight (0 if unmonitored).
+    pub fn lower_bound(&self, item: &T) -> u64 {
+        self.estimate(item).map(|(c, e)| c - e).unwrap_or(0)
+    }
+
+    /// All monitored entries, sorted by descending estimated count (ties by
+    /// slot order, deterministically).
+    pub fn entries(&self) -> Vec<SketchEntry<T>> {
+        let mut out: Vec<SketchEntry<T>> = self.slots.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out
+    }
+
+    /// The `k` heaviest monitored entries.
+    pub fn top_k(&self, k: usize) -> Vec<SketchEntry<T>> {
+        let mut out = self.entries();
+        out.truncate(k);
+        out
+    }
+
+    /// Multiplies every counter (and error) by `factor` in `[0, 1]`,
+    /// dropping entries that reach zero. Periodic scaling makes the sketch
+    /// track the recent stream — essential for rapidly changing
+    /// communication graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `[0, 1]`.
+    pub fn scale(&mut self, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "scale factor must be in [0,1], got {factor}"
+        );
+        let old = std::mem::take(&mut self.slots);
+        self.index.clear();
+        self.by_count.clear();
+        self.total_weight = (self.total_weight as f64 * factor) as u64;
+        for entry in old {
+            let count = (entry.count as f64 * factor) as u64;
+            if count == 0 {
+                continue;
+            }
+            let error = (entry.error as f64 * factor) as u64;
+            let slot = self.slots.len();
+            self.index.insert(entry.item.clone(), slot);
+            self.by_count.insert((count, slot));
+            self.slots.push(SketchEntry {
+                item: entry.item,
+                count,
+                error,
+            });
+        }
+    }
+
+    /// Removes an item from the sketch (e.g. after the corresponding actor
+    /// migrated away). No-op if the item is not monitored.
+    pub fn remove(&mut self, item: &T) {
+        let Some(slot) = self.index.remove(item) else {
+            return;
+        };
+        let count = self.slots[slot].count;
+        self.by_count.remove(&(count, slot));
+        let last = self.slots.len() - 1;
+        if slot != last {
+            // Move the last entry into the vacated slot and fix the indexes.
+            let moved_count = self.slots[last].count;
+            self.by_count.remove(&(moved_count, last));
+            self.slots.swap(slot, last);
+            self.index.insert(self.slots[slot].item.clone(), slot);
+            self.by_count.insert((moved_count, slot));
+        }
+        self.slots.pop();
+    }
+
+    /// Keeps only the entries whose item satisfies the predicate (e.g.
+    /// drop every edge of an actor that migrated away). O(capacity).
+    pub fn retain(&mut self, mut pred: impl FnMut(&T) -> bool) {
+        let old = std::mem::take(&mut self.slots);
+        self.index.clear();
+        self.by_count.clear();
+        for entry in old {
+            if !pred(&entry.item) {
+                continue;
+            }
+            let slot = self.slots.len();
+            self.index.insert(entry.item.clone(), slot);
+            self.by_count.insert((entry.count, slot));
+            self.slots.push(entry);
+        }
+    }
+
+    /// Drops all state.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.index.clear();
+        self.by_count.clear();
+        self.total_weight = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(10);
+        s.offer("a", 3);
+        s.offer("b", 5);
+        s.offer("a", 2);
+        assert_eq!(s.estimate(&"a"), Some((5, 0)));
+        assert_eq!(s.estimate(&"b"), Some((5, 0)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_weight(), 10);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut s = SpaceSaving::new(2);
+        s.offer("a", 10);
+        s.offer("b", 4);
+        s.offer("c", 1);
+        // "b" had the min count 4; "c" inherits it: count 5, error 4.
+        assert_eq!(s.estimate(&"b"), None);
+        assert_eq!(s.estimate(&"c"), Some((5, 4)));
+        assert_eq!(s.lower_bound(&"c"), 1);
+        assert_eq!(s.lower_bound(&"a"), 10);
+    }
+
+    #[test]
+    fn zero_weight_is_noop() {
+        let mut s = SpaceSaving::new(2);
+        s.offer("a", 0);
+        assert!(s.is_empty());
+        assert_eq!(s.total_weight(), 0);
+    }
+
+    #[test]
+    fn top_k_sorted_desc() {
+        let mut s = SpaceSaving::new(8);
+        for (item, w) in [("a", 5), ("b", 9), ("c", 2), ("d", 7)] {
+            s.offer(item, w);
+        }
+        let top = s.top_k(3);
+        assert_eq!(
+            top.iter().map(|e| e.item).collect::<Vec<_>>(),
+            vec!["b", "d", "a"]
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_survives_noise() {
+        // One heavy item plus a stream of distinct light items; the heavy
+        // item must remain monitored with a tight estimate.
+        let mut s = SpaceSaving::new(50);
+        for i in 0..10_000u64 {
+            s.offer(format!("light-{i}"), 1);
+            if i % 10 == 0 {
+                s.offer("heavy".to_string(), 10);
+            }
+        }
+        let (count, error) = s.estimate(&"heavy".to_string()).expect("monitored");
+        let true_count = 10_000;
+        assert!(count >= true_count, "estimate {count} >= true {true_count}");
+        assert!(count - error <= true_count);
+    }
+
+    #[test]
+    fn count_conservation() {
+        // Sum of monitored counts equals total stream weight when every
+        // update either increments a counter or inherits one.
+        let mut s = SpaceSaving::new(4);
+        let stream = [("a", 3), ("b", 1), ("c", 2), ("d", 5), ("e", 1), ("a", 2)];
+        let total: u64 = stream.iter().map(|&(_, w)| w).sum();
+        for (item, w) in stream {
+            s.offer(item, w);
+        }
+        let sum: u64 = s.entries().iter().map(|e| e.count).sum();
+        assert_eq!(sum, total);
+        assert_eq!(s.total_weight(), total);
+    }
+
+    #[test]
+    fn scale_ages_counts() {
+        let mut s = SpaceSaving::new(4);
+        s.offer("a", 100);
+        s.offer("b", 1);
+        s.scale(0.5);
+        assert_eq!(s.estimate(&"a"), Some((50, 0)));
+        // "b" scaled to 0 and was dropped.
+        assert_eq!(s.estimate(&"b"), None);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_weight(), 50);
+    }
+
+    #[test]
+    fn remove_keeps_structure_consistent() {
+        let mut s = SpaceSaving::new(4);
+        for (item, w) in [("a", 5), ("b", 9), ("c", 2)] {
+            s.offer(item, w);
+        }
+        s.remove(&"b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.estimate(&"b"), None);
+        // Remaining items intact and still updatable.
+        s.offer("a", 1);
+        assert_eq!(s.estimate(&"a"), Some((6, 0)));
+        s.remove(&"zzz"); // no-op
+        assert_eq!(s.len(), 2);
+        // Eviction still works after removal.
+        s.offer("d", 1);
+        s.offer("e", 1);
+        s.offer("f", 100);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = SpaceSaving::new(2);
+        s.offer("a", 5);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.total_weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: SpaceSaving<u32> = SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the Space-Saving sketch guarantees.
+
+use std::collections::HashMap;
+
+use actop_sketch::SpaceSaving;
+use proptest::prelude::*;
+
+/// Replays a stream into both the sketch and an exact counter.
+fn replay(capacity: usize, stream: &[(u8, u8)]) -> (SpaceSaving<u8>, HashMap<u8, u64>) {
+    let mut sketch = SpaceSaving::new(capacity);
+    let mut exact: HashMap<u8, u64> = HashMap::new();
+    for &(item, w) in stream {
+        let w = w as u64;
+        sketch.offer(item, w);
+        if w > 0 {
+            *exact.entry(item).or_default() += w;
+        }
+    }
+    (sketch, exact)
+}
+
+proptest! {
+    /// Guarantee 1: estimate >= true count >= estimate - error.
+    #[test]
+    fn estimates_bracket_true_counts(
+        capacity in 1usize..20,
+        stream in proptest::collection::vec((0u8..40, 0u8..10), 0..300),
+    ) {
+        let (sketch, exact) = replay(capacity, &stream);
+        for entry in sketch.entries() {
+            let true_count = exact.get(&entry.item).copied().unwrap_or(0);
+            prop_assert!(
+                entry.count >= true_count,
+                "item {} estimate {} < true {}", entry.item, entry.count, true_count
+            );
+            prop_assert!(
+                entry.count - entry.error <= true_count,
+                "item {} lower bound {} > true {}",
+                entry.item, entry.count - entry.error, true_count
+            );
+        }
+    }
+
+    /// Guarantee 2: any item heavier than total/capacity is monitored.
+    #[test]
+    fn heavy_hitters_are_monitored(
+        capacity in 1usize..20,
+        stream in proptest::collection::vec((0u8..40, 0u8..10), 0..300),
+    ) {
+        let (sketch, exact) = replay(capacity, &stream);
+        let threshold = sketch.total_weight() / capacity as u64;
+        for (&item, &count) in &exact {
+            if count > threshold {
+                prop_assert!(
+                    sketch.estimate(&item).is_some(),
+                    "heavy item {item} (count {count} > threshold {threshold}) evicted"
+                );
+            }
+        }
+    }
+
+    /// Count conservation: monitored counts sum to the total stream weight.
+    #[test]
+    fn counts_are_conserved(
+        capacity in 1usize..20,
+        stream in proptest::collection::vec((0u8..40, 0u8..10), 0..300),
+    ) {
+        let (sketch, _) = replay(capacity, &stream);
+        let sum: u64 = sketch.entries().iter().map(|e| e.count).sum();
+        prop_assert_eq!(sum, sketch.total_weight());
+    }
+
+    /// The sketch never exceeds its capacity.
+    #[test]
+    fn capacity_is_respected(
+        capacity in 1usize..8,
+        stream in proptest::collection::vec((0u8..255, 1u8..5), 0..200),
+    ) {
+        let (sketch, _) = replay(capacity, &stream);
+        prop_assert!(sketch.len() <= sketch.capacity());
+    }
+
+    /// Removing arbitrary items keeps the index consistent: every remaining
+    /// entry is still queryable with the same estimate.
+    #[test]
+    fn removal_keeps_consistency(
+        stream in proptest::collection::vec((0u8..20, 1u8..5), 0..100),
+        removals in proptest::collection::vec(0u8..20, 0..10),
+    ) {
+        let (mut sketch, _) = replay(8, &stream);
+        for item in &removals {
+            sketch.remove(item);
+        }
+        for entry in sketch.entries() {
+            prop_assert_eq!(
+                sketch.estimate(&entry.item),
+                Some((entry.count, entry.error))
+            );
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! The Halo Presence workload (§3, §6.1).
+//!
+//! Two actor types: **players** and **games**. A client status request to a
+//! player fans out through the player's game to all eight members:
+//!
+//! ```text
+//! client -> player --POLL--> game --PING--> 8 players
+//!                                 <--reply--
+//!                  <--reply--
+//! client <- player
+//! ```
+//!
+//! One client request therefore produces 18 actor-to-actor messages
+//! (1 + 8 requests, 8 + 1 replies), exactly the paper's count.
+//!
+//! The lifecycle churn matches §6: players arrive as a Poisson process
+//! sized for the target concurrent population, idle players wait in a
+//! matchmaking pool, eight random pool members form a game, games last
+//! 20–30 minutes (uniform), players play 3–5 games and then leave. At the
+//! paper's parameters this changes about 1% of the communication graph per
+//! minute.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use actop_runtime::{ActorId, AppLogic, Call, Cluster, Reaction};
+use actop_sim::{DetRng, Engine, Nanos};
+
+/// Tag of a client status request to a player.
+pub const TAG_STATUS: u32 = 0;
+/// Tag of a player's poll of its game.
+pub const TAG_POLL: u32 = 1;
+/// Tag of a game's broadcast ping to a member.
+pub const TAG_PING: u32 = 2;
+
+/// Game actor ids live above this offset; player ids below it.
+const GAME_BASE: u64 = 1 << 40;
+
+/// The actor id of player `p`.
+pub fn player_actor(p: u64) -> ActorId {
+    debug_assert!(p < GAME_BASE);
+    ActorId(p)
+}
+
+/// The actor id of game `g`.
+pub fn game_actor(g: u64) -> ActorId {
+    ActorId(GAME_BASE + g)
+}
+
+/// Halo Presence configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HaloConfig {
+    /// Target concurrent players (the paper runs 10K / 100K / 1M).
+    pub total_players: u64,
+    /// Players per game (8).
+    pub players_per_game: usize,
+    /// Idle matchmaking-pool target (1000 at paper scale).
+    pub idle_pool_target: usize,
+    /// Game duration range in seconds (uniform; 1200–1800 in the paper).
+    pub game_duration_s: (f64, f64),
+    /// Games played per player before leaving (uniform inclusive; 3–5).
+    pub games_per_player: (u32, u32),
+    /// Client status-request rate, requests per second.
+    pub request_rate: f64,
+    /// Client request payload bytes.
+    pub request_bytes: u64,
+    /// Actor-to-actor payload bytes.
+    pub payload_bytes: u64,
+    /// Mean CPU cost of the player STATUS handler, nanoseconds (handler
+    /// times are exponentially distributed around their mean).
+    pub status_cpu_ns: f64,
+    /// Mean CPU cost of the game POLL (broadcast) handler, nanoseconds.
+    pub poll_cpu_ns: f64,
+    /// Mean CPU cost of the player PING handler, nanoseconds.
+    pub ping_cpu_ns: f64,
+    /// CPU cost of processing one gathered sub-reply, nanoseconds.
+    pub continuation_cpu_ns: f64,
+    /// How long clients keep issuing requests.
+    pub duration: Nanos,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl HaloConfig {
+    /// The paper's parameters at a given scale. `total_players` is the
+    /// concurrent population; the pool target scales proportionally
+    /// (1000 at 100K players).
+    pub fn paper_scale(total_players: u64, request_rate: f64, duration: Nanos, seed: u64) -> Self {
+        HaloConfig {
+            total_players,
+            players_per_game: 8,
+            idle_pool_target: ((total_players / 100) as usize).max(8),
+            game_duration_s: (1200.0, 1800.0),
+            games_per_player: (3, 5),
+            request_rate,
+            request_bytes: 300,
+            payload_bytes: 600,
+            status_cpu_ns: 210_000.0,
+            poll_cpu_ns: 210_000.0,
+            ping_cpu_ns: 180_000.0,
+            continuation_cpu_ns: 125_000.0,
+            duration,
+            seed,
+        }
+    }
+
+    /// A fast-churn variant for tests: seconds-long games so lifecycle
+    /// transitions happen within short runs.
+    pub fn fast_churn(total_players: u64, request_rate: f64, duration: Nanos, seed: u64) -> Self {
+        HaloConfig {
+            game_duration_s: (5.0, 10.0),
+            ..Self::paper_scale(total_players, request_rate, duration, seed)
+        }
+    }
+
+    /// Mean session length in seconds (games per player × mean duration).
+    pub fn mean_session_secs(&self) -> f64 {
+        let games = (self.games_per_player.0 + self.games_per_player.1) as f64 / 2.0;
+        let duration = (self.game_duration_s.0 + self.game_duration_s.1) / 2.0;
+        games * duration
+    }
+
+    /// Player arrival rate sustaining the target population, players/sec.
+    pub fn arrival_rate(&self) -> f64 {
+        self.total_players as f64 / self.mean_session_secs()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PlayerInfo {
+    game: Option<u64>,
+    games_left: u32,
+}
+
+/// Lifecycle statistics, exposed for tests and convergence benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HaloStats {
+    /// Games started (including pre-population).
+    pub games_started: u64,
+    /// Games that ran to completion.
+    pub games_ended: u64,
+    /// Players who arrived (including pre-population).
+    pub players_arrived: u64,
+    /// Players who finished their last game and left.
+    pub players_left: u64,
+}
+
+struct HaloState {
+    cfg: HaloConfig,
+    rng: DetRng,
+    players: HashMap<u64, PlayerInfo>,
+    games: HashMap<u64, Vec<u64>>,
+    pool: Vec<u64>,
+    alive: Vec<u64>,
+    alive_pos: HashMap<u64, usize>,
+    next_player: u64,
+    next_game: u64,
+    stats: HaloStats,
+}
+
+impl HaloState {
+    fn add_alive(&mut self, p: u64) {
+        self.alive_pos.insert(p, self.alive.len());
+        self.alive.push(p);
+    }
+
+    fn remove_alive(&mut self, p: u64) {
+        let Some(pos) = self.alive_pos.remove(&p) else {
+            return;
+        };
+        let last = self.alive.len() - 1;
+        self.alive.swap(pos, last);
+        self.alive.pop();
+        if pos <= last && pos < self.alive.len() {
+            self.alive_pos.insert(self.alive[pos], pos);
+        }
+    }
+
+    fn new_player(&mut self) -> u64 {
+        let p = self.next_player;
+        self.next_player += 1;
+        let (lo, hi) = self.cfg.games_per_player;
+        let games_left = self.rng.range_inclusive(lo as u64, hi as u64) as u32;
+        self.players.insert(
+            p,
+            PlayerInfo {
+                game: None,
+                games_left,
+            },
+        );
+        self.add_alive(p);
+        self.pool.push(p);
+        self.stats.players_arrived += 1;
+        p
+    }
+
+    /// Forms one game from random pool members. Returns its id.
+    fn form_game(&mut self) -> u64 {
+        let g = self.next_game;
+        self.next_game += 1;
+        let mut members = Vec::with_capacity(self.cfg.players_per_game);
+        for _ in 0..self.cfg.players_per_game {
+            let idx = self.rng.below(self.pool.len());
+            members.push(self.pool.swap_remove(idx));
+        }
+        for &p in &members {
+            if let Some(info) = self.players.get_mut(&p) {
+                info.game = Some(g);
+            }
+        }
+        self.games.insert(g, members);
+        self.stats.games_started += 1;
+        g
+    }
+
+    fn can_form_game(&self) -> bool {
+        self.pool.len() >= self.cfg.players_per_game && self.pool.len() > self.cfg.idle_pool_target
+    }
+
+    fn game_duration(&mut self) -> Nanos {
+        let (lo, hi) = self.cfg.game_duration_s;
+        Nanos::from_secs_f64(self.rng.uniform(lo, hi))
+    }
+}
+
+/// The built Halo Presence workload.
+pub struct HaloWorkload {
+    state: Rc<RefCell<HaloState>>,
+}
+
+struct HaloApp {
+    state: Rc<RefCell<HaloState>>,
+    cfg: HaloConfig,
+}
+
+impl AppLogic for HaloApp {
+    fn on_request(&mut self, actor: ActorId, tag: u32, rng: &mut DetRng) -> Reaction {
+        let state = self.state.borrow();
+        // Handler compute times are exponentially distributed around their
+        // configured means, giving realistic service-time variance.
+        let mut cost = |mean: f64| rng.exp(mean);
+        match tag {
+            TAG_STATUS => {
+                let player = actor.0;
+                let game = state.players.get(&player).and_then(|info| info.game);
+                match game.filter(|g| state.games.contains_key(g)) {
+                    Some(g) => Reaction::fan_out(
+                        cost(self.cfg.status_cpu_ns),
+                        vec![Call {
+                            to: game_actor(g),
+                            tag: TAG_POLL,
+                            bytes: self.cfg.payload_bytes,
+                        }],
+                        self.cfg.request_bytes,
+                    ),
+                    // Idle or departed player: answer from local state.
+                    None => Reaction::reply(
+                        cost(self.cfg.status_cpu_ns * 0.5),
+                        self.cfg.request_bytes,
+                    ),
+                }
+            }
+            TAG_POLL => {
+                let game = actor.0 - GAME_BASE;
+                match state.games.get(&game) {
+                    Some(members) => {
+                        let calls = members
+                            .iter()
+                            .map(|&p| Call {
+                                to: player_actor(p),
+                                tag: TAG_PING,
+                                bytes: self.cfg.payload_bytes,
+                            })
+                            .collect();
+                        Reaction::fan_out(
+                            cost(self.cfg.poll_cpu_ns),
+                            calls,
+                            self.cfg.payload_bytes,
+                        )
+                    }
+                    // The game ended while the poll was in flight.
+                    None => {
+                        Reaction::reply(cost(self.cfg.poll_cpu_ns * 0.5), self.cfg.payload_bytes)
+                    }
+                }
+            }
+            TAG_PING => Reaction::reply(cost(self.cfg.ping_cpu_ns), self.cfg.payload_bytes),
+            other => unreachable!("unknown Halo tag {other}"),
+        }
+    }
+
+    fn continuation_cpu_ns(&self) -> f64 {
+        self.cfg.continuation_cpu_ns
+    }
+}
+
+impl HaloWorkload {
+    /// Creates the workload and its application logic.
+    pub fn build(cfg: HaloConfig) -> (Box<dyn AppLogic>, HaloWorkload) {
+        assert!(cfg.total_players >= cfg.players_per_game as u64);
+        assert!(cfg.players_per_game >= 2);
+        assert!(cfg.request_rate > 0.0);
+        let state = Rc::new(RefCell::new(HaloState {
+            rng: DetRng::stream(cfg.seed, 0x40),
+            players: HashMap::new(),
+            games: HashMap::new(),
+            pool: Vec::new(),
+            alive: Vec::new(),
+            alive_pos: HashMap::new(),
+            next_player: 0,
+            next_game: 0,
+            stats: HaloStats::default(),
+            cfg,
+        }));
+        let app = Box::new(HaloApp {
+            state: Rc::clone(&state),
+            cfg,
+        });
+        (app, HaloWorkload { state })
+    }
+
+    /// Current lifecycle statistics.
+    pub fn stats(&self) -> HaloStats {
+        self.state.borrow().stats
+    }
+
+    /// Number of currently live players.
+    pub fn live_players(&self) -> usize {
+        self.state.borrow().alive.len()
+    }
+
+    /// Number of currently running games.
+    pub fn live_games(&self) -> usize {
+        self.state.borrow().games.len()
+    }
+
+    /// Schedules pre-population, player arrivals, matchmaking churn, and
+    /// the client request stream.
+    pub fn install(&self, engine: &mut Engine<Cluster>) {
+        let state = Rc::clone(&self.state);
+        engine.schedule(Nanos::ZERO, move |_c: &mut Cluster, e| {
+            prepopulate(&state, e);
+            let arrivals = Rc::clone(&state);
+            arrival_tick(&arrivals, e);
+            let requests = Rc::clone(&state);
+            let rng = {
+                let seed = requests.borrow().cfg.seed;
+                DetRng::stream(seed, 0x41)
+            };
+            request_tick(requests, rng, e);
+        });
+    }
+}
+
+/// Creates the steady-state population at time zero: the idle pool at its
+/// target size, everyone else in games with uniformly residual end times.
+fn prepopulate(state: &Rc<RefCell<HaloState>>, engine: &mut Engine<Cluster>) {
+    let mut ends = Vec::new();
+    {
+        let mut st = state.borrow_mut();
+        let total = st.cfg.total_players;
+        for _ in 0..total {
+            let p = st.new_player();
+            // Pre-populated players are mid-session: their remaining game
+            // count is residual (uniform in [1, max]), otherwise departures
+            // would lag arrivals and the population would overshoot.
+            let hi = st.cfg.games_per_player.1 as u64;
+            let remaining = st.rng.range_inclusive(1, hi) as u32;
+            if let Some(info) = st.players.get_mut(&p) {
+                info.games_left = remaining;
+            }
+        }
+        // Leave the pool at its target; everyone else plays.
+        while st.can_form_game() {
+            let g = st.form_game();
+            // Residual lifetime: uniform over a full game duration.
+            let full = st.game_duration();
+            let residual = Nanos::from_nanos(st.rng.range_inclusive(1, full.as_nanos().max(2)));
+            ends.push((g, residual));
+        }
+    }
+    for (g, at) in ends {
+        let state = Rc::clone(state);
+        engine.schedule(at, move |_c: &mut Cluster, e| game_over(&state, e, g));
+    }
+}
+
+/// One player arrives; matchmaking may start games.
+fn arrival_tick(state: &Rc<RefCell<HaloState>>, engine: &mut Engine<Cluster>) {
+    let (gap, new_games, duration_end) = {
+        let mut st = state.borrow_mut();
+        st.new_player();
+        let mut new_games = Vec::new();
+        while st.can_form_game() {
+            let g = st.form_game();
+            let d = st.game_duration();
+            new_games.push((g, d));
+        }
+        let rate = st.cfg.arrival_rate();
+        let gap = Nanos::from_secs_f64(st.rng.exp(1.0 / rate));
+        (gap, new_games, st.cfg.duration)
+    };
+    for (g, d) in new_games {
+        let state = Rc::clone(state);
+        engine.schedule_after(d, move |_c: &mut Cluster, e| game_over(&state, e, g));
+    }
+    if engine.now() + gap < duration_end {
+        let state = Rc::clone(state);
+        engine.schedule_after(gap, move |_c: &mut Cluster, e| arrival_tick(&state, e));
+    }
+}
+
+/// A game ends: members leave or re-enter the pool; matchmaking continues.
+fn game_over(state: &Rc<RefCell<HaloState>>, engine: &mut Engine<Cluster>, game: u64) {
+    let new_games = {
+        let mut st = state.borrow_mut();
+        let Some(members) = st.games.remove(&game) else {
+            return;
+        };
+        st.stats.games_ended += 1;
+        for p in members {
+            let Some(info) = st.players.get_mut(&p) else {
+                continue;
+            };
+            info.game = None;
+            info.games_left = info.games_left.saturating_sub(1);
+            if info.games_left == 0 {
+                st.players.remove(&p);
+                st.remove_alive(p);
+                st.stats.players_left += 1;
+            } else {
+                st.pool.push(p);
+            }
+        }
+        let mut new_games = Vec::new();
+        while st.can_form_game() {
+            let g = st.form_game();
+            let d = st.game_duration();
+            new_games.push((g, d));
+        }
+        new_games
+    };
+    for (g, d) in new_games {
+        let state = Rc::clone(state);
+        engine.schedule_after(d, move |_c: &mut Cluster, e| game_over(&state, e, g));
+    }
+}
+
+/// The open-loop client status-request stream.
+fn request_tick(state: Rc<RefCell<HaloState>>, mut rng: DetRng, engine: &mut Engine<Cluster>) {
+    let (target, gap, duration_end) = {
+        let st = state.borrow();
+        let target = if st.alive.is_empty() {
+            None
+        } else {
+            Some(st.alive[rng.below(st.alive.len())])
+        };
+        let gap = Nanos::from_secs_f64(rng.exp(1.0 / st.cfg.request_rate));
+        (target, gap, st.cfg.duration)
+    };
+    if let Some(player) = target {
+        let bytes = state.borrow().cfg.request_bytes;
+        // The closure needs the cluster; submit directly here.
+        // (request_tick is itself an engine event, so we have it.)
+        engine.schedule(engine.now(), move |c: &mut Cluster, e| {
+            c.submit_client_request(e, player_actor(player), TAG_STATUS, bytes);
+        });
+    }
+    if engine.now() + gap < duration_end {
+        engine.schedule_after(gap, move |_c: &mut Cluster, e| {
+            request_tick(state, rng, e);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actop_runtime::RuntimeConfig;
+
+    /// Runs until the workload's configured duration (not to full drain:
+    /// once arrivals stop, the remaining lifecycle would play out and the
+    /// population would empty, which is not the steady state the paper
+    /// measures).
+    fn run_halo(cfg: HaloConfig, rt_seed: u64) -> (Cluster, HaloWorkload) {
+        let (app, workload) = HaloWorkload::build(cfg);
+        let mut cluster = Cluster::new(RuntimeConfig::paper_testbed(rt_seed), app);
+        let mut engine: Engine<Cluster> = Engine::new();
+        workload.install(&mut engine);
+        let end = cfg.duration;
+        engine.run_until(&mut cluster, end);
+        (cluster, workload)
+    }
+
+    #[test]
+    fn status_request_produces_eighteen_actor_messages() {
+        // One request against a quiet, non-churning population.
+        let mut cfg = HaloConfig::paper_scale(64, 0.001, Nanos::from_millis(10), 3);
+        cfg.idle_pool_target = 0; // Everyone in games.
+        cfg.request_rate = 1.0;
+        cfg.duration = Nanos::from_millis(500);
+        let (app, workload) = HaloWorkload::build(cfg);
+        let mut cluster = Cluster::new(RuntimeConfig::paper_testbed(3), app);
+        let mut engine: Engine<Cluster> = Engine::new();
+        workload.install(&mut engine);
+        engine.run(&mut cluster);
+        let completed = cluster.metrics.completed;
+        assert!(completed >= 1, "at least one request completed");
+        let actor_msgs = cluster.metrics.remote_messages + cluster.metrics.local_messages;
+        assert_eq!(
+            actor_msgs,
+            completed * 18,
+            "18 actor messages per status request"
+        );
+    }
+
+    #[test]
+    fn population_reaches_target_and_sustains() {
+        let cfg = HaloConfig::fast_churn(400, 50.0, Nanos::from_secs(20), 5);
+        let (cluster, workload) = run_halo(cfg, 5);
+        // Population stays near the target: arrivals balance departures.
+        let live = workload.live_players();
+        assert!(
+            (300..=520).contains(&live),
+            "live players {live} (target 400)"
+        );
+        let stats = workload.stats();
+        assert!(stats.games_ended > 0, "fast churn must end games: {stats:?}");
+        assert!(stats.players_left > 0);
+        assert!(cluster.metrics.completed > 500);
+    }
+
+    #[test]
+    fn graph_churn_rate_matches_paper_at_paper_params() {
+        // At paper parameters the communication graph changes ~1%/min:
+        // arrival rate = N / (4 games * 25 min) = 1% of N per minute.
+        let cfg = HaloConfig::paper_scale(100_000, 6000.0, Nanos::from_secs(60), 1);
+        let per_minute = cfg.arrival_rate() * 60.0;
+        let pct = per_minute / cfg.total_players as f64 * 100.0;
+        assert!(
+            (0.8..1.2).contains(&pct),
+            "churn {pct}% of players per minute"
+        );
+    }
+
+    #[test]
+    fn idle_pool_hovers_at_target() {
+        let cfg = HaloConfig::fast_churn(800, 20.0, Nanos::from_secs(15), 9);
+        let (_cluster, workload) = run_halo(cfg, 9);
+        let pool = workload.state.borrow().pool.len();
+        let target = workload.state.borrow().cfg.idle_pool_target;
+        assert!(
+            pool <= target + 8,
+            "pool {pool} should hover at target {target}"
+        );
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let cfg = HaloConfig::fast_churn(200, 30.0, Nanos::from_secs(8), 11);
+        let (a, wa) = run_halo(cfg, 11);
+        let (b, wb) = run_halo(cfg, 11);
+        assert_eq!(a.metrics.completed, b.metrics.completed);
+        assert_eq!(a.metrics.remote_messages, b.metrics.remote_messages);
+        assert_eq!(wa.stats(), wb.stats());
+    }
+
+    #[test]
+    fn remote_fraction_is_high_under_random_placement() {
+        // The §3 claim: ~90% of actor-to-actor messages are remote with
+        // random placement on 10 servers.
+        let cfg = HaloConfig::paper_scale(2_000, 200.0, Nanos::from_secs(10), 13);
+        let (cluster, _) = run_halo(cfg, 13);
+        let fraction = cluster.metrics.remote_fraction();
+        assert!(
+            fraction > 0.8,
+            "remote fraction {fraction} should be ~0.9"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The workloads of the ActOp evaluation (§3, §6).
+//!
+//! * [`halo`] — **Halo Presence**: games and players as actors, clients
+//!   querying player status; each request triggers the paper's 18-message
+//!   fan-out through the player's game. The game lifecycle (matchmaking
+//!   from an idle pool, 20–30 minute games, 3–5 games per player, Poisson
+//!   player arrivals) produces the ~1%-per-minute communication-graph
+//!   churn that stresses the partitioner.
+//! * [`uniform`] — single-actor-type request/reply services:
+//!   [`uniform::heartbeat`] (the §6.2 thread-allocation benchmark) and
+//!   [`uniform::counter`] (the §3 latency-breakdown microbenchmark).
+//!
+//! Each workload builds two halves: an [`actop_runtime::AppLogic`]
+//! implementation handed to the cluster, and a *driver* that schedules
+//! client arrivals and lifecycle churn on the simulation engine. The halves
+//! share state through an `Rc<RefCell<..>>` (the simulation is
+//! single-threaded).
+
+pub mod halo;
+pub mod uniform;
+
+pub use halo::{HaloConfig, HaloWorkload};
+pub use uniform::{counter, heartbeat, UniformConfig, UniformWorkload};

@@ -1,0 +1,69 @@
+//! The paper's headline workload end to end: Halo Presence with the
+//! distributed partitioner, printing the convergence trace of Fig. 10a.
+//!
+//! ```sh
+//! cargo run --release --example halo_presence
+//! ```
+
+use actop::prelude::*;
+
+fn main() {
+    let seed = 7;
+    let players = 10_000;
+    let request_rate = 3_000.0;
+    let mut workload_cfg =
+        HaloConfig::paper_scale(players, request_rate, Nanos::from_secs(80), seed);
+    // Compress the game lifecycle so churn is visible in a short run.
+    workload_cfg.game_duration_s = (120.0, 180.0);
+
+    let (app, workload) = HaloWorkload::build(workload_cfg);
+    let mut rt = RuntimeConfig::paper_testbed(seed);
+    rt.series_bin_ns = 5_000_000_000;
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+
+    install_actop(
+        &mut engine,
+        cluster.server_count(),
+        &ActOpConfig {
+            partition: Some(PartitionAgentConfig::with_interval(Nanos::from_secs(1))),
+            threads: Some(ThreadAgentConfig::default()),
+        },
+    );
+
+    println!(
+        "Halo Presence: {players} players, {request_rate} req/s, {} servers",
+        cluster.server_count()
+    );
+    let summary = run_steady_state(
+        &mut engine,
+        &mut cluster,
+        Nanos::from_secs(30),
+        Nanos::from_secs(50),
+    );
+    println!(
+        "steady state: median {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, cpu {:.0}%",
+        summary.p50_ms, summary.p95_ms, summary.p99_ms, summary.cpu_utilization * 100.0
+    );
+    println!(
+        "lifecycle: {} games running, {} started, {} players online",
+        workload.live_games(),
+        workload.stats().games_started,
+        workload.live_players()
+    );
+    println!();
+    println!("remote-message share over time (5-s bins, from cold start):");
+    for (i, share) in cluster.metrics.remote_share_series.means().iter().enumerate() {
+        println!("  t={:>3}s  {:>5.1}%  {}", i * 5, share * 100.0, bar(*share));
+    }
+    println!(
+        "\n{} actor migrations total; server sizes {:?}",
+        cluster.metrics.migrations,
+        cluster.server_sizes()
+    );
+}
+
+fn bar(fraction: f64) -> String {
+    "#".repeat((fraction * 50.0).round() as usize)
+}

@@ -1,0 +1,55 @@
+//! The Heartbeat service on a single server: watch the model-driven thread
+//! allocator measure the stages, solve problem (*), and reconfigure —
+//! versus the Orleans default of one thread per stage per core.
+//!
+//! ```sh
+//! cargo run --release --example heartbeat
+//! ```
+
+use actop::prelude::*;
+
+fn run(agent: Option<ThreadAgentConfig>, label: &str) {
+    let seed = 9;
+    let load = 14_000.0;
+    let workload = actop::workloads::uniform::heartbeat(load, Nanos::from_secs(50), seed);
+    let (app, driver) = UniformWorkload::build(workload);
+    let mut cluster = Cluster::new(RuntimeConfig::single_server(seed), app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    driver.install(&mut engine);
+    if let Some(agent) = agent {
+        install_actop(
+            &mut engine,
+            1,
+            &ActOpConfig {
+                partition: None,
+                threads: Some(agent),
+            },
+        );
+    }
+    let summary = run_steady_state(
+        &mut engine,
+        &mut cluster,
+        Nanos::from_secs(15),
+        Nanos::from_secs(30),
+    );
+    let alloc = cluster.servers[0].thread_allocation();
+    println!(
+        "{label:<28} median {:6.2} ms | p99 {:7.2} ms | cpu {:4.1}% | threads R/W/SS/CS {:?}",
+        summary.p50_ms,
+        summary.p99_ms,
+        summary.cpu_utilization * 100.0,
+        alloc
+    );
+}
+
+fn main() {
+    println!("Heartbeat @ 14K requests/s on one 8-core server\n");
+    run(None, "Orleans default (8/8/8/8)");
+    run(
+        Some(ThreadAgentConfig {
+            interval: Nanos::from_secs(3),
+            ..ThreadAgentConfig::default()
+        }),
+        "ActOp model-driven",
+    );
+}

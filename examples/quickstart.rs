@@ -1,0 +1,58 @@
+//! Quickstart: build a cluster, run a workload, enable ActOp, compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use actop::prelude::*;
+
+fn run(actop_config: &ActOpConfig, label: &str) {
+    // The paper's testbed shape: ten 8-core servers, random placement.
+    let seed = 42;
+    let workload = HaloConfig::paper_scale(
+        5_000,                  // concurrent players
+        2_000.0,                // client requests per second
+        Nanos::from_secs(40),   // how long clients keep arriving
+        seed,
+    );
+    let (app, driver) = HaloWorkload::build(workload);
+    let mut cluster = Cluster::new(RuntimeConfig::paper_testbed(seed), app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    driver.install(&mut engine);
+    install_actop(&mut engine, cluster.server_count(), actop_config);
+
+    // Warm up 15 s, measure 25 s.
+    let summary = run_steady_state(
+        &mut engine,
+        &mut cluster,
+        Nanos::from_secs(15),
+        Nanos::from_secs(25),
+    );
+    println!(
+        "{label:<22} median {:6.2} ms | p99 {:6.2} ms | remote msgs {:4.1}% | cpu {:4.1}% | {} reqs",
+        summary.p50_ms,
+        summary.p99_ms,
+        summary.remote_fraction * 100.0,
+        summary.cpu_utilization * 100.0,
+        summary.completed,
+    );
+}
+
+fn main() {
+    println!("Halo Presence on 10 simulated servers, 2K client requests/s\n");
+    run(&ActOpConfig::default(), "baseline (no ActOp)");
+    run(
+        &ActOpConfig {
+            partition: Some(PartitionAgentConfig::with_interval(Nanos::from_secs(1))),
+            threads: None,
+        },
+        "ActOp partitioning",
+    );
+    run(
+        &ActOpConfig {
+            partition: Some(PartitionAgentConfig::with_interval(Nanos::from_secs(1))),
+            threads: Some(ThreadAgentConfig::default()),
+        },
+        "ActOp full",
+    );
+}

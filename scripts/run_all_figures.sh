@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates figures_output.txt: every table/figure bench in paper order.
+#
+# Usage:
+#   scripts/run_all_figures.sh            # default (laptop) scale
+#   ACTOP_FULL_SCALE=1 scripts/run_all_figures.sh   # paper-scale populations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p actop-bench --bins
+
+BENCHES=(
+  bench_sec3_motivation
+  bench_fig4_breakdown
+  bench_fig5_heatmap
+  bench_fig7_queue_controller
+  bench_fig10a_convergence
+  bench_fig10b_latency_cdf
+  bench_fig10c_s2s_cdf
+  bench_fig10d_load_sweep
+  bench_fig10e_cpu
+  bench_fig10f_actor_scale
+  bench_fig11a_threads
+  bench_fig11b_combined
+  bench_throughput_peak
+  bench_ablation_convergence
+  bench_ablation_allocator
+  bench_ablation_tails
+  bench_ablation_failover
+)
+
+out=figures_output.txt
+: > "$out"
+for bench in "${BENCHES[@]}"; do
+  echo "===== $bench =====" | tee -a "$out"
+  ./target/release/"$bench" | tee -a "$out"
+  echo | tee -a "$out"
+done
+echo "wrote $out"

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Splices re-run bench sections into figures_output.txt (sections are
+delimited by '===== <bench name> =====' headers)."""
+
+import re
+import sys
+
+
+def sections(path):
+    out = {}
+    current = None
+    for line in open(path):
+        m = re.match(r"^===== (\S+) =====$", line.strip())
+        if m:
+            current = m.group(1)
+            out[current] = []
+        if current:
+            out[current].append(line)
+    return out
+
+
+def main():
+    base = sections("figures_output.txt")
+    for extra_path in sys.argv[1:]:
+        for name, lines in sections(extra_path).items():
+            base[name] = lines
+    order = [
+        "bench_sec3_motivation",
+        "bench_fig4_breakdown",
+        "bench_fig5_heatmap",
+        "bench_fig7_queue_controller",
+        "bench_fig10a_convergence",
+        "bench_fig10b_latency_cdf",
+        "bench_fig10c_s2s_cdf",
+        "bench_fig10d_load_sweep",
+        "bench_fig10e_cpu",
+        "bench_fig10f_actor_scale",
+        "bench_fig11a_threads",
+        "bench_fig11b_combined",
+        "bench_throughput_peak",
+        "bench_ablation_convergence",
+        "bench_ablation_allocator",
+        "bench_ablation_tails",
+        "bench_ablation_failover",
+    ]
+    with open("figures_output.txt", "w") as f:
+        for name in order:
+            if name in base:
+                f.writelines(base[name])
+                if not base[name][-1].endswith("\n"):
+                    f.write("\n")
+    print("spliced", [n for n in order if n in base])
+
+
+if __name__ == "__main__":
+    main()

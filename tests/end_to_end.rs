@@ -1,0 +1,239 @@
+//! Cross-crate integration tests: the full ActOp stack (runtime +
+//! sketches + partitioner + allocator) against the paper's workloads at
+//! test scale.
+
+use actop::prelude::*;
+
+fn halo_cluster(
+    players: u64,
+    rate: f64,
+    duration_s: u64,
+    seed: u64,
+) -> (Cluster, Engine<Cluster>, HaloWorkload) {
+    let mut cfg = HaloConfig::paper_scale(players, rate, Nanos::from_secs(duration_s), seed);
+    cfg.game_duration_s = (120.0, 180.0);
+    let (app, workload) = HaloWorkload::build(cfg);
+    let cluster = Cluster::new(RuntimeConfig::paper_testbed(seed), app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    (cluster, engine, workload)
+}
+
+fn fast_partition() -> PartitionAgentConfig {
+    actop::core::controllers::PartitionAgentConfig::with_interval(Nanos::from_secs(1))
+}
+
+#[test]
+fn partitioning_reduces_remote_share_and_latency() {
+    let (mut base_cluster, mut base_engine, _w1) = halo_cluster(3_000, 1_500.0, 40, 1);
+    let baseline = run_steady_state(
+        &mut base_engine,
+        &mut base_cluster,
+        Nanos::from_secs(15),
+        Nanos::from_secs(25),
+    );
+
+    let (mut opt_cluster, mut opt_engine, _w2) = halo_cluster(3_000, 1_500.0, 40, 1);
+    install_actop(
+        &mut opt_engine,
+        opt_cluster.server_count(),
+        &ActOpConfig {
+            partition: Some(fast_partition()),
+            threads: None,
+        },
+    );
+    let optimized = run_steady_state(
+        &mut opt_engine,
+        &mut opt_cluster,
+        Nanos::from_secs(15),
+        Nanos::from_secs(25),
+    );
+
+    assert!(
+        baseline.remote_fraction > 0.8,
+        "baseline remote {:.2}",
+        baseline.remote_fraction
+    );
+    assert!(
+        optimized.remote_fraction < 0.3,
+        "optimized remote {:.2}",
+        optimized.remote_fraction
+    );
+    assert!(
+        optimized.p50_ms < baseline.p50_ms,
+        "median {:.2} vs {:.2}",
+        optimized.p50_ms,
+        baseline.p50_ms
+    );
+    assert!(
+        optimized.cpu_utilization < baseline.cpu_utilization,
+        "cpu {:.2} vs {:.2}",
+        optimized.cpu_utilization,
+        baseline.cpu_utilization
+    );
+    assert!(optimized.migrations > 0);
+}
+
+#[test]
+fn combined_optimizations_reduce_cpu_further() {
+    let (mut p_cluster, mut p_engine, _w) = halo_cluster(3_000, 1_500.0, 40, 2);
+    install_actop(
+        &mut p_engine,
+        p_cluster.server_count(),
+        &ActOpConfig {
+            partition: Some(fast_partition()),
+            threads: None,
+        },
+    );
+    let partition_only = run_steady_state(
+        &mut p_engine,
+        &mut p_cluster,
+        Nanos::from_secs(15),
+        Nanos::from_secs(25),
+    );
+
+    let (mut b_cluster, mut b_engine, _w) = halo_cluster(3_000, 1_500.0, 40, 2);
+    install_actop(
+        &mut b_engine,
+        b_cluster.server_count(),
+        &ActOpConfig {
+            partition: Some(fast_partition()),
+            threads: Some(ThreadAgentConfig::default()),
+        },
+    );
+    let both = run_steady_state(
+        &mut b_engine,
+        &mut b_cluster,
+        Nanos::from_secs(15),
+        Nanos::from_secs(25),
+    );
+
+    assert!(
+        both.cpu_utilization < partition_only.cpu_utilization,
+        "both {:.3} vs partition-only {:.3}",
+        both.cpu_utilization,
+        partition_only.cpu_utilization
+    );
+    // The thread agent must have moved off the default allocation.
+    let alloc = b_cluster.servers[0].thread_allocation();
+    assert_ne!(alloc, [8, 8, 8, 8], "allocation {alloc:?}");
+}
+
+#[test]
+fn full_stack_is_deterministic() {
+    let run = || {
+        let (mut cluster, mut engine, _w) = halo_cluster(1_000, 500.0, 20, 3);
+        install_actop(
+            &mut engine,
+            cluster.server_count(),
+            &ActOpConfig {
+                partition: Some(fast_partition()),
+                threads: Some(ThreadAgentConfig::default()),
+            },
+        );
+        let s = run_steady_state(
+            &mut engine,
+            &mut cluster,
+            Nanos::from_secs(8),
+            Nanos::from_secs(12),
+        );
+        (
+            s.completed,
+            s.migrations,
+            cluster.metrics.e2e_latency.quantile(0.99),
+            cluster.server_sizes(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn thread_agent_beats_default_on_heartbeat() {
+    let run = |agent: Option<ThreadAgentConfig>| {
+        let workload = actop::workloads::uniform::heartbeat(14_000.0, Nanos::from_secs(35), 4);
+        let (app, driver) = UniformWorkload::build(workload);
+        let mut cluster = Cluster::new(RuntimeConfig::single_server(4), app);
+        let mut engine: Engine<Cluster> = Engine::new();
+        driver.install(&mut engine);
+        if let Some(agent) = agent {
+            install_actop(
+                &mut engine,
+                1,
+                &ActOpConfig {
+                    partition: None,
+                    threads: Some(agent),
+                },
+            );
+        }
+        run_steady_state(
+            &mut engine,
+            &mut cluster,
+            Nanos::from_secs(12),
+            Nanos::from_secs(20),
+        )
+    };
+    let baseline = run(None);
+    let optimized = run(Some(ThreadAgentConfig {
+        interval: Nanos::from_secs(3),
+        ..ThreadAgentConfig::default()
+    }));
+    assert!(
+        optimized.p99_ms < baseline.p99_ms,
+        "p99 {:.2} vs {:.2}",
+        optimized.p99_ms,
+        baseline.p99_ms
+    );
+    assert!(optimized.completed as f64 > 0.99 * optimized.submitted as f64);
+}
+
+#[test]
+fn workload_sustains_population_under_full_actop() {
+    let (mut cluster, mut engine, workload) = halo_cluster(2_000, 800.0, 30, 5);
+    install_actop(
+        &mut engine,
+        cluster.server_count(),
+        &ActOpConfig {
+            partition: Some(fast_partition()),
+            threads: Some(ThreadAgentConfig::default()),
+        },
+    );
+    let summary = run_steady_state(
+        &mut engine,
+        &mut cluster,
+        Nanos::from_secs(10),
+        Nanos::from_secs(20),
+    );
+    assert_eq!(summary.rejected, 0);
+    let live = workload.live_players();
+    assert!(
+        (1_500..=2_600).contains(&live),
+        "population drifted: {live}"
+    );
+    // Actors stay balanced across servers despite heavy migration.
+    let sizes = cluster.server_sizes();
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(max - min < 600, "sizes {sizes:?}");
+}
+
+#[test]
+fn facade_prelude_exposes_the_api() {
+    // Compile-time check that the facade re-exports everything a user
+    // needs; exercised lightly at runtime.
+    let model = actop::seda::model::SedaModel::new(
+        vec![actop::seda::model::StageParams::cpu_bound(100.0, 1000.0)],
+        4,
+        1e-4,
+    )
+    .unwrap();
+    let threads = actop::seda::allocate_threads(&model).unwrap();
+    assert!(threads[0] >= 1);
+
+    let mut sketch = actop::sketch::SpaceSaving::new(4);
+    sketch.offer("edge", 3);
+    assert_eq!(sketch.estimate(&"edge"), Some((3, 0)));
+
+    let mut hist = actop::metrics::LatencyHistogram::new();
+    hist.record(1_000);
+    assert_eq!(hist.count(), 1);
+}
