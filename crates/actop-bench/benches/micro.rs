@@ -12,12 +12,196 @@ use actop_sim::{DetRng, Engine, Nanos, PsCpu};
 use actop_sketch::SpaceSaving;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+/// A faithful copy of the event queue the engine had before the indexed
+/// heap: a reversed-`Ord` `BinaryHeap` of boxed closures plus a tombstone
+/// set for cancellation (cancelled events stay queued and are skipped at
+/// pop time). Kept here so the `engine_*_old` benches report honest
+/// old-vs-new numbers from a single binary.
+mod legacy {
+    use actop_sim::Nanos;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    type EventFn<W> = Box<dyn FnOnce(&mut W, &mut LegacyEngine<W>)>;
+
+    struct Scheduled<W> {
+        at: Nanos,
+        seq: u64,
+        f: EventFn<W>,
+    }
+
+    impl<W> PartialEq for Scheduled<W> {
+        fn eq(&self, other: &Self) -> bool {
+            (self.at, self.seq) == (other.at, other.seq)
+        }
+    }
+    impl<W> Eq for Scheduled<W> {}
+    impl<W> PartialOrd for Scheduled<W> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<W> Ord for Scheduled<W> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want earliest first.
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    pub struct LegacyEngine<W> {
+        now: Nanos,
+        seq: u64,
+        queue: BinaryHeap<Scheduled<W>>,
+        cancelled: HashSet<u64>,
+        processed: u64,
+    }
+
+    impl<W> LegacyEngine<W> {
+        pub fn new() -> Self {
+            LegacyEngine {
+                now: Nanos::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                processed: 0,
+            }
+        }
+
+        pub fn schedule(
+            &mut self,
+            at: Nanos,
+            f: impl FnOnce(&mut W, &mut LegacyEngine<W>) + 'static,
+        ) -> u64 {
+            let at = at.max(self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Scheduled {
+                at,
+                seq,
+                f: Box::new(f),
+            });
+            seq
+        }
+
+        pub fn cancel(&mut self, id: u64) {
+            self.cancelled.insert(id);
+        }
+
+        pub fn run(&mut self, world: &mut W) {
+            while let Some(ev) = self.queue.pop() {
+                if self.cancelled.remove(&ev.seq) {
+                    continue;
+                }
+                self.now = ev.at;
+                self.processed += 1;
+                (ev.f)(world, self);
+            }
+        }
+
+        pub fn events_processed(&self) -> u64 {
+            self.processed
+        }
+    }
+}
+
+/// The steady-state pattern under the processor-sharing CPU model: a fixed
+/// set of provisional completion events, each retargeted many times before
+/// any fires. Old kernel: cancel + box + push (tombstones pile up). New
+/// kernel: `reschedule` in place.
+const RETARGET_SERVERS: u64 = 64;
+const RETARGET_OPS: u64 = 50_000;
+
 fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine_schedule_run_10k", |b| {
         b.iter(|| {
             let mut engine: Engine<u64> = Engine::new();
             for i in 0..10_000u64 {
                 engine.schedule(Nanos(i), |w, _| *w += 1);
+            }
+            let mut world = 0u64;
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+
+    // Interleaved schedule/pop churn at a steady queue depth, the generic
+    // DES workload shape.
+    c.bench_function("engine_churn_interleaved_20k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            fn chain(w: &mut u64, e: &mut Engine<u64>, hops: u64) {
+                *w += 1;
+                if hops > 0 {
+                    let delay = Nanos(1 + (*w * 2_654_435_761) % 1_000);
+                    e.schedule_tick_after(delay, chain, hops - 1);
+                }
+            }
+            for i in 0..200u64 {
+                engine.schedule_tick(Nanos(i), chain, 99);
+            }
+            let mut world = 0u64;
+            engine.run(&mut world);
+            black_box(world)
+        })
+    });
+
+    c.bench_function("engine_cancel_heavy_old", |b| {
+        b.iter(|| {
+            let mut engine: legacy::LegacyEngine<u64> = legacy::LegacyEngine::new();
+            let mut rng = DetRng::new(99);
+            let mut ids: Vec<u64> = (0..RETARGET_SERVERS)
+                .map(|s| engine.schedule(Nanos(1_000 + s), |w, _| *w += 1))
+                .collect();
+            let mut horizon = 1_000u64;
+            for op in 0..RETARGET_OPS {
+                let server = (op % RETARGET_SERVERS) as usize;
+                horizon += rng.below(32) as u64;
+                engine.cancel(ids[server]);
+                ids[server] = engine.schedule(Nanos(horizon), |w, _| *w += 1);
+            }
+            let mut world = 0u64;
+            engine.run(&mut world);
+            black_box((world, engine.events_processed()))
+        })
+    });
+
+    c.bench_function("engine_cancel_heavy_new", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            fn fire(w: &mut u64, _e: &mut Engine<u64>, _payload: u64) {
+                *w += 1;
+            }
+            let mut rng = DetRng::new(99);
+            let ids: Vec<_> = (0..RETARGET_SERVERS)
+                .map(|s| engine.schedule_tick(Nanos(1_000 + s), fire, s))
+                .collect();
+            let mut horizon = 1_000u64;
+            for op in 0..RETARGET_OPS {
+                let server = (op % RETARGET_SERVERS) as usize;
+                horizon += rng.below(32) as u64;
+                engine.reschedule(ids[server], Nanos(horizon));
+            }
+            let mut world = 0u64;
+            engine.run(&mut world);
+            black_box((world, engine.events_processed()))
+        })
+    });
+
+    // The reschedule fast path in isolation: small time nudges, so the
+    // sift distance stays short.
+    c.bench_function("engine_reschedule_nudge_50k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            fn fire(w: &mut u64, _e: &mut Engine<u64>, _payload: u64) {
+                *w += 1;
+            }
+            let ids: Vec<_> = (0..1_000u64)
+                .map(|i| engine.schedule_tick(Nanos(10_000 + i * 100), fire, i))
+                .collect();
+            for op in 0..50_000u64 {
+                let idx = ((op * 2_654_435_761) % 1_000) as usize;
+                let nudge = 10_000 + (op % 97) * 100;
+                engine.reschedule(ids[idx], Nanos(nudge + idx as u64));
             }
             let mut world = 0u64;
             engine.run(&mut world);
@@ -34,7 +218,7 @@ fn bench_cpu(c: &mut Criterion) {
             let mut t = Nanos::ZERO;
             for _ in 0..1_000u64 {
                 cpu.add(t, 50_000.0);
-                t = t + Nanos(10_000);
+                t += Nanos(10_000);
                 cpu.advance(t);
             }
             while let Some(next) = cpu.next_completion() {
@@ -49,9 +233,7 @@ fn bench_cpu(c: &mut Criterion) {
 fn bench_sketch(c: &mut Criterion) {
     c.bench_function("space_saving_offer_10k", |b| {
         let mut rng = DetRng::new(5);
-        let stream: Vec<(u64, u64)> = (0..10_000)
-            .map(|_| (rng.below(4096) as u64, 1))
-            .collect();
+        let stream: Vec<(u64, u64)> = (0..10_000).map(|_| (rng.below(4096) as u64, 1)).collect();
         b.iter(|| {
             let mut sketch: SpaceSaving<u64> = SpaceSaving::new(1024);
             for &(item, w) in &stream {
@@ -65,9 +247,7 @@ fn bench_sketch(c: &mut Criterion) {
 fn bench_hist(c: &mut Criterion) {
     c.bench_function("histogram_record_and_quantile_10k", |b| {
         let mut rng = DetRng::new(6);
-        let values: Vec<u64> = (0..10_000)
-            .map(|_| (rng.exp(5e6)) as u64)
-            .collect();
+        let values: Vec<u64> = (0..10_000).map(|_| (rng.exp(5e6)) as u64).collect();
         b.iter(|| {
             let mut hist = LatencyHistogram::new();
             for &v in &values {

@@ -14,8 +14,6 @@ use actop_partition::baselines::{centralized_refine, one_sided_sweep, random_par
 use actop_partition::driver::run_to_convergence;
 use actop_partition::{CommGraph, PartitionConfig};
 use actop_sim::DetRng;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// A Halo-like clustered graph: `clusters` cliques of 9 vertices (one hub
 /// plus 8 members, mirroring a game with its players).
@@ -41,7 +39,7 @@ fn main() {
     let servers = 8;
     let graph = clustered_graph(400);
     let vertices = graph.vertices();
-    let mut rng = SmallRng::seed_from_u64(11);
+    let mut rng = DetRng::new(11);
     let config = PartitionConfig {
         candidate_set_size: 64,
         imbalance_tolerance: 18,
@@ -74,7 +72,7 @@ fn main() {
     println!();
 
     // One-sided unilateral migration.
-    let mut rng = SmallRng::seed_from_u64(11);
+    let mut rng = DetRng::new(11);
     let mut one_sided = random_partition(&vertices, servers, &mut rng);
     let mut costs = vec![graph.cut_cost(&one_sided)];
     let mut moves = 0;
@@ -97,7 +95,7 @@ fn main() {
     println!();
 
     // Centralized greedy refinement.
-    let mut rng = SmallRng::seed_from_u64(11);
+    let mut rng = DetRng::new(11);
     let mut central = random_partition(&vertices, servers, &mut rng);
     let applied = centralized_refine(&graph, &mut central, config.imbalance_tolerance, 1_000_000);
     println!("centralized greedy refinement (full graph knowledge):");

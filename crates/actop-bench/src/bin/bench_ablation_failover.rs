@@ -7,7 +7,7 @@
 //! and the partition agent pulls it back down; requests resident on the
 //! dead server time out, everything else completes.
 
-use actop_bench::{full_scale, HaloScenario};
+use actop_bench::{full_scale, print_engine_line, HaloScenario};
 use actop_core::controllers::install_actop;
 use actop_core::experiment::run_steady_state;
 use actop_runtime::{Cluster, RuntimeConfig};
@@ -48,7 +48,10 @@ fn main() {
         println!("  !! server 3 recovered at t={:.0}s", e.now().as_secs_f64());
     });
 
-    println!("== Failover ablation: Halo @ 4K req/s, crash + recovery of 1 of {} servers ==", scenario.servers);
+    println!(
+        "== Failover ablation: Halo @ 4K req/s, crash + recovery of 1 of {} servers ==",
+        scenario.servers
+    );
     let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
     println!();
     println!(
@@ -85,4 +88,5 @@ fn main() {
         in_flight < 100,
         "unaccounted requests beyond the in-flight residue: {in_flight}"
     );
+    print_engine_line(&[engine.report()]);
 }

@@ -9,7 +9,7 @@
 //! a loaded baseline takes far longer to drain a pause backlog than the
 //! partitioned system running at half the utilization.
 
-use actop_bench::{full_scale, print_row, HaloScenario};
+use actop_bench::{full_scale, print_engine_line, print_row, HaloScenario};
 use actop_core::controllers::{install_actop, ActOpConfig};
 use actop_core::experiment::run_steady_state;
 use actop_runtime::config::HiccupModel;
@@ -18,7 +18,11 @@ use actop_sim::Engine;
 use actop_workloads::halo::HaloConfig;
 use actop_workloads::HaloWorkload;
 
-fn run(scenario: &HaloScenario, actop: &ActOpConfig, gc: bool) -> actop_core::RunSummary {
+fn run(
+    scenario: &HaloScenario,
+    actop: &ActOpConfig,
+    gc: bool,
+) -> (actop_core::RunSummary, actop_sim::EngineReport) {
     let mut cfg = HaloConfig::paper_scale(
         scenario.players,
         scenario.request_rate,
@@ -39,7 +43,8 @@ fn run(scenario: &HaloScenario, actop: &ActOpConfig, gc: bool) -> actop_core::Ru
     cluster.install_hiccups(&mut engine, scenario.duration());
     workload.install(&mut engine);
     install_actop(&mut engine, scenario.servers, actop);
-    run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure)
+    let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
+    (summary, engine.report())
 }
 
 fn main() {
@@ -47,12 +52,12 @@ fn main() {
     println!("== Tails ablation: Fig. 10b with and without a GC-pause model ==");
     println!("paper baseline p99/p50 = 736/41 ~ 18x; ours without pauses ~ 1.8x");
     println!();
-    let base_plain = run(&scenario, &ActOpConfig::default(), false);
-    let opt_plain = run(&scenario, &scenario.actop(true, false), false);
+    let (base_plain, r0) = run(&scenario, &ActOpConfig::default(), false);
+    let (opt_plain, r1) = run(&scenario, &scenario.actop(true, false), false);
     print_row("baseline, no pauses", &base_plain);
     print_row("partitioned, no pauses", &opt_plain);
-    let base_gc = run(&scenario, &ActOpConfig::default(), true);
-    let opt_gc = run(&scenario, &scenario.actop(true, false), true);
+    let (base_gc, r2) = run(&scenario, &ActOpConfig::default(), true);
+    let (opt_gc, r3) = run(&scenario, &scenario.actop(true, false), true);
     print_row("baseline, GC pauses", &base_gc);
     print_row("partitioned, GC pauses", &opt_gc);
     println!();
@@ -68,4 +73,5 @@ fn main() {
         100.0 * (1.0 - opt_plain.p99_ms / base_plain.p99_ms),
         100.0 * (1.0 - opt_gc.p99_ms / base_gc.p99_ms),
     );
+    print_engine_line(&[r0, r1, r2, r3]);
 }

@@ -6,7 +6,7 @@
 //! random baseline) and movements settle at ~1K/minute — matching the
 //! workload's ~1%/minute graph churn.
 
-use actop_bench::{print_row, run_halo, HaloScenario};
+use actop_bench::{print_engine_line, print_row, run_halo, HaloScenario};
 use actop_core::controllers::ActOpConfig;
 
 fn main() {
@@ -14,8 +14,8 @@ fn main() {
     println!("== Fig. 10a: partitioning convergence, Halo @ 6K req/s ==");
     println!("paper: remote share ~0.9 -> ~0.12; movements settle at ~1%/min of actors");
     println!();
-    let (baseline, base_cluster) = run_halo(&scenario, &ActOpConfig::default());
-    let (optimized, cluster) = run_halo(&scenario, &scenario.actop(true, false));
+    let (baseline, base_report, base_cluster) = run_halo(&scenario, &ActOpConfig::default());
+    let (optimized, opt_report, cluster) = run_halo(&scenario, &scenario.actop(true, false));
     print_row("baseline", &baseline);
     print_row("ActOp partitioning", &optimized);
     println!();
@@ -65,4 +65,5 @@ fn main() {
         100.0 * steady_moves / actors as f64,
         actors
     );
+    print_engine_line(&[base_report, opt_report]);
 }

@@ -5,15 +5,17 @@
 //! "eliminates the perception of a sluggish server". This bench prints
 //! both CDFs (sampled at round fractions) and the headline percentiles.
 
-use actop_bench::{print_row, run_halo, HaloScenario};
+use actop_bench::{print_engine_line, print_row, run_halo, HaloScenario};
 use actop_core::controllers::ActOpConfig;
 use actop_metrics::LatencyHistogram;
 
 fn cdf_samples(hist: &LatencyHistogram) -> Vec<(f64, f64)> {
-    [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999]
-        .iter()
-        .map(|&q| (hist.quantile(q) as f64 / 1e6, q))
-        .collect()
+    [
+        0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999,
+    ]
+    .iter()
+    .map(|&q| (hist.quantile(q) as f64 / 1e6, q))
+    .collect()
 }
 
 fn main() {
@@ -21,12 +23,15 @@ fn main() {
     println!("== Fig. 10b: end-to-end latency CDF, Halo @ 6K req/s ==");
     println!("paper: medians 24 vs 41 ms; p99 225 vs 736 ms");
     println!();
-    let (baseline, base_cluster) = run_halo(&scenario, &ActOpConfig::default());
-    let (optimized, opt_cluster) = run_halo(&scenario, &scenario.actop(true, false));
+    let (baseline, base_report, base_cluster) = run_halo(&scenario, &ActOpConfig::default());
+    let (optimized, opt_report, opt_cluster) = run_halo(&scenario, &scenario.actop(true, false));
     print_row("baseline", &baseline);
     print_row("ActOp partitioning", &optimized);
     println!();
-    println!("{:>10} {:>14} {:>14}", "fraction", "baseline (ms)", "actop (ms)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "fraction", "baseline (ms)", "actop (ms)"
+    );
     let base_cdf = cdf_samples(&base_cluster.metrics.e2e_latency);
     let opt_cdf = cdf_samples(&opt_cluster.metrics.e2e_latency);
     for ((b_ms, q), (o_ms, _)) in base_cdf.iter().zip(&opt_cdf) {
@@ -38,4 +43,5 @@ fn main() {
         100.0 * (1.0 - optimized.p50_ms / baseline.p50_ms),
         100.0 * (1.0 - optimized.p99_ms / baseline.p99_ms)
     );
+    print_engine_line(&[base_report, opt_report]);
 }

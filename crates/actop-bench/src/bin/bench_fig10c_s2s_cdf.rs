@@ -5,7 +5,7 @@
 //! (partitioned vs baseline). The runtime records, for every call that
 //! crossed servers, the time from call issue to reply processed.
 
-use actop_bench::{run_halo, HaloScenario};
+use actop_bench::{print_engine_line, run_halo, HaloScenario};
 use actop_core::controllers::ActOpConfig;
 use actop_metrics::LatencyHistogram;
 
@@ -24,12 +24,18 @@ fn main() {
     println!("== Fig. 10c: remote actor-to-actor call latency, Halo @ 6K req/s ==");
     println!("paper: medians 3 vs 5 ms; p99 56 vs 297 ms");
     println!();
-    let (_, base_cluster) = run_halo(&scenario, &ActOpConfig::default());
-    let (_, opt_cluster) = run_halo(&scenario, &scenario.actop(true, false));
+    let (_, base_report, base_cluster) = run_halo(&scenario, &ActOpConfig::default());
+    let (_, opt_report, opt_cluster) = run_halo(&scenario, &scenario.actop(true, false));
     line(&base_cluster.metrics.remote_call_latency, "baseline");
-    line(&opt_cluster.metrics.remote_call_latency, "ActOp partitioning");
+    line(
+        &opt_cluster.metrics.remote_call_latency,
+        "ActOp partitioning",
+    );
     println!();
-    println!("{:>10} {:>14} {:>14}", "fraction", "baseline (ms)", "actop (ms)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "fraction", "baseline (ms)", "actop (ms)"
+    );
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
         println!(
             "{q:>10.2} {:>14.2} {:>14.2}",
@@ -44,4 +50,5 @@ fn main() {
         base_cluster.metrics.remote_call_latency.count()
     );
     println!("the CDF covers only the calls that stayed remote.");
+    print_engine_line(&[base_report, opt_report]);
 }

@@ -5,24 +5,43 @@
 //! percentiles; the gains grow with load because queuing in the RPC
 //! serialization stages amplifies the benefit of locality.
 
-use actop_bench::{print_improvement, print_row, run_halo, HaloScenario};
+use actop_bench::{
+    print_engine_line, print_improvement, print_row, run_halo_sweep, HaloCell, HaloScenario,
+};
 use actop_core::controllers::ActOpConfig;
 
 fn main() {
     println!("== Fig. 10d: latency improvement vs load (partitioning only) ==");
     println!("paper: improvements grow with load; e.g. at 6K: median ~41%, p99 ~69%");
     println!();
-    let mut rows = Vec::new();
-    for (i, load) in [2_000.0, 4_000.0, 6_000.0].into_iter().enumerate() {
+    let loads = [2_000.0, 4_000.0, 6_000.0];
+    // Each (load × variant) cell is an independent deterministic run;
+    // fan them all out across cores and print in input order.
+    let mut cells = Vec::new();
+    for (i, load) in loads.into_iter().enumerate() {
         let scenario = HaloScenario::paper(load, 140 + i as u64);
-        let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
-        let (optimized, _) = run_halo(&scenario, &scenario.actop(true, false));
-        print_row(&format!("baseline @{load}"), &baseline);
-        print_row(&format!("partitioned @{load}"), &optimized);
-        rows.push((load, baseline, optimized));
+        cells.push(HaloCell {
+            label: format!("baseline @{load}"),
+            scenario,
+            actop: ActOpConfig::default(),
+        });
+        cells.push(HaloCell {
+            label: format!("partitioned @{load}"),
+            scenario,
+            actop: scenario.actop(true, false),
+        });
+    }
+    let results = run_halo_sweep(cells);
+    for r in &results {
+        print_row(&r.label, &r.summary);
     }
     println!();
-    for (load, baseline, optimized) in &rows {
-        print_improvement(&format!("improvement @{load}"), baseline, optimized);
+    for (pair, load) in results.chunks(2).zip(loads) {
+        print_improvement(
+            &format!("improvement @{load}"),
+            &pair[0].summary,
+            &pair[1].summary,
+        );
     }
+    print_engine_line(&results.iter().map(|r| r.report).collect::<Vec<_>>());
 }

@@ -4,7 +4,7 @@
 //! 25% at 2K requests/s up to 45% at 6K — locality removes serialization
 //! work, which is what later doubles peak throughput.
 
-use actop_bench::{run_halo, HaloScenario};
+use actop_bench::{print_engine_line, run_halo, HaloScenario};
 use actop_core::controllers::ActOpConfig;
 
 fn main() {
@@ -15,10 +15,12 @@ fn main() {
         "{:>8} {:>12} {:>14} {:>12}",
         "load", "baseline", "partitioned", "reduction"
     );
+    let mut reports = Vec::new();
     for (i, load) in [2_000.0, 4_000.0, 6_000.0].into_iter().enumerate() {
         let scenario = HaloScenario::paper(load, 150 + i as u64);
-        let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
-        let (optimized, _) = run_halo(&scenario, &scenario.actop(true, false));
+        let (baseline, base_report, _) = run_halo(&scenario, &ActOpConfig::default());
+        let (optimized, opt_report, _) = run_halo(&scenario, &scenario.actop(true, false));
+        reports.extend([base_report, opt_report]);
         println!(
             "{load:>8} {:>11.1}% {:>13.1}% {:>11.1}%",
             baseline.cpu_utilization * 100.0,
@@ -26,4 +28,5 @@ fn main() {
             100.0 * (1.0 - optimized.cpu_utilization / baseline.cpu_utilization)
         );
     }
+    print_engine_line(&reports);
 }

@@ -6,9 +6,12 @@
 //! default bench scale the sweep is 2K / 20K / 100K players (1M with
 //! `ACTOP_FULL_SCALE=1`).
 
-use actop_bench::{full_scale, print_improvement, print_row, run_halo, HaloScenario};
-use actop_sim::Nanos;
+use actop_bench::{
+    full_scale, print_engine_line, print_improvement, print_row, run_halo_sweep, HaloCell,
+    HaloScenario,
+};
 use actop_core::controllers::ActOpConfig;
+use actop_sim::Nanos;
 
 fn main() {
     let populations: &[u64] = if full_scale() {
@@ -19,7 +22,7 @@ fn main() {
     println!("== Fig. 10f: latency improvement vs live players @ 4K req/s ==");
     println!("paper: significant reductions sustained from 10K up to 1M actors");
     println!();
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (i, &players) in populations.iter().enumerate() {
         let mut scenario = HaloScenario::paper(4_000.0, 160 + i as u64);
         scenario.players = players;
@@ -29,14 +32,28 @@ fn main() {
         if !full_scale() && players > 20_000 {
             scenario.warmup = Nanos::from_secs(40 * players / 20_000);
         }
-        let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
-        let (optimized, _) = run_halo(&scenario, &scenario.actop(true, false));
-        print_row(&format!("baseline {players} players"), &baseline);
-        print_row(&format!("partitioned {players}"), &optimized);
-        rows.push((players, baseline, optimized));
+        cells.push(HaloCell {
+            label: format!("baseline {players} players"),
+            scenario,
+            actop: ActOpConfig::default(),
+        });
+        cells.push(HaloCell {
+            label: format!("partitioned {players}"),
+            scenario,
+            actop: scenario.actop(true, false),
+        });
+    }
+    let results = run_halo_sweep(cells);
+    for r in &results {
+        print_row(&r.label, &r.summary);
     }
     println!();
-    for (players, baseline, optimized) in &rows {
-        print_improvement(&format!("improvement @{players}"), baseline, optimized);
+    for (pair, &players) in results.chunks(2).zip(populations) {
+        print_improvement(
+            &format!("improvement @{players}"),
+            &pair[0].summary,
+            &pair[1].summary,
+        );
     }
+    print_engine_line(&results.iter().map(|r| r.report).collect::<Vec<_>>());
 }

@@ -6,7 +6,7 @@
 //! 99th-percentile latency by up to 68% and the median by up to 58% at the
 //! highest load, allocating 2 client senders and 3–4 workers.
 
-use actop_bench::{full_scale, run_uniform};
+use actop_bench::{full_scale, print_engine_line, run_uniform};
 use actop_core::controllers::ThreadAgentConfig;
 use actop_metrics::stats::improvement_pct;
 use actop_runtime::RuntimeConfig;
@@ -22,17 +22,20 @@ fn main() {
     println!("== Fig. 11a: thread allocation, Heartbeat on 1 server ==");
     println!("paper: at 15K req/s, median -58%, p99 -68%; allocations 2 CS, 3-4 workers");
     println!();
+    let mut reports = Vec::new();
     for (i, load) in [10_000.0, 12_500.0, 15_000.0].into_iter().enumerate() {
         let seed = 170 + i as u64;
         let workload = uniform::heartbeat(load, warmup + measure, seed);
         let rt = RuntimeConfig::single_server(seed);
-        let (baseline, _) = run_uniform(workload, rt.clone(), None, None, warmup, measure);
+        let (baseline, base_report, _) =
+            run_uniform(workload, rt.clone(), None, None, warmup, measure);
         let agent = ThreadAgentConfig {
             interval: Nanos::from_secs(3),
             ..ThreadAgentConfig::default()
         };
-        let (optimized, cluster) =
+        let (optimized, opt_report, cluster) =
             run_uniform(workload, rt, None, Some(agent), warmup, measure);
+        reports.extend([base_report, opt_report]);
         let alloc = cluster.servers[0].thread_allocation();
         println!(
             "load {load:>7}: baseline p50={:7.2}ms p99={:8.2}ms | actop p50={:6.2}ms p99={:7.2}ms | median -{:.0}% p95 -{:.0}% p99 -{:.0}% | alloc R/W/SS/CS = {:?}",
@@ -46,4 +49,5 @@ fn main() {
             alloc
         );
     }
+    print_engine_line(&reports);
 }

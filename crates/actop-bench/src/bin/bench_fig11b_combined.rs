@@ -8,7 +8,7 @@
 //! shifts threads toward application logic (6 workers, 1 server sender,
 //! 1 client sender instead of 5/2/1 under random placement).
 
-use actop_bench::{print_improvement, print_row, run_halo, HaloScenario};
+use actop_bench::{print_engine_line, print_improvement, print_row, run_halo, HaloScenario};
 use actop_core::controllers::ActOpConfig;
 
 fn main() {
@@ -16,9 +16,9 @@ fn main() {
     println!("== Fig. 11b: partitioning alone vs both optimizations, Halo @ 6K req/s ==");
     println!("paper: partitioning is primary; both together reach -55% median, -75% p99");
     println!();
-    let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
-    let (partition_only, _) = run_halo(&scenario, &scenario.actop(true, false));
-    let (both, cluster) = run_halo(&scenario, &scenario.actop(true, true));
+    let (baseline, r0, _) = run_halo(&scenario, &ActOpConfig::default());
+    let (partition_only, r1, _) = run_halo(&scenario, &scenario.actop(true, false));
+    let (both, r2, cluster) = run_halo(&scenario, &scenario.actop(true, true));
     print_row("baseline", &baseline);
     print_row("partitioning only", &partition_only);
     print_row("partitioning + threads", &both);
@@ -31,4 +31,5 @@ fn main() {
         cluster.servers[0].thread_allocation()
     );
     println!("paper's counterpart: 6 workers, 1 server sender, 1 client sender");
+    print_engine_line(&[r0, r1, r2]);
 }

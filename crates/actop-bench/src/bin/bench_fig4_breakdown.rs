@@ -7,7 +7,7 @@
 //! queue, ≈31% sender queue, with every processing share below 0.3% and
 //! network ≈1%.
 
-use actop_bench::{full_scale, run_uniform};
+use actop_bench::{full_scale, print_engine_line, run_uniform};
 use actop_runtime::RuntimeConfig;
 use actop_sim::Nanos;
 use actop_workloads::uniform;
@@ -25,12 +25,12 @@ fn main() {
     // capacity under the default thread allocation.
     let workload = uniform::counter(19_800.0, warmup + measure, 401);
     let rt = RuntimeConfig::single_server(401);
-    let (summary, cluster) = run_uniform(workload, rt, None, None, warmup, measure);
+    let (summary, report, cluster) = run_uniform(workload, rt, None, None, warmup, measure);
 
-    println!("== Fig. 4: latency breakdown, counter at ~95% capacity, 1 server, default threads ==");
     println!(
-        "paper shares: Recv q 32.9%, Recv proc 0.2%, Worker q 24.2%, Worker proc 0.3%,"
+        "== Fig. 4: latency breakdown, counter at ~95% capacity, 1 server, default threads =="
     );
+    println!("paper shares: Recv q 32.9%, Recv proc 0.2%, Worker q 24.2%, Worker proc 0.3%,");
     println!("              Sender q 31.3%, Sender proc 0.2%, Network 0.9%, Other 10.1%");
     println!();
     println!(
@@ -50,4 +50,5 @@ fn main() {
             .unwrap_or(0.0);
         println!("{name:<18} {pct:5.1}%   ({avg:.3} ms/request)");
     }
+    print_engine_line(&[report]);
 }

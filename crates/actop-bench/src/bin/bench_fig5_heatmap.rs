@@ -7,7 +7,7 @@
 //! sender threads; the receiver keeps 2 threads and the (unused) server
 //! sender 1, as the single-server flow never crosses servers.
 
-use actop_bench::{full_scale, run_uniform};
+use actop_bench::{full_scale, parallel_map, print_engine_line, run_uniform};
 use actop_runtime::RuntimeConfig;
 use actop_sim::Nanos;
 use actop_workloads::uniform;
@@ -26,24 +26,34 @@ fn main() {
         print!("   s={senders}  ");
     }
     println!();
+    // The 49 grid cells are independent runs: fan them across cores and
+    // print in grid order.
+    let grid: Vec<(usize, usize)> = (2..=8)
+        .flat_map(|workers| (2..=8).map(move |senders| (workers, senders)))
+        .collect();
+    let results = parallel_map(grid.clone(), |(workers, senders)| {
+        let workload = uniform::counter(16_000.0, warmup + measure, 555);
+        let rt = RuntimeConfig::single_server(555);
+        let threads = [2, workers, 1, senders];
+        let (summary, report, _) = run_uniform(workload, rt, Some(threads), None, warmup, measure);
+        (summary.p50_ms, report)
+    });
     let mut best = (f64::INFINITY, (0, 0));
     let mut worst = (0.0f64, (0, 0));
-    for workers in 2..=8 {
-        print!("w={workers}   ");
-        for senders in 2..=8 {
-            let workload = uniform::counter(16_000.0, warmup + measure, 555);
-            let rt = RuntimeConfig::single_server(555);
-            let threads = [2, workers, 1, senders];
-            let (summary, _) = run_uniform(workload, rt, Some(threads), None, warmup, measure);
-            print!(" {:6.2} ", summary.p50_ms);
-            if summary.p50_ms < best.0 {
-                best = (summary.p50_ms, (workers, senders));
-            }
-            if summary.p50_ms > worst.0 {
-                worst = (summary.p50_ms, (workers, senders));
-            }
+    for (&(workers, senders), (p50_ms, _)) in grid.iter().zip(&results) {
+        if senders == 2 {
+            print!("w={workers}   ");
         }
-        println!();
+        print!(" {p50_ms:6.2} ");
+        if *p50_ms < best.0 {
+            best = (*p50_ms, (workers, senders));
+        }
+        if *p50_ms > worst.0 {
+            worst = (*p50_ms, (workers, senders));
+        }
+        if senders == 8 {
+            println!();
+        }
     }
     println!();
     println!(
@@ -56,4 +66,5 @@ fn main() {
         worst.1 .1,
         worst.0 / best.0
     );
+    print_engine_line(&results.iter().map(|(_, r)| *r).collect::<Vec<_>>());
 }

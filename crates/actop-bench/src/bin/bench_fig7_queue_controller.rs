@@ -33,7 +33,10 @@ fn print_trace(label: &str, result: &actop_seda::emulator::EmulatorResult) {
     }
     let swing = result.thread_swing(4);
     println!("thread swing after warmup (per stage): {swing:?}");
-    println!("queue spikes over Th=100 (per stage): {:?}", result.queue_spikes(100));
+    println!(
+        "queue spikes over Th=100 (per stage): {:?}",
+        result.queue_spikes(100)
+    );
     println!();
 }
 
@@ -43,7 +46,10 @@ fn main() {
     println!();
     let queue_cfg = EmulatorConfig::fig7(1_000.0, 77);
     let queue = run_emulator(&queue_cfg);
-    print_trace("queue-length controller (Th=100, Tl=10, 30 s sampling)", &queue);
+    print_trace(
+        "queue-length controller (Th=100, Tl=10, 30 s sampling)",
+        &queue,
+    );
 
     let model_cfg = EmulatorConfig {
         controller: EmuController::ModelDriven(ModelDrivenController::new(ETA_CALIBRATED, 64)),

@@ -8,14 +8,17 @@
 //! `Local` placement with the workload's call pattern, which activates each
 //! game cluster on one server.
 
-use actop_bench::{full_scale, print_row, HaloScenario};
+use actop_bench::{full_scale, print_engine_line, print_row, HaloScenario};
 use actop_core::experiment::run_steady_state;
 use actop_runtime::{Cluster, PlacementPolicy, RuntimeConfig};
 use actop_sim::Engine;
 use actop_workloads::halo::HaloConfig;
 use actop_workloads::HaloWorkload;
 
-fn run(placement: PlacementPolicy, scenario: &HaloScenario) -> actop_core::RunSummary {
+fn run(
+    placement: PlacementPolicy,
+    scenario: &HaloScenario,
+) -> (actop_core::RunSummary, actop_sim::EngineReport) {
     let mut cfg = HaloConfig::paper_scale(
         scenario.players,
         scenario.request_rate,
@@ -32,22 +35,27 @@ fn run(placement: PlacementPolicy, scenario: &HaloScenario) -> actop_core::RunSu
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
     workload.install(&mut engine);
-    run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure)
+    let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
+    (summary, engine.report())
 }
 
 fn main() {
     let scenario = HaloScenario::paper(6_000.0, 101);
-    println!("== §3 motivation: Halo Presence at 6K req/s, {} servers ==", scenario.servers);
+    println!(
+        "== §3 motivation: Halo Presence at 6K req/s, {} servers ==",
+        scenario.servers
+    );
     println!("paper: baseline 41/450/736 ms (med/p95/p99), ~90% remote, 80% CPU");
     println!("paper: co-located 24/100/225 ms");
     println!();
-    let baseline = run(PlacementPolicy::Random, &scenario);
+    let (baseline, r0) = run(PlacementPolicy::Random, &scenario);
     print_row("random placement", &baseline);
-    let colocated = run(PlacementPolicy::Local, &scenario);
+    let (colocated, r1) = run(PlacementPolicy::Local, &scenario);
     print_row("co-located (local)", &colocated);
     println!();
     println!(
         "static placement is insufficient: even the co-located run drifts to {:.1}% remote as the graph churns",
         colocated.remote_fraction * 100.0
     );
+    print_engine_line(&[r0, r1]);
 }

@@ -5,9 +5,9 @@
 //! requests/s (80% CPU) while ActOp reaches ~12K — a 2× peak-throughput
 //! gain from the CPU freed by locality.
 
-use actop_bench::{full_scale, run_halo, HaloScenario};
+use actop_bench::{full_scale, run_halo_sweep, HaloCell, HaloScenario};
 use actop_core::controllers::ActOpConfig;
-use actop_sim::Nanos;
+use actop_sim::{EngineReport, Nanos};
 
 /// A load level is sustained when overload shedding stays negligible,
 /// goodput tracks the offered rate (neither starving nor draining a
@@ -25,9 +25,11 @@ fn main() {
     println!("paper: baseline saturates ~6K req/s; ActOp sustains ~12K (2x)");
     println!();
     let loads: Vec<f64> = (1..=9).map(|i| i as f64 * 2_000.0).collect();
-    let mut peaks = [0.0f64; 2];
-    for (kind, label) in [(0, "baseline"), (1, "ActOp (partition+threads)")] {
-        println!("--- {label} ---");
+    // The whole (variant × load) ladder runs in parallel; the sequential
+    // early-break at the first saturated level becomes an early break in
+    // the in-order printing walk below, so the output is identical.
+    let mut cells = Vec::new();
+    for kind in 0..2 {
         for (i, &load) in loads.iter().enumerate() {
             let mut scenario = HaloScenario::paper(load, 190 + i as u64);
             // Saturation probes can be shorter than latency measurements.
@@ -40,8 +42,24 @@ fn main() {
             } else {
                 scenario.actop(true, true)
             };
-            let (summary, _) = run_halo(&scenario, &actop);
-            let ok = sustained(&summary, load);
+            cells.push(HaloCell {
+                label: format!("{kind}@{load}"),
+                scenario,
+                actop,
+            });
+        }
+    }
+    let results = run_halo_sweep(cells);
+    let mut engine_total = EngineReport::default();
+    for r in &results {
+        engine_total.merge(&r.report);
+    }
+    let mut peaks = [0.0f64; 2];
+    for (kind, label) in [(0, "baseline"), (1, "ActOp (partition+threads)")] {
+        println!("--- {label} ---");
+        for (i, &load) in loads.iter().enumerate() {
+            let summary = &results[kind * loads.len() + i].summary;
+            let ok = sustained(summary, load);
             println!(
                 "offered {load:>6}/s: goodput {:>6.0}/s shed {:>5.2}% cpu {:>5.1}% p99 {:>8.1}ms {}",
                 summary.throughput_per_s,
@@ -64,4 +82,17 @@ fn main() {
         peaks[1],
         peaks[1] / peaks[0].max(1.0)
     );
+    println!("{}", engine_total.line());
+    let json = format!(
+        "{{\"events_processed\":{},\"cancels\":{},\"reschedules\":{},\"peak_pending\":{},\"wall_ns\":{},\"events_per_sec\":{:.1}}}\n",
+        engine_total.events_processed,
+        engine_total.cancels,
+        engine_total.reschedules,
+        engine_total.peak_pending,
+        engine_total.wall_ns,
+        engine_total.events_per_sec(),
+    );
+    if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
+        eprintln!("could not write BENCH_engine.json: {e}");
+    }
 }

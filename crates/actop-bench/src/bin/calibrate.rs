@@ -3,7 +3,7 @@
 //! tens of milliseconds, ~90% remote messages), and does partitioning
 //! recover the co-located numbers?
 
-use actop_bench::{print_row, run_halo, HaloScenario};
+use actop_bench::{print_engine_line, print_row, run_halo, HaloScenario};
 use actop_core::controllers::ActOpConfig;
 
 fn main() {
@@ -13,10 +13,10 @@ fn main() {
         "calibration at {} players, {} req/s, {} servers",
         scenario.players, scenario.request_rate, scenario.servers
     );
-    let (baseline, _) = run_halo(&scenario, &ActOpConfig::default());
+    let (baseline, r0, _) = run_halo(&scenario, &ActOpConfig::default());
     print_row("baseline (random)", &baseline);
     println!("  [{}s wall]", start.elapsed().as_secs());
-    let (optimized, cluster) = run_halo(&scenario, &scenario.actop(true, false));
+    let (optimized, r1, cluster) = run_halo(&scenario, &scenario.actop(true, false));
     print_row("ActOp partitioning", &optimized);
     let remote_over_time: Vec<String> = cluster
         .metrics
@@ -30,7 +30,7 @@ fn main() {
     println!("  [{}s wall]", start.elapsed().as_secs());
     let mut frozen = scenario;
     frozen.game_duration_s = Some((100_000.0, 100_001.0));
-    let (nochurn, cluster) = run_halo(&frozen, &frozen.actop(true, false));
+    let (nochurn, r2, cluster) = run_halo(&frozen, &frozen.actop(true, false));
     print_row("partitioning, zero churn", &nochurn);
     let remote_over_time: Vec<String> = cluster
         .metrics
@@ -41,7 +41,7 @@ fn main() {
         .collect();
     println!("  remote share/bin: {}", remote_over_time.join(" "));
     println!("  [{}s wall]", start.elapsed().as_secs());
-    let (both, cluster) = run_halo(&scenario, &scenario.actop(true, true));
+    let (both, r3, cluster) = run_halo(&scenario, &scenario.actop(true, true));
     print_row("ActOp both", &both);
     for s in 0..3 {
         println!(
@@ -51,4 +51,5 @@ fn main() {
         );
     }
     println!("  [{}s wall]", start.elapsed().as_secs());
+    print_engine_line(&[r0, r1, r2, r3]);
 }

@@ -11,7 +11,7 @@ use actop_core::controllers::{
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
 use actop_runtime::{Cluster, RuntimeConfig};
-use actop_sim::{Engine, Nanos};
+use actop_sim::{Engine, EngineReport, Nanos};
 use actop_workloads::halo::HaloConfig;
 use actop_workloads::HaloWorkload;
 
@@ -105,12 +105,16 @@ impl HaloScenario {
 
 /// Whether benches run at the paper's full population and durations.
 pub fn full_scale() -> bool {
-    std::env::var("ACTOP_FULL_SCALE").map_or(false, |v| v == "1")
+    std::env::var("ACTOP_FULL_SCALE").is_ok_and(|v| v == "1")
 }
 
 /// Runs one Halo scenario under the given ActOp configuration and returns
-/// the steady-state summary plus the cluster for follow-up inspection.
-pub fn run_halo(scenario: &HaloScenario, actop: &ActOpConfig) -> (RunSummary, Cluster) {
+/// the steady-state summary, the engine's self-metrics, and the cluster
+/// for follow-up inspection.
+pub fn run_halo(
+    scenario: &HaloScenario,
+    actop: &ActOpConfig,
+) -> (RunSummary, EngineReport, Cluster) {
     let mut cfg = HaloConfig::paper_scale(
         scenario.players,
         scenario.request_rate,
@@ -138,7 +142,7 @@ pub fn run_halo(scenario: &HaloScenario, actop: &ActOpConfig) -> (RunSummary, Cl
     workload.install(&mut engine);
     install_actop(&mut engine, scenario.servers, actop);
     let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
-    (summary, cluster)
+    (summary, engine.report(), cluster)
 }
 
 /// Runs a single-actor-type workload (counter / heartbeat) on a cluster.
@@ -153,7 +157,7 @@ pub fn run_uniform(
     agent: Option<ThreadAgentConfig>,
     warmup: Nanos,
     measure: Nanos,
-) -> (RunSummary, Cluster) {
+) -> (RunSummary, EngineReport, Cluster) {
     rt.record_breakdown = true;
     let servers = rt.servers;
     let (app, driver) = actop_workloads::UniformWorkload::build(workload);
@@ -178,7 +182,100 @@ pub fn run_uniform(
         );
     }
     let summary = run_steady_state(&mut engine, &mut cluster, warmup, measure);
-    (summary, cluster)
+    (summary, engine.report(), cluster)
+}
+
+/// One (variant × seed) cell of a parallel sweep: everything a worker
+/// thread needs to run a Halo scenario. Plain data, hence `Send`.
+#[derive(Debug, Clone)]
+pub struct HaloCell {
+    /// Row label carried through to the merged output.
+    pub label: String,
+    pub scenario: HaloScenario,
+    pub actop: ActOpConfig,
+}
+
+/// The `Send` outcome of one sweep cell (the cluster, which is not
+/// `Send`, is dropped on the worker thread).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub label: String,
+    pub summary: RunSummary,
+    pub report: EngineReport,
+}
+
+/// Fans `jobs` across `std::thread::scope` workers (one per core, capped
+/// by job count) and returns results **in input order**, regardless of
+/// completion order — so sweep output is identical to a sequential run.
+pub fn parallel_map<I, O, F>(jobs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Mutex};
+
+    let n = jobs.len();
+    // ACTOP_WORKERS caps (or forces) the pool size; default is one worker
+    // per available core.
+    let workers = std::env::var("ACTOP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        .min(n.max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+    // Workers claim job indices from a shared cursor and send back
+    // (index, result); the collector reassembles by index.
+    let cells: Vec<Mutex<Option<I>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (cells, cursor, f) = (&cells, &cursor, &f);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = cells[i]
+                    .lock()
+                    .expect("job cell poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                if tx.send((i, f(job))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for (i, result) in rx {
+            out[i] = Some(result);
+        }
+        out.into_iter()
+            .map(|o| o.expect("worker completed every job"))
+            .collect()
+    })
+}
+
+/// Runs every sweep cell in parallel across cores and returns the merged
+/// rows in input order. This is the multi-seed harness the figure benches
+/// share: simulations are single-threaded and deterministic, so (variant ×
+/// seed) cells are embarrassingly parallel.
+pub fn run_halo_sweep(cells: Vec<HaloCell>) -> Vec<CellResult> {
+    parallel_map(cells, |cell| {
+        let (summary, report, _cluster) = run_halo(&cell.scenario, &cell.actop);
+        CellResult {
+            label: cell.label,
+            summary,
+            report,
+        }
+    })
 }
 
 /// Prints a labeled summary row in a fixed format shared by the benches.
@@ -204,6 +301,17 @@ pub fn print_improvement(label: &str, baseline: &RunSummary, optimized: &RunSumm
     println!("{label:<28} median={med:6.1}%  p95={p95:6.1}%  p99={p99:6.1}%");
 }
 
+/// Merges per-run engine reports and prints the one-line kernel summary
+/// every bench binary ends with (wall time sums across runs, so for
+/// parallel sweeps it reports aggregate simulation work, not elapsed time).
+pub fn print_engine_line(reports: &[EngineReport]) {
+    let mut total = EngineReport::default();
+    for r in reports {
+        total.merge(r);
+    }
+    println!("{}", total.line());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +321,58 @@ mod tests {
         let s = HaloScenario::paper(6_000.0, 1);
         assert_eq!(s.duration(), s.warmup + s.measure);
         assert_eq!(s.servers, 10);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        // Early jobs sleep longest, so completion order inverts input
+        // order; the output must still match the input.
+        let jobs: Vec<u64> = (0..32).collect();
+        let out = parallel_map(jobs, |j| {
+            std::thread::sleep(std::time::Duration::from_millis(32 - j));
+            j * 10
+        });
+        assert_eq!(out, (0..32).map(|j| j * 10).collect::<Vec<_>>());
+    }
+
+    /// The acceptance criterion for the harness: a parallel sweep must
+    /// produce byte-identical rows to running the same cells sequentially.
+    #[test]
+    fn sweep_matches_sequential() {
+        let tiny = HaloScenario {
+            players: 300,
+            request_rate: 120.0,
+            servers: 3,
+            warmup: Nanos::from_secs(2),
+            measure: Nanos::from_secs(4),
+            seed: 7,
+            game_duration_s: Some((20.0, 30.0)),
+        };
+        let cells: Vec<HaloCell> = [7u64, 8, 9]
+            .iter()
+            .map(|&seed| HaloCell {
+                label: format!("seed{seed}"),
+                scenario: HaloScenario { seed, ..tiny },
+                actop: ActOpConfig::default(),
+            })
+            .collect();
+        let sequential: Vec<(RunSummary, u64)> = cells
+            .iter()
+            .map(|c| {
+                let (s, r, _) = run_halo(&c.scenario, &c.actop);
+                (s, r.events_processed)
+            })
+            .collect();
+        let parallel = run_halo_sweep(cells);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, (s, events)) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.summary.completed, s.completed);
+            assert_eq!(p.summary.submitted, s.submitted);
+            assert_eq!(p.summary.p99_ms.to_bits(), s.p99_ms.to_bits());
+            assert_eq!(p.summary.mean_ms.to_bits(), s.mean_ms.to_bits());
+            assert_eq!(p.report.events_processed, *events);
+        }
+        assert_eq!(parallel[0].label, "seed7");
+        assert_eq!(parallel[2].label, "seed9");
     }
 }

@@ -1,0 +1,81 @@
+//! Golden-summary determinism test: a fixed-seed Halo run must reproduce
+//! byte-identical results on every machine and after every refactor of the
+//! event kernel.
+//!
+//! The golden values were recorded from this scenario at the introduction
+//! of the indexed event queue; any change to event ordering, RNG streams,
+//! or the runtime's scheduling semantics shows up here as a diff. If a
+//! change is *intentional* (e.g. a new RNG), re-record by running with
+//! `GOLDEN_PRINT=1`:
+//!
+//! ```sh
+//! GOLDEN_PRINT=1 cargo test -p actop-bench --test golden_halo -- --nocapture
+//! ```
+
+use actop_bench::{run_halo, HaloScenario};
+use actop_core::controllers::ActOpConfig;
+use actop_sim::Nanos;
+
+fn scenario() -> HaloScenario {
+    HaloScenario {
+        players: 800,
+        request_rate: 300.0,
+        servers: 4,
+        warmup: Nanos::from_secs(4),
+        measure: Nanos::from_secs(8),
+        seed: 42,
+        game_duration_s: Some((30.0, 60.0)),
+    }
+}
+
+fn fingerprint(actop: &ActOpConfig) -> String {
+    let s = scenario();
+    let (summary, report, cluster) = run_halo(&s, actop);
+    format!(
+        "submitted={} completed={} rejected={} migrations={} remote={:.6} \
+         p50={:.6} p95={:.6} p99={:.6} mean={:.6} events={} final_now={}",
+        summary.submitted,
+        summary.completed,
+        summary.rejected,
+        summary.migrations,
+        summary.remote_fraction,
+        summary.p50_ms,
+        summary.p95_ms,
+        summary.p99_ms,
+        summary.mean_ms,
+        report.events_processed,
+        cluster.metrics.migrations,
+    )
+}
+
+#[test]
+fn golden_baseline_and_optimized() {
+    let base = fingerprint(&ActOpConfig::default());
+    let opt = fingerprint(&scenario().actop(true, false));
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLDEN base: {base}");
+        println!("GOLDEN opt:  {opt}");
+        return;
+    }
+    assert_eq!(
+        base,
+        "submitted=2422 completed=2420 rejected=0 migrations=0 remote=0.737308 \
+         p50=4.915200 p95=6.225920 p99=6.750208 mean=4.862224 events=227646 final_now=0",
+        "baseline fingerprint drifted; if intentional, re-record with GOLDEN_PRINT=1"
+    );
+    assert_eq!(
+        opt,
+        "submitted=2422 completed=2421 rejected=0 migrations=636 remote=0.042474 \
+         p50=3.047424 p95=4.653056 p99=5.570560 mean=3.173947 events=127976 final_now=636",
+        "optimized fingerprint drifted; if intentional, re-record with GOLDEN_PRINT=1"
+    );
+}
+
+#[test]
+fn run_is_reproducible_within_process() {
+    // Same scenario twice in one process: the engine, RNG streams, and
+    // runtime must not leak state between runs.
+    let a = fingerprint(&ActOpConfig::default());
+    let b = fingerprint(&ActOpConfig::default());
+    assert_eq!(a, b);
+}

@@ -142,7 +142,8 @@ impl ActOpConfig {
 pub fn install_actop(engine: &mut Engine<Cluster>, servers: usize, config: &ActOpConfig) {
     if let Some(partition) = config.partition {
         for server in 0..servers {
-            let offset = Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
+            let offset =
+                Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
             engine.schedule(offset, move |c: &mut Cluster, e| {
                 partition_tick(c, e, server, partition);
             });
@@ -537,7 +538,10 @@ mod tests {
             blocking[1] > cpu_bound[1],
             "blocking workers {blocking:?} vs cpu-bound {cpu_bound:?}"
         );
-        assert!(blocking[1] >= 5, "needs threads to cover the wait: {blocking:?}");
+        assert!(
+            blocking[1] >= 5,
+            "needs threads to cover the wait: {blocking:?}"
+        );
         // Both keep up with the load.
         assert!(done_a as f64 > 0.95 * sub_a as f64);
         assert!(done_b as f64 > 0.95 * sub_b as f64);

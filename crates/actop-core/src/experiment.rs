@@ -38,7 +38,11 @@ pub struct RunSummary {
 impl RunSummary {
     /// The paper's improvement metric `100 * (1 - optimized/baseline)` for
     /// a latency field selected by `f`.
-    pub fn improvement_pct(baseline: &RunSummary, optimized: &RunSummary, f: impl Fn(&RunSummary) -> f64) -> f64 {
+    pub fn improvement_pct(
+        baseline: &RunSummary,
+        optimized: &RunSummary,
+        f: impl Fn(&RunSummary) -> f64,
+    ) -> f64 {
         actop_metrics::stats::improvement_pct(f(baseline), f(optimized))
     }
 }
@@ -148,12 +152,7 @@ mod tests {
             Nanos::from_secs(1),
         );
         // Second window continues from the clock, no warmup needed.
-        let s2 = run_steady_state(
-            &mut engine,
-            &mut cluster,
-            Nanos::ZERO,
-            Nanos::from_secs(1),
-        );
+        let s2 = run_steady_state(&mut engine, &mut cluster, Nanos::ZERO, Nanos::from_secs(1));
         assert!(s1.cpu_utilization > 0.0);
         assert!(s2.cpu_utilization > 0.0);
     }

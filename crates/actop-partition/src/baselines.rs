@@ -15,7 +15,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-use rand::Rng;
+use actop_sim::DetRng;
 
 use crate::config::PartitionConfig;
 use crate::driver::local_view;
@@ -23,14 +23,13 @@ use crate::graph::{CommGraph, Partition};
 use crate::score::{candidate_set, transfer_scores};
 
 /// Places every vertex on a uniformly random server (Orleans' default).
-pub fn random_partition<V, R>(vertices: &[V], servers: usize, rng: &mut R) -> Partition<V>
+pub fn random_partition<V>(vertices: &[V], servers: usize, rng: &mut DetRng) -> Partition<V>
 where
     V: Copy + Eq + Hash + Ord,
-    R: Rng,
 {
     let mut partition = Partition::new(servers);
     for &v in vertices {
-        partition.place(v, rng.gen_range(0..servers));
+        partition.place(v, rng.below(servers));
     }
     partition
 }
@@ -123,12 +122,12 @@ where
         }
         let mut best = 0usize;
         let mut best_score = f64::MIN;
-        for s in 0..servers {
+        for (s, &wt) in weight_to.iter().enumerate() {
             let load = partition.sizes()[s] as f64 / capacity_per_server.max(1) as f64;
             if load >= 1.0 {
                 continue;
             }
-            let score = weight_to[s] as f64 * (1.0 - load) + (1.0 - load) * 1e-6;
+            let score = wt as f64 * (1.0 - load) + (1.0 - load) * 1e-6;
             if score > best_score {
                 best_score = score;
                 best = s;
@@ -171,7 +170,7 @@ where
                 if diff > delta as i64 {
                     continue;
                 }
-                if best.map_or(true, |(_, _, s)| score > s) {
+                if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((v, q, score));
                 }
             }
@@ -190,9 +189,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use actop_sim::DetRng;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn ring_graph(n: u32) -> CommGraph<u32> {
         let mut g = CommGraph::new();
@@ -205,7 +201,7 @@ mod tests {
     #[test]
     fn random_partition_is_roughly_balanced() {
         let vertices: Vec<u32> = (0..10_000).collect();
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = DetRng::new(1);
         let p = random_partition(&vertices, 10, &mut rng);
         for &size in p.sizes() {
             assert!((800..1200).contains(&size), "size {size}");
@@ -236,7 +232,7 @@ mod tests {
                 }
             }
         }
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = DetRng::new(2);
         let p = random_partition(&g.vertices(), 10, &mut rng);
         let cut = g.cut_cost(&p) as f64 / g.total_weight() as f64;
         assert!(cut > 0.8, "remote fraction {cut}");
@@ -302,7 +298,7 @@ mod tests {
         let servers = 4;
         let capacity = order.len() / servers + 8;
         let streamed = streaming_greedy(&g, &order, servers, capacity);
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = DetRng::new(9);
         let random = random_partition(&order, servers, &mut rng);
         assert!(
             g.cut_cost(&streamed) < g.cut_cost(&random) / 2,

@@ -46,13 +46,7 @@ where
     let servers = partition.servers();
     let view = local_view(graph, partition, initiator);
     let locate = |v: &V| partition.server_of(v);
-    let sets = candidate_set(
-        &view,
-        initiator,
-        servers,
-        config.candidate_set_size,
-        locate,
-    );
+    let sets = candidate_set(&view, initiator, servers, config.candidate_set_size, locate);
     // Rank targets by anticipated total score.
     let mut targets: Vec<(usize, i64)> = sets
         .iter()
@@ -79,12 +73,7 @@ where
             |v| partition.server_of(v),
         )
         .swap_remove(initiator);
-        let outcome = select_exchange(
-            &request,
-            partition.sizes()[target],
-            &own,
-            config,
-        );
+        let outcome = select_exchange(&request, partition.sizes()[target], &own, config);
         if outcome.is_empty() {
             continue; // Try the next-best target (§4.2 fallback).
         }
@@ -151,11 +140,7 @@ where
 /// Checks the local-optimality condition of Theorem 1: every vertex either
 /// has no positive transfer score toward any server, or each positive move
 /// would break the pairwise balance constraint.
-pub fn is_locally_optimal<V>(
-    graph: &CommGraph<V>,
-    partition: &Partition<V>,
-    delta: usize,
-) -> bool
+pub fn is_locally_optimal<V>(graph: &CommGraph<V>, partition: &Partition<V>, delta: usize) -> bool
 where
     V: Copy + Eq + Hash + Ord,
 {

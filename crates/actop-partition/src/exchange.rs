@@ -86,7 +86,8 @@ pub fn select_exchange<V>(
 where
     V: Copy + Eq + Hash + Ord,
 {
-    let mut items: Vec<Item<V>> = Vec::with_capacity(request.candidates.len() + own_candidates.len());
+    let mut items: Vec<Item<V>> =
+        Vec::with_capacity(request.candidates.len() + own_candidates.len());
     let mut index: HashMap<V, usize> = HashMap::new();
     for c in &request.candidates {
         index.insert(c.vertex, items.len());
@@ -218,8 +219,8 @@ where
         }
 
         // Step 3: update remaining candidates sharing an edge with it.
-        for i in 0..items.len() {
-            if items[i].taken || i == chosen {
+        for (i, item) in items.iter_mut().enumerate() {
+            if item.taken || i == chosen {
                 continue;
             }
             let key = (i.min(chosen), i.max(chosen));
@@ -227,10 +228,10 @@ where
                 continue;
             };
             let delta_score = 2 * w as i64;
-            if items[i].from_initiator == moved_side {
-                items[i].score += delta_score;
+            if item.from_initiator == moved_side {
+                item.score += delta_score;
             } else {
-                items[i].score -= delta_score;
+                item.score -= delta_score;
             }
         }
     }

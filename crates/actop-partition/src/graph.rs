@@ -63,20 +63,12 @@ impl<V: Copy + Eq + Hash + Ord> CommGraph<V> {
 
     /// The weight of edge `{a, b}` (0 if absent).
     pub fn weight(&self, a: &V, b: &V) -> u64 {
-        self.adj
-            .get(a)
-            .and_then(|m| m.get(b))
-            .copied()
-            .unwrap_or(0)
+        self.adj.get(a).and_then(|m| m.get(b)).copied().unwrap_or(0)
     }
 
     /// Sum of all edge weights (each undirected edge counted once).
     pub fn total_weight(&self) -> u64 {
-        let sum: u64 = self
-            .adj
-            .iter()
-            .flat_map(|(_, m)| m.values())
-            .sum();
+        let sum: u64 = self.adj.values().flat_map(|m| m.values()).sum();
         sum / 2
     }
 

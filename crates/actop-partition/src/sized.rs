@@ -218,8 +218,8 @@ where
             outcome.returned.push(items[chosen].vertex);
             outcome.returned_size += items[chosen].size;
         }
-        for i in 0..items.len() {
-            if items[i].taken || i == chosen {
+        for (i, item) in items.iter_mut().enumerate() {
+            if item.taken || i == chosen {
                 continue;
             }
             let key = (i.min(chosen), i.max(chosen));
@@ -227,10 +227,10 @@ where
                 continue;
             };
             let delta_score = 2 * w as i64;
-            if items[i].from_initiator == side {
-                items[i].score += delta_score;
+            if item.from_initiator == side {
+                item.score += delta_score;
             } else {
-                items[i].score -= delta_score;
+                item.score -= delta_score;
             }
         }
     }
@@ -282,10 +282,12 @@ mod tests {
         // Saving 5 edge units, but the vertex weighs 1000 units at cost
         // 0.01/unit = 10: not worth moving.
         let incoming = vec![cand(1, 5, 1000)];
-        let outcome = select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(4096, 4096, 0.01));
+        let outcome =
+            select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(4096, 4096, 0.01));
         assert!(outcome.is_empty());
         // At zero migration cost the same move goes through.
-        let outcome = select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(4096, 4096, 0.0));
+        let outcome =
+            select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(4096, 4096, 0.0));
         assert_eq!(outcome.accepted, vec![1]);
         assert_eq!(outcome.accepted_size, 1000);
     }
@@ -295,7 +297,8 @@ mod tests {
         // Accepting the 3000-unit vertex would skew sizes beyond delta;
         // the 500-unit one still fits.
         let incoming = vec![cand(1, 50, 3_000), cand(2, 20, 500)];
-        let outcome = select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(8_192, 2_000, 0.0));
+        let outcome =
+            select_sized_exchange(&incoming, 10_000, &[], 10_000, &config(8_192, 2_000, 0.0));
         assert_eq!(outcome.accepted, vec![2]);
     }
 

@@ -5,31 +5,27 @@ use actop_partition::sized::{cap_candidates, select_sized_exchange, SizedCandida
 use proptest::prelude::*;
 
 fn arb_candidates(base: u32) -> impl Strategy<Value = Vec<SizedCandidate<u32>>> {
-    proptest::collection::vec((0u32..64, -50i64..100, 1u64..2_000), 0..24).prop_map(
-        move |raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, (_, score, size))| SizedCandidate {
-                    scored: ScoredVertex {
-                        vertex: base + i as u32,
-                        score,
-                        edges: vec![],
-                    },
-                    size,
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec((0u32..64, -50i64..100, 1u64..2_000), 0..24).prop_map(move |raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (_, score, size))| SizedCandidate {
+                scored: ScoredVertex {
+                    vertex: base + i as u32,
+                    score,
+                    edges: vec![],
+                },
+                size,
+            })
+            .collect()
+    })
 }
 
 fn arb_config() -> impl Strategy<Value = SizedConfig> {
-    (500u64..10_000, 100u64..5_000, 0.0f64..0.05).prop_map(
-        |(budget, delta, cost)| SizedConfig {
-            candidate_size_budget: budget,
-            size_imbalance_tolerance: delta,
-            migration_cost_per_unit: cost,
-        },
-    )
+    (500u64..10_000, 100u64..5_000, 0.0f64..0.05).prop_map(|(budget, delta, cost)| SizedConfig {
+        candidate_size_budget: budget,
+        size_imbalance_tolerance: delta,
+        migration_cost_per_unit: cost,
+    })
 }
 
 proptest! {

@@ -17,10 +17,7 @@ struct Instance {
 
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (2usize..5, 6u16..40).prop_flat_map(|(servers, vertices)| {
-        let edges = proptest::collection::vec(
-            (0..vertices, 0..vertices, 1u8..20),
-            1..120,
-        );
+        let edges = proptest::collection::vec((0..vertices, 0..vertices, 1u8..20), 1..120);
         let assignment = proptest::collection::vec(0u8..servers as u8, vertices as usize);
         (edges, assignment).prop_map(move |(edges, assignment)| Instance {
             edges,

@@ -167,7 +167,9 @@ impl Cluster {
         };
         let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
         self.account(rid, "Network", delay.as_nanos() as f64);
-        engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, gateway, msg));
+        engine.schedule_after(delay, move |c: &mut Cluster, e| {
+            c.wire_arrive(e, gateway, msg)
+        });
         rid
     }
 
@@ -246,12 +248,9 @@ impl Cluster {
         let now = engine.now();
         loop {
             let mut started = false;
+            #[allow(clippy::needless_range_loop)]
             for stage in 0..4 {
-                loop {
-                    let Some((item, wait)) = self.servers[server].stages[stage].try_start(now)
-                    else {
-                        break;
-                    };
+                while let Some((item, wait)) = self.servers[server].stages[stage].try_start(now) {
                     if self.config.record_breakdown {
                         let rid = item_request(&item);
                         self.account(rid, QUEUE_LABEL[stage], wait.as_nanos() as f64);
@@ -348,22 +347,37 @@ impl Cluster {
 
     /// Re-arms the pending CPU-completion event to the CPU's current next
     /// completion time.
+    ///
+    /// Each server keeps exactly one provisional completion event alive.
+    /// Under processor sharing, every runnable-set change moves the next
+    /// completion time, so this is the hottest queue operation in the
+    /// simulator: the event is retargeted in place with
+    /// [`Engine::reschedule`] (and scheduled as an allocation-free tick),
+    /// never cancelled-and-reboxed.
     fn sync_cpu(&mut self, engine: &mut Engine<Cluster>, server: usize) {
         let next = self.servers[server].cpu.next_completion();
         match (self.servers[server].cpu_event, next) {
             (Some((at, _)), Some(target)) if at == target => {}
-            (prev, _) => {
-                if let Some((_, id)) = prev {
-                    engine.cancel(id);
-                }
-                self.servers[server].cpu_event = next.map(|at| {
-                    (
-                        at,
-                        engine.schedule(at, move |c: &mut Cluster, e| c.cpu_done(e, server)),
-                    )
-                });
+            (Some((_, id)), Some(target)) => {
+                engine.reschedule(id, target);
+                self.servers[server].cpu_event = Some((target, id));
             }
+            (Some((_, id)), None) => {
+                engine.cancel(id);
+                self.servers[server].cpu_event = None;
+            }
+            (None, Some(target)) => {
+                let id = engine.schedule_tick(target, Self::cpu_tick, server as u64);
+                self.servers[server].cpu_event = Some((target, id));
+            }
+            (None, None) => {}
         }
+    }
+
+    /// The CPU-completion event in tick form (payload = server index), so
+    /// arming a provisional completion never allocates.
+    fn cpu_tick(cluster: &mut Cluster, engine: &mut Engine<Cluster>, server: u64) {
+        cluster.cpu_done(engine, server as usize);
     }
 
     /// The CPU-completion event: collect finished compute phases, run their
@@ -413,7 +427,12 @@ impl Cluster {
         }
         match task.post {
             PostAction::RouteToWorker(msg) => {
-                self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+                self.enqueue(
+                    engine,
+                    server,
+                    StageKind::Worker.index(),
+                    StageItem::Execute(msg),
+                );
             }
             PostAction::ApplyRequest { msg, reaction } => {
                 self.apply_request(engine, server, msg, reaction);
@@ -425,7 +444,11 @@ impl Cluster {
                 self.forward(engine, server, msg);
             }
             PostAction::NetSend { dst, msg } => {
-                let delay = self.config.costs.network.delay(&mut self.rng_net, msg.bytes);
+                let delay = self
+                    .config
+                    .costs
+                    .network
+                    .delay(&mut self.rng_net, msg.bytes);
                 self.account(msg.request, "Network", delay.as_nanos() as f64);
                 engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, dst, msg));
             }
@@ -493,7 +516,14 @@ impl Cluster {
                     },
                 );
                 for call in calls {
-                    self.send_request(engine, server, msg.to, call, ReplyTarget::Join(cid), msg.request);
+                    self.send_request(
+                        engine,
+                        server,
+                        msg.to,
+                        call,
+                        ReplyTarget::Join(cid),
+                        msg.request,
+                    );
                 }
             }
         }
@@ -533,7 +563,12 @@ impl Cluster {
                 StageItem::SerializeRemote { dst, msg },
             );
         } else {
-            self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+            self.enqueue(
+                engine,
+                server,
+                StageKind::Worker.index(),
+                StageItem::Execute(msg),
+            );
         }
     }
 
@@ -625,7 +660,12 @@ impl Cluster {
                         StageItem::SerializeRemote { dst, msg },
                     );
                 } else {
-                    self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+                    self.enqueue(
+                        engine,
+                        server,
+                        StageKind::Worker.index(),
+                        StageItem::Execute(msg),
+                    );
                 }
             }
         }
@@ -638,7 +678,12 @@ impl Cluster {
         msg.forwarded = true;
         let dst = self.resolve(msg.to, Some(server));
         if dst == server {
-            self.enqueue(engine, server, StageKind::Worker.index(), StageItem::Execute(msg));
+            self.enqueue(
+                engine,
+                server,
+                StageKind::Worker.index(),
+                StageItem::Execute(msg),
+            );
         } else {
             self.enqueue(
                 engine,
@@ -965,10 +1010,15 @@ fn schedule_next_hiccup(
         return;
     }
     engine.schedule_after(gap, move |c: &mut Cluster, e| {
-        let pause = Nanos::from_nanos(rng.range_inclusive(
-            model.min_pause.as_nanos(),
-            model.max_pause.as_nanos().max(model.min_pause.as_nanos() + 1),
-        ));
+        let pause = Nanos::from_nanos(
+            rng.range_inclusive(
+                model.min_pause.as_nanos(),
+                model
+                    .max_pause
+                    .as_nanos()
+                    .max(model.min_pause.as_nanos() + 1),
+            ),
+        );
         if !c.failed[server] {
             let now = e.now();
             c.servers[server].cpu.pause(now);

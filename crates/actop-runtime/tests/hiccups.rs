@@ -59,5 +59,8 @@ fn pauses_inflate_the_tail_not_the_median() {
 
 #[test]
 fn hiccups_are_deterministic() {
-    assert_eq!(run(Some(HiccupModel::dotnet_gc())), run(Some(HiccupModel::dotnet_gc())));
+    assert_eq!(
+        run(Some(HiccupModel::dotnet_gc())),
+        run(Some(HiccupModel::dotnet_gc()))
+    );
 }

@@ -203,12 +203,9 @@ fn apply_exchange_moves_actors_both_ways() {
     let mut cluster = Cluster::new(config, counter_app());
     let mut engine: Engine<Cluster> = Engine::new();
     for i in 0..10u64 {
-        engine.schedule(
-            Nanos::from_micros(i * 10),
-            move |c: &mut Cluster, e| {
-                c.submit_client_request(e, ActorId(i), 0, 100);
-            },
-        );
+        engine.schedule(Nanos::from_micros(i * 10), move |c: &mut Cluster, e| {
+            c.submit_client_request(e, ActorId(i), 0, 100);
+        });
     }
     engine.run(&mut cluster);
     let on0 = cluster.directory.vertices_on(0);

@@ -229,7 +229,7 @@ pub fn integerize(model: &SedaModel, continuous: &[f64]) -> Result<Vec<usize>, S
             t[i] -= 1;
             let obj = model.objective(&as_f64(&t)).unwrap_or(f64::INFINITY);
             t[i] += 1;
-            if best.map_or(true, |(_, b)| obj < b) {
+            if best.is_none_or(|(_, b)| obj < b) {
                 best = Some((i, obj));
             }
         }
@@ -250,7 +250,7 @@ pub fn integerize(model: &SedaModel, continuous: &[f64]) -> Result<Vec<usize>, S
                 return;
             }
             if let Some(obj) = model.objective(&as_f64(&cand)) {
-                if obj < current - 1e-15 && best.as_ref().map_or(true, |(_, b)| obj < *b) {
+                if obj < current - 1e-15 && best.as_ref().is_none_or(|(_, b)| obj < *b) {
                     *best = Some((cand, obj));
                 }
             }
@@ -472,10 +472,7 @@ mod tests {
         };
         let m = model(vec![compute_only, blocking], 8, ETA_CALIBRATED);
         let t = allocate_threads(&m).unwrap();
-        assert!(
-            t[1] > t[0],
-            "blocking stage should get more threads: {t:?}"
-        );
+        assert!(t[1] > t[0], "blocking stage should get more threads: {t:?}");
     }
 
     #[test]

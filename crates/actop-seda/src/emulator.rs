@@ -176,7 +176,13 @@ fn dispatch(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>, stage: usize) {
     }
 }
 
-fn complete(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>, stage: usize, job: Job, dur: Nanos) {
+fn complete(
+    world: &mut EmuWorld,
+    engine: &mut Engine<EmuWorld>,
+    stage: usize,
+    job: Job,
+    dur: Nanos,
+) {
     let now = engine.now();
     world.stages[stage].finish(now);
     world.win_service_secs[stage] += dur.as_secs_f64();
@@ -187,9 +193,7 @@ fn complete(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>, stage: usize, j
         dispatch(world, engine, next);
     } else {
         world.completed += 1;
-        world
-            .latency
-            .record((now - job.created).as_nanos());
+        world.latency.record((now - job.created).as_nanos());
     }
     dispatch(world, engine, stage);
 }

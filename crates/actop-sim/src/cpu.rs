@@ -348,7 +348,7 @@ mod tests {
         cpu.add(Nanos::ZERO, 2e6); // 2 ms demand, alone on 1 core.
         cpu.advance(ms(1)); // 1 ms progressed, 1 ms left.
         cpu.add(ms(1), 1e6); // Now two tasks share the core at rate 1/2.
-        // First task: 1 ms left at rate 0.5 -> completes at t = 3 ms.
+                             // First task: 1 ms left at rate 0.5 -> completes at t = 3 ms.
         assert_eq!(cpu.next_completion(), Some(ms(3)));
         let done = cpu.take_completed(ms(3));
         assert_eq!(done.len(), 2, "both finish together at 3 ms");
@@ -409,10 +409,7 @@ mod tests {
         // A 5 ms pause: no progress.
         cpu.resume(Nanos::from_micros(5_400));
         // 0.6 ms of demand left; completes 0.6 ms after resume.
-        assert_eq!(
-            cpu.next_completion(),
-            Some(Nanos::from_micros(6_000)),
-        );
+        assert_eq!(cpu.next_completion(), Some(Nanos::from_micros(6_000)),);
         let done = cpu.take_completed(Nanos::from_micros(6_000));
         assert_eq!(done.len(), 1);
     }
@@ -446,7 +443,7 @@ mod tests {
             let demand = (step as f64) * 1e4;
             total_demand += demand;
             cpu.add(t, demand);
-            t = t + Nanos(7_500 * step);
+            t += Nanos(7_500 * step);
             cpu.advance(t);
         }
         // Drain.

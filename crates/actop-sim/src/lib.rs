@@ -28,7 +28,7 @@ pub mod time;
 
 pub use costs::CostModel;
 pub use cpu::{CpuTaskId, PsCpu};
-pub use engine::{Engine, EventId};
+pub use engine::{Engine, EngineReport, EventId, TickFn};
 pub use net::NetworkModel;
 pub use rng::DetRng;
 pub use stage::StagePool;

@@ -6,16 +6,18 @@
 //! independent and a run is reproducible regardless of the order in which
 //! components happen to draw.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A deterministic random stream.
+/// A deterministic random stream (xoshiro256++, seeded via SplitMix64).
+///
+/// The generator is implemented in-repo — the build environment is offline,
+/// so depending on the `rand` crate is not an option — and doubles as a
+/// guarantee that streams are bit-stable across toolchain updates.
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
-/// SplitMix64 finalizer; used to derive well-separated stream seeds.
+/// SplitMix64 finalizer; used to derive well-separated stream seeds and to
+/// expand a 64-bit seed into the xoshiro256++ state.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -26,23 +28,40 @@ fn splitmix64(mut z: u64) -> u64 {
 impl DetRng {
     /// Creates the root stream for a run seed.
     pub fn new(seed: u64) -> Self {
+        let s = splitmix64(seed);
+        // SplitMix64 sequence from the mixed seed; never all-zero.
         DetRng {
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            state: [
+                splitmix64(s.wrapping_add(1)),
+                splitmix64(s.wrapping_add(2)),
+                splitmix64(s.wrapping_add(3)),
+                splitmix64(s.wrapping_add(4)),
+            ],
         }
     }
 
     /// Derives an independent stream from a run seed and a stream label.
     pub fn stream(seed: u64, label: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(splitmix64(
-                splitmix64(seed) ^ splitmix64(label.wrapping_mul(0xa076_1d64_78bd_642f)),
-            )),
-        }
+        DetRng::new(splitmix64(seed) ^ splitmix64(label.wrapping_mul(0xa076_1d64_78bd_642f)))
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -62,7 +81,8 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply reduction (bias < 2^-64 per draw).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Uniform integer draw in `[lo, hi]` (inclusive).
@@ -72,7 +92,11 @@ impl DetRng {
     /// Panics if `lo > hi`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "range inverted: [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + ((self.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).

@@ -156,7 +156,11 @@ impl<T> StagePool<T> {
     ///
     /// Panics if no thread is busy.
     pub fn finish(&mut self, now: Nanos) {
-        assert!(self.busy > 0, "stage {}: finish with no busy thread", self.name);
+        assert!(
+            self.busy > 0,
+            "stage {}: finish with no busy thread",
+            self.name
+        );
         self.integrate(now);
         self.busy -= 1;
         self.stats.completions += 1;

@@ -1,0 +1,173 @@
+//! Differential test: the indexed event queue against a reference model.
+//!
+//! The reference is the queue the engine used to have — a `BinaryHeap` with
+//! a tombstone set for cancellation — extended with reschedule-as-
+//! cancel-plus-push. Both sides consume the same random script of
+//! schedule / cancel / reschedule / pop operations; firing order, clock,
+//! `events_processed`, and `pending` must agree at every step.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use actop_sim::{Engine, EventId, Nanos};
+use proptest::prelude::*;
+
+/// The old tombstone queue, reduced to its ordering semantics: events are
+/// plain tags, cancellation inserts a tombstone, reschedule is cancel +
+/// fresh push (one sequence number, like `Engine::reschedule`).
+#[derive(Default)]
+struct RefQueue {
+    heap: BinaryHeap<Reverse<(Nanos, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    /// Live tag -> (key seq currently in the heap). Tags are stable across
+    /// reschedules; the heap entry carries the current seq.
+    live: HashMap<u64, (Nanos, u64)>,
+    now: Nanos,
+    seq: u64,
+    processed: u64,
+}
+
+impl RefQueue {
+    fn schedule(&mut self, tag: u64, at: Nanos) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq, tag)));
+        self.live.insert(tag, (at, seq));
+    }
+
+    fn cancel(&mut self, tag: u64) {
+        if let Some((_, seq)) = self.live.remove(&tag) {
+            self.cancelled.insert(seq);
+        }
+    }
+
+    fn reschedule(&mut self, tag: u64, at: Nanos) {
+        if let Some((_, seq)) = self.live.remove(&tag) {
+            self.cancelled.insert(seq);
+            self.schedule(tag, at);
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Pops the next live event at or before `horizon`, advancing the clock.
+    fn pop(&mut self, horizon: Nanos) -> Option<(Nanos, u64)> {
+        loop {
+            let &Reverse((at, seq, tag)) = self.heap.peek()?;
+            if at > horizon {
+                return None;
+            }
+            self.heap.pop();
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.live.remove(&tag);
+            self.now = at;
+            self.processed += 1;
+            return Some((at, tag));
+        }
+    }
+}
+
+/// One step of the random script.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule a fresh event `delta` past the current clock (deltas may
+    /// be zero to force ties).
+    Schedule { delta: u64 },
+    /// Cancel the event scheduled `index`-th (mod live count), hitting
+    /// both live and already-dead ids.
+    Cancel { index: usize },
+    /// Reschedule likewise, to `delta` past the clock.
+    Reschedule { index: usize, delta: u64 },
+    /// Run everything up to `delta` past the current clock.
+    PopUpTo { delta: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..4, 0u64..200, 0usize..64).prop_map(|(kind, delta, index)| match kind {
+        0 => Op::Schedule { delta },
+        1 => Op::Cancel { index },
+        2 => Op::Reschedule { index, delta },
+        _ => Op::PopUpTo { delta },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn indexed_queue_matches_tombstone_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        // World = log of fired tags; events record their tag on firing.
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut reference = RefQueue::default();
+        let mut fired: Vec<u64> = Vec::new();
+
+        // Every id ever issued, in issue order; `Cancel`/`Reschedule`
+        // index into this so stale ids get exercised too.
+        let mut ids: Vec<(u64, EventId)> = Vec::new();
+        let mut next_tag = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Schedule { delta } => {
+                    let tag = next_tag;
+                    next_tag += 1;
+                    let at = Nanos(engine.now().as_nanos() + delta);
+                    let id = engine.schedule(at, move |w: &mut Vec<u64>, _| w.push(tag));
+                    reference.schedule(tag, at);
+                    ids.push((tag, id));
+                }
+                Op::Cancel { index } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let (tag, id) = ids[index % ids.len()];
+                    engine.cancel(id);
+                    reference.cancel(tag);
+                }
+                Op::Reschedule { index, delta } => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let (tag, id) = ids[index % ids.len()];
+                    let at = Nanos(engine.now().as_nanos() + delta);
+                    engine.reschedule(id, at);
+                    reference.reschedule(tag, at);
+                }
+                Op::PopUpTo { delta } => {
+                    let end = Nanos(engine.now().as_nanos() + delta);
+                    engine.run_until(&mut fired, end);
+                    let mut ref_fired = Vec::new();
+                    while let Some((_, tag)) = reference.pop(end) {
+                        ref_fired.push(tag);
+                    }
+                    reference.now = reference.now.max(end);
+                    let engine_fired =
+                        fired[fired.len() - ref_fired.len().min(fired.len())..].to_vec();
+                    prop_assert_eq!(&engine_fired, &ref_fired);
+                    prop_assert_eq!(engine.now(), reference.now);
+                }
+            }
+            prop_assert_eq!(engine.pending(), reference.pending());
+            prop_assert_eq!(engine.events_processed(), reference.processed);
+        }
+
+        // Drain both completely; full firing orders must match.
+        let before = fired.len();
+        engine.run(&mut fired);
+        let mut ref_tail = Vec::new();
+        while let Some((_, tag)) = reference.pop(Nanos::MAX) {
+            ref_tail.push(tag);
+        }
+        prop_assert_eq!(&fired[before..], &ref_tail[..]);
+        prop_assert_eq!(engine.events_processed(), reference.processed);
+        prop_assert_eq!(engine.pending(), 0);
+        prop_assert_eq!(reference.pending(), 0);
+    }
+}

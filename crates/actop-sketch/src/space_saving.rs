@@ -146,7 +146,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
     /// slot order, deterministically).
     pub fn entries(&self) -> Vec<SketchEntry<T>> {
         let mut out: Vec<SketchEntry<T>> = self.slots.clone();
-        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.sort_by_key(|e| std::cmp::Reverse(e.count));
         out
     }
 

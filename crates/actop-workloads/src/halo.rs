@@ -255,10 +255,9 @@ impl AppLogic for HaloApp {
                         self.cfg.request_bytes,
                     ),
                     // Idle or departed player: answer from local state.
-                    None => Reaction::reply(
-                        cost(self.cfg.status_cpu_ns * 0.5),
-                        self.cfg.request_bytes,
-                    ),
+                    None => {
+                        Reaction::reply(cost(self.cfg.status_cpu_ns * 0.5), self.cfg.request_bytes)
+                    }
                 }
             }
             TAG_POLL => {
@@ -273,11 +272,7 @@ impl AppLogic for HaloApp {
                                 bytes: self.cfg.payload_bytes,
                             })
                             .collect();
-                        Reaction::fan_out(
-                            cost(self.cfg.poll_cpu_ns),
-                            calls,
-                            self.cfg.payload_bytes,
-                        )
+                        Reaction::fan_out(cost(self.cfg.poll_cpu_ns), calls, self.cfg.payload_bytes)
                     }
                     // The game ended while the poll was in flight.
                     None => {
@@ -526,7 +521,10 @@ mod tests {
             "live players {live} (target 400)"
         );
         let stats = workload.stats();
-        assert!(stats.games_ended > 0, "fast churn must end games: {stats:?}");
+        assert!(
+            stats.games_ended > 0,
+            "fast churn must end games: {stats:?}"
+        );
         assert!(stats.players_left > 0);
         assert!(cluster.metrics.completed > 500);
     }
@@ -573,9 +571,6 @@ mod tests {
         let cfg = HaloConfig::paper_scale(2_000, 200.0, Nanos::from_secs(10), 13);
         let (cluster, _) = run_halo(cfg, 13);
         let fraction = cluster.metrics.remote_fraction();
-        assert!(
-            fraction > 0.8,
-            "remote fraction {fraction} should be ~0.9"
-        );
+        assert!(fraction > 0.8, "remote fraction {fraction} should be ~0.9");
     }
 }

@@ -44,7 +44,10 @@ fn main() {
     );
     println!(
         "steady state: median {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, cpu {:.0}%",
-        summary.p50_ms, summary.p95_ms, summary.p99_ms, summary.cpu_utilization * 100.0
+        summary.p50_ms,
+        summary.p95_ms,
+        summary.p99_ms,
+        summary.cpu_utilization * 100.0
     );
     println!(
         "lifecycle: {} games running, {} started, {} players online",
@@ -54,8 +57,19 @@ fn main() {
     );
     println!();
     println!("remote-message share over time (5-s bins, from cold start):");
-    for (i, share) in cluster.metrics.remote_share_series.means().iter().enumerate() {
-        println!("  t={:>3}s  {:>5.1}%  {}", i * 5, share * 100.0, bar(*share));
+    for (i, share) in cluster
+        .metrics
+        .remote_share_series
+        .means()
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  t={:>3}s  {:>5.1}%  {}",
+            i * 5,
+            share * 100.0,
+            bar(*share)
+        );
     }
     println!(
         "\n{} actor migrations total; server sizes {:?}",

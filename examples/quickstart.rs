@@ -10,9 +10,9 @@ fn run(actop_config: &ActOpConfig, label: &str) {
     // The paper's testbed shape: ten 8-core servers, random placement.
     let seed = 42;
     let workload = HaloConfig::paper_scale(
-        5_000,                  // concurrent players
-        2_000.0,                // client requests per second
-        Nanos::from_secs(40),   // how long clients keep arriving
+        5_000,                // concurrent players
+        2_000.0,              // client requests per second
+        Nanos::from_secs(40), // how long clients keep arriving
         seed,
     );
     let (app, driver) = HaloWorkload::build(workload);

@@ -1,0 +1,161 @@
+//! Offline microbenchmark shim.
+//!
+//! The build environment has no access to crates.io, so this crate stands
+//! in for `criterion` with the same surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement: each benchmark is warmed up (~0.5 s), then timed over
+//! batches sized to ~100 ms each; the per-iteration mean, minimum batch
+//! mean, and iteration count are printed. No statistics files are written.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent warming a benchmark up.
+const WARMUP: Duration = Duration::from_millis(500);
+/// Target wall-clock spent measuring a benchmark.
+const MEASURE: Duration = Duration::from_secs(2);
+/// Number of timed batches the measurement window is split into.
+const BATCHES: u32 = 20;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// No-op for CLI-argument compatibility with real criterion.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => {
+                println!(
+                    "{name:<44} time: [{} {} {}]  ({} iters)",
+                    fmt_ns(r.min_ns),
+                    fmt_ns(r.mean_ns),
+                    fmt_ns(r.max_ns),
+                    r.iters,
+                );
+            }
+            None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+/// One benchmark's measurement summary, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing its result from being optimized out.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Estimate the cost of one iteration.
+        let mut probe_iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..probe_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(10) || probe_iters > u64::MAX / 2 {
+                break elapsed.as_secs_f64() / probe_iters as f64;
+            }
+            probe_iters *= 2;
+        };
+        // Warm up.
+        let warm_iters = ((WARMUP.as_secs_f64() / per_iter) as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..warm_iters {
+            black_box(routine());
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measure in batches.
+        let batch_iters = ((MEASURE.as_secs_f64() / BATCHES as f64 / per_iter) as u64).max(1);
+        let mut batch_means = Vec::with_capacity(BATCHES as usize);
+        let mut total_iters = 0u64;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch_iters as f64;
+            batch_means.push(ns);
+            total_iters += batch_iters;
+        }
+        let mean = batch_means.iter().sum::<f64>() / batch_means.len() as f64;
+        let min = batch_means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = batch_means.iter().cloned().fold(0.0f64, f64::max);
+        self.result = Some(Measurement {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iters: total_iters,
+        });
+    }
+}
+
+/// Formats nanoseconds with criterion-like unit scaling.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.3), "12.30 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+    }
+}
