@@ -7,7 +7,9 @@
 //! and the partition agent pulls it back down; requests resident on the
 //! dead server time out, everything else completes.
 
-use actop_bench::{full_scale, print_engine_line, HaloScenario};
+use actop_bench::{
+    full_scale, maybe_export_trace, print_engine_line, trace_config_from_env, HaloScenario,
+};
 use actop_core::controllers::install_actop;
 use actop_core::experiment::run_steady_state;
 use actop_runtime::{Cluster, RuntimeConfig};
@@ -31,8 +33,10 @@ fn main() {
     rt.servers = scenario.servers;
     rt.request_timeout = Some(Nanos::from_secs(5));
     rt.series_bin_ns = 5_000_000_000;
+    rt.trace = trace_config_from_env(scenario.seed);
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
+    cluster.install_timeline_sampler(&mut engine, scenario.duration());
     workload.install(&mut engine);
     install_actop(&mut engine, scenario.servers, &scenario.actop(true, true));
 
@@ -88,5 +92,6 @@ fn main() {
         in_flight < 100,
         "unaccounted requests beyond the in-flight residue: {in_flight}"
     );
+    maybe_export_trace(&cluster);
     print_engine_line(&[engine.report()]);
 }

@@ -10,7 +10,7 @@ use actop_core::controllers::{
     install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
-use actop_runtime::{Cluster, RuntimeConfig};
+use actop_runtime::{Cluster, RuntimeConfig, TraceConfig};
 use actop_sim::{Engine, EngineReport, Nanos};
 use actop_workloads::halo::HaloConfig;
 use actop_workloads::HaloWorkload;
@@ -108,6 +108,78 @@ pub fn full_scale() -> bool {
     std::env::var("ACTOP_FULL_SCALE").is_ok_and(|v| v == "1")
 }
 
+/// The env-configured tracer for a run: `ACTOP_TRACE=<path>` turns
+/// tracing on (the run's spans are exported to `<path>` as Chrome trace
+/// JSON), `ACTOP_TRACE_SAMPLE=<rate>` sets the head-sampling rate
+/// (default 1.0). The sampling seed is tied to the run seed, so the same
+/// seed samples the same requests — and emits byte-identical trace files
+/// — on every run.
+pub fn trace_config_from_env(seed: u64) -> Option<TraceConfig> {
+    std::env::var("ACTOP_TRACE").ok()?;
+    let sample_rate = match std::env::var("ACTOP_TRACE_SAMPLE") {
+        Err(_) => 1.0,
+        Ok(v) => v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("warning: ACTOP_TRACE_SAMPLE={v:?} is not a number; tracing all requests");
+            1.0
+        }),
+    };
+    Some(TraceConfig {
+        sample_rate,
+        seed,
+        ..TraceConfig::default()
+    })
+}
+
+/// Exports a traced run's artifacts if `ACTOP_TRACE` is set and the
+/// cluster's tracer is active: Chrome trace JSON at the configured path,
+/// a JSONL span dump at `<path>.spans.jsonl`, and the flight-recorder
+/// dumps at `<path>.flight.json` (only when any anomaly fired). When one
+/// process runs several traced simulations (sweeps), the second and later
+/// exports go to `<path>.2`, `<path>.3`, ... — under a parallel sweep
+/// that numbering follows completion order, so set `ACTOP_WORKERS=1` when
+/// exact file names matter.
+pub fn maybe_export_trace(cluster: &Cluster) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static EXPORTS: AtomicUsize = AtomicUsize::new(0);
+
+    let Ok(base) = std::env::var("ACTOP_TRACE") else {
+        return;
+    };
+    if !cluster.trace.enabled() {
+        return;
+    }
+    let nth = EXPORTS.fetch_add(1, Ordering::SeqCst);
+    let path = if nth == 0 {
+        base.clone()
+    } else {
+        format!("{base}.{}", nth + 1)
+    };
+    let write = |path: &str, content: String| {
+        if let Err(err) = std::fs::write(path, content) {
+            eprintln!("trace export failed for {path}: {err}");
+        }
+    };
+    write(&path, actop_trace::chrome_trace(&cluster.trace));
+    write(
+        &format!("{path}.spans.jsonl"),
+        actop_trace::spans_jsonl(&cluster.trace),
+    );
+    let dumps = cluster.trace.flight_dumps().len();
+    if dumps > 0 {
+        write(
+            &format!("{path}.flight.json"),
+            actop_trace::flight_json(&cluster.trace),
+        );
+    }
+    println!(
+        "trace: {path} spans={} dropped={} flight_dumps={} timeline_samples={}",
+        cluster.trace.spans().len(),
+        cluster.trace.dropped_spans(),
+        dumps,
+        cluster.trace.timeline.len(),
+    );
+}
+
 /// Runs one Halo scenario under the given ActOp configuration and returns
 /// the steady-state summary, the engine's self-metrics, and the cluster
 /// for follow-up inspection.
@@ -134,6 +206,7 @@ pub fn run_halo(
     let mut rt = RuntimeConfig::paper_testbed(scenario.seed);
     rt.servers = scenario.servers;
     rt.record_remote_call_latency = true;
+    rt.trace = trace_config_from_env(scenario.seed);
     if !full_scale() {
         rt.series_bin_ns = 5_000_000_000; // 5 s bins for the short runs.
     }
@@ -141,7 +214,9 @@ pub fn run_halo(
     let mut engine: Engine<Cluster> = Engine::new();
     workload.install(&mut engine);
     install_actop(&mut engine, scenario.servers, actop);
+    cluster.install_timeline_sampler(&mut engine, scenario.duration());
     let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
+    maybe_export_trace(&cluster);
     (summary, engine.report(), cluster)
 }
 
@@ -159,11 +234,15 @@ pub fn run_uniform(
     measure: Nanos,
 ) -> (RunSummary, EngineReport, Cluster) {
     rt.record_breakdown = true;
+    if rt.trace.is_none() {
+        rt.trace = trace_config_from_env(rt.seed);
+    }
     let servers = rt.servers;
     let (app, driver) = actop_workloads::UniformWorkload::build(workload);
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
     driver.install(&mut engine);
+    cluster.install_timeline_sampler(&mut engine, warmup + measure);
     if let Some(alloc) = threads {
         engine.schedule(Nanos::ZERO, move |c: &mut Cluster, e| {
             for server in 0..c.server_count() {
@@ -182,6 +261,7 @@ pub fn run_uniform(
         );
     }
     let summary = run_steady_state(&mut engine, &mut cluster, warmup, measure);
+    maybe_export_trace(&cluster);
     (summary, engine.report(), cluster)
 }
 
@@ -279,9 +359,11 @@ pub fn run_halo_sweep(cells: Vec<HaloCell>) -> Vec<CellResult> {
 }
 
 /// Prints a labeled summary row in a fixed format shared by the benches.
+/// The trailing counters surface the previously-silent anomaly paths:
+/// shed requests, timeouts, post-migration forwards, stale responses.
 pub fn print_row(label: &str, s: &RunSummary) {
     println!(
-        "{label:<28} p50={:8.1}ms p95={:8.1}ms p99={:8.1}ms mean={:7.1}ms remote={:5.1}% cpu={:5.1}% thr={:7.0}/s rej={}",
+        "{label:<28} p50={:8.1}ms p95={:8.1}ms p99={:8.1}ms mean={:7.1}ms remote={:5.1}% cpu={:5.1}% thr={:7.0}/s rej={} tmo={} fwd={} stale={}",
         s.p50_ms,
         s.p95_ms,
         s.p99_ms,
@@ -290,6 +372,9 @@ pub fn print_row(label: &str, s: &RunSummary) {
         s.cpu_utilization * 100.0,
         s.throughput_per_s,
         s.rejected,
+        s.timed_out,
+        s.forwarded_messages,
+        s.stale_responses,
     );
 }
 

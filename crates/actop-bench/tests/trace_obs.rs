@@ -1,0 +1,148 @@
+//! Observability acceptance tests: the breakdown accounting identity, the
+//! trace-vs-breakdown cross-check, deterministic Chrome export, and the
+//! flight recorder's timeout trigger.
+
+use actop_bench::run_uniform;
+use actop_runtime::{Cluster, RuntimeConfig, TraceConfig};
+use actop_sim::Nanos;
+use actop_trace::{chrome_trace, decompose, validate_chrome_trace, HopKind};
+use actop_workloads::uniform;
+
+/// A short fig10b-style single-server run; `trace` optionally activates
+/// the tracer (sampling seed tied to the run seed, like the benches).
+/// Warmup is zero so the breakdown and the trace cover the same window.
+fn short_run(seed: u64, trace: Option<TraceConfig>) -> Cluster {
+    let measure = Nanos::from_secs(3);
+    let cfg = uniform::counter(2_000.0, measure, seed);
+    let mut rt = RuntimeConfig::single_server(seed);
+    rt.trace = trace;
+    let (_summary, _report, cluster) = run_uniform(cfg, rt, None, None, Nanos::ZERO, measure);
+    cluster
+}
+
+fn full_trace(seed: u64) -> TraceConfig {
+    TraceConfig {
+        sample_rate: 1.0,
+        seed,
+        ..TraceConfig::default()
+    }
+}
+
+/// Accounting identity: summed breakdown components (queue waits, stage
+/// processing, network, "Other" residual) must reproduce the summed
+/// end-to-end latency of completed requests. Tolerance covers the
+/// requests still in flight at the measurement cutoff, whose partial
+/// accounting has no matching end-to-end record.
+#[test]
+fn breakdown_components_sum_to_e2e_latency() {
+    let cluster = short_run(11, None);
+    let hist = &cluster.metrics.e2e_latency;
+    assert!(hist.count() > 3_000, "run too small: {}", hist.count());
+    let sum_e2e = hist.mean() * hist.count() as f64;
+    let accounted = cluster.metrics.breakdown.total_ns();
+    let rel = (accounted - sum_e2e).abs() / sum_e2e;
+    assert!(
+        rel < 0.01,
+        "breakdown total {accounted} vs e2e total {sum_e2e} (rel err {rel})"
+    );
+    // The residual is a minor component, not the accounting's backbone.
+    let other = cluster
+        .metrics
+        .breakdown
+        .averages_ns()
+        .iter()
+        .find(|(n, _)| *n == "Other")
+        .map(|&(_, v)| v)
+        .expect("Other component present");
+    let per_request = sum_e2e / hist.count() as f64;
+    assert!(
+        other < 0.3 * per_request,
+        "Other {other} ns dominates the {per_request} ns request"
+    );
+}
+
+/// The trace-derived latency decomposition must agree with the runtime's
+/// independent `Breakdown` accounting component by component: both record
+/// the same hops at the same code points, so at sample rate 1.0 any gap
+/// means one of the two paths lost events.
+#[test]
+fn trace_decomposition_matches_breakdown() {
+    let cluster = short_run(12, Some(full_trace(12)));
+    assert_eq!(cluster.trace.dropped_spans(), 0, "span buffer overflowed");
+    let requests = cluster.metrics.breakdown.requests() as f64;
+    let traced = decompose(cluster.trace.spans());
+    assert!(
+        traced.len() >= 5,
+        "expected a full decomposition: {traced:?}"
+    );
+    for (label, avg) in cluster.metrics.breakdown.averages_ns() {
+        if label == "Other" {
+            continue; // Derived residual; not a recorded hop.
+        }
+        let breakdown_sum = avg * requests;
+        let trace_sum = traced
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("component {label} missing from trace"));
+        let rel = (trace_sum - breakdown_sum).abs() / breakdown_sum.max(1.0);
+        assert!(
+            rel < 0.01,
+            "{label}: trace {trace_sum} vs breakdown {breakdown_sum} (rel err {rel})"
+        );
+    }
+}
+
+/// Same seed, same trace config — byte-identical Chrome trace files, and
+/// the file passes the CI validator (well-formed, non-empty, monotone ts
+/// per track).
+#[test]
+fn chrome_export_is_deterministic_and_valid() {
+    let a = short_run(13, Some(full_trace(13)));
+    let b = short_run(13, Some(full_trace(13)));
+    let json_a = chrome_trace(&a.trace);
+    let json_b = chrome_trace(&b.trace);
+    assert!(!a.trace.spans().is_empty());
+    assert_eq!(json_a, json_b, "same-seed exports must be byte-identical");
+    let stats = validate_chrome_trace(&json_a).expect("export must validate");
+    assert!(stats.complete_spans > 1_000, "stats: {stats:?}");
+    assert!(
+        stats.counters > 0,
+        "timeline sampler produced no counter tracks"
+    );
+    // A different seed really changes the trace.
+    let c = short_run(14, Some(full_trace(14)));
+    assert_ne!(json_a, chrome_trace(&c.trace));
+}
+
+/// A forced request timeout trips the flight recorder: the dump is
+/// annotated with the timeout trigger, names the abandoned request, and
+/// its final ring entry is the timeout event itself at the request's
+/// gateway server.
+#[test]
+fn forced_timeout_produces_flight_dump_naming_the_request() {
+    let measure = Nanos::from_secs(1);
+    let cfg = uniform::counter(1_000.0, measure, 15);
+    let mut rt = RuntimeConfig::single_server(15);
+    rt.trace = Some(full_trace(15));
+    // Far below the ~hundreds-of-microseconds service path: every request
+    // that is not already complete at +40 µs is abandoned.
+    rt.request_timeout = Some(Nanos::from_micros(40));
+    let (summary, _report, cluster) = run_uniform(cfg, rt, None, None, Nanos::ZERO, measure);
+    assert!(summary.timed_out > 0, "no timeouts fired");
+    let dumps = cluster.trace.flight_dumps();
+    assert!(!dumps.is_empty(), "timeout produced no flight dump");
+    let dump = &dumps[0];
+    assert_eq!(dump.trigger, HopKind::Timeout);
+    let last = dump.events.last().expect("dump has ring contents");
+    assert_eq!(last.kind, HopKind::Timeout, "last entry names the anomaly");
+    assert_eq!(last.request, dump.request);
+    assert_eq!(last.server, dump.server);
+    // The abandoned request's earlier hops are in the same ring snapshot.
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.request == dump.request && !matches!(e.kind, HopKind::Timeout)),
+        "dump should contain the request's earlier lifecycle"
+    );
+}

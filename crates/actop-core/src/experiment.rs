@@ -29,6 +29,14 @@ pub struct RunSummary {
     pub submitted: u64,
     /// Client requests shed by overload control in the window.
     pub rejected: u64,
+    /// Client requests abandoned by the request timeout in the window.
+    pub timed_out: u64,
+    /// Messages re-routed after arriving at a server no longer hosting
+    /// their target actor (migration races, gateway hops) in the window.
+    pub forwarded_messages: u64,
+    /// Responses that arrived for an already-abandoned request or join in
+    /// the window.
+    pub stale_responses: u64,
     /// Actor migrations during the whole run so far.
     pub migrations: u64,
     /// Completed requests per second over the window.
@@ -81,6 +89,9 @@ pub fn run_steady_state(
         completed: cluster.metrics.completed,
         submitted: cluster.metrics.submitted,
         rejected: cluster.metrics.rejected,
+        timed_out: cluster.metrics.timed_out,
+        forwarded_messages: cluster.metrics.forwarded_messages,
+        stale_responses: cluster.metrics.stale_responses,
         migrations: cluster.metrics.migrations,
         throughput_per_s: cluster.metrics.completed as f64 / measure.as_secs_f64().max(1e-9),
     }
@@ -125,6 +136,9 @@ mod tests {
             completed: 0,
             submitted: 0,
             rejected: 0,
+            timed_out: 0,
+            forwarded_messages: 0,
+            stale_responses: 0,
             migrations: 0,
             throughput_per_s: 0.0,
         };

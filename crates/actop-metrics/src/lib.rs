@@ -12,6 +12,8 @@
 //! * [`series::BinnedSeries`] — fixed-width time bins for rates over time.
 //! * [`ewma::Ewma`] — exponentially weighted moving averages for the online
 //!   parameter estimators.
+//! * [`timeline::Timeline`] — per-server resource samples (queue depth,
+//!   threads, utilization) on the trace time axis.
 //! * [`stats`] — exact small-sample statistics used by tests and benches.
 
 pub mod breakdown;
@@ -19,8 +21,10 @@ pub mod ewma;
 pub mod hist;
 pub mod series;
 pub mod stats;
+pub mod timeline;
 
 pub use breakdown::Breakdown;
 pub use ewma::Ewma;
 pub use hist::{LatencyHistogram, PercentileSummary};
 pub use series::BinnedSeries;
+pub use timeline::{Timeline, TimelineSample};

@@ -33,6 +33,12 @@ pub struct BinnedSeries {
     bins: Vec<Bin>,
 }
 
+/// Upper bound on the number of bins a series will allocate. A far-future
+/// timestamp (e.g. a corrupted or saturating `Nanos`) must not turn one
+/// `record` call into a multi-gigabyte `resize`; samples past the cap
+/// saturate into the last bin instead.
+pub const MAX_BINS: usize = 1 << 20;
+
 impl BinnedSeries {
     /// Creates a series with the given bin width in nanoseconds.
     ///
@@ -52,9 +58,11 @@ impl BinnedSeries {
         self.bin_width_ns
     }
 
-    /// Records `value` at time `at_ns`.
+    /// Records `value` at time `at_ns`. Timestamps beyond
+    /// [`MAX_BINS`] bins saturate into the last representable bin rather
+    /// than growing the series without bound.
     pub fn record(&mut self, at_ns: u64, value: f64) {
-        let idx = (at_ns / self.bin_width_ns) as usize;
+        let idx = ((at_ns / self.bin_width_ns) as usize).min(MAX_BINS - 1);
         if idx >= self.bins.len() {
             self.bins.resize(idx + 1, Bin::default());
         }
@@ -152,5 +160,32 @@ mod tests {
     #[should_panic(expected = "bin width must be positive")]
     fn zero_width_panics() {
         let _ = BinnedSeries::new(0);
+    }
+
+    #[test]
+    fn far_future_timestamp_saturates_into_last_bin() {
+        // Regression: a u64::MAX timestamp used to resize the bin vector
+        // to ~1.8e19 / width entries and abort on allocation failure.
+        let mut s = BinnedSeries::new(1);
+        s.record(u64::MAX, 3.0);
+        s.record(u64::MAX - 1, 4.0);
+        assert_eq!(s.len(), MAX_BINS);
+        let last = s.bins()[MAX_BINS - 1];
+        assert_eq!(last, Bin { sum: 7.0, count: 2 });
+        // In-range samples are unaffected.
+        s.record(5, 1.0);
+        assert_eq!(s.bins()[5], Bin { sum: 1.0, count: 1 });
+    }
+
+    #[test]
+    fn cap_boundary_is_exact() {
+        let width = 1_000u64;
+        let mut s = BinnedSeries::new(width);
+        // The last representable bin index is MAX_BINS - 1.
+        s.record((MAX_BINS as u64 - 1) * width, 1.0);
+        assert_eq!(s.len(), MAX_BINS);
+        s.record(MAX_BINS as u64 * width, 1.0);
+        assert_eq!(s.len(), MAX_BINS, "over-cap sample did not grow series");
+        assert_eq!(s.bins()[MAX_BINS - 1].count, 2);
     }
 }

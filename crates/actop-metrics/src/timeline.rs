@@ -1,0 +1,119 @@
+//! Per-server resource timelines sampled at a fixed interval.
+//!
+//! The thread-allocation controller (Theorem 2) reshapes each server's
+//! stage thread pools over time; understanding *why* a decision was good
+//! or bad requires seeing queue depth, thread allocation, and CPU
+//! utilization on the same time axis as the request spans. A [`Timeline`]
+//! holds one [`TimelineSample`] per server per sampling bin; the trace
+//! exporter turns it into Chrome counter tracks.
+
+/// One sampling instant on one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// Sim time of the sample, nanoseconds.
+    pub at_ns: u64,
+    /// Server index.
+    pub server: u32,
+    /// Queue length per SEDA stage, in stage order.
+    pub queue_len: [u32; 4],
+    /// Busy threads per stage, in stage order.
+    pub busy_threads: [u32; 4],
+    /// Configured threads per stage, in stage order.
+    pub threads: [u32; 4],
+    /// Mean busy-core fraction over the bin ending at `at_ns`, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// A run's timeline: samples for all servers, in sampling order
+/// (time-major, server-minor).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    bin_ns: u64,
+    samples: Vec<TimelineSample>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline with the given sampling interval.
+    pub fn new(bin_ns: u64) -> Self {
+        Timeline {
+            bin_ns,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Sampling interval in nanoseconds.
+    pub fn bin_ns(&self) -> u64 {
+        self.bin_ns
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: TimelineSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples, in recording order.
+    pub fn samples(&self) -> &[TimelineSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples belonging to one server, in time order.
+    pub fn for_server(&self, server: u32) -> impl Iterator<Item = &TimelineSample> {
+        self.samples.iter().filter(move |s| s.server == server)
+    }
+
+    /// Peak total queue length (across stages) seen on any server.
+    pub fn peak_queue_len(&self) -> u32 {
+        self.samples
+            .iter()
+            .map(|s| s.queue_len.iter().sum())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_ns: u64, server: u32, q: u32) -> TimelineSample {
+        TimelineSample {
+            at_ns,
+            server,
+            queue_len: [q, 0, 0, 0],
+            busy_threads: [1, 1, 0, 0],
+            threads: [8, 8, 8, 8],
+            utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn per_server_filter_and_order() {
+        let mut t = Timeline::new(100);
+        t.push(sample(100, 0, 1));
+        t.push(sample(100, 1, 9));
+        t.push(sample(200, 0, 2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.bin_ns(), 100);
+        let s0: Vec<u64> = t.for_server(0).map(|s| s.at_ns).collect();
+        assert_eq!(s0, vec![100, 200]);
+        assert_eq!(t.peak_queue_len(), 9);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = Timeline::new(10);
+        assert!(t.is_empty());
+        assert_eq!(t.peak_queue_len(), 0);
+        assert_eq!(t.for_server(0).count(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the log-bucketed latency histogram: its quantiles
+//! and `merge` are checked against the exact nearest-rank quantile from
+//! `stats`, including the documented ≈3% (1/32) relative-error bound.
+
+use actop_metrics::{stats, LatencyHistogram};
+use proptest::prelude::*;
+
+/// A generated sample covering the exact region (< 32) and several
+/// octaves of the bucketed region, with duplicates.
+fn arb_sample() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u32..40, 0u64..1_000).prop_map(|(shift, fill)| {
+            // Spread values across magnitudes: `fill` perturbs within the
+            // octave selected by `shift`.
+            (1u64 << (shift % 40)).saturating_add(fill)
+        }),
+        1..400,
+    )
+}
+
+/// Both the histogram and `stats::quantile` use the nearest-rank rule
+/// (`ceil(q * n)`, clamped to at least 1), so for any sample the
+/// histogram's answer must land in the same bucket as the exact rank
+/// statistic: exact below 32, within 1/32 relative error above.
+fn assert_close(exact: f64, approx: u64, q: f64) {
+    if exact < 32.0 {
+        assert_eq!(approx as f64, exact, "exact region must be exact (q={q})");
+    } else {
+        let rel = (approx as f64 - exact).abs() / exact;
+        assert!(
+            rel <= 1.0 / 32.0 + 1e-9,
+            "relative error {rel} > 1/32 at q={q}: exact={exact} approx={approx}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantiles match the exact nearest-rank statistic within the
+    /// documented error bound, across the whole q range.
+    #[test]
+    fn quantiles_match_exact_rank_statistic(sample in arb_sample()) {
+        let mut hist = LatencyHistogram::new();
+        for &v in &sample {
+            hist.record(v);
+        }
+        let xs: Vec<f64> = sample.iter().map(|&v| v as f64).collect();
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_close(stats::quantile(&xs, q), hist.quantile(q), q);
+        }
+    }
+
+    /// Merging two histograms is equivalent to recording the concatenated
+    /// sample: counts, mean, min/max exactly; quantiles within the bound.
+    #[test]
+    fn merge_equals_combined_recording(a in arb_sample(), b in arb_sample()) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            combined.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), combined.count());
+        prop_assert_eq!(ha.min(), combined.min());
+        prop_assert_eq!(ha.max(), combined.max());
+        prop_assert!((ha.mean() - combined.mean()).abs() < 1e-6);
+        let mut xs: Vec<f64> = a.iter().chain(&b).map(|&v| v as f64).collect();
+        xs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(ha.quantile(q), combined.quantile(q));
+            assert_close(stats::quantile_of_sorted(&xs, q), ha.quantile(q), q);
+        }
+    }
+
+    /// Values below 32 ns (the sub-bucket region) are represented exactly.
+    #[test]
+    fn small_values_are_exact(sample in proptest::collection::vec(0u64..32, 1..200)) {
+        let mut hist = LatencyHistogram::new();
+        for &v in &sample {
+            hist.record(v);
+        }
+        let xs: Vec<f64> = sample.iter().map(|&v| v as f64).collect();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            prop_assert_eq!(hist.quantile(q) as f64, stats::quantile(&xs, q));
+        }
+    }
+}

@@ -11,8 +11,10 @@
 
 use std::collections::HashMap;
 
+use actop_metrics::TimelineSample;
 use actop_partition::{ExchangeOutcome, Partition};
 use actop_sim::{DetRng, Engine, Nanos};
+use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE, PROC_LABEL, QUEUE_LABEL};
 
 use crate::app::{AppLogic, Call, Outcome, Reaction};
 use crate::config::{HiccupModel, RuntimeConfig};
@@ -40,20 +42,9 @@ pub struct StageReport {
     pub mean_queue_len: f64,
 }
 
-/// Breakdown component labels, matching Fig. 4 of the paper. Both sender
-/// stages share the "Sender" label, as in the figure.
-const QUEUE_LABEL: [&str; 4] = [
-    "Recv. queue",
-    "Worker queue",
-    "Sender queue",
-    "Sender queue",
-];
-const PROC_LABEL: [&str; 4] = [
-    "Recv. processing",
-    "Worker processing",
-    "Sender processing",
-    "Sender processing",
-];
+// Breakdown component labels (Fig. 4) are shared with the trace exporter's
+// decomposition — `QUEUE_LABEL` / `PROC_LABEL` come from `actop-trace` so
+// the two accountings can never drift apart.
 
 /// The simulated cluster (the discrete-event world type).
 pub struct Cluster {
@@ -65,6 +56,9 @@ pub struct Cluster {
     pub directory: Partition<ActorId>,
     /// Cluster-wide measurements.
     pub metrics: ClusterMetrics,
+    /// Causal request tracer + flight recorder (disabled unless
+    /// `config.trace` is set; every hook is then a single branch).
+    pub trace: Tracer,
     app: Box<dyn AppLogic>,
     rng_place: DetRng,
     rng_net: DetRng,
@@ -91,10 +85,15 @@ impl Cluster {
                 )
             })
             .collect();
+        let trace = match &config.trace {
+            Some(tc) => Tracer::new(config.servers, tc),
+            None => Tracer::disabled(),
+        };
         Cluster {
             servers,
             directory: Partition::new(config.servers),
             metrics: ClusterMetrics::new(config.series_bin_ns),
+            trace,
             app,
             rng_place: DetRng::stream(config.seed, 0x01),
             rng_net: DetRng::stream(config.seed, 0x02),
@@ -133,21 +132,43 @@ impl Cluster {
         let rid = RequestId(self.next_request);
         self.next_request += 1;
         self.metrics.submitted += 1;
+        let gateway = {
+            let first = self.rng_gateway.below(self.servers.len());
+            self.next_live(first)
+        };
         self.requests.insert(
             rid.0,
             RequestMeta {
                 start: now,
                 accounted_ns: 0.0,
+                gateway: gateway as u32,
             },
         );
-        let gateway = {
-            let first = self.rng_gateway.below(self.servers.len());
-            self.next_live(first)
-        };
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                rid.0,
+                HopKind::GatewayAdmit,
+                gateway as u32,
+                0,
+                now,
+            ));
+        }
         if let Some(timeout) = self.config.request_timeout {
-            engine.schedule_after(timeout, move |c: &mut Cluster, _| {
-                if c.requests.remove(&rid.0).is_some() {
+            engine.schedule_after(timeout, move |c: &mut Cluster, e| {
+                if let Some(meta) = c.requests.remove(&rid.0) {
                     c.metrics.timed_out += 1;
+                    if c.trace.enabled() {
+                        let at = e.now();
+                        c.trace.record(SpanEvent::instant(
+                            rid.0,
+                            HopKind::Timeout,
+                            meta.gateway,
+                            0,
+                            at,
+                        ));
+                        c.trace
+                            .flight_dump(HopKind::Timeout, rid.0, meta.gateway, at);
+                    }
                 }
             });
         }
@@ -167,6 +188,17 @@ impl Cluster {
         };
         let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
         self.account(rid, "Network", delay.as_nanos() as f64);
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent {
+                request: rid.0,
+                kind: HopKind::Network,
+                server: gateway as u32,
+                stage: NO_STAGE,
+                aux: 0,
+                t_start: now,
+                t_end: now + delay,
+            });
+        }
         engine.schedule_after(delay, move |c: &mut Cluster, e| {
             c.wire_arrive(e, gateway, msg)
         });
@@ -194,6 +226,15 @@ impl Cluster {
                         self.next_live(first)
                     };
                     msg.forwarded = true;
+                    if self.trace.enabled() {
+                        self.trace.record(SpanEvent::instant(
+                            msg.request.0,
+                            HopKind::FailoverRetry,
+                            retry as u32,
+                            server as u64,
+                            engine.now(),
+                        ));
+                    }
                     self.enqueue(
                         engine,
                         retry,
@@ -203,6 +244,7 @@ impl Cluster {
                 }
                 MsgKind::Response { .. } => {
                     self.metrics.stale_responses += 1;
+                    self.note_stale_response(engine.now(), msg.request, server);
                 }
             }
             return;
@@ -216,6 +258,18 @@ impl Cluster {
         {
             self.metrics.rejected += 1;
             self.requests.remove(&msg.request.0);
+            if self.trace.enabled() {
+                let at = engine.now();
+                self.trace.record(SpanEvent::instant(
+                    msg.request.0,
+                    HopKind::Shed,
+                    server as u32,
+                    0,
+                    at,
+                ));
+                self.trace
+                    .flight_dump(HopKind::Shed, msg.request.0, server as u32, at);
+            }
             return;
         }
         self.enqueue(
@@ -254,6 +308,17 @@ impl Cluster {
                     if self.config.record_breakdown {
                         let rid = item_request(&item);
                         self.account(rid, QUEUE_LABEL[stage], wait.as_nanos() as f64);
+                    }
+                    if self.trace.enabled() {
+                        self.trace.record(SpanEvent {
+                            request: item_request(&item).0,
+                            kind: HopKind::QueueWait,
+                            server: server as u32,
+                            stage: stage as u8,
+                            aux: 0,
+                            t_start: now.saturating_sub(wait),
+                            t_end: now,
+                        });
                     }
                     let (cpu_ns, wait_ns, post, request) = self.prepare(now, server, item);
                     let cpu_ns = cpu_ns.max(1.0);
@@ -425,6 +490,17 @@ impl Cluster {
                 (now - task.started).as_nanos() as f64,
             );
         }
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent {
+                request: task.request.0,
+                kind: HopKind::Service,
+                server: server as u32,
+                stage: task.stage as u8,
+                aux: 0,
+                t_start: task.started,
+                t_end: now,
+            });
+        }
         match task.post {
             PostAction::RouteToWorker(msg) => {
                 self.enqueue(
@@ -450,11 +526,33 @@ impl Cluster {
                     .network
                     .delay(&mut self.rng_net, msg.bytes);
                 self.account(msg.request, "Network", delay.as_nanos() as f64);
+                if self.trace.enabled() {
+                    self.trace.record(SpanEvent {
+                        request: msg.request.0,
+                        kind: HopKind::Network,
+                        server: server as u32,
+                        stage: NO_STAGE,
+                        aux: dst as u64,
+                        t_start: now,
+                        t_end: now + delay,
+                    });
+                }
                 engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, dst, msg));
             }
             PostAction::ClientReply { request, bytes } => {
                 let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
                 self.account(request, "Network", delay.as_nanos() as f64);
+                if self.trace.enabled() {
+                    self.trace.record(SpanEvent {
+                        request: request.0,
+                        kind: HopKind::Network,
+                        server: server as u32,
+                        stage: NO_STAGE,
+                        aux: NO_SERVER as u64,
+                        t_start: now,
+                        t_end: now + delay,
+                    });
+                }
                 engine.schedule_after(delay, move |c: &mut Cluster, e| {
                     c.complete_request(e.now(), request);
                 });
@@ -543,6 +641,22 @@ impl Cluster {
         let dst = self.resolve(call.to, Some(server));
         let remote = dst != server;
         self.note_actor_message(now, server, dst, from, call.to);
+        if self.trace.enabled() {
+            let kind = if remote {
+                HopKind::RemoteDispatch
+            } else {
+                HopKind::LocalDispatch
+            };
+            self.trace.record(SpanEvent {
+                request: request.0,
+                kind,
+                server: server as u32,
+                stage: NO_STAGE,
+                aux: dst as u64,
+                t_start: now,
+                t_end: now,
+            });
+        }
         let msg = Message {
             to: call.to,
             tag: call.tag,
@@ -587,6 +701,7 @@ impl Cluster {
         let Some(join) = self.joins.get_mut(&target.0) else {
             // The join was lost (crash) or abandoned (timeout).
             self.metrics.stale_responses += 1;
+            self.note_stale_response(now, msg.request, server);
             return;
         };
         join.remaining -= 1;
@@ -633,6 +748,7 @@ impl Cluster {
             ReplyTarget::Join(cid) => {
                 let Some(join) = self.joins.get(&cid.0) else {
                     self.metrics.stale_responses += 1;
+                    self.note_stale_response(engine.now(), request, server);
                     return;
                 };
                 let target_actor = join.actor;
@@ -677,6 +793,15 @@ impl Cluster {
         self.metrics.forwarded_messages += 1;
         msg.forwarded = true;
         let dst = self.resolve(msg.to, Some(server));
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                msg.request.0,
+                HopKind::Forward,
+                server as u32,
+                dst as u64,
+                engine.now(),
+            ));
+        }
         if dst == server {
             self.enqueue(
                 engine,
@@ -746,12 +871,37 @@ impl Cluster {
             return;
         };
         self.metrics.completed += 1;
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                request.0,
+                HopKind::ClientDone,
+                NO_SERVER,
+                0,
+                now,
+            ));
+        }
         let total = (now - meta.start).as_nanos();
         self.metrics.e2e_latency.record(total);
         if self.config.record_breakdown {
             let other = (total as f64 - meta.accounted_ns).max(0.0);
             self.metrics.breakdown.add("Other", other);
             self.metrics.breakdown.finish_request();
+        }
+    }
+
+    /// Records a stale-response trace instant (the join or request the
+    /// response targeted is gone — crash, timeout, or shed).
+    #[cold]
+    #[inline(never)]
+    fn note_stale_response(&mut self, now: Nanos, request: RequestId, server: usize) {
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                request.0,
+                HopKind::StaleResponse,
+                server as u32,
+                0,
+                now,
+            ));
         }
     }
 
@@ -830,6 +980,17 @@ impl Cluster {
         };
         if from == to {
             return;
+        }
+        if self.trace.enabled() {
+            // Lifecycle event: bypasses request sampling; `request` carries
+            // the actor id, `aux` the destination server.
+            self.trace.record(SpanEvent::instant(
+                actor.0,
+                HopKind::Migration,
+                from as u32,
+                to as u64,
+                now,
+            ));
         }
         self.directory.remove(&actor);
         self.servers[from].cache_location(actor, to);
@@ -928,6 +1089,21 @@ impl Cluster {
         }
     }
 
+    /// Installs the per-server timeline sampler: every
+    /// [`actop_trace::TraceConfig::timeline_bin`] it snapshots each
+    /// server's queue depths, busy/configured threads, and busy-core
+    /// utilization over the elapsed bin into the tracer's timeline. A
+    /// no-op when tracing is disabled, so it never perturbs untraced
+    /// runs; the horizon keeps the event queue drainable.
+    pub fn install_timeline_sampler(&self, engine: &mut Engine<Cluster>, horizon: Nanos) {
+        if !self.trace.enabled() || self.trace.timeline_bin() == Nanos::ZERO {
+            return;
+        }
+        let bin = self.trace.timeline_bin();
+        let prev: Vec<f64> = self.servers.iter().map(|s| s.cpu.busy_core_ns()).collect();
+        schedule_next_timeline_sample(engine, bin, prev, horizon);
+    }
+
     /// The first live server at or after `preferred` (wrapping).
     ///
     /// # Panics
@@ -959,6 +1135,18 @@ impl Cluster {
         }
         self.failed[server] = true;
         self.metrics.server_failures += 1;
+        if self.trace.enabled() {
+            let at = engine.now();
+            self.trace.record(SpanEvent::instant(
+                0,
+                HopKind::ServerFail,
+                server as u32,
+                0,
+                at,
+            ));
+            self.trace
+                .flight_dump(HopKind::ServerFail, 0, server as u32, at);
+        }
         // Drop every activation the server hosted. No location hints: the
         // server crashed, it had no chance to leave forwarding state.
         for actor in self.directory.vertices_on(server) {
@@ -1026,6 +1214,47 @@ fn schedule_next_hiccup(
         }
         engine_resume(e, server, pause);
         schedule_next_hiccup(e, server, model, rng, horizon);
+    });
+}
+
+/// Schedules the next timeline sample and, when it fires, the one after:
+/// the same self-rescheduling shape as the hiccup loop. `prev` carries the
+/// per-server busy-core snapshots from the previous sample, so each bin's
+/// utilization is exact.
+fn schedule_next_timeline_sample(
+    engine: &mut Engine<Cluster>,
+    bin: Nanos,
+    prev: Vec<f64>,
+    horizon: Nanos,
+) {
+    if engine.now() + bin > horizon {
+        return;
+    }
+    engine.schedule_after(bin, move |c: &mut Cluster, e| {
+        let now = e.now();
+        let since = now.saturating_sub(bin);
+        let mut next_prev = Vec::with_capacity(c.servers.len());
+        for (i, &prev_busy) in prev.iter().enumerate() {
+            // Scope the `c.servers` borrow so the timeline push can
+            // re-borrow `c` mutably.
+            let s = &c.servers[i];
+            next_prev.push(s.cpu.busy_core_ns());
+            let sample = TimelineSample {
+                at_ns: now.as_nanos(),
+                server: i as u32,
+                queue_len: s.queue_lengths().map(|q| q as u32),
+                busy_threads: [
+                    s.stages[0].busy() as u32,
+                    s.stages[1].busy() as u32,
+                    s.stages[2].busy() as u32,
+                    s.stages[3].busy() as u32,
+                ],
+                threads: s.thread_allocation().map(|t| t as u32),
+                utilization: s.cpu.utilization_since(prev_busy, since, now),
+            };
+            c.trace.timeline.push(sample);
+        }
+        schedule_next_timeline_sample(e, bin, next_prev, horizon);
     });
 }
 

@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use actop_sim::{CostModel, Nanos};
+use actop_trace::TraceConfig;
 
 use crate::placement::PlacementPolicy;
 
@@ -64,6 +65,9 @@ pub struct RuntimeConfig {
     /// Optional stop-the-world pause model (GC hiccups). `None` disables
     /// pauses (the calibrated default; see DESIGN.md §5).
     pub hiccups: Option<HiccupModel>,
+    /// Optional causal request tracing + flight recorder. `None` (the
+    /// default) leaves every instrumentation hook at a single branch.
+    pub trace: Option<TraceConfig>,
 }
 
 impl RuntimeConfig {
@@ -84,6 +88,7 @@ impl RuntimeConfig {
             series_bin_ns: 60 * 1_000_000_000, // One-minute bins, as Fig. 10a.
             request_timeout: None,
             hiccups: None,
+            trace: None,
         }
     }
 

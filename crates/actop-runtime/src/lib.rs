@@ -39,6 +39,7 @@ pub mod placement;
 pub(crate) mod proto;
 pub mod server;
 
+pub use actop_trace::{TraceConfig, Tracer};
 pub use app::{AppLogic, Call, Outcome, Reaction};
 pub use cluster::Cluster;
 pub use config::RuntimeConfig;

@@ -158,4 +158,7 @@ pub(crate) struct RequestMeta {
     pub start: Nanos,
     /// Nanoseconds already attributed to named breakdown components.
     pub accounted_ns: f64,
+    /// The gateway server the request entered through (names the flight
+    /// ring to dump when the request times out).
+    pub gateway: u32,
 }

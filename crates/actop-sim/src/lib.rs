@@ -30,6 +30,6 @@ pub use costs::CostModel;
 pub use cpu::{CpuTaskId, PsCpu};
 pub use engine::{Engine, EngineReport, EventId, TickFn};
 pub use net::NetworkModel;
-pub use rng::DetRng;
+pub use rng::{mix64, DetRng};
 pub use stage::StagePool;
 pub use time::Nanos;

@@ -17,7 +17,14 @@ pub struct DetRng {
 }
 
 /// SplitMix64 finalizer; used to derive well-separated stream seeds and to
-/// expand a 64-bit seed into the xoshiro256++ state.
+/// expand a 64-bit seed into the xoshiro256++ state. Public as the
+/// workspace's one shared 64-bit mixer: the tracer's deterministic
+/// head-sampling decision hashes `request id ^ seed` through it, so traces
+/// are reproducible from the run seed exactly like every other stream.
+pub fn mix64(z: u64) -> u64 {
+    splitmix64(z)
+}
+
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -1,0 +1,41 @@
+//! Validates a Chrome trace-event JSON file produced by the trace
+//! exporter (CI runs this against a short instrumented bench).
+//!
+//! Usage: `check_trace <trace.json>`; exits nonzero if the file is
+//! missing, malformed, empty, or has non-monotone timestamps on any
+//! track.
+
+use std::process::ExitCode;
+
+use actop_trace::validate_chrome_trace;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_trace <trace.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("check_trace: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_chrome_trace(&text) {
+        Ok(stats) => {
+            println!(
+                "{path}: OK — {} events ({} spans, {} instants, {} counters) on {} tracks",
+                stats.total_events,
+                stats.complete_spans,
+                stats.instants,
+                stats.counters,
+                stats.tracks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("check_trace: {path}: INVALID — {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

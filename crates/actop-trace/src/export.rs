@@ -1,0 +1,400 @@
+//! Trace exporters: Chrome trace-event JSON, JSONL span dumps, flight
+//! dumps, and the per-hop latency decomposition.
+//!
+//! The Chrome format (one JSON object with a `traceEvents` array) opens
+//! directly in Perfetto or `chrome://tracing`. Layout: one *process* per
+//! server (plus a synthetic "clients" process), one *thread* per
+//! stage × {queue, service} plus a network track and an events track, and
+//! per-server counter tracks for queue depth, thread allocation, and CPU
+//! utilization from the timeline sampler. All output is generated in a
+//! deterministic order, so two runs with the same seed produce
+//! byte-identical files.
+
+use std::fmt::Write as _;
+
+use crate::span::{HopKind, SpanEvent, NO_SERVER, PROC_LABEL, QUEUE_LABEL};
+use crate::tracer::Tracer;
+
+/// Track (Chrome `tid`) for network-transfer spans.
+const TID_NETWORK: u32 = 8;
+/// Track for instantaneous lifecycle events.
+const TID_EVENTS: u32 = 9;
+
+/// Track of an event within its server's process.
+fn tid_of(ev: &SpanEvent) -> u32 {
+    match ev.kind {
+        HopKind::QueueWait => ev.stage as u32 * 2,
+        HopKind::Service => ev.stage as u32 * 2 + 1,
+        HopKind::Network => TID_NETWORK,
+        _ => TID_EVENTS,
+    }
+}
+
+/// Display name of a track.
+fn track_name(tid: u32) -> &'static str {
+    const STAGE: [&str; 4] = ["receiver", "worker", "server-sender", "client-sender"];
+    match tid {
+        0 | 2 | 4 | 6 => STAGE[(tid / 2) as usize],
+        1 | 3 | 5 | 7 => STAGE[(tid / 2) as usize],
+        TID_NETWORK => "network",
+        _ => "events",
+    }
+}
+
+/// Qualified track name ("worker queue", "worker service", ...).
+fn track_label(tid: u32) -> String {
+    match tid {
+        0 | 2 | 4 | 6 => format!("{} queue", track_name(tid)),
+        1 | 3 | 5 | 7 => format!("{} service", track_name(tid)),
+        _ => track_name(tid).to_string(),
+    }
+}
+
+/// Sim-time nanoseconds rendered as Chrome's microsecond `ts` with
+/// nanosecond precision.
+fn ts_us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// The synthetic process id used for client-side events.
+fn client_pid(tracer: &Tracer) -> u32 {
+    tracer.server_count() as u32
+}
+
+fn event_pid(tracer: &Tracer, ev: &SpanEvent) -> u32 {
+    if ev.server == NO_SERVER {
+        client_pid(tracer)
+    } else {
+        ev.server
+    }
+}
+
+/// Serializes a tracer's spans and timeline as Chrome trace-event JSON.
+pub fn chrome_trace(tracer: &Tracer) -> String {
+    // Sort key: (pid, tid, t_start, recording index). The stable recording
+    // index breaks ties deterministically, and sorting by t_start makes
+    // `ts` monotone within every track.
+    let mut order: Vec<(u32, u32, u64, usize)> = tracer
+        .spans()
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| (event_pid(tracer, ev), tid_of(ev), ev.t_start.as_nanos(), i))
+        .collect();
+    order.sort_unstable();
+
+    let mut out = String::with_capacity(128 * order.len() + 4096);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: &str| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(line);
+    };
+
+    // Metadata: process and thread names for every track in use.
+    let mut tracks: Vec<(u32, u32)> = order.iter().map(|&(p, t, _, _)| (p, t)).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let mut pids: Vec<u32> = tracks.iter().map(|&(p, _)| p).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for &pid in &pids {
+        let name = if pid == client_pid(tracer) {
+            "clients".to_string()
+        } else {
+            format!("server-{pid}")
+        };
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+    }
+    for &(pid, tid) in &tracks {
+        push(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                track_label(tid)
+            ),
+        );
+    }
+
+    // Span and instant events.
+    for &(pid, tid, _, i) in &order {
+        let ev = &tracer.spans()[i];
+        let line = if ev.kind.is_span() {
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"args\":{{\"req\":{},\"aux\":{}}}}}",
+                ts_us(ev.t_start.as_nanos()),
+                ts_us(ev.duration().as_nanos()),
+                ev.kind.name(),
+                ev.request,
+                ev.aux,
+            )
+        } else {
+            format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\"args\":{{\"req\":{},\"aux\":{}}}}}",
+                ts_us(ev.t_start.as_nanos()),
+                ev.kind.name(),
+                ev.request,
+                ev.aux,
+            )
+        };
+        push(&mut out, &mut first, &line);
+    }
+
+    // Timeline counters: one queue-depth, one thread, and one utilization
+    // track per server. Samples are recorded time-major, but sort anyway
+    // so `ts` is monotone per (pid, counter name) by construction.
+    let mut counter_order: Vec<(u32, u64, usize)> = tracer
+        .timeline
+        .samples()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.server, s.at_ns, i))
+        .collect();
+    counter_order.sort_unstable();
+    for counter in 0..3u8 {
+        for &(server, at_ns, i) in &counter_order {
+            let s = &tracer.timeline.samples()[i];
+            let (name, args) = match counter {
+                0 => (
+                    "queue depth",
+                    format!(
+                        "{{\"recv\":{},\"worker\":{},\"ssend\":{},\"csend\":{}}}",
+                        s.queue_len[0], s.queue_len[1], s.queue_len[2], s.queue_len[3]
+                    ),
+                ),
+                1 => (
+                    "threads",
+                    format!(
+                        "{{\"recv\":{},\"worker\":{},\"ssend\":{},\"csend\":{}}}",
+                        s.threads[0], s.threads[1], s.threads[2], s.threads[3]
+                    ),
+                ),
+                _ => ("cpu util", format!("{{\"busy\":{:.4}}}", s.utilization)),
+            };
+            push(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"C\",\"pid\":{server},\"ts\":{},\"name\":\"{name}\",\"args\":{args}}}",
+                    ts_us(at_ns),
+                ),
+            );
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serializes one span event as a single JSON object (no newline).
+fn span_json(ev: &SpanEvent) -> String {
+    format!(
+        "{{\"req\":{},\"kind\":\"{}\",\"server\":{},\"stage\":{},\"aux\":{},\"t0_ns\":{},\"t1_ns\":{}}}",
+        ev.request,
+        ev.kind.name(),
+        ev.server,
+        ev.stage,
+        ev.aux,
+        ev.t_start.as_nanos(),
+        ev.t_end.as_nanos(),
+    )
+}
+
+/// Serializes the sampled spans as JSONL, one event per line, in
+/// recording order (`server` 4294967295 and `stage` 255 are the "none"
+/// sentinels).
+pub fn spans_jsonl(tracer: &Tracer) -> String {
+    let mut out = String::with_capacity(96 * tracer.spans().len());
+    for ev in tracer.spans() {
+        out.push_str(&span_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the flight-recorder dumps as one JSON document.
+pub fn flight_json(tracer: &Tracer) -> String {
+    let mut out = String::from("{\"dumps\":[\n");
+    for (i, dump) in tracer.flight_dumps().iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "{{\"trigger\":\"{}\",\"request\":{},\"server\":{},\"at_ns\":{},\"events\":[",
+            dump.trigger.name(),
+            dump.request,
+            dump.server,
+            dump.at.as_nanos(),
+        );
+        for (j, ev) in dump.events.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_json(ev));
+        }
+        out.push_str("]}");
+    }
+    let _ = write!(
+        out,
+        "\n],\"suppressed\":{}}}\n",
+        tracer.suppressed_flight_dumps()
+    );
+    out
+}
+
+/// Derives the per-hop latency decomposition from recorded spans: total
+/// nanoseconds per Fig. 4 component label, in first-seen order. This is
+/// the trace-side half of the cross-check against the runtime's
+/// independent `Breakdown` accounting — at sample rate 1.0 the two must
+/// agree component by component.
+pub fn decompose(spans: &[SpanEvent]) -> Vec<(&'static str, f64)> {
+    let mut out: Vec<(&'static str, f64)> = Vec::new();
+    let mut add = |label: &'static str, ns: f64| match out.iter_mut().find(|(l, _)| *l == label) {
+        Some((_, sum)) => *sum += ns,
+        None => out.push((label, ns)),
+    };
+    for ev in spans {
+        let ns = ev.duration().as_nanos() as f64;
+        match ev.kind {
+            HopKind::QueueWait => add(QUEUE_LABEL[ev.stage as usize], ns),
+            HopKind::Service => add(PROC_LABEL[ev.stage as usize], ns),
+            HopKind::Network => add("Network", ns),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_chrome_trace;
+    use crate::tracer::TraceConfig;
+    use actop_metrics::TimelineSample;
+    use actop_sim::Nanos;
+
+    fn demo_tracer() -> Tracer {
+        let mut t = Tracer::new(2, &TraceConfig::default());
+        t.record(SpanEvent::instant(
+            1,
+            HopKind::GatewayAdmit,
+            0,
+            0,
+            Nanos(1_000),
+        ));
+        t.record(SpanEvent {
+            request: 1,
+            kind: HopKind::QueueWait,
+            server: 0,
+            stage: 0,
+            aux: 0,
+            t_start: Nanos(1_000),
+            t_end: Nanos(3_000),
+        });
+        t.record(SpanEvent {
+            request: 1,
+            kind: HopKind::Service,
+            server: 0,
+            stage: 1,
+            aux: 0,
+            t_start: Nanos(3_000),
+            t_end: Nanos(9_000),
+        });
+        t.record(SpanEvent {
+            request: 1,
+            kind: HopKind::Network,
+            server: 0,
+            stage: crate::span::NO_STAGE,
+            aux: 1,
+            t_start: Nanos(9_000),
+            t_end: Nanos(59_000),
+        });
+        t.record(SpanEvent::instant(
+            1,
+            HopKind::ClientDone,
+            NO_SERVER,
+            0,
+            Nanos(60_000),
+        ));
+        t.timeline.push(TimelineSample {
+            at_ns: 50_000,
+            server: 0,
+            queue_len: [3, 1, 0, 0],
+            busy_threads: [2, 1, 0, 0],
+            threads: [8, 8, 8, 8],
+            utilization: 0.25,
+        });
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let t = demo_tracer();
+        let json = chrome_trace(&t);
+        let stats = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(stats.complete_spans, 3);
+        assert_eq!(stats.instants, 2);
+        assert_eq!(stats.counters, 3, "one sample × three counter tracks");
+        assert!(stats.tracks >= 4);
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic() {
+        let a = chrome_trace(&demo_tracer());
+        let b = chrome_trace(&demo_tracer());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_span() {
+        let t = demo_tracer();
+        let jsonl = spans_jsonl(&t);
+        assert_eq!(jsonl.lines().count(), t.spans().len());
+        for line in jsonl.lines() {
+            crate::json::parse_json(line).expect("each line parses");
+        }
+    }
+
+    #[test]
+    fn decompose_sums_by_component() {
+        let t = demo_tracer();
+        let d = decompose(t.spans());
+        let get = |label: &str| {
+            d.iter()
+                .find(|(l, _)| *l == label)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        assert_eq!(get("Recv. queue"), 2_000.0);
+        assert_eq!(get("Worker processing"), 6_000.0);
+        assert_eq!(get("Network"), 50_000.0);
+    }
+
+    #[test]
+    fn flight_json_parses_and_names_trigger() {
+        let mut t = demo_tracer();
+        t.flight_dump(HopKind::Timeout, 1, 0, Nanos(70_000));
+        let json = flight_json(&t);
+        let doc = crate::json::parse_json(&json).expect("flight json parses");
+        let dumps = doc.get("dumps").and_then(Json::as_array).expect("dumps");
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(
+            dumps[0].get("trigger").and_then(Json::as_str),
+            Some("timeout")
+        );
+        assert_eq!(dumps[0].get("request").and_then(Json::as_f64), Some(1.0));
+        use crate::json::Json;
+        let events = dumps[0].get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 4, "ring holds the server-0 events");
+    }
+}

@@ -1,0 +1,419 @@
+//! Minimal JSON parser and Chrome trace-event validator.
+//!
+//! The workspace is offline and vendors no serde, so the CI trace checker
+//! carries its own recursive-descent parser. It accepts the JSON subset
+//! our exporters emit (objects, arrays, strings with `\"`/`\\`/`\u`
+//! escapes, numbers, booleans, null) — enough to round-trip and validate
+//! any trace file this repo produces.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9' => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing whitespace is allowed,
+/// trailing garbage is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(value)
+}
+
+/// Summary of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeTraceStats {
+    /// Total entries in `traceEvents`.
+    pub total_events: usize,
+    /// `ph == "X"` complete spans.
+    pub complete_spans: usize,
+    /// `ph == "i"` instant events.
+    pub instants: usize,
+    /// `ph == "C"` counter samples.
+    pub counters: usize,
+    /// Distinct `(pid, tid)` tracks carrying spans or instants.
+    pub tracks: usize,
+}
+
+fn num_field(ev: &Json, key: &str, idx: usize) -> Result<f64, String> {
+    ev.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("event {idx}: missing numeric '{key}'"))
+}
+
+/// Validates a Chrome trace-event document: well-formed JSON, a non-empty
+/// `traceEvents` array, required fields per phase, and `ts` monotone
+/// non-decreasing within every `(pid, tid)` track (spans + instants) and
+/// every `(pid, name)` counter track.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing 'traceEvents' array")?;
+    if events.is_empty() {
+        return Err("empty 'traceEvents' array".into());
+    }
+
+    let mut stats = ChromeTraceStats {
+        total_events: events.len(),
+        ..ChromeTraceStats::default()
+    };
+    let mut track_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut counter_ts: BTreeMap<(u64, String), f64> = BTreeMap::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {idx}: missing 'ph'"))?;
+        match ph {
+            "M" => {}
+            "X" | "i" => {
+                let pid = num_field(ev, "pid", idx)? as u64;
+                let tid = num_field(ev, "tid", idx)? as u64;
+                let ts = num_field(ev, "ts", idx)?;
+                if ph == "X" {
+                    let dur = num_field(ev, "dur", idx)?;
+                    if dur < 0.0 {
+                        return Err(format!("event {idx}: negative dur {dur}"));
+                    }
+                    stats.complete_spans += 1;
+                } else {
+                    stats.instants += 1;
+                }
+                ev.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {idx}: missing 'name'"))?;
+                if let Some(&prev) = track_ts.get(&(pid, tid)) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {idx}: ts {ts} < {prev} on track ({pid}, {tid})"
+                        ));
+                    }
+                }
+                track_ts.insert((pid, tid), ts);
+            }
+            "C" => {
+                let pid = num_field(ev, "pid", idx)? as u64;
+                let ts = num_field(ev, "ts", idx)?;
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {idx}: counter missing 'name'"))?;
+                let key = (pid, name.to_string());
+                if let Some(&prev) = counter_ts.get(&key) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {idx}: counter '{name}' ts {ts} < {prev} on pid {pid}"
+                        ));
+                    }
+                }
+                counter_ts.insert(key, ts);
+                stats.counters += 1;
+            }
+            other => return Err(format!("event {idx}: unknown phase '{other}'")),
+        }
+    }
+    stats.tracks = track_ts.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = parse_json(r#"{"a": [1, -2.5e3, "x\ny", true, null], "b": {}}"#).unwrap();
+        let a = doc.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2500.0));
+        assert_eq!(a[2].as_str(), Some("x\ny"));
+        assert_eq!(a[3], Json::Bool(true));
+        assert_eq!(a[4], Json::Null);
+        assert_eq!(doc.get("b"), Some(&Json::Obj(Default::default())));
+    }
+
+    #[test]
+    fn unicode_escape_and_utf8() {
+        let doc = parse_json(r#""café — déjà""#).unwrap();
+        assert_eq!(doc.as_str(), Some("café — déjà"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("[] trailing").is_err());
+        assert!(parse_json(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn validates_a_minimal_trace() {
+        let trace = r#"{"traceEvents":[
+            {"ph":"M","pid":0,"name":"process_name","args":{"name":"server-0"}},
+            {"ph":"X","pid":0,"tid":1,"ts":1.0,"dur":2.0,"name":"service","args":{}},
+            {"ph":"X","pid":0,"tid":1,"ts":5.0,"dur":1.0,"name":"service","args":{}},
+            {"ph":"i","s":"t","pid":0,"tid":9,"ts":2.0,"name":"admit","args":{}},
+            {"ph":"C","pid":0,"ts":0.5,"name":"queue depth","args":{"recv":1}}
+        ]}"#;
+        let stats = validate_chrome_trace(trace).unwrap();
+        assert_eq!(stats.total_events, 5);
+        assert_eq!(stats.complete_spans, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.tracks, 2);
+    }
+
+    #[test]
+    fn rejects_non_monotone_track() {
+        let trace = r#"{"traceEvents":[
+            {"ph":"X","pid":0,"tid":1,"ts":5.0,"dur":1.0,"name":"a","args":{}},
+            {"ph":"X","pid":0,"tid":1,"ts":4.0,"dur":1.0,"name":"b","args":{}}
+        ]}"#;
+        let err = validate_chrome_trace(trace).unwrap_err();
+        assert!(err.contains("ts 4 < 5"), "got: {err}");
+        // Same timestamps on *different* tracks are fine.
+        let ok = r#"{"traceEvents":[
+            {"ph":"X","pid":0,"tid":1,"ts":5.0,"dur":1.0,"name":"a","args":{}},
+            {"ph":"X","pid":1,"tid":1,"ts":4.0,"dur":1.0,"name":"b","args":{}}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_and_missing_fields() {
+        assert!(validate_chrome_trace(r#"{"traceEvents":[]}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"other":1}"#).is_err());
+        let no_ts = r#"{"traceEvents":[{"ph":"X","pid":0,"tid":1,"dur":1.0,"name":"a"}]}"#;
+        assert!(validate_chrome_trace(no_ts).is_err());
+    }
+}

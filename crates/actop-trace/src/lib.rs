@@ -1,0 +1,39 @@
+//! Causal request tracing and an anomaly flight recorder for the ActOp
+//! runtime.
+//!
+//! The paper's whole argument is about *where* latency lives — remote-call
+//! serialization, per-stage queue wait, migration hiccups — but aggregate
+//! histograms cannot follow one request through gateway → stage queues →
+//! RPC hops → reply, nor show what happened in the moments before a
+//! timeout. This crate provides:
+//!
+//! * [`Tracer`] — a per-run recorder of flat [`SpanEvent`] records in
+//!   simulation time. Head sampling is deterministic (a hash of the
+//!   request id and the run seed), so identical seeds produce
+//!   byte-identical traces. With tracing disabled the hot path is a
+//!   single branch on [`Tracer::enabled`].
+//! * A **flight recorder** — a fixed-size ring of the most recent events
+//!   per server, snapshotted into a [`FlightDump`] when a request times
+//!   out, is shed, or a server fails, annotated with the trigger.
+//! * **Exporters** ([`export`]) — Chrome trace-event JSON (openable in
+//!   Perfetto or `chrome://tracing`, one track per server × stage) and a
+//!   JSONL span dump, plus a per-hop latency decomposition
+//!   ([`export::decompose`]) that cross-checks the runtime's independent
+//!   `Breakdown` accounting.
+//! * A minimal JSON parser and Chrome-trace validator ([`json`]) used by
+//!   tests and the `check_trace` CI binary.
+//!
+//! The runtime records per-server timeline samples (queue depth, thread
+//! allocation, CPU utilization per bin) into [`Tracer::timeline`]; the
+//! Chrome exporter turns them into counter tracks so thread-controller
+//! decisions can be visually correlated with queue buildup.
+
+pub mod export;
+pub mod json;
+pub mod span;
+pub mod tracer;
+
+pub use export::{chrome_trace, decompose, flight_json, spans_jsonl};
+pub use json::{parse_json, validate_chrome_trace, ChromeTraceStats, Json};
+pub use span::{HopKind, SpanEvent, NO_SERVER, NO_STAGE, PROC_LABEL, QUEUE_LABEL};
+pub use tracer::{FlightDump, TraceConfig, Tracer};

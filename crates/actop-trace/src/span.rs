@@ -1,0 +1,210 @@
+//! The flat span-event record and the hop taxonomy.
+//!
+//! Every observable step of a message's lifecycle is one [`SpanEvent`]: a
+//! fixed-size, `Copy` record of *what* happened (a [`HopKind`]), *where*
+//! (server and SEDA stage), *to which request*, and *when* (sim-time start
+//! and end). Durationful hops (queue wait, service, network transfer) have
+//! `t_start < t_end`; instantaneous lifecycle marks (admission, shedding,
+//! forwards, migrations, timeouts) have `t_start == t_end`.
+
+use actop_sim::Nanos;
+
+/// Sentinel for "no server" (e.g. completion observed at the client).
+pub const NO_SERVER: u32 = u32::MAX;
+
+/// Sentinel for "no stage" (events not tied to a SEDA stage).
+pub const NO_STAGE: u8 = u8::MAX;
+
+/// Breakdown component labels for per-stage queue wait, matching Fig. 4 of
+/// the paper (both sender stages share the "Sender" label, as in the
+/// figure). The runtime's `Breakdown` accounting and the trace-derived
+/// decomposition both use these, so the two independent measurement paths
+/// are comparable component by component.
+pub const QUEUE_LABEL: [&str; 4] = [
+    "Recv. queue",
+    "Worker queue",
+    "Sender queue",
+    "Sender queue",
+];
+
+/// Breakdown component labels for per-stage processing time (Fig. 4).
+pub const PROC_LABEL: [&str; 4] = [
+    "Recv. processing",
+    "Worker processing",
+    "Sender processing",
+    "Sender processing",
+];
+
+/// What kind of lifecycle step a [`SpanEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HopKind {
+    /// A client request was admitted at its gateway server (instant).
+    GatewayAdmit,
+    /// A client request was shed by overload control (instant; triggers a
+    /// flight-recorder dump).
+    Shed,
+    /// An item waited in a SEDA stage queue (span; `stage` is set).
+    QueueWait,
+    /// A stage thread processed an item, including any synchronous
+    /// blocking wait (span; `stage` is set).
+    Service,
+    /// A message crossed the network (span; `aux` is the destination
+    /// server, or [`NO_SERVER`] for the client).
+    Network,
+    /// An actor-to-actor call dispatched to an actor on the same server
+    /// (instant; `aux` is the destination server).
+    LocalDispatch,
+    /// An actor-to-actor call dispatched to a remote server, paying the
+    /// serialize → network → deserialize path (instant; `aux` is the
+    /// destination server).
+    RemoteDispatch,
+    /// A message was re-routed because the target actor was not hosted
+    /// where it arrived — migration races and gateway hops (instant;
+    /// `aux` is the new destination).
+    Forward,
+    /// A message addressed to a crashed server was re-routed to a live
+    /// one (instant; recorded at the retry server, `aux` is the crashed
+    /// server).
+    FailoverRetry,
+    /// An actor migrated between servers (instant; `request` carries the
+    /// *actor* id, `server` the source, `aux` the destination).
+    Migration,
+    /// A client request was abandoned by its timeout (instant; triggers a
+    /// flight-recorder dump of the gateway's ring).
+    Timeout,
+    /// A server crashed (instant; triggers a flight-recorder dump).
+    ServerFail,
+    /// A response arrived for an already-abandoned request or join
+    /// (instant).
+    StaleResponse,
+    /// The response reached the client; the request is complete (instant;
+    /// `server` is [`NO_SERVER`]).
+    ClientDone,
+}
+
+impl HopKind {
+    /// Short display name (also the Chrome trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            HopKind::GatewayAdmit => "admit",
+            HopKind::Shed => "shed",
+            HopKind::QueueWait => "queue",
+            HopKind::Service => "service",
+            HopKind::Network => "net",
+            HopKind::LocalDispatch => "lpc",
+            HopKind::RemoteDispatch => "rpc",
+            HopKind::Forward => "forward",
+            HopKind::FailoverRetry => "failover",
+            HopKind::Migration => "migrate",
+            HopKind::Timeout => "timeout",
+            HopKind::ServerFail => "server-fail",
+            HopKind::StaleResponse => "stale",
+            HopKind::ClientDone => "done",
+        }
+    }
+
+    /// True for durationful hops (exported as Chrome "X" complete events);
+    /// false for instantaneous marks (exported as "i" instant events).
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            HopKind::QueueWait | HopKind::Service | HopKind::Network
+        )
+    }
+
+    /// True for cluster-lifecycle events not tied to a client request
+    /// (recorded regardless of the head-sampling decision).
+    pub fn is_lifecycle(self) -> bool {
+        matches!(self, HopKind::Migration | HopKind::ServerFail)
+    }
+}
+
+/// One flat trace record. `Copy` and fixed-size so the tracer's
+/// preallocated buffer and the flight-recorder rings never chase pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The root client request id (for [`HopKind::Migration`]: the actor
+    /// id).
+    pub request: u64,
+    /// What happened.
+    pub kind: HopKind,
+    /// Server where the event was observed, or [`NO_SERVER`].
+    pub server: u32,
+    /// SEDA stage index, or [`NO_STAGE`].
+    pub stage: u8,
+    /// Kind-specific companion value (destination server, actor
+    /// destination, ...); 0 when unused.
+    pub aux: u64,
+    /// Sim-time start.
+    pub t_start: Nanos,
+    /// Sim-time end (== `t_start` for instants).
+    pub t_end: Nanos,
+}
+
+impl SpanEvent {
+    /// Builds an instantaneous event.
+    pub fn instant(request: u64, kind: HopKind, server: u32, aux: u64, at: Nanos) -> Self {
+        SpanEvent {
+            request,
+            kind,
+            server,
+            stage: NO_STAGE,
+            aux,
+            t_start: at,
+            t_end: at,
+        }
+    }
+
+    /// Duration of the event (zero for instants).
+    pub fn duration(&self) -> Nanos {
+        self.t_end.saturating_sub(self.t_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instants_have_zero_duration() {
+        let e = SpanEvent::instant(3, HopKind::Shed, 1, 0, Nanos::from_micros(5));
+        assert_eq!(e.duration(), Nanos::ZERO);
+        assert_eq!(e.stage, NO_STAGE);
+        assert!(!e.kind.is_span());
+    }
+
+    #[test]
+    fn span_kinds_are_durationful() {
+        for kind in [HopKind::QueueWait, HopKind::Service, HopKind::Network] {
+            assert!(kind.is_span());
+            assert!(!kind.is_lifecycle());
+        }
+        assert!(HopKind::Migration.is_lifecycle());
+        assert!(HopKind::ServerFail.is_lifecycle());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let kinds = [
+            HopKind::GatewayAdmit,
+            HopKind::Shed,
+            HopKind::QueueWait,
+            HopKind::Service,
+            HopKind::Network,
+            HopKind::LocalDispatch,
+            HopKind::RemoteDispatch,
+            HopKind::Forward,
+            HopKind::FailoverRetry,
+            HopKind::Migration,
+            HopKind::Timeout,
+            HopKind::ServerFail,
+            HopKind::StaleResponse,
+            HopKind::ClientDone,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -1,0 +1,390 @@
+//! The tracer: preallocated span buffer, deterministic head sampling, and
+//! the per-server flight-recorder rings.
+
+use actop_metrics::Timeline;
+use actop_sim::{mix64, Nanos};
+
+use crate::span::{HopKind, SpanEvent};
+
+/// Configuration of a run's tracer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Fraction of requests whose spans are kept, in `[0, 1]`. The
+    /// decision is a pure hash of `(request id, seed)`, so the same seed
+    /// samples the same requests on every run.
+    pub sample_rate: f64,
+    /// Sampling seed; benches tie it to the run seed.
+    pub seed: u64,
+    /// Preallocated span-buffer capacity; events past it are counted as
+    /// dropped rather than grown into (keeps tracing overhead flat).
+    pub span_capacity: usize,
+    /// Flight-recorder ring size per server (the "last N events").
+    pub ring_capacity: usize,
+    /// Maximum number of flight dumps kept per run (each anomaly after
+    /// the cap still counts, but its ring snapshot is not stored).
+    pub max_flight_dumps: usize,
+    /// Timeline sampling interval (queue depth / threads / utilization
+    /// per server).
+    pub timeline_bin: Nanos,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_rate: 1.0,
+            seed: 0,
+            span_capacity: 1 << 21,
+            ring_capacity: 256,
+            max_flight_dumps: 32,
+            timeline_bin: Nanos::from_millis(100),
+        }
+    }
+}
+
+/// A snapshot of a server's flight-recorder ring, taken when an anomaly
+/// fired.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// What tripped the recorder ([`HopKind::Timeout`], [`HopKind::Shed`],
+    /// or [`HopKind::ServerFail`]).
+    pub trigger: HopKind,
+    /// The request the trigger names (0 for server failures).
+    pub request: u64,
+    /// The server whose ring was snapshotted.
+    pub server: u32,
+    /// Sim time of the trigger.
+    pub at: Nanos,
+    /// The ring contents, oldest first.
+    pub events: Vec<SpanEvent>,
+}
+
+/// Fixed-size overwrite ring of the most recent events on one server.
+#[derive(Debug, Clone)]
+struct EventRing {
+    buf: Vec<SpanEvent>,
+    /// Next write position once the ring is full.
+    head: usize,
+    capacity: usize,
+}
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+        }
+    }
+
+    fn push(&mut self, ev: SpanEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Ring contents in insertion order (oldest first).
+    fn snapshot(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// The per-run trace recorder. Construct with [`Tracer::disabled`] (the
+/// default — every hook reduces to one branch) or [`Tracer::new`].
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    /// `mix64(request ^ seed_mix) < threshold` keeps the request;
+    /// `u64::MAX` means keep everything.
+    threshold: u64,
+    seed_mix: u64,
+    spans: Vec<SpanEvent>,
+    dropped: u64,
+    rings: Vec<EventRing>,
+    dumps: Vec<FlightDump>,
+    suppressed_dumps: u64,
+    max_dumps: usize,
+    timeline_bin: Nanos,
+    /// Per-server timeline samples, filled by the runtime's sampler.
+    pub timeline: Timeline,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing; every hook is a single branch.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            threshold: 0,
+            seed_mix: 0,
+            spans: Vec::new(),
+            dropped: 0,
+            rings: Vec::new(),
+            dumps: Vec::new(),
+            suppressed_dumps: 0,
+            max_dumps: 0,
+            timeline_bin: Nanos::ZERO,
+            timeline: Timeline::new(0),
+        }
+    }
+
+    /// An active tracer for a cluster of `servers` servers.
+    pub fn new(servers: usize, config: &TraceConfig) -> Self {
+        let rate = config.sample_rate.clamp(0.0, 1.0);
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else {
+            (rate * u64::MAX as f64) as u64
+        };
+        Tracer {
+            enabled: true,
+            threshold,
+            seed_mix: mix64(config.seed ^ 0x7ace_7ace_7ace_7ace),
+            spans: Vec::with_capacity(config.span_capacity),
+            dropped: 0,
+            rings: (0..servers)
+                .map(|_| EventRing::new(config.ring_capacity.max(1)))
+                .collect(),
+            dumps: Vec::new(),
+            suppressed_dumps: 0,
+            max_dumps: config.max_flight_dumps,
+            timeline_bin: config.timeline_bin,
+            timeline: Timeline::new(config.timeline_bin.as_nanos()),
+        }
+    }
+
+    /// Whether tracing is active. Instrumentation hooks branch on this
+    /// before constructing an event, so a disabled tracer costs one load
+    /// and one branch per hook.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The timeline sampling interval.
+    pub fn timeline_bin(&self) -> Nanos {
+        self.timeline_bin
+    }
+
+    /// The deterministic head-sampling decision for a request id.
+    #[inline]
+    pub fn sampled(&self, request: u64) -> bool {
+        self.threshold == u64::MAX || mix64(request ^ self.seed_mix) < self.threshold
+    }
+
+    /// Records one event: always into the owning server's flight ring,
+    /// and into the span buffer when the request is sampled (lifecycle
+    /// events — migrations, server failures — bypass sampling).
+    ///
+    /// `#[cold]`: call sites live inside the runtime's hottest loops,
+    /// guarded by [`Tracer::enabled`]; keeping the recording path out of
+    /// line keeps those loops' code untouched when tracing is off.
+    #[cold]
+    #[inline(never)]
+    pub fn record(&mut self, ev: SpanEvent) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(ring) = self.rings.get_mut(ev.server as usize) {
+            ring.push(ev);
+        }
+        if ev.kind.is_lifecycle() || self.sampled(ev.request) {
+            if self.spans.len() < self.spans.capacity() {
+                self.spans.push(ev);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Snapshots `server`'s ring into a [`FlightDump`] annotated with the
+    /// trigger. Call *after* recording the trigger event itself so the
+    /// dump's last entry names the anomaly.
+    #[cold]
+    #[inline(never)]
+    pub fn flight_dump(&mut self, trigger: HopKind, request: u64, server: u32, at: Nanos) {
+        if !self.enabled {
+            return;
+        }
+        if self.dumps.len() >= self.max_dumps {
+            self.suppressed_dumps += 1;
+            return;
+        }
+        let events = self
+            .rings
+            .get(server as usize)
+            .map(EventRing::snapshot)
+            .unwrap_or_default();
+        self.dumps.push(FlightDump {
+            trigger,
+            request,
+            server,
+            at,
+            events,
+        });
+    }
+
+    /// Recorded (sampled) spans, in recording order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Spans dropped because the preallocated buffer filled up.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flight dumps captured this run.
+    pub fn flight_dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+
+    /// Anomalies past [`TraceConfig::max_flight_dumps`] whose ring
+    /// snapshot was not stored.
+    pub fn suppressed_flight_dumps(&self) -> u64 {
+        self.suppressed_dumps
+    }
+
+    /// Number of servers the tracer was built for.
+    pub fn server_count(&self) -> usize {
+        self.rings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(request: u64, server: u32, at: u64) -> SpanEvent {
+        SpanEvent::instant(request, HopKind::GatewayAdmit, server, 0, Nanos(at))
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.record(ev(1, 0, 10));
+        t.flight_dump(HopKind::Timeout, 1, 0, Nanos(10));
+        assert!(t.spans().is_empty());
+        assert!(t.flight_dumps().is_empty());
+    }
+
+    #[test]
+    fn rate_one_keeps_everything_rate_zero_nothing() {
+        let cfg = TraceConfig {
+            sample_rate: 1.0,
+            ..TraceConfig::default()
+        };
+        let mut all = Tracer::new(2, &cfg);
+        let mut none = Tracer::new(
+            2,
+            &TraceConfig {
+                sample_rate: 0.0,
+                ..cfg
+            },
+        );
+        for r in 0..100 {
+            all.record(ev(r, 0, r));
+            none.record(ev(r, 0, r));
+        }
+        assert_eq!(all.spans().len(), 100);
+        assert_eq!(none.spans().len(), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_dependent() {
+        let cfg = |seed| TraceConfig {
+            sample_rate: 0.3,
+            seed,
+            ..TraceConfig::default()
+        };
+        let a = Tracer::new(1, &cfg(7));
+        let b = Tracer::new(1, &cfg(7));
+        let c = Tracer::new(1, &cfg(8));
+        let pick = |t: &Tracer| (0u64..10_000).filter(|&r| t.sampled(r)).collect::<Vec<_>>();
+        let (pa, pb, pc) = (pick(&a), pick(&b), pick(&c));
+        assert_eq!(pa, pb, "same seed must sample the same requests");
+        assert_ne!(pa, pc, "different seeds must sample differently");
+        // The realized rate is in the right ballpark.
+        let rate = pa.len() as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn lifecycle_events_bypass_sampling() {
+        let mut t = Tracer::new(
+            1,
+            &TraceConfig {
+                sample_rate: 0.0,
+                ..TraceConfig::default()
+            },
+        );
+        t.record(SpanEvent::instant(5, HopKind::Migration, 0, 1, Nanos(9)));
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_dump_names_trigger() {
+        let mut t = Tracer::new(
+            1,
+            &TraceConfig {
+                ring_capacity: 4,
+                ..TraceConfig::default()
+            },
+        );
+        for r in 0..10 {
+            t.record(ev(r, 0, r));
+        }
+        t.flight_dump(HopKind::Shed, 9, 0, Nanos(9));
+        let dumps = t.flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        let d = &dumps[0];
+        assert_eq!(d.trigger, HopKind::Shed);
+        assert_eq!(d.request, 9);
+        assert_eq!(d.events.len(), 4, "ring keeps the last 4");
+        let reqs: Vec<u64> = d.events.iter().map(|e| e.request).collect();
+        assert_eq!(reqs, vec![6, 7, 8, 9], "oldest first");
+    }
+
+    #[test]
+    fn span_buffer_caps_and_counts_drops() {
+        let mut t = Tracer::new(
+            1,
+            &TraceConfig {
+                span_capacity: 8,
+                ..TraceConfig::default()
+            },
+        );
+        for r in 0..20 {
+            t.record(ev(r, 0, r));
+        }
+        assert_eq!(t.spans().len(), 8);
+        assert_eq!(t.dropped_spans(), 12);
+    }
+
+    #[test]
+    fn dump_cap_suppresses_extras() {
+        let mut t = Tracer::new(
+            1,
+            &TraceConfig {
+                max_flight_dumps: 2,
+                ..TraceConfig::default()
+            },
+        );
+        for r in 0..5 {
+            t.flight_dump(HopKind::Timeout, r, 0, Nanos(r));
+        }
+        assert_eq!(t.flight_dumps().len(), 2);
+        assert_eq!(t.suppressed_flight_dumps(), 3);
+    }
+}
