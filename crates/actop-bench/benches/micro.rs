@@ -5,7 +5,10 @@
 
 use actop_metrics::LatencyHistogram;
 use actop_partition::score::ScoredVertex;
-use actop_partition::{select_exchange, ExchangeRequest, PartitionConfig};
+use actop_partition::{
+    select_exchange, DenseDirectory, ExchangeRequest, Partition, PartitionConfig,
+};
+use actop_runtime::table::SlabTable;
 use actop_seda::allocate_threads;
 use actop_seda::model::{SedaModel, StageParams, ETA_CALIBRATED};
 use actop_sim::{DetRng, Engine, Nanos, PsCpu};
@@ -210,6 +213,216 @@ fn bench_engine(c: &mut Criterion) {
     });
 }
 
+/// A faithful copy of the `BTreeSet<(count, slot)>` Space-Saving sketch
+/// the runtime had before the lazy-min fast path, for honest old-vs-new
+/// `routing_sketch_*` numbers (same role as [`legacy`] for the engine).
+mod legacy_sketch {
+    use std::collections::{BTreeSet, HashMap};
+    use std::hash::Hash;
+
+    pub struct SpaceSaving<T> {
+        capacity: usize,
+        counts: Vec<u64>,
+        items: Vec<T>,
+        index: HashMap<T, usize>,
+        by_count: BTreeSet<(u64, usize)>,
+    }
+
+    impl<T: Eq + Hash + Clone> SpaceSaving<T> {
+        pub fn new(capacity: usize) -> Self {
+            SpaceSaving {
+                capacity,
+                counts: Vec::new(),
+                items: Vec::new(),
+                index: HashMap::new(),
+                by_count: BTreeSet::new(),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn offer(&mut self, item: T, weight: u64) {
+            if let Some(&slot) = self.index.get(&item) {
+                let old = self.counts[slot];
+                self.by_count.remove(&(old, slot));
+                self.counts[slot] = old + weight;
+                self.by_count.insert((old + weight, slot));
+                return;
+            }
+            if self.items.len() < self.capacity {
+                let slot = self.items.len();
+                self.items.push(item.clone());
+                self.counts.push(weight);
+                self.index.insert(item, slot);
+                self.by_count.insert((weight, slot));
+                return;
+            }
+            let &(min_count, slot) = self.by_count.iter().next().expect("full");
+            self.by_count.remove(&(min_count, slot));
+            let evicted = std::mem::replace(&mut self.items[slot], item.clone());
+            self.counts[slot] = min_count + weight;
+            self.index.remove(&evicted);
+            self.index.insert(item, slot);
+            self.by_count.insert((min_count + weight, slot));
+        }
+    }
+}
+
+/// The per-message routing structures, old vs new: directory lookups
+/// (`HashMap` partition vs dense region table), join-table churn
+/// (counter-keyed `HashMap` vs generation-tagged slab), and sketch offers
+/// (`BTreeSet` min-tracking vs the lazy-min fast path).
+fn bench_routing(c: &mut Criterion) {
+    // Two id bands, the Halo shape: players dense at 0.., games at 2^40.
+    const PLAYERS: u64 = 20_000;
+    const GAME_BASE: u64 = 1 << 40;
+    const GAMES: u64 = 1_500;
+    let mut rng = DetRng::new(11);
+    let lookups: Vec<u64> = (0..50_000)
+        .map(|_| {
+            if rng.chance(0.8) {
+                rng.below(PLAYERS as usize) as u64
+            } else {
+                GAME_BASE + rng.below(GAMES as usize) as u64
+            }
+        })
+        .collect();
+
+    // The pre-overhaul directory: `Partition`'s assignment map with the
+    // standard library's SipHash hasher (today's `Partition` already uses
+    // the fx hasher, so a plain `HashMap` is the faithful baseline).
+    c.bench_function("routing_directory_lookup_old", |b| {
+        let mut dir: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for v in (0..PLAYERS).chain((0..GAMES).map(|g| GAME_BASE + g)) {
+            dir.insert(v, (v % 8) as usize);
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in &lookups {
+                acc += dir.get(v).copied().unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+
+    // The fx-hashed map the rest of the refactor would have settled for:
+    // isolates how much of the directory win is the hasher vs the table.
+    c.bench_function("routing_directory_lookup_fx", |b| {
+        let mut dir: Partition<u64> = Partition::new(8);
+        for v in (0..PLAYERS).chain((0..GAMES).map(|g| GAME_BASE + g)) {
+            dir.place(v, (v % 8) as usize);
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in &lookups {
+                acc += dir.server_of(v).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("routing_directory_lookup_new", |b| {
+        let mut dir = DenseDirectory::new(8);
+        for v in (0..PLAYERS).chain((0..GAMES).map(|g| GAME_BASE + g)) {
+            dir.place(v, (v % 8) as usize);
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in &lookups {
+                acc += dir.server_of(*v).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+
+    // Join-table lifecycle at a steady in-flight population, the cluster's
+    // request/join churn shape: insert, resolve a few times, remove.
+    const INFLIGHT: usize = 512;
+    const CHURN: usize = 20_000;
+
+    c.bench_function("routing_join_resolve_old", |b| {
+        b.iter(|| {
+            let mut table: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            let mut next_id = 0u64;
+            let mut live: Vec<u64> = Vec::with_capacity(INFLIGHT);
+            for _ in 0..INFLIGHT {
+                table.insert(next_id, next_id * 3);
+                live.push(next_id);
+                next_id += 1;
+            }
+            let mut acc = 0u64;
+            for i in 0..CHURN {
+                let victim = live[i % INFLIGHT];
+                acc += *table.get(&victim).unwrap();
+                *table.get_mut(&victim).unwrap() += 1;
+                table.remove(&victim);
+                table.insert(next_id, next_id * 3);
+                live[i % INFLIGHT] = next_id;
+                next_id += 1;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("routing_join_resolve_new", |b| {
+        b.iter(|| {
+            let mut table: SlabTable<u64> = SlabTable::new();
+            let mut next_val = 0u64;
+            let mut live: Vec<u64> = Vec::with_capacity(INFLIGHT);
+            for _ in 0..INFLIGHT {
+                live.push(table.insert(next_val * 3));
+                next_val += 1;
+            }
+            let mut acc = 0u64;
+            for i in 0..CHURN {
+                let victim = live[i % INFLIGHT];
+                acc += *table.get(victim).unwrap();
+                *table.get_mut(victim).unwrap() += 1;
+                table.remove(victim);
+                live[i % INFLIGHT] = table.insert(next_val * 3);
+                next_val += 1;
+            }
+            black_box(acc)
+        })
+    });
+
+    // Sketch offers on the note_actor_message shape: a capacity-bounded
+    // sample under a heavy-tailed edge stream (mostly monitored hits,
+    // steady eviction pressure from the tail).
+    let mut rng = DetRng::new(13);
+    let stream: Vec<u64> = (0..50_000)
+        .map(|_| {
+            if rng.chance(0.75) {
+                rng.below(512) as u64 // hot edges, monitored
+            } else {
+                rng.below(1 << 20) as u64 // tail, mostly evictions
+            }
+        })
+        .collect();
+
+    c.bench_function("routing_sketch_offer_old", |b| {
+        b.iter(|| {
+            let mut sketch: legacy_sketch::SpaceSaving<u64> = legacy_sketch::SpaceSaving::new(1024);
+            for &item in &stream {
+                sketch.offer(item, 1);
+            }
+            black_box(sketch.len())
+        })
+    });
+
+    c.bench_function("routing_sketch_offer_new", |b| {
+        b.iter(|| {
+            let mut sketch: SpaceSaving<u64> = SpaceSaving::new(1024);
+            for &item in &stream {
+                sketch.offer(item, 1);
+            }
+            black_box(sketch.len())
+        })
+    });
+}
+
 fn bench_cpu(c: &mut Criterion) {
     c.bench_function("pscpu_1k_tasks", |b| {
         b.iter(|| {
@@ -309,6 +522,7 @@ fn bench_allocator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_engine,
+    bench_routing,
     bench_cpu,
     bench_sketch,
     bench_hist,

@@ -18,5 +18,10 @@
 pub mod controllers;
 pub mod experiment;
 
+// The vendored Fx hasher lives in `actop-sketch` (the bottom of the crate
+// stack) so every layer can use it; re-exported here so harnesses and
+// tests can reach it as `actop_core::fxmap` without a direct dependency.
+pub use actop_sketch::fxmap;
+
 pub use controllers::{install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig};
 pub use experiment::{run_steady_state, RunSummary};

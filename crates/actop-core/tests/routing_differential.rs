@@ -1,0 +1,135 @@
+//! Differential gate for the hot-path routing overhaul: the dense actor
+//! directory, the slab call tables, and the sketch fast path must be
+//! observationally identical to the original `HashMap`/`BTreeSet`
+//! implementations.
+//!
+//! The golden numbers below were captured by running these exact
+//! workloads on the pre-overhaul implementation (SipHash `HashMap`
+//! directory, `HashMap` join/request tables, `BTreeSet` sketch
+//! min-tracking). Any divergence in routing decisions — placement,
+//! forwarding, migration, join resolution — shifts at least one of the
+//! counters or latency quantiles and fails the gate.
+
+use actop_core::controllers::{install_actop, ActOpConfig, PartitionAgentConfig};
+use actop_core::experiment::{run_steady_state, RunSummary};
+use actop_partition::PartitionConfig;
+use actop_runtime::{Cluster, RuntimeConfig};
+use actop_sim::{Engine, Nanos};
+use actop_workloads::halo::HaloConfig;
+use actop_workloads::{uniform, HaloWorkload, UniformWorkload};
+
+/// A mid-size Halo run with the partition agent on: exercises placement,
+/// migration (directory remove + location hints), fan-out joins, request
+/// slab churn, and both edge sketches on every actor-to-actor message.
+fn halo_summary() -> RunSummary {
+    let warmup = Nanos::from_secs(10);
+    let measure = Nanos::from_secs(20);
+    let mut cfg = HaloConfig::paper_scale(2_000, 600.0, warmup + measure, 4242);
+    cfg.game_duration_s = (30.0, 45.0);
+    let (app, workload) = HaloWorkload::build(cfg);
+    let mut rt = RuntimeConfig::paper_testbed(4242);
+    rt.servers = 4;
+    rt.record_remote_call_latency = true;
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    let agent = PartitionAgentConfig {
+        protocol: PartitionConfig {
+            candidate_set_size: 64,
+            imbalance_tolerance: 32,
+            exchange_cooldown_ns: 500_000_000,
+            min_total_score: 1,
+        },
+        interval: Nanos::from_secs(1),
+        sketch_age_factor: 0.8,
+    };
+    install_actop(
+        &mut engine,
+        4,
+        &ActOpConfig {
+            partition: Some(agent),
+            threads: None,
+        },
+    );
+    run_steady_state(&mut engine, &mut cluster, warmup, measure)
+}
+
+/// A single-server counter run: pure request/response slab churn with no
+/// migration, pinning down the request-table and directory fast paths.
+fn uniform_summary() -> RunSummary {
+    let warmup = Nanos::from_secs(5);
+    let measure = Nanos::from_secs(10);
+    let cfg = uniform::counter(4_000.0, warmup + measure, 777);
+    let (app, driver) = UniformWorkload::build(cfg);
+    let mut cluster = Cluster::new(RuntimeConfig::single_server(777), app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    driver.install(&mut engine);
+    run_steady_state(&mut engine, &mut cluster, warmup, measure)
+}
+
+fn assert_close(name: &str, got: f64, want: f64) {
+    assert!(
+        (got - want).abs() < 1e-9,
+        "{name}: got {got:?}, want {want:?}"
+    );
+}
+
+#[test]
+fn halo_run_summary_matches_hashmap_reference() {
+    let s = halo_summary();
+    println!("halo golden: {s:?}");
+    assert_eq!(
+        (
+            s.completed,
+            s.submitted,
+            s.rejected,
+            s.timed_out,
+            s.forwarded_messages,
+            s.stale_responses,
+            s.migrations
+        ),
+        (
+            GOLD_HALO_COMPLETED,
+            GOLD_HALO_SUBMITTED,
+            0,
+            0,
+            GOLD_HALO_FORWARDED,
+            0,
+            GOLD_HALO_MIGRATIONS
+        )
+    );
+    assert_close("p50", s.p50_ms, GOLD_HALO_P50);
+    assert_close("p99", s.p99_ms, GOLD_HALO_P99);
+    assert_close("mean", s.mean_ms, GOLD_HALO_MEAN);
+    assert_close("remote", s.remote_fraction, GOLD_HALO_REMOTE);
+}
+
+#[test]
+fn uniform_run_summary_matches_hashmap_reference() {
+    let s = uniform_summary();
+    println!("uniform golden: {s:?}");
+    assert_eq!(
+        (s.completed, s.submitted, s.rejected, s.timed_out),
+        (GOLD_UNI_COMPLETED, GOLD_UNI_SUBMITTED, 0, 0)
+    );
+    assert_close("p50", s.p50_ms, GOLD_UNI_P50);
+    assert_close("p99", s.p99_ms, GOLD_UNI_P99);
+    assert_close("mean", s.mean_ms, GOLD_UNI_MEAN);
+}
+
+// Golden values captured from the pre-overhaul implementation (see module
+// docs). Regenerate only if the *workload or runtime semantics* change —
+// never to paper over a routing divergence.
+const GOLD_HALO_COMPLETED: u64 = 11_930;
+const GOLD_HALO_SUBMITTED: u64 = 11_929;
+const GOLD_HALO_FORWARDED: u64 = 8_992;
+const GOLD_HALO_MIGRATIONS: u64 = 2_338;
+const GOLD_HALO_P50: f64 = 3.11296;
+const GOLD_HALO_P99: f64 = 5.832704;
+const GOLD_HALO_MEAN: f64 = 3.2915174346186085;
+const GOLD_HALO_REMOTE: f64 = 0.0764654508573897;
+const GOLD_UNI_COMPLETED: u64 = 39_908;
+const GOLD_UNI_SUBMITTED: u64 = 39_906;
+const GOLD_UNI_P50: f64 = 0.925696;
+const GOLD_UNI_P99: f64 = 1.294336;
+const GOLD_UNI_MEAN: f64 = 0.9483579594567505;

@@ -75,7 +75,7 @@ where
             snapshot.server_of(v)
         });
         // Take each vertex's single best destination; dedupe across sets.
-        let mut best: std::collections::HashMap<V, (i64, usize)> = std::collections::HashMap::new();
+        let mut best: actop_sketch::FxHashMap<V, (i64, usize)> = actop_sketch::FxHashMap::default();
         for (q, set) in sets.iter().enumerate() {
             for c in set {
                 let entry = best.entry(c.vertex).or_insert((c.score, q));

@@ -1,0 +1,301 @@
+//! A dense, hash-free actor directory for the runtime's routing path.
+//!
+//! [`Partition`] keeps a generic `HashMap`-backed assignment for arbitrary
+//! vertex types — right for the static-graph experiments and tests, wrong
+//! for the per-message `server_of` lookup the live runtime performs on
+//! every delivery. [`DenseDirectory`] exploits the structure of the
+//! runtime's `u64` actor-id space: ids are dense within a small number of
+//! aligned bands (e.g. the Halo workload packs players at `0..P` and game
+//! actors at `2^40..`), so the directory stores one flat `Vec<u32>` of
+//! server slots per touched 2^24-id *region* and resolves a lookup with a
+//! short linear scan over the region list (one or two predictable
+//! compares in practice) plus an array index — no hashing anywhere.
+//!
+//! Region slot arrays grow geometrically to the highest offset actually
+//! placed, so memory is proportional to the populated span of each band,
+//! and steady-state lookups never allocate.
+//!
+//! [`Partition`]: crate::Partition
+
+/// Ids per region: regions are aligned `2^24`-id windows of the `u64`
+/// actor-id space. Large enough that any realistic band (millions of
+/// players, a churning game-id counter) spans a handful of regions; small
+/// enough that the slot array of a sparsely-populated band stays modest.
+const REGION_BITS: u32 = 24;
+const REGION_SPAN: u64 = 1 << REGION_BITS;
+
+/// Slot value marking an unassigned id.
+const VACANT: u32 = u32::MAX;
+
+/// One aligned window of the id space with a flat assignment table.
+#[derive(Debug, Clone)]
+struct Region {
+    /// Region number: `id >> REGION_BITS`.
+    page: u64,
+    /// `slots[id & (REGION_SPAN - 1)]` = hosting server, or [`VACANT`].
+    /// Sized to the highest offset placed so far, growing geometrically.
+    slots: Vec<u32>,
+}
+
+/// A vertex-to-server assignment over a dense `u64` id space with
+/// per-server size accounting. API-compatible with [`crate::Partition`]
+/// where the runtime uses it; `server_of` is O(regions) compares + one
+/// array read instead of a hash.
+#[derive(Debug, Clone)]
+pub struct DenseDirectory {
+    /// Touched regions, sorted by `page` (so full scans are id-ordered).
+    regions: Vec<Region>,
+    sizes: Vec<usize>,
+    assigned: usize,
+}
+
+impl DenseDirectory {
+    /// Creates an empty directory over `servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(
+            servers < VACANT as usize,
+            "server count must fit in a u32 slot"
+        );
+        DenseDirectory {
+            regions: Vec::new(),
+            sizes: vec![0; servers],
+            assigned: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of assigned vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.assigned
+    }
+
+    /// The slot for `id`, if its region exists and is grown that far.
+    #[inline]
+    fn slot(&self, id: u64) -> Option<u32> {
+        let page = id >> REGION_BITS;
+        let offset = (id & (REGION_SPAN - 1)) as usize;
+        for region in &self.regions {
+            if region.page == page {
+                return region.slots.get(offset).copied();
+            }
+        }
+        None
+    }
+
+    /// The region for `id`, created (and its slot array grown to cover
+    /// `id`) on demand.
+    fn region_mut(&mut self, id: u64) -> &mut Region {
+        let page = id >> REGION_BITS;
+        let offset = (id & (REGION_SPAN - 1)) as usize;
+        let idx = match self.regions.iter().position(|r| r.page == page) {
+            Some(idx) => idx,
+            None => {
+                let at = self.regions.partition_point(|r| r.page < page);
+                self.regions.insert(
+                    at,
+                    Region {
+                        page,
+                        slots: Vec::new(),
+                    },
+                );
+                at
+            }
+        };
+        let region = &mut self.regions[idx];
+        if region.slots.len() <= offset {
+            // Geometric growth keeps placement amortized O(1) per id.
+            let target = (offset + 1)
+                .max(region.slots.len() * 2)
+                .min(REGION_SPAN as usize);
+            region.slots.resize(target, VACANT);
+        }
+        region
+    }
+
+    /// Assigns a new vertex to a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex is already assigned or the server is out of
+    /// range.
+    pub fn place(&mut self, v: u64, server: usize) {
+        assert!(server < self.sizes.len(), "server out of range");
+        let offset = (v & (REGION_SPAN - 1)) as usize;
+        let region = self.region_mut(v);
+        let slot = &mut region.slots[offset];
+        assert!(*slot == VACANT, "vertex already assigned");
+        *slot = server as u32;
+        self.sizes[server] += 1;
+        self.assigned += 1;
+    }
+
+    /// Moves a vertex to another server (no-op when already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex is unassigned or the server is out of range.
+    pub fn migrate(&mut self, v: u64, to: usize) {
+        assert!(to < self.sizes.len(), "server out of range");
+        let offset = (v & (REGION_SPAN - 1)) as usize;
+        let region = self.region_mut(v);
+        let slot = &mut region.slots[offset];
+        assert!(*slot != VACANT, "vertex not assigned");
+        let from = *slot as usize;
+        if from == to {
+            return;
+        }
+        *slot = to as u32;
+        self.sizes[from] -= 1;
+        self.sizes[to] += 1;
+    }
+
+    /// Removes a vertex (e.g. a departed actor). No-op when unassigned.
+    pub fn remove(&mut self, v: u64) {
+        let page = v >> REGION_BITS;
+        let offset = (v & (REGION_SPAN - 1)) as usize;
+        for region in &mut self.regions {
+            if region.page != page {
+                continue;
+            }
+            if let Some(slot) = region.slots.get_mut(offset) {
+                if *slot != VACANT {
+                    self.sizes[*slot as usize] -= 1;
+                    self.assigned -= 1;
+                    *slot = VACANT;
+                }
+            }
+            return;
+        }
+    }
+
+    /// The server of a vertex, if assigned. This is the per-message
+    /// routing lookup: a short region scan plus an array index.
+    #[inline]
+    pub fn server_of(&self, v: u64) -> Option<usize> {
+        match self.slot(v) {
+            Some(VACANT) | None => None,
+            Some(s) => Some(s as usize),
+        }
+    }
+
+    /// Number of vertices on each server.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The vertices on `server`, in ascending id order (regions are kept
+    /// page-sorted and scanned in offset order).
+    pub fn vertices_on(&self, server: usize) -> Vec<u64> {
+        let want = server as u32;
+        let mut out = Vec::new();
+        for region in &self.regions {
+            let base = region.page << REGION_BITS;
+            for (offset, &slot) in region.slots.iter().enumerate() {
+                if slot == want {
+                    out.push(base + offset as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// The largest pairwise size difference `max_p,q ||V_p| - |V_q||`.
+    pub fn max_imbalance(&self) -> usize {
+        let max = self.sizes.iter().copied().max().unwrap_or(0);
+        let min = self.sizes.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_lookup_remove_roundtrip() {
+        let mut d = DenseDirectory::new(3);
+        d.place(0, 0);
+        d.place(5, 1);
+        d.place(1 << 40, 2); // A second band, far from the first.
+        assert_eq!(d.server_of(0), Some(0));
+        assert_eq!(d.server_of(5), Some(1));
+        assert_eq!(d.server_of(1 << 40), Some(2));
+        assert_eq!(d.server_of(6), None);
+        assert_eq!(d.server_of((1 << 40) + 1), None);
+        assert_eq!(d.sizes(), &[1, 1, 1]);
+        assert_eq!(d.vertex_count(), 3);
+        d.remove(5);
+        assert_eq!(d.server_of(5), None);
+        assert_eq!(d.sizes(), &[1, 0, 1]);
+        assert_eq!(d.vertex_count(), 2);
+        d.remove(5); // no-op
+        d.remove(999); // never assigned, no-op
+        assert_eq!(d.vertex_count(), 2);
+    }
+
+    #[test]
+    fn migrate_tracks_sizes() {
+        let mut d = DenseDirectory::new(3);
+        d.place(1, 0);
+        d.place(2, 0);
+        d.migrate(1, 2);
+        assert_eq!(d.sizes(), &[1, 0, 1]);
+        assert_eq!(d.server_of(1), Some(2));
+        d.migrate(1, 2); // no-op
+        assert_eq!(d.sizes(), &[1, 0, 1]);
+        assert_eq!(d.max_imbalance(), 1);
+    }
+
+    #[test]
+    fn vertices_on_is_sorted_across_bands() {
+        let mut d = DenseDirectory::new(2);
+        for v in [5u64, 1, (1 << 40) + 3, 9, 1 << 40] {
+            d.place(v, 0);
+        }
+        assert_eq!(d.vertices_on(0), vec![1, 5, 9, 1 << 40, (1 << 40) + 3]);
+        assert!(d.vertices_on(1).is_empty());
+    }
+
+    #[test]
+    fn regions_stay_page_sorted() {
+        let mut d = DenseDirectory::new(1);
+        d.place(1 << 40, 0); // High band first.
+        d.place(3, 0);
+        d.place(1 << 30, 0);
+        assert_eq!(d.vertices_on(0), vec![3, 1 << 30, 1 << 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex already assigned")]
+    fn double_place_panics() {
+        let mut d = DenseDirectory::new(2);
+        d.place(1, 0);
+        d.place(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex not assigned")]
+    fn migrate_unassigned_panics() {
+        let mut d = DenseDirectory::new(2);
+        d.migrate(1, 0);
+    }
+
+    #[test]
+    fn geometric_growth_covers_high_offsets() {
+        let mut d = DenseDirectory::new(2);
+        d.place(0, 0);
+        d.place(100_000, 1);
+        assert_eq!(d.server_of(100_000), Some(1));
+        assert_eq!(d.server_of(99_999), None);
+        assert_eq!(d.vertex_count(), 2);
+    }
+}

@@ -23,7 +23,7 @@
 //! accepting nothing — e.g. when `p` scored against a stale view — which is
 //! the protocol's defense against sampled and outdated graphs.
 
-use std::collections::HashMap;
+use actop_sketch::FxHashMap;
 use std::hash::Hash;
 
 use crate::config::PartitionConfig;
@@ -88,7 +88,7 @@ where
 {
     let mut items: Vec<Item<V>> =
         Vec::with_capacity(request.candidates.len() + own_candidates.len());
-    let mut index: HashMap<V, usize> = HashMap::new();
+    let mut index: FxHashMap<V, usize> = FxHashMap::default();
     for c in &request.candidates {
         index.insert(c.vertex, items.len());
         items.push(Item {
@@ -113,7 +113,7 @@ where
 
     // Pairwise weights between candidates, from both edge samples (take the
     // larger estimate when both sides observed the edge).
-    let mut pair_w: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut pair_w: FxHashMap<(usize, usize), u64> = FxHashMap::default();
     let mut note_edges = |cands: &[ScoredVertex<V>]| {
         for c in cands {
             let Some(&i) = index.get(&c.vertex) else {

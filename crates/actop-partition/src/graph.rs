@@ -6,20 +6,25 @@
 //! of the paper's distributed algorithm — it feeds sampled edges straight
 //! into the exchange protocol.)
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
+use actop_sketch::FxHashMap;
+
 /// An undirected weighted multigraph; parallel edge weights accumulate.
+///
+/// Keyed with the vendored Fx hasher: every iteration over the adjacency
+/// maps is either sorted before use or folded commutatively, so the
+/// hasher is non-semantic here.
 #[derive(Debug, Clone, Default)]
 pub struct CommGraph<V> {
-    adj: HashMap<V, HashMap<V, u64>>,
+    adj: FxHashMap<V, FxHashMap<V, u64>>,
 }
 
 impl<V: Copy + Eq + Hash + Ord> CommGraph<V> {
     /// Creates an empty graph.
     pub fn new() -> Self {
         CommGraph {
-            adj: HashMap::new(),
+            adj: FxHashMap::default(),
         }
     }
 
@@ -95,7 +100,7 @@ impl<V: Copy + Eq + Hash + Ord> CommGraph<V> {
 /// A vertex-to-server assignment with per-server size accounting.
 #[derive(Debug, Clone)]
 pub struct Partition<V> {
-    assign: HashMap<V, usize>,
+    assign: FxHashMap<V, usize>,
     sizes: Vec<usize>,
 }
 
@@ -108,7 +113,7 @@ impl<V: Copy + Eq + Hash + Ord> Partition<V> {
     pub fn new(servers: usize) -> Self {
         assert!(servers > 0, "need at least one server");
         Partition {
-            assign: HashMap::new(),
+            assign: FxHashMap::default(),
             sizes: vec![0; servers],
         }
     }

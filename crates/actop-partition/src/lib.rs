@@ -17,6 +17,8 @@
 //!   `S0 ⊆ S`, `T0 ⊆ T` under the balance constraint.
 //! * [`graph`] — a concrete weighted graph + partition used by the static
 //!   experiments, Theorem 1 tests, and baselines.
+//! * [`dense`] — the hash-free [`DenseDirectory`] the live runtime routes
+//!   through on every message delivery.
 //! * [`driver`] — a standalone driver running protocol rounds over a static
 //!   graph (the setting of Theorem 1).
 //! * [`baselines`] — random/hash placement, unilateral (one-sided)
@@ -27,6 +29,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod dense;
 pub mod driver;
 pub mod exchange;
 pub mod graph;
@@ -34,6 +37,7 @@ pub mod score;
 pub mod sized;
 
 pub use config::PartitionConfig;
+pub use dense::DenseDirectory;
 pub use exchange::{select_exchange, ExchangeOutcome, ExchangeRequest};
 pub use graph::{CommGraph, Partition};
 pub use score::{candidate_set, transfer_scores, ScoredVertex};

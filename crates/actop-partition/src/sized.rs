@@ -8,7 +8,7 @@
 //! This module implements that generalization; the unsized protocol in
 //! [`crate::exchange`] stays exactly as the paper evaluates it.
 
-use std::collections::HashMap;
+use actop_sketch::FxHashMap;
 use std::hash::Hash;
 
 use crate::score::ScoredVertex;
@@ -120,7 +120,7 @@ where
         taken: bool,
     }
     let mut items: Vec<Item<V>> = Vec::with_capacity(incoming.len() + own.len());
-    let mut index: HashMap<V, usize> = HashMap::new();
+    let mut index: FxHashMap<V, usize> = FxHashMap::default();
     for c in incoming {
         index.insert(c.scored.vertex, items.len());
         items.push(Item {
@@ -145,7 +145,7 @@ where
         });
     }
     // Pairwise weights between candidates (for score updates).
-    let mut pair_w: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut pair_w: FxHashMap<(usize, usize), u64> = FxHashMap::default();
     for cands in [incoming, own] {
         for c in cands {
             let Some(&i) = index.get(&c.scored.vertex) else {

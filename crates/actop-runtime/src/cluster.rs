@@ -9,11 +9,10 @@
 //! the bottom of this file, mirroring how ActOp integrates with Orleans as
 //! a runtime extension rather than application code.
 
-use std::collections::HashMap;
-
 use actop_metrics::TimelineSample;
-use actop_partition::{ExchangeOutcome, Partition};
+use actop_partition::{DenseDirectory, ExchangeOutcome};
 use actop_sim::{DetRng, Engine, Nanos};
+use actop_sketch::fxmap::{fx_map_with_capacity, FxHashMap};
 use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE, PROC_LABEL, QUEUE_LABEL};
 
 use crate::app::{AppLogic, Call, Outcome, Reaction};
@@ -24,6 +23,7 @@ use crate::proto::{
     Message, MsgKind, PendingJoin, PostAction, ReplyTarget, RequestMeta, RunningTask, StageItem,
 };
 use crate::server::Server;
+use crate::table::SlabTable;
 
 /// Per-stage observation drained by the thread-allocation controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,8 +52,9 @@ pub struct Cluster {
     pub config: RuntimeConfig,
     /// The servers.
     pub servers: Vec<Server>,
-    /// The distributed placement directory (actor -> hosting server).
-    pub directory: Partition<ActorId>,
+    /// The distributed placement directory (actor -> hosting server):
+    /// a dense, hash-free table resolved on every message delivery.
+    pub directory: DenseDirectory,
     /// Cluster-wide measurements.
     pub metrics: ClusterMetrics,
     /// Causal request tracer + flight recorder (disabled unless
@@ -65,10 +66,10 @@ pub struct Cluster {
     rng_app: DetRng,
     rng_gateway: DetRng,
     failed: Vec<bool>,
-    joins: HashMap<u64, PendingJoin>,
-    requests: HashMap<u64, RequestMeta>,
-    next_call: u64,
-    next_request: u64,
+    /// In-flight fan-out joins, keyed by [`CallId`] slab handle.
+    joins: SlabTable<PendingJoin>,
+    /// In-flight client requests, keyed by [`RequestId`] slab handle.
+    requests: SlabTable<RequestMeta>,
 }
 
 impl Cluster {
@@ -91,7 +92,7 @@ impl Cluster {
         };
         Cluster {
             servers,
-            directory: Partition::new(config.servers),
+            directory: DenseDirectory::new(config.servers),
             metrics: ClusterMetrics::new(config.series_bin_ns),
             trace,
             app,
@@ -100,10 +101,8 @@ impl Cluster {
             rng_app: DetRng::stream(config.seed, 0x03),
             rng_gateway: DetRng::stream(config.seed, 0x04),
             failed: vec![false; config.servers],
-            joins: HashMap::new(),
-            requests: HashMap::new(),
-            next_call: 0,
-            next_request: 0,
+            joins: SlabTable::new(),
+            requests: SlabTable::new(),
             config,
         }
     }
@@ -129,21 +128,16 @@ impl Cluster {
         bytes: u64,
     ) -> RequestId {
         let now = engine.now();
-        let rid = RequestId(self.next_request);
-        self.next_request += 1;
         self.metrics.submitted += 1;
         let gateway = {
             let first = self.rng_gateway.below(self.servers.len());
             self.next_live(first)
         };
-        self.requests.insert(
-            rid.0,
-            RequestMeta {
-                start: now,
-                accounted_ns: 0.0,
-                gateway: gateway as u32,
-            },
-        );
+        let rid = RequestId(self.requests.insert(RequestMeta {
+            start: now,
+            accounted_ns: 0.0,
+            gateway: gateway as u32,
+        }));
         if self.trace.enabled() {
             self.trace.record(SpanEvent::instant(
                 rid.0,
@@ -155,7 +149,7 @@ impl Cluster {
         }
         if let Some(timeout) = self.config.request_timeout {
             engine.schedule_after(timeout, move |c: &mut Cluster, e| {
-                if let Some(meta) = c.requests.remove(&rid.0) {
+                if let Some(meta) = c.requests.remove(rid.0) {
                     c.metrics.timed_out += 1;
                     if c.trace.enabled() {
                         let at = e.now();
@@ -257,7 +251,7 @@ impl Cluster {
                 >= self.config.max_receiver_queue
         {
             self.metrics.rejected += 1;
-            self.requests.remove(&msg.request.0);
+            self.requests.remove(msg.request.0);
             if self.trace.enabled() {
                 let at = engine.now();
                 self.trace.record(SpanEvent::instant(
@@ -363,7 +357,7 @@ impl Cluster {
                 msg.request,
             ),
             StageItem::Execute(msg) => {
-                let hosted = self.directory.server_of(&msg.to) == Some(server);
+                let hosted = self.directory.server_of(msg.to.0) == Some(server);
                 if !hosted {
                     return (
                         costs.dispatch_fixed_ns,
@@ -599,20 +593,15 @@ impl Cluster {
                     );
                     return;
                 }
-                let cid = CallId(self.next_call);
-                self.next_call += 1;
-                self.joins.insert(
-                    cid.0,
-                    PendingJoin {
-                        reply_to,
-                        actor: msg.to,
-                        remaining: calls.len(),
-                        reply_bytes,
-                        request: msg.request,
-                        issued_at: msg.issued_at,
-                        call_was_remote: msg.call_was_remote,
-                    },
-                );
+                let cid = CallId(self.joins.insert(PendingJoin {
+                    reply_to,
+                    actor: msg.to,
+                    remaining: calls.len(),
+                    reply_bytes,
+                    request: msg.request,
+                    issued_at: msg.issued_at,
+                    call_was_remote: msg.call_was_remote,
+                }));
                 for call in calls {
                     self.send_request(
                         engine,
@@ -698,7 +687,7 @@ impl Cluster {
                 .remote_call_latency
                 .record((now - msg.issued_at).as_nanos());
         }
-        let Some(join) = self.joins.get_mut(&target.0) else {
+        let Some(join) = self.joins.get_mut(target.0) else {
             // The join was lost (crash) or abandoned (timeout).
             self.metrics.stale_responses += 1;
             self.note_stale_response(now, msg.request, server);
@@ -706,7 +695,7 @@ impl Cluster {
         };
         join.remaining -= 1;
         if join.remaining == 0 {
-            let join = self.joins.remove(&target.0).expect("join present");
+            let join = self.joins.remove(target.0).expect("join present");
             self.emit_reply(
                 engine,
                 server,
@@ -746,7 +735,7 @@ impl Cluster {
                 );
             }
             ReplyTarget::Join(cid) => {
-                let Some(join) = self.joins.get(&cid.0) else {
+                let Some(join) = self.joins.get(cid.0) else {
                     self.metrics.stale_responses += 1;
                     self.note_stale_response(engine.now(), request, server);
                     return;
@@ -846,7 +835,7 @@ impl Cluster {
     /// the directory wins; otherwise the origin server's location hint
     /// (left by a migration, §4.3); otherwise the placement policy.
     fn resolve(&mut self, actor: ActorId, origin: Option<usize>) -> usize {
-        if let Some(server) = self.directory.server_of(&actor) {
+        if let Some(server) = self.directory.server_of(actor.0) {
             return server;
         }
         let hinted = origin
@@ -861,13 +850,13 @@ impl Cluster {
             )
         });
         let target = self.next_live(preferred);
-        self.directory.place(actor, target);
+        self.directory.place(actor.0, target);
         target
     }
 
     /// Completes a client request: the response reached the client.
     fn complete_request(&mut self, now: Nanos, request: RequestId) {
-        let Some(meta) = self.requests.remove(&request.0) else {
+        let Some(meta) = self.requests.remove(request.0) else {
             return;
         };
         self.metrics.completed += 1;
@@ -911,7 +900,7 @@ impl Cluster {
             return;
         }
         self.metrics.breakdown.add(component, ns);
-        if let Some(meta) = self.requests.get_mut(&request.0) {
+        if let Some(meta) = self.requests.get_mut(request.0) {
             meta.accounted_ns += ns;
         }
     }
@@ -924,10 +913,12 @@ impl Cluster {
     /// edges, sorted by actor for determinism. This is the input the
     /// distributed partitioner's candidate-set selection consumes.
     pub fn partition_view(&self, server: usize) -> Vec<(ActorId, Vec<(ActorId, u64)>)> {
-        let mut by_actor: HashMap<ActorId, Vec<(ActorId, u64)>> = HashMap::new();
-        for entry in self.servers[server].edge_sketch.entries() {
+        let sketch = &self.servers[server].edge_sketch;
+        let mut by_actor: FxHashMap<ActorId, Vec<(ActorId, u64)>> =
+            fx_map_with_capacity(sketch.len());
+        for entry in sketch.iter_entries() {
             let (local, peer) = entry.item;
-            if self.directory.server_of(&local) == Some(server) {
+            if self.directory.server_of(local.0) == Some(server) {
                 by_actor.entry(local).or_default().push((peer, entry.count));
             }
         }
@@ -946,7 +937,7 @@ impl Cluster {
 
     /// Where an actor currently lives (directory view).
     pub fn locate(&self, actor: ActorId) -> Option<usize> {
-        self.directory.server_of(&actor)
+        self.directory.server_of(actor.0)
     }
 
     /// Applies an exchange outcome from the pairwise protocol: accepted
@@ -975,7 +966,7 @@ impl Cluster {
     /// the actor — at the intended server when it originates from either of
     /// the two, at the originating server otherwise.
     pub fn migrate_actor(&mut self, now: Nanos, actor: ActorId, to: usize) {
-        let Some(from) = self.directory.server_of(&actor) else {
+        let Some(from) = self.directory.server_of(actor.0) else {
             return;
         };
         if from == to {
@@ -992,7 +983,7 @@ impl Cluster {
                 now,
             ));
         }
-        self.directory.remove(&actor);
+        self.directory.remove(actor.0);
         self.servers[from].cache_location(actor, to);
         self.servers[to].cache_location(actor, to);
         self.servers[from]
@@ -1150,7 +1141,7 @@ impl Cluster {
         // Drop every activation the server hosted. No location hints: the
         // server crashed, it had no chance to leave forwarding state.
         for actor in self.directory.vertices_on(server) {
-            self.directory.remove(&actor);
+            self.directory.remove(actor);
         }
         // Lose in-memory state: queues, running tasks, sketches, caches.
         let threads = self.servers[server].thread_allocation();

@@ -14,10 +14,19 @@ impl fmt::Display for ActorId {
 }
 
 /// An end-to-end client request.
+///
+/// The value is an *opaque slab handle* into the cluster's in-flight
+/// request table (generation in the high 32 bits, slot in the low 32), not
+/// a sequential counter: ids are unique among live requests, and a stale
+/// id resolves to nothing, but slots are reused so values recur across a
+/// run. Treat it as an identity token only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestId(pub u64);
 
 /// A pending fan-out join awaiting sub-call replies.
+///
+/// Like [`RequestId`], an opaque generation-tagged slab handle into the
+/// cluster's join table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct CallId(pub u64);
 

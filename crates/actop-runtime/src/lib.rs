@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod placement;
 pub(crate) mod proto;
 pub mod server;
+pub mod table;
 
 pub use actop_trace::{TraceConfig, Tracer};
 pub use app::{AppLogic, Call, Outcome, Reaction};

@@ -1,9 +1,7 @@
 //! Per-server state: the SEDA pipeline, the shared CPU, and local caches.
 
-use std::collections::HashMap;
-
 use actop_sim::{CostModel, CpuTaskId, EventId, Nanos, PsCpu, StagePool};
-use actop_sketch::SpaceSaving;
+use actop_sketch::{FxHashMap, SpaceSaving};
 
 use crate::ids::{ActorId, StageKind};
 use crate::proto::{RunningTask, StageItem};
@@ -30,12 +28,14 @@ pub struct Server {
     pub(crate) stages: [StagePool<StageItem>; 4],
     /// The pending CPU-completion event, if any.
     pub(crate) cpu_event: Option<(Nanos, EventId)>,
-    /// Tasks currently on the CPU (or in their blocking wait).
-    pub(crate) running: HashMap<CpuTaskId, RunningTask>,
+    /// Tasks currently on the CPU (or in their blocking wait). Fx-hashed:
+    /// iteration order is never observed, only point lookups.
+    pub(crate) running: FxHashMap<CpuTaskId, RunningTask>,
     /// The server's heavy-edge sample: `(local actor, peer actor) -> msgs`.
     pub edge_sketch: SpaceSaving<(ActorId, ActorId)>,
-    /// Location hints left behind by migrations (§4.3).
-    pub(crate) location_cache: HashMap<ActorId, usize>,
+    /// Location hints left behind by migrations (§4.3). Fx-hashed for the
+    /// same reason as `running`.
+    pub(crate) location_cache: FxHashMap<ActorId, usize>,
     /// Per-stage estimator windows.
     pub(crate) windows: [StageWindow; 4],
     /// Nanosecond timestamp of the last exchange this server took part in
@@ -68,9 +68,9 @@ impl Server {
                 StagePool::new(StageKind::ClientSender.name(), threads_per_stage),
             ],
             cpu_event: None,
-            running: HashMap::new(),
+            running: FxHashMap::default(),
             edge_sketch: SpaceSaving::new(sketch_capacity),
-            location_cache: HashMap::new(),
+            location_cache: FxHashMap::default(),
             windows: [StageWindow::default(); 4],
             last_exchange_ns: None,
         }

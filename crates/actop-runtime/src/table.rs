@@ -1,0 +1,228 @@
+//! Slab-backed, generation-tagged call tables for the routing hot path.
+//!
+//! The cluster's `joins` and `requests` tables used to be
+//! `HashMap<u64, _>` keyed by a monotonically increasing counter — one
+//! SipHash per resolve on the per-message path. [`SlabTable`] replaces
+//! them with the pattern PR 1 established for the event heap: a slab with
+//! a freelist, addressed by a handle packing `(generation << 32 | slot)`.
+//! Resolving a handle is an array index plus a generation compare; a
+//! handle whose slot has since been freed (and possibly reused) fails the
+//! generation check and resolves to `None`, exactly like a missing
+//! `HashMap` key — the property the request-timeout and stale-response
+//! paths rely on.
+//!
+//! Handles are *not* sequential: slots are reused aggressively, so the
+//! table stays as small as the peak number of concurrently live entries.
+//! Nothing on the steady-state path allocates — `insert` only grows the
+//! slab when the live population hits a new high-water mark.
+
+/// One slab slot: the live value (if any) and the slot's reuse count.
+#[derive(Debug, Clone, Default)]
+struct Slot<T> {
+    /// Incremented on every free, so stale handles never alias.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A slab with freelist and generation-tagged `u64` handles.
+#[derive(Debug, Clone, Default)]
+pub struct SlabTable<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+/// Packs a slot index and generation into a handle.
+#[inline]
+fn handle(slot: u32, generation: u32) -> u64 {
+    ((generation as u64) << 32) | slot as u64
+}
+
+/// The slot index of a handle.
+#[inline]
+fn slot_of(handle: u64) -> usize {
+    (handle & 0xffff_ffff) as usize
+}
+
+/// The generation of a handle.
+#[inline]
+fn gen_of(handle: u64) -> u32 {
+    (handle >> 32) as u32
+}
+
+impl<T> SlabTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SlabTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a value, returning its handle.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.value.is_none(), "freelist slot still occupied");
+            s.value = Some(value);
+            handle(slot, s.generation)
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("slab slot fits u32");
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            handle(slot, 0)
+        }
+    }
+
+    /// Resolves a handle to its value: an index plus a generation check.
+    #[inline]
+    pub fn get(&self, h: u64) -> Option<&T> {
+        let s = self.slots.get(slot_of(h))?;
+        if s.generation != gen_of(h) {
+            return None;
+        }
+        s.value.as_ref()
+    }
+
+    /// Mutable resolve.
+    #[inline]
+    pub fn get_mut(&mut self, h: u64) -> Option<&mut T> {
+        let s = self.slots.get_mut(slot_of(h))?;
+        if s.generation != gen_of(h) {
+            return None;
+        }
+        s.value.as_mut()
+    }
+
+    /// Removes and returns the value for a live handle; `None` when the
+    /// handle is stale (slot freed, possibly reused under a newer
+    /// generation) — the caller-visible behavior of a missing map key.
+    pub fn remove(&mut self, h: u64) -> Option<T> {
+        let slot = slot_of(h);
+        let s = self.slots.get_mut(slot)?;
+        if s.generation != gen_of(h) {
+            return None;
+        }
+        let value = s.value.take()?;
+        // Wrapping: a handle must survive 2^32 reuses of its slot to
+        // alias, far beyond any plausible in-flight lifetime.
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: SlabTable<&str> = SlabTable::new();
+        let a = t.insert("a");
+        let b = t.insert("b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a), Some(&"a"));
+        assert_eq!(t.get_mut(b).map(|v| *v), Some("b"));
+        assert_eq!(t.remove(a), Some("a"));
+        assert_eq!(t.get(a), None, "removed handle resolves to nothing");
+        assert_eq!(t.remove(a), None, "double remove is a no-op");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.remove(b), Some("b"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reused_slot_does_not_alias_stale_handle() {
+        let mut t: SlabTable<u32> = SlabTable::new();
+        let a = t.insert(1);
+        t.remove(a);
+        let b = t.insert(2); // Reuses slot 0 under generation 1.
+        assert_eq!(super::slot_of(a), super::slot_of(b));
+        assert_ne!(a, b);
+        assert_eq!(t.get(a), None, "stale generation must miss");
+        assert_eq!(t.get(b), Some(&2));
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.get(b), Some(&2), "stale remove must not free the slot");
+    }
+
+    #[test]
+    fn freelist_bounds_slab_growth() {
+        let mut t: SlabTable<u64> = SlabTable::new();
+        for round in 0..100u64 {
+            let hs: Vec<u64> = (0..4).map(|i| t.insert(round * 4 + i)).collect();
+            for h in hs {
+                assert!(t.remove(h).is_some());
+            }
+        }
+        assert!(t.slots.len() <= 4, "slab grew past peak live population");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_handle_misses() {
+        let t: SlabTable<u8> = SlabTable::new();
+        assert_eq!(t.get(12345), None);
+    }
+
+    mod props {
+        use super::super::SlabTable;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        proptest! {
+            /// Differential vs the `HashMap<u64, V>` the cluster's call
+            /// tables used to be: live handles resolve to their value,
+            /// dead handles (including every handle whose slot was since
+            /// reused) behave exactly like missing map keys, and the live
+            /// count always agrees.
+            #[test]
+            fn slab_matches_hashmap_and_never_aliases(
+                ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 0..300),
+            ) {
+                let mut slab: SlabTable<u64> = SlabTable::new();
+                let mut reference: HashMap<u64, u64> = HashMap::new();
+                let mut issued: Vec<u64> = Vec::new(); // every handle ever returned
+                let mut next_value = 0u64;
+                for (is_insert, pick) in ops {
+                    if is_insert || issued.is_empty() {
+                        let h = slab.insert(next_value);
+                        prop_assert!(
+                            !issued.contains(&h),
+                            "handle {h} issued twice — generation aliasing"
+                        );
+                        reference.insert(h, next_value);
+                        issued.push(h);
+                        next_value += 1;
+                    } else {
+                        // Remove an arbitrary previously issued handle —
+                        // often already dead, exercising stale paths.
+                        let h = issued[pick as usize % issued.len()];
+                        prop_assert_eq!(slab.remove(h), reference.remove(&h));
+                    }
+                    prop_assert_eq!(slab.len(), reference.len());
+                    prop_assert_eq!(slab.is_empty(), reference.is_empty());
+                    for h in &issued {
+                        prop_assert_eq!(slab.get(*h), reference.get(h));
+                    }
+                }
+            }
+        }
+    }
+}

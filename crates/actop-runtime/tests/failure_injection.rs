@@ -76,7 +76,12 @@ fn actors_reactivate_on_live_servers() {
     // Activate 60 actors.
     stream_requests(&mut engine, 60, 60, Nanos::from_micros(200), 2);
     engine.run(&mut cluster);
-    let victims = cluster.directory.vertices_on(1);
+    let victims: Vec<ActorId> = cluster
+        .directory
+        .vertices_on(1)
+        .into_iter()
+        .map(ActorId)
+        .collect();
     assert!(!victims.is_empty(), "server 1 should host something");
     cluster.fail_server(&mut engine, 1);
     // Touch every lost actor again.

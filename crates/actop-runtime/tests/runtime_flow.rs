@@ -208,8 +208,19 @@ fn apply_exchange_moves_actors_both_ways() {
         });
     }
     engine.run(&mut cluster);
-    let on0 = cluster.directory.vertices_on(0);
-    let on1 = cluster.directory.vertices_on(1);
+    // The dense directory speaks raw `u64` ids on the routing path.
+    let on0: Vec<ActorId> = cluster
+        .directory
+        .vertices_on(0)
+        .into_iter()
+        .map(ActorId)
+        .collect();
+    let on1: Vec<ActorId> = cluster
+        .directory
+        .vertices_on(1)
+        .into_iter()
+        .map(ActorId)
+        .collect();
     assert_eq!(on0.len() + on1.len(), 10);
     if on0.is_empty() || on1.is_empty() {
         return; // Degenerate hash split; nothing to exchange.

@@ -8,6 +8,8 @@
 //! to the stream of observed `(source actor, target actor, weight)`
 //! messages.
 
+pub mod fxmap;
 pub mod space_saving;
 
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use space_saving::{SketchEntry, SpaceSaving};

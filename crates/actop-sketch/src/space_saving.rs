@@ -13,9 +13,33 @@
 //! A [`SpaceSaving::scale`] operation ages all counters multiplicatively so
 //! the partitioner tracks the *recent* communication graph rather than its
 //! full history — the property that matters for rapidly changing graphs.
+//!
+//! # Hot-path design
+//!
+//! `offer` runs twice per actor-to-actor message in the runtime, so its
+//! common cases must be allocation-free and O(1):
+//!
+//! * **Monitored hit** (the overwhelming majority once the sketch warms
+//!   up): one [`FxHashMap`] lookup and a counter increment. Nothing else —
+//!   min-tracking is *lazy*, so increments never touch it.
+//! * **Eviction**: the minimum is tracked by a cached lower bound
+//!   `min_count` plus a queue of candidate slots collected in slot order.
+//!   Candidates whose counter has grown past `min_count` are skipped at
+//!   pop time; when the queue runs dry the true minimum has risen and one
+//!   O(capacity) rescan refills it. Each rescan collects *every* slot at
+//!   the new minimum, so heavy-tailed streams (many slots at the minimum)
+//!   amortize the scan across many evictions. The queue buffer is reused
+//!   across rescans — steady-state eviction allocates nothing.
+//!
+//! The eviction *choice* — smallest count, then smallest slot index —
+//! is identical to the previous `BTreeSet<(count, slot)>` implementation,
+//! so replay output is bit-for-bit unchanged; the differential property
+//! test in `tests/space_saving_props.rs` holds the two implementations
+//! together.
 
-use std::collections::{BTreeSet, HashMap};
 use std::hash::Hash;
+
+use crate::fxmap::FxHashMap;
 
 /// A monitored item with its estimated weight and overestimation bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,9 +70,16 @@ pub struct SketchEntry<T> {
 pub struct SpaceSaving<T> {
     capacity: usize,
     slots: Vec<SketchEntry<T>>,
-    index: HashMap<T, usize>,
-    /// Ordered (count, slot) pairs for O(log n) min lookup.
-    by_count: BTreeSet<(u64, usize)>,
+    index: FxHashMap<T, usize>,
+    /// Lower bound on the minimum counter; exact whenever `min_queue`
+    /// holds a slot whose counter still equals it.
+    min_count: u64,
+    /// Slot indices that had `count == min_count` at the last rescan, in
+    /// ascending slot order. Consumed front-to-back via `min_cursor`;
+    /// stale entries (counter since grown) are skipped at pop time.
+    min_queue: Vec<usize>,
+    /// Read position in `min_queue`.
+    min_cursor: usize,
     total_weight: u64,
 }
 
@@ -63,8 +94,10 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         SpaceSaving {
             capacity,
             slots: Vec::with_capacity(capacity.min(4096)),
-            index: HashMap::new(),
-            by_count: BTreeSet::new(),
+            index: FxHashMap::default(),
+            min_count: 0,
+            min_queue: Vec::new(),
+            min_cursor: 0,
             total_weight: 0,
         }
     }
@@ -89,20 +122,71 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         self.total_weight
     }
 
+    /// Invalidates the cached minimum; the next eviction rescans.
+    #[inline]
+    fn invalidate_min(&mut self) {
+        self.min_count = 0;
+        self.min_queue.clear();
+        self.min_cursor = 0;
+    }
+
+    /// The slot holding the minimum counter, breaking ties toward the
+    /// smallest slot index (the same order the old `BTreeSet<(count,
+    /// slot)>` structure produced). Amortized O(1); O(capacity) when the
+    /// candidate queue must be rebuilt.
+    fn take_min_slot(&mut self) -> (u64, usize) {
+        loop {
+            while self.min_cursor < self.min_queue.len() {
+                let slot = self.min_queue[self.min_cursor];
+                self.min_cursor += 1;
+                // Counters only grow between rescans, so a candidate is
+                // either still exactly at the cached minimum or stale.
+                if self.slots[slot].count == self.min_count {
+                    return (self.min_count, slot);
+                }
+            }
+            // Queue exhausted: the true minimum rose. Rescan, collecting
+            // every slot at the new minimum in ascending slot order.
+            let min = self
+                .slots
+                .iter()
+                .map(|e| e.count)
+                .min()
+                .expect("take_min_slot on empty sketch");
+            self.min_count = min;
+            self.min_queue.clear();
+            self.min_cursor = 0;
+            for (slot, entry) in self.slots.iter().enumerate() {
+                if entry.count == min {
+                    self.min_queue.push(slot);
+                }
+            }
+        }
+    }
+
     /// Offers `weight` units of the item to the stream.
+    #[inline]
     pub fn offer(&mut self, item: T, weight: u64) {
         if weight == 0 {
             return;
         }
         self.total_weight += weight;
         if let Some(&slot) = self.index.get(&item) {
-            let old = self.slots[slot].count;
-            self.by_count.remove(&(old, slot));
-            self.slots[slot].count = old + weight;
-            self.by_count.insert((old + weight, slot));
+            // Monitored hit: pure increment. Min-tracking is lazy — if
+            // this slot sits in the candidate queue it becomes stale and
+            // is skipped at the next eviction.
+            self.slots[slot].count += weight;
             return;
         }
+        self.offer_slow(item, weight);
+    }
+
+    /// The unmonitored-item path: fill a free slot or evict the minimum.
+    fn offer_slow(&mut self, item: T, weight: u64) {
         if self.slots.len() < self.capacity {
+            // A fresh slot may undercut the cached minimum; drop the
+            // cache rather than splice the new slot into the queue.
+            self.invalidate_min();
             let slot = self.slots.len();
             self.slots.push(SketchEntry {
                 item: item.clone(),
@@ -110,13 +194,11 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
                 error: 0,
             });
             self.index.insert(item, slot);
-            self.by_count.insert((weight, slot));
             return;
         }
         // Evict the minimum-count item; the newcomer inherits its count as
         // overestimation error.
-        let &(min_count, slot) = self.by_count.iter().next().expect("sketch full");
-        self.by_count.remove(&(min_count, slot));
+        let (min_count, slot) = self.take_min_slot();
         let evicted = std::mem::replace(
             &mut self.slots[slot],
             SketchEntry {
@@ -127,7 +209,6 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         );
         self.index.remove(&evicted.item);
         self.index.insert(item, slot);
-        self.by_count.insert((min_count + weight, slot));
     }
 
     /// Estimated weight and error bound for an item, if monitored.
@@ -142,8 +223,17 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         self.estimate(item).map(|(c, e)| c - e).unwrap_or(0)
     }
 
+    /// Iterates over the monitored entries without cloning or sorting, in
+    /// slot order (deterministic; *not* sorted by count). This is the
+    /// hot-path accessor — `Cluster::partition_view` consumes it and
+    /// applies its own actor-order sort.
+    pub fn iter_entries(&self) -> impl Iterator<Item = &SketchEntry<T>> {
+        self.slots.iter()
+    }
+
     /// All monitored entries, sorted by descending estimated count (ties by
-    /// slot order, deterministically).
+    /// slot order, deterministically). Allocates; prefer
+    /// [`SpaceSaving::iter_entries`] on hot paths.
     pub fn entries(&self) -> Vec<SketchEntry<T>> {
         let mut out: Vec<SketchEntry<T>> = self.slots.clone();
         out.sort_by_key(|e| std::cmp::Reverse(e.count));
@@ -172,7 +262,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         );
         let old = std::mem::take(&mut self.slots);
         self.index.clear();
-        self.by_count.clear();
+        self.invalidate_min();
         self.total_weight = (self.total_weight as f64 * factor) as u64;
         for entry in old {
             let count = (entry.count as f64 * factor) as u64;
@@ -182,7 +272,6 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
             let error = (entry.error as f64 * factor) as u64;
             let slot = self.slots.len();
             self.index.insert(entry.item.clone(), slot);
-            self.by_count.insert((count, slot));
             self.slots.push(SketchEntry {
                 item: entry.item,
                 count,
@@ -197,18 +286,15 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         let Some(slot) = self.index.remove(item) else {
             return;
         };
-        let count = self.slots[slot].count;
-        self.by_count.remove(&(count, slot));
         let last = self.slots.len() - 1;
         if slot != last {
-            // Move the last entry into the vacated slot and fix the indexes.
-            let moved_count = self.slots[last].count;
-            self.by_count.remove(&(moved_count, last));
+            // Move the last entry into the vacated slot and fix the index.
             self.slots.swap(slot, last);
             self.index.insert(self.slots[slot].item.clone(), slot);
-            self.by_count.insert((moved_count, slot));
         }
         self.slots.pop();
+        // Queued candidates now point at moved/removed slots.
+        self.invalidate_min();
     }
 
     /// Keeps only the entries whose item satisfies the predicate (e.g.
@@ -216,14 +302,13 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
     pub fn retain(&mut self, mut pred: impl FnMut(&T) -> bool) {
         let old = std::mem::take(&mut self.slots);
         self.index.clear();
-        self.by_count.clear();
+        self.invalidate_min();
         for entry in old {
             if !pred(&entry.item) {
                 continue;
             }
             let slot = self.slots.len();
             self.index.insert(entry.item.clone(), slot);
-            self.by_count.insert((entry.count, slot));
             self.slots.push(entry);
         }
     }
@@ -232,7 +317,7 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
     pub fn clear(&mut self) {
         self.slots.clear();
         self.index.clear();
-        self.by_count.clear();
+        self.invalidate_min();
         self.total_weight = 0;
     }
 }
@@ -267,6 +352,56 @@ mod tests {
     }
 
     #[test]
+    fn eviction_ties_break_toward_lowest_slot() {
+        // Three slots all at count 2: evictions must consume slots 0, 1, 2
+        // in that order (the old BTreeSet<(count, slot)> order).
+        let mut s = SpaceSaving::new(3);
+        s.offer("a", 2);
+        s.offer("b", 2);
+        s.offer("c", 2);
+        s.offer("x", 1); // evicts "a" (slot 0) -> slot 0 now count 3
+        assert_eq!(s.estimate(&"a"), None);
+        assert_eq!(s.estimate(&"x"), Some((3, 2)));
+        s.offer("y", 1); // evicts "b" (slot 1)
+        assert_eq!(s.estimate(&"b"), None);
+        assert_eq!(s.estimate(&"y"), Some((3, 2)));
+        s.offer("z", 1); // evicts "c" (slot 2)
+        assert_eq!(s.estimate(&"c"), None);
+        assert_eq!(s.estimate(&"z"), Some((3, 2)));
+    }
+
+    #[test]
+    fn stale_min_candidates_are_skipped() {
+        let mut s = SpaceSaving::new(3);
+        s.offer("a", 1);
+        s.offer("b", 1);
+        s.offer("c", 1);
+        s.offer("d", 1); // rescan: queue = [0,1,2]; evicts slot 0 ("a")
+        assert_eq!(s.estimate(&"a"), None);
+        // Grow slot 1 past the cached min; the queued candidate goes stale.
+        s.offer("b", 10);
+        s.offer("e", 1); // must skip stale slot 1 and evict slot 2 ("c")
+        assert_eq!(s.estimate(&"c"), None);
+        assert_eq!(s.estimate(&"b"), Some((11, 0)));
+        assert_eq!(s.estimate(&"e"), Some((2, 1)));
+    }
+
+    #[test]
+    fn fresh_insert_after_remove_resets_min() {
+        let mut s = SpaceSaving::new(2);
+        s.offer("a", 10);
+        s.offer("b", 10);
+        s.offer("c", 1); // evicts "a"; min cache now thinks min_count=10
+        assert_eq!(s.estimate(&"a"), None);
+        s.remove(&"b");
+        s.offer("d", 1); // fresh slot at count 1 (below stale cache)
+        s.offer("e", 5); // must evict "d" (count 1), NOT "c" (count 11)
+        assert_eq!(s.estimate(&"d"), None);
+        assert_eq!(s.estimate(&"e"), Some((6, 1)));
+        assert!(s.estimate(&"c").is_some());
+    }
+
+    #[test]
     fn zero_weight_is_noop() {
         let mut s = SpaceSaving::new(2);
         s.offer("a", 0);
@@ -285,6 +420,18 @@ mod tests {
             top.iter().map(|e| e.item).collect::<Vec<_>>(),
             vec!["b", "d", "a"]
         );
+    }
+
+    #[test]
+    fn iter_entries_is_slot_ordered_and_complete() {
+        let mut s = SpaceSaving::new(8);
+        for (item, w) in [("a", 5), ("b", 9), ("c", 2)] {
+            s.offer(item, w);
+        }
+        let items: Vec<&str> = s.iter_entries().map(|e| e.item).collect();
+        assert_eq!(items, vec!["a", "b", "c"]);
+        let total: u64 = s.iter_entries().map(|e| e.count).sum();
+        assert_eq!(total, s.total_weight());
     }
 
     #[test]

@@ -1,9 +1,174 @@
-//! Property tests for the Space-Saving sketch guarantees.
+//! Property tests for the Space-Saving sketch guarantees, plus a
+//! differential test holding the lazy-min implementation bit-for-bit equal
+//! to the original `BTreeSet<(count, slot)>` implementation it replaced.
 
 use std::collections::HashMap;
 
 use actop_sketch::SpaceSaving;
 use proptest::prelude::*;
+
+/// The pre-optimization Space-Saving implementation, kept verbatim as the
+/// reference for the differential test below. Its `BTreeSet<(count, slot)>`
+/// min-tracking defines the eviction order (smallest count, then smallest
+/// slot index) that the lazy-min fast path must reproduce exactly —
+/// eviction choices feed the partitioner and are replay-semantic.
+mod reference {
+    use std::collections::{BTreeSet, HashMap};
+    use std::hash::Hash;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SketchEntry<T> {
+        pub item: T,
+        pub count: u64,
+        pub error: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct SpaceSaving<T> {
+        capacity: usize,
+        slots: Vec<SketchEntry<T>>,
+        index: HashMap<T, usize>,
+        by_count: BTreeSet<(u64, usize)>,
+        total_weight: u64,
+    }
+
+    impl<T: Eq + Hash + Clone> SpaceSaving<T> {
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "sketch capacity must be positive");
+            SpaceSaving {
+                capacity,
+                slots: Vec::new(),
+                index: HashMap::new(),
+                by_count: BTreeSet::new(),
+                total_weight: 0,
+            }
+        }
+
+        pub fn total_weight(&self) -> u64 {
+            self.total_weight
+        }
+
+        pub fn offer(&mut self, item: T, weight: u64) {
+            if weight == 0 {
+                return;
+            }
+            self.total_weight += weight;
+            if let Some(&slot) = self.index.get(&item) {
+                let old = self.slots[slot].count;
+                self.by_count.remove(&(old, slot));
+                self.slots[slot].count = old + weight;
+                self.by_count.insert((old + weight, slot));
+                return;
+            }
+            if self.slots.len() < self.capacity {
+                let slot = self.slots.len();
+                self.slots.push(SketchEntry {
+                    item: item.clone(),
+                    count: weight,
+                    error: 0,
+                });
+                self.index.insert(item, slot);
+                self.by_count.insert((weight, slot));
+                return;
+            }
+            let &(min_count, slot) = self.by_count.iter().next().expect("sketch full");
+            self.by_count.remove(&(min_count, slot));
+            let evicted = std::mem::replace(
+                &mut self.slots[slot],
+                SketchEntry {
+                    item: item.clone(),
+                    count: min_count + weight,
+                    error: min_count,
+                },
+            );
+            self.index.remove(&evicted.item);
+            self.index.insert(item, slot);
+            self.by_count.insert((min_count + weight, slot));
+        }
+
+        pub fn scale(&mut self, factor: f64) {
+            let old = std::mem::take(&mut self.slots);
+            self.index.clear();
+            self.by_count.clear();
+            self.total_weight = (self.total_weight as f64 * factor) as u64;
+            for entry in old {
+                let count = (entry.count as f64 * factor) as u64;
+                if count == 0 {
+                    continue;
+                }
+                let error = (entry.error as f64 * factor) as u64;
+                let slot = self.slots.len();
+                self.index.insert(entry.item.clone(), slot);
+                self.by_count.insert((count, slot));
+                self.slots.push(SketchEntry {
+                    item: entry.item,
+                    count,
+                    error,
+                });
+            }
+        }
+
+        pub fn remove(&mut self, item: &T) {
+            let Some(slot) = self.index.remove(item) else {
+                return;
+            };
+            let count = self.slots[slot].count;
+            self.by_count.remove(&(count, slot));
+            let last = self.slots.len() - 1;
+            if slot != last {
+                let moved_count = self.slots[last].count;
+                self.by_count.remove(&(moved_count, last));
+                self.slots.swap(slot, last);
+                self.index.insert(self.slots[slot].item.clone(), slot);
+                self.by_count.insert((moved_count, slot));
+            }
+            self.slots.pop();
+        }
+
+        pub fn retain(&mut self, mut pred: impl FnMut(&T) -> bool) {
+            let old = std::mem::take(&mut self.slots);
+            self.index.clear();
+            self.by_count.clear();
+            for entry in old {
+                if !pred(&entry.item) {
+                    continue;
+                }
+                let slot = self.slots.len();
+                self.index.insert(entry.item.clone(), slot);
+                self.by_count.insert((entry.count, slot));
+                self.slots.push(entry);
+            }
+        }
+
+        /// Entries in slot order (mirrors `SpaceSaving::iter_entries`).
+        pub fn slot_entries(&self) -> Vec<(T, u64, u64)> {
+            self.slots
+                .iter()
+                .map(|e| (e.item.clone(), e.count, e.error))
+                .collect()
+        }
+    }
+}
+
+/// One step of a randomized workload applied to both implementations.
+#[derive(Debug, Clone)]
+enum Op {
+    Offer(u8, u8),
+    Remove(u8),
+    RetainAbove(u8),
+    Scale,
+}
+
+/// Weighted op mix via a selector (the vendored proptest has no
+/// `prop_oneof`): offers dominate, with occasional structural mutations.
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..11, 0u8..30, 0u8..6).prop_map(|(kind, item, w)| match kind {
+        0..=7 => Op::Offer(item, w),
+        8 => Op::Remove(item),
+        9 => Op::RetainAbove(item),
+        _ => Op::Scale,
+    })
+}
 
 /// Replays a stream into both the sketch and an exact counter.
 fn replay(capacity: usize, stream: &[(u8, u8)]) -> (SpaceSaving<u8>, HashMap<u8, u64>) {
@@ -78,6 +243,47 @@ proptest! {
     ) {
         let (sketch, _) = replay(capacity, &stream);
         prop_assert!(sketch.len() <= sketch.capacity());
+    }
+
+    /// Differential: the lazy-min implementation tracks the old
+    /// `BTreeSet<(count, slot)>` implementation slot-for-slot through an
+    /// arbitrary interleaving of offers, removals, retains, and scaling.
+    /// Slot-order equality is the strongest possible statement: it pins
+    /// every eviction choice (count tie-breaks included), not just the
+    /// monitored multiset.
+    #[test]
+    fn lazy_min_matches_btreeset_reference(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(arb_op(), 0..400),
+    ) {
+        let mut new = SpaceSaving::new(capacity);
+        let mut old = reference::SpaceSaving::new(capacity);
+        for op in &ops {
+            match *op {
+                Op::Offer(item, w) => {
+                    new.offer(item, w as u64);
+                    old.offer(item, w as u64);
+                }
+                Op::Remove(item) => {
+                    new.remove(&item);
+                    old.remove(&item);
+                }
+                Op::RetainAbove(bound) => {
+                    new.retain(|&i| i >= bound);
+                    old.retain(|&i| i >= bound);
+                }
+                Op::Scale => {
+                    new.scale(0.5);
+                    old.scale(0.5);
+                }
+            }
+            let new_slots: Vec<(u8, u64, u64)> = new
+                .iter_entries()
+                .map(|e| (e.item, e.count, e.error))
+                .collect();
+            prop_assert_eq!(&new_slots, &old.slot_entries(), "after {:?}", op);
+            prop_assert_eq!(new.total_weight(), old.total_weight());
+        }
     }
 
     /// Removing arbitrary items keeps the index consistent: every remaining
