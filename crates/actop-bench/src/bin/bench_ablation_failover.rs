@@ -48,7 +48,7 @@ fn main() {
         println!("  !! server 3 crashed at t={:.0}s", e.now().as_secs_f64());
     });
     engine.schedule(recover_at, |c: &mut Cluster, e| {
-        c.recover_server(3);
+        c.recover_server(e.now(), 3);
         println!("  !! server 3 recovered at t={:.0}s", e.now().as_secs_f64());
     });
 

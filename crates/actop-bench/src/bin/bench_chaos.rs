@@ -1,0 +1,314 @@
+//! Chaos sweep: the fault-recovery machinery under seed-derived fault
+//! plans.
+//!
+//! Not a paper figure — the paper assumes Orleans' fault tolerance and
+//! never injects faults in the evaluation. This bench closes that gap: it
+//! drives the Halo workload through a vocabulary of fault plans (single
+//! crash + recovery, rolling crashes, a straggler, a gray failure, a soft
+//! partition) with the heartbeat failure detector switched on, and reports
+//! what an operator would ask about each: goodput over time, tail latency,
+//! SLO-violation windows, retry/repair work, and detector accuracy
+//! (suspicion vs ground truth, sampled every 100 ms).
+//!
+//! Everything is deterministic: same seed, same plan, byte-identical
+//! output and `BENCH_chaos.json` (the trailing `engine:` line carries wall
+//! time and is excluded from determinism diffs). `ACTOP_CHAOS_SMOKE=1`
+//! shrinks the sweep to seconds for CI.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use actop_bench::{
+    full_scale, maybe_export_trace, print_engine_line, print_row, trace_config_from_env,
+    HaloScenario,
+};
+use actop_chaos::{install_plan, FaultPlan};
+use actop_core::controllers::install_actop;
+use actop_core::experiment::{run_steady_state, RunSummary};
+use actop_runtime::{Cluster, DetectorConfig, RuntimeConfig};
+use actop_sim::{Engine, EngineReport, Nanos};
+use actop_workloads::halo::HaloConfig;
+use actop_workloads::HaloWorkload;
+
+/// Bin-mean end-to-end latency above this marks an SLO-violation window.
+const SLO_MS: f64 = 100.0;
+
+fn smoke() -> bool {
+    std::env::var("ACTOP_CHAOS_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Detector-accuracy tallies: every 100 ms, each live observer's suspicion
+/// of every peer is compared against ground truth (`is_failed`).
+#[derive(Default, Clone, Copy)]
+struct DetectorAccuracy {
+    samples: u64,
+    true_suspect: u64,
+    false_suspect: u64,
+    missed_failure: u64,
+    true_clear: u64,
+}
+
+/// Self-rescheduling 100 ms accuracy sampler over `[at, until]`.
+fn schedule_accuracy_sampler(
+    engine: &mut Engine<Cluster>,
+    acc: Rc<RefCell<DetectorAccuracy>>,
+    at: Nanos,
+    until: Nanos,
+) {
+    engine.schedule(at, move |c: &mut Cluster, e| {
+        let now = e.now();
+        {
+            let mut a = acc.borrow_mut();
+            a.samples += 1;
+            let n = c.server_count();
+            for obs in 0..n {
+                if c.is_failed(obs) {
+                    continue; // A dead observer routes nothing.
+                }
+                for peer in 0..n {
+                    if peer == obs {
+                        continue;
+                    }
+                    let suspected = c.detector_suspects(obs, peer, now).unwrap_or(false);
+                    match (suspected, c.is_failed(peer)) {
+                        (true, true) => a.true_suspect += 1,
+                        (true, false) => a.false_suspect += 1,
+                        (false, true) => a.missed_failure += 1,
+                        (false, false) => a.true_clear += 1,
+                    }
+                }
+            }
+        }
+        let next = at + Nanos::from_millis(100);
+        if next <= until {
+            schedule_accuracy_sampler(e, acc, next, until);
+        }
+    });
+}
+
+/// One plan's results, reduced to plain data for reporting.
+struct PlanResult {
+    name: String,
+    summary: RunSummary,
+    accuracy: DetectorAccuracy,
+    /// Per-measurement-bin (goodput_per_s, mean_latency_ms), 1 s bins.
+    bins: Vec<(f64, f64)>,
+    flight_dumps: usize,
+    report: EngineReport,
+}
+
+fn run_plan(scenario: &HaloScenario, plan: &FaultPlan) -> PlanResult {
+    let mut cfg = HaloConfig::paper_scale(
+        scenario.players,
+        scenario.request_rate,
+        scenario.duration(),
+        scenario.seed,
+    );
+    if !full_scale() {
+        cfg.game_duration_s = (120.0, 180.0);
+    }
+    let (app, workload) = HaloWorkload::build(cfg);
+    let mut rt = RuntimeConfig::paper_testbed(scenario.seed);
+    rt.servers = scenario.servers;
+    rt.request_timeout = Some(Nanos::from_secs(2));
+    rt.detector = Some(DetectorConfig::default());
+    rt.migration_transfer = Some(Nanos::from_millis(2));
+    rt.series_bin_ns = 1_000_000_000; // 1 s bins for SLO windows.
+    rt.trace = trace_config_from_env(scenario.seed);
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    install_actop(&mut engine, scenario.servers, &scenario.actop(true, true));
+    cluster.install_heartbeats(&mut engine, scenario.duration());
+    cluster.install_timeline_sampler(&mut engine, scenario.duration());
+    // Plans are authored relative to the measurement window.
+    install_plan(&mut engine, &cluster, plan, scenario.warmup);
+    let acc = Rc::new(RefCell::new(DetectorAccuracy::default()));
+    schedule_accuracy_sampler(
+        &mut engine,
+        Rc::clone(&acc),
+        scenario.warmup,
+        scenario.duration(),
+    );
+
+    let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
+
+    // Slice the measurement window out of the absolute-time latency series.
+    let width = 1_000_000_000u64;
+    let first = (scenario.warmup.as_nanos() / width) as usize;
+    let last = (scenario.duration().as_nanos() / width) as usize;
+    let bins: Vec<(f64, f64)> = cluster
+        .metrics
+        .latency_series
+        .bins()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i >= first && *i < last)
+        .map(|(_, b)| (b.count as f64, b.mean() / 1e6))
+        .collect();
+    let flight_dumps = cluster.trace.flight_dumps().len();
+    maybe_export_trace(&cluster);
+    let accuracy = *acc.borrow();
+    PlanResult {
+        name: plan.name.clone(),
+        summary,
+        accuracy,
+        bins,
+        flight_dumps,
+        report: engine.report(),
+    }
+}
+
+/// `[start_s, end_s)` windows (relative to measurement start) whose
+/// bin-mean latency exceeded the SLO; adjacent bins merge.
+fn slo_windows(bins: &[(f64, f64)]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for (i, &(count, mean_ms)) in bins.iter().enumerate() {
+        if count > 0.0 && mean_ms > SLO_MS {
+            match out.last_mut() {
+                Some(w) if w.1 == i => w.1 = i + 1,
+                _ => out.push((i, i + 1)),
+            }
+        }
+    }
+    out
+}
+
+/// Mean goodput (completions/s) over a bin range.
+fn mean_goodput(bins: &[(f64, f64)]) -> f64 {
+    if bins.is_empty() {
+        return 0.0;
+    }
+    bins.iter().map(|b| b.0).sum::<f64>() / bins.len() as f64
+}
+
+fn main() {
+    let scenario = if smoke() {
+        HaloScenario {
+            players: 2_000,
+            request_rate: 600.0,
+            servers: 4,
+            warmup: Nanos::from_secs(5),
+            measure: Nanos::from_secs(20),
+            seed: 230,
+            game_duration_s: Some((60.0, 90.0)),
+        }
+    } else {
+        HaloScenario::paper(4_000.0, 230)
+    };
+    let m = scenario.measure;
+    let quarter = Nanos(m.as_nanos() / 4);
+    let half = Nanos(m.as_nanos() / 2);
+    let n = scenario.servers as u32;
+    let plans: Vec<FaultPlan> = vec![
+        FaultPlan::new("baseline"),
+        FaultPlan::single_crash(2, quarter, half),
+        FaultPlan::rolling(
+            &[0, 1, 2],
+            Nanos(m.as_nanos() / 5),
+            Nanos(m.as_nanos() / 6),
+            Nanos(m.as_nanos() / 10),
+        ),
+        FaultPlan::straggler(1, 0.25, quarter, Nanos(m.as_nanos() * 3 / 4)),
+        FaultPlan::gray(1, quarter, half),
+        FaultPlan::partition(n / 2, n, Nanos::from_micros(500), 0.05, quarter, half),
+    ];
+
+    println!(
+        "== Chaos sweep: Halo @ {:.0} req/s on {} servers, detector on, {} plans ==",
+        scenario.request_rate,
+        scenario.servers,
+        plans.len()
+    );
+    println!(
+        "SLO: bin-mean latency <= {SLO_MS:.0} ms over 1 s bins; detector sampled every 100 ms"
+    );
+    println!();
+
+    let mut results: Vec<PlanResult> = Vec::new();
+    for plan in &plans {
+        results.push(run_plan(&scenario, plan));
+    }
+
+    let mut json = String::from("{\"plans\":[");
+    for (i, r) in results.iter().enumerate() {
+        let s = &r.summary;
+        print_row(&r.name, s);
+        let windows = slo_windows(&r.bins);
+        let win_str: Vec<String> = windows.iter().map(|&(a, b)| format!("{a}-{b}s")).collect();
+        let a = &r.accuracy;
+        println!(
+            "  slo_violation_windows={} [{}]  detector: samples={} true_suspect={} false_suspect={} missed={} flight_dumps={}",
+            windows.len(),
+            win_str.join(","),
+            a.samples,
+            a.true_suspect,
+            a.false_suspect,
+            a.missed_failure,
+            r.flight_dumps,
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        let windows_json: Vec<String> = windows
+            .iter()
+            .map(|&(w0, w1)| format!("[{w0},{w1}]"))
+            .collect();
+        let _ = write!(
+            json,
+            "{{\"name\":\"{}\",\"submitted\":{},\"completed\":{},\"timed_out\":{},\"rejected\":{},\"goodput_per_s\":{:.1},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"retries\":{},\"retry_backoff_ms\":{:.3},\"directory_repairs\":{},\"false_suspicion_repairs\":{},\"shed_no_live\":{},\"migrations\":{},\"slo_ms\":{SLO_MS},\"slo_violation_windows\":[{}],\"detector\":{{\"samples\":{},\"true_suspect\":{},\"false_suspect\":{},\"missed_failure\":{},\"true_clear\":{}}},\"flight_dumps\":{}}}",
+            r.name,
+            s.submitted,
+            s.completed,
+            s.timed_out,
+            s.rejected,
+            s.throughput_per_s,
+            s.p50_ms,
+            s.p99_ms,
+            s.retries,
+            s.retry_backoff_ms,
+            s.directory_repairs,
+            s.false_suspicion_repairs,
+            s.shed_no_live,
+            s.migrations,
+            windows_json.join(","),
+            a.samples,
+            a.true_suspect,
+            a.false_suspect,
+            a.missed_failure,
+            a.true_clear,
+            r.flight_dumps,
+        );
+    }
+    json.push_str("]}\n");
+    if let Err(e) = std::fs::write("BENCH_chaos.json", &json) {
+        eprintln!("could not write BENCH_chaos.json: {e}");
+    }
+
+    // Acceptance: the single-crash plan degrades boundedly and recovers
+    // fully — goodput over the final fifth of the window (well after the
+    // recovery at measure/2) returns to the baseline's level.
+    let baseline = &results[0];
+    let crash = &results[1];
+    let tail = crash.bins.len() - crash.bins.len() / 5;
+    let crash_tail = mean_goodput(&crash.bins[tail..]);
+    let base_tail = mean_goodput(&baseline.bins[tail..]);
+    println!();
+    println!(
+        "single-crash recovery: tail goodput {crash_tail:.0}/s vs baseline {base_tail:.0}/s ({:.0}% recovered)",
+        100.0 * crash_tail / base_tail.max(1.0)
+    );
+    assert!(
+        crash_tail >= 0.8 * base_tail,
+        "goodput failed to recover after the crash window: {crash_tail:.0}/s vs baseline {base_tail:.0}/s"
+    );
+    let conserved = crash.summary.completed + crash.summary.rejected + crash.summary.timed_out;
+    let in_flight = crash.summary.submitted.saturating_sub(conserved);
+    assert!(
+        in_flight < 200,
+        "unaccounted requests beyond the in-flight residue: {in_flight}"
+    );
+
+    print_engine_line(&results.iter().map(|r| r.report).collect::<Vec<_>>());
+}

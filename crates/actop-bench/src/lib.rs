@@ -360,10 +360,12 @@ pub fn run_halo_sweep(cells: Vec<HaloCell>) -> Vec<CellResult> {
 
 /// Prints a labeled summary row in a fixed format shared by the benches.
 /// The trailing counters surface the previously-silent anomaly paths:
-/// shed requests, timeouts, post-migration forwards, stale responses.
+/// shed requests, timeouts, post-migration forwards, stale responses, and
+/// the fault-recovery machinery (retries, directory repairs, false
+/// suspicion, total-loss sheds) — all zero on a fault-free run.
 pub fn print_row(label: &str, s: &RunSummary) {
     println!(
-        "{label:<28} p50={:8.1}ms p95={:8.1}ms p99={:8.1}ms mean={:7.1}ms remote={:5.1}% cpu={:5.1}% thr={:7.0}/s rej={} tmo={} fwd={} stale={}",
+        "{label:<28} p50={:8.1}ms p95={:8.1}ms p99={:8.1}ms mean={:7.1}ms remote={:5.1}% cpu={:5.1}% thr={:7.0}/s rej={} tmo={} fwd={} stale={} retry={} rep={} fsusp={} shed={}",
         s.p50_ms,
         s.p95_ms,
         s.p99_ms,
@@ -375,6 +377,10 @@ pub fn print_row(label: &str, s: &RunSummary) {
         s.timed_out,
         s.forwarded_messages,
         s.stale_responses,
+        s.retries,
+        s.directory_repairs,
+        s.false_suspicion_repairs,
+        s.shed_no_live,
     );
 }
 

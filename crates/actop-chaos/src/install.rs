@@ -1,0 +1,63 @@
+//! Executing a fault plan against a cluster.
+
+use actop_runtime::{Cluster, LinkFault};
+use actop_sim::{Engine, Nanos};
+
+use crate::plan::{Fault, FaultPlan};
+
+/// Schedules every fault of `plan` on the engine, to fire at its absolute
+/// plan time offset by `base` (pass `Nanos::ZERO` to anchor the plan at
+/// the current clock origin, or the warmup end to anchor it at the
+/// measurement window).
+///
+/// # Panics
+///
+/// Panics at install time when the plan touches a server outside
+/// `cluster.server_count()` — plans are build-time inputs, and a silent
+/// skip would fake fault coverage.
+pub fn install_plan(
+    engine: &mut Engine<Cluster>,
+    cluster: &Cluster,
+    plan: &FaultPlan,
+    base: Nanos,
+) {
+    if let Some(max) = plan.max_server() {
+        assert!(
+            (max as usize) < cluster.server_count(),
+            "plan '{}' touches server {max} but the cluster has {}",
+            plan.name,
+            cluster.server_count()
+        );
+    }
+    for e in &plan.events {
+        let fault = e.fault;
+        engine.schedule(base + e.at, move |c: &mut Cluster, eng| {
+            apply_fault(c, eng, fault);
+        });
+    }
+}
+
+/// Applies one fault immediately.
+fn apply_fault(c: &mut Cluster, engine: &mut Engine<Cluster>, fault: Fault) {
+    match fault {
+        Fault::Crash { server } => c.fail_server(engine, server as usize),
+        Fault::Recover { server } => c.recover_server(engine.now(), server as usize),
+        Fault::Rate { server, factor } => {
+            c.set_server_rate_factor(engine, server as usize, factor);
+        }
+        Fault::Link {
+            a,
+            b,
+            extra_delay,
+            drop_prob,
+        } => c.set_link_fault(
+            a as usize,
+            b as usize,
+            LinkFault {
+                extra_delay,
+                drop_prob,
+            },
+        ),
+        Fault::LinkClear { a, b } => c.clear_link_fault(a as usize, b as usize),
+    }
+}

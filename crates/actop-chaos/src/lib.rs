@@ -1,0 +1,23 @@
+//! Chaos testing for the ActOp cluster: seed-derived fault plans executed
+//! by the simulation engine.
+//!
+//! The paper's evaluation leans on Orleans' fault tolerance but never
+//! crashes a server; this crate makes failure a first-class, reproducible
+//! experiment input. A [`FaultPlan`] is a serializable schedule of
+//! faults — server crash/recover windows, CPU stragglers and gray
+//! failures (service-rate multipliers), and per-link network degradation
+//! (extra delay, drop probability) — installed onto the engine with
+//! [`install_plan`]. Paired with the runtime's heartbeat failure detector
+//! and backoff-retry transport (`RuntimeConfig::detector` /
+//! `RuntimeConfig::retry`), a chaos run measures what the oracle model
+//! hid: detection lag, false suspicion under stragglers, retry storms,
+//! and recovery time.
+//!
+//! Everything is deterministic: a chaos run is identified by its
+//! `(workload seed, plan)` pair, and the same pair replays byte-for-byte.
+
+pub mod install;
+pub mod plan;
+
+pub use install::install_plan;
+pub use plan::{Fault, FaultEvent, FaultPlan};

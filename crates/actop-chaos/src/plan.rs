@@ -1,0 +1,475 @@
+//! Fault plans: serializable schedules of cluster faults.
+//!
+//! A [`FaultPlan`] is data, not code: an ordered list of `(time, fault)`
+//! pairs that the sim engine executes against a cluster. Plans are either
+//! hand-built from the named constructors (single crash, rolling crashes,
+//! straggler, gray failure, partition) or derived deterministically from a
+//! seed with [`FaultPlan::random`] — so a chaos run is reproduced by its
+//! `(workload seed, plan)` pair alone.
+//!
+//! Plans serialize to a line-oriented text format (one fault per line,
+//! `#` comments) so a failing chaos run's plan can be dumped, committed as
+//! a regression input, and replayed byte-for-byte.
+
+use actop_sim::{DetRng, Nanos};
+
+/// One injectable fault (or its repair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Crash a server: activations, queues, and in-progress work are lost.
+    Crash {
+        /// The server to kill.
+        server: u32,
+    },
+    /// Bring a crashed server back as a fresh, empty process.
+    Recover {
+        /// The server to revive.
+        server: u32,
+    },
+    /// Scale a server's CPU service rate: `< 1.0` is a straggler, near
+    /// zero a gray failure (accepts messages, services them at a crawl),
+    /// `1.0` restores full speed.
+    Rate {
+        /// The affected server.
+        server: u32,
+        /// The service-rate multiplier.
+        factor: f64,
+    },
+    /// Degrade the (symmetric) link between two servers.
+    Link {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+        /// Added to every delivery's network delay.
+        extra_delay: Nanos,
+        /// Probability a delivery is dropped outright.
+        drop_prob: f64,
+    },
+    /// Repair the link between two servers.
+    LinkClear {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+}
+
+/// A fault scheduled at a sim time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: Nanos,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A named, time-ordered schedule of faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Plan name (reported in bench output and serialized headers).
+    pub name: String,
+    /// The schedule, sorted by time (stable for simultaneous faults).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new(name: impl Into<String>) -> Self {
+        FaultPlan {
+            name: name.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends a fault, keeping the schedule time-sorted (stable: faults
+    /// pushed earlier fire earlier among equal times).
+    pub fn push(&mut self, at: Nanos, fault: Fault) -> &mut Self {
+        self.events.push(FaultEvent { at, fault });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The largest server index any fault touches, if the plan is
+    /// non-empty. Use to validate a plan against a cluster size before
+    /// installing it.
+    pub fn max_server(&self) -> Option<u32> {
+        self.events
+            .iter()
+            .map(|e| match e.fault {
+                Fault::Crash { server }
+                | Fault::Recover { server }
+                | Fault::Rate { server, .. } => server,
+                Fault::Link { a, b, .. } | Fault::LinkClear { a, b } => a.max(b),
+            })
+            .max()
+    }
+
+    /// When the last fault fires (`Nanos::ZERO` for an empty plan).
+    pub fn end(&self) -> Nanos {
+        self.events.last().map(|e| e.at).unwrap_or(Nanos::ZERO)
+    }
+
+    /// Servers down (crashed and not yet recovered) after the whole plan
+    /// ran — non-empty means the plan never heals the cluster.
+    pub fn unrecovered(&self, servers: usize) -> Vec<u32> {
+        let mut down = vec![false; servers];
+        for e in &self.events {
+            match e.fault {
+                Fault::Crash { server } => down[server as usize] = true,
+                Fault::Recover { server } => down[server as usize] = false,
+                _ => {}
+            }
+        }
+        (0..servers as u32).filter(|&s| down[s as usize]).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Named plan shapes (the chaos sweep's vocabulary).
+    // ------------------------------------------------------------------
+
+    /// One server crashes at `crash_at` and recovers at `recover_at`.
+    pub fn single_crash(server: u32, crash_at: Nanos, recover_at: Nanos) -> Self {
+        assert!(crash_at < recover_at, "recovery precedes the crash");
+        let mut p = FaultPlan::new("single-crash");
+        p.push(crash_at, Fault::Crash { server });
+        p.push(recover_at, Fault::Recover { server });
+        p
+    }
+
+    /// Rolling crashes: each of `servers` in turn is down for `down_for`,
+    /// one crash starting every `stagger` from `start`.
+    pub fn rolling(servers: &[u32], start: Nanos, stagger: Nanos, down_for: Nanos) -> Self {
+        let mut p = FaultPlan::new("rolling-crashes");
+        for (i, &server) in servers.iter().enumerate() {
+            let at = start + Nanos(stagger.as_nanos() * i as u64);
+            p.push(at, Fault::Crash { server });
+            p.push(at + down_for, Fault::Recover { server });
+        }
+        p
+    }
+
+    /// One server services at `factor` speed over `[from, until]`.
+    pub fn straggler(server: u32, factor: f64, from: Nanos, until: Nanos) -> Self {
+        assert!(from < until, "straggler window inverted");
+        let mut p = FaultPlan::new("straggler");
+        p.push(from, Fault::Rate { server, factor });
+        p.push(
+            until,
+            Fault::Rate {
+                server,
+                factor: 1.0,
+            },
+        );
+        p
+    }
+
+    /// A gray failure: the server keeps accepting messages but services
+    /// them at 2% speed over `[from, until]` — alive to the network, dead
+    /// to its users.
+    pub fn gray(server: u32, from: Nanos, until: Nanos) -> Self {
+        let mut p = Self::straggler(server, 0.02, from, until);
+        p.name = "gray-failure".into();
+        p
+    }
+
+    /// Degrades every link crossing the cut `{0..split} | {split..n}` over
+    /// `[from, until]`: `extra_delay` added per delivery, `drop_prob`
+    /// dropped — a soft partition.
+    pub fn partition(
+        split: u32,
+        servers: u32,
+        extra_delay: Nanos,
+        drop_prob: f64,
+        from: Nanos,
+        until: Nanos,
+    ) -> Self {
+        assert!(0 < split && split < servers, "degenerate partition cut");
+        assert!(from < until, "partition window inverted");
+        let mut p = FaultPlan::new("partition");
+        for a in 0..split {
+            for b in split..servers {
+                p.push(
+                    from,
+                    Fault::Link {
+                        a,
+                        b,
+                        extra_delay,
+                        drop_prob,
+                    },
+                );
+                p.push(until, Fault::LinkClear { a, b });
+            }
+        }
+        p
+    }
+
+    /// A seed-derived random plan over `[0, horizon]` for `servers`
+    /// servers: `count` faults, mixing short crash/recover windows, rate
+    /// dips, and link degradations. Every fault injected is paired with
+    /// its repair inside the horizon, so the plan always heals.
+    pub fn random(seed: u64, servers: u32, horizon: Nanos, count: usize) -> Self {
+        assert!(servers > 0, "need servers to fault");
+        let mut rng = DetRng::stream(seed, 0xC4A05);
+        let mut p = FaultPlan::new(format!("random-{seed:#x}"));
+        let h = horizon.as_nanos().max(2);
+        for _ in 0..count {
+            let at = Nanos(rng.range_inclusive(0, h / 2));
+            let dur = Nanos(rng.range_inclusive(1, h / 2));
+            let server = rng.below(servers as usize) as u32;
+            match rng.below(3) {
+                0 => {
+                    p.push(at, Fault::Crash { server });
+                    p.push(at + dur, Fault::Recover { server });
+                }
+                1 => {
+                    let factor = rng.uniform(0.02, 0.75);
+                    p.push(at, Fault::Rate { server, factor });
+                    p.push(
+                        at + dur,
+                        Fault::Rate {
+                            server,
+                            factor: 1.0,
+                        },
+                    );
+                }
+                _ => {
+                    if servers < 2 {
+                        continue;
+                    }
+                    let mut b = rng.below(servers as usize) as u32;
+                    if b == server {
+                        b = (b + 1) % servers;
+                    }
+                    let extra = Nanos(rng.range_inclusive(0, 5_000_000));
+                    let drop_prob = rng.uniform(0.0, 0.6);
+                    p.push(
+                        at,
+                        Fault::Link {
+                            a: server,
+                            b,
+                            extra_delay: extra,
+                            drop_prob,
+                        },
+                    );
+                    p.push(at + dur, Fault::LinkClear { a: server, b });
+                }
+            }
+        }
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Text serialization.
+    // ------------------------------------------------------------------
+
+    /// Serializes the plan to its line format (see module docs).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("plan {}\n", self.name);
+        for e in &self.events {
+            let at = e.at.as_nanos();
+            match e.fault {
+                Fault::Crash { server } => out.push_str(&format!("{at} crash {server}\n")),
+                Fault::Recover { server } => out.push_str(&format!("{at} recover {server}\n")),
+                Fault::Rate { server, factor } => {
+                    out.push_str(&format!("{at} rate {server} {factor}\n"));
+                }
+                Fault::Link {
+                    a,
+                    b,
+                    extra_delay,
+                    drop_prob,
+                } => out.push_str(&format!(
+                    "{at} link {a} {b} {} {drop_prob}\n",
+                    extra_delay.as_nanos()
+                )),
+                Fault::LinkClear { a, b } => out.push_str(&format!("{at} link-clear {a} {b}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parses the line format produced by [`FaultPlan::to_text`].
+    /// Whitespace-tolerant; blank lines and `#` comments are skipped.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new("unnamed");
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {raw:?}", lineno + 1);
+            if let Some(name) = line.strip_prefix("plan ") {
+                plan.name = name.trim().to_string();
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let at = Nanos(
+                parts
+                    .next()
+                    .ok_or_else(|| err("missing time"))?
+                    .parse::<u64>()
+                    .map_err(|_| err("bad time"))?,
+            );
+            let verb = parts.next().ok_or_else(|| err("missing fault kind"))?;
+            let next_u32 = |parts: &mut dyn Iterator<Item = &str>| {
+                parts
+                    .next()
+                    .ok_or_else(|| err("missing field"))?
+                    .parse::<u32>()
+                    .map_err(|_| err("bad integer"))
+            };
+            let fault = match verb {
+                "crash" => Fault::Crash {
+                    server: next_u32(&mut parts)?,
+                },
+                "recover" => Fault::Recover {
+                    server: next_u32(&mut parts)?,
+                },
+                "rate" => Fault::Rate {
+                    server: next_u32(&mut parts)?,
+                    factor: parts
+                        .next()
+                        .ok_or_else(|| err("missing factor"))?
+                        .parse::<f64>()
+                        .map_err(|_| err("bad factor"))?,
+                },
+                "link" => Fault::Link {
+                    a: next_u32(&mut parts)?,
+                    b: next_u32(&mut parts)?,
+                    extra_delay: Nanos(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("missing extra delay"))?
+                            .parse::<u64>()
+                            .map_err(|_| err("bad extra delay"))?,
+                    ),
+                    drop_prob: parts
+                        .next()
+                        .ok_or_else(|| err("missing drop probability"))?
+                        .parse::<f64>()
+                        .map_err(|_| err("bad drop probability"))?,
+                },
+                "link-clear" => Fault::LinkClear {
+                    a: next_u32(&mut parts)?,
+                    b: next_u32(&mut parts)?,
+                },
+                _ => return Err(err("unknown fault kind")),
+            };
+            if parts.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            plan.push(at, fault);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn named_shapes_are_sorted_and_heal() {
+        let plans = [
+            FaultPlan::single_crash(3, ms(100), ms(400)),
+            FaultPlan::rolling(&[0, 1, 2], ms(50), ms(200), ms(100)),
+            FaultPlan::straggler(1, 0.25, ms(10), ms(500)),
+            FaultPlan::gray(2, ms(10), ms(500)),
+            FaultPlan::partition(2, 5, ms(1), 0.3, ms(100), ms(300)),
+        ];
+        for p in &plans {
+            assert!(
+                p.events.windows(2).all(|w| w[0].at <= w[1].at),
+                "{} not sorted",
+                p.name
+            );
+            assert!(p.unrecovered(10).is_empty(), "{} never heals", p.name);
+            assert!(p.max_server().unwrap() < 10);
+        }
+    }
+
+    #[test]
+    fn random_plan_is_seed_deterministic_and_heals() {
+        let a = FaultPlan::random(7, 10, Nanos::from_secs(5), 12);
+        let b = FaultPlan::random(7, 10, Nanos::from_secs(5), 12);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 10, Nanos::from_secs(5), 12);
+        assert_ne!(a, c, "different seeds, different plans");
+        assert!(a.unrecovered(10).is_empty());
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let plan = FaultPlan::random(42, 6, Nanos::from_secs(3), 9);
+        let text = plan.to_text();
+        let back = FaultPlan::from_text(&text).expect("parse");
+        assert_eq!(plan, back);
+        // And the format is stable under a second trip.
+        assert_eq!(back.to_text(), text);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_fault() -> impl Strategy<Value = Fault> {
+            // The vendored proptest shim has no `prop_oneof!`; select the
+            // variant by an integer discriminant instead.
+            (0u8..5, 0u32..16, 0u32..16, 0u64..10_000_000, 0.0f64..1.0).prop_map(
+                |(kind, a, b, extra, p)| match kind {
+                    0 => Fault::Crash { server: a },
+                    1 => Fault::Recover { server: a },
+                    2 => Fault::Rate {
+                        server: a,
+                        factor: 0.01 + p * 4.0,
+                    },
+                    3 => Fault::Link {
+                        a,
+                        b,
+                        extra_delay: Nanos(extra),
+                        drop_prob: p,
+                    },
+                    _ => Fault::LinkClear { a, b },
+                },
+            )
+        }
+
+        proptest! {
+            /// Any plan survives a text round trip exactly, including f64
+            /// fields (Display prints the shortest representation that
+            /// parses back to the same bits).
+            #[test]
+            fn arbitrary_plan_roundtrips(
+                name_tag in 0u32..1_000_000,
+                events in proptest::collection::vec((0u64..10_000_000_000, arb_fault()), 0..40),
+            ) {
+                let mut plan = FaultPlan::new(format!("plan-{name_tag}"));
+                for (at, fault) in events {
+                    plan.push(Nanos(at), fault);
+                }
+                let text = plan.to_text();
+                let back = FaultPlan::from_text(&text).expect("parse own output");
+                prop_assert_eq!(&back, &plan);
+                prop_assert_eq!(back.to_text(), text);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_tolerates_comments_and_rejects_junk() {
+        let ok = FaultPlan::from_text("# a comment\nplan demo\n\n5 crash 2\n9 recover 2\n")
+            .expect("parse");
+        assert_eq!(ok.name, "demo");
+        assert_eq!(ok.events.len(), 2);
+        assert!(FaultPlan::from_text("5 crash\n").is_err(), "missing field");
+        assert!(FaultPlan::from_text("x crash 1\n").is_err(), "bad time");
+        assert!(FaultPlan::from_text("5 explode 1\n").is_err(), "bad verb");
+        assert!(FaultPlan::from_text("5 crash 1 9\n").is_err(), "trailing");
+    }
+}

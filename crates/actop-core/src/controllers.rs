@@ -179,7 +179,7 @@ fn partition_tick(
     config: PartitionAgentConfig,
 ) {
     let now = engine.now();
-    run_partition_round(cluster, now, server, &config);
+    run_partition_round(cluster, engine, now, server, &config);
     if config.sketch_age_factor < 1.0 {
         cluster.servers[server]
             .edge_sketch
@@ -192,8 +192,11 @@ fn partition_tick(
 
 /// Executes one initiation of the pairwise protocol. Public so ablation
 /// benches can drive rounds manually. Returns the number of migrations.
+/// `now` stays an explicit parameter (it stamps the exchange cooldown)
+/// while `engine` schedules migration transfer windows.
 pub fn run_partition_round(
     cluster: &mut Cluster,
+    engine: &mut Engine<Cluster>,
     now: Nanos,
     initiator: usize,
     config: &PartitionAgentConfig,
@@ -254,7 +257,7 @@ pub fn run_partition_round(
             continue; // Fall back to the next-best server.
         }
         let moves = outcome.moves();
-        cluster.apply_exchange(now, initiator, target, &outcome);
+        cluster.apply_exchange(engine, now, initiator, target, &outcome);
         return moves;
     }
     0
@@ -425,15 +428,21 @@ mod tests {
             sketch_age_factor: 1.0,
         };
         let now = engine.now();
-        let first = run_partition_round(&mut cluster, now, 0, &agent);
+        let first = run_partition_round(&mut cluster, &mut engine, now, 0, &agent);
         assert!(first > 0, "first exchange should move actors");
-        let second = run_partition_round(&mut cluster, now + Nanos::from_secs(1), 1, &agent);
+        let second = run_partition_round(
+            &mut cluster,
+            &mut engine,
+            now + Nanos::from_secs(1),
+            1,
+            &agent,
+        );
         assert_eq!(second, 0, "responder inside cooldown must reject");
         // Past the cooldown the same initiation can succeed again (there
         // is still plenty of remote traffic after one exchange).
         let later = now + Nanos::from_secs(70);
         engine.run_until(&mut cluster, Nanos::from_secs(8));
-        let third = run_partition_round(&mut cluster, later, 1, &agent);
+        let third = run_partition_round(&mut cluster, &mut engine, later, 1, &agent);
         assert!(third > 0, "exchange resumes after cooldown");
     }
 

@@ -41,6 +41,19 @@ pub struct RunSummary {
     pub migrations: u64,
     /// Completed requests per second over the window.
     pub throughput_per_s: f64,
+    /// Transport backoff retries scheduled in the window.
+    pub retries: u64,
+    /// Total backoff delay those retries spent, milliseconds.
+    pub retry_backoff_ms: f64,
+    /// Directory entries repaired because their host was suspected, in the
+    /// window.
+    pub directory_repairs: u64,
+    /// Directory repairs whose suspected host was in fact alive (false
+    /// suspicion), in the window.
+    pub false_suspicion_repairs: u64,
+    /// Requests shed at admission because no live server remained, in the
+    /// window (also counted in `rejected`).
+    pub shed_no_live: u64,
 }
 
 impl RunSummary {
@@ -94,6 +107,11 @@ pub fn run_steady_state(
         stale_responses: cluster.metrics.stale_responses,
         migrations: cluster.metrics.migrations,
         throughput_per_s: cluster.metrics.completed as f64 / measure.as_secs_f64().max(1e-9),
+        retries: cluster.metrics.retries,
+        retry_backoff_ms: cluster.metrics.retry_backoff_ns as f64 / 1e6,
+        directory_repairs: cluster.metrics.directory_repairs,
+        false_suspicion_repairs: cluster.metrics.false_suspicion_repairs,
+        shed_no_live: cluster.metrics.shed_no_live,
     }
 }
 
@@ -141,6 +159,11 @@ mod tests {
             stale_responses: 0,
             migrations: 0,
             throughput_per_s: 0.0,
+            retries: 0,
+            retry_backoff_ms: 0.0,
+            directory_repairs: 0,
+            false_suspicion_repairs: 0,
+            shed_no_live: 0,
         };
         let b = RunSummary {
             p50_ms: 24.0,

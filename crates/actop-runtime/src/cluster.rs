@@ -17,6 +17,7 @@ use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE, PROC_LABEL, Q
 
 use crate::app::{AppLogic, Call, Outcome, Reaction};
 use crate::config::{HiccupModel, RuntimeConfig};
+use crate::detector::{DetectorConfig, FailureDetector, Transition};
 use crate::ids::{ActorId, CallId, RequestId, StageKind};
 use crate::metrics::ClusterMetrics;
 use crate::proto::{
@@ -46,6 +47,29 @@ pub struct StageReport {
 // decomposition — `QUEUE_LABEL` / `PROC_LABEL` come from `actop-trace` so
 // the two accountings can never drift apart.
 
+/// An injected network degradation on one server pair (symmetric). Applied
+/// to every message and heartbeat crossing the pair while installed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Added to every delivery's network delay.
+    pub extra_delay: Nanos,
+    /// Probability a delivery is dropped outright (drawn from the fault
+    /// RNG stream).
+    pub drop_prob: f64,
+}
+
+/// Messages re-routed more than this many times are dropped: under
+/// split-brain suspicion two servers can each believe the other hosts an
+/// actor, and the cap converts the resulting ping-pong into a loss the
+/// client timeout resolves.
+const MAX_FORWARD_HOPS: u8 = 32;
+
+/// Normalizes a server pair into the symmetric link-fault key.
+#[inline]
+fn link_key(a: usize, b: usize) -> (u32, u32) {
+    (a.min(b) as u32, a.max(b) as u32)
+}
+
 /// The simulated cluster (the discrete-event world type).
 pub struct Cluster {
     /// Static configuration.
@@ -65,7 +89,23 @@ pub struct Cluster {
     rng_net: DetRng,
     rng_app: DetRng,
     rng_gateway: DetRng,
+    /// Fault-path randomness (drop decisions, retry jitter). A dedicated
+    /// stream: fault-free runs draw nothing from it, so enabling the fault
+    /// machinery does not perturb the default streams.
+    rng_fault: DetRng,
+    /// Heartbeat network-delay randomness. Dedicated for the same reason:
+    /// heartbeats exist only when the detector is configured.
+    rng_hb: DetRng,
     failed: Vec<bool>,
+    /// Heartbeat-based failure detector (`config.detector`); `None` keeps
+    /// the legacy oracle where routing consults `failed` directly.
+    detector: Option<FailureDetector>,
+    /// Installed link degradations, keyed by normalized server pair.
+    link_faults: FxHashMap<(u32, u32), LinkFault>,
+    /// Migrations currently in transfer (`config.migration_transfer`):
+    /// actor id -> (source, destination). A crash of either endpoint
+    /// aborts the entry; the actor stays at its source.
+    migrations_in_flight: FxHashMap<u64, (u32, u32)>,
     /// In-flight fan-out joins, keyed by [`CallId`] slab handle.
     joins: SlabTable<PendingJoin>,
     /// In-flight client requests, keyed by [`RequestId`] slab handle.
@@ -100,7 +140,14 @@ impl Cluster {
             rng_net: DetRng::stream(config.seed, 0x02),
             rng_app: DetRng::stream(config.seed, 0x03),
             rng_gateway: DetRng::stream(config.seed, 0x04),
+            rng_fault: DetRng::stream(config.seed, 0x05),
+            rng_hb: DetRng::stream(config.seed, 0x06),
             failed: vec![false; config.servers],
+            detector: config
+                .detector
+                .map(|d| FailureDetector::new(config.servers, d.suspect_after, Nanos::ZERO)),
+            link_faults: fx_map_with_capacity(0),
+            migrations_in_flight: fx_map_with_capacity(0),
             joins: SlabTable::new(),
             requests: SlabTable::new(),
             config,
@@ -129,9 +176,24 @@ impl Cluster {
     ) -> RequestId {
         let now = engine.now();
         self.metrics.submitted += 1;
-        let gateway = {
-            let first = self.rng_gateway.below(self.servers.len());
-            self.next_live(first)
+        let first = self.rng_gateway.below(self.servers.len());
+        let Some(gateway) = self.try_next_live(first) else {
+            // Total cluster loss: no gateway accepts the connection. Shed
+            // at admission instead of panicking; the returned id is
+            // already resolved (stale), like any shed request's.
+            self.metrics.rejected += 1;
+            self.metrics.shed_no_live += 1;
+            let rid = RequestId(self.requests.insert(RequestMeta {
+                start: now,
+                accounted_ns: 0.0,
+                gateway: NO_SERVER,
+            }));
+            self.requests.remove(rid.0);
+            if self.trace.enabled() {
+                self.trace
+                    .record(SpanEvent::instant(rid.0, HopKind::Shed, NO_SERVER, 0, now));
+            }
+            return rid;
         };
         let rid = RequestId(self.requests.insert(RequestMeta {
             start: now,
@@ -151,6 +213,10 @@ impl Cluster {
             engine.schedule_after(timeout, move |c: &mut Cluster, e| {
                 if let Some(meta) = c.requests.remove(rid.0) {
                     c.metrics.timed_out += 1;
+                    // Abandon the request's outstanding joins so late
+                    // branches cannot resurrect it and the tables drain
+                    // (rare bulk purge; never runs on completed requests).
+                    c.joins.retain(|j| j.request != rid);
                     if c.trace.enabled() {
                         let at = e.now();
                         c.trace.record(SpanEvent::instant(
@@ -179,6 +245,8 @@ impl Cluster {
             from_actor: None,
             forwarded: false,
             call_was_remote: false,
+            attempts: 0,
+            hops: 0,
         };
         let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
         self.account(rid, "Network", delay.as_nanos() as f64);
@@ -210,32 +278,22 @@ impl Cluster {
         msg.delivered_remotely = true;
         if self.failed[server] {
             // The destination crashed while the message was on the wire.
-            // Requests are retried against a live server (the virtual actor
-            // re-activates there); responses are lost, and the root request
-            // eventually times out.
+            // The sender's transport observes the broken delivery and
+            // retries requests with backoff against a live server (the
+            // virtual actor re-activates there); responses are lost, and
+            // the root request eventually times out.
+            self.metrics.lost_in_flight += 1;
+            if self.trace.enabled() {
+                self.trace.record(SpanEvent::instant(
+                    msg.request.0,
+                    HopKind::MsgLost,
+                    server as u32,
+                    0,
+                    engine.now(),
+                ));
+            }
             match msg.kind {
-                MsgKind::Request { .. } => {
-                    let retry = {
-                        let first = self.rng_gateway.below(self.servers.len());
-                        self.next_live(first)
-                    };
-                    msg.forwarded = true;
-                    if self.trace.enabled() {
-                        self.trace.record(SpanEvent::instant(
-                            msg.request.0,
-                            HopKind::FailoverRetry,
-                            retry as u32,
-                            server as u64,
-                            engine.now(),
-                        ));
-                    }
-                    self.enqueue(
-                        engine,
-                        retry,
-                        StageKind::Receiver.index(),
-                        StageItem::Deserialize(msg),
-                    );
-                }
+                MsgKind::Request { .. } => self.schedule_retry(engine, msg, server),
                 MsgKind::Response { .. } => {
                     self.metrics.stale_responses += 1;
                     self.note_stale_response(engine.now(), msg.request, server);
@@ -272,6 +330,82 @@ impl Cluster {
             StageKind::Receiver.index(),
             StageItem::Deserialize(msg),
         );
+    }
+
+    /// Schedules a backoff retry for a request whose delivery to `dead`
+    /// failed (crash or drop): exponential backoff with deterministic
+    /// jitter, bounded by the per-message attempt budget. The retry
+    /// re-enters through a live server's receiver, where the virtual actor
+    /// re-activates. Exhausting the budget leaves the root request to its
+    /// client timeout.
+    #[cold]
+    fn schedule_retry(&mut self, engine: &mut Engine<Cluster>, mut msg: Message, dead: usize) {
+        if self.requests.get(msg.request.0).is_none() {
+            // The root request already resolved (timed out / shed): the
+            // branch is a zombie, let it die.
+            self.metrics.zombie_branches += 1;
+            return;
+        }
+        let policy = self.config.retry;
+        if msg.attempts >= policy.max_attempts {
+            self.metrics.retry_budget_exhausted += 1;
+            return;
+        }
+        msg.attempts += 1;
+        let shift = u32::from(msg.attempts - 1).min(20);
+        let backoff =
+            Nanos::from_nanos(policy.base_backoff.as_nanos().saturating_mul(1u64 << shift))
+                .min(policy.max_backoff);
+        let jitter = if policy.jitter > 0.0 {
+            Nanos::from_nanos_f64(
+                backoff.as_nanos() as f64 * self.rng_fault.uniform(0.0, policy.jitter),
+            )
+        } else {
+            Nanos::ZERO
+        };
+        let delay = backoff + jitter;
+        self.metrics.retries += 1;
+        self.metrics.retry_backoff_ns += delay.as_nanos();
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                msg.request.0,
+                HopKind::Retry,
+                dead as u32,
+                u64::from(msg.attempts),
+                engine.now(),
+            ));
+        }
+        engine.schedule_after(delay, move |c: &mut Cluster, e| {
+            if c.requests.get(msg.request.0).is_none() {
+                c.metrics.zombie_branches += 1;
+                return;
+            }
+            let first = c.rng_gateway.below(c.servers.len());
+            match c.try_next_live(first) {
+                Some(retry) => {
+                    let mut m = msg;
+                    m.forwarded = true;
+                    if c.trace.enabled() {
+                        c.trace.record(SpanEvent::instant(
+                            m.request.0,
+                            HopKind::FailoverRetry,
+                            retry as u32,
+                            dead as u64,
+                            e.now(),
+                        ));
+                    }
+                    c.enqueue(
+                        e,
+                        retry,
+                        StageKind::Receiver.index(),
+                        StageItem::Deserialize(m),
+                    );
+                }
+                // Still nobody alive: keep backing off until the budget
+                // runs out or a server recovers.
+                None => c.schedule_retry(e, msg, dead),
+            }
+        });
     }
 
     /// Pushes an item into a stage queue and pumps the server.
@@ -514,24 +648,7 @@ impl Cluster {
                 self.forward(engine, server, msg);
             }
             PostAction::NetSend { dst, msg } => {
-                let delay = self
-                    .config
-                    .costs
-                    .network
-                    .delay(&mut self.rng_net, msg.bytes);
-                self.account(msg.request, "Network", delay.as_nanos() as f64);
-                if self.trace.enabled() {
-                    self.trace.record(SpanEvent {
-                        request: msg.request.0,
-                        kind: HopKind::Network,
-                        server: server as u32,
-                        stage: NO_STAGE,
-                        aux: dst as u64,
-                        t_start: now,
-                        t_end: now + delay,
-                    });
-                }
-                engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, dst, msg));
+                self.net_send(engine, server, dst, msg);
             }
             PostAction::ClientReply { request, bytes } => {
                 let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
@@ -555,6 +672,54 @@ impl Cluster {
         self.pump(engine, server);
     }
 
+    /// Puts a server-to-server message on the wire: draws the network
+    /// delay, then applies any installed link fault (drop or extra delay)
+    /// on the pair. The base delay is always drawn first so fault-free
+    /// pairs consume the net RNG stream exactly as before.
+    fn net_send(&mut self, engine: &mut Engine<Cluster>, src: usize, dst: usize, msg: Message) {
+        let now = engine.now();
+        let mut delay = self
+            .config
+            .costs
+            .network
+            .delay(&mut self.rng_net, msg.bytes);
+        if let Some(fault) = self.link_fault(src, dst) {
+            if fault.drop_prob > 0.0 && self.rng_fault.chance(fault.drop_prob) {
+                self.metrics.net_dropped += 1;
+                if self.trace.enabled() {
+                    self.trace.record(SpanEvent::instant(
+                        msg.request.0,
+                        HopKind::MsgLost,
+                        dst as u32,
+                        src as u64,
+                        now,
+                    ));
+                }
+                match msg.kind {
+                    MsgKind::Request { .. } => self.schedule_retry(engine, msg, dst),
+                    // A dropped response is silently lost; the root
+                    // request resolves via its client timeout.
+                    MsgKind::Response { .. } => {}
+                }
+                return;
+            }
+            delay += fault.extra_delay;
+        }
+        self.account(msg.request, "Network", delay.as_nanos() as f64);
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent {
+                request: msg.request.0,
+                kind: HopKind::Network,
+                server: src as u32,
+                stage: NO_STAGE,
+                aux: dst as u64,
+                t_start: now,
+                t_end: now + delay,
+            });
+        }
+        engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, dst, msg));
+    }
+
     /// Applies a request handler's decision.
     fn apply_request(
         &mut self,
@@ -566,6 +731,14 @@ impl Cluster {
         let MsgKind::Request { reply_to } = msg.kind else {
             unreachable!("apply_request on a response");
         };
+        if self.requests.get(msg.request.0).is_none() {
+            // The root request resolved (timed out / shed) while this
+            // branch sat in queues or retries. Dropping it here keeps
+            // abandoned requests from minting fresh joins after the
+            // timeout purge, so the call tables always drain.
+            self.metrics.zombie_branches += 1;
+            return;
+        }
         match reaction.outcome {
             Outcome::Reply { bytes } => {
                 self.emit_reply(
@@ -627,7 +800,7 @@ impl Cluster {
         request: RequestId,
     ) {
         let now = engine.now();
-        let dst = self.resolve(call.to, Some(server));
+        let dst = self.resolve(now, call.to, Some(server));
         let remote = dst != server;
         self.note_actor_message(now, server, dst, from, call.to);
         if self.trace.enabled() {
@@ -657,6 +830,8 @@ impl Cluster {
             from_actor: Some(from),
             forwarded: false,
             call_was_remote: remote,
+            attempts: 0,
+            hops: 0,
         };
         if remote {
             self.enqueue(
@@ -742,7 +917,7 @@ impl Cluster {
                 };
                 let target_actor = join.actor;
                 let now = engine.now();
-                let dst = self.resolve(target_actor, Some(server));
+                let dst = self.resolve(now, target_actor, Some(server));
                 let remote = dst != server;
                 self.note_actor_message(now, server, dst, from, target_actor);
                 let msg = Message {
@@ -756,6 +931,8 @@ impl Cluster {
                     from_actor: Some(from),
                     forwarded: false,
                     call_was_remote: orig_was_remote || remote,
+                    attempts: 0,
+                    hops: 0,
                 };
                 if remote {
                     self.enqueue(
@@ -779,9 +956,25 @@ impl Cluster {
     /// Re-routes a message whose target actor is not hosted on `server`
     /// (gateway hops, stale deliveries after migration).
     fn forward(&mut self, engine: &mut Engine<Cluster>, server: usize, mut msg: Message) {
+        msg.hops = msg.hops.saturating_add(1);
+        if msg.hops > MAX_FORWARD_HOPS {
+            // Routing ping-pong (split-brain suspicion): cut the loop and
+            // let the client timeout resolve the request.
+            self.metrics.forward_loop_drops += 1;
+            if self.trace.enabled() {
+                self.trace.record(SpanEvent::instant(
+                    msg.request.0,
+                    HopKind::MsgLost,
+                    server as u32,
+                    u64::from(msg.hops),
+                    engine.now(),
+                ));
+            }
+            return;
+        }
         self.metrics.forwarded_messages += 1;
         msg.forwarded = true;
-        let dst = self.resolve(msg.to, Some(server));
+        let dst = self.resolve(engine.now(), msg.to, Some(server));
         if self.trace.enabled() {
             self.trace.record(SpanEvent::instant(
                 msg.request.0,
@@ -834,13 +1027,47 @@ impl Cluster {
     /// Resolves the hosting server for `actor`, activating it if needed:
     /// the directory wins; otherwise the origin server's location hint
     /// (left by a migration, §4.3); otherwise the placement policy.
-    fn resolve(&mut self, actor: ActorId, origin: Option<usize>) -> usize {
+    ///
+    /// Liveness knowledge is the origin server's *suspicion* (its failure
+    /// detector under `config.detector`, ground truth otherwise): a
+    /// directory entry pointing at a suspected host is repaired — dropped
+    /// so the actor re-places — and hints/targets on suspected servers are
+    /// skipped. False suspicion therefore causes real, counted damage.
+    fn resolve(&mut self, now: Nanos, actor: ActorId, origin: Option<usize>) -> usize {
         if let Some(server) = self.directory.server_of(actor.0) {
-            return server;
+            let repair = match origin {
+                Some(o) if o != server => self.suspects(o, server, now),
+                _ => false,
+            };
+            if !repair {
+                return server;
+            }
+            self.metrics.directory_repairs += 1;
+            if !self.failed[server] {
+                self.metrics.false_suspicion_repairs += 1;
+            }
+            if self.trace.enabled() {
+                // Lifecycle event: `request` carries the actor id,
+                // `server` the observer, `aux` the suspected host.
+                self.trace.record(SpanEvent::instant(
+                    actor.0,
+                    HopKind::DirRepair,
+                    origin.expect("repair implies an origin") as u32,
+                    server as u64,
+                    now,
+                ));
+            }
+            self.directory.remove(actor.0);
+            // Fall through: re-place on a trusted server.
         }
-        let hinted = origin
-            .and_then(|o| self.servers[o].take_location_hint(&actor))
-            .filter(|&hint| !self.failed[hint]);
+        let mut hinted = None;
+        if let Some(o) = origin {
+            if let Some(hint) = self.servers[o].take_location_hint(&actor) {
+                if !self.suspects(o, hint, now) {
+                    hinted = Some(hint);
+                }
+            }
+        }
         let preferred = hinted.unwrap_or_else(|| {
             self.config.placement.choose(
                 actor,
@@ -849,9 +1076,85 @@ impl Cluster {
                 &mut self.rng_place,
             )
         });
-        let target = self.next_live(preferred);
+        let target = match (origin, self.detector.is_some()) {
+            (Some(o), true) => self.next_unsuspected(o, preferred, now),
+            // No detector (or no observer): ground truth, as before. The
+            // fallback to `preferred` is unreachable while any caller is
+            // itself a live server, but sheds gracefully instead of
+            // panicking if that ever changes.
+            _ => self.try_next_live(preferred).unwrap_or(preferred),
+        };
         self.directory.place(actor.0, target);
         target
+    }
+
+    /// Whether `observer` currently distrusts `peer`: the failure
+    /// detector's suspicion when configured (transitions are counted and
+    /// traced here), ground truth otherwise.
+    fn suspects(&mut self, observer: usize, peer: usize, now: Nanos) -> bool {
+        let Some(d) = self.detector.as_mut() else {
+            return self.failed[peer];
+        };
+        let (suspected, transition) = d.check(observer, peer, now);
+        if let Some(t) = transition {
+            self.note_suspicion_transition(t, observer, peer, now);
+        }
+        suspected
+    }
+
+    /// Counts and traces a suspicion-state transition.
+    fn note_suspicion_transition(
+        &mut self,
+        t: Transition,
+        observer: usize,
+        peer: usize,
+        at: Nanos,
+    ) {
+        match t {
+            Transition::Suspected => {
+                self.metrics.suspicions += 1;
+                if self.trace.enabled() {
+                    // Lifecycle event: `request` carries the suspected
+                    // server id, `server` the observer.
+                    self.trace.record(SpanEvent::instant(
+                        peer as u64,
+                        HopKind::Suspect,
+                        observer as u32,
+                        0,
+                        at,
+                    ));
+                    self.trace
+                        .flight_dump(HopKind::Suspect, peer as u64, observer as u32, at);
+                }
+            }
+            Transition::Cleared => {
+                self.metrics.unsuspicions += 1;
+                if self.trace.enabled() {
+                    self.trace.record(SpanEvent::instant(
+                        peer as u64,
+                        HopKind::Unsuspect,
+                        observer as u32,
+                        0,
+                        at,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The first server at or after `preferred` (wrapping) that `observer`
+    /// does not suspect; `preferred` itself when the observer suspects the
+    /// whole cluster (desperation beats deadlock — the delivery will fail
+    /// and retry).
+    fn next_unsuspected(&mut self, observer: usize, preferred: usize, now: Nanos) -> usize {
+        let n = self.servers.len();
+        for i in 0..n {
+            let s = (preferred + i) % n;
+            if !self.suspects(observer, s, now) {
+                return s;
+            }
+        }
+        preferred
     }
 
     /// Completes a client request: the response reached the client.
@@ -871,6 +1174,9 @@ impl Cluster {
         }
         let total = (now - meta.start).as_nanos();
         self.metrics.e2e_latency.record(total);
+        self.metrics
+            .latency_series
+            .record(now.as_nanos(), total as f64);
         if self.config.record_breakdown {
             let other = (total as f64 - meta.accounted_ns).max(0.0);
             self.metrics.breakdown.add("Other", other);
@@ -942,36 +1248,81 @@ impl Cluster {
 
     /// Applies an exchange outcome from the pairwise protocol: accepted
     /// actors migrate initiator → responder, returned actors the other way.
+    ///
+    /// `now` is passed explicitly (rather than read from the engine) so
+    /// controller code can stamp the exchange with its own window time.
     pub fn apply_exchange(
         &mut self,
+        engine: &mut Engine<Cluster>,
         now: Nanos,
         initiator: usize,
         responder: usize,
         outcome: &ExchangeOutcome<ActorId>,
     ) {
         for actor in &outcome.accepted {
-            self.migrate_actor(now, *actor, responder);
+            self.migrate_actor(engine, now, *actor, responder);
         }
         for actor in &outcome.returned {
-            self.migrate_actor(now, *actor, initiator);
+            self.migrate_actor(engine, now, *actor, initiator);
         }
         let ns = now.as_nanos();
         self.servers[initiator].last_exchange_ns = Some(ns);
         self.servers[responder].last_exchange_ns = Some(ns);
     }
 
-    /// Migrates an actor by deactivation + opportunistic re-placement
-    /// (§4.3): the directory entry is dropped and both the old and the new
-    /// server cache the intended location; the next message re-activates
-    /// the actor — at the intended server when it originates from either of
-    /// the two, at the originating server otherwise.
-    pub fn migrate_actor(&mut self, now: Nanos, actor: ActorId, to: usize) {
+    /// Migrates an actor. With `config.migration_transfer` unset the move
+    /// commits instantly (the legacy model); otherwise the actor stays at
+    /// its source for the transfer window and commits when it elapses — a
+    /// crash of either endpoint during the window aborts the move cleanly
+    /// back to the source (see [`Cluster::fail_server`]).
+    pub fn migrate_actor(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        now: Nanos,
+        actor: ActorId,
+        to: usize,
+    ) {
         let Some(from) = self.directory.server_of(actor.0) else {
             return;
         };
         if from == to {
             return;
         }
+        match self.config.migration_transfer {
+            None => self.commit_migration(now, actor, from, to),
+            Some(transfer) => {
+                if self.migrations_in_flight.contains_key(&actor.0)
+                    || self.failed[from]
+                    || self.failed[to]
+                {
+                    return;
+                }
+                self.migrations_in_flight
+                    .insert(actor.0, (from as u32, to as u32));
+                engine.schedule_after(transfer, move |c: &mut Cluster, e| {
+                    c.finish_migration(e.now(), actor);
+                });
+            }
+        }
+    }
+
+    /// A migration transfer window elapsed: commit unless a crash aborted
+    /// it (entry gone) or the actor moved on in the meantime.
+    fn finish_migration(&mut self, now: Nanos, actor: ActorId) {
+        let Some((from, to)) = self.migrations_in_flight.remove(&actor.0) else {
+            return; // Aborted by fail_server.
+        };
+        if self.directory.server_of(actor.0) == Some(from as usize) {
+            self.commit_migration(now, actor, from as usize, to as usize);
+        }
+    }
+
+    /// Commits a migration by deactivation + opportunistic re-placement
+    /// (§4.3): the directory entry is dropped and both the old and the new
+    /// server cache the intended location; the next message re-activates
+    /// the actor — at the intended server when it originates from either of
+    /// the two, at the originating server otherwise.
+    fn commit_migration(&mut self, now: Nanos, actor: ActorId, from: usize, to: usize) {
         if self.trace.enabled() {
             // Lifecycle event: bypasses request sampling; `request` carries
             // the actor id, `aux` the destination server.
@@ -1095,20 +1446,135 @@ impl Cluster {
         schedule_next_timeline_sample(engine, bin, prev, horizon);
     }
 
-    /// The first live server at or after `preferred` (wrapping).
-    ///
-    /// # Panics
-    ///
-    /// Panics when every server has failed.
-    pub fn next_live(&self, preferred: usize) -> usize {
+    /// Installs the heartbeat loops backing the failure detector: every
+    /// server emits a round of heartbeats to all peers each
+    /// [`DetectorConfig::heartbeat_interval`], staggered so the cluster
+    /// does not beat in lockstep, until `horizon` (which keeps the event
+    /// queue drainable). A no-op without `config.detector`. Crashed
+    /// servers skip emission but keep their loop, so emission resumes by
+    /// itself after [`Cluster::recover_server`].
+    pub fn install_heartbeats(&self, engine: &mut Engine<Cluster>, horizon: Nanos) {
+        let Some(dc) = self.config.detector else {
+            return;
+        };
         let n = self.servers.len();
-        for i in 0..n {
-            let s = (preferred + i) % n;
-            if !self.failed[s] {
-                return s;
-            }
+        for server in 0..n {
+            let phase =
+                Nanos::from_nanos(dc.heartbeat_interval.as_nanos() * server as u64 / n as u64);
+            schedule_heartbeat(engine, server, dc, phase, horizon);
         }
-        panic!("all servers failed");
+    }
+
+    /// Emits one heartbeat round from `server` to every peer. Emission
+    /// lags by the configured CPU cost scaled by the sender's *current
+    /// slowdown*: a loaded, straggling, or gray-failing server heartbeats
+    /// late — the mechanism that turns CPU faults into false suspicion.
+    fn emit_heartbeats(&mut self, engine: &mut Engine<Cluster>, server: usize, dc: DetectorConfig) {
+        let lag =
+            Nanos::from_nanos_f64(dc.heartbeat_process_ns * self.servers[server].cpu.slowdown());
+        for peer in 0..self.servers.len() {
+            if peer == server {
+                continue;
+            }
+            let mut delay = lag
+                + self
+                    .config
+                    .costs
+                    .network
+                    .delay(&mut self.rng_hb, dc.heartbeat_bytes);
+            if let Some(fault) = self.link_fault(server, peer) {
+                if fault.drop_prob > 0.0 && self.rng_fault.chance(fault.drop_prob) {
+                    self.metrics.heartbeats_dropped += 1;
+                    continue;
+                }
+                delay += fault.extra_delay;
+            }
+            self.metrics.heartbeats_sent += 1;
+            engine.schedule_after(delay, move |c: &mut Cluster, e| {
+                if c.failed[peer] {
+                    return; // A dead process hears nothing.
+                }
+                let at = e.now();
+                let transition = c.detector.as_mut().and_then(|d| d.heard(peer, server, at));
+                if let Some(t) = transition {
+                    c.note_suspicion_transition(t, peer, server, at);
+                }
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (what chaos plans drive).
+    // ------------------------------------------------------------------
+
+    /// Scales a server's CPU service rate: `< 1.0` makes it a straggler
+    /// (or, near zero, a gray failure — it accepts messages and services
+    /// them at a crawl); `1.0` restores full speed. Takes effect
+    /// immediately, including for work already in progress.
+    pub fn set_server_rate_factor(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        factor: f64,
+    ) {
+        let now = engine.now();
+        self.servers[server].cpu.set_rate_factor(now, factor);
+        self.sync_cpu(engine, server);
+    }
+
+    /// A server's current CPU rate factor.
+    pub fn server_rate_factor(&self, server: usize) -> f64 {
+        self.servers[server].cpu.rate_factor()
+    }
+
+    /// Installs (or replaces) a symmetric link degradation between `a` and
+    /// `b`: every message and heartbeat crossing the pair pays
+    /// `extra_delay` and is dropped with `drop_prob`.
+    pub fn set_link_fault(&mut self, a: usize, b: usize, fault: LinkFault) {
+        assert!(a != b, "a link fault needs two distinct servers");
+        assert!(
+            (0.0..=1.0).contains(&fault.drop_prob),
+            "drop probability out of range"
+        );
+        self.link_faults.insert(link_key(a, b), fault);
+    }
+
+    /// Removes the link fault between `a` and `b` (no-op if none).
+    pub fn clear_link_fault(&mut self, a: usize, b: usize) {
+        self.link_faults.remove(&link_key(a, b));
+    }
+
+    /// The installed fault on the `a`–`b` link, if any.
+    pub fn link_fault(&self, a: usize, b: usize) -> Option<LinkFault> {
+        if self.link_faults.is_empty() {
+            return None; // Fast path: fault-free runs never hash.
+        }
+        self.link_faults.get(&link_key(a, b)).copied()
+    }
+
+    /// Read-only probe of the failure detector: whether `observer` would
+    /// suspect `peer` at `now`. `None` without a detector. Does not touch
+    /// transition state, so accuracy samplers can compare suspicion with
+    /// [`Cluster::is_failed`] ground truth without perturbing the run.
+    pub fn detector_suspects(&self, observer: usize, peer: usize, now: Nanos) -> Option<bool> {
+        self.detector
+            .as_ref()
+            .map(|d| d.would_suspect(observer, peer, now))
+    }
+
+    /// Number of migrations currently in transfer.
+    pub fn migrations_in_flight(&self) -> usize {
+        self.migrations_in_flight.len()
+    }
+
+    /// The first live server at or after `preferred` (wrapping), or `None`
+    /// when every server has failed — callers shed instead of panicking on
+    /// total cluster loss.
+    pub fn try_next_live(&self, preferred: usize) -> Option<usize> {
+        let n = self.servers.len();
+        (0..n)
+            .map(|i| (preferred + i) % n)
+            .find(|&s| !self.failed[s])
     }
 
     /// Whether a server is currently failed.
@@ -1126,8 +1592,8 @@ impl Cluster {
         }
         self.failed[server] = true;
         self.metrics.server_failures += 1;
+        let at = engine.now();
         if self.trace.enabled() {
-            let at = engine.now();
             self.trace.record(SpanEvent::instant(
                 0,
                 HopKind::ServerFail,
@@ -1138,10 +1604,47 @@ impl Cluster {
             self.trace
                 .flight_dump(HopKind::ServerFail, 0, server as u32, at);
         }
-        // Drop every activation the server hosted. No location hints: the
-        // server crashed, it had no chance to leave forwarding state.
-        for actor in self.directory.vertices_on(server) {
-            self.directory.remove(actor);
+        // Abort in-flight migrations touching the crashed server: the
+        // transfer dies with an endpoint and the actor stays at its source
+        // (where the source's own directory entry still points).
+        if !self.migrations_in_flight.is_empty() {
+            let mut aborted: Vec<u64> = self
+                .migrations_in_flight
+                .iter()
+                .filter(|&(_, &(from, to))| from as usize == server || to as usize == server)
+                .map(|(&actor, _)| actor)
+                .collect();
+            aborted.sort_unstable(); // Deterministic abort/trace order.
+            for actor in aborted {
+                let (from, to) = self
+                    .migrations_in_flight
+                    .remove(&actor)
+                    .expect("collected above");
+                self.metrics.migrations_aborted += 1;
+                if self.trace.enabled() {
+                    // Lifecycle event: `request` carries the actor id,
+                    // `server` the source, `aux` the destination.
+                    self.trace.record(SpanEvent::instant(
+                        actor,
+                        HopKind::MigrationAbort,
+                        from,
+                        u64::from(to),
+                        at,
+                    ));
+                }
+            }
+        }
+        // With the legacy oracle the whole cluster learns of the crash
+        // instantly: drop every activation the server hosted. (No location
+        // hints: the server crashed, it had no chance to leave forwarding
+        // state.) With a failure detector, knowledge travels through
+        // missed heartbeats instead — stale directory entries linger until
+        // suspicion repairs them, which is exactly the detection-lag cost
+        // the chaos benchmarks measure.
+        if self.detector.is_none() {
+            for actor in self.directory.vertices_on(server) {
+                self.directory.remove(actor);
+            }
         }
         // Lose in-memory state: queues, running tasks, sketches, caches.
         let threads = self.servers[server].thread_allocation();
@@ -1158,11 +1661,17 @@ impl Cluster {
         let _ = threads; // The replacement process boots with defaults.
     }
 
-    /// Brings a crashed server back (a fresh, empty process). New
+    /// Brings a crashed server back (a fresh, empty process) at `now`. New
     /// activations flow to it through the placement policy; the partition
-    /// agent rebalances actors onto it over time.
-    pub fn recover_server(&mut self, server: usize) {
+    /// agent rebalances actors onto it over time. The fresh process's
+    /// detector rows are reset so it trusts every peer for one grace
+    /// period instead of mass-suspecting the cluster at boot; peers keep
+    /// suspecting *it* until its heartbeats resume.
+    pub fn recover_server(&mut self, now: Nanos, server: usize) {
         self.failed[server] = false;
+        if let Some(d) = self.detector.as_mut() {
+            d.reset_observer(server, now);
+        }
     }
 
     /// True when no request is in flight anywhere (drained).
@@ -1174,6 +1683,28 @@ impl Cluster {
                 .iter()
                 .all(|s| s.running.is_empty() && s.stages.iter().all(|st| st.is_idle()))
     }
+}
+
+/// Schedules a server's next heartbeat round `delay` from now and, when
+/// it fires, the one after — the same self-rescheduling, horizon-bounded
+/// shape as the hiccup loop. The loop survives the server's crash (a dead
+/// server just skips emission) so heartbeats resume on recovery.
+fn schedule_heartbeat(
+    engine: &mut Engine<Cluster>,
+    server: usize,
+    dc: DetectorConfig,
+    delay: Nanos,
+    horizon: Nanos,
+) {
+    if engine.now() + delay > horizon {
+        return;
+    }
+    engine.schedule_after(delay, move |c: &mut Cluster, e| {
+        if !c.failed[server] {
+            c.emit_heartbeats(e, server, dc);
+        }
+        schedule_heartbeat(e, server, dc, dc.heartbeat_interval, horizon);
+    });
 }
 
 /// Schedules the next pause for `server` and, when it fires, the resume.

@@ -3,6 +3,7 @@
 use actop_sim::{CostModel, Nanos};
 use actop_trace::TraceConfig;
 
+use crate::detector::DetectorConfig;
 use crate::placement::PlacementPolicy;
 
 /// Stop-the-world pause model (.NET garbage collection and similar
@@ -27,6 +28,34 @@ impl HiccupModel {
             mean_interval: Nanos::from_secs(2),
             min_pause: Nanos::from_millis(20),
             max_pause: Nanos::from_millis(80),
+        }
+    }
+}
+
+/// Transport retry policy: what a sender does when a delivery dies with a
+/// crashed destination or a dropped packet. Exponential backoff with
+/// deterministic jitter and a per-message attempt budget; an exhausted
+/// budget leaves the root request to its client timeout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First backoff delay; attempt `k` waits `base * 2^(k-1)`.
+    pub base_backoff: Nanos,
+    /// Backoff cap.
+    pub max_backoff: Nanos,
+    /// Jitter as a fraction of the backoff, drawn deterministically from
+    /// the fault RNG stream (`0.0` disables jitter).
+    pub jitter: f64,
+    /// Retry budget per message. `0` disables retries entirely.
+    pub max_attempts: u8,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff: Nanos::from_millis(1),
+            max_backoff: Nanos::from_millis(50),
+            jitter: 0.5,
+            max_attempts: 4,
         }
     }
 }
@@ -68,6 +97,23 @@ pub struct RuntimeConfig {
     /// Optional causal request tracing + flight recorder. `None` (the
     /// default) leaves every instrumentation hook at a single branch.
     pub trace: Option<TraceConfig>,
+    /// Optional heartbeat-based failure detector. `None` (the default)
+    /// keeps the legacy instant-membership model: routing consults ground
+    /// truth and `fail_server` purges the directory synchronously. `Some`
+    /// makes failure knowledge travel through heartbeats — routing
+    /// consults per-server *suspicion*, with detection lag and false
+    /// positives. Pair with [`Cluster::install_heartbeats`].
+    ///
+    /// [`Cluster::install_heartbeats`]: crate::Cluster::install_heartbeats
+    pub detector: Option<DetectorConfig>,
+    /// Transport retry policy for deliveries that die with a crashed
+    /// destination or a dropped packet.
+    pub retry: RetryPolicy,
+    /// Optional migration transfer time. `None` (the default) keeps
+    /// migrations instantaneous; `Some` holds the actor at its source for
+    /// the transfer window, during which a crash of either endpoint
+    /// aborts the migration cleanly back to the source.
+    pub migration_transfer: Option<Nanos>,
 }
 
 impl RuntimeConfig {
@@ -89,6 +135,9 @@ impl RuntimeConfig {
             request_timeout: None,
             hiccups: None,
             trace: None,
+            detector: None,
+            retry: RetryPolicy::default(),
+            migration_transfer: None,
         }
     }
 
@@ -112,6 +161,24 @@ impl RuntimeConfig {
         assert!(self.sketch_capacity > 0, "need a sketch capacity");
         assert!(self.max_receiver_queue > 0, "need a queue bound");
         assert!(self.series_bin_ns > 0, "need a series bin width");
+        assert!(
+            (0.0..=1.0).contains(&self.retry.jitter),
+            "retry jitter must be a fraction"
+        );
+        if let Some(d) = self.detector {
+            assert!(
+                d.heartbeat_interval > Nanos::ZERO,
+                "need a heartbeat interval"
+            );
+            assert!(
+                d.suspect_after >= d.heartbeat_interval,
+                "suspecting inside one heartbeat interval flaps constantly"
+            );
+            assert!(
+                d.heartbeat_process_ns >= 0.0,
+                "negative heartbeat emission cost"
+            );
+        }
     }
 }
 

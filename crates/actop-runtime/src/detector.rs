@@ -1,0 +1,217 @@
+//! Heartbeat-based failure detection.
+//!
+//! Real clusters have no oracle: a server learns that a peer died only by
+//! *not hearing from it*. [`FailureDetector`] keeps, per (observer, peer)
+//! pair, the sim-time of the last heartbeat heard; a peer silent for
+//! longer than [`DetectorConfig::suspect_after`] is *suspected*. Routing
+//! and forwarding consult suspicion, not ground truth, so detection lag,
+//! false suspicion under stragglers (a loaded server heartbeats late),
+//! and flapping become real, measurable effects.
+//!
+//! The detector is a fixed-timeout detector — the degenerate phi-accrual
+//! detector with a single threshold. State is two flat `n × n` vectors
+//! (last-heard time and cached suspicion), so a suspicion check on the
+//! per-message routing path is two array reads. Suspicion transitions are
+//! detected lazily at [`FailureDetector::check`] time and eagerly at
+//! [`FailureDetector::heard`] time, and reported to the caller so the
+//! cluster can count and trace them.
+
+use actop_sim::Nanos;
+
+/// Heartbeat / suspicion tuning. See DESIGN.md §9 for the defaults'
+/// rationale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// How often every live server sends a heartbeat to every peer.
+    pub heartbeat_interval: Nanos,
+    /// Silence longer than this marks a peer suspected. Should be several
+    /// heartbeat intervals so one delayed or dropped heartbeat does not
+    /// flap the detector.
+    pub suspect_after: Nanos,
+    /// Heartbeat payload size (drives the network-model delay draw).
+    pub heartbeat_bytes: u64,
+    /// Baseline CPU time to emit a heartbeat round, nanoseconds. The
+    /// actual emission lag is this value scaled by the sender's current
+    /// CPU slowdown, so stragglers and gray-failing servers heartbeat
+    /// late — the mechanism behind false suspicion.
+    pub heartbeat_process_ns: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            heartbeat_interval: Nanos::from_millis(10),
+            suspect_after: Nanos::from_millis(50),
+            heartbeat_bytes: 64,
+            heartbeat_process_ns: 20_000.0,
+        }
+    }
+}
+
+/// A suspicion-state transition observed by a detector operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The peer crossed the silence threshold and is now suspected.
+    Suspected,
+    /// A heartbeat arrived from a suspected peer; the suspicion cleared.
+    Cleared,
+}
+
+/// Per-server pairwise suspicion state (flat `n × n`).
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    n: usize,
+    suspect_after: Nanos,
+    /// `[observer * n + peer]`: when `observer` last heard from `peer`.
+    last_heard: Vec<Nanos>,
+    /// `[observer * n + peer]`: cached suspicion state, updated on
+    /// `check`/`heard` so transitions are reported exactly once.
+    suspected: Vec<bool>,
+}
+
+impl FailureDetector {
+    /// Creates a detector for `n` servers. Every pair starts with a full
+    /// grace period from `now` (boot counts as having just heard).
+    pub fn new(n: usize, suspect_after: Nanos, now: Nanos) -> Self {
+        FailureDetector {
+            n,
+            suspect_after,
+            last_heard: vec![now; n * n],
+            suspected: vec![false; n * n],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, observer: usize, peer: usize) -> usize {
+        observer * self.n + peer
+    }
+
+    /// Records a heartbeat from `peer` heard at `observer`. Returns
+    /// [`Transition::Cleared`] when this un-suspects the peer.
+    pub fn heard(&mut self, observer: usize, peer: usize, now: Nanos) -> Option<Transition> {
+        let i = self.idx(observer, peer);
+        self.last_heard[i] = self.last_heard[i].max(now);
+        if self.suspected[i] {
+            self.suspected[i] = false;
+            Some(Transition::Cleared)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `observer` suspects `peer` at `now`, updating the cached
+    /// state; a newly crossed threshold is reported as a transition. A
+    /// server never suspects itself.
+    pub fn check(
+        &mut self,
+        observer: usize,
+        peer: usize,
+        now: Nanos,
+    ) -> (bool, Option<Transition>) {
+        if observer == peer {
+            return (false, None);
+        }
+        let i = self.idx(observer, peer);
+        let silent = now.saturating_sub(self.last_heard[i]) > self.suspect_after;
+        let transition = match (self.suspected[i], silent) {
+            (false, true) => Some(Transition::Suspected),
+            (true, false) => Some(Transition::Cleared),
+            _ => None,
+        };
+        self.suspected[i] = silent;
+        (silent, transition)
+    }
+
+    /// Read-only suspicion probe (no transition bookkeeping) — for
+    /// accuracy sampling against ground truth without perturbing the
+    /// detector's own event stream.
+    pub fn would_suspect(&self, observer: usize, peer: usize, now: Nanos) -> bool {
+        if observer == peer {
+            return false;
+        }
+        now.saturating_sub(self.last_heard[self.idx(observer, peer)]) > self.suspect_after
+    }
+
+    /// Resets an observer's rows after it recovers from a crash: a fresh
+    /// process trusts every peer for one grace period instead of mass-
+    /// suspecting the cluster the instant it boots.
+    pub fn reset_observer(&mut self, observer: usize, now: Nanos) {
+        for peer in 0..self.n {
+            let i = self.idx(observer, peer);
+            self.last_heard[i] = now;
+            self.suspected[i] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn silence_crosses_threshold_exactly_once() {
+        let mut d = FailureDetector::new(3, ms(50), Nanos::ZERO);
+        assert_eq!(d.check(0, 1, ms(50)), (false, None), "at threshold: fine");
+        assert_eq!(
+            d.check(0, 1, ms(51)),
+            (true, Some(Transition::Suspected)),
+            "past threshold: suspected"
+        );
+        assert_eq!(d.check(0, 1, ms(60)), (true, None), "no repeat transition");
+    }
+
+    #[test]
+    fn heartbeat_clears_suspicion() {
+        let mut d = FailureDetector::new(2, ms(50), Nanos::ZERO);
+        assert!(d.check(0, 1, ms(100)).0);
+        assert_eq!(d.heard(0, 1, ms(100)), Some(Transition::Cleared));
+        assert_eq!(d.check(0, 1, ms(120)), (false, None));
+        // A second heartbeat with no suspicion outstanding is silent.
+        assert_eq!(d.heard(0, 1, ms(130)), None);
+    }
+
+    #[test]
+    fn suspicion_is_per_observer() {
+        let mut d = FailureDetector::new(3, ms(50), Nanos::ZERO);
+        d.heard(0, 2, ms(80));
+        assert!(!d.check(0, 2, ms(100)).0, "observer 0 heard recently");
+        assert!(d.check(1, 2, ms(100)).0, "observer 1 did not");
+    }
+
+    #[test]
+    fn never_suspects_self() {
+        let mut d = FailureDetector::new(2, ms(1), Nanos::ZERO);
+        assert_eq!(d.check(1, 1, ms(1_000)), (false, None));
+        assert!(!d.would_suspect(1, 1, ms(1_000)));
+    }
+
+    #[test]
+    fn would_suspect_matches_check_without_mutation() {
+        let mut d = FailureDetector::new(2, ms(50), Nanos::ZERO);
+        assert!(d.would_suspect(0, 1, ms(60)));
+        // The probe did not consume the transition.
+        assert_eq!(d.check(0, 1, ms(60)), (true, Some(Transition::Suspected)));
+    }
+
+    #[test]
+    fn reset_observer_restores_grace() {
+        let mut d = FailureDetector::new(2, ms(50), Nanos::ZERO);
+        assert!(d.check(0, 1, ms(200)).0);
+        d.reset_observer(0, ms(200));
+        assert_eq!(d.check(0, 1, ms(210)), (false, None));
+        assert!(d.check(0, 1, ms(300)).0, "grace period is not immunity");
+    }
+
+    #[test]
+    fn stale_heartbeat_does_not_rewind_last_heard() {
+        let mut d = FailureDetector::new(2, ms(50), Nanos::ZERO);
+        d.heard(0, 1, ms(100));
+        d.heard(0, 1, ms(40)); // Reordered delivery must not rewind.
+        assert!(!d.would_suspect(0, 1, ms(120)));
+        assert!(d.would_suspect(0, 1, ms(151)));
+    }
+}

@@ -33,6 +33,7 @@
 pub mod app;
 pub mod cluster;
 pub mod config;
+pub mod detector;
 pub mod ids;
 pub mod metrics;
 pub mod placement;
@@ -42,8 +43,9 @@ pub mod table;
 
 pub use actop_trace::{TraceConfig, Tracer};
 pub use app::{AppLogic, Call, Outcome, Reaction};
-pub use cluster::Cluster;
-pub use config::RuntimeConfig;
+pub use cluster::{Cluster, LinkFault};
+pub use config::{RetryPolicy, RuntimeConfig};
+pub use detector::{DetectorConfig, FailureDetector, Transition};
 pub use ids::{ActorId, RequestId, StageKind};
 pub use metrics::ClusterMetrics;
 pub use placement::PlacementPolicy;

@@ -39,6 +39,49 @@ pub struct ClusterMetrics {
     pub stale_responses: u64,
     /// Server failures injected.
     pub server_failures: u64,
+    /// End-to-end latency over time: one sample per completion, so each
+    /// bin's count is goodput and each bin's mean is latency — the series
+    /// SLO-violation analysis reads.
+    pub latency_series: BinnedSeries,
+    /// Transport retries scheduled after a delivery died (crashed
+    /// destination or dropped packet).
+    pub retries: u64,
+    /// Total backoff delay spent by those retries, nanoseconds.
+    pub retry_backoff_ns: u64,
+    /// Messages whose retry budget ran out (the root request resolves via
+    /// its client timeout).
+    pub retry_budget_exhausted: u64,
+    /// Client requests shed at admission because no live server remained.
+    /// Also counted in `rejected`, so request conservation stays
+    /// `completed + rejected + timed_out == submitted`.
+    pub shed_no_live: u64,
+    /// Messages that died in flight because their destination crashed
+    /// while they were on the wire.
+    pub lost_in_flight: u64,
+    /// Messages dropped by an injected link fault.
+    pub net_dropped: u64,
+    /// Heartbeats put on the wire.
+    pub heartbeats_sent: u64,
+    /// Heartbeats dropped by an injected link fault.
+    pub heartbeats_dropped: u64,
+    /// Suspicion transitions: a detector marked a peer suspected.
+    pub suspicions: u64,
+    /// Suspicion transitions cleared (heartbeat heard again).
+    pub unsuspicions: u64,
+    /// Directory entries dropped because the entry's host was suspected
+    /// (the actor re-placed on a trusted server).
+    pub directory_repairs: u64,
+    /// Directory repairs whose suspected host was in fact alive — the
+    /// cost of false suspicion (stragglers, lossy links).
+    pub false_suspicion_repairs: u64,
+    /// In-flight migrations aborted by a crash of either endpoint.
+    pub migrations_aborted: u64,
+    /// Messages dropped by the forward-loop hop cap (split-brain routing
+    /// flaps; the root request resolves via its client timeout).
+    pub forward_loop_drops: u64,
+    /// Request branches cancelled because their root request was already
+    /// resolved (timed out or shed) when the handler's decision landed.
+    pub zombie_branches: u64,
 }
 
 impl ClusterMetrics {
@@ -60,6 +103,22 @@ impl ClusterMetrics {
             timed_out: 0,
             stale_responses: 0,
             server_failures: 0,
+            latency_series: BinnedSeries::new(series_bin_ns),
+            retries: 0,
+            retry_backoff_ns: 0,
+            retry_budget_exhausted: 0,
+            shed_no_live: 0,
+            lost_in_flight: 0,
+            net_dropped: 0,
+            heartbeats_sent: 0,
+            heartbeats_dropped: 0,
+            suspicions: 0,
+            unsuspicions: 0,
+            directory_repairs: 0,
+            false_suspicion_repairs: 0,
+            migrations_aborted: 0,
+            forward_loop_drops: 0,
+            zombie_branches: 0,
         }
     }
 
@@ -88,6 +147,19 @@ impl ClusterMetrics {
         self.rejected = 0;
         self.timed_out = 0;
         self.stale_responses = 0;
+        self.retries = 0;
+        self.retry_backoff_ns = 0;
+        self.retry_budget_exhausted = 0;
+        self.shed_no_live = 0;
+        self.lost_in_flight = 0;
+        self.net_dropped = 0;
+        self.directory_repairs = 0;
+        self.false_suspicion_repairs = 0;
+        self.forward_loop_drops = 0;
+        self.zombie_branches = 0;
+        // Heartbeat traffic, suspicion transitions and migration aborts are
+        // cluster-lifecycle counts, not request-scoped: they survive the
+        // warmup reset like the time series do.
     }
 }
 
@@ -114,5 +186,21 @@ mod tests {
         assert!(m.e2e_latency.is_empty());
         assert_eq!(m.submitted, 0);
         assert_eq!(m.migration_series.len(), 1, "series survives reset");
+    }
+
+    #[test]
+    fn reset_scopes_fault_counters() {
+        let mut m = ClusterMetrics::new(1_000);
+        m.retries = 4;
+        m.shed_no_live = 2;
+        m.heartbeats_sent = 100;
+        m.suspicions = 3;
+        m.migrations_aborted = 1;
+        m.reset_steady_state();
+        assert_eq!(m.retries, 0, "request-scoped: reset with warmup");
+        assert_eq!(m.shed_no_live, 0, "request-scoped: reset with warmup");
+        assert_eq!(m.heartbeats_sent, 100, "lifecycle: survives");
+        assert_eq!(m.suspicions, 3, "lifecycle: survives");
+        assert_eq!(m.migrations_aborted, 1, "lifecycle: survives");
     }
 }

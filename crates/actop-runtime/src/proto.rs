@@ -58,6 +58,13 @@ pub(crate) struct Message {
     /// True when the *original* call crossed servers — propagated into the
     /// response so remote-call latency is attributed correctly.
     pub call_was_remote: bool,
+    /// Transport delivery attempts consumed by backoff retries (crashed
+    /// destinations, dropped packets). Bounds the retry budget per message.
+    pub attempts: u8,
+    /// Times this message has been re-routed (forwards, failovers). Caps
+    /// forward loops under split-brain routing: saturates and the message
+    /// is dropped rather than ping-ponging forever.
+    pub hops: u8,
 }
 
 /// An item sitting in a SEDA stage queue.

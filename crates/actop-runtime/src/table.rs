@@ -125,6 +125,26 @@ impl<T> SlabTable<T> {
         self.live -= 1;
         Some(value)
     }
+
+    /// Drops every live entry for which `keep` returns false, freeing its
+    /// slot (generation bumped, handle invalidated). Scans slots in index
+    /// order, so freelist contents stay deterministic. O(slots) — meant
+    /// for rare bulk purges (a request timing out abandons all its joins),
+    /// never the per-message path.
+    pub fn retain(&mut self, mut keep: impl FnMut(&mut T) -> bool) {
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            let drop_it = match s.value.as_mut() {
+                Some(v) => !keep(v),
+                None => false,
+            };
+            if drop_it {
+                s.value = None;
+                s.generation = s.generation.wrapping_add(1);
+                self.free.push(slot as u32);
+                self.live -= 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +199,41 @@ mod tests {
     fn out_of_range_handle_misses() {
         let t: SlabTable<u8> = SlabTable::new();
         assert_eq!(t.get(12345), None);
+    }
+
+    #[test]
+    fn retain_frees_and_invalidates() {
+        let mut t: SlabTable<u32> = SlabTable::new();
+        let odd = t.insert(1);
+        let even = t.insert(2);
+        let odd2 = t.insert(3);
+        t.retain(|v| *v % 2 == 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(odd), None);
+        assert_eq!(t.get(odd2), None);
+        assert_eq!(t.get(even), Some(&2));
+        // Freed slots are reusable and do not alias the dropped handles.
+        let fresh = t.insert(9);
+        assert_ne!(fresh, odd);
+        assert_ne!(fresh, odd2);
+        assert_eq!(t.get(odd), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn retain_all_or_nothing() {
+        let mut t: SlabTable<u32> = SlabTable::new();
+        let hs: Vec<u64> = (0..5).map(|i| t.insert(i)).collect();
+        t.retain(|_| true);
+        assert_eq!(t.len(), 5);
+        for (i, h) in hs.iter().enumerate() {
+            assert_eq!(t.get(*h), Some(&(i as u32)));
+        }
+        t.retain(|_| false);
+        assert!(t.is_empty());
+        for h in hs {
+            assert_eq!(t.get(h), None);
+        }
     }
 
     mod props {

@@ -1,0 +1,181 @@
+//! Heartbeat failure-detector integration: detection lag, recovery
+//! clearing, false suspicion under gray failure, and detector-off
+//! equivalence.
+//!
+//! With `config.detector` set, routing no longer consults the ground-truth
+//! `failed[]` oracle — it consults per-server *suspicion* built from
+//! heartbeats. That makes detection lag, false positives, and flapping
+//! observable phenomena rather than modeling artifacts. These tests pin the
+//! externally visible contract.
+
+use actop_runtime::app::FixedCostApp;
+use actop_runtime::{ActorId, AppLogic, Cluster, DetectorConfig, RuntimeConfig};
+use actop_sim::{DetRng, Engine, Nanos};
+
+fn counter_app() -> Box<dyn AppLogic> {
+    Box::new(FixedCostApp {
+        cpu_ns: 30_000.0,
+        reply_bytes: 200,
+    })
+}
+
+fn config(servers: usize, seed: u64) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::paper_testbed(seed);
+    cfg.servers = servers;
+    cfg.request_timeout = Some(Nanos::from_secs(2));
+    cfg.detector = Some(DetectorConfig::default());
+    cfg
+}
+
+fn stream_requests(engine: &mut Engine<Cluster>, actors: u64, count: u64, gap: Nanos, seed: u64) {
+    let mut rng = DetRng::stream(seed, 0x77);
+    for i in 0..count {
+        let actor = ActorId(rng.range_inclusive(0, actors - 1));
+        engine.schedule(gap * i, move |c: &mut Cluster, e| {
+            c.submit_client_request(e, actor, 0, 300);
+        });
+    }
+}
+
+/// A crashed server is suspected by every live observer within
+/// `suspect_after` plus a couple of heartbeat intervals, and cleared again
+/// a few intervals after it recovers.
+#[test]
+fn crash_is_detected_and_recovery_clears_suspicion() {
+    let mut cluster = Cluster::new(config(3, 11), counter_app());
+    let mut engine: Engine<Cluster> = Engine::new();
+    cluster.install_heartbeats(&mut engine, Nanos::from_secs(1));
+    engine.schedule(Nanos::from_millis(100), |c: &mut Cluster, e| {
+        c.fail_server(e, 2);
+    });
+
+    // Before the crash: nobody suspects anybody.
+    engine.run_until(&mut cluster, Nanos::from_millis(90));
+    for obs in 0..3 {
+        for peer in 0..3 {
+            assert_eq!(
+                cluster.detector_suspects(obs, peer, engine.now()),
+                Some(false),
+                "no suspicion before any fault ({obs} -> {peer})"
+            );
+        }
+    }
+
+    // Crash at 100 ms; default suspect_after is 50 ms. By 180 ms (crash +
+    // suspect_after + 3 heartbeat intervals of margin) every live observer
+    // must suspect server 2.
+    engine.run_until(&mut cluster, Nanos::from_millis(180));
+    let now = engine.now();
+    assert_eq!(cluster.detector_suspects(0, 2, now), Some(true));
+    assert_eq!(cluster.detector_suspects(1, 2, now), Some(true));
+    // ... and not each other.
+    assert_eq!(cluster.detector_suspects(0, 1, now), Some(false));
+    assert_eq!(cluster.detector_suspects(1, 0, now), Some(false));
+
+    // Recover at 200 ms. The recovered server resumes heartbeating (the
+    // emission loop survives the crash); within a few intervals observers
+    // clear it.
+    cluster.recover_server(engine.now(), 2);
+    engine.run_until(&mut cluster, Nanos::from_millis(280));
+    let now = engine.now();
+    assert_eq!(
+        cluster.detector_suspects(0, 2, now),
+        Some(false),
+        "recovery must clear suspicion"
+    );
+    assert_eq!(cluster.detector_suspects(1, 2, now), Some(false));
+    engine.run(&mut cluster);
+}
+
+/// A gray-failing server — alive, heartbeating, but servicing at 0.5% of
+/// nominal rate while loaded — heartbeats so late that peers suspect it
+/// even though it never crashed: false suspicion is a first-class outcome.
+#[test]
+fn gray_failure_draws_false_suspicion() {
+    let mut cfg = config(3, 13);
+    // Heavier heartbeat emission cost so the gray server's CPU slowdown
+    // translates into hundreds of ms of emission lag (2 ms x >=200x
+    // slowdown at rate factor 0.005).
+    cfg.detector = Some(DetectorConfig {
+        heartbeat_process_ns: 2_000_000.0,
+        ..DetectorConfig::default()
+    });
+    let mut cluster = Cluster::new(cfg, counter_app());
+    let mut engine: Engine<Cluster> = Engine::new();
+    cluster.install_heartbeats(&mut engine, Nanos::from_secs(1));
+    // Sustained load so the gray server always has runnable work (an idle
+    // CPU has slowdown 1.0 and would heartbeat on time).
+    stream_requests(&mut engine, 120, 3_000, Nanos::from_micros(200), 13);
+    engine.schedule(Nanos::from_millis(50), |c: &mut Cluster, e| {
+        c.set_server_rate_factor(e, 1, 0.005);
+    });
+
+    // Suspicion is a *window*, not a steady state: the last prompt
+    // heartbeat lands around 50 ms, the first lagged one hundreds of ms
+    // later, so between ~100 ms (silence > suspect_after) and that first
+    // late arrival the peers suspect. Probe mid-window.
+    engine.run_until(&mut cluster, Nanos::from_millis(250));
+    let now = engine.now();
+    assert!(!cluster.is_failed(1), "gray server never actually crashed");
+    assert_eq!(
+        cluster.detector_suspects(0, 1, now),
+        Some(true),
+        "peers must suspect the gray server from heartbeat lag"
+    );
+    assert!(
+        cluster.metrics.suspicions > 0,
+        "routing observed the suspicion"
+    );
+    engine.run(&mut cluster);
+    // Every admitted request still terminates exactly once.
+    let m = &cluster.metrics;
+    assert_eq!(m.completed + m.rejected + m.timed_out, m.submitted);
+}
+
+/// With the detector configured but no faults injected, suspicion stays
+/// globally false and the request path behaves identically to a
+/// detector-free run: heartbeats ride separate RNG streams and must not
+/// perturb routing, placement, or service.
+#[test]
+fn idle_detector_run_matches_detector_free_run() {
+    let run = |with_detector: bool| {
+        let mut cfg = RuntimeConfig::paper_testbed(17);
+        cfg.servers = 4;
+        cfg.request_timeout = Some(Nanos::from_secs(2));
+        if with_detector {
+            cfg.detector = Some(DetectorConfig::default());
+        }
+        let mut cluster = Cluster::new(cfg, counter_app());
+        let mut engine: Engine<Cluster> = Engine::new();
+        if with_detector {
+            cluster.install_heartbeats(&mut engine, Nanos::from_millis(600));
+        }
+        stream_requests(&mut engine, 150, 1_200, Nanos::from_micros(400), 17);
+        engine.run(&mut cluster);
+        (
+            cluster.metrics.completed,
+            cluster.metrics.timed_out,
+            cluster.metrics.remote_messages,
+            cluster.metrics.local_messages,
+            cluster.metrics.e2e_latency.quantile(0.5),
+            cluster.metrics.e2e_latency.quantile(0.99),
+        )
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Heartbeat traffic is visible in the lifecycle counters and never counts
+/// as application messages.
+#[test]
+fn heartbeats_are_accounted_separately() {
+    let mut cluster = Cluster::new(config(3, 19), counter_app());
+    let mut engine: Engine<Cluster> = Engine::new();
+    cluster.install_heartbeats(&mut engine, Nanos::from_millis(200));
+    engine.run(&mut cluster);
+    let m = &cluster.metrics;
+    // ~20 rounds x 3 servers x 2 peers.
+    assert!(m.heartbeats_sent >= 100, "sent {}", m.heartbeats_sent);
+    assert_eq!(m.submitted, 0);
+    assert_eq!(m.remote_messages + m.local_messages, 0);
+    assert_eq!(m.suspicions, 0, "quiet cluster, no suspicion");
+}

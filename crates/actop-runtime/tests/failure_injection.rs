@@ -109,7 +109,7 @@ fn recovered_server_takes_new_activations() {
     let on_1 = cluster.directory.sizes()[1];
     assert!(on_1 > 0);
     // Recover and activate fresh actors: some must land on server 0 again.
-    cluster.recover_server(0);
+    cluster.recover_server(engine.now(), 0);
     let mut rng = DetRng::stream(3, 0x78);
     for i in 0..50u64 {
         let actor = ActorId(1_000 + rng.range_inclusive(0, 49));
@@ -172,6 +172,65 @@ fn joins_spanning_a_crash_resolve_or_time_out() {
     assert!(
         m.timed_out > 0 || m.stale_responses > 0 || m.completed == m.submitted,
         "crash effects should be visible or fully absorbed"
+    );
+}
+
+/// Regression: an actor migrating toward a server that dies mid-transfer
+/// must not vanish or double-activate. The in-flight move aborts cleanly,
+/// the actor keeps serving from its source, and the location hints left on
+/// the source are repaired rather than pointing into the grave.
+#[test]
+fn migration_racing_a_crash_aborts_cleanly() {
+    let mut cfg = config(3, 9);
+    cfg.migration_transfer = Some(Nanos::from_millis(5));
+    let mut cluster = Cluster::new(cfg, counter_app());
+    let mut engine: Engine<Cluster> = Engine::new();
+    let actor = ActorId(42);
+    // Activate the actor somewhere.
+    engine.schedule(Nanos::ZERO, move |c: &mut Cluster, e| {
+        c.submit_client_request(e, actor, 0, 300);
+    });
+    engine.run(&mut cluster);
+    let source = cluster.locate(actor).expect("activated");
+    let dest = (source + 1) % 3;
+    let migrations_before = cluster.metrics.migrations;
+
+    // Start the 5 ms transfer, then crash the destination 1 ms in.
+    engine.schedule_after(Nanos::from_millis(1), move |c: &mut Cluster, e| {
+        let now = e.now();
+        c.migrate_actor(e, now, actor, dest);
+        assert_eq!(c.migrations_in_flight(), 1, "transfer must be in flight");
+    });
+    engine.schedule_after(Nanos::from_millis(2), move |c: &mut Cluster, e| {
+        c.fail_server(e, dest);
+    });
+    // Keep talking to the actor across the abort.
+    for i in 0..40u64 {
+        engine.schedule_after(
+            Nanos::from_millis(3) + Nanos::from_micros(i * 250),
+            move |c: &mut Cluster, e| {
+                c.submit_client_request(e, actor, 0, 300);
+            },
+        );
+    }
+    engine.run(&mut cluster);
+
+    assert_eq!(cluster.metrics.migrations_aborted, 1);
+    assert_eq!(cluster.migrations_in_flight(), 0, "no transfer leaked");
+    assert_eq!(
+        cluster.metrics.migrations, migrations_before,
+        "the aborted move must not count as a migration"
+    );
+    assert_eq!(
+        cluster.locate(actor),
+        Some(source),
+        "actor stays activated at its source — exactly one activation"
+    );
+    let m = &cluster.metrics;
+    assert_eq!(m.completed + m.rejected + m.timed_out, m.submitted);
+    assert_eq!(
+        m.completed, m.submitted,
+        "nothing addressed the dead server"
     );
 }
 

@@ -179,7 +179,8 @@ fn migration_deactivates_and_reactivates_at_hint() {
     let home = cluster.locate(actor).expect("activated");
     let target = 1 - home;
     // Migrate: directory entry drops, hints appear on both servers.
-    cluster.migrate_actor(engine.now(), actor, target);
+    let now = engine.now();
+    cluster.migrate_actor(&mut engine, now, actor, target);
     assert_eq!(cluster.locate(actor), None, "deactivated");
     assert_eq!(cluster.metrics.migrations, 1);
     // The next request re-activates it. The gateway is random; when the
@@ -230,7 +231,8 @@ fn apply_exchange_moves_actors_both_ways() {
         returned: vec![on1[0]],
     };
     let before = cluster.metrics.migrations;
-    cluster.apply_exchange(engine.now(), 0, 1, &outcome);
+    let now = engine.now();
+    cluster.apply_exchange(&mut engine, now, 0, 1, &outcome);
     assert_eq!(cluster.metrics.migrations, before + 2);
     assert_eq!(cluster.locate(on0[0]), None, "in opportunistic limbo");
     assert!(cluster.servers[0].last_exchange_ns.is_some());

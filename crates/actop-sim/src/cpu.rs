@@ -50,6 +50,11 @@ pub struct PsCpu {
     configured_threads: usize,
     /// True while the CPU is stalled by a stop-the-world pause (GC).
     paused: bool,
+    /// Service-rate multiplier (1.0 = healthy). Fault injection models CPU
+    /// stragglers and gray failures by scaling every task's progress rate:
+    /// the server keeps accepting work but services it at `rate_factor`
+    /// speed.
+    rate_factor: f64,
     tasks: Vec<Task>,
     last_update: Nanos,
     next_id: u64,
@@ -77,6 +82,7 @@ impl PsCpu {
             ctx_coeff,
             configured_threads: cores,
             paused: false,
+            rate_factor: 1.0,
             tasks: Vec::new(),
             last_update: Nanos::ZERO,
             next_id: 0,
@@ -119,6 +125,28 @@ impl PsCpu {
         self.paused = false;
     }
 
+    /// Sets the service-rate multiplier (applies progress at the old rate
+    /// first). `1.0` restores a healthy CPU; values below `1.0` model a
+    /// straggler, values near zero a gray failure. The owner must re-arm
+    /// its completion event afterwards, as pending completion times change.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn set_rate_factor(&mut self, now: Nanos, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid rate factor {factor}"
+        );
+        self.advance(now);
+        self.rate_factor = factor;
+    }
+
+    /// The current service-rate multiplier.
+    pub fn rate_factor(&self) -> f64 {
+        self.rate_factor
+    }
+
     /// True while a stop-the-world pause is in effect.
     pub fn is_paused(&self) -> bool {
         self.paused
@@ -145,7 +173,7 @@ impl PsCpu {
         if n == 0 || self.paused {
             return 0.0;
         }
-        self.effective_cores() / (n as f64).max(self.cores)
+        self.rate_factor * self.effective_cores() / (n as f64).max(self.cores)
     }
 
     /// Current per-task progress rate.
@@ -422,6 +450,42 @@ mod tests {
         assert_eq!(cpu.next_completion(), None);
         cpu.resume(ms(3));
         assert_eq!(cpu.next_completion(), Some(ms(4)));
+    }
+
+    #[test]
+    fn rate_factor_slows_service() {
+        let mut healthy = PsCpu::new(2, 0.0);
+        let mut straggler = PsCpu::new(2, 0.0);
+        straggler.set_rate_factor(Nanos::ZERO, 0.5);
+        healthy.add(Nanos::ZERO, 1e6);
+        straggler.add(Nanos::ZERO, 1e6);
+        assert_eq!(healthy.next_completion(), Some(ms(1)));
+        // Half speed: the same 1 ms of demand takes 2 ms of wall clock.
+        assert_eq!(straggler.next_completion(), Some(ms(2)));
+        assert!((straggler.slowdown() - 2.0).abs() < 1e-12);
+        assert_eq!(straggler.take_completed(ms(2)).len(), 1);
+    }
+
+    #[test]
+    fn rate_factor_change_splits_progress_exactly() {
+        let mut cpu = PsCpu::new(1, 0.0);
+        cpu.add(Nanos::ZERO, 2e6); // 2 ms of demand.
+        cpu.advance(ms(1)); // 1 ms done at full rate.
+        cpu.set_rate_factor(ms(1), 0.25); // Remaining 1 ms at quarter speed.
+        assert_eq!(cpu.next_completion(), Some(ms(5)));
+        // Restoring health mid-flight resumes full speed.
+        cpu.advance(ms(3)); // 0.5 ms of the remaining demand done.
+        cpu.set_rate_factor(ms(3), 1.0);
+        assert_eq!(cpu.rate_factor(), 1.0);
+        assert_eq!(cpu.next_completion(), Some(Nanos::from_micros(3_500)));
+        assert_eq!(cpu.take_completed(Nanos::from_micros(3_500)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate factor")]
+    fn zero_rate_factor_panics() {
+        let mut cpu = PsCpu::new(1, 0.0);
+        cpu.set_rate_factor(Nanos::ZERO, 0.0);
     }
 
     #[test]

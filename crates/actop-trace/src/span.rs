@@ -81,6 +81,29 @@ pub enum HopKind {
     /// The response reached the client; the request is complete (instant;
     /// `server` is [`NO_SERVER`]).
     ClientDone,
+    /// A message died in flight: its destination crashed while it was on
+    /// the wire, a lossy link dropped it, or a forward loop was cut
+    /// (instant; `server` is where it would have arrived).
+    MsgLost,
+    /// The sender's transport scheduled a backoff retry for a request
+    /// whose delivery failed (instant; `server` is the dead destination,
+    /// `aux` the attempt number).
+    Retry,
+    /// A failure detector transitioned a peer to *suspected* (instant;
+    /// lifecycle — `request` carries the suspected server id, `server`
+    /// the observer; triggers a flight-recorder dump).
+    Suspect,
+    /// A failure detector cleared a suspicion after hearing a heartbeat
+    /// (instant; lifecycle — same field conventions as [`Self::Suspect`]).
+    Unsuspect,
+    /// A directory entry pointing at a suspected server was dropped so the
+    /// actor re-places (instant; lifecycle — `request` carries the actor
+    /// id, `server` the observer, `aux` the suspected host).
+    DirRepair,
+    /// An in-flight migration aborted because an endpoint crashed
+    /// (instant; lifecycle — `request` carries the actor id, `server` the
+    /// source, `aux` the destination).
+    MigrationAbort,
 }
 
 impl HopKind {
@@ -101,6 +124,12 @@ impl HopKind {
             HopKind::ServerFail => "server-fail",
             HopKind::StaleResponse => "stale",
             HopKind::ClientDone => "done",
+            HopKind::MsgLost => "msg-lost",
+            HopKind::Retry => "retry",
+            HopKind::Suspect => "suspect",
+            HopKind::Unsuspect => "unsuspect",
+            HopKind::DirRepair => "dir-repair",
+            HopKind::MigrationAbort => "migration-abort",
         }
     }
 
@@ -116,7 +145,15 @@ impl HopKind {
     /// True for cluster-lifecycle events not tied to a client request
     /// (recorded regardless of the head-sampling decision).
     pub fn is_lifecycle(self) -> bool {
-        matches!(self, HopKind::Migration | HopKind::ServerFail)
+        matches!(
+            self,
+            HopKind::Migration
+                | HopKind::ServerFail
+                | HopKind::Suspect
+                | HopKind::Unsuspect
+                | HopKind::DirRepair
+                | HopKind::MigrationAbort
+        )
     }
 }
 
@@ -201,6 +238,12 @@ mod tests {
             HopKind::ServerFail,
             HopKind::StaleResponse,
             HopKind::ClientDone,
+            HopKind::MsgLost,
+            HopKind::Retry,
+            HopKind::Suspect,
+            HopKind::Unsuspect,
+            HopKind::DirRepair,
+            HopKind::MigrationAbort,
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();
