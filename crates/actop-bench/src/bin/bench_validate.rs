@@ -1,0 +1,227 @@
+//! Validation sweep: the DES against closed-form queueing theory.
+//!
+//! Not a paper figure — this is the repro's credibility check. The SEDA
+//! emulator is an open Jackson network, so the paper's Eq. 1 model (pooled
+//! M/M/1 per stage, the same form the thread allocator optimizes) and the
+//! exact M/M/c form predict it analytically. Three single-thread pipeline
+//! shapes are held to the strict band (per-stage and end-to-end within 10%
+//! of M/M/1 ≡ M/M/c for ρ ≤ 0.7); a multi-thread pipeline is swept toward
+//! saturation to chart where the approximation leaves the exact form and
+//! where any finite run leaves both — the divergence curve lands in
+//! `BENCH_validate.json`.
+//!
+//! Deterministic: fixed seeds, byte-identical output.
+//! `ACTOP_VERIFY_SMOKE=1` shortens the runs for CI.
+
+use std::fmt::Write as _;
+
+use actop_seda::EmuStageConfig;
+use actop_verify::{divergence_curve, ValidationPoint};
+
+/// Agreement band for ρ ≤ 0.7.
+const BAND: f64 = 0.10;
+
+fn smoke() -> bool {
+    std::env::var("ACTOP_VERIFY_SMOKE").is_ok_and(|v| v == "1")
+}
+
+struct Pipeline {
+    name: &'static str,
+    stages: Vec<EmuStageConfig>,
+    /// Utilizations to sweep.
+    rhos: Vec<f64>,
+    /// Hold this pipeline to the strict band (single-thread stages only:
+    /// there Eq. 1 is exact, so disagreement means a simulator bug).
+    strict: bool,
+}
+
+fn stage(service_rate: f64, initial_threads: usize) -> EmuStageConfig {
+    EmuStageConfig {
+        service_rate,
+        initial_threads,
+    }
+}
+
+fn pipelines() -> Vec<Pipeline> {
+    let strict_rhos = vec![0.3, 0.5, 0.7];
+    let sweep_rhos = vec![0.3, 0.5, 0.7, 0.8, 0.9, 0.95];
+    vec![
+        Pipeline {
+            name: "tandem-3",
+            stages: vec![stage(900.0, 1), stage(1_100.0, 1), stage(1_000.0, 1)],
+            rhos: strict_rhos.clone(),
+            strict: true,
+        },
+        Pipeline {
+            name: "tandem-4",
+            stages: vec![
+                stage(1_500.0, 1),
+                stage(2_000.0, 1),
+                stage(1_800.0, 1),
+                stage(1_600.0, 1),
+            ],
+            rhos: strict_rhos.clone(),
+            strict: true,
+        },
+        Pipeline {
+            name: "tandem-2",
+            stages: vec![stage(700.0, 1), stage(950.0, 1)],
+            rhos: strict_rhos,
+            strict: true,
+        },
+        Pipeline {
+            name: "pooled-3x4x2",
+            stages: vec![stage(500.0, 3), stage(400.0, 4), stage(800.0, 2)],
+            rhos: sweep_rhos,
+            strict: false,
+        },
+    ]
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn point_json(p: &ValidationPoint) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"rho\":{:.3},\"arrival_rate\":{:.3},\"completed\":{},\"e2e_measured_s\":{},\"e2e_mm1_s\":{},\"e2e_mmc_s\":{},\"e2e_model_s\":{},\"err_vs_mm1\":{},\"err_vs_mmc\":{},\"stages\":[",
+        p.rho_max,
+        p.arrival_rate,
+        p.completed,
+        json_num(p.measured_e2e_secs),
+        json_num(p.mm1_e2e_secs),
+        json_num(p.mmc_e2e_secs),
+        json_num(p.model_e2e_secs),
+        json_num(((p.measured_e2e_secs - p.mm1_e2e_secs) / p.mm1_e2e_secs).abs()),
+        json_num(p.e2e_rel_err()),
+    );
+    for (i, s) in p.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"stage\":{},\"threads\":{},\"rho\":{:.4},\"measured_rho\":{:.4},\"mm1_s\":{},\"mmc_s\":{},\"measured_s\":{},\"wait_s\":{},\"service_s\":{}}}",
+            s.stage,
+            s.threads,
+            s.rho,
+            s.measured_rho,
+            json_num(s.mm1_secs),
+            json_num(s.mmc_secs),
+            json_num(s.measured_secs),
+            json_num(s.measured_wait_secs),
+            json_num(s.measured_service_secs),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let duration_secs = if smoke() { 60.0 } else { 200.0 };
+    let pipes = pipelines();
+    println!(
+        "== Validation sweep: DES vs M/M/1 (Eq. 1) and M/M/c, {} pipelines, T={duration_secs}s ==",
+        pipes.len()
+    );
+    println!(
+        "strict band: per-stage and e2e within {:.0}% for rho <= 0.7",
+        BAND * 100.0
+    );
+    println!();
+
+    let mut json = String::from("{\"duration_secs\":");
+    let _ = write!(json, "{duration_secs},\"band\":{BAND},\"pipelines\":[");
+    for (pi, pipe) in pipes.iter().enumerate() {
+        let curve = divergence_curve(&pipe.stages, &pipe.rhos, duration_secs, 0xBA5E + pi as u64);
+        let threads: Vec<String> = pipe
+            .stages
+            .iter()
+            .map(|s| format!("{:.0}/s x{}", s.service_rate, s.initial_threads))
+            .collect();
+        println!(
+            "{} [{}]{}:",
+            pipe.name,
+            threads.join(", "),
+            if pipe.strict { " (strict)" } else { "" }
+        );
+        for p in &curve {
+            let err_mm1 = ((p.measured_e2e_secs - p.mm1_e2e_secs) / p.mm1_e2e_secs).abs();
+            println!(
+                "  rho={:.2}  lambda={:7.1}/s  e2e measured={:8.3}ms  mm1={:8.3}ms  mmc={:8.3}ms  err(mm1)={:6.2}%  err(mmc)={:6.2}%  n={}",
+                p.rho_max,
+                p.arrival_rate,
+                p.measured_e2e_secs * 1e3,
+                p.mm1_e2e_secs * 1e3,
+                p.mmc_e2e_secs * 1e3,
+                100.0 * err_mm1,
+                100.0 * p.e2e_rel_err(),
+                p.completed,
+            );
+            // Eq. 1 through SedaModel is the same number as the direct sum:
+            // the oracle validates the allocator's own model code path.
+            assert!(
+                (p.model_e2e_secs - p.mm1_e2e_secs).abs() < 1e-9,
+                "SedaModel path diverged from the closed form"
+            );
+            if p.rho_max <= 0.7 + 1e-9 {
+                for s in &p.stages {
+                    let (err, form) = if pipe.strict {
+                        (s.mm1_rel_err(), "M/M/1")
+                    } else {
+                        (s.mmc_rel_err(), "M/M/c")
+                    };
+                    assert!(
+                        err < BAND,
+                        "{} rho={:.2} stage {}: {form} predicted {:.6}s, measured {:.6}s ({:.1}% off)",
+                        pipe.name,
+                        p.rho_max,
+                        s.stage,
+                        if pipe.strict { s.mm1_secs } else { s.mmc_secs },
+                        s.measured_secs,
+                        100.0 * err
+                    );
+                }
+                let e2e_err = if pipe.strict {
+                    err_mm1
+                } else {
+                    p.e2e_rel_err()
+                };
+                assert!(
+                    e2e_err < BAND,
+                    "{} rho={:.2}: e2e {:.1}% off",
+                    pipe.name,
+                    p.rho_max,
+                    100.0 * e2e_err
+                );
+            }
+        }
+        println!();
+        if pi > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"name\":\"{}\",\"strict\":{},\"points\":[",
+            pipe.name, pipe.strict
+        );
+        for (i, p) in curve.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&point_json(p));
+        }
+        json.push_str("]}");
+    }
+    json.push_str("]}\n");
+    if let Err(e) = std::fs::write("BENCH_validate.json", &json) {
+        eprintln!("could not write BENCH_validate.json: {e}");
+    }
+    println!("wrote BENCH_validate.json");
+}

@@ -1,0 +1,40 @@
+//! Golden trace digest: a pinned fingerprint of a fully instrumented
+//! smoke run. Any change to what the runtime records — a new hop kind on
+//! the request path, a lost event, a sampling change — shows up as a
+//! digest diff and must be re-pinned deliberately.
+
+use actop_bench::run_uniform;
+use actop_runtime::{RuntimeConfig, TraceConfig};
+use actop_sim::Nanos;
+use actop_verify::TraceDigest;
+use actop_workloads::uniform;
+
+/// The pinned digest of the smoke run below. Re-pin (and say why in the
+/// commit) when the trace schema intentionally changes.
+const GOLDEN: &str = "events=72796 servers=2 requests=6010 admit=6010 queue=22262 \
+     service=22262 net=12020 forward=4232 done=6010";
+
+#[test]
+fn instrumented_smoke_run_digest_is_pinned() {
+    let measure = Nanos::from_secs(3);
+    let cfg = uniform::counter(2_000.0, measure, 42);
+    let mut rt = RuntimeConfig::single_server(42);
+    rt.trace = Some(TraceConfig {
+        sample_rate: 1.0,
+        seed: 42,
+        ..TraceConfig::default()
+    });
+    let (summary, _report, cluster) = run_uniform(cfg, rt, None, None, Nanos::ZERO, measure);
+    assert!(summary.completed > 3_000, "run too small to fingerprint");
+    assert_eq!(
+        cluster.trace.dropped_spans(),
+        0,
+        "digest of a truncated trace"
+    );
+    let digest = TraceDigest::of(cluster.trace.spans());
+    assert_eq!(
+        digest.to_string(),
+        GOLDEN,
+        "trace fingerprint drifted; if the change is intentional, re-pin GOLDEN"
+    );
+}

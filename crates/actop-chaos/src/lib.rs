@@ -20,4 +20,4 @@ pub mod install;
 pub mod plan;
 
 pub use install::install_plan;
-pub use plan::{Fault, FaultEvent, FaultPlan};
+pub use plan::{CrashWindows, Fault, FaultEvent, FaultPlan};

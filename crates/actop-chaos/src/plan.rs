@@ -124,6 +124,42 @@ impl FaultPlan {
         (0..servers as u32).filter(|&s| down[s as usize]).collect()
     }
 
+    /// Per-server down windows derived from the plan's crash/recover
+    /// pairs. Plans are authored relative to their installation time, so
+    /// `base` (the offset passed to `install_plan`) shifts every window to
+    /// absolute sim time; a crash never recovered inside the plan is
+    /// closed at `horizon`. This is the introspection surface the
+    /// `actop-verify` invariant checker uses to reject service or
+    /// migration activity on a dead server.
+    pub fn crash_windows(&self, servers: usize, base: Nanos, horizon: Nanos) -> CrashWindows {
+        let mut open: Vec<Option<Nanos>> = vec![None; servers];
+        let mut windows: Vec<Vec<(Nanos, Nanos)>> = vec![Vec::new(); servers];
+        for e in &self.events {
+            let at = base + e.at;
+            match e.fault {
+                Fault::Crash { server } => {
+                    if let Some(slot) = open.get_mut(server as usize) {
+                        if slot.is_none() {
+                            *slot = Some(at);
+                        }
+                    }
+                }
+                Fault::Recover { server } => {
+                    if let Some(down) = open.get_mut(server as usize).and_then(Option::take) {
+                        windows[server as usize].push((down, at));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (s, slot) in open.iter_mut().enumerate() {
+            if let Some(down) = slot.take() {
+                windows[s].push((down, horizon));
+            }
+        }
+        CrashWindows { windows }
+    }
+
     // ------------------------------------------------------------------
     // Named plan shapes (the chaos sweep's vocabulary).
     // ------------------------------------------------------------------
@@ -365,6 +401,52 @@ impl FaultPlan {
     }
 }
 
+/// Per-server `[down, up)` windows in absolute sim time, produced by
+/// [`FaultPlan::crash_windows`]. Interval queries treat windows as open —
+/// an event that touches a window only at its boundary is *not* inside it,
+/// because the engine's ordering of same-instant events (a fault and an
+/// ordinary event at the same nanosecond) is not part of the invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashWindows {
+    /// `windows[s]` are server `s`'s down windows, in time order.
+    pub windows: Vec<Vec<(Nanos, Nanos)>>,
+}
+
+impl CrashWindows {
+    /// Server `s`'s windows (empty for servers the plan never crashes or
+    /// indices beyond the cluster).
+    pub fn server(&self, server: u32) -> &[(Nanos, Nanos)] {
+        self.windows
+            .get(server as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True when `at` lies strictly inside one of `server`'s windows.
+    pub fn is_down(&self, server: u32, at: Nanos) -> bool {
+        self.server(server)
+            .iter()
+            .any(|&(down, up)| down < at && at < up)
+    }
+
+    /// True when the open interval `(from, to)` intersects one of
+    /// `server`'s windows (for instants pass `from == to`, which reduces
+    /// to [`CrashWindows::is_down`]).
+    pub fn overlaps(&self, server: u32, from: Nanos, to: Nanos) -> bool {
+        if from == to {
+            return self.is_down(server, from);
+        }
+        self.server(server)
+            .iter()
+            .any(|&(down, up)| from < up && down < to)
+    }
+
+    /// Total number of windows across all servers.
+    pub fn total(&self) -> usize {
+        self.windows.iter().map(Vec::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +484,49 @@ mod tests {
         assert_ne!(a, c, "different seeds, different plans");
         assert!(a.unrecovered(10).is_empty());
         assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn crash_windows_shift_close_and_query() {
+        let mut plan = FaultPlan::new("w");
+        plan.push(ms(100), Fault::Crash { server: 1 });
+        plan.push(ms(300), Fault::Recover { server: 1 });
+        plan.push(ms(400), Fault::Crash { server: 2 }); // Never recovers.
+        plan.push(
+            ms(50),
+            Fault::Rate {
+                server: 0,
+                factor: 0.5,
+            },
+        ); // Not a crash.
+        let w = plan.crash_windows(4, ms(1000), ms(5000));
+        assert_eq!(w.total(), 2);
+        assert_eq!(w.server(1), &[(ms(1100), ms(1300))]);
+        assert_eq!(w.server(2), &[(ms(1400), ms(5000))], "closed at horizon");
+        assert!(w.server(0).is_empty());
+        // Open-interval semantics: boundaries are outside.
+        assert!(w.is_down(1, ms(1200)));
+        assert!(!w.is_down(1, ms(1100)));
+        assert!(!w.is_down(1, ms(1300)));
+        assert!(w.overlaps(1, ms(1250), ms(1450)));
+        assert!(!w.overlaps(1, ms(1300), ms(1450)), "touching boundary");
+        assert!(w.overlaps(2, ms(1399), ms(1401)));
+        assert!(!w.overlaps(3, Nanos::ZERO, ms(9000)), "unknown server");
+    }
+
+    #[test]
+    fn random_plans_have_matched_crash_windows() {
+        for seed in 0..20 {
+            let plan = FaultPlan::random(seed, 6, Nanos::from_secs(4), 10);
+            let horizon = Nanos::from_secs(100);
+            let w = plan.crash_windows(6, Nanos::ZERO, horizon);
+            for per_server in &w.windows {
+                for &(down, up) in per_server {
+                    assert!(down < up);
+                    assert!(up < horizon, "healing plans never hit the horizon");
+                }
+            }
+        }
     }
 
     #[test]

@@ -61,8 +61,9 @@ pub struct LinkFault {
 /// Messages re-routed more than this many times are dropped: under
 /// split-brain suspicion two servers can each believe the other hosts an
 /// actor, and the cap converts the resulting ping-pong into a loss the
-/// client timeout resolves.
-const MAX_FORWARD_HOPS: u8 = 32;
+/// client timeout resolves. Public so the trace invariant checker
+/// (`actop-verify`) enforces the same bound on recorded forward chains.
+pub const MAX_FORWARD_HOPS: u8 = 32;
 
 /// Normalizes a server pair into the symmetric link-fault key.
 #[inline]

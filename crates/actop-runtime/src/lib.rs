@@ -43,7 +43,7 @@ pub mod table;
 
 pub use actop_trace::{TraceConfig, Tracer};
 pub use app::{AppLogic, Call, Outcome, Reaction};
-pub use cluster::{Cluster, LinkFault};
+pub use cluster::{Cluster, LinkFault, MAX_FORWARD_HOPS};
 pub use config::{RetryPolicy, RuntimeConfig};
 pub use detector::{DetectorConfig, FailureDetector, Transition};
 pub use ids::{ActorId, RequestId, StageKind};

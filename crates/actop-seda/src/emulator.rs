@@ -9,7 +9,7 @@
 //! and per-sample traces of queue lengths and thread counts.
 
 use actop_metrics::LatencyHistogram;
-use actop_sim::{DetRng, Engine, Nanos, StagePool};
+use actop_sim::{DetRng, Engine, Nanos, StagePool, StageStats};
 
 use crate::controller::{ModelDrivenController, QueueLengthController};
 use crate::estimator::{ParamEstimator, StageKind, StageObservation};
@@ -95,6 +95,46 @@ pub struct Sample {
     pub threads: usize,
 }
 
+/// Whole-run per-stage sojourn accounting, independent of the controller's
+/// windowed statistics. This is what the analytic oracle (`actop-verify`)
+/// compares against the M/M/1 / M/M/c closed forms.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageSojourn {
+    /// Sum of queue waits of started items, nanoseconds.
+    pub total_wait_ns: f64,
+    /// Sum of service times of completed items, nanoseconds.
+    pub total_service_ns: f64,
+    /// Items handed to a thread over the run.
+    pub started: u64,
+    /// Items that finished service over the run.
+    pub completions: u64,
+}
+
+impl StageSojourn {
+    /// Mean queue wait per started item, seconds.
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.started == 0 {
+            0.0
+        } else {
+            self.total_wait_ns / self.started as f64 / 1e9
+        }
+    }
+
+    /// Mean service time per completed item, seconds.
+    pub fn mean_service_secs(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            self.total_service_ns / self.completions as f64 / 1e9
+        }
+    }
+
+    /// Mean sojourn (wait + service), seconds.
+    pub fn mean_sojourn_secs(&self) -> f64 {
+        self.mean_wait_secs() + self.mean_service_secs()
+    }
+}
+
 /// Result of an emulator run.
 #[derive(Debug)]
 pub struct EmulatorResult {
@@ -106,6 +146,14 @@ pub struct EmulatorResult {
     pub completed: u64,
     /// Events that entered the pipeline.
     pub arrived: u64,
+    /// Whole-run per-stage wait/service sums (never reset by controllers).
+    pub stage_sojourn: Vec<StageSojourn>,
+    /// Per-stage statistics drained at the end of the run. With the `Fixed`
+    /// controller nothing drains mid-run, so these cover the whole run and
+    /// `mean_busy() / threads` is the measured utilization; the
+    /// `ModelDriven` controller drains every control tick, leaving only the
+    /// final window here.
+    pub final_stats: Vec<StageStats>,
 }
 
 impl EmulatorResult {
@@ -157,6 +205,8 @@ struct EmuWorld {
     /// Per-stage service-time sums for the current controller window.
     win_service_secs: Vec<f64>,
     win_completions: Vec<u64>,
+    /// Whole-run per-stage accounting for the analytic oracle.
+    sojourn: Vec<StageSojourn>,
     traces: Vec<Vec<Sample>>,
 }
 
@@ -168,7 +218,9 @@ fn service_time(world: &mut EmuWorld, stage: usize) -> Nanos {
 /// Starts as many queued jobs as the stage's free threads allow.
 fn dispatch(world: &mut EmuWorld, engine: &mut Engine<EmuWorld>, stage: usize) {
     let now = engine.now();
-    while let Some((job, _wait)) = world.stages[stage].try_start(now) {
+    while let Some((job, wait)) = world.stages[stage].try_start(now) {
+        world.sojourn[stage].total_wait_ns += wait.as_nanos() as f64;
+        world.sojourn[stage].started += 1;
         let dur = service_time(world, stage);
         engine.schedule_after(dur, move |w: &mut EmuWorld, eng| {
             complete(w, eng, stage, job, dur);
@@ -187,6 +239,8 @@ fn complete(
     world.stages[stage].finish(now);
     world.win_service_secs[stage] += dur.as_secs_f64();
     world.win_completions[stage] += 1;
+    world.sojourn[stage].total_service_ns += dur.as_nanos() as f64;
+    world.sojourn[stage].completions += 1;
     let next = stage + 1;
     if next < world.stages.len() {
         world.stages[next].push(now, job);
@@ -290,6 +344,7 @@ pub fn run_emulator(config: &EmulatorConfig) -> EmulatorResult {
         estimator: ParamEstimator::new(vec![StageKind { blocking: false }; n], 0.5),
         win_service_secs: vec![0.0; n],
         win_completions: vec![0; n],
+        sojourn: vec![StageSojourn::default(); n],
         traces: vec![Vec::new(); n],
     };
     let mut engine: Engine<EmuWorld> = Engine::new();
@@ -300,11 +355,18 @@ pub fn run_emulator(config: &EmulatorConfig) -> EmulatorResult {
     });
     let end = world.end;
     engine.run_until(&mut world, end);
+    let final_stats = world
+        .stages
+        .iter_mut()
+        .map(|s| s.drain_stats(end))
+        .collect();
     EmulatorResult {
         traces: world.traces,
         latency: world.latency,
         completed: world.completed,
         arrived: world.arrived,
+        stage_sojourn: world.sojourn,
+        final_stats,
     }
 }
 
@@ -438,6 +500,30 @@ mod tests {
             err < 0.05,
             "measured {measured:.6}s vs analytic {analytic:.6}s (err {err:.3})"
         );
+        // The per-stage sojourn decomposition must sum back to the
+        // end-to-end mean (small slack: in-flight jobs at the horizon).
+        let per_stage: f64 = result
+            .stage_sojourn
+            .iter()
+            .map(StageSojourn::mean_sojourn_secs)
+            .sum();
+        let decomp_err = (per_stage - measured).abs() / measured;
+        assert!(
+            decomp_err < 0.02,
+            "sojourn decomposition {per_stage:.6}s vs e2e {measured:.6}s"
+        );
+        // Measured utilization from the busy integral: lambda/(s*c).
+        for (i, &(s, c)) in [(500.0f64, 3usize), (300.0, 4), (1_000.0, 2)]
+            .iter()
+            .enumerate()
+        {
+            let rho = result.final_stats[i].mean_busy() / c as f64;
+            let want = lambda / (s * c as f64);
+            assert!(
+                (rho - want).abs() < 0.03,
+                "stage {i}: measured rho {rho:.3} vs analytic {want:.3}"
+            );
+        }
     }
 
     #[test]

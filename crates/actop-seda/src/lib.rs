@@ -25,5 +25,8 @@ pub mod model;
 
 pub use closed_form::{allocate_threads, continuous_allocation, gradient_allocation, integerize};
 pub use controller::{ModelDrivenController, QueueLengthController};
+pub use emulator::{
+    run_emulator, EmuController, EmuStageConfig, EmulatorConfig, EmulatorResult, StageSojourn,
+};
 pub use estimator::{ParamEstimator, StageObservation};
-pub use model::{SedaError, SedaModel, StageParams};
+pub use model::{mm1_latency, mmc_latency, SedaError, SedaModel, StageParams};

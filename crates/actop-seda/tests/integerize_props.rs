@@ -1,0 +1,105 @@
+//! Integerization vs ground truth: on models small enough to enumerate
+//! every integer allocation, the hill-climbed integerization must land on
+//! (or within one thread-swap of) the true integer optimum — and always be
+//! stable and within the CPU budget.
+
+use actop_seda::model::{SedaModel, StageParams};
+use actop_seda::{continuous_allocation, integerize};
+use proptest::prelude::*;
+
+/// Per-stage thread ceiling for the exhaustive search.
+const MAX_THREADS: usize = 12;
+
+/// Small feasible models: 2-4 stages, a budget the search space covers.
+fn arb_small_model() -> impl Strategy<Value = SedaModel> {
+    let stage = (50.0f64..3_000.0, 400.0f64..8_000.0, 0.2f64..=1.0).prop_map(
+        |(lambda, service_rate, beta)| StageParams {
+            lambda,
+            service_rate,
+            beta,
+        },
+    );
+    (
+        proptest::collection::vec(stage, 2..5),
+        4usize..=MAX_THREADS,
+        1e-6f64..1e-3,
+    )
+        .prop_filter_map("feasible small models only", |(stages, p, eta)| {
+            let model = SedaModel::new(stages, p, eta).ok()?;
+            let int_min: f64 = model
+                .stages
+                .iter()
+                .map(|s| ((s.lambda / s.service_rate).floor() + 1.0) * s.beta)
+                .sum();
+            (model.is_feasible() && int_min < model.processors * 0.9).then_some(model)
+        })
+}
+
+/// Exhaustively minimizes the objective over `{1..=MAX_THREADS}^n` valid
+/// allocations. Small models only: the space is `MAX_THREADS^n`.
+fn brute_force_optimum(model: &SedaModel) -> (Vec<usize>, f64) {
+    let n = model.stages.len();
+    let mut t = vec![1usize; n];
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    loop {
+        let t_f: Vec<f64> = t.iter().map(|&x| x as f64).collect();
+        if model.is_valid_allocation(&t_f) {
+            if let Some(obj) = model.objective(&t_f) {
+                if best.as_ref().is_none_or(|(_, b)| obj < *b) {
+                    best = Some((t.clone(), obj));
+                }
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            t[i] += 1;
+            if t[i] <= MAX_THREADS {
+                break;
+            }
+            t[i] = 1;
+            i += 1;
+            if i == n {
+                let (alloc, obj) = best.expect("feasible model has a valid allocation");
+                return (alloc, obj);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Integerization matches exhaustive search: identical objective up to
+    /// float noise, or an allocation within one thread-swap (L1 distance
+    /// <= 2) of the argmin when the objective landscape has near-ties.
+    #[test]
+    fn integerize_matches_exhaustive_search(model in arb_small_model()) {
+        let continuous = continuous_allocation(&model).expect("feasible");
+        let ours = integerize(&model, &continuous).expect("feasible");
+        let ours_f: Vec<f64> = ours.iter().map(|&x| x as f64).collect();
+
+        // Always: stable per stage and within the CPU budget.
+        prop_assert!(model.is_valid_allocation(&ours_f), "invalid: {ours:?}");
+        for (i, stage) in model.stages.iter().enumerate() {
+            prop_assert!(ours[i] as f64 * stage.service_rate > stage.lambda);
+        }
+
+        let ours_obj = model.objective(&ours_f).expect("valid implies stable");
+        let (brute, brute_obj) = brute_force_optimum(&model);
+        prop_assert!(
+            ours_obj + 1e-12 >= brute_obj,
+            "hill climb beat the exhaustive optimum: {ours_obj} < {brute_obj}"
+        );
+        let l1: usize = ours
+            .iter()
+            .zip(&brute)
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum();
+        prop_assert!(
+            ours_obj <= brute_obj * (1.0 + 1e-9) || l1 <= 2,
+            "integerization missed the optimum by more than one swap: \
+             ours {ours:?} (obj {ours_obj}) vs brute {brute:?} (obj {brute_obj}), L1 {l1}"
+        );
+    }
+}

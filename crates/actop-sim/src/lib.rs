@@ -31,5 +31,5 @@ pub use cpu::{CpuTaskId, PsCpu};
 pub use engine::{Engine, EngineReport, EventId, TickFn};
 pub use net::NetworkModel;
 pub use rng::{mix64, DetRng};
-pub use stage::StagePool;
+pub use stage::{StagePool, StageStats};
 pub use time::Nanos;

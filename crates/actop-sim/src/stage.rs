@@ -30,6 +30,10 @@ pub struct StageStats {
     pub total_wait_ns: u128,
     /// Time-weighted integral of the queue length, in item-nanoseconds.
     pub queue_len_integral: f64,
+    /// Time-weighted integral of busy threads, in thread-nanoseconds. Divided
+    /// by `window × threads` this is the measured stage utilization ρ, the
+    /// quantity the analytic M/M/c oracle predicts.
+    pub busy_integral: f64,
     /// Length of the observation window.
     pub window: Nanos,
 }
@@ -61,6 +65,16 @@ impl StageStats {
             0.0
         } else {
             self.queue_len_integral / ns
+        }
+    }
+
+    /// Time-average number of busy threads over the window.
+    pub fn mean_busy(&self) -> f64 {
+        let ns = self.window.as_nanos() as f64;
+        if ns == 0.0 {
+            0.0
+        } else {
+            self.busy_integral / ns
         }
     }
 }
@@ -125,6 +139,7 @@ impl<T> StagePool<T> {
         debug_assert!(now >= self.last_update, "stage time went backwards");
         let dt = (now - self.last_update).as_nanos() as f64;
         self.stats.queue_len_integral += self.queue.len() as f64 * dt;
+        self.stats.busy_integral += self.busy as f64 * dt;
         self.last_update = now;
     }
 
@@ -268,6 +283,8 @@ mod tests {
         // Queue length: 2 items during [0,5), 1 during [5,10), 0 after.
         let expect = (2.0 * 5_000.0 + 1.0 * 5_000.0) / 100_000.0;
         assert!((stats.mean_queue_len() - expect).abs() < 1e-9);
+        // Busy thread: [5,10) and [10,20) -> 15 us of busy time.
+        assert!((stats.mean_busy() - 15_000.0 / 100_000.0).abs() < 1e-9);
         // A fresh window starts empty.
         let stats2 = stage.drain_stats(us(200));
         assert_eq!(stats2.arrivals, 0);

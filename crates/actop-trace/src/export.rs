@@ -12,6 +12,9 @@
 
 use std::fmt::Write as _;
 
+use actop_sim::Nanos;
+
+use crate::json::{parse_json, Json};
 use crate::span::{HopKind, SpanEvent, NO_SERVER, PROC_LABEL, QUEUE_LABEL};
 use crate::tracer::Tracer;
 
@@ -221,6 +224,41 @@ pub fn spans_jsonl(tracer: &Tracer) -> String {
     out
 }
 
+/// Parses a [`spans_jsonl`] document back into span events (the inverse
+/// of the JSONL exporter; blank lines are skipped). This is the entry
+/// point for offline trace tools — notably the `actop-verify` invariant
+/// checker — that consume exported traces rather than a live [`Tracer`].
+pub fn parse_spans_jsonl(text: &str) -> Result<Vec<SpanEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let field = |name: &str| -> Result<f64, String> {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: missing numeric field '{name}'", lineno + 1))
+        };
+        let kind_name = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing string field 'kind'", lineno + 1))?;
+        let kind = HopKind::from_name(kind_name)
+            .ok_or_else(|| format!("line {}: unknown hop kind '{kind_name}'", lineno + 1))?;
+        out.push(SpanEvent {
+            request: field("req")? as u64,
+            kind,
+            server: field("server")? as u32,
+            stage: field("stage")? as u8,
+            aux: field("aux")? as u64,
+            t_start: Nanos(field("t0_ns")? as u64),
+            t_end: Nanos(field("t1_ns")? as u64),
+        });
+    }
+    Ok(out)
+}
+
 /// Serializes the flight-recorder dumps as one JSON document.
 pub fn flight_json(tracer: &Tracer) -> String {
     let mut out = String::from("{\"dumps\":[\n");
@@ -363,6 +401,16 @@ mod tests {
         for line in jsonl.lines() {
             crate::json::parse_json(line).expect("each line parses");
         }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parser() {
+        let t = demo_tracer();
+        let jsonl = spans_jsonl(&t);
+        let parsed = parse_spans_jsonl(&jsonl).expect("round trip");
+        assert_eq!(parsed, t.spans());
+        assert!(parse_spans_jsonl("{\"kind\":\"nope\"}\n").is_err());
+        assert!(parse_spans_jsonl("not json\n").is_err());
     }
 
     #[test]

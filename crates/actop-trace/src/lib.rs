@@ -33,7 +33,7 @@ pub mod json;
 pub mod span;
 pub mod tracer;
 
-pub use export::{chrome_trace, decompose, flight_json, spans_jsonl};
+pub use export::{chrome_trace, decompose, flight_json, parse_spans_jsonl, spans_jsonl};
 pub use json::{parse_json, validate_chrome_trace, ChromeTraceStats, Json};
 pub use span::{HopKind, SpanEvent, NO_SERVER, NO_STAGE, PROC_LABEL, QUEUE_LABEL};
 pub use tracer::{FlightDump, TraceConfig, Tracer};

@@ -107,6 +107,36 @@ pub enum HopKind {
 }
 
 impl HopKind {
+    /// Every kind, in declaration order. Checkers and exporters that build
+    /// per-kind histograms iterate this instead of hand-listing variants.
+    pub const ALL: [HopKind; 20] = [
+        HopKind::GatewayAdmit,
+        HopKind::Shed,
+        HopKind::QueueWait,
+        HopKind::Service,
+        HopKind::Network,
+        HopKind::LocalDispatch,
+        HopKind::RemoteDispatch,
+        HopKind::Forward,
+        HopKind::FailoverRetry,
+        HopKind::Migration,
+        HopKind::Timeout,
+        HopKind::ServerFail,
+        HopKind::StaleResponse,
+        HopKind::ClientDone,
+        HopKind::MsgLost,
+        HopKind::Retry,
+        HopKind::Suspect,
+        HopKind::Unsuspect,
+        HopKind::DirRepair,
+        HopKind::MigrationAbort,
+    ];
+
+    /// Inverse of [`HopKind::name`], for JSONL re-import.
+    pub fn from_name(name: &str) -> Option<HopKind> {
+        HopKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Short display name (also the Chrome trace event name).
     pub fn name(self) -> &'static str {
         match self {
@@ -223,31 +253,17 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let kinds = [
-            HopKind::GatewayAdmit,
-            HopKind::Shed,
-            HopKind::QueueWait,
-            HopKind::Service,
-            HopKind::Network,
-            HopKind::LocalDispatch,
-            HopKind::RemoteDispatch,
-            HopKind::Forward,
-            HopKind::FailoverRetry,
-            HopKind::Migration,
-            HopKind::Timeout,
-            HopKind::ServerFail,
-            HopKind::StaleResponse,
-            HopKind::ClientDone,
-            HopKind::MsgLost,
-            HopKind::Retry,
-            HopKind::Suspect,
-            HopKind::Unsuspect,
-            HopKind::DirRepair,
-            HopKind::MigrationAbort,
-        ];
-        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        let mut names: Vec<&str> = HopKind::ALL.iter().map(|k| k.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), kinds.len());
+        assert_eq!(names.len(), HopKind::ALL.len());
+    }
+
+    #[test]
+    fn from_name_round_trips_every_kind() {
+        for kind in HopKind::ALL {
+            assert_eq!(HopKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(HopKind::from_name("no-such-kind"), None);
     }
 }

@@ -1,0 +1,92 @@
+//! Scenario fuzzer: random (workload × fault plan × controllers × thread
+//! allocation) points through the full runtime and the trace lifecycle
+//! checker, shrinking any failure to a minimal reproducer.
+//!
+//! Each seed is fully deterministic — the wall-clock budget only decides
+//! *how many* seeds run, never what any seed does — so a failure report
+//! is reproducible from its seed alone (see EXPERIMENTS.md).
+//!
+//! Environment:
+//!   ACTOP_FUZZ_SECS    wall-clock budget in seconds (default 10)
+//!   ACTOP_FUZZ_SEEDS   comma-separated seeds to run first (CI pins these);
+//!                      the budget then continues from max(seeds)+1
+//!   ACTOP_FUZZ_START   first sequential seed when no list is given
+//!                      (default 1)
+//!
+//! Exits nonzero on the first failing scenario, after printing its shrunk
+//! reproducer.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use actop_verify::fuzz_one;
+
+/// Re-run budget for shrinking one failure.
+const SHRINK_BUDGET: usize = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn pinned_seeds() -> Vec<u64> {
+    std::env::var("ACTOP_FUZZ_SEEDS")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_default()
+}
+
+fn main() -> ExitCode {
+    let budget_secs = env_u64("ACTOP_FUZZ_SECS", 10);
+    let pinned = pinned_seeds();
+    let next_seed = pinned
+        .iter()
+        .max()
+        .map(|&m| m + 1)
+        .unwrap_or_else(|| env_u64("ACTOP_FUZZ_START", 1));
+
+    println!(
+        "fuzz: budget {budget_secs}s, {} pinned seeds, then sequential from {next_seed}",
+        pinned.len()
+    );
+    let start = Instant::now();
+    let mut ran = 0usize;
+    let pinned_count = pinned.len();
+    let seeds = pinned.into_iter().chain(next_seed..);
+    for seed in seeds {
+        // Pinned seeds always run, even past the budget: CI pins exactly
+        // the set it requires green. Past them, the budget decides — but
+        // at least one scenario always runs.
+        let within_budget = start.elapsed().as_secs() < budget_secs;
+        if ran >= pinned_count.max(1) && !within_budget {
+            break;
+        }
+        let (scenario, outcome) = fuzz_one(seed, SHRINK_BUDGET);
+        ran += 1;
+        if outcome.is_ok() {
+            println!(
+                "  seed {seed}: ok — {} events, {} lifecycles, {} completed, {} faults",
+                outcome.report.events,
+                outcome.report.lifecycles,
+                outcome.summary.completed,
+                scenario.plan.events.len()
+            );
+        } else {
+            println!("  seed {seed}: FAILED — shrunk reproducer:");
+            println!("{}", scenario.describe());
+            for f in &outcome.failures {
+                println!("    {f}");
+            }
+            println!(
+                "reproduce: run_scenario on the scenario above, or fuzz_one({seed}, {SHRINK_BUDGET})"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "fuzz: {ran} scenarios clean in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,182 @@
+//! Order-insensitive trace digests and server relabeling.
+//!
+//! A [`TraceDigest`] condenses an event stream into counts that are stable
+//! across refactors of recording *order* but sensitive to what actually
+//! happened: total events, the per-kind histogram, and the distinct server
+//! and request populations. The golden-trace test pins one digest; the
+//! relabeling metamorphic law uses digests to state "permuting server ids
+//! permutes per-server counts but preserves every aggregate".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use actop_trace::{HopKind, SpanEvent, NO_SERVER};
+
+/// Aggregate fingerprint of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDigest {
+    /// Total events.
+    pub events: usize,
+    /// Events per kind, `HopKind::ALL` order, zero entries included.
+    pub kind_counts: Vec<(&'static str, usize)>,
+    /// Events per server id ([`NO_SERVER`] included when present).
+    pub server_counts: BTreeMap<u32, usize>,
+    /// Distinct request-field values (request ids for request-scoped
+    /// kinds, actor/server ids for lifecycle kinds — still a stable
+    /// population count for a deterministic run).
+    pub distinct_requests: usize,
+}
+
+impl TraceDigest {
+    /// Computes the digest of an event stream.
+    pub fn of(events: &[SpanEvent]) -> Self {
+        let mut kind_counts: Vec<(&'static str, usize)> =
+            HopKind::ALL.iter().map(|k| (k.name(), 0)).collect();
+        let mut server_counts = BTreeMap::new();
+        let mut requests = std::collections::HashSet::new();
+        for ev in events {
+            kind_counts[ev.kind as usize].1 += 1;
+            *server_counts.entry(ev.server).or_insert(0) += 1;
+            requests.insert(ev.request);
+        }
+        TraceDigest {
+            events: events.len(),
+            kind_counts,
+            server_counts,
+            distinct_requests: requests.len(),
+        }
+    }
+
+    /// Count for one kind by display name (0 for unknown names).
+    pub fn kind(&self, name: &str) -> usize {
+        self.kind_counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// The server-id-insensitive part of the digest: totals, kind
+    /// histogram, distinct populations, and the *multiset* of per-server
+    /// counts. Two traces that differ only by a server relabeling compare
+    /// equal under this view.
+    pub fn unlabeled(&self) -> (usize, Vec<(&'static str, usize)>, Vec<usize>, usize) {
+        let mut per_server: Vec<usize> = self.server_counts.values().copied().collect();
+        per_server.sort_unstable();
+        (
+            self.events,
+            self.kind_counts.clone(),
+            per_server,
+            self.distinct_requests,
+        )
+    }
+}
+
+impl fmt::Display for TraceDigest {
+    /// Stable single-line form, suitable for pinning in a golden test.
+    /// Zero-count kinds are omitted.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} servers={} requests={}",
+            self.events,
+            self.server_counts.len(),
+            self.distinct_requests
+        )?;
+        for (name, count) in &self.kind_counts {
+            if *count > 0 {
+                write!(f, " {name}={count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites every server-valued field of the stream through `map`:
+/// the `server` field everywhere, the destination server in `aux` for
+/// server-to-server [`HopKind::Network`] hops and [`HopKind::Migration`],
+/// and the server id carried in `request` by [`HopKind::Suspect`] /
+/// [`HopKind::Unsuspect`]. [`NO_SERVER`] sentinels pass through unchanged.
+pub fn relabel_servers(events: &[SpanEvent], map: impl Fn(u32) -> u32) -> Vec<SpanEvent> {
+    let map_id = |id: u32| if id == NO_SERVER { id } else { map(id) };
+    events
+        .iter()
+        .map(|ev| {
+            let mut out = *ev;
+            out.server = map_id(ev.server);
+            match ev.kind {
+                // aux 0 on a client→gateway network hop means "from the
+                // client", and NO_SERVER (as u64) marks a response hop;
+                // only genuine server ids are rewritten.
+                HopKind::Network | HopKind::Migration
+                    if ev.aux != 0 && ev.aux != NO_SERVER as u64 =>
+                {
+                    out.aux = map_id(ev.aux as u32) as u64;
+                }
+                HopKind::Suspect | HopKind::Unsuspect => {
+                    out.request = map_id(ev.request as u32) as u64;
+                }
+                _ => {}
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actop_sim::Nanos;
+
+    fn ev(request: u64, kind: HopKind, server: u32, aux: u64) -> SpanEvent {
+        SpanEvent::instant(request, kind, server, aux, Nanos::from_micros(request))
+    }
+
+    #[test]
+    fn digest_counts_and_display() {
+        let events = vec![
+            ev(1, HopKind::GatewayAdmit, 0, 0),
+            ev(1, HopKind::Service, 1, 0),
+            ev(1, HopKind::ClientDone, NO_SERVER, 0),
+            ev(2, HopKind::GatewayAdmit, 0, 0),
+        ];
+        let d = TraceDigest::of(&events);
+        assert_eq!(d.events, 4);
+        assert_eq!(d.kind("admit"), 2);
+        assert_eq!(d.kind("service"), 1);
+        assert_eq!(d.distinct_requests, 2);
+        assert_eq!(d.server_counts[&0], 2);
+        let line = d.to_string();
+        assert!(line.starts_with("events=4 servers=3 requests=2"));
+        assert!(line.contains("admit=2"));
+        assert!(!line.contains("shed"), "zero kinds omitted: {line}");
+    }
+
+    #[test]
+    fn relabeling_preserves_unlabeled_digest() {
+        let events = vec![
+            ev(1, HopKind::GatewayAdmit, 0, 0),
+            ev(1, HopKind::Network, 0, 2), // Server-to-server: aux is a dst.
+            ev(1, HopKind::Network, 2, NO_SERVER as u64), // Response hop.
+            ev(5, HopKind::Suspect, 1, 0), // request 5 is a server id.
+            ev(9, HopKind::Migration, 0, 2),
+            ev(1, HopKind::ClientDone, NO_SERVER, 0),
+        ];
+        // Swap servers 0 and 2 (and map 5 → 5: ids outside the swap stay).
+        let swapped = relabel_servers(&events, |s| match s {
+            0 => 2,
+            2 => 0,
+            other => other,
+        });
+        assert_eq!(swapped[1].server, 2);
+        assert_eq!(swapped[1].aux, 0);
+        assert_eq!(swapped[2].server, 0);
+        assert_eq!(swapped[2].aux, NO_SERVER as u64, "sentinel preserved");
+        assert_eq!(swapped[4].aux, 0);
+        assert_eq!(swapped[5].server, NO_SERVER, "done stays at the client");
+        let before = TraceDigest::of(&events);
+        let after = TraceDigest::of(&swapped);
+        assert_ne!(before.server_counts, after.server_counts);
+        assert_eq!(before.unlabeled(), after.unlabeled());
+    }
+}

@@ -1,0 +1,681 @@
+//! Streaming lifecycle-invariant checker over recorded trace events.
+//!
+//! The runtime's tracer records every observable step of a request's life
+//! in simulation time; this module replays a recorded event stream (a live
+//! `Tracer`'s spans or a re-imported `.spans.jsonl` file) and enforces the
+//! invariants the runtime promises:
+//!
+//! * **Per-server monotone sim-time** — events are recorded in global
+//!   event-loop order, so each server's stream is monotone in its record
+//!   time (span end for queue/service spans, span *start* for network
+//!   spans, which are recorded at send time with a known arrival).
+//! * **Well-formed, well-nested spans** — `t_start ≤ t_end` everywhere;
+//!   no activity for a request precedes its admission, and for requests
+//!   that complete, none follows the completion.
+//! * **Exactly one terminal per admitted lifecycle** — every `admit`
+//!   reaches exactly one of done/timeout/shed before the request id is
+//!   admitted again (ids are slab handles and recur); requests still in
+//!   flight near the end of the trace are exempted by a grace window.
+//! * **No work on a dead server** — queue-wait and service spans never
+//!   overlap a crash window of the installed [`FaultPlan`] (crashes wipe
+//!   queues and cancel in-progress work).
+//! * **Migration transfer windows never overlap an endpoint crash** — a
+//!   committed migration implies both endpoints were up for the whole
+//!   transfer window (crashes abort in-flight migrations).
+//! * **Forward-hop bound** — a lifecycle accumulates at most
+//!   [`MAX_FORWARD_HOPS`] re-routes (the runtime cuts forwarding loops).
+//!
+//! The checker is a library first (tests call [`check_events`] on live
+//! tracers) and a CLI second (the `check_trace` binary feeds it JSONL).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use actop_chaos::CrashWindows;
+use actop_runtime::MAX_FORWARD_HOPS;
+use actop_sim::Nanos;
+use actop_trace::{parse_spans_jsonl, HopKind, SpanEvent, NO_SERVER};
+
+/// Checker parameters. [`Default`] checks a fault-free, migration-instant
+/// trace with the runtime's forward-hop cap and a 5 s in-flight grace.
+#[derive(Debug, Clone)]
+pub struct CheckerConfig {
+    /// Per-server down windows of the fault plan driven during the run
+    /// (empty = fault-free).
+    pub crash_windows: CrashWindows,
+    /// The run's `RuntimeConfig::migration_transfer`, if set: a committed
+    /// migration at `t` implies both endpoints were up over `(t-Δ, t)`.
+    pub migration_transfer: Option<Nanos>,
+    /// Maximum re-routes per lifecycle.
+    pub max_forward_hops: u32,
+    /// Lifecycles still open at end-of-trace are violations only when
+    /// their admission is older than this, measured from the last record
+    /// time in the trace. Runs stop at a horizon with requests genuinely
+    /// in flight; anything older than the run's timeout must have
+    /// produced a terminal. Set at least `2 × request_timeout`.
+    pub open_at_end_grace: Nanos,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            crash_windows: CrashWindows::default(),
+            migration_transfer: None,
+            max_forward_hops: MAX_FORWARD_HOPS as u32,
+            open_at_end_grace: Nanos::from_secs(5),
+        }
+    }
+}
+
+/// One invariant violation, pinned to the offending event.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Index of the event in recording order (`usize::MAX` for
+    /// end-of-trace findings).
+    pub index: usize,
+    /// The request (or actor, for migration rules) involved.
+    pub request: u64,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.index == usize::MAX {
+            write!(
+                f,
+                "[end-of-trace] {} req={}: {}",
+                self.rule, self.request, self.detail
+            )
+        } else {
+            write!(
+                f,
+                "[event {}] {} req={}: {}",
+                self.index, self.rule, self.request, self.detail
+            )
+        }
+    }
+}
+
+/// The checker's verdict over one event stream.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Events examined.
+    pub events: usize,
+    /// Request lifecycles opened by an admit.
+    pub lifecycles: usize,
+    /// Terminal events consumed (done / timeout / shed).
+    pub terminals: usize,
+    /// Lifecycles open at end-of-trace inside the grace window (benign
+    /// in-flight residue).
+    pub in_flight_at_end: usize,
+    /// Events per [`HopKind`], in `HopKind::ALL` order.
+    pub kind_counts: Vec<(&'static str, usize)>,
+    /// All violations found, in stream order.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count of a kind by its display name (0 for unknown names).
+    pub fn kind_count(&self, name: &str) -> usize {
+        self.kind_counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+}
+
+/// The record time of an event: the sim time the runtime emitted it.
+/// Queue-wait and service spans are recorded at their end (starts are
+/// backdated); network spans are recorded at send time with a known
+/// arrival; instants have `t_start == t_end`.
+fn record_time(ev: &SpanEvent) -> Nanos {
+    match ev.kind {
+        HopKind::Network => ev.t_start,
+        _ => ev.t_end,
+    }
+}
+
+/// True for kinds whose `request` field is a client-request id (as opposed
+/// to lifecycle events, which carry actor or server ids there).
+fn is_request_scoped(kind: HopKind) -> bool {
+    !kind.is_lifecycle()
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Life {
+    admitted_at: Nanos,
+    admit_index: usize,
+    forwards: u32,
+    /// Latest activity end seen for this lifecycle.
+    last_activity: Nanos,
+}
+
+/// Checks an event stream (a `Tracer`'s spans or re-parsed JSONL, in
+/// recording order) against every lifecycle invariant.
+pub fn check_events(events: &[SpanEvent], cfg: &CheckerConfig) -> CheckReport {
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut kind_counts: Vec<(&'static str, usize)> =
+        HopKind::ALL.iter().map(|k| (k.name(), 0)).collect();
+    let mut last_record: HashMap<u32, Nanos> = HashMap::new();
+    let mut open: HashMap<u64, Life> = HashMap::new();
+    // Requests that have completed at least one full lifecycle, with the
+    // kind of their latest terminal (ids recur; a re-admit resets this).
+    let mut terminated: HashMap<u64, HopKind> = HashMap::new();
+    let mut lifecycles = 0usize;
+    let mut terminals = 0usize;
+    let mut trace_end = Nanos::ZERO;
+
+    for (i, ev) in events.iter().enumerate() {
+        kind_counts[ev.kind as usize].1 += 1;
+        let rt = record_time(ev);
+        trace_end = trace_end.max(rt);
+
+        // Well-formed interval.
+        if ev.t_start > ev.t_end {
+            violations.push(Violation {
+                index: i,
+                request: ev.request,
+                rule: "inverted-span",
+                detail: format!(
+                    "{} t_start {} > t_end {}",
+                    ev.kind.name(),
+                    ev.t_start.as_nanos(),
+                    ev.t_end.as_nanos()
+                ),
+            });
+        }
+
+        // Per-server monotone record time.
+        let slot = last_record.entry(ev.server).or_insert(Nanos::ZERO);
+        if rt < *slot {
+            violations.push(Violation {
+                index: i,
+                request: ev.request,
+                rule: "time-regression",
+                detail: format!(
+                    "server {} record time {} after {}",
+                    ev.server,
+                    rt.as_nanos(),
+                    slot.as_nanos()
+                ),
+            });
+        } else {
+            *slot = rt;
+        }
+
+        // No queued or in-service work on a dead server.
+        if matches!(ev.kind, HopKind::QueueWait | HopKind::Service)
+            && cfg.crash_windows.overlaps(ev.server, ev.t_start, ev.t_end)
+        {
+            violations.push(Violation {
+                index: i,
+                request: ev.request,
+                rule: "service-during-crash",
+                detail: format!(
+                    "{} [{}, {}] overlaps a crash window of server {}",
+                    ev.kind.name(),
+                    ev.t_start.as_nanos(),
+                    ev.t_end.as_nanos(),
+                    ev.server
+                ),
+            });
+        }
+
+        // Migration commits imply both endpoints lived through the
+        // transfer window.
+        if ev.kind == HopKind::Migration {
+            let from = ev
+                .t_start
+                .saturating_sub(cfg.migration_transfer.unwrap_or(Nanos::ZERO));
+            for endpoint in [ev.server, ev.aux as u32] {
+                if cfg.crash_windows.overlaps(endpoint, from, ev.t_end)
+                    || cfg.crash_windows.is_down(endpoint, ev.t_end)
+                {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "migration-over-crash",
+                        detail: format!(
+                            "transfer window [{}, {}] overlaps a crash of server {endpoint}",
+                            from.as_nanos(),
+                            ev.t_end.as_nanos()
+                        ),
+                    });
+                }
+            }
+        }
+
+        if !is_request_scoped(ev.kind) {
+            continue;
+        }
+
+        match ev.kind {
+            HopKind::GatewayAdmit => {
+                if let Some(life) = open.get(&ev.request) {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "readmit-without-terminal",
+                        detail: format!(
+                            "already admitted at event {} ({}) with no terminal since",
+                            life.admit_index,
+                            life.admitted_at.as_nanos()
+                        ),
+                    });
+                }
+                terminated.remove(&ev.request);
+                open.insert(
+                    ev.request,
+                    Life {
+                        admitted_at: ev.t_start,
+                        admit_index: i,
+                        forwards: 0,
+                        last_activity: ev.t_end,
+                    },
+                );
+                lifecycles += 1;
+            }
+            HopKind::ClientDone | HopKind::Timeout | HopKind::Shed => {
+                match open.remove(&ev.request) {
+                    Some(life) => {
+                        terminals += 1;
+                        if ev.kind == HopKind::ClientDone && life.last_activity > ev.t_end {
+                            violations.push(Violation {
+                                index: i,
+                                request: ev.request,
+                                rule: "activity-after-done",
+                                detail: format!(
+                                    "span activity at {} exceeds completion at {}",
+                                    life.last_activity.as_nanos(),
+                                    ev.t_end.as_nanos()
+                                ),
+                            });
+                        }
+                        terminated.insert(ev.request, ev.kind);
+                    }
+                    None => {
+                        // The total-cluster-loss path sheds at admission
+                        // without recording an admit: a standalone shed at
+                        // the client sentinel is one whole lifecycle.
+                        if ev.kind == HopKind::Shed && ev.server == NO_SERVER {
+                            lifecycles += 1;
+                            terminals += 1;
+                            terminated.insert(ev.request, ev.kind);
+                        } else {
+                            violations.push(Violation {
+                                index: i,
+                                request: ev.request,
+                                rule: "terminal-without-admit",
+                                detail: format!("{} with no open lifecycle", ev.kind.name()),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Non-terminal request activity.
+                match open.get_mut(&ev.request) {
+                    Some(life) => {
+                        if ev.t_start < life.admitted_at {
+                            violations.push(Violation {
+                                index: i,
+                                request: ev.request,
+                                rule: "activity-before-admit",
+                                detail: format!(
+                                    "{} starts at {} before admission at {}",
+                                    ev.kind.name(),
+                                    ev.t_start.as_nanos(),
+                                    life.admitted_at.as_nanos()
+                                ),
+                            });
+                        }
+                        life.last_activity = life.last_activity.max(ev.t_end);
+                        if ev.kind == HopKind::Forward {
+                            life.forwards += 1;
+                            if life.forwards > cfg.max_forward_hops {
+                                violations.push(Violation {
+                                    index: i,
+                                    request: ev.request,
+                                    rule: "forward-hop-cap",
+                                    detail: format!(
+                                        "{} forwards exceed the cap of {}",
+                                        life.forwards, cfg.max_forward_hops
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    None => match terminated.get(&ev.request) {
+                        // After a timeout the abandoned request's messages
+                        // are still in flight; their spans, losses,
+                        // retries, and stale responses are legal.
+                        Some(HopKind::Timeout) => {}
+                        Some(term) => violations.push(Violation {
+                            index: i,
+                            request: ev.request,
+                            rule: "activity-after-terminal",
+                            detail: format!(
+                                "{} after lifecycle ended with {}",
+                                ev.kind.name(),
+                                term.name()
+                            ),
+                        }),
+                        None => violations.push(Violation {
+                            index: i,
+                            request: ev.request,
+                            rule: "orphan-activity",
+                            detail: format!("{} for a never-admitted request", ev.kind.name()),
+                        }),
+                    },
+                }
+            }
+        }
+    }
+
+    // End of trace: open lifecycles are fine only inside the grace window
+    // (genuinely in flight at the horizon).
+    let mut in_flight_at_end = 0usize;
+    let cutoff = trace_end.saturating_sub(cfg.open_at_end_grace);
+    let mut stuck: Vec<(&u64, &Life)> = open
+        .iter()
+        .filter(|(_, life)| life.admitted_at < cutoff)
+        .collect();
+    stuck.sort_by_key(|(_, life)| life.admit_index);
+    for (&request, life) in &stuck {
+        violations.push(Violation {
+            index: usize::MAX,
+            request,
+            rule: "missing-terminal",
+            detail: format!(
+                "admitted at event {} ({}) but no done/timeout/shed by trace end ({})",
+                life.admit_index,
+                life.admitted_at.as_nanos(),
+                trace_end.as_nanos()
+            ),
+        });
+    }
+    in_flight_at_end += open.len() - stuck.len();
+
+    CheckReport {
+        events: events.len(),
+        lifecycles,
+        terminals,
+        in_flight_at_end,
+        kind_counts,
+        violations,
+    }
+}
+
+/// Parses a `.spans.jsonl` document and checks it. Errors are malformed
+/// input (not invariant violations — those are in the report).
+pub fn check_jsonl(text: &str, cfg: &CheckerConfig) -> Result<CheckReport, String> {
+    Ok(check_events(&parse_spans_jsonl(text)?, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Nanos {
+        Nanos::from_micros(v)
+    }
+
+    fn admit(req: u64, server: u32, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(req, HopKind::GatewayAdmit, server, 0, at)
+    }
+
+    fn done(req: u64, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(req, HopKind::ClientDone, NO_SERVER, 0, at)
+    }
+
+    fn service(req: u64, server: u32, t0: Nanos, t1: Nanos) -> SpanEvent {
+        SpanEvent {
+            request: req,
+            kind: HopKind::Service,
+            server,
+            stage: 1,
+            aux: 0,
+            t_start: t0,
+            t_end: t1,
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let events = vec![
+            admit(1, 0, us(10)),
+            service(1, 0, us(12), us(40)),
+            done(1, us(50)),
+            admit(1, 0, us(60)), // Slab id reuse after the terminal: legal.
+            service(1, 0, us(61), us(80)),
+            done(1, us(90)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.lifecycles, 2);
+        assert_eq!(report.terminals, 2);
+        assert_eq!(report.kind_count("service"), 2);
+    }
+
+    #[test]
+    fn missing_terminal_is_flagged_outside_grace() {
+        let cfg = CheckerConfig {
+            open_at_end_grace: us(100),
+            ..CheckerConfig::default()
+        };
+        let events = vec![
+            admit(1, 0, us(10)), // Stuck: trace runs another 500 us.
+            admit(2, 0, us(550)),
+            service(2, 0, us(551), us(600)), // Request 2 is in-flight residue.
+        ];
+        let report = check_events(&events, &cfg);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "missing-terminal");
+        assert_eq!(report.violations[0].request, 1);
+        assert_eq!(report.in_flight_at_end, 1);
+    }
+
+    #[test]
+    fn readmit_without_terminal_is_flagged() {
+        let events = vec![admit(1, 0, us(10)), admit(1, 0, us(20)), done(1, us(30))];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "readmit-without-terminal");
+    }
+
+    #[test]
+    fn terminal_without_admit_and_standalone_shed() {
+        let events = vec![
+            done(7, us(10)),
+            SpanEvent::instant(9, HopKind::Shed, NO_SERVER, 0, us(20)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "terminal-without-admit");
+        assert_eq!(report.lifecycles, 1, "the no-live-server shed counts");
+        assert_eq!(report.terminals, 1);
+    }
+
+    #[test]
+    fn time_regression_per_server_is_flagged() {
+        let events = vec![
+            admit(1, 0, us(50)),
+            admit(2, 1, us(20)), // Different server: fine.
+            admit(3, 0, us(30)), // Server 0 went backwards.
+            done(1, us(60)),
+            done(2, us(61)),
+            done(3, us(62)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "time-regression");
+        assert_eq!(report.violations[0].request, 3);
+    }
+
+    #[test]
+    fn network_spans_use_send_time_for_monotonicity() {
+        // A network span is recorded at send time with a future arrival;
+        // a later event with an earlier *end* is still in order.
+        let events = vec![
+            admit(1, 0, us(10)),
+            SpanEvent {
+                request: 1,
+                kind: HopKind::Network,
+                server: 0,
+                stage: actop_trace::NO_STAGE,
+                aux: 1,
+                t_start: us(20),
+                t_end: us(500), // Arrival far in the future.
+            },
+            service(1, 0, us(21), us(30)), // Recorded at 30 < 500: legal.
+            done(1, us(501)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn service_during_crash_window_is_flagged() {
+        let mut plan = actop_chaos::FaultPlan::new("t");
+        plan.push(us(100), actop_chaos::Fault::Crash { server: 0 });
+        plan.push(us(200), actop_chaos::Fault::Recover { server: 0 });
+        let cfg = CheckerConfig {
+            crash_windows: plan.crash_windows(2, Nanos::ZERO, us(1_000)),
+            ..CheckerConfig::default()
+        };
+        let events = vec![
+            admit(1, 1, us(10)),
+            service(1, 0, us(120), us(150)), // Inside server 0's crash.
+            service(1, 1, us(120), us(150)), // Server 1 is alive: fine.
+            done(1, us(160)),
+        ];
+        let report = check_events(&events, &cfg);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "service-during-crash");
+    }
+
+    #[test]
+    fn migration_over_crash_is_flagged() {
+        let mut plan = actop_chaos::FaultPlan::new("t");
+        plan.push(us(100), actop_chaos::Fault::Crash { server: 2 });
+        plan.push(us(140), actop_chaos::Fault::Recover { server: 2 });
+        let cfg = CheckerConfig {
+            crash_windows: plan.crash_windows(3, Nanos::ZERO, us(1_000)),
+            migration_transfer: Some(us(50)),
+            ..CheckerConfig::default()
+        };
+        // Commit at 160: transfer window (110, 160) overlaps the crash.
+        let bad = SpanEvent::instant(77, HopKind::Migration, 1, 2, us(160));
+        let report = check_events(&[bad], &cfg);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "migration-over-crash");
+        // Commit at 250: window (200, 250) clears the healed crash.
+        let good = SpanEvent::instant(77, HopKind::Migration, 1, 2, us(250));
+        assert!(check_events(&[good], &cfg).is_clean());
+    }
+
+    #[test]
+    fn forward_hop_cap_is_enforced() {
+        let mut events = vec![admit(1, 0, us(10))];
+        for i in 0..40 {
+            events.push(SpanEvent::instant(
+                1,
+                HopKind::Forward,
+                (i % 3) as u32,
+                0,
+                us(11 + i),
+            ));
+        }
+        events.push(done(1, us(100)));
+        let report = check_events(&events, &CheckerConfig::default());
+        let caps: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "forward-hop-cap")
+            .collect();
+        assert_eq!(caps.len(), 40 - MAX_FORWARD_HOPS as usize);
+    }
+
+    #[test]
+    fn post_timeout_activity_is_legal_but_post_done_is_not() {
+        let events = vec![
+            admit(1, 0, us(10)),
+            SpanEvent::instant(1, HopKind::Timeout, 0, 0, us(100)),
+            service(1, 0, us(120), us(150)), // Abandoned work completes.
+            SpanEvent::instant(1, HopKind::StaleResponse, 0, 0, us(160)),
+            admit(2, 0, us(200)),
+            done(2, us(220)),
+            service(2, 0, us(230), us(240)), // After done: must not happen.
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "activity-after-terminal");
+        assert_eq!(report.violations[0].request, 2);
+    }
+
+    #[test]
+    fn inverted_span_and_orphan_are_flagged() {
+        let events = vec![
+            SpanEvent {
+                request: 5,
+                kind: HopKind::Service,
+                server: 0,
+                stage: 0,
+                aux: 0,
+                t_start: us(50),
+                t_end: us(40),
+            },
+            SpanEvent::instant(6, HopKind::Retry, 1, 1, us(60)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"inverted-span"));
+        assert!(rules.contains(&"orphan-activity"));
+    }
+
+    #[test]
+    fn lifecycle_events_are_not_request_scoped() {
+        // Suspect/unsuspect carry a *server* id in the request field and
+        // must not trip the orphan rule.
+        let events = vec![
+            SpanEvent::instant(3, HopKind::Suspect, 0, 0, us(10)),
+            SpanEvent::instant(3, HopKind::Unsuspect, 0, 0, us(20)),
+            SpanEvent::instant(0, HopKind::ServerFail, 2, 0, us(30)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn jsonl_entry_point_matches_events() {
+        let events = [admit(1, 0, us(10)), done(1, us(50))];
+        let jsonl: String = events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"req\":{},\"kind\":\"{}\",\"server\":{},\"stage\":{},\"aux\":{},\"t0_ns\":{},\"t1_ns\":{}}}\n",
+                    e.request,
+                    e.kind.name(),
+                    e.server,
+                    e.stage,
+                    e.aux,
+                    e.t_start.as_nanos(),
+                    e.t_end.as_nanos()
+                )
+            })
+            .collect();
+        let report = check_jsonl(&jsonl, &CheckerConfig::default()).expect("parses");
+        assert!(report.is_clean());
+        assert_eq!(report.events, 2);
+        assert!(check_jsonl("junk", &CheckerConfig::default()).is_err());
+    }
+}

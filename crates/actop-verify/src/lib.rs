@@ -1,0 +1,38 @@
+//! Model-based verification for the ActOp reproduction.
+//!
+//! Everything else in this workspace *produces* behavior; this crate
+//! checks it, three independent ways:
+//!
+//! * [`oracle`] — the analytic oracle. The SEDA emulator is an open
+//!   Jackson network, so M/M/1 (the paper's Eq. 1, via the allocator's own
+//!   [`SedaModel`](actop_seda::SedaModel)) and exact M/M/c closed forms
+//!   predict its per-stage sojourns and end-to-end latency. The oracle
+//!   drives matched workloads and reports predicted-vs-measured error,
+//!   including the divergence as utilization → 1 (`bench_validate` emits
+//!   it as `BENCH_validate.json`).
+//! * [`invariants`] — the trace lifecycle checker. A streaming pass over
+//!   recorded [`SpanEvent`](actop_trace::SpanEvent)s enforcing per-server
+//!   monotone sim-time, exactly-one-terminal per admitted request, no
+//!   service during a crash window of the installed fault plan, migration
+//!   transfer windows clear of endpoint crashes, and the forward-hop cap.
+//!   The `check_trace` binary runs it over exported `.spans.jsonl` files.
+//! * [`scenario`] — the metamorphic/fuzz harness. Randomized scenarios
+//!   (workload × fault plan × controllers × thread allocation) run through
+//!   the full runtime and the invariant checker, with deterministic greedy
+//!   shrinking when a scenario fails; cross-run metamorphic laws live in
+//!   this crate's integration tests.
+//!
+//! None of this is wired into the default benchmark paths: with
+//! verification off, runs are byte-identical to the unverified build.
+
+pub mod digest;
+pub mod invariants;
+pub mod oracle;
+pub mod scenario;
+
+pub use digest::{relabel_servers, TraceDigest};
+pub use invariants::{check_events, check_jsonl, CheckReport, CheckerConfig, Violation};
+pub use oracle::{
+    divergence_curve, validate_pipeline, OracleConfig, StagePrediction, ValidationPoint,
+};
+pub use scenario::{fuzz_one, run_scenario, shrink, Scenario, ScenarioOutcome};

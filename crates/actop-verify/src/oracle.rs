@@ -1,0 +1,309 @@
+//! The analytic oracle: queueing-theory closed forms vs the DES.
+//!
+//! The emulator in `actop-seda` *is* a Jackson network — open Poisson
+//! arrivals, exponential per-thread service, deterministic tandem routing —
+//! so queueing theory predicts its steady state exactly. This module drives
+//! the emulator with matched workloads and compares, per stage:
+//!
+//! * the paper's Eq. 1 approximation (pool `c` threads of rate `s` into one
+//!   M/M/1 server of rate `c·s`), built from the same [`SedaModel`] the
+//!   thread allocator optimizes, and
+//! * the exact M/M/c sojourn (Erlang C),
+//!
+//! against the measured mean per-stage sojourn and end-to-end latency. For
+//! single-thread stages the two closed forms coincide and the simulator
+//! must agree within a tight band at low/medium utilization; as ρ → 1 the
+//! relative error of any finite run grows (and the pooled M/M/1
+//! approximation visibly diverges from M/M/c for multi-thread stages) —
+//! the divergence curve is the repo's Fig.-7-style validation artifact,
+//! emitted by `bench_validate` as `BENCH_validate.json`.
+
+use actop_seda::emulator::{
+    run_emulator, EmuController, EmuStageConfig, EmulatorConfig, EmulatorResult,
+};
+use actop_seda::model::{mm1_latency, mmc_latency};
+use actop_seda::{SedaModel, StageParams};
+
+/// One stage's predicted-vs-measured comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct StagePrediction {
+    /// Stage index in the pipeline.
+    pub stage: usize,
+    /// Threads serving the stage.
+    pub threads: usize,
+    /// Per-thread service rate, events/s.
+    pub service_rate: f64,
+    /// Analytic utilization `λ / (s·c)`.
+    pub rho: f64,
+    /// Measured utilization (busy-thread integral / window / threads).
+    pub measured_rho: f64,
+    /// Eq. 1 pooled-M/M/1 mean sojourn, seconds (`None` → predicted
+    /// unstable, stored as NaN).
+    pub mm1_secs: f64,
+    /// Exact M/M/c mean sojourn, seconds (NaN when unstable).
+    pub mmc_secs: f64,
+    /// Measured mean sojourn (wait + service), seconds.
+    pub measured_secs: f64,
+    /// Measured mean queue wait, seconds.
+    pub measured_wait_secs: f64,
+    /// Measured mean service time, seconds.
+    pub measured_service_secs: f64,
+}
+
+impl StagePrediction {
+    /// Relative error of the measured sojourn against the pooled M/M/1
+    /// prediction.
+    pub fn mm1_rel_err(&self) -> f64 {
+        ((self.measured_secs - self.mm1_secs) / self.mm1_secs).abs()
+    }
+
+    /// Relative error against the exact M/M/c prediction.
+    pub fn mmc_rel_err(&self) -> f64 {
+        ((self.measured_secs - self.mmc_secs) / self.mmc_secs).abs()
+    }
+}
+
+/// One validation run: a pipeline at one arrival rate.
+#[derive(Debug, Clone)]
+pub struct ValidationPoint {
+    /// Poisson arrival rate, events/s.
+    pub arrival_rate: f64,
+    /// Bottleneck utilization (max per-stage ρ).
+    pub rho_max: f64,
+    /// Per-stage comparisons.
+    pub stages: Vec<StagePrediction>,
+    /// Measured mean end-to-end latency, seconds.
+    pub measured_e2e_secs: f64,
+    /// Σ per-stage pooled-M/M/1 sojourns, seconds.
+    pub mm1_e2e_secs: f64,
+    /// Σ per-stage exact M/M/c sojourns, seconds.
+    pub mmc_e2e_secs: f64,
+    /// The same Eq. 1 prediction computed through [`SedaModel`] (the
+    /// allocator's own code path), seconds. Must equal `mm1_e2e_secs` up
+    /// to float noise — this ties the oracle to the model the controller
+    /// optimizes, not a re-derivation of it.
+    pub model_e2e_secs: f64,
+    /// Events that completed the pipeline.
+    pub completed: u64,
+}
+
+impl ValidationPoint {
+    /// Relative error of the measured end-to-end mean against Σ M/M/c.
+    pub fn e2e_rel_err(&self) -> f64 {
+        ((self.measured_e2e_secs - self.mmc_e2e_secs) / self.mmc_e2e_secs).abs()
+    }
+}
+
+/// A pipeline validation configuration.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// The stages under test.
+    pub stages: Vec<EmuStageConfig>,
+    /// Poisson arrival rate, events/s.
+    pub arrival_rate: f64,
+    /// Simulated duration, seconds.
+    pub duration_secs: f64,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl OracleConfig {
+    /// The arrival rate that puts the bottleneck stage at utilization
+    /// `rho` for the given stage set.
+    pub fn rate_for_rho(stages: &[EmuStageConfig], rho: f64) -> f64 {
+        let capacity = stages
+            .iter()
+            .map(|s| s.service_rate * s.initial_threads as f64)
+            .fold(f64::INFINITY, f64::min);
+        rho * capacity
+    }
+}
+
+/// Runs the emulator with a fixed allocation and compares measured
+/// per-stage sojourns and end-to-end latency against the closed forms.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (empty stages, non-positive rates).
+pub fn validate_pipeline(cfg: &OracleConfig) -> ValidationPoint {
+    let emu = EmulatorConfig {
+        stages: cfg.stages.clone(),
+        arrival_rate: cfg.arrival_rate,
+        duration_secs: cfg.duration_secs,
+        // One window covering the whole run: the Fixed controller never
+        // drains stats, so `final_stats` is run-global.
+        control_interval_secs: cfg.duration_secs,
+        controller: EmuController::Fixed,
+        seed: cfg.seed,
+    };
+    let result = run_emulator(&emu);
+    point_from_result(cfg, &result)
+}
+
+fn point_from_result(cfg: &OracleConfig, result: &EmulatorResult) -> ValidationPoint {
+    let lambda = cfg.arrival_rate;
+    let mut stages = Vec::with_capacity(cfg.stages.len());
+    for (i, stage) in cfg.stages.iter().enumerate() {
+        let c = stage.initial_threads;
+        let s = stage.service_rate;
+        let sj = &result.stage_sojourn[i];
+        let st = &result.final_stats[i];
+        stages.push(StagePrediction {
+            stage: i,
+            threads: c,
+            service_rate: s,
+            rho: lambda / (s * c as f64),
+            measured_rho: st.mean_busy() / c as f64,
+            mm1_secs: mm1_latency(lambda, s * c as f64).unwrap_or(f64::NAN),
+            mmc_secs: mmc_latency(lambda, s, c).unwrap_or(f64::NAN),
+            measured_secs: sj.mean_sojourn_secs(),
+            measured_wait_secs: sj.mean_wait_secs(),
+            measured_service_secs: sj.mean_service_secs(),
+        });
+    }
+    let mm1_e2e = stages.iter().map(|s| s.mm1_secs).sum();
+    let mmc_e2e = stages.iter().map(|s| s.mmc_secs).sum();
+    let model_e2e = seda_model_e2e(cfg).unwrap_or(f64::NAN);
+    ValidationPoint {
+        arrival_rate: lambda,
+        rho_max: stages.iter().map(|s| s.rho).fold(0.0, f64::max),
+        stages,
+        measured_e2e_secs: result.latency.mean() / 1e9,
+        mm1_e2e_secs: mm1_e2e,
+        mmc_e2e_secs: mmc_e2e,
+        model_e2e_secs: model_e2e,
+        completed: result.completed,
+    }
+}
+
+/// The Eq. 1 end-to-end prediction computed through [`SedaModel`] itself.
+///
+/// `jackson_latency` is normalized per arrival across the network
+/// (`Σ λᵢWᵢ / λ_tot`); in a tandem pipeline every stage sees the full
+/// arrival rate, so the end-to-end sum is the model value scaled back by
+/// `λ_tot / λ`.
+fn seda_model_e2e(cfg: &OracleConfig) -> Option<f64> {
+    let params: Vec<StageParams> = cfg
+        .stages
+        .iter()
+        .map(|s| StageParams::cpu_bound(cfg.arrival_rate, s.service_rate))
+        .collect();
+    let total_threads: usize = cfg.stages.iter().map(|s| s.initial_threads).sum();
+    let model = SedaModel::new(params, total_threads.max(1), 1e-6).ok()?;
+    let threads: Vec<f64> = cfg
+        .stages
+        .iter()
+        .map(|s| s.initial_threads as f64)
+        .collect();
+    let per_arrival = model.jackson_latency(&threads)?;
+    Some(per_arrival * cfg.stages.len() as f64)
+}
+
+/// Runs one pipeline across a utilization sweep: for each target ρ the
+/// arrival rate is set so the bottleneck stage runs at that utilization.
+/// This is the divergence-curve generator behind `BENCH_validate.json`.
+pub fn divergence_curve(
+    stages: &[EmuStageConfig],
+    rhos: &[f64],
+    duration_secs: f64,
+    seed: u64,
+) -> Vec<ValidationPoint> {
+    rhos.iter()
+        .map(|&rho| {
+            validate_pipeline(&OracleConfig {
+                stages: stages.to_vec(),
+                arrival_rate: OracleConfig::rate_for_rho(stages, rho),
+                duration_secs,
+                seed,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_thread_stages(rates: &[f64]) -> Vec<EmuStageConfig> {
+        rates
+            .iter()
+            .map(|&service_rate| EmuStageConfig {
+                service_rate,
+                initial_threads: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mm1_and_mmc_coincide_for_single_thread_stages() {
+        let stages = single_thread_stages(&[900.0, 1_100.0]);
+        let cfg = OracleConfig {
+            stages,
+            arrival_rate: 400.0,
+            duration_secs: 60.0,
+            seed: 9,
+        };
+        let point = validate_pipeline(&cfg);
+        for s in &point.stages {
+            assert!((s.mm1_secs - s.mmc_secs).abs() < 1e-12);
+        }
+        assert!((point.mm1_e2e_secs - point.mmc_e2e_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seda_model_path_matches_direct_sum() {
+        let stages = vec![
+            EmuStageConfig {
+                service_rate: 500.0,
+                initial_threads: 3,
+            },
+            EmuStageConfig {
+                service_rate: 800.0,
+                initial_threads: 2,
+            },
+        ];
+        let cfg = OracleConfig {
+            stages,
+            arrival_rate: 700.0,
+            duration_secs: 30.0,
+            seed: 1,
+        };
+        let point = validate_pipeline(&cfg);
+        assert!(
+            (point.model_e2e_secs - point.mm1_e2e_secs).abs() < 1e-9,
+            "SedaModel Eq.1 {} vs direct sum {}",
+            point.model_e2e_secs,
+            point.mm1_e2e_secs
+        );
+    }
+
+    #[test]
+    fn rate_for_rho_targets_the_bottleneck() {
+        let stages = vec![
+            EmuStageConfig {
+                service_rate: 500.0,
+                initial_threads: 2, // Capacity 1000.
+            },
+            EmuStageConfig {
+                service_rate: 1_500.0,
+                initial_threads: 1, // Capacity 1500.
+            },
+        ];
+        let rate = OracleConfig::rate_for_rho(&stages, 0.5);
+        assert!((rate - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_prediction_is_nan_not_panic() {
+        let stages = single_thread_stages(&[100.0]);
+        let point = validate_pipeline(&OracleConfig {
+            stages,
+            arrival_rate: 150.0, // ρ = 1.5: no steady state exists.
+            duration_secs: 5.0,
+            seed: 3,
+        });
+        assert!(point.stages[0].mm1_secs.is_nan());
+        assert!(point.stages[0].mmc_secs.is_nan());
+        assert!(point.measured_e2e_secs.is_finite(), "the sim still ran");
+    }
+}

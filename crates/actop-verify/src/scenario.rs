@@ -1,0 +1,396 @@
+//! Randomized full-runtime scenarios with deterministic shrinking.
+//!
+//! A [`Scenario`] is one seed-derived point in the space the runtime must
+//! survive: a uniform open-loop workload × a random fault plan × any
+//! combination of the failure detector and the two ActOp controllers × a
+//! thread allocation. [`run_scenario`] executes it end to end with full
+//! trace sampling, feeds the recorded spans through the lifecycle checker
+//! ([`crate::invariants`]), and cross-checks request conservation against
+//! the run summary. A failing scenario is [`shrink`]-able: a greedy,
+//! deterministic pass that repeatedly re-runs smaller variants (drop one
+//! fault, disable one controller, halve the load, ...) and keeps the
+//! smallest one that still fails — the fuzzer's counterexamples are
+//! reproducible from `(seed, shrink budget)` alone.
+
+use actop_chaos::{install_plan, FaultPlan};
+use actop_core::controllers::{
+    install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
+};
+use actop_core::experiment::{run_steady_state, RunSummary};
+use actop_runtime::{Cluster, DetectorConfig, RuntimeConfig, TraceConfig};
+use actop_sim::{DetRng, Engine, Nanos};
+use actop_workloads::uniform::{UniformConfig, UniformWorkload};
+
+use crate::digest::TraceDigest;
+use crate::invariants::{check_events, CheckReport, CheckerConfig};
+
+/// Per-request timeout every scenario runs with; bounds how long a
+/// request can stay in flight and therefore the conservation slack.
+const SCENARIO_TIMEOUT: Nanos = Nanos::from_secs(1);
+
+/// Migration transfer window, so the migration-over-crash invariant has
+/// teeth in every scenario.
+const SCENARIO_TRANSFER: Nanos = Nanos::from_millis(2);
+
+/// One point in the scenario space. All fields are plain data so shrink
+/// candidates are cheap to derive.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Run seed (workload, placement, sampling all derive from it).
+    pub seed: u64,
+    /// Cluster size.
+    pub servers: usize,
+    /// Open-loop request rate, requests/s.
+    pub request_rate: f64,
+    /// Distinct actors.
+    pub actors: u64,
+    /// Warmup before the measurement window, seconds.
+    pub warmup_secs: f64,
+    /// Measurement window, seconds (the fault plan's horizon).
+    pub measure_secs: f64,
+    /// Heartbeat failure detector on?
+    pub detector: bool,
+    /// Locality partition controller on?
+    pub partition_ctl: bool,
+    /// Thread-allocation controller on?
+    pub thread_ctl: bool,
+    /// Initial threads per SEDA stage.
+    pub threads_per_stage: usize,
+    /// The fault schedule, authored relative to measurement start.
+    pub plan: FaultPlan,
+}
+
+impl Scenario {
+    /// Derives a scenario from a seed; same seed, same scenario.
+    pub fn from_seed(seed: u64) -> Scenario {
+        let mut rng = DetRng::stream(seed, 0xF0225CEA);
+        let servers = 2 + rng.below(4);
+        let request_rate = (rng.uniform(200.0, 1_200.0) * 10.0).round() / 10.0;
+        let actors = 500 + rng.range_inclusive(0, 4_000);
+        let measure_secs = (rng.uniform(4.0, 10.0) * 10.0).round() / 10.0;
+        let detector = rng.chance(0.75);
+        let partition_ctl = rng.chance(0.5);
+        let thread_ctl = rng.chance(0.5);
+        let threads_per_stage = 2 + rng.below(7);
+        let fault_count = rng.below(8);
+        let plan = FaultPlan::random(
+            rng.next_u64(),
+            servers as u32,
+            Nanos::from_secs_f64(measure_secs),
+            fault_count,
+        );
+        Scenario {
+            seed,
+            servers,
+            request_rate,
+            actors,
+            warmup_secs: 2.0,
+            measure_secs,
+            detector,
+            partition_ctl,
+            thread_ctl,
+            threads_per_stage,
+            plan,
+        }
+    }
+
+    /// Everything needed to reproduce the scenario by hand, including the
+    /// fault plan in its serialized form.
+    pub fn describe(&self) -> String {
+        format!(
+            "seed={:#x} servers={} rate={}/s actors={} warmup={}s measure={}s \
+             detector={} partition_ctl={} thread_ctl={} threads/stage={}\n{}",
+            self.seed,
+            self.servers,
+            self.request_rate,
+            self.actors,
+            self.warmup_secs,
+            self.measure_secs,
+            self.detector,
+            self.partition_ctl,
+            self.thread_ctl,
+            self.threads_per_stage,
+            self.plan.to_text()
+        )
+    }
+
+    fn warmup(&self) -> Nanos {
+        Nanos::from_secs_f64(self.warmup_secs)
+    }
+
+    fn measure(&self) -> Nanos {
+        Nanos::from_secs_f64(self.measure_secs)
+    }
+
+    fn duration(&self) -> Nanos {
+        self.warmup() + self.measure()
+    }
+
+    /// Shrink candidates, in try order: structurally smaller variants
+    /// first (drop one fault event, drop controllers), then load/size
+    /// reductions. Deterministic and finite.
+    fn candidates(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for i in 0..self.plan.events.len() {
+            let mut c = self.clone();
+            c.plan.events.remove(i);
+            out.push(c);
+        }
+        for flag in 0..3 {
+            let mut c = self.clone();
+            let on = match flag {
+                0 => std::mem::replace(&mut c.partition_ctl, false),
+                1 => std::mem::replace(&mut c.thread_ctl, false),
+                _ => std::mem::replace(&mut c.detector, false),
+            };
+            if on {
+                out.push(c);
+            }
+        }
+        if self.measure_secs > 2.0 {
+            let mut c = self.clone();
+            c.measure_secs = (self.measure_secs / 2.0).max(2.0);
+            out.push(c);
+        }
+        if self.request_rate > 100.0 {
+            let mut c = self.clone();
+            c.request_rate = (self.request_rate / 2.0).max(100.0);
+            out.push(c);
+        }
+        if self.actors > 200 {
+            let mut c = self.clone();
+            c.actors = (self.actors / 2).max(200);
+            out.push(c);
+        }
+        // Servers the plan never touches are dead weight.
+        let needed = self
+            .plan
+            .max_server()
+            .map(|m| (m as usize + 1).max(2))
+            .unwrap_or(2);
+        if needed < self.servers {
+            let mut c = self.clone();
+            c.servers = needed;
+            out.push(c);
+        }
+        if self.threads_per_stage > 2 {
+            let mut c = self.clone();
+            c.threads_per_stage = 2;
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// What one scenario execution produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The steady-state run summary.
+    pub summary: RunSummary,
+    /// The lifecycle checker's report over the full-sample trace.
+    pub report: CheckReport,
+    /// Aggregate trace fingerprint (used by determinism cross-checks).
+    pub digest: TraceDigest,
+    /// Every failed check, human-readable. Empty = the scenario passed.
+    pub failures: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// True when every invariant and cross-check held.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a scenario end to end and checks it.
+pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
+    let (app, workload) = UniformWorkload::build(UniformConfig {
+        actors: sc.actors,
+        request_rate: sc.request_rate,
+        request_bytes: 600,
+        reply_bytes: 600,
+        cpu_ns: 60_000.0,
+        blocking_ns: 0.0,
+        duration: sc.duration(),
+        seed: sc.seed,
+    });
+    let mut rt = RuntimeConfig::paper_testbed(sc.seed);
+    rt.servers = sc.servers;
+    rt.initial_threads_per_stage = sc.threads_per_stage;
+    rt.request_timeout = Some(SCENARIO_TIMEOUT);
+    rt.migration_transfer = Some(SCENARIO_TRANSFER);
+    rt.detector = sc.detector.then(DetectorConfig::default);
+    rt.trace = Some(TraceConfig {
+        sample_rate: 1.0, // Every request: the checker wants whole lifecycles.
+        seed: sc.seed,
+        ..TraceConfig::default()
+    });
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    install_actop(
+        &mut engine,
+        sc.servers,
+        &ActOpConfig {
+            partition: sc
+                .partition_ctl
+                .then(|| PartitionAgentConfig::with_interval(Nanos::from_millis(500))),
+            threads: sc.thread_ctl.then(ThreadAgentConfig::default),
+        },
+    );
+    cluster.install_heartbeats(&mut engine, sc.duration());
+    install_plan(&mut engine, &cluster, &sc.plan, sc.warmup());
+    let summary = run_steady_state(&mut engine, &mut cluster, sc.warmup(), sc.measure());
+
+    let checker = CheckerConfig {
+        crash_windows: sc.plan.crash_windows(
+            sc.servers,
+            sc.warmup(),
+            // Unrecovered crashes stay down past the run's end.
+            sc.duration() + Nanos::from_secs(5),
+        ),
+        migration_transfer: Some(SCENARIO_TRANSFER),
+        open_at_end_grace: SCENARIO_TIMEOUT * 2,
+        ..CheckerConfig::default()
+    };
+    let report = check_events(cluster.trace.spans(), &checker);
+    let digest = TraceDigest::of(cluster.trace.spans());
+
+    let mut failures = Vec::new();
+    if cluster.trace.dropped_spans() > 0 {
+        // Checking a truncated trace would report phantom violations.
+        failures.push(format!(
+            "span buffer overflow: {} events dropped",
+            cluster.trace.dropped_spans()
+        ));
+    } else {
+        const MAX_REPORTED: usize = 8;
+        for v in report.violations.iter().take(MAX_REPORTED) {
+            failures.push(v.to_string());
+        }
+        if report.violations.len() > MAX_REPORTED {
+            failures.push(format!(
+                "... and {} more violations",
+                report.violations.len() - MAX_REPORTED
+            ));
+        }
+    }
+    // Conservation: every submitted request completes, is rejected, or
+    // times out, up to the in-flight residue a 1 s timeout allows.
+    let accounted = summary.completed + summary.rejected + summary.timed_out;
+    let in_flight = summary.submitted.saturating_sub(accounted);
+    let slack = (sc.request_rate * 2.0 * SCENARIO_TIMEOUT.as_secs_f64()) as u64 + 500;
+    if in_flight > slack {
+        failures.push(format!(
+            "conservation: {} of {} submitted requests unaccounted (> slack {})",
+            in_flight, summary.submitted, slack
+        ));
+    }
+
+    ScenarioOutcome {
+        summary,
+        report,
+        digest,
+        failures,
+    }
+}
+
+/// Greedily shrinks a failing scenario: re-runs candidate reductions and
+/// commits to the first one that still fails, until no reduction fails or
+/// the re-run budget is spent. Returns the smallest failing scenario found
+/// and its outcome (the input itself if nothing smaller fails).
+pub fn shrink(sc: &Scenario, budget: usize) -> (Scenario, ScenarioOutcome) {
+    let mut current = sc.clone();
+    let mut outcome = run_scenario(&current);
+    assert!(
+        !outcome.is_ok(),
+        "shrink called on a passing scenario: {}",
+        current.describe()
+    );
+    let mut runs = 1usize;
+    'outer: while runs < budget {
+        for cand in current.candidates() {
+            if runs >= budget {
+                break 'outer;
+            }
+            let cand_outcome = run_scenario(&cand);
+            runs += 1;
+            if !cand_outcome.is_ok() {
+                current = cand;
+                outcome = cand_outcome;
+                continue 'outer; // Restart from the smaller scenario.
+            }
+        }
+        break; // No candidate still fails: local minimum.
+    }
+    (current, outcome)
+}
+
+/// Fuzzer step: derive the scenario for `seed`, run it, and — when it
+/// fails — shrink it within `shrink_budget` re-runs. Returns the scenario
+/// that should be reported (shrunk on failure) and its outcome.
+pub fn fuzz_one(seed: u64, shrink_budget: usize) -> (Scenario, ScenarioOutcome) {
+    let sc = Scenario::from_seed(seed);
+    let outcome = run_scenario(&sc);
+    if outcome.is_ok() {
+        (sc, outcome)
+    } else {
+        shrink(&sc, shrink_budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        let a = Scenario::from_seed(42);
+        let b = Scenario::from_seed(42);
+        assert_eq!(a.describe(), b.describe());
+        let c = Scenario::from_seed(43);
+        assert_ne!(a.describe(), c.describe());
+    }
+
+    #[test]
+    fn candidates_are_strictly_smaller_variants() {
+        let sc = Scenario::from_seed(7);
+        let cands = sc.candidates();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            let smaller = c.plan.events.len() < sc.plan.events.len()
+                || (!c.partition_ctl && sc.partition_ctl)
+                || (!c.thread_ctl && sc.thread_ctl)
+                || (!c.detector && sc.detector)
+                || c.measure_secs < sc.measure_secs
+                || c.request_rate < sc.request_rate
+                || c.actors < sc.actors
+                || c.servers < sc.servers
+                || c.threads_per_stage < sc.threads_per_stage;
+            assert!(smaller, "candidate is not a reduction");
+        }
+    }
+
+    #[test]
+    fn benign_scenario_runs_clean_and_deterministic() {
+        let sc = Scenario {
+            seed: 11,
+            servers: 3,
+            request_rate: 300.0,
+            actors: 1_000,
+            warmup_secs: 1.0,
+            measure_secs: 3.0,
+            detector: false,
+            partition_ctl: false,
+            thread_ctl: false,
+            threads_per_stage: 4,
+            plan: FaultPlan::new("none"),
+        };
+        let a = run_scenario(&sc);
+        assert!(a.is_ok(), "failures: {:?}", a.failures);
+        assert!(a.summary.completed > 0);
+        let b = run_scenario(&sc);
+        assert_eq!(a.digest, b.digest, "same scenario, same trace");
+        assert_eq!(a.summary.completed, b.summary.completed);
+    }
+}

@@ -1,0 +1,22 @@
+//! Pinned fuzzer seeds: the exact scenarios CI requires green, runnable
+//! as an ordinary test. The `fuzz_scenarios` binary explores beyond these
+//! under a wall-clock budget; this test is the regression floor.
+
+use actop_verify::fuzz_one;
+
+/// Keep in sync with ACTOP_FUZZ_SEEDS in `.github/workflows/ci.yml`.
+const PINNED: [u64; 6] = [1, 2, 3, 7, 11, 19];
+
+#[test]
+fn pinned_fuzz_seeds_are_clean() {
+    for &seed in &PINNED {
+        let (scenario, outcome) = fuzz_one(seed, 64);
+        assert!(
+            outcome.is_ok(),
+            "seed {seed} failed; shrunk reproducer:\n{}\nfailures: {:?}",
+            scenario.describe(),
+            outcome.failures
+        );
+        assert!(outcome.summary.completed > 0, "seed {seed} did no work");
+    }
+}

@@ -1,0 +1,189 @@
+//! Metamorphic laws: relations that must hold *between* runs, with no
+//! reference to absolute ground truth.
+//!
+//! 1. Scaling every service rate by `k` (same arrivals) scales each
+//!    stage's mean service time by `1/k` and never increases queueing
+//!    delay.
+//! 2. Adding offered load never decreases mean queueing delay, per stage
+//!    or end to end.
+//! 3. Relabeling server ids permutes per-server statistics but preserves
+//!    every aggregate and the checker verdict.
+//! 4. With the failure detector off, healing fault plans leave no
+//!    suspicion machinery in the trace and runs are bit-deterministic.
+
+use actop_chaos::{install_plan, CrashWindows, FaultPlan};
+use actop_core::experiment::run_steady_state;
+use actop_runtime::{Cluster, RuntimeConfig, TraceConfig};
+use actop_seda::{run_emulator, EmuController, EmuStageConfig, EmulatorConfig, EmulatorResult};
+use actop_sim::{Engine, Nanos};
+use actop_verify::{
+    check_events, relabel_servers, run_scenario, CheckerConfig, Scenario, TraceDigest,
+};
+use actop_workloads::uniform::{self, UniformWorkload};
+
+fn pipeline(rates_threads: &[(f64, usize)], arrival_rate: f64) -> EmulatorResult {
+    let duration_secs = 120.0;
+    run_emulator(&EmulatorConfig {
+        stages: rates_threads
+            .iter()
+            .map(|&(service_rate, initial_threads)| EmuStageConfig {
+                service_rate,
+                initial_threads,
+            })
+            .collect(),
+        arrival_rate,
+        duration_secs,
+        control_interval_secs: duration_secs,
+        controller: EmuController::Fixed,
+        seed: 0x5CA1E,
+    })
+}
+
+#[test]
+fn law1_scaling_service_rates_scales_service_not_wait() {
+    let base_stages = [(900.0, 1), (1_200.0, 2), (1_000.0, 1)];
+    let k = 2.0;
+    let scaled_stages: Vec<(f64, usize)> = base_stages.iter().map(|&(r, c)| (r * k, c)).collect();
+    let base = pipeline(&base_stages, 500.0);
+    let scaled = pipeline(&scaled_stages, 500.0);
+    for (i, (b, s)) in base
+        .stage_sojourn
+        .iter()
+        .zip(&scaled.stage_sojourn)
+        .enumerate()
+    {
+        let ratio = s.mean_service_secs() / b.mean_service_secs();
+        assert!(
+            (ratio - 1.0 / k).abs() < 0.03 / k,
+            "stage {i}: service time scaled by {ratio:.4}, want {:.4}",
+            1.0 / k
+        );
+        assert!(
+            s.mean_wait_secs() <= b.mean_wait_secs() * 1.02,
+            "stage {i}: faster servers increased queueing ({:.6}s -> {:.6}s)",
+            b.mean_wait_secs(),
+            s.mean_wait_secs()
+        );
+    }
+    assert!(scaled.latency.mean() < base.latency.mean());
+}
+
+#[test]
+fn law2_added_load_never_decreases_queueing_delay() {
+    let stages = [(900.0, 1), (1_200.0, 2), (1_000.0, 1)];
+    let rates = [200.0, 400.0, 600.0, 800.0];
+    let runs: Vec<EmulatorResult> = rates.iter().map(|&r| pipeline(&stages, r)).collect();
+    for pair in runs.windows(2) {
+        for (i, (lo, hi)) in pair[0]
+            .stage_sojourn
+            .iter()
+            .zip(&pair[1].stage_sojourn)
+            .enumerate()
+        {
+            assert!(
+                hi.mean_wait_secs() >= lo.mean_wait_secs() * 0.98,
+                "stage {i}: more load, less waiting ({:.6}s -> {:.6}s)",
+                lo.mean_wait_secs(),
+                hi.mean_wait_secs()
+            );
+        }
+        assert!(pair[1].latency.mean() >= pair[0].latency.mean());
+    }
+}
+
+#[test]
+fn law3_relabeling_servers_preserves_aggregates_and_verdict() {
+    const SERVERS: usize = 4;
+    let warmup = Nanos::from_secs(2);
+    let measure = Nanos::from_secs(6);
+    let duration = warmup + measure;
+    let plan = FaultPlan::single_crash(1, Nanos::from_secs(2), Nanos::from_secs(3));
+    let (app, workload) = UniformWorkload::build(uniform::counter(700.0, duration, 17));
+    let mut rt = RuntimeConfig::paper_testbed(17);
+    rt.servers = SERVERS;
+    rt.request_timeout = Some(Nanos::from_secs(1));
+    rt.trace = Some(TraceConfig {
+        sample_rate: 1.0,
+        seed: 17,
+        ..TraceConfig::default()
+    });
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    install_plan(&mut engine, &cluster, &plan, warmup);
+    run_steady_state(&mut engine, &mut cluster, warmup, measure);
+
+    let windows = plan.crash_windows(SERVERS, warmup, duration + Nanos::from_secs(5));
+    let cfg = CheckerConfig {
+        crash_windows: windows.clone(),
+        open_at_end_grace: Nanos::from_secs(2),
+        ..CheckerConfig::default()
+    };
+    let spans = cluster.trace.spans();
+    let report = check_events(spans, &cfg);
+    assert!(
+        report.is_clean(),
+        "base run flagged: {:?}",
+        report.violations
+    );
+
+    // Rotate every server id by one — and the crash windows with them.
+    let rotate = |s: u32| (s + 1) % SERVERS as u32;
+    let relabeled = relabel_servers(spans, rotate);
+    let mut rotated_windows = vec![Vec::new(); SERVERS];
+    for s in 0..SERVERS {
+        rotated_windows[rotate(s as u32) as usize] = windows.server(s as u32).to_vec();
+    }
+    let rot_cfg = CheckerConfig {
+        crash_windows: CrashWindows {
+            windows: rotated_windows,
+        },
+        ..cfg
+    };
+    let rot_report = check_events(&relabeled, &rot_cfg);
+    assert!(
+        rot_report.is_clean(),
+        "relabeling changed the verdict: {:?}",
+        &rot_report.violations[..rot_report.violations.len().min(3)]
+    );
+    assert_eq!(rot_report.kind_counts, report.kind_counts);
+    assert_eq!(rot_report.lifecycles, report.lifecycles);
+    assert_eq!(rot_report.terminals, report.terminals);
+
+    let before = TraceDigest::of(spans);
+    let after = TraceDigest::of(&relabeled);
+    assert_eq!(before.unlabeled(), after.unlabeled());
+    for s in 0..SERVERS as u32 {
+        assert_eq!(
+            before.server_counts.get(&s),
+            after.server_counts.get(&rotate(s)),
+            "per-server counts did not permute at server {s}"
+        );
+    }
+}
+
+#[test]
+fn law4_detector_off_is_suspicion_free_and_deterministic_under_healing_plans() {
+    for seed in [3, 8] {
+        let mut sc = Scenario::from_seed(seed);
+        sc.detector = false;
+        sc.measure_secs = sc.measure_secs.min(5.0);
+        sc.plan = FaultPlan::random(
+            seed,
+            sc.servers as u32,
+            Nanos::from_secs_f64(sc.measure_secs),
+            3,
+        );
+        let a = run_scenario(&sc);
+        assert!(a.is_ok(), "seed {seed}: {:?}", a.failures);
+        assert_eq!(a.report.kind_count("suspect"), 0);
+        assert_eq!(a.report.kind_count("unsuspect"), 0);
+        assert_eq!(a.summary.false_suspicion_repairs, 0);
+        let b = run_scenario(&sc);
+        assert_eq!(a.digest, b.digest, "seed {seed}: non-deterministic trace");
+        assert_eq!(
+            a.summary, b.summary,
+            "seed {seed}: non-deterministic summary"
+        );
+    }
+}

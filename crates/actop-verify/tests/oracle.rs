@@ -1,0 +1,145 @@
+//! Analytic-oracle acceptance: the DES agrees with queueing theory.
+//!
+//! Single-thread stages are exact M/M/1 queues, so the paper's Eq. 1
+//! prediction must match the simulator within a tight band at low and
+//! medium utilization — across several distinct pipeline shapes. Multi-
+//! thread stages are M/M/c; the exact Erlang-C form must match, and the
+//! pooled Eq. 1 approximation must sit below it (pooling c threads into
+//! one fast server is strictly better than c slow servers).
+
+use actop_seda::EmuStageConfig;
+use actop_verify::{divergence_curve, validate_pipeline, OracleConfig};
+
+fn single_thread(rates: &[f64]) -> Vec<EmuStageConfig> {
+    rates
+        .iter()
+        .map(|&service_rate| EmuStageConfig {
+            service_rate,
+            initial_threads: 1,
+        })
+        .collect()
+}
+
+/// Per-stage and end-to-end agreement bound for ρ ≤ 0.7.
+const BAND: f64 = 0.10;
+
+#[test]
+fn mm1_oracle_holds_across_three_pipeline_shapes() {
+    let shapes: [(&str, Vec<EmuStageConfig>); 3] = [
+        ("3-stage", single_thread(&[900.0, 1_100.0, 1_000.0])),
+        (
+            "4-stage",
+            single_thread(&[1_500.0, 2_000.0, 1_800.0, 1_600.0]),
+        ),
+        ("2-stage", single_thread(&[700.0, 950.0])),
+    ];
+    for (name, stages) in &shapes {
+        for &rho in &[0.3, 0.5, 0.7] {
+            let point = validate_pipeline(&OracleConfig {
+                stages: stages.clone(),
+                arrival_rate: OracleConfig::rate_for_rho(stages, rho),
+                duration_secs: 150.0,
+                seed: 0x0A11CE,
+            });
+            assert!(point.completed > 1_000, "{name} ρ={rho}: too few events");
+            for s in &point.stages {
+                assert!(
+                    s.mm1_rel_err() < BAND,
+                    "{name} ρ={rho} stage {}: predicted {:.6}s measured {:.6}s ({:.1}% off)",
+                    s.stage,
+                    s.mm1_secs,
+                    s.measured_secs,
+                    100.0 * s.mm1_rel_err()
+                );
+                assert!(
+                    (s.measured_rho - s.rho).abs() < 0.05,
+                    "{name} ρ={rho} stage {}: measured utilization {:.3} vs analytic {:.3}",
+                    s.stage,
+                    s.measured_rho,
+                    s.rho
+                );
+            }
+            assert!(
+                point.e2e_rel_err() < BAND,
+                "{name} ρ={rho}: e2e predicted {:.6}s measured {:.6}s",
+                point.mmc_e2e_secs,
+                point.measured_e2e_secs
+            );
+            // The oracle's Eq. 1 path goes through SedaModel itself.
+            assert!((point.model_e2e_secs - point.mm1_e2e_secs).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn mmc_oracle_holds_for_multi_thread_stages() {
+    let stages = vec![
+        EmuStageConfig {
+            service_rate: 500.0,
+            initial_threads: 3,
+        },
+        EmuStageConfig {
+            service_rate: 800.0,
+            initial_threads: 2,
+        },
+        EmuStageConfig {
+            service_rate: 400.0,
+            initial_threads: 4,
+        },
+    ];
+    for &rho in &[0.3, 0.5, 0.7] {
+        let point = validate_pipeline(&OracleConfig {
+            stages: stages.clone(),
+            arrival_rate: OracleConfig::rate_for_rho(&stages, rho),
+            duration_secs: 150.0,
+            seed: 0xE417A,
+        });
+        for s in &point.stages {
+            assert!(
+                s.mmc_rel_err() < BAND,
+                "ρ={rho} stage {} ({} threads): M/M/c predicted {:.6}s measured {:.6}s",
+                s.stage,
+                s.threads,
+                s.mmc_secs,
+                s.measured_secs
+            );
+            // Pooling is strictly better: Eq. 1 under-predicts the sojourn
+            // of a genuinely multi-threaded stage.
+            assert!(
+                s.mm1_secs < s.mmc_secs,
+                "ρ={rho} stage {}: pooled M/M/1 {:.6}s not below M/M/c {:.6}s",
+                s.stage,
+                s.mm1_secs,
+                s.mmc_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn divergence_grows_toward_saturation() {
+    let stages = single_thread(&[1_000.0, 1_200.0]);
+    let rhos = [0.3, 0.5, 0.7, 0.8, 0.9, 0.95];
+    let curve = divergence_curve(&stages, &rhos, 120.0, 7);
+    assert_eq!(curve.len(), rhos.len());
+    for (point, &rho) in curve.iter().zip(&rhos) {
+        assert!((point.rho_max - rho).abs() < 1e-9);
+        assert!(point.completed > 0);
+        if rho <= 0.7 {
+            assert!(
+                point.e2e_rel_err() < BAND,
+                "ρ={rho}: {:.1}% off",
+                100.0 * point.e2e_rel_err()
+            );
+        }
+    }
+    // Any finite run under-samples the heavy tail near saturation: the
+    // error at ρ = 0.95 dwarfs the error at ρ = 0.3. This is the curve
+    // `bench_validate` reports.
+    let low = curve[0].e2e_rel_err();
+    let high = curve[rhos.len() - 1].e2e_rel_err();
+    assert!(
+        high > low,
+        "expected divergence: err(ρ=0.95)={high:.4} vs err(ρ=0.3)={low:.4}"
+    );
+}

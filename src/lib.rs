@@ -22,6 +22,8 @@
 //! * [`runtime`] — the Orleans-like virtual actor runtime.
 //! * [`workloads`] — Halo Presence, Heartbeat, and the counter benchmark.
 //! * [`core`] — the ActOp controllers and the experiment harness.
+//! * [`verify`] — analytic queueing oracles, trace lifecycle invariants,
+//!   and the metamorphic scenario fuzzer.
 //!
 //! # Examples
 //!
@@ -55,6 +57,7 @@ pub use actop_runtime as runtime;
 pub use actop_seda as seda;
 pub use actop_sim as sim;
 pub use actop_sketch as sketch;
+pub use actop_verify as verify;
 pub use actop_workloads as workloads;
 
 /// The most common imports in one place.

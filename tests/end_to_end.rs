@@ -204,6 +204,12 @@ fn workload_sustains_population_under_full_actop() {
         Nanos::from_secs(20),
     );
     assert_eq!(summary.rejected, 0);
+    // Fault-free run: none of the fault-recovery machinery may fire.
+    assert_eq!(summary.retries, 0);
+    assert_eq!(summary.directory_repairs, 0);
+    assert_eq!(summary.false_suspicion_repairs, 0);
+    assert_eq!(summary.shed_no_live, 0);
+    assert_eq!(summary.timed_out, 0);
     let live = workload.live_players();
     assert!(
         (1_500..=2_600).contains(&live),
@@ -214,6 +220,49 @@ fn workload_sustains_population_under_full_actop() {
     let max = *sizes.iter().max().unwrap();
     let min = *sizes.iter().min().unwrap();
     assert!(max - min < 600, "sizes {sizes:?}");
+}
+
+#[test]
+fn fault_free_run_has_zero_fault_counters_and_a_clean_trace() {
+    // No fault plan, no detector: every fault-recovery counter must stay
+    // at zero, and the fully sampled trace must satisfy every lifecycle
+    // invariant under a default (fault-free) checker config.
+    let workload = actop::workloads::uniform::counter(1_000.0, Nanos::from_secs(10), 21);
+    let (app, driver) = UniformWorkload::build(workload);
+    let mut rt = RuntimeConfig::paper_testbed(21);
+    rt.request_timeout = Some(Nanos::from_secs(1));
+    rt.trace = Some(actop::runtime::TraceConfig {
+        sample_rate: 1.0,
+        seed: 21,
+        ..actop::runtime::TraceConfig::default()
+    });
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    driver.install(&mut engine);
+    let summary = run_steady_state(
+        &mut engine,
+        &mut cluster,
+        Nanos::from_secs(3),
+        Nanos::from_secs(7),
+    );
+    assert!(summary.completed > 1_000);
+    assert_eq!(summary.rejected, 0);
+    assert_eq!(summary.timed_out, 0);
+    assert_eq!(summary.retries, 0);
+    assert!(summary.retry_backoff_ms == 0.0);
+    assert_eq!(summary.directory_repairs, 0);
+    assert_eq!(summary.false_suspicion_repairs, 0);
+    assert_eq!(summary.shed_no_live, 0);
+    assert_eq!(summary.stale_responses, 0);
+
+    let cfg = actop::verify::CheckerConfig {
+        open_at_end_grace: Nanos::from_secs(2),
+        ..actop::verify::CheckerConfig::default()
+    };
+    let report = actop::verify::check_events(cluster.trace.spans(), &cfg);
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.kind_count("retry"), 0);
+    assert_eq!(report.kind_count("shed"), 0);
 }
 
 #[test]
