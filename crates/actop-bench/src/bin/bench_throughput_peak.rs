@@ -83,16 +83,56 @@ fn main() {
         peaks[1] / peaks[0].max(1.0)
     );
     println!("{}", engine_total.line());
-    let json = format!(
-        "{{\"events_processed\":{},\"cancels\":{},\"reschedules\":{},\"peak_pending\":{},\"wall_ns\":{},\"events_per_sec\":{:.1}}}\n",
+    let mut json = format!(
+        "{{\"events_processed\":{},\"cancels\":{},\"reschedules\":{},\"peak_pending\":{},\"wall_ns\":{},\"cpu_ns\":{},\"events_per_sec\":{:.1}}}\n",
         engine_total.events_processed,
         engine_total.cancels,
         engine_total.reschedules,
         engine_total.peak_pending,
         engine_total.wall_ns,
+        engine_total.cpu_ns,
         engine_total.events_per_sec(),
     );
+    json.push_str(&shard_scaling_rows());
     if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
         eprintln!("could not write BENCH_engine.json: {e}");
     }
+}
+
+/// The headline shard-scaling A/B: one fixed Halo cell run on the sharded
+/// conservative-parallel backend at increasing shard counts, one JSON row
+/// per count. Shard workers use the whole machine, so the ladder runs
+/// sequentially (one run at a time) for honest wall-clock numbers.
+fn shard_scaling_rows() -> String {
+    use actop_bench::run_halo_sharded;
+    let mut out = String::new();
+    println!();
+    println!("-- sharded engine scaling (same scenario per row) --");
+    let mut scenario = HaloScenario::paper(6_000.0, 42);
+    if !full_scale() {
+        scenario.warmup = Nanos::from_secs(30);
+        scenario.measure = Nanos::from_secs(30);
+    }
+    let actop = scenario.actop(true, true);
+    let mut base_rate = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let (_, report, _) = run_halo_sharded(&scenario, &actop, shards);
+        let rate = report.events_per_sec();
+        if shards == 1 {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate.max(1.0);
+        println!(
+            "shards={shards}: {:.2}M events in {:.2}s wall ({:.2}s cpu) = {:.2}M events/s ({speedup:.2}x)",
+            report.events_processed as f64 / 1e6,
+            report.wall_ns as f64 / 1e9,
+            report.cpu_ns as f64 / 1e9,
+            rate / 1e6,
+        );
+        out.push_str(&format!(
+            "{{\"shards\":{shards},\"events_processed\":{},\"wall_ns\":{},\"cpu_ns\":{},\"events_per_sec\":{rate:.1},\"speedup_vs_1shard\":{speedup:.2}}}\n",
+            report.events_processed, report.wall_ns, report.cpu_ns,
+        ));
+    }
+    out
 }

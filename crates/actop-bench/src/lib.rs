@@ -7,13 +7,14 @@
 //! run at the paper's full population and durations.
 
 use actop_core::controllers::{
-    install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
+    install_actop, install_actop_sharded, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
-use actop_runtime::{Cluster, RuntimeConfig, TraceConfig};
-use actop_sim::{Engine, EngineReport, Nanos};
+use actop_runtime::sharded::install_sharded_hooks;
+use actop_runtime::{build_sharded, sharded_lookahead, Cluster, RuntimeConfig, TraceConfig};
+use actop_sim::{ConservativeRunner, Engine, EngineReport, Nanos};
 use actop_workloads::halo::HaloConfig;
-use actop_workloads::HaloWorkload;
+use actop_workloads::{HaloWorkload, ShardedHaloWorkload};
 
 /// Scale knobs for a Halo scenario run.
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +109,62 @@ pub fn full_scale() -> bool {
     std::env::var("ACTOP_FULL_SCALE").is_ok_and(|v| v == "1")
 }
 
+// ---------------------------------------------------------------------
+// Concurrency knobs. Two independent axes, one story:
+//
+//  * `ACTOP_WORKERS` — how many *runs* execute concurrently in a sweep
+//    ([`parallel_map`]): between-run parallelism. Default: one worker per
+//    available core.
+//  * `ACTOP_SHARDS` — how many worker threads the conservative-parallel
+//    engine uses *inside* one run (the sharded backend): within-run
+//    parallelism. Unset means the legacy single-threaded engine;
+//    `ACTOP_SHARDS=1` selects the sharded backend's sequential oracle.
+//    Applies to the Halo scenario runs ([`run_halo`] routes to
+//    [`run_halo_sharded`] when set); the uniform microbenchmarks record
+//    per-stage latency breakdowns, which the sharded backend rejects,
+//    and always use the legacy engine.
+//
+// Both are validated the same way: a value that is not a positive
+// integer is a configuration error and aborts with a clear message
+// (silently ignoring it would run the wrong experiment).
+// ---------------------------------------------------------------------
+
+/// Parses one concurrency knob: `None` when unset, `Some(n)` for a
+/// positive integer, and a descriptive error otherwise. Pure, for tests;
+/// the env-reading wrappers exit on error.
+pub fn parse_concurrency(name: &str, raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            Ok(_) => Err(format!("{name}={v:?}: must be a positive integer, not 0")),
+            Err(_) => Err(format!("{name}={v:?}: must be a positive integer")),
+        },
+    }
+}
+
+fn concurrency_from_env(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok();
+    match parse_concurrency(name, raw.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `ACTOP_WORKERS` sweep-parallelism override, validated.
+pub fn env_workers() -> Option<usize> {
+    concurrency_from_env("ACTOP_WORKERS")
+}
+
+/// The `ACTOP_SHARDS` within-run shard count, validated. `None` selects
+/// the legacy single-threaded engine.
+pub fn env_shards() -> Option<usize> {
+    concurrency_from_env("ACTOP_SHARDS")
+}
+
 /// The env-configured tracer for a run: `ACTOP_TRACE=<path>` turns
 /// tracing on (the run's spans are exported to `<path>` as Chrome trace
 /// JSON), `ACTOP_TRACE_SAMPLE=<rate>` sets the head-sampling rate
@@ -180,13 +237,9 @@ pub fn maybe_export_trace(cluster: &Cluster) {
     );
 }
 
-/// Runs one Halo scenario under the given ActOp configuration and returns
-/// the steady-state summary, the engine's self-metrics, and the cluster
-/// for follow-up inspection.
-pub fn run_halo(
-    scenario: &HaloScenario,
-    actop: &ActOpConfig,
-) -> (RunSummary, EngineReport, Cluster) {
+/// The Halo workload configuration for a scenario, shared by both engine
+/// backends.
+fn halo_config(scenario: &HaloScenario) -> HaloConfig {
     let mut cfg = HaloConfig::paper_scale(
         scenario.players,
         scenario.request_rate,
@@ -202,7 +255,12 @@ pub fn run_halo(
         // against a one-second cooldown.
         cfg.game_duration_s = (120.0, 180.0);
     }
-    let (app, workload) = HaloWorkload::build(cfg);
+    cfg
+}
+
+/// The runtime configuration for a scenario, shared by both engine
+/// backends.
+fn halo_runtime(scenario: &HaloScenario) -> RuntimeConfig {
     let mut rt = RuntimeConfig::paper_testbed(scenario.seed);
     rt.servers = scenario.servers;
     rt.record_remote_call_latency = true;
@@ -210,6 +268,26 @@ pub fn run_halo(
     if !full_scale() {
         rt.series_bin_ns = 5_000_000_000; // 5 s bins for the short runs.
     }
+    rt
+}
+
+/// Runs one Halo scenario under the given ActOp configuration and returns
+/// the steady-state summary, the engine's self-metrics, and the cluster
+/// for follow-up inspection.
+///
+/// `ACTOP_SHARDS=<n>` reroutes the run to the sharded
+/// conservative-parallel backend ([`run_halo_sharded`]); results are then
+/// deterministic in the shard count but not comparable event-for-event
+/// with the legacy engine.
+pub fn run_halo(
+    scenario: &HaloScenario,
+    actop: &ActOpConfig,
+) -> (RunSummary, EngineReport, Cluster) {
+    if let Some(shards) = env_shards() {
+        return run_halo_sharded(scenario, actop, shards);
+    }
+    let (app, workload) = HaloWorkload::build(halo_config(scenario));
+    let rt = halo_runtime(scenario);
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
     workload.install(&mut engine);
@@ -218,6 +296,83 @@ pub fn run_halo(
     let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
     maybe_export_trace(&cluster);
     (summary, engine.report(), cluster)
+}
+
+/// Runs one Halo scenario on the sharded conservative-parallel backend
+/// with `shards` shards (and as many worker threads; `1` selects the
+/// sequential oracle). The steady-state protocol mirrors
+/// [`run_steady_state`]: run the warmup, reset every shard's counters,
+/// run the measurement window, summarize.
+///
+/// The returned [`Cluster`] is a read-only shell for follow-up
+/// inspection: it carries the merged per-shard metrics and traces and a
+/// snapshot of the shared directory, but its servers never ran.
+pub fn run_halo_sharded(
+    scenario: &HaloScenario,
+    actop: &ActOpConfig,
+    shards: usize,
+) -> (RunSummary, EngineReport, Cluster) {
+    let cfg = halo_config(scenario);
+    let rt = halo_runtime(scenario);
+    let lookahead = sharded_lookahead(&rt);
+    let (app, workload) = ShardedHaloWorkload::build(cfg);
+    let worlds = build_sharded(rt, app, shards);
+    let threads = worlds.len(); // `build_sharded` clamps to [1, servers].
+    let mut runner = ConservativeRunner::new(worlds, lookahead);
+    install_sharded_hooks(&mut runner);
+    workload.install(&mut runner);
+    install_actop_sharded(&mut runner, scenario.servers, actop);
+
+    runner.run_until(scenario.warmup, threads);
+    for cell in runner.cells_mut() {
+        cell.world.reset_steady_state();
+    }
+    let start = scenario.warmup;
+    let end = scenario.duration();
+    runner.run_until(end, threads);
+
+    // Merge the per-shard measurements into a shell cluster so callers can
+    // inspect them exactly as they would a legacy run's.
+    let mut shell = Cluster::new(
+        halo_runtime(scenario),
+        HaloWorkload::build(halo_config(scenario)).0,
+    );
+    for cell in runner.cells() {
+        shell.metrics.merge_from(cell.world.metrics());
+        shell.trace.merge_from(cell.world.trace());
+    }
+    shell.directory = runner.cells()[0].world.directory_snapshot();
+
+    let util_sum: f64 = runner
+        .cells()
+        .iter()
+        .map(|cell| cell.world.utilization_sum(start, end))
+        .sum();
+    let hist = &shell.metrics.e2e_latency;
+    let quantiles = hist.summary();
+    let summary = RunSummary {
+        p50_ms: quantiles.p50 as f64 / 1e6,
+        p95_ms: quantiles.p95 as f64 / 1e6,
+        p99_ms: quantiles.p99 as f64 / 1e6,
+        mean_ms: hist.mean() / 1e6,
+        remote_fraction: shell.metrics.remote_fraction(),
+        cpu_utilization: util_sum / scenario.servers as f64,
+        completed: shell.metrics.completed,
+        submitted: shell.metrics.submitted,
+        rejected: shell.metrics.rejected,
+        timed_out: shell.metrics.timed_out,
+        forwarded_messages: shell.metrics.forwarded_messages,
+        stale_responses: shell.metrics.stale_responses,
+        migrations: shell.metrics.migrations,
+        throughput_per_s: shell.metrics.completed as f64 / scenario.measure.as_secs_f64().max(1e-9),
+        retries: shell.metrics.retries,
+        retry_backoff_ms: shell.metrics.retry_backoff_ns as f64 / 1e6,
+        directory_repairs: shell.metrics.directory_repairs,
+        false_suspicion_repairs: shell.metrics.false_suspicion_repairs,
+        shed_no_live: shell.metrics.shed_no_live,
+    };
+    maybe_export_trace(&shell);
+    (summary, runner.report(), shell)
 }
 
 /// Runs a single-actor-type workload (counter / heartbeat) on a cluster.
@@ -298,11 +453,8 @@ where
 
     let n = jobs.len();
     // ACTOP_WORKERS caps (or forces) the pool size; default is one worker
-    // per available core.
-    let workers = std::env::var("ACTOP_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&w| w > 0)
+    // per available core. Bad values abort with a clear message.
+    let workers = env_workers()
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
         .min(n.max(1));
     if workers <= 1 {
@@ -393,8 +545,8 @@ pub fn print_improvement(label: &str, baseline: &RunSummary, optimized: &RunSumm
 }
 
 /// Merges per-run engine reports and prints the one-line kernel summary
-/// every bench binary ends with (wall time sums across runs, so for
-/// parallel sweeps it reports aggregate simulation work, not elapsed time).
+/// every bench binary ends with: total events over the longest run's wall
+/// span, with summed CPU time alongside (see [`EngineReport::merge`]).
 pub fn print_engine_line(reports: &[EngineReport]) {
     let mut total = EngineReport::default();
     for r in reports {
@@ -412,6 +564,17 @@ mod tests {
         let s = HaloScenario::paper(6_000.0, 1);
         assert_eq!(s.duration(), s.warmup + s.measure);
         assert_eq!(s.servers, 10);
+    }
+
+    #[test]
+    fn concurrency_parsing_accepts_positive_and_rejects_garbage() {
+        assert_eq!(parse_concurrency("ACTOP_WORKERS", None), Ok(None));
+        assert_eq!(parse_concurrency("ACTOP_WORKERS", Some("4")), Ok(Some(4)));
+        assert!(parse_concurrency("ACTOP_WORKERS", Some("0")).is_err());
+        assert!(parse_concurrency("ACTOP_SHARDS", Some("-2")).is_err());
+        assert!(parse_concurrency("ACTOP_SHARDS", Some("eight")).is_err());
+        let err = parse_concurrency("ACTOP_SHARDS", Some("eight")).unwrap_err();
+        assert!(err.contains("ACTOP_SHARDS"), "error names the knob: {err}");
     }
 
     #[test]

@@ -9,10 +9,15 @@
 
 use actop_partition::score::{candidate_set, total_score};
 use actop_partition::{select_exchange, ExchangeRequest, PartitionConfig};
-use actop_runtime::{ActorId, Cluster};
+use actop_runtime::sharded::{
+    apply_exchange_sharded, sharded_age_sketch, sharded_is_failed, sharded_last_exchange,
+    sharded_partition_view, sharded_server_sizes, with_directory_sharded,
+};
+use actop_runtime::ActorId;
+use actop_runtime::{Cluster, ShardedCluster};
 use actop_seda::estimator::StageKind as EstimatorStageKind;
 use actop_seda::{ModelDrivenController, ParamEstimator, QueueLengthController, StageObservation};
-use actop_sim::{Engine, Nanos};
+use actop_sim::{ConservativeRunner, Engine, GlobalCtx, Nanos};
 
 /// Configuration of the partition agent (§4).
 #[derive(Debug, Clone, Copy)]
@@ -318,6 +323,203 @@ fn thread_tick(
     }
     engine.schedule_after(config.interval, move |c: &mut Cluster, e| {
         thread_tick(c, e, server, config, estimator);
+    });
+}
+
+// ---------------------------------------------------------------------
+// The same agents on the sharded (conservative-parallel) backend. The
+// control loops are serial-phase globals: they read shard-local sketches
+// and the shared directory at barriers, where no window is running, so
+// the protocol logic is identical to the sequential version.
+// ---------------------------------------------------------------------
+
+/// Installs the configured agents on every server of a sharded cluster.
+/// Agents are staggered across the interval so servers do not act in
+/// lockstep, exactly as [`install_actop`] does.
+pub fn install_actop_sharded(
+    runner: &mut ConservativeRunner<ShardedCluster>,
+    servers: usize,
+    config: &ActOpConfig,
+) {
+    if let Some(partition) = config.partition {
+        for server in 0..servers {
+            let offset =
+                Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
+            runner.schedule_global(offset, move |ctx| {
+                partition_tick_sharded(ctx, server, partition);
+            });
+        }
+    }
+    if let Some(threads) = config.threads {
+        for server in 0..servers {
+            let offset = Nanos(threads.interval.as_nanos() * (server as u64 + 1) / servers as u64);
+            let estimator = ParamEstimator::new(
+                vec![
+                    EstimatorStageKind { blocking: false },
+                    EstimatorStageKind {
+                        blocking: threads.worker_blocking,
+                    },
+                    EstimatorStageKind { blocking: false },
+                    EstimatorStageKind { blocking: false },
+                ],
+                threads.smoothing,
+            );
+            runner.schedule_global(offset, move |ctx| {
+                thread_tick_sharded(ctx, server, threads, estimator);
+            });
+        }
+    }
+}
+
+/// One partition-agent round for `server` on the sharded backend.
+fn partition_tick_sharded(
+    ctx: &mut GlobalCtx<'_, ShardedCluster>,
+    server: usize,
+    config: PartitionAgentConfig,
+) {
+    let now = ctx.now;
+    run_partition_round_sharded(ctx, now, server, &config);
+    if config.sketch_age_factor < 1.0 {
+        sharded_age_sketch(ctx, server, config.sketch_age_factor);
+    }
+    ctx.schedule_global(now + config.interval, move |ctx| {
+        partition_tick_sharded(ctx, server, config);
+    });
+}
+
+/// Executes one initiation of the pairwise protocol on the sharded
+/// backend — the same algorithm as [`run_partition_round`], expressed
+/// against the serial-phase helpers. Returns the number of migrations.
+pub fn run_partition_round_sharded(
+    ctx: &mut GlobalCtx<'_, ShardedCluster>,
+    now: Nanos,
+    initiator: usize,
+    config: &PartitionAgentConfig,
+) -> usize {
+    let servers = sharded_server_sizes(ctx).len();
+    if servers < 2 {
+        return 0;
+    }
+    let view = sharded_partition_view(ctx, initiator);
+    if view.is_empty() {
+        return 0;
+    }
+    let sets = with_directory_sharded(ctx, |dir| {
+        candidate_set(
+            &view,
+            initiator,
+            servers,
+            config.protocol.candidate_set_size,
+            |a: &ActorId| dir.server_of(a.0),
+        )
+    });
+    let mut targets: Vec<(usize, i64)> = sets
+        .iter()
+        .enumerate()
+        .filter(|(q, set)| *q != initiator && !set.is_empty())
+        .map(|(q, set)| (q, total_score(set)))
+        .filter(|&(_, score)| score >= config.protocol.min_total_score)
+        .collect();
+    targets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let sizes = sharded_server_sizes(ctx);
+    for (target, _) in targets {
+        // Crashed servers neither respond nor receive migrations.
+        if sharded_is_failed(ctx, target) {
+            continue;
+        }
+        // §4.2 cooldown: a server that exchanged recently rejects.
+        if let Some(last) = sharded_last_exchange(ctx, target) {
+            if now.as_nanos().saturating_sub(last) < config.protocol.exchange_cooldown_ns {
+                continue;
+            }
+        }
+        let responder_view = sharded_partition_view(ctx, target);
+        let own = with_directory_sharded(ctx, |dir| {
+            candidate_set(
+                &responder_view,
+                target,
+                servers,
+                config.protocol.candidate_set_size,
+                |a: &ActorId| dir.server_of(a.0),
+            )
+        })
+        .swap_remove(initiator);
+        let request = ExchangeRequest {
+            from: initiator,
+            from_size: sizes[initiator],
+            candidates: sets[target].clone(),
+        };
+        let outcome = select_exchange(&request, sizes[target], &own, &config.protocol);
+        if outcome.is_empty() {
+            continue; // Fall back to the next-best server.
+        }
+        let moves = outcome.moves();
+        apply_exchange_sharded(ctx, now, initiator, target, &outcome);
+        return moves;
+    }
+    0
+}
+
+/// One thread-agent round for `server` on the sharded backend: measure,
+/// estimate, re-solve, reconfigure — all against the shard cell that owns
+/// the server.
+fn thread_tick_sharded(
+    ctx: &mut GlobalCtx<'_, ShardedCluster>,
+    server: usize,
+    config: ThreadAgentConfig,
+    mut estimator: ParamEstimator,
+) {
+    let now = ctx.now;
+    let shared = ctx.cell(0).world.shared();
+    let shard = shared.topo.shard_of(server);
+    let cell = ctx.cell(shard);
+    let reports = cell.world.drain_stage_stats(now, server);
+    let current: [usize; 4] = cell.world.thread_allocation(server);
+    let next = match config.allocator {
+        ThreadAllocatorKind::ModelDriven { eta } => {
+            for (i, report) in reports.iter().enumerate() {
+                estimator.observe(
+                    i,
+                    StageObservation {
+                        arrivals: report.arrivals,
+                        completions: report.completions,
+                        window_secs: report.window.as_secs_f64().max(1e-9),
+                        sum_wallclock_secs: report.sum_wallclock_ns / 1e9,
+                        sum_cpu_secs: report.sum_cpu_ns / 1e9,
+                    },
+                );
+            }
+            let cores = shared.config.costs.cores_per_server;
+            let controller = ModelDrivenController::new(eta, cores);
+            controller.allocate_from(&estimator).and_then(|alloc| {
+                let alloc: [usize; 4] = alloc.try_into().ok()?;
+                Some(alloc)
+            })
+        }
+        ThreadAllocatorKind::QueueLength {
+            high_watermark,
+            low_watermark,
+        } => {
+            let controller = QueueLengthController {
+                high_watermark,
+                low_watermark,
+                min_threads: 1,
+                max_threads: 64,
+            };
+            let queues = cell.world.queue_lengths(server);
+            let next = controller.step(&queues, &current);
+            next.try_into().ok()
+        }
+    };
+    if let Some(next) = next {
+        if next != current {
+            let cell = ctx.cell(shard);
+            cell.world.set_stage_threads(&mut cell.engine, server, next);
+        }
+    }
+    ctx.schedule_global(now + config.interval, move |ctx| {
+        thread_tick_sharded(ctx, server, config, estimator);
     });
 }
 

@@ -107,6 +107,27 @@ impl BinnedSeries {
     pub fn sums(&self) -> Vec<f64> {
         self.bins.iter().map(|b| b.sum).collect()
     }
+
+    /// Folds another series into this one bin by bin. The sharded runtime
+    /// keeps one series per shard and merges them at the end of a run;
+    /// bin widths must agree for the bins to be commensurable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths differ.
+    pub fn merge_from(&mut self, other: &BinnedSeries) {
+        assert_eq!(
+            self.bin_width_ns, other.bin_width_ns,
+            "cannot merge series with different bin widths"
+        );
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), Bin::default());
+        }
+        for (bin, o) in self.bins.iter_mut().zip(&other.bins) {
+            bin.sum += o.sum;
+            bin.count += o.count;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +196,28 @@ mod tests {
         // In-range samples are unaffected.
         s.record(5, 1.0);
         assert_eq!(s.bins()[5], Bin { sum: 1.0, count: 1 });
+    }
+
+    #[test]
+    fn merge_sums_bins_and_extends() {
+        let mut a = BinnedSeries::new(10);
+        a.record(5, 2.0);
+        a.record(15, 1.0);
+        let mut b = BinnedSeries::new(10);
+        b.record(5, 3.0);
+        b.record(35, 9.0);
+        a.merge_from(&b);
+        assert_eq!(a.bins()[0], Bin { sum: 5.0, count: 2 });
+        assert_eq!(a.bins()[1], Bin { sum: 1.0, count: 1 });
+        assert_eq!(a.bins()[3], Bin { sum: 9.0, count: 1 });
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin widths")]
+    fn merge_width_mismatch_panics() {
+        let mut a = BinnedSeries::new(10);
+        a.merge_from(&BinnedSeries::new(20));
     }
 
     #[test]

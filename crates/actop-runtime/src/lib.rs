@@ -39,6 +39,7 @@ pub mod metrics;
 pub mod placement;
 pub(crate) mod proto;
 pub mod server;
+pub mod sharded;
 pub mod table;
 
 pub use actop_trace::{TraceConfig, Tracer};
@@ -49,3 +50,6 @@ pub use detector::{DetectorConfig, FailureDetector, Transition};
 pub use ids::{ActorId, RequestId, StageKind};
 pub use metrics::ClusterMetrics;
 pub use placement::PlacementPolicy;
+pub use sharded::{
+    build_sharded, sharded_lookahead, ShardApp, ShardCtx, ShardTopology, ShardedCluster,
+};

@@ -161,6 +161,44 @@ impl ClusterMetrics {
         // cluster-lifecycle counts, not request-scoped: they survive the
         // warmup reset like the time series do.
     }
+
+    /// Folds another shard's metrics into this one: histograms and time
+    /// series merge, counters sum. The per-stage `breakdown` is *not*
+    /// merged — the sharded runtime does not support breakdown recording,
+    /// so there is nothing to fold.
+    pub fn merge_from(&mut self, other: &ClusterMetrics) {
+        self.e2e_latency.merge(&other.e2e_latency);
+        self.remote_call_latency.merge(&other.remote_call_latency);
+        self.remote_share_series
+            .merge_from(&other.remote_share_series);
+        self.migration_series.merge_from(&other.migration_series);
+        self.latency_series.merge_from(&other.latency_series);
+        self.remote_messages += other.remote_messages;
+        self.local_messages += other.local_messages;
+        self.forwarded_messages += other.forwarded_messages;
+        self.migrations += other.migrations;
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.rejected += other.rejected;
+        self.timed_out += other.timed_out;
+        self.stale_responses += other.stale_responses;
+        self.server_failures += other.server_failures;
+        self.retries += other.retries;
+        self.retry_backoff_ns += other.retry_backoff_ns;
+        self.retry_budget_exhausted += other.retry_budget_exhausted;
+        self.shed_no_live += other.shed_no_live;
+        self.lost_in_flight += other.lost_in_flight;
+        self.net_dropped += other.net_dropped;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeats_dropped += other.heartbeats_dropped;
+        self.suspicions += other.suspicions;
+        self.unsuspicions += other.unsuspicions;
+        self.directory_repairs += other.directory_repairs;
+        self.false_suspicion_repairs += other.false_suspicion_repairs;
+        self.migrations_aborted += other.migrations_aborted;
+        self.forward_loop_drops += other.forward_loop_drops;
+        self.zombie_branches += other.zombie_branches;
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +224,27 @@ mod tests {
         assert!(m.e2e_latency.is_empty());
         assert_eq!(m.submitted, 0);
         assert_eq!(m.migration_series.len(), 1, "series survives reset");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_series() {
+        let mut a = ClusterMetrics::new(1_000);
+        a.submitted = 3;
+        a.remote_messages = 2;
+        a.e2e_latency.record(5);
+        a.latency_series.record(10, 5.0);
+        let mut b = ClusterMetrics::new(1_000);
+        b.submitted = 4;
+        b.local_messages = 6;
+        b.e2e_latency.record(9);
+        b.latency_series.record(2_500, 9.0);
+        a.merge_from(&b);
+        assert_eq!(a.submitted, 7);
+        assert_eq!(a.remote_messages, 2);
+        assert_eq!(a.local_messages, 6);
+        assert_eq!(a.e2e_latency.count(), 2);
+        assert_eq!(a.latency_series.bins()[0].count, 1);
+        assert_eq!(a.latency_series.bins()[2].count, 1);
     }
 
     #[test]

@@ -1,0 +1,2097 @@
+//! The sharded cluster: the conservative-parallel backend of the runtime.
+//!
+//! [`crate::cluster::Cluster`] is one discrete-event world — one event heap,
+//! one thread. This module partitions the same simulated cluster across N
+//! shards (`server % shards`), each with its own event heap, and runs them
+//! under `actop_sim::shard::ConservativeRunner`: shards execute windows of
+//! `lookahead` simulated nanoseconds in parallel and exchange cross-server
+//! messages at barrier boundaries. The lookahead is the network delay floor
+//! ([`actop_sim::NetworkModel::base_ns`]): every server-to-server delivery
+//! is at least one lookahead in the future, so no shard can affect another
+//! inside a window.
+//!
+//! # Determinism
+//!
+//! Results are byte-identical for a fixed seed **regardless of shard count
+//! or worker-thread count**. The mechanisms:
+//!
+//! * Per-server RNG streams (`0x1000 + id` for application draws,
+//!   `0x2000 + id` for network draws), so a server's draw sequence depends
+//!   only on its own event order, which window boundaries preserve.
+//! * All server-to-server messages travel through the runner's outbox and
+//!   are injected in `(time, sender, sender-seq)` order at barriers — even
+//!   messages whose destination happens to share the sender's shard.
+//! * Shared state (the placement directory, the failure flags) is read-only
+//!   during windows; writes are buffered and applied in sorted order by the
+//!   barrier hook ([`barrier_flush`]). Each server keeps a private overlay
+//!   of its own window-local placements so its routing never depends on
+//!   what *other* shards did concurrently.
+//! * Cross-server edge-sketch offers are buffered and applied at barriers
+//!   in sorted, aggregated order; only a server's own offers go in directly.
+//!
+//! # Deviations from the sequential cluster
+//!
+//! The sharded backend reproduces the same *model* but not the same event
+//! interleaving as [`crate::cluster::Cluster`], so per-run numbers differ
+//! between the two backends (distributions agree). Semantic differences,
+//! all documented at their implementation sites:
+//!
+//! * Placement is always identity-hash based (the policy field is ignored);
+//!   statistically equivalent to `Random` for fresh actors.
+//! * Fan-out joins live on the server that issued the fan-out, and
+//!   responses route to that server directly instead of chasing the actor
+//!   through the directory. A crash of the owner loses its joins.
+//! * Transport retries pick their failover target deterministically at
+//!   schedule time (no shared gateway RNG stream).
+//! * Unsupported features are rejected at build time: failure detectors,
+//!   hiccups, latency breakdown, request timeouts, migration transfer
+//!   windows, and link faults.
+
+use std::sync::Arc;
+
+use actop_partition::{DenseDirectory, ExchangeOutcome};
+use actop_sim::{
+    mix64, ConservativeRunner, CpuTaskId, DetRng, Engine, EventId, GlobalCtx, Nanos, OutMsg,
+    PhaseCell, PsCpu, ShardWorld, StagePool,
+};
+use actop_sketch::{FxHashMap, SpaceSaving};
+use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE};
+
+use crate::app::{Call, Outcome, Reaction};
+use crate::cluster::{StageReport, MAX_FORWARD_HOPS};
+use crate::config::RuntimeConfig;
+use crate::ids::{ActorId, StageKind};
+use crate::metrics::ClusterMetrics;
+use crate::server::StageWindow;
+use crate::table::SlabTable;
+
+// ---------------------------------------------------------------------
+// Topology and shared state.
+// ---------------------------------------------------------------------
+
+/// How servers map onto shards: round-robin by id.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardTopology {
+    /// Total servers in the cluster.
+    pub servers: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+impl ShardTopology {
+    /// The shard owning `server`.
+    #[inline]
+    pub fn shard_of(&self, server: usize) -> usize {
+        server % self.shards
+    }
+}
+
+/// Application logic for the sharded backend.
+///
+/// Unlike [`crate::app::AppLogic`] the handler takes `&self`: one instance
+/// is shared by every shard, and mutable application state (if any) must
+/// live behind a [`PhaseCell`] under the same window discipline as the
+/// directory. All randomness must come from the provided per-server stream.
+pub trait ShardApp: Send + Sync {
+    /// Handles a request delivered to `actor`.
+    fn on_request(&self, actor: ActorId, tag: u32, rng: &mut DetRng) -> Reaction;
+
+    /// CPU nanoseconds to process one response continuation.
+    fn continuation_cpu_ns(&self) -> f64 {
+        3_000.0
+    }
+}
+
+/// State shared by every shard: configuration, the placement directory,
+/// and the failure flags. Directory and flags follow the phase discipline:
+/// read-only during windows, mutated only from the serial phase.
+pub struct ShardCtx {
+    /// Static configuration.
+    pub config: RuntimeConfig,
+    /// Server-to-shard mapping.
+    pub topo: ShardTopology,
+    pub(crate) directory: PhaseCell<DenseDirectory>,
+    pub(crate) failed: PhaseCell<Vec<bool>>,
+    pub(crate) app: Box<dyn ShardApp>,
+    pub(crate) seed_mix: u64,
+    pub(crate) lookahead_ns: u64,
+}
+
+/// The conservative lookahead implied by a configuration: the network
+/// delay floor. Pass this to [`ConservativeRunner::new`].
+pub fn sharded_lookahead(config: &RuntimeConfig) -> Nanos {
+    Nanos::from_nanos(config.costs.network.base_ns as u64)
+}
+
+// ---------------------------------------------------------------------
+// Message protocol (the sharded twin of `crate::proto`).
+// ---------------------------------------------------------------------
+
+/// Whom a reply goes to. Join targets carry the owning server and slab
+/// handle so responses route by *server*, not by directory lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SReply {
+    /// The external client that issued the root request.
+    Client,
+    /// A pending fan-out join: owner server, slab handle, joining actor
+    /// (carried for edge statistics — the response "goes to" that actor).
+    Join {
+        owner: u32,
+        handle: u64,
+        actor: ActorId,
+    },
+}
+
+/// Request or response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SKind {
+    Request { reply: SReply },
+    Response { owner: u32, handle: u64 },
+}
+
+/// A message traveling between actors (or from a client gateway). `Copy`
+/// so engine closures capturing it stay trivially `Send`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SMsg {
+    pub to: ActorId,
+    pub tag: u32,
+    pub bytes: u64,
+    pub kind: SKind,
+    /// Global request serial (trace sampling key; replaces `RequestId`).
+    pub request: u64,
+    /// Client submission time — carried in-message so completion needs no
+    /// shared request table.
+    pub root_start: Nanos,
+    pub issued_at: Nanos,
+    pub delivered_remotely: bool,
+    pub from_actor: Option<ActorId>,
+    pub forwarded: bool,
+    pub call_was_remote: bool,
+    pub attempts: u8,
+    pub hops: u8,
+}
+
+/// A message on the wire between servers, routed via the runner's outbox.
+pub struct Wire {
+    pub(crate) dst: u32,
+    pub(crate) msg: SMsg,
+}
+
+/// An item sitting in a SEDA stage queue.
+#[derive(Debug, Clone)]
+pub(crate) enum SItem {
+    Deserialize(SMsg),
+    Execute(SMsg),
+    SerializeRemote {
+        dst: usize,
+        msg: SMsg,
+    },
+    SerializeClient {
+        request: u64,
+        root_start: Nanos,
+        bytes: u64,
+    },
+}
+
+/// What happens when a stage task's compute (and blocking wait) finishes.
+#[derive(Debug, Clone)]
+pub(crate) enum SPost {
+    RouteToWorker(SMsg),
+    ApplyRequest {
+        msg: SMsg,
+        reaction: Reaction,
+    },
+    ApplyResponse(SMsg),
+    Forward(SMsg),
+    NetSend {
+        dst: usize,
+        msg: SMsg,
+    },
+    ClientReply {
+        request: u64,
+        root_start: Nanos,
+        bytes: u64,
+    },
+}
+
+/// A task currently executing on a server's CPU.
+#[derive(Debug, Clone)]
+pub(crate) struct SRunning {
+    pub stage: usize,
+    pub post: SPost,
+    pub started: Nanos,
+    pub cpu_ns: f64,
+    pub wait_ns: f64,
+    pub request: u64,
+}
+
+/// A pending fan-out join, owned by the server that issued the fan-out.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SJoin {
+    pub reply: SReply,
+    pub actor: ActorId,
+    pub remaining: usize,
+    pub reply_bytes: u64,
+    pub request: u64,
+    pub root_start: Nanos,
+    pub issued_at: Nanos,
+    pub call_was_remote: bool,
+}
+
+/// A buffered directory placement, applied place-if-vacant at the next
+/// barrier. Hinted placements (migration intent) win conflicts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DirOp {
+    pub actor: u64,
+    pub target: u32,
+    pub hinted: bool,
+    pub src: u32,
+}
+
+// ---------------------------------------------------------------------
+// Per-server state.
+// ---------------------------------------------------------------------
+
+/// Bound on location-cache entries (same rule as `crate::server`).
+const LOCATION_CACHE_CAP: usize = 65_536;
+
+/// One simulated server, owned by exactly one shard. The sharded twin of
+/// [`crate::server::Server`] with its own item type and per-server RNG
+/// streams (the determinism anchor: a server draws the same sequence no
+/// matter which shard executes it).
+pub(crate) struct ServerSlot {
+    pub id: usize,
+    pub cpu: PsCpu,
+    pub stages: [StagePool<SItem>; 4],
+    pub cpu_event: Option<(Nanos, EventId)>,
+    pub running: FxHashMap<CpuTaskId, SRunning>,
+    pub edge_sketch: SpaceSaving<(ActorId, ActorId)>,
+    pub location_cache: FxHashMap<ActorId, usize>,
+    /// This server's window-local placements: entries it minted since the
+    /// last barrier, not yet in the shared directory. Private per server so
+    /// routing never observes another shard's concurrent decisions.
+    pub dir_overlay: FxHashMap<u64, u32>,
+    pub windows: [StageWindow; 4],
+    pub last_exchange_ns: Option<u64>,
+    pub joins: SlabTable<SJoin>,
+    pub rng_app: DetRng,
+    pub rng_net: DetRng,
+    /// Monotone per-sender outbox sequence (injection tie-break).
+    pub out_seq: u64,
+    /// Busy-core-ns snapshot taken at the steady-state reset.
+    pub busy_snapshot: f64,
+}
+
+impl ServerSlot {
+    fn new(id: usize, config: &RuntimeConfig) -> Self {
+        let costs = &config.costs;
+        let mut cpu = PsCpu::new(costs.cores_per_server, costs.ctx_switch_coeff);
+        cpu.set_configured_threads(Nanos::ZERO, 4 * config.initial_threads_per_stage);
+        ServerSlot {
+            id,
+            cpu,
+            stages: fresh_stages(config.initial_threads_per_stage),
+            cpu_event: None,
+            running: FxHashMap::default(),
+            edge_sketch: SpaceSaving::new(config.sketch_capacity),
+            location_cache: FxHashMap::default(),
+            dir_overlay: FxHashMap::default(),
+            windows: [StageWindow::default(); 4],
+            last_exchange_ns: None,
+            joins: SlabTable::new(),
+            rng_app: DetRng::stream(config.seed, 0x1000 + id as u64),
+            rng_net: DetRng::stream(config.seed, 0x2000 + id as u64),
+            out_seq: 0,
+            busy_snapshot: 0.0,
+        }
+    }
+
+    /// Replaces the process state after a crash: queues, CPU, running
+    /// tasks, sketches, caches, and joins are lost. The RNG streams and
+    /// outbox sequence survive — they belong to the server identity, and
+    /// keeping them preserves the per-server draw order determinism.
+    fn reset_process(&mut self, config: &RuntimeConfig) {
+        let costs = &config.costs;
+        let mut cpu = PsCpu::new(costs.cores_per_server, costs.ctx_switch_coeff);
+        cpu.set_configured_threads(Nanos::ZERO, 4 * config.initial_threads_per_stage);
+        self.cpu = cpu;
+        self.stages = fresh_stages(config.initial_threads_per_stage);
+        self.cpu_event = None;
+        self.running.clear();
+        self.edge_sketch = SpaceSaving::new(config.sketch_capacity);
+        self.location_cache.clear();
+        self.dir_overlay.clear();
+        self.windows = [StageWindow::default(); 4];
+        self.last_exchange_ns = None;
+        self.joins = SlabTable::new();
+    }
+
+    fn thread_allocation(&self) -> [usize; 4] {
+        [
+            self.stages[0].threads(),
+            self.stages[1].threads(),
+            self.stages[2].threads(),
+            self.stages[3].threads(),
+        ]
+    }
+
+    fn queue_lengths(&self) -> [usize; 4] {
+        [
+            self.stages[0].queue_len(),
+            self.stages[1].queue_len(),
+            self.stages[2].queue_len(),
+            self.stages[3].queue_len(),
+        ]
+    }
+
+    fn cache_location(&mut self, actor: ActorId, server: usize) {
+        if self.location_cache.len() >= LOCATION_CACHE_CAP {
+            self.location_cache.clear();
+        }
+        self.location_cache.insert(actor, server);
+    }
+
+    fn take_location_hint(&mut self, actor: &ActorId) -> Option<usize> {
+        self.location_cache.remove(actor)
+    }
+}
+
+fn fresh_stages(threads: usize) -> [StagePool<SItem>; 4] {
+    [
+        StagePool::new(StageKind::Receiver.name(), threads),
+        StagePool::new(StageKind::Worker.name(), threads),
+        StagePool::new(StageKind::ServerSender.name(), threads),
+        StagePool::new(StageKind::ClientSender.name(), threads),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// The shard world.
+// ---------------------------------------------------------------------
+
+/// One shard of the simulated cluster: the servers it owns plus shard-local
+/// measurement state. Implements [`ShardWorld`] for the conservative
+/// runner; fold per-shard metrics and traces with
+/// [`ClusterMetrics::merge_from`] / [`Tracer::merge_from`] after the run.
+pub struct ShardedCluster {
+    shard: u32,
+    ctx: Arc<ShardCtx>,
+    /// Global server id -> index into `slots` (`usize::MAX` if not ours).
+    pub(crate) local_idx: Vec<usize>,
+    pub(crate) slots: Vec<ServerSlot>,
+    pub(crate) metrics: ClusterMetrics,
+    pub(crate) trace: Tracer,
+    outbox: Vec<OutMsg<Wire>>,
+    pub(crate) dir_ops: Vec<DirOp>,
+    pub(crate) sketch_offers: Vec<(u32, ActorId, ActorId)>,
+}
+
+/// Builds the shard worlds for a configuration. `shards` is clamped to
+/// `[1, servers]`; servers are dealt round-robin (`server % shards`).
+///
+/// # Panics
+///
+/// Panics when the configuration uses a feature the sharded backend does
+/// not support (failure detector, hiccups, breakdown recording, request
+/// timeouts, migration transfer windows) or when the network delay floor
+/// is zero (no conservative lookahead would exist).
+pub fn build_sharded(
+    config: RuntimeConfig,
+    app: Box<dyn ShardApp>,
+    shards: usize,
+) -> Vec<ShardedCluster> {
+    config.validate();
+    assert!(
+        config.detector.is_none(),
+        "sharded runtime does not support failure detectors"
+    );
+    assert!(
+        config.hiccups.is_none(),
+        "sharded runtime does not support hiccup injection"
+    );
+    assert!(
+        !config.record_breakdown,
+        "sharded runtime does not support latency breakdown recording"
+    );
+    assert!(
+        config.request_timeout.is_none(),
+        "sharded runtime does not support request timeouts"
+    );
+    assert!(
+        config.migration_transfer.is_none(),
+        "sharded runtime does not support migration transfer windows"
+    );
+    let lookahead_ns = config.costs.network.base_ns as u64;
+    assert!(
+        lookahead_ns > 0,
+        "sharded runtime needs a positive network delay floor"
+    );
+    assert!(
+        config.retry.base_backoff.as_nanos() >= lookahead_ns,
+        "retry base backoff must be at least the network delay floor"
+    );
+    let shards = shards.clamp(1, config.servers);
+    let servers = config.servers;
+    let series_bin = config.series_bin_ns;
+    let trace_cfg = config.trace.clone();
+    let seed_mix = mix64(config.seed ^ 0x5aad_ed00_c0ff_ee00);
+    let ctx = Arc::new(ShardCtx {
+        topo: ShardTopology { servers, shards },
+        directory: PhaseCell::new(DenseDirectory::new(servers)),
+        failed: PhaseCell::new(vec![false; servers]),
+        app,
+        seed_mix,
+        lookahead_ns,
+        config,
+    });
+    (0..shards)
+        .map(|shard| {
+            let slots: Vec<ServerSlot> = (shard..servers)
+                .step_by(shards)
+                .map(|id| ServerSlot::new(id, &ctx.config))
+                .collect();
+            let mut local_idx = vec![usize::MAX; servers];
+            for (i, slot) in slots.iter().enumerate() {
+                local_idx[slot.id] = i;
+            }
+            let trace = match &trace_cfg {
+                Some(tc) => Tracer::new(servers, tc),
+                None => Tracer::disabled(),
+            };
+            ShardedCluster {
+                shard: shard as u32,
+                ctx: Arc::clone(&ctx),
+                local_idx,
+                slots,
+                metrics: ClusterMetrics::new(series_bin),
+                trace,
+                outbox: Vec::new(),
+                dir_ops: Vec::new(),
+                sketch_offers: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+// SAFETY: every event scheduled into a shard's engine captures only `Copy`
+// message structs, plain indices, or `SRunning` (owned plain data) — all
+// `Send`. Shared state is reached through `Arc<ShardCtx>`, which is
+// `Send + Sync` by construction.
+unsafe impl ShardWorld for ShardedCluster {
+    type Msg = Wire;
+
+    fn deliver(&mut self, engine: &mut Engine<Self>, at: Nanos, wire: Wire) {
+        debug_assert_eq!(
+            self.ctx.topo.shard_of(wire.dst as usize),
+            self.shard as usize,
+            "wire routed to the wrong shard"
+        );
+        let dst = wire.dst as usize;
+        let msg = wire.msg;
+        engine.schedule(at, move |w: &mut ShardedCluster, e| {
+            w.wire_arrive(e, dst, msg)
+        });
+    }
+
+    fn drain_outbox(&mut self, sink: &mut Vec<OutMsg<Wire>>) {
+        sink.append(&mut self.outbox);
+    }
+}
+
+impl ShardedCluster {
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard as usize
+    }
+
+    /// The shared cluster state.
+    pub fn shared(&self) -> Arc<ShardCtx> {
+        Arc::clone(&self.ctx)
+    }
+
+    /// This shard's measurements (merge across shards after a run).
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// This shard's tracer (merge across shards after a run).
+    pub fn trace(&self) -> &Tracer {
+        &self.trace
+    }
+
+    /// True when this shard owns `server`.
+    pub fn owns_server(&self, server: usize) -> bool {
+        self.local_idx.get(server).is_some_and(|&i| i != usize::MAX)
+    }
+
+    /// Global ids of the servers this shard owns, ascending.
+    pub fn local_servers(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.id).collect()
+    }
+
+    /// Resets latency/counter state for steady-state measurement and
+    /// snapshots each local server's busy-core integral.
+    pub fn reset_steady_state(&mut self) {
+        self.metrics.reset_steady_state();
+        for slot in &mut self.slots {
+            slot.busy_snapshot = slot.cpu.busy_core_ns();
+        }
+    }
+
+    /// Sum of local servers' CPU utilization over `[since, now]`, measured
+    /// from the steady-state snapshots. Divide the cross-shard sum by the
+    /// total server count for the cluster mean.
+    pub fn utilization_sum(&self, since: Nanos, now: Nanos) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| s.cpu.utilization_since(s.busy_snapshot, since, now))
+            .sum()
+    }
+
+    /// A snapshot of the shared placement directory, for post-run
+    /// inspection (actor counts, server sizes) by benches.
+    ///
+    /// Call only while the runner is idle — between `run_until` calls or
+    /// after the run — never from inside a window phase.
+    pub fn directory_snapshot(&self) -> DenseDirectory {
+        // SAFETY: no window phase is live on an idle runner, so nothing
+        // holds the cell; see the `PhaseCell` discipline in the module docs.
+        unsafe { self.ctx.directory.get() }.clone()
+    }
+
+    /// True when nothing is queued, running, or joining on this shard.
+    pub fn is_drained(&self) -> bool {
+        self.outbox.is_empty()
+            && self.slots.iter().all(|s| {
+                s.running.is_empty() && s.joins.is_empty() && s.stages.iter().all(|st| st.is_idle())
+            })
+    }
+
+    #[inline]
+    fn slot_idx(&self, server: usize) -> usize {
+        let idx = self.local_idx[server];
+        debug_assert_ne!(
+            idx,
+            usize::MAX,
+            "server {server} not on shard {}",
+            self.shard
+        );
+        idx
+    }
+
+    /// Whether `server` is currently failed. Reads the shared flags, which
+    /// only change at barriers.
+    #[inline]
+    fn server_failed(&self, server: usize) -> bool {
+        // SAFETY: `failed` is written only from the serial phase; windows
+        // and the serial thread both may read.
+        let failed = unsafe { self.ctx.failed.get() };
+        failed[server]
+    }
+
+    /// First live server at or after `preferred` (wrapping).
+    fn try_next_live(&self, preferred: usize) -> Option<usize> {
+        // SAFETY: as in `server_failed`.
+        let failed = unsafe { self.ctx.failed.get() };
+        let n = self.ctx.topo.servers;
+        (0..n).map(|i| (preferred + i) % n).find(|&s| !failed[s])
+    }
+
+    // ------------------------------------------------------------------
+    // Message movement (mirrors `Cluster` hop for hop).
+    // ------------------------------------------------------------------
+
+    /// A message arrives on the wire at `server` (always local to this
+    /// shard) and enters the receiver stage.
+    fn wire_arrive(&mut self, engine: &mut Engine<ShardedCluster>, server: usize, mut msg: SMsg) {
+        msg.delivered_remotely = true;
+        if self.server_failed(server) {
+            self.metrics.lost_in_flight += 1;
+            if self.trace.enabled() {
+                self.trace.record(SpanEvent::instant(
+                    msg.request,
+                    HopKind::MsgLost,
+                    server as u32,
+                    0,
+                    engine.now(),
+                ));
+            }
+            match msg.kind {
+                SKind::Request { .. } => self.schedule_retry(engine, msg, server),
+                SKind::Response { .. } => {
+                    self.metrics.stale_responses += 1;
+                    self.note_stale_response(engine.now(), msg.request, server);
+                }
+            }
+            return;
+        }
+        let is_fresh_client_request =
+            msg.from_actor.is_none() && !msg.forwarded && matches!(msg.kind, SKind::Request { .. });
+        if is_fresh_client_request
+            && self.slots[self.slot_idx(server)].stages[StageKind::Receiver.index()].queue_len()
+                >= self.ctx.config.max_receiver_queue
+        {
+            self.metrics.rejected += 1;
+            if self.trace.enabled() {
+                let at = engine.now();
+                self.trace.record(SpanEvent::instant(
+                    msg.request,
+                    HopKind::Shed,
+                    server as u32,
+                    0,
+                    at,
+                ));
+                self.trace
+                    .flight_dump(HopKind::Shed, msg.request, server as u32, at);
+            }
+            return;
+        }
+        self.enqueue(
+            engine,
+            server,
+            StageKind::Receiver.index(),
+            SItem::Deserialize(msg),
+        );
+    }
+
+    /// Schedules a backoff retry for a request whose delivery to `dead`
+    /// failed. Unlike the sequential cluster (which draws the failover
+    /// target from the gateway stream when the timer fires), the target is
+    /// picked *now*, deterministically from the message identity, and the
+    /// retry ships through the outbox — backoff is always at least the
+    /// base backoff, which build validation pins above the lookahead.
+    #[cold]
+    fn schedule_retry(&mut self, engine: &mut Engine<ShardedCluster>, mut msg: SMsg, dead: usize) {
+        let policy = self.ctx.config.retry;
+        if msg.attempts >= policy.max_attempts {
+            self.metrics.retry_budget_exhausted += 1;
+            return;
+        }
+        msg.attempts += 1;
+        let shift = u32::from(msg.attempts - 1).min(20);
+        let backoff =
+            Nanos::from_nanos(policy.base_backoff.as_nanos().saturating_mul(1u64 << shift))
+                .min(policy.max_backoff);
+        let jitter = if policy.jitter > 0.0 {
+            // Pure hash of (request, attempt): no RNG stream, so the draw
+            // cannot depend on cross-server event interleaving.
+            let h = mix64(msg.request ^ mix64(self.ctx.seed_mix ^ u64::from(msg.attempts)));
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            Nanos::from_nanos_f64(backoff.as_nanos() as f64 * unit * policy.jitter)
+        } else {
+            Nanos::ZERO
+        };
+        let delay = backoff + jitter;
+        self.metrics.retries += 1;
+        self.metrics.retry_backoff_ns += delay.as_nanos();
+        let now = engine.now();
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                msg.request,
+                HopKind::Retry,
+                dead as u32,
+                u64::from(msg.attempts),
+                now,
+            ));
+        }
+        let first = (mix64(
+            msg.request ^ mix64(self.ctx.seed_mix.rotate_left(17) ^ u64::from(msg.attempts)),
+        ) % self.ctx.topo.servers as u64) as usize;
+        // When nobody is live the message bounces off the dead server again
+        // and re-enters this retry path with one more attempt consumed.
+        let target = self.try_next_live(first).unwrap_or(dead);
+        msg.forwarded = true;
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent {
+                request: msg.request,
+                kind: HopKind::FailoverRetry,
+                server: target as u32,
+                stage: NO_STAGE,
+                aux: dead as u64,
+                t_start: now + delay,
+                t_end: now + delay,
+            });
+        }
+        debug_assert!(delay.as_nanos() >= self.ctx.lookahead_ns);
+        self.push_wire(now + delay, dead, target, msg);
+    }
+
+    /// Queues a server-to-server delivery in the outbox for injection at a
+    /// barrier. `src` keys the tie-break sequence; `at` must be at least
+    /// one lookahead past the current window.
+    fn push_wire(&mut self, at: Nanos, src: usize, dst: usize, msg: SMsg) {
+        let idx = self.slot_idx(src);
+        let slot = &mut self.slots[idx];
+        slot.out_seq += 1;
+        self.outbox.push(OutMsg {
+            at,
+            src_server: src as u32,
+            src_seq: slot.out_seq,
+            dst_shard: self.ctx.topo.shard_of(dst) as u32,
+            msg: Wire {
+                dst: dst as u32,
+                msg,
+            },
+        });
+    }
+
+    /// Pushes an item into a stage queue and pumps the server.
+    fn enqueue(
+        &mut self,
+        engine: &mut Engine<ShardedCluster>,
+        server: usize,
+        stage: usize,
+        item: SItem,
+    ) {
+        let now = engine.now();
+        let idx = self.slot_idx(server);
+        self.slots[idx].stages[stage].push(now, item);
+        self.pump(engine, server);
+    }
+
+    /// Starts queued items on every stage with a free thread, then re-arms
+    /// the CPU completion event.
+    fn pump(&mut self, engine: &mut Engine<ShardedCluster>, server: usize) {
+        if self.server_failed(server) {
+            return;
+        }
+        let now = engine.now();
+        let idx = self.slot_idx(server);
+        loop {
+            let mut started = false;
+            #[allow(clippy::needless_range_loop)]
+            for stage in 0..4 {
+                while let Some((item, wait)) = self.slots[idx].stages[stage].try_start(now) {
+                    if self.trace.enabled() {
+                        self.trace.record(SpanEvent {
+                            request: item_request(&item),
+                            kind: HopKind::QueueWait,
+                            server: server as u32,
+                            stage: stage as u8,
+                            aux: 0,
+                            t_start: now.saturating_sub(wait),
+                            t_end: now,
+                        });
+                    }
+                    let (cpu_ns, wait_ns, post, request) = self.prepare(server, item);
+                    let cpu_ns = cpu_ns.max(1.0);
+                    let tid = self.slots[idx].cpu.add(now, cpu_ns);
+                    self.slots[idx].running.insert(
+                        tid,
+                        SRunning {
+                            stage,
+                            post,
+                            started: now,
+                            cpu_ns,
+                            wait_ns,
+                            request,
+                        },
+                    );
+                    started = true;
+                }
+            }
+            if !started {
+                break;
+            }
+        }
+        self.sync_cpu(engine, server);
+    }
+
+    /// Computes a stage item's CPU demand, blocking time, and completion
+    /// action. Worker requests invoke the shared application logic with the
+    /// *server's* RNG stream.
+    fn prepare(&mut self, server: usize, item: SItem) -> (f64, f64, SPost, u64) {
+        let costs = &self.ctx.config.costs;
+        match item {
+            SItem::Deserialize(msg) => (
+                costs.deserialize_ns(msg.bytes),
+                0.0,
+                SPost::RouteToWorker(msg),
+                msg.request,
+            ),
+            SItem::Execute(msg) => match msg.kind {
+                SKind::Request { .. } => {
+                    // Hosted = directory entry, or our own window-local
+                    // placement not yet flushed to the directory.
+                    // SAFETY: window-phase read; writers only at barriers.
+                    let dir = unsafe { self.ctx.directory.get() };
+                    let hosted = match dir.server_of(msg.to.0) {
+                        Some(s) => s == server,
+                        None => {
+                            self.slots[self.local_idx[server]]
+                                .dir_overlay
+                                .get(&msg.to.0)
+                                == Some(&(server as u32))
+                        }
+                    };
+                    if !hosted {
+                        return (
+                            costs.dispatch_fixed_ns,
+                            0.0,
+                            SPost::Forward(msg),
+                            msg.request,
+                        );
+                    }
+                    let local_copy = if !msg.delivered_remotely && msg.from_actor.is_some() {
+                        costs.local_copy_ns(msg.bytes)
+                    } else {
+                        0.0
+                    };
+                    let ctx = &self.ctx;
+                    let slot = &mut self.slots[self.local_idx[server]];
+                    let reaction = ctx.app.on_request(msg.to, msg.tag, &mut slot.rng_app);
+                    (
+                        reaction.cpu_ns + local_copy,
+                        reaction.blocking_ns,
+                        SPost::ApplyRequest { msg, reaction },
+                        msg.request,
+                    )
+                }
+                SKind::Response { .. } => {
+                    // Responses execute on the join's owner server by
+                    // construction — no hosted check, no forwarding.
+                    let local_copy = if !msg.delivered_remotely && msg.from_actor.is_some() {
+                        costs.local_copy_ns(msg.bytes)
+                    } else {
+                        0.0
+                    };
+                    (
+                        self.ctx.app.continuation_cpu_ns() + local_copy,
+                        0.0,
+                        SPost::ApplyResponse(msg),
+                        msg.request,
+                    )
+                }
+            },
+            SItem::SerializeRemote { dst, msg } => (
+                costs.serialize_ns(msg.bytes),
+                0.0,
+                SPost::NetSend { dst, msg },
+                msg.request,
+            ),
+            SItem::SerializeClient {
+                request,
+                root_start,
+                bytes,
+            } => (
+                costs.serialize_ns(bytes),
+                0.0,
+                SPost::ClientReply {
+                    request,
+                    root_start,
+                    bytes,
+                },
+                request,
+            ),
+        }
+    }
+
+    /// Re-arms the pending CPU-completion event (identical retarget-in-
+    /// place discipline as the sequential cluster).
+    fn sync_cpu(&mut self, engine: &mut Engine<ShardedCluster>, server: usize) {
+        let idx = self.slot_idx(server);
+        let next = self.slots[idx].cpu.next_completion();
+        match (self.slots[idx].cpu_event, next) {
+            (Some((at, _)), Some(target)) if at == target => {}
+            (Some((_, id)), Some(target)) => {
+                engine.reschedule(id, target);
+                self.slots[idx].cpu_event = Some((target, id));
+            }
+            (Some((_, id)), None) => {
+                engine.cancel(id);
+                self.slots[idx].cpu_event = None;
+            }
+            (None, Some(target)) => {
+                let id = engine.schedule_tick(target, Self::cpu_tick, server as u64);
+                self.slots[idx].cpu_event = Some((target, id));
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// The CPU-completion event in tick form (payload = global server id).
+    fn cpu_tick(world: &mut ShardedCluster, engine: &mut Engine<ShardedCluster>, server: u64) {
+        world.cpu_done(engine, server as usize);
+    }
+
+    /// The CPU-completion event: collect finished compute phases, run
+    /// their blocking waits, finish tasks, and pump.
+    fn cpu_done(&mut self, engine: &mut Engine<ShardedCluster>, server: usize) {
+        if self.server_failed(server) {
+            return; // The event raced with a crash; the work is gone.
+        }
+        let idx = self.slot_idx(server);
+        self.slots[idx].cpu_event = None;
+        let now = engine.now();
+        let done = self.slots[idx].cpu.take_completed(now);
+        for tid in done {
+            let task = self.slots[idx]
+                .running
+                .remove(&tid)
+                .expect("completed CPU task must be tracked");
+            if task.wait_ns > 0.0 {
+                let wait = Nanos::from_nanos_f64(task.wait_ns);
+                engine.schedule_after(wait, move |w: &mut ShardedCluster, e| {
+                    w.task_finished(e, server, task);
+                });
+            } else {
+                self.task_finished(engine, server, task);
+            }
+        }
+        self.pump(engine, server);
+    }
+
+    /// A stage task fully finished: free the thread, record the estimator
+    /// window, apply the completion action.
+    fn task_finished(
+        &mut self,
+        engine: &mut Engine<ShardedCluster>,
+        server: usize,
+        task: SRunning,
+    ) {
+        if self.server_failed(server) {
+            return; // A blocking wait outlived its server's crash.
+        }
+        let now = engine.now();
+        let idx = self.slot_idx(server);
+        self.slots[idx].stages[task.stage].finish(now);
+        let window = &mut self.slots[idx].windows[task.stage];
+        window.completions += 1;
+        window.sum_wallclock_ns += (now - task.started).as_nanos() as f64;
+        window.sum_cpu_ns += task.cpu_ns;
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent {
+                request: task.request,
+                kind: HopKind::Service,
+                server: server as u32,
+                stage: task.stage as u8,
+                aux: 0,
+                t_start: task.started,
+                t_end: now,
+            });
+        }
+        match task.post {
+            SPost::RouteToWorker(msg) => {
+                self.enqueue(
+                    engine,
+                    server,
+                    StageKind::Worker.index(),
+                    SItem::Execute(msg),
+                );
+            }
+            SPost::ApplyRequest { msg, reaction } => {
+                self.apply_request(engine, server, msg, reaction);
+            }
+            SPost::ApplyResponse(msg) => {
+                self.apply_response(engine, server, msg);
+            }
+            SPost::Forward(msg) => {
+                self.forward(engine, server, msg);
+            }
+            SPost::NetSend { dst, msg } => {
+                self.net_send(engine, server, dst, msg);
+            }
+            SPost::ClientReply {
+                request,
+                root_start,
+                bytes,
+            } => {
+                let delay = self
+                    .ctx
+                    .config
+                    .costs
+                    .network
+                    .delay(&mut self.slots[idx].rng_net, bytes);
+                if self.trace.enabled() {
+                    self.trace.record(SpanEvent {
+                        request,
+                        kind: HopKind::Network,
+                        server: server as u32,
+                        stage: NO_STAGE,
+                        aux: NO_SERVER as u64,
+                        t_start: now,
+                        t_end: now + delay,
+                    });
+                }
+                // Client-side delivery: stays on this shard, no lookahead
+                // constraint.
+                engine.schedule_after(delay, move |w: &mut ShardedCluster, e| {
+                    w.complete_request(e.now(), request, root_start);
+                });
+            }
+        }
+        self.pump(engine, server);
+    }
+
+    /// Puts a server-to-server message on the wire via the outbox. The
+    /// network delay floor is the runner's lookahead, so the delivery is
+    /// always injectable at a later barrier.
+    fn net_send(&mut self, engine: &mut Engine<ShardedCluster>, src: usize, dst: usize, msg: SMsg) {
+        let now = engine.now();
+        let idx = self.slot_idx(src);
+        let delay = self
+            .ctx
+            .config
+            .costs
+            .network
+            .delay(&mut self.slots[idx].rng_net, msg.bytes);
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent {
+                request: msg.request,
+                kind: HopKind::Network,
+                server: src as u32,
+                stage: NO_STAGE,
+                aux: dst as u64,
+                t_start: now,
+                t_end: now + delay,
+            });
+        }
+        debug_assert!(
+            delay.as_nanos() >= self.ctx.lookahead_ns,
+            "network delay below the conservative lookahead"
+        );
+        self.push_wire(now + delay, src, dst, msg);
+    }
+
+    /// Applies a request handler's decision.
+    fn apply_request(
+        &mut self,
+        engine: &mut Engine<ShardedCluster>,
+        server: usize,
+        msg: SMsg,
+        reaction: Reaction,
+    ) {
+        let SKind::Request { reply } = msg.kind else {
+            unreachable!("apply_request on a response");
+        };
+        match reaction.outcome {
+            Outcome::Reply { bytes } => {
+                self.emit_reply(
+                    engine,
+                    server,
+                    msg.to,
+                    reply,
+                    bytes,
+                    msg.request,
+                    msg.root_start,
+                    msg.issued_at,
+                    msg.call_was_remote,
+                );
+            }
+            Outcome::FanOut { calls, reply_bytes } => {
+                if calls.is_empty() {
+                    self.emit_reply(
+                        engine,
+                        server,
+                        msg.to,
+                        reply,
+                        reply_bytes,
+                        msg.request,
+                        msg.root_start,
+                        msg.issued_at,
+                        msg.call_was_remote,
+                    );
+                    return;
+                }
+                let idx = self.slot_idx(server);
+                let handle = self.slots[idx].joins.insert(SJoin {
+                    reply,
+                    actor: msg.to,
+                    remaining: calls.len(),
+                    reply_bytes,
+                    request: msg.request,
+                    root_start: msg.root_start,
+                    issued_at: msg.issued_at,
+                    call_was_remote: msg.call_was_remote,
+                });
+                let target = SReply::Join {
+                    owner: server as u32,
+                    handle,
+                    actor: msg.to,
+                };
+                for call in calls {
+                    self.send_request(
+                        engine,
+                        server,
+                        msg.to,
+                        call,
+                        target,
+                        msg.request,
+                        msg.root_start,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Issues an actor-to-actor request.
+    #[allow(clippy::too_many_arguments)]
+    fn send_request(
+        &mut self,
+        engine: &mut Engine<ShardedCluster>,
+        server: usize,
+        from: ActorId,
+        call: Call,
+        reply: SReply,
+        request: u64,
+        root_start: Nanos,
+    ) {
+        let now = engine.now();
+        let dst = self.resolve(server, call.to);
+        let remote = dst != server;
+        self.note_actor_message(now, server, dst, from, call.to);
+        if self.trace.enabled() {
+            let kind = if remote {
+                HopKind::RemoteDispatch
+            } else {
+                HopKind::LocalDispatch
+            };
+            self.trace.record(SpanEvent {
+                request,
+                kind,
+                server: server as u32,
+                stage: NO_STAGE,
+                aux: dst as u64,
+                t_start: now,
+                t_end: now,
+            });
+        }
+        let msg = SMsg {
+            to: call.to,
+            tag: call.tag,
+            bytes: call.bytes,
+            kind: SKind::Request { reply },
+            request,
+            root_start,
+            issued_at: now,
+            delivered_remotely: remote,
+            from_actor: Some(from),
+            forwarded: false,
+            call_was_remote: remote,
+            attempts: 0,
+            hops: 0,
+        };
+        if remote {
+            self.enqueue(
+                engine,
+                server,
+                StageKind::ServerSender.index(),
+                SItem::SerializeRemote { dst, msg },
+            );
+        } else {
+            self.enqueue(
+                engine,
+                server,
+                StageKind::Worker.index(),
+                SItem::Execute(msg),
+            );
+        }
+    }
+
+    /// Folds a sub-call response into its join (always on the owner
+    /// server); emits the actor's reply when the join completes.
+    fn apply_response(&mut self, engine: &mut Engine<ShardedCluster>, server: usize, msg: SMsg) {
+        let SKind::Response { owner, handle } = msg.kind else {
+            unreachable!("apply_response on a request");
+        };
+        debug_assert_eq!(owner as usize, server, "response off its owner server");
+        let now = engine.now();
+        if self.ctx.config.record_remote_call_latency && msg.call_was_remote {
+            self.metrics
+                .remote_call_latency
+                .record((now - msg.issued_at).as_nanos());
+        }
+        let idx = self.slot_idx(server);
+        let completed = match self.slots[idx].joins.get_mut(handle) {
+            None => {
+                // The join died with a crash of this server's process.
+                self.metrics.stale_responses += 1;
+                self.note_stale_response(now, msg.request, server);
+                return;
+            }
+            Some(join) => {
+                join.remaining -= 1;
+                join.remaining == 0
+            }
+        };
+        if completed {
+            let join = self.slots[idx].joins.remove(handle).expect("join present");
+            self.emit_reply(
+                engine,
+                server,
+                join.actor,
+                join.reply,
+                join.reply_bytes,
+                join.request,
+                join.root_start,
+                join.issued_at,
+                join.call_was_remote,
+            );
+        }
+    }
+
+    /// Sends an actor's reply to its caller (client or awaiting join).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_reply(
+        &mut self,
+        engine: &mut Engine<ShardedCluster>,
+        server: usize,
+        from: ActorId,
+        reply: SReply,
+        bytes: u64,
+        request: u64,
+        root_start: Nanos,
+        orig_issued_at: Nanos,
+        orig_was_remote: bool,
+    ) {
+        match reply {
+            SReply::Client => {
+                self.enqueue(
+                    engine,
+                    server,
+                    StageKind::ClientSender.index(),
+                    SItem::SerializeClient {
+                        request,
+                        root_start,
+                        bytes,
+                    },
+                );
+            }
+            SReply::Join {
+                owner,
+                handle,
+                actor,
+            } => {
+                let now = engine.now();
+                let dst = owner as usize;
+                let remote = dst != server;
+                self.note_actor_message(now, server, dst, from, actor);
+                let msg = SMsg {
+                    to: actor,
+                    tag: 0,
+                    bytes,
+                    kind: SKind::Response { owner, handle },
+                    request,
+                    root_start,
+                    issued_at: orig_issued_at,
+                    delivered_remotely: remote,
+                    from_actor: Some(from),
+                    forwarded: false,
+                    call_was_remote: orig_was_remote || remote,
+                    attempts: 0,
+                    hops: 0,
+                };
+                if remote {
+                    self.enqueue(
+                        engine,
+                        server,
+                        StageKind::ServerSender.index(),
+                        SItem::SerializeRemote { dst, msg },
+                    );
+                } else {
+                    self.enqueue(
+                        engine,
+                        server,
+                        StageKind::Worker.index(),
+                        SItem::Execute(msg),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Re-routes a request whose target actor is not hosted on `server`.
+    fn forward(&mut self, engine: &mut Engine<ShardedCluster>, server: usize, mut msg: SMsg) {
+        msg.hops = msg.hops.saturating_add(1);
+        if msg.hops > MAX_FORWARD_HOPS {
+            self.metrics.forward_loop_drops += 1;
+            if self.trace.enabled() {
+                self.trace.record(SpanEvent::instant(
+                    msg.request,
+                    HopKind::MsgLost,
+                    server as u32,
+                    u64::from(msg.hops),
+                    engine.now(),
+                ));
+            }
+            return;
+        }
+        self.metrics.forwarded_messages += 1;
+        msg.forwarded = true;
+        let dst = self.resolve(server, msg.to);
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                msg.request,
+                HopKind::Forward,
+                server as u32,
+                dst as u64,
+                engine.now(),
+            ));
+        }
+        if dst == server {
+            self.enqueue(
+                engine,
+                server,
+                StageKind::Worker.index(),
+                SItem::Execute(msg),
+            );
+        } else {
+            self.enqueue(
+                engine,
+                server,
+                StageKind::ServerSender.index(),
+                SItem::SerializeRemote { dst, msg },
+            );
+        }
+    }
+
+    /// Records an actor-to-actor message in the locality metrics and the
+    /// endpoint sketches. The source offer goes in directly (the source is
+    /// local); a remote destination's offer is buffered for the barrier so
+    /// sketch update order is independent of the shard layout.
+    fn note_actor_message(
+        &mut self,
+        now: Nanos,
+        src_server: usize,
+        dst_server: usize,
+        from: ActorId,
+        to: ActorId,
+    ) {
+        let remote = src_server != dst_server;
+        if remote {
+            self.metrics.remote_messages += 1;
+        } else {
+            self.metrics.local_messages += 1;
+        }
+        self.metrics
+            .remote_share_series
+            .record(now.as_nanos(), if remote { 1.0 } else { 0.0 });
+        let idx = self.slot_idx(src_server);
+        self.slots[idx].edge_sketch.offer((from, to), 1);
+        if dst_server == src_server {
+            self.slots[idx].edge_sketch.offer((to, from), 1);
+        } else {
+            self.sketch_offers.push((dst_server as u32, to, from));
+        }
+    }
+
+    /// Resolves the hosting server for `actor`, activating it if needed.
+    /// Placement is identity-hash based (deterministic without a shared RNG
+    /// stream); the new entry is buffered for the next barrier and mirrored
+    /// in this server's private overlay.
+    fn resolve(&mut self, server: usize, actor: ActorId) -> usize {
+        // SAFETY: window-phase read; writers only at barriers.
+        let dir = unsafe { self.ctx.directory.get() };
+        if let Some(s) = dir.server_of(actor.0) {
+            return s;
+        }
+        let idx = self.local_idx[server];
+        if let Some(&s) = self.slots[idx].dir_overlay.get(&actor.0) {
+            return s as usize;
+        }
+        let failed = unsafe { self.ctx.failed.get() };
+        let hint = self.slots[idx]
+            .take_location_hint(&actor)
+            .filter(|&h| !failed[h]);
+        let hinted = hint.is_some();
+        let preferred = hint.unwrap_or_else(|| {
+            (mix64(actor.0 ^ self.ctx.seed_mix) % self.ctx.topo.servers as u64) as usize
+        });
+        let n = self.ctx.topo.servers;
+        let target = (0..n)
+            .map(|i| (preferred + i) % n)
+            .find(|&s| !failed[s])
+            .unwrap_or(preferred);
+        self.slots[idx].dir_overlay.insert(actor.0, target as u32);
+        self.dir_ops.push(DirOp {
+            actor: actor.0,
+            target: target as u32,
+            hinted,
+            src: server as u32,
+        });
+        target
+    }
+
+    /// Completes a client request: the response reached the client.
+    fn complete_request(&mut self, now: Nanos, request: u64, root_start: Nanos) {
+        self.metrics.completed += 1;
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                request,
+                HopKind::ClientDone,
+                NO_SERVER,
+                0,
+                now,
+            ));
+        }
+        let total = (now - root_start).as_nanos();
+        self.metrics.e2e_latency.record(total);
+        self.metrics
+            .latency_series
+            .record(now.as_nanos(), total as f64);
+    }
+
+    /// Records a stale-response trace instant.
+    #[cold]
+    #[inline(never)]
+    fn note_stale_response(&mut self, now: Nanos, request: u64, server: usize) {
+        if self.trace.enabled() {
+            self.trace.record(SpanEvent::instant(
+                request,
+                HopKind::StaleResponse,
+                server as u32,
+                0,
+                now,
+            ));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // ActOp hooks (serial-phase; driven through `GlobalCtx` helpers or
+    // directly by the thread agent on the owning cell).
+    // ------------------------------------------------------------------
+
+    /// Drains the per-stage observation windows of a local server.
+    pub fn drain_stage_stats(&mut self, now: Nanos, server: usize) -> [StageReport; 4] {
+        let idx = self.slot_idx(server);
+        let mut out = [StageReport {
+            arrivals: 0,
+            completions: 0,
+            window: Nanos::ZERO,
+            sum_wallclock_ns: 0.0,
+            sum_cpu_ns: 0.0,
+            mean_queue_len: 0.0,
+        }; 4];
+        for (i, report) in out.iter_mut().enumerate() {
+            let pool_stats = self.slots[idx].stages[i].drain_stats(now);
+            let window = std::mem::take(&mut self.slots[idx].windows[i]);
+            *report = StageReport {
+                arrivals: pool_stats.arrivals,
+                completions: window.completions,
+                window: pool_stats.window,
+                sum_wallclock_ns: window.sum_wallclock_ns,
+                sum_cpu_ns: window.sum_cpu_ns,
+                mean_queue_len: pool_stats.mean_queue_len(),
+            };
+        }
+        out
+    }
+
+    /// Current thread allocation of a local server, in stage order.
+    pub fn thread_allocation(&self, server: usize) -> [usize; 4] {
+        self.slots[self.slot_idx(server)].thread_allocation()
+    }
+
+    /// Current queue lengths of a local server, in stage order.
+    pub fn queue_lengths(&self, server: usize) -> [usize; 4] {
+        self.slots[self.slot_idx(server)].queue_lengths()
+    }
+
+    /// Reconfigures a local server's per-stage thread allocation.
+    pub fn set_stage_threads(
+        &mut self,
+        engine: &mut Engine<ShardedCluster>,
+        server: usize,
+        allocation: [usize; 4],
+    ) {
+        let now = engine.now();
+        let idx = self.slot_idx(server);
+        for (i, &threads) in allocation.iter().enumerate() {
+            self.slots[idx].stages[i].set_threads(now, threads);
+        }
+        let total: usize = allocation.iter().sum();
+        self.slots[idx].cpu.set_configured_threads(now, total);
+        self.pump(engine, server);
+    }
+}
+
+/// Request key of a stage item (for trace spans).
+fn item_request(item: &SItem) -> u64 {
+    match item {
+        SItem::Deserialize(m) | SItem::Execute(m) => m.request,
+        SItem::SerializeRemote { msg, .. } => msg.request,
+        SItem::SerializeClient { request, .. } => *request,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serial-phase helpers. Holding `&mut GlobalCtx` proves the caller is on
+// the serial thread, which is what makes the internal `PhaseCell`
+// accesses sound — these functions are the safe API over that discipline.
+// ---------------------------------------------------------------------
+
+type Ctx<'a, 'b> = &'a mut GlobalCtx<'b, ShardedCluster>;
+
+fn shared_of(ctx: Ctx<'_, '_>) -> Arc<ShardCtx> {
+    ctx.cell(0).world.shared()
+}
+
+/// Installs the barrier hook that flushes buffered shared-state effects.
+/// Call once on a fresh runner, before running.
+pub fn install_sharded_hooks(runner: &mut ConservativeRunner<ShardedCluster>) {
+    runner.set_barrier_hook(barrier_flush);
+}
+
+/// The barrier hook: applies buffered directory placements (sorted,
+/// place-if-vacant, hinted ops first) and cross-server sketch offers
+/// (sorted, aggregated), then clears every server's placement overlay.
+pub fn barrier_flush(ctx: &mut GlobalCtx<'_, ShardedCluster>) {
+    let shared = shared_of(ctx);
+    let mut ops: Vec<DirOp> = Vec::new();
+    let mut offers: Vec<(u32, ActorId, ActorId)> = Vec::new();
+    for cell in ctx.cells() {
+        ops.append(&mut cell.world.dir_ops);
+        offers.append(&mut cell.world.sketch_offers);
+        for slot in &mut cell.world.slots {
+            slot.dir_overlay.clear();
+        }
+    }
+    if !ops.is_empty() {
+        ops.sort_unstable_by_key(|o| (o.actor, !o.hinted, o.target, o.src));
+        // SAFETY: serial phase; no window reader is live.
+        let dir = unsafe { shared.directory.get_mut() };
+        for op in ops {
+            if dir.server_of(op.actor).is_none() {
+                dir.place(op.actor, op.target as usize);
+            }
+        }
+    }
+    if !offers.is_empty() {
+        offers.sort_unstable();
+        let mut i = 0;
+        while i < offers.len() {
+            let (dst, to, from) = offers[i];
+            let mut j = i + 1;
+            while j < offers.len() && offers[j] == (dst, to, from) {
+                j += 1;
+            }
+            let count = (j - i) as u64;
+            let cell = ctx.cell(shared.topo.shard_of(dst as usize));
+            let idx = cell.world.local_idx[dst as usize];
+            cell.world.slots[idx].edge_sketch.offer((to, from), count);
+            i = j;
+        }
+    }
+}
+
+/// Submits a client request at `at >= ctx.now` through a uniformly random
+/// live gateway. `request` is the caller-minted global serial; the two RNG
+/// streams belong to the (serial-phase) workload driver.
+#[allow(clippy::too_many_arguments)]
+pub fn submit_client_request_sharded(
+    ctx: &mut GlobalCtx<'_, ShardedCluster>,
+    at: Nanos,
+    to: ActorId,
+    tag: u32,
+    bytes: u64,
+    request: u64,
+    rng_gateway: &mut DetRng,
+    rng_net: &mut DetRng,
+) {
+    let shared = shared_of(ctx);
+    let n = shared.topo.servers;
+    let first = rng_gateway.below(n);
+    // SAFETY: serial phase.
+    let failed = unsafe { shared.failed.get() };
+    let gateway = (0..n).map(|i| (first + i) % n).find(|&s| !failed[s]);
+    let Some(gateway) = gateway else {
+        // Total cluster loss: shed at admission (attributed to shard 0).
+        let cell = ctx.cell(0);
+        cell.world.metrics.submitted += 1;
+        cell.world.metrics.rejected += 1;
+        cell.world.metrics.shed_no_live += 1;
+        if cell.world.trace.enabled() {
+            cell.world
+                .trace
+                .record(SpanEvent::instant(request, HopKind::Shed, NO_SERVER, 0, at));
+        }
+        return;
+    };
+    let delay = shared.config.costs.network.delay(rng_net, bytes);
+    let msg = SMsg {
+        to,
+        tag,
+        bytes,
+        kind: SKind::Request {
+            reply: SReply::Client,
+        },
+        request,
+        root_start: at,
+        issued_at: at,
+        delivered_remotely: true,
+        from_actor: None,
+        forwarded: false,
+        call_was_remote: false,
+        attempts: 0,
+        hops: 0,
+    };
+    let cell = ctx.cell(shared.topo.shard_of(gateway));
+    cell.world.metrics.submitted += 1;
+    if cell.world.trace.enabled() {
+        cell.world.trace.record(SpanEvent::instant(
+            request,
+            HopKind::GatewayAdmit,
+            gateway as u32,
+            0,
+            at,
+        ));
+        cell.world.trace.record(SpanEvent {
+            request,
+            kind: HopKind::Network,
+            server: gateway as u32,
+            stage: NO_STAGE,
+            aux: 0,
+            t_start: at,
+            t_end: at + delay,
+        });
+    }
+    cell.engine
+        .schedule(at + delay, move |w: &mut ShardedCluster, e| {
+            w.wire_arrive(e, gateway, msg)
+        });
+}
+
+/// Migrates an actor (instant commit — transfer windows are unsupported):
+/// deactivation plus opportunistic re-placement, exactly as the sequential
+/// cluster's `commit_migration`.
+pub fn migrate_actor_sharded(ctx: Ctx<'_, '_>, now: Nanos, actor: ActorId, to: usize) {
+    let shared = shared_of(ctx);
+    let from = {
+        // SAFETY: serial phase.
+        let dir = unsafe { shared.directory.get_mut() };
+        let Some(from) = dir.server_of(actor.0) else {
+            return;
+        };
+        if from == to {
+            return;
+        }
+        dir.remove(actor.0);
+        from
+    };
+    {
+        let cell = ctx.cell(shared.topo.shard_of(from));
+        if cell.world.trace.enabled() {
+            cell.world.trace.record(SpanEvent::instant(
+                actor.0,
+                HopKind::Migration,
+                from as u32,
+                to as u64,
+                now,
+            ));
+        }
+        let idx = cell.world.local_idx[from];
+        cell.world.slots[idx].cache_location(actor, to);
+        cell.world.slots[idx]
+            .edge_sketch
+            .retain(|&(local, _)| local != actor);
+        cell.world.metrics.migrations += 1;
+        cell.world.metrics.migration_series.mark(now.as_nanos());
+    }
+    let cell = ctx.cell(shared.topo.shard_of(to));
+    let idx = cell.world.local_idx[to];
+    cell.world.slots[idx].cache_location(actor, to);
+}
+
+/// Applies an exchange outcome from the pairwise partition protocol.
+pub fn apply_exchange_sharded(
+    ctx: Ctx<'_, '_>,
+    now: Nanos,
+    initiator: usize,
+    responder: usize,
+    outcome: &ExchangeOutcome<ActorId>,
+) {
+    for actor in &outcome.accepted {
+        migrate_actor_sharded(ctx, now, *actor, responder);
+    }
+    for actor in &outcome.returned {
+        migrate_actor_sharded(ctx, now, *actor, initiator);
+    }
+    let shared = shared_of(ctx);
+    let ns = now.as_nanos();
+    for server in [initiator, responder] {
+        let cell = ctx.cell(shared.topo.shard_of(server));
+        let idx = cell.world.local_idx[server];
+        cell.world.slots[idx].last_exchange_ns = Some(ns);
+    }
+}
+
+/// A server's partition view: its hosted actors with their sampled edges,
+/// sorted for determinism (the candidate-set input).
+pub fn sharded_partition_view(
+    ctx: Ctx<'_, '_>,
+    server: usize,
+) -> Vec<(ActorId, Vec<(ActorId, u64)>)> {
+    let shared = shared_of(ctx);
+    // SAFETY: serial phase.
+    let dir = unsafe { shared.directory.get() };
+    let cell = ctx.cell(shared.topo.shard_of(server));
+    let idx = cell.world.local_idx[server];
+    let sketch = &cell.world.slots[idx].edge_sketch;
+    let mut by_actor: FxHashMap<ActorId, Vec<(ActorId, u64)>> = FxHashMap::default();
+    for entry in sketch.iter_entries() {
+        let (local, peer) = entry.item;
+        if dir.server_of(local.0) == Some(server) {
+            by_actor.entry(local).or_default().push((peer, entry.count));
+        }
+    }
+    let mut out: Vec<(ActorId, Vec<(ActorId, u64)>)> = by_actor.into_iter().collect();
+    out.sort_unstable_by_key(|(a, _)| *a);
+    for (_, edges) in &mut out {
+        edges.sort_unstable_by_key(|&(peer, _)| peer);
+    }
+    out
+}
+
+/// Actors hosted per server (directory view).
+pub fn sharded_server_sizes(ctx: Ctx<'_, '_>) -> Vec<usize> {
+    let shared = shared_of(ctx);
+    // SAFETY: serial phase.
+    unsafe { shared.directory.get() }.sizes().to_vec()
+}
+
+/// Where an actor currently lives (directory view).
+pub fn sharded_locate(ctx: Ctx<'_, '_>, actor: ActorId) -> Option<usize> {
+    let shared = shared_of(ctx);
+    // SAFETY: serial phase.
+    unsafe { shared.directory.get() }.server_of(actor.0)
+}
+
+/// Whether a server is currently failed.
+pub fn sharded_is_failed(ctx: Ctx<'_, '_>, server: usize) -> bool {
+    let shared = shared_of(ctx);
+    // SAFETY: serial phase.
+    let failed = unsafe { shared.failed.get() };
+    failed[server]
+}
+
+/// Nanosecond timestamp of a server's last exchange (the cooldown input).
+pub fn sharded_last_exchange(ctx: Ctx<'_, '_>, server: usize) -> Option<u64> {
+    let shared = shared_of(ctx);
+    let cell = ctx.cell(shared.topo.shard_of(server));
+    let idx = cell.world.local_idx[server];
+    cell.world.slots[idx].last_exchange_ns
+}
+
+/// Runs `f` against the shared placement directory (read-only). The
+/// `GlobalCtx` parameter is the serial-phase proof; the closure form lets
+/// protocol code (e.g. candidate-set scoring) do many lookups without
+/// re-proving the phase per call.
+pub fn with_directory_sharded<R>(ctx: Ctx<'_, '_>, f: impl FnOnce(&DenseDirectory) -> R) -> R {
+    let shared = shared_of(ctx);
+    // SAFETY: serial phase.
+    let dir = unsafe { shared.directory.get() };
+    f(dir)
+}
+
+/// Multiplies one server's edge-sketch counters by `factor` (the
+/// per-agent aging step).
+pub fn sharded_age_sketch(ctx: Ctx<'_, '_>, server: usize, factor: f64) {
+    let shared = shared_of(ctx);
+    let cell = ctx.cell(shared.topo.shard_of(server));
+    let idx = cell.world.local_idx[server];
+    cell.world.slots[idx].edge_sketch.scale(factor);
+}
+
+/// Multiplies every server's edge-sketch counters by `factor`.
+pub fn sharded_age_sketches(ctx: Ctx<'_, '_>, factor: f64) {
+    for cell in ctx.cells() {
+        for slot in &mut cell.world.slots {
+            slot.edge_sketch.scale(factor);
+        }
+    }
+}
+
+/// Crashes a server: queues, running tasks, sketches, caches, and joins
+/// are lost; its directory entries are purged (the whole cluster learns
+/// instantly, the legacy oracle). Virtual actors re-activate elsewhere on
+/// their next message.
+pub fn fail_server_sharded(ctx: Ctx<'_, '_>, server: usize) {
+    let shared = shared_of(ctx);
+    {
+        // SAFETY: serial phase.
+        let failed = unsafe { shared.failed.get_mut() };
+        if failed[server] {
+            return;
+        }
+        failed[server] = true;
+    }
+    let now = ctx.now;
+    {
+        // SAFETY: serial phase.
+        let dir = unsafe { shared.directory.get_mut() };
+        for actor in dir.vertices_on(server) {
+            dir.remove(actor);
+        }
+    }
+    let cell = ctx.cell(shared.topo.shard_of(server));
+    cell.world.metrics.server_failures += 1;
+    if cell.world.trace.enabled() {
+        cell.world.trace.record(SpanEvent::instant(
+            0,
+            HopKind::ServerFail,
+            server as u32,
+            0,
+            now,
+        ));
+        cell.world
+            .trace
+            .flight_dump(HopKind::ServerFail, 0, server as u32, now);
+    }
+    let idx = cell.world.local_idx[server];
+    if let Some((_, id)) = cell.world.slots[idx].cpu_event.take() {
+        cell.engine.cancel(id);
+    }
+    let config = shared.config.clone();
+    cell.world.slots[idx].reset_process(&config);
+}
+
+/// Brings a crashed server back as a fresh, empty process.
+pub fn recover_server_sharded(ctx: Ctx<'_, '_>, server: usize) {
+    let shared = shared_of(ctx);
+    // SAFETY: serial phase.
+    let failed = unsafe { shared.failed.get_mut() };
+    failed[server] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actop_sim::ConservativeRunner;
+
+    /// Requests fan out to a couple of peer actors; peers reply directly.
+    struct FanApp;
+
+    impl ShardApp for FanApp {
+        fn on_request(&self, actor: ActorId, tag: u32, rng: &mut DetRng) -> Reaction {
+            if tag == 1 {
+                let fan = 2 + rng.below(2);
+                let calls = (0..fan)
+                    .map(|j| Call {
+                        to: ActorId(100 + (actor.0 * 7 + j as u64) % 9),
+                        tag: 0,
+                        bytes: 64,
+                    })
+                    .collect();
+                Reaction::fan_out(4_000.0 + rng.below(2_000) as f64, calls, 128)
+            } else {
+                Reaction::reply(2_000.0 + rng.below(1_000) as f64, 64)
+            }
+        }
+    }
+
+    fn test_config(servers: usize) -> RuntimeConfig {
+        let mut config = RuntimeConfig::paper_testbed(11);
+        config.servers = servers;
+        config.record_remote_call_latency = true;
+        config.series_bin_ns = 10_000_000;
+        config
+    }
+
+    fn run_case(shards: usize, threads: usize, requests: u64) -> ClusterMetrics {
+        let config = test_config(6);
+        let lookahead = sharded_lookahead(&config);
+        let series_bin = config.series_bin_ns;
+        let worlds = build_sharded(config, Box::new(FanApp), shards);
+        let mut runner = ConservativeRunner::new(worlds, lookahead);
+        install_sharded_hooks(&mut runner);
+        let mut rng_gw = DetRng::stream(42, 0x90);
+        let mut rng_net = DetRng::stream(42, 0x91);
+        runner.schedule_global(Nanos::ZERO, move |ctx| {
+            for i in 0..requests {
+                let at = Nanos::from_micros(20 * i);
+                submit_client_request_sharded(
+                    ctx,
+                    at,
+                    ActorId(1 + i % 5),
+                    1,
+                    256,
+                    i,
+                    &mut rng_gw,
+                    &mut rng_net,
+                );
+            }
+        });
+        runner.run_until(Nanos::from_millis(300), threads);
+        let mut merged = ClusterMetrics::new(series_bin);
+        for cell in runner.cells() {
+            merged.merge_from(cell.world.metrics());
+        }
+        merged
+    }
+
+    fn run_chaos_case(shards: usize, threads: usize) -> ClusterMetrics {
+        let config = test_config(6);
+        let lookahead = sharded_lookahead(&config);
+        let series_bin = config.series_bin_ns;
+        let worlds = build_sharded(config, Box::new(FanApp), shards);
+        let mut runner = ConservativeRunner::new(worlds, lookahead);
+        install_sharded_hooks(&mut runner);
+        let mut rng_gw = DetRng::stream(9, 0x90);
+        let mut rng_net = DetRng::stream(9, 0x91);
+        runner.schedule_global(Nanos::ZERO, move |ctx| {
+            for i in 0..400u64 {
+                let at = Nanos::from_micros(100 * i);
+                submit_client_request_sharded(
+                    ctx,
+                    at,
+                    ActorId(1 + i % 8),
+                    1,
+                    256,
+                    i,
+                    &mut rng_gw,
+                    &mut rng_net,
+                );
+            }
+        });
+        // Crash two servers on (for shards > 1) different shards, then
+        // recover one of them mid-run.
+        runner.schedule_global(Nanos::from_millis(8), |ctx| {
+            fail_server_sharded(ctx, 2);
+            fail_server_sharded(ctx, 3);
+        });
+        runner.schedule_global(Nanos::from_millis(25), |ctx| {
+            recover_server_sharded(ctx, 2);
+        });
+        runner.run_until(Nanos::from_millis(120), threads);
+        let mut merged = ClusterMetrics::new(series_bin);
+        for cell in runner.cells() {
+            merged.merge_from(cell.world.metrics());
+        }
+        merged
+    }
+
+    fn counters(m: &ClusterMetrics) -> Vec<u64> {
+        vec![
+            m.submitted,
+            m.completed,
+            m.rejected,
+            m.stale_responses,
+            m.remote_messages,
+            m.local_messages,
+            m.forwarded_messages,
+            m.retries,
+            m.retry_budget_exhausted,
+            m.lost_in_flight,
+            m.server_failures,
+            m.e2e_latency.count(),
+            m.remote_call_latency.count(),
+            m.e2e_latency.quantile(0.5),
+            m.e2e_latency.max(),
+        ]
+    }
+
+    #[test]
+    fn topology_round_robin() {
+        let topo = ShardTopology {
+            servers: 10,
+            shards: 4,
+        };
+        assert_eq!(topo.shard_of(0), 0);
+        assert_eq!(topo.shard_of(5), 1);
+        assert_eq!(topo.shard_of(7), 3);
+    }
+
+    #[test]
+    fn build_deals_servers_round_robin() {
+        let worlds = build_sharded(test_config(10), Box::new(FanApp), 4);
+        assert_eq!(worlds.len(), 4);
+        assert_eq!(worlds[1].local_servers(), vec![1, 5, 9]);
+        assert!(worlds[1].owns_server(5));
+        assert!(!worlds[1].owns_server(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support request timeouts")]
+    fn build_rejects_unsupported_features() {
+        let mut config = test_config(4);
+        config.request_timeout = Some(Nanos::from_millis(100));
+        let _ = build_sharded(config, Box::new(FanApp), 2);
+    }
+
+    #[test]
+    fn sequential_run_completes_requests() {
+        let m = run_case(1, 1, 200);
+        assert_eq!(m.submitted, 200);
+        assert_eq!(m.completed, 200, "all requests drain in a healthy run");
+        assert_eq!(m.rejected, 0);
+        assert!(m.remote_messages > 0, "fan-outs cross servers");
+        assert!(m.e2e_latency.quantile(0.5) > 0);
+    }
+
+    #[test]
+    fn results_identical_across_shard_counts_and_threads() {
+        let base = run_case(1, 1, 200);
+        for (shards, threads) in [(2, 2), (3, 3), (6, 2)] {
+            let m = run_case(shards, threads, 200);
+            assert_eq!(
+                counters(&base),
+                counters(&m),
+                "shards={shards} threads={threads} diverged"
+            );
+            assert_eq!(base.e2e_latency.summary(), m.e2e_latency.summary());
+            assert_eq!(
+                base.latency_series.bins(),
+                m.latency_series.bins(),
+                "latency series diverged at shards={shards}"
+            );
+            assert_eq!(
+                base.remote_share_series.bins(),
+                m.remote_share_series.bins()
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_results_identical_across_shard_counts() {
+        let base = run_chaos_case(1, 1);
+        assert_eq!(base.server_failures, 2);
+        assert!(base.lost_in_flight > 0, "crashes lose in-flight messages");
+        assert!(
+            base.completed < base.submitted,
+            "some requests die with the crashed servers"
+        );
+        for (shards, threads) in [(2, 2), (5, 3)] {
+            let m = run_chaos_case(shards, threads);
+            assert_eq!(
+                counters(&base),
+                counters(&m),
+                "chaos shards={shards} threads={threads} diverged"
+            );
+            assert_eq!(base.e2e_latency.summary(), m.e2e_latency.summary());
+        }
+    }
+
+    #[test]
+    fn migration_helpers_move_actors_and_leave_hints() {
+        let config = test_config(4);
+        let lookahead = sharded_lookahead(&config);
+        let worlds = build_sharded(config, Box::new(FanApp), 2);
+        let mut runner = ConservativeRunner::new(worlds, lookahead);
+        install_sharded_hooks(&mut runner);
+        runner.schedule_global(Nanos::ZERO, |ctx| {
+            let shared = ctx.cell(0).world.shared();
+            // SAFETY: serial phase (inside a global event).
+            unsafe { shared.directory.get_mut() }.place(7, 1);
+            migrate_actor_sharded(ctx, Nanos::ZERO, ActorId(7), 2);
+            assert_eq!(
+                sharded_locate(ctx, ActorId(7)),
+                None,
+                "migration deactivates"
+            );
+            let to_cell = ctx.cell(0); // server 2 lives on shard 0 of 2
+            let idx = to_cell.world.local_idx[2];
+            assert_eq!(
+                to_cell.world.slots[idx].location_cache.get(&ActorId(7)),
+                Some(&2),
+                "destination caches the intended location"
+            );
+        });
+        runner.run_until(Nanos::from_micros(10), 1);
+        let migrations: u64 = runner
+            .cells()
+            .iter()
+            .map(|c| c.world.metrics().migrations)
+            .sum();
+        assert_eq!(migrations, 1);
+    }
+}

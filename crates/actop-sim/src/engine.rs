@@ -88,12 +88,25 @@ pub struct EngineReport {
     pub reschedules: u64,
     /// Highest number of simultaneously pending events.
     pub peak_pending: usize,
-    /// Wall-clock nanoseconds spent inside the run loops.
+    /// Wall-clock nanoseconds the run loops spanned. Under [`merge`] this
+    /// takes the **max** of the two sides: engines that ran concurrently
+    /// (shard workers, parallel sweeps) overlap in time, and summing their
+    /// spans would under-report parallel throughput.
+    ///
+    /// [`merge`]: EngineReport::merge
     pub wall_ns: u128,
+    /// CPU nanoseconds spent inside the run loops, summed across engines
+    /// under [`merge`] — the total simulation work, as opposed to the
+    /// elapsed time it took.
+    ///
+    /// [`merge`]: EngineReport::merge
+    pub cpu_ns: u128,
 }
 
 impl EngineReport {
-    /// Events executed per wall-clock second inside the run loops.
+    /// Events executed per wall-clock second inside the run loops. For a
+    /// merged report this is aggregate throughput: total events over the
+    /// longest concurrent span.
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_ns == 0 {
             0.0
@@ -102,22 +115,28 @@ impl EngineReport {
         }
     }
 
-    /// Merges another report into this one (summing counters, taking the
-    /// max of peaks); used to aggregate parallel runs.
+    /// Merges another report into this one: counters and CPU time sum,
+    /// peak queue depth and wall-clock span take the max (concurrent
+    /// engines overlap in time; sequential callers that want a total span
+    /// can sum `wall_ns` themselves).
     pub fn merge(&mut self, other: &EngineReport) {
         self.events_processed += other.events_processed;
         self.cancels += other.cancels;
         self.reschedules += other.reschedules;
         self.peak_pending = self.peak_pending.max(other.peak_pending);
-        self.wall_ns += other.wall_ns;
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
+        self.cpu_ns += other.cpu_ns;
     }
 
-    /// The one-line summary the bench binaries print.
+    /// The one-line summary the bench binaries print: throughput against
+    /// the wall-clock span, with the summed CPU time alongside so parallel
+    /// runs show both elapsed time and total work.
     pub fn line(&self) -> String {
         format!(
-            "engine: {:.2}M events in {:.2}s wall = {:.2}M events/s, peak queue {}, cancels {}, reschedules {}",
+            "engine: {:.2}M events in {:.2}s wall ({:.2}s cpu) = {:.2}M events/s, peak queue {}, cancels {}, reschedules {}",
             self.events_processed as f64 / 1e6,
             self.wall_ns as f64 / 1e9,
+            self.cpu_ns as f64 / 1e9,
             self.events_per_sec() / 1e6,
             self.peak_pending,
             self.cancels,
@@ -196,6 +215,13 @@ impl<W> Engine<W> {
         self.heap.len()
     }
 
+    /// Firing time of the earliest pending event, if any. The windowed
+    /// shard runner uses this to find the next activity across shards
+    /// without popping.
+    pub fn next_event_at(&self) -> Option<Nanos> {
+        self.heap.first().map(|e| e.at)
+    }
+
     /// Lifetime counters (events, cancels, reschedules, peak queue depth,
     /// wall-clock time inside the run loops).
     pub fn report(&self) -> EngineReport {
@@ -205,6 +231,9 @@ impl<W> Engine<W> {
             reschedules: self.reschedules,
             peak_pending: self.peak_pending,
             wall_ns: self.wall_ns,
+            // A single engine runs on one thread: its CPU time inside the
+            // run loops equals the time they spanned.
+            cpu_ns: self.wall_ns,
         }
     }
 
@@ -467,6 +496,26 @@ impl<W> Engine<W> {
         self.wall_ns += started.elapsed().as_nanos();
     }
 
+    /// Runs all events with firing time strictly `< end`, then advances
+    /// the clock to `end`. The strict horizon is the windowed-execution
+    /// primitive: a conservative-parallel window `[start, end)` owns
+    /// exactly the events before `end`, and events *at* `end` belong to
+    /// the next window (after the barrier that opens it).
+    pub fn run_before(&mut self, world: &mut W, end: Nanos) {
+        let started = std::time::Instant::now();
+        while let Some(head) = self.heap.first() {
+            if head.at >= end {
+                break;
+            }
+            let (at, payload) = self.pop_due(end).expect("head checked above");
+            self.fire(world, at, payload);
+        }
+        if end != Nanos::MAX {
+            self.now = self.now.max(end);
+        }
+        self.wall_ns += started.elapsed().as_nanos();
+    }
+
     /// Runs events until `keep_going` returns false (checked before each
     /// event) or the queue empties. Returns the number of events executed.
     pub fn run_while(&mut self, world: &mut W, mut keep_going: impl FnMut(&W) -> bool) -> u64 {
@@ -720,6 +769,51 @@ mod tests {
         assert_eq!(report.reschedules, 1);
         assert_eq!(report.peak_pending, 3);
         assert!(report.line().starts_with("engine:"));
+    }
+
+    #[test]
+    fn run_before_excludes_the_horizon() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule(Nanos(10), |w, _| w.push(1));
+        engine.schedule(Nanos(50), |w, _| w.push(2));
+        engine.schedule(Nanos(50), |w, _| w.push(3));
+        let mut out = Vec::new();
+        engine.run_before(&mut out, Nanos(50));
+        assert_eq!(
+            out,
+            vec![1],
+            "events at the horizon belong to the next window"
+        );
+        assert_eq!(engine.now(), Nanos(50));
+        engine.run_before(&mut out, Nanos(51));
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_sums_cpu_and_maxes_wall() {
+        let a = EngineReport {
+            events_processed: 10,
+            wall_ns: 100,
+            cpu_ns: 100,
+            peak_pending: 4,
+            ..EngineReport::default()
+        };
+        let b = EngineReport {
+            events_processed: 30,
+            wall_ns: 40,
+            cpu_ns: 40,
+            peak_pending: 9,
+            ..EngineReport::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.events_processed, 40);
+        assert_eq!(m.wall_ns, 100, "concurrent spans overlap: take the max");
+        assert_eq!(m.cpu_ns, 140, "work adds up: take the sum");
+        assert_eq!(m.peak_pending, 9);
+        let line = m.line();
+        assert!(line.contains("wall"), "{line}");
+        assert!(line.contains("cpu"), "{line}");
     }
 
     /// Heavy interleaved churn keeps the indexed heap consistent: firing

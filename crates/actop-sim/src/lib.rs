@@ -17,12 +17,14 @@
 //! * [`stage`] — SEDA stage: FIFO queue plus a bounded thread pool.
 //! * [`net`] — inter-server network delay model.
 //! * [`costs`] — the calibrated cost model shared by all experiments.
+//! * [`shard`] — conservative-parallel windowed execution over shards.
 
 pub mod costs;
 pub mod cpu;
 pub mod engine;
 pub mod net;
 pub mod rng;
+pub mod shard;
 pub mod stage;
 pub mod time;
 
@@ -31,5 +33,8 @@ pub use cpu::{CpuTaskId, PsCpu};
 pub use engine::{Engine, EngineReport, EventId, TickFn};
 pub use net::NetworkModel;
 pub use rng::{mix64, DetRng};
+pub use shard::{
+    ConservativeRunner, GlobalCtx, OutMsg, PhaseCell, ShardCell, ShardWorld, SpinBarrier,
+};
 pub use stage::{StagePool, StageStats};
 pub use time::Nanos;

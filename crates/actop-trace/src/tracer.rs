@@ -259,6 +259,45 @@ impl Tracer {
     pub fn server_count(&self) -> usize {
         self.rings.len()
     }
+
+    /// Folds another tracer's recordings into this one: spans append (in
+    /// the other tracer's recording order), drop and suppression counters
+    /// sum, and flight dumps append up to this tracer's cap. The sharded
+    /// runtime records per shard and merges at the end of a run; span
+    /// *counts* are partition-invariant, recording order is not, so
+    /// consumers comparing merged traces should use order-insensitive
+    /// digests.
+    pub fn merge_from(&mut self, other: &Tracer) {
+        if !other.enabled {
+            return;
+        }
+        if !self.enabled {
+            // Adopt the other tracer's shape so a merge target can start
+            // from `Tracer::disabled()`.
+            self.enabled = true;
+            self.threshold = other.threshold;
+            self.seed_mix = other.seed_mix;
+            self.max_dumps = other.max_dumps;
+            self.timeline_bin = other.timeline_bin;
+            self.spans.reserve(other.spans.capacity());
+        }
+        for &ev in &other.spans {
+            if self.spans.len() < self.spans.capacity() {
+                self.spans.push(ev);
+            } else {
+                self.dropped += 1;
+            }
+        }
+        self.dropped += other.dropped;
+        for dump in &other.dumps {
+            if self.dumps.len() < self.max_dumps {
+                self.dumps.push(dump.clone());
+            } else {
+                self.suppressed_dumps += 1;
+            }
+        }
+        self.suppressed_dumps += other.suppressed_dumps;
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +409,32 @@ mod tests {
         }
         assert_eq!(t.spans().len(), 8);
         assert_eq!(t.dropped_spans(), 12);
+    }
+
+    #[test]
+    fn merge_appends_spans_and_sums_drops() {
+        let cfg = TraceConfig {
+            span_capacity: 8,
+            ..TraceConfig::default()
+        };
+        let mut a = Tracer::new(1, &cfg);
+        let mut b = Tracer::new(1, &cfg);
+        for r in 0..3 {
+            a.record(ev(r, 0, r));
+        }
+        for r in 10..22 {
+            b.record(ev(r, 0, r));
+        }
+        assert_eq!(b.dropped_spans(), 4);
+        let mut merged = Tracer::disabled();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.spans().len(), 8, "caps at adopted capacity");
+        assert_eq!(merged.dropped_spans(), 3 + 4, "3 over cap + 4 inherited");
+        // Merging a disabled tracer is a no-op.
+        let before = merged.spans().len();
+        merged.merge_from(&Tracer::disabled());
+        assert_eq!(merged.spans().len(), before);
     }
 
     #[test]

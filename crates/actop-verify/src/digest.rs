@@ -92,6 +92,45 @@ impl fmt::Display for TraceDigest {
     }
 }
 
+/// Explains the first way two digests differ (`None` when equal).
+///
+/// Differential determinism tests — the same run repeated at different
+/// shard counts or thread counts must fingerprint identically — use this
+/// to turn a blunt two-struct `assert_eq!` dump into the one component
+/// that diverged.
+pub fn diff_digests(a: &TraceDigest, b: &TraceDigest) -> Option<String> {
+    if a.events != b.events {
+        return Some(format!("total events: {} vs {}", a.events, b.events));
+    }
+    for ((name, ca), (_, cb)) in a.kind_counts.iter().zip(&b.kind_counts) {
+        if ca != cb {
+            return Some(format!("kind {name}: {ca} vs {cb}"));
+        }
+    }
+    if a.server_counts != b.server_counts {
+        let servers: std::collections::BTreeSet<u32> = a
+            .server_counts
+            .keys()
+            .chain(b.server_counts.keys())
+            .copied()
+            .collect();
+        for s in servers {
+            let ca = a.server_counts.get(&s).copied().unwrap_or(0);
+            let cb = b.server_counts.get(&s).copied().unwrap_or(0);
+            if ca != cb {
+                return Some(format!("server {s}: {ca} vs {cb} events"));
+            }
+        }
+    }
+    if a.distinct_requests != b.distinct_requests {
+        return Some(format!(
+            "distinct requests: {} vs {}",
+            a.distinct_requests, b.distinct_requests
+        ));
+    }
+    None
+}
+
 /// Rewrites every server-valued field of the stream through `map`:
 /// the `server` field everywhere, the destination server in `aux` for
 /// server-to-server [`HopKind::Network`] hops and [`HopKind::Migration`],
@@ -150,6 +189,24 @@ mod tests {
         assert!(line.starts_with("events=4 servers=3 requests=2"));
         assert!(line.contains("admit=2"));
         assert!(!line.contains("shed"), "zero kinds omitted: {line}");
+    }
+
+    #[test]
+    fn diff_names_the_first_divergent_component() {
+        let base = vec![
+            ev(1, HopKind::GatewayAdmit, 0, 0),
+            ev(1, HopKind::Service, 1, 0),
+        ];
+        let d = TraceDigest::of(&base);
+        assert_eq!(diff_digests(&d, &d), None);
+
+        let extra = TraceDigest::of(&[base.clone(), vec![ev(2, HopKind::Service, 1, 0)]].concat());
+        let msg = diff_digests(&d, &extra).expect("event counts differ");
+        assert!(msg.contains("total events"), "{msg}");
+
+        let moved = TraceDigest::of(&[base[0], ev(1, HopKind::Service, 0, 0)]);
+        let msg = diff_digests(&d, &moved).expect("server counts differ");
+        assert!(msg.contains("server 0"), "{msg}");
     }
 
     #[test]

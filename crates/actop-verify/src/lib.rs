@@ -30,7 +30,7 @@ pub mod invariants;
 pub mod oracle;
 pub mod scenario;
 
-pub use digest::{relabel_servers, TraceDigest};
+pub use digest::{diff_digests, relabel_servers, TraceDigest};
 pub use invariants::{check_events, check_jsonl, CheckReport, CheckerConfig, Violation};
 pub use oracle::{
     divergence_curve, validate_pipeline, OracleConfig, StagePrediction, ValidationPoint,

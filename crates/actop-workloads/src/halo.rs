@@ -128,9 +128,9 @@ impl HaloConfig {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct PlayerInfo {
-    game: Option<u64>,
-    games_left: u32,
+pub(crate) struct PlayerInfo {
+    pub(crate) game: Option<u64>,
+    pub(crate) games_left: u32,
 }
 
 /// Lifecycle statistics, exposed for tests and convergence benches.
@@ -146,26 +146,45 @@ pub struct HaloStats {
     pub players_left: u64,
 }
 
-struct HaloState {
-    cfg: HaloConfig,
-    rng: DetRng,
-    players: HashMap<u64, PlayerInfo>,
-    games: HashMap<u64, Vec<u64>>,
-    pool: Vec<u64>,
-    alive: Vec<u64>,
-    alive_pos: HashMap<u64, usize>,
-    next_player: u64,
-    next_game: u64,
-    stats: HaloStats,
+/// The lifecycle state of the Halo population, shared between the request
+/// handlers and the driver. The sequential backend wraps it in an
+/// `Rc<RefCell<..>>`; the sharded backend wraps it in an
+/// `Arc<PhaseCell<..>>` and confines mutation to serial-phase globals.
+pub(crate) struct HaloState {
+    pub(crate) cfg: HaloConfig,
+    pub(crate) rng: DetRng,
+    pub(crate) players: HashMap<u64, PlayerInfo>,
+    pub(crate) games: HashMap<u64, Vec<u64>>,
+    pub(crate) pool: Vec<u64>,
+    pub(crate) alive: Vec<u64>,
+    pub(crate) alive_pos: HashMap<u64, usize>,
+    pub(crate) next_player: u64,
+    pub(crate) next_game: u64,
+    pub(crate) stats: HaloStats,
 }
 
 impl HaloState {
+    pub(crate) fn new(cfg: HaloConfig) -> Self {
+        HaloState {
+            rng: DetRng::stream(cfg.seed, 0x40),
+            players: HashMap::new(),
+            games: HashMap::new(),
+            pool: Vec::new(),
+            alive: Vec::new(),
+            alive_pos: HashMap::new(),
+            next_player: 0,
+            next_game: 0,
+            stats: HaloStats::default(),
+            cfg,
+        }
+    }
+
     fn add_alive(&mut self, p: u64) {
         self.alive_pos.insert(p, self.alive.len());
         self.alive.push(p);
     }
 
-    fn remove_alive(&mut self, p: u64) {
+    pub(crate) fn remove_alive(&mut self, p: u64) {
         let Some(pos) = self.alive_pos.remove(&p) else {
             return;
         };
@@ -177,7 +196,7 @@ impl HaloState {
         }
     }
 
-    fn new_player(&mut self) -> u64 {
+    pub(crate) fn new_player(&mut self) -> u64 {
         let p = self.next_player;
         self.next_player += 1;
         let (lo, hi) = self.cfg.games_per_player;
@@ -196,7 +215,7 @@ impl HaloState {
     }
 
     /// Forms one game from random pool members. Returns its id.
-    fn form_game(&mut self) -> u64 {
+    pub(crate) fn form_game(&mut self) -> u64 {
         let g = self.next_game;
         self.next_game += 1;
         let mut members = Vec::with_capacity(self.cfg.players_per_game);
@@ -214,14 +233,21 @@ impl HaloState {
         g
     }
 
-    fn can_form_game(&self) -> bool {
+    pub(crate) fn can_form_game(&self) -> bool {
         self.pool.len() >= self.cfg.players_per_game && self.pool.len() > self.cfg.idle_pool_target
     }
 
-    fn game_duration(&mut self) -> Nanos {
+    pub(crate) fn game_duration(&mut self) -> Nanos {
         let (lo, hi) = self.cfg.game_duration_s;
         Nanos::from_secs_f64(self.rng.uniform(lo, hi))
     }
+}
+
+/// Workload parameter sanity checks, shared by both backends' builders.
+pub(crate) fn validate_config(cfg: &HaloConfig) {
+    assert!(cfg.total_players >= cfg.players_per_game as u64);
+    assert!(cfg.players_per_game >= 2);
+    assert!(cfg.request_rate > 0.0);
 }
 
 /// The built Halo Presence workload.
@@ -234,55 +260,65 @@ struct HaloApp {
     cfg: HaloConfig,
 }
 
+/// Handles one Halo request against the current lifecycle state. Shared by
+/// the sequential [`AppLogic`] adapter and the sharded backend's
+/// `ShardApp` adapter so both backends run identical application logic;
+/// `rng` is whichever stream the calling backend owns.
+pub(crate) fn halo_reaction(
+    state: &HaloState,
+    actor: ActorId,
+    tag: u32,
+    rng: &mut DetRng,
+) -> Reaction {
+    let cfg = &state.cfg;
+    // Handler compute times are exponentially distributed around their
+    // configured means, giving realistic service-time variance.
+    let mut cost = |mean: f64| rng.exp(mean);
+    match tag {
+        TAG_STATUS => {
+            let player = actor.0;
+            let game = state.players.get(&player).and_then(|info| info.game);
+            match game.filter(|g| state.games.contains_key(g)) {
+                Some(g) => Reaction::fan_out(
+                    cost(cfg.status_cpu_ns),
+                    vec![Call {
+                        to: game_actor(g),
+                        tag: TAG_POLL,
+                        bytes: cfg.payload_bytes,
+                    }],
+                    cfg.request_bytes,
+                ),
+                // Idle or departed player: answer from local state.
+                None => Reaction::reply(cost(cfg.status_cpu_ns * 0.5), cfg.request_bytes),
+            }
+        }
+        TAG_POLL => {
+            let game = actor.0 - GAME_BASE;
+            match state.games.get(&game) {
+                Some(members) => {
+                    let calls = members
+                        .iter()
+                        .map(|&p| Call {
+                            to: player_actor(p),
+                            tag: TAG_PING,
+                            bytes: cfg.payload_bytes,
+                        })
+                        .collect();
+                    Reaction::fan_out(cost(cfg.poll_cpu_ns), calls, cfg.payload_bytes)
+                }
+                // The game ended while the poll was in flight.
+                None => Reaction::reply(cost(cfg.poll_cpu_ns * 0.5), cfg.payload_bytes),
+            }
+        }
+        TAG_PING => Reaction::reply(cost(cfg.ping_cpu_ns), cfg.payload_bytes),
+        other => unreachable!("unknown Halo tag {other}"),
+    }
+}
+
 impl AppLogic for HaloApp {
     fn on_request(&mut self, actor: ActorId, tag: u32, rng: &mut DetRng) -> Reaction {
         let state = self.state.borrow();
-        // Handler compute times are exponentially distributed around their
-        // configured means, giving realistic service-time variance.
-        let mut cost = |mean: f64| rng.exp(mean);
-        match tag {
-            TAG_STATUS => {
-                let player = actor.0;
-                let game = state.players.get(&player).and_then(|info| info.game);
-                match game.filter(|g| state.games.contains_key(g)) {
-                    Some(g) => Reaction::fan_out(
-                        cost(self.cfg.status_cpu_ns),
-                        vec![Call {
-                            to: game_actor(g),
-                            tag: TAG_POLL,
-                            bytes: self.cfg.payload_bytes,
-                        }],
-                        self.cfg.request_bytes,
-                    ),
-                    // Idle or departed player: answer from local state.
-                    None => {
-                        Reaction::reply(cost(self.cfg.status_cpu_ns * 0.5), self.cfg.request_bytes)
-                    }
-                }
-            }
-            TAG_POLL => {
-                let game = actor.0 - GAME_BASE;
-                match state.games.get(&game) {
-                    Some(members) => {
-                        let calls = members
-                            .iter()
-                            .map(|&p| Call {
-                                to: player_actor(p),
-                                tag: TAG_PING,
-                                bytes: self.cfg.payload_bytes,
-                            })
-                            .collect();
-                        Reaction::fan_out(cost(self.cfg.poll_cpu_ns), calls, self.cfg.payload_bytes)
-                    }
-                    // The game ended while the poll was in flight.
-                    None => {
-                        Reaction::reply(cost(self.cfg.poll_cpu_ns * 0.5), self.cfg.payload_bytes)
-                    }
-                }
-            }
-            TAG_PING => Reaction::reply(cost(self.cfg.ping_cpu_ns), self.cfg.payload_bytes),
-            other => unreachable!("unknown Halo tag {other}"),
-        }
+        halo_reaction(&state, actor, tag, rng)
     }
 
     fn continuation_cpu_ns(&self) -> f64 {
@@ -293,21 +329,8 @@ impl AppLogic for HaloApp {
 impl HaloWorkload {
     /// Creates the workload and its application logic.
     pub fn build(cfg: HaloConfig) -> (Box<dyn AppLogic>, HaloWorkload) {
-        assert!(cfg.total_players >= cfg.players_per_game as u64);
-        assert!(cfg.players_per_game >= 2);
-        assert!(cfg.request_rate > 0.0);
-        let state = Rc::new(RefCell::new(HaloState {
-            rng: DetRng::stream(cfg.seed, 0x40),
-            players: HashMap::new(),
-            games: HashMap::new(),
-            pool: Vec::new(),
-            alive: Vec::new(),
-            alive_pos: HashMap::new(),
-            next_player: 0,
-            next_game: 0,
-            stats: HaloStats::default(),
-            cfg,
-        }));
+        validate_config(&cfg);
+        let state = Rc::new(RefCell::new(HaloState::new(cfg)));
         let app = Box::new(HaloApp {
             state: Rc::clone(&state),
             cfg,

@@ -1,0 +1,340 @@
+//! The Halo Presence workload on the sharded runtime backend.
+//!
+//! Same application logic and lifecycle model as [`crate::halo`] — the
+//! request handlers literally share `halo_reaction` — adapted to the
+//! conservative-parallel execution discipline of
+//! `actop_runtime::sharded`:
+//!
+//! * The lifecycle state lives in an `Arc<PhaseCell<HaloState>>`. Request
+//!   handlers (running concurrently on shard workers) only *read* it; all
+//!   mutation (arrivals, matchmaking, game endings) happens in serial-phase
+//!   global events, so the window-phase reads are race-free.
+//! * Client requests are submitted by a batched pump: every millisecond a
+//!   global event pre-draws the Poisson arrivals of the next batch and
+//!   injects them with their exact timestamps. Per-request globals would
+//!   force a barrier per request and serialize the run; the batch keeps
+//!   windows wide. The only semantic difference from the sequential
+//!   driver is that a batch's target players are sampled from the alive
+//!   set at the batch boundary (at most 1 ms stale) — statistically
+//!   irrelevant and equally deterministic.
+//! * The driver draws from its own streams (`0x41` targets and gaps,
+//!   `0x42` gateway choice, `0x43` client network delay), so the draw
+//!   sequence is independent of shard count by construction.
+
+use std::sync::Arc;
+
+use actop_runtime::sharded::{submit_client_request_sharded, ShardedCluster};
+use actop_runtime::{ActorId, Reaction, ShardApp};
+use actop_sim::{ConservativeRunner, DetRng, GlobalCtx, Nanos, PhaseCell};
+
+use crate::halo::{
+    halo_reaction, player_actor, validate_config, HaloConfig, HaloState, HaloStats, TAG_STATUS,
+};
+
+/// Width of one request-pump batch of pre-drawn client arrivals.
+const PUMP_INTERVAL_NS: u64 = 1_000_000;
+
+/// The request-handler half: reads the shared lifecycle state, defers all
+/// logic to [`halo_reaction`].
+struct ShardHaloApp {
+    state: Arc<PhaseCell<HaloState>>,
+    continuation_cpu_ns: f64,
+}
+
+impl ShardApp for ShardHaloApp {
+    fn on_request(&self, actor: ActorId, tag: u32, rng: &mut DetRng) -> Reaction {
+        // SAFETY: lifecycle state is mutated only by serial-phase globals;
+        // during windows (where handlers run) it is read-only.
+        let state = unsafe { self.state.get() };
+        halo_reaction(state, actor, tag, rng)
+    }
+
+    fn continuation_cpu_ns(&self) -> f64 {
+        self.continuation_cpu_ns
+    }
+}
+
+/// The built sharded Halo Presence workload.
+pub struct ShardedHaloWorkload {
+    state: Arc<PhaseCell<HaloState>>,
+}
+
+impl ShardedHaloWorkload {
+    /// Creates the workload and its application logic.
+    pub fn build(cfg: HaloConfig) -> (Box<dyn ShardApp>, ShardedHaloWorkload) {
+        validate_config(&cfg);
+        let state = Arc::new(PhaseCell::new(HaloState::new(cfg)));
+        let app = Box::new(ShardHaloApp {
+            state: Arc::clone(&state),
+            continuation_cpu_ns: cfg.continuation_cpu_ns,
+        });
+        (app, ShardedHaloWorkload { state })
+    }
+
+    /// Current lifecycle statistics. Call only while the runner is idle
+    /// (before or after `run_until`).
+    pub fn stats(&self) -> HaloStats {
+        // SAFETY: no window phase is live while the runner is idle.
+        unsafe { self.state.get() }.stats
+    }
+
+    /// Number of currently live players. Call only while the runner is
+    /// idle.
+    pub fn live_players(&self) -> usize {
+        // SAFETY: as in `stats`.
+        unsafe { self.state.get() }.alive.len()
+    }
+
+    /// Number of currently running games. Call only while the runner is
+    /// idle.
+    pub fn live_games(&self) -> usize {
+        // SAFETY: as in `stats`.
+        unsafe { self.state.get() }.games.len()
+    }
+
+    /// Schedules pre-population, player arrivals, matchmaking churn, and
+    /// the batched client request pump as serial-phase globals.
+    pub fn install(&self, runner: &mut ConservativeRunner<ShardedCluster>) {
+        let state = Arc::clone(&self.state);
+        // SAFETY: the runner has not started; we have exclusive access.
+        let seed = unsafe { self.state.get() }.cfg.seed;
+        runner.schedule_global(Nanos::ZERO, move |ctx| {
+            prepopulate(&state, ctx);
+            arrival_tick(&state, ctx);
+            let pump = Pump {
+                state: Arc::clone(&state),
+                rng_req: DetRng::stream(seed, 0x41),
+                rng_gateway: DetRng::stream(seed, 0x42),
+                rng_net: DetRng::stream(seed, 0x43),
+                next_at: Nanos::ZERO,
+                next_request: 0,
+            };
+            request_pump(pump, ctx);
+        });
+    }
+}
+
+/// Creates the steady-state population at time zero, exactly as the
+/// sequential driver does (same state RNG stream, same draw order).
+fn prepopulate(state: &Arc<PhaseCell<HaloState>>, ctx: &mut GlobalCtx<'_, ShardedCluster>) {
+    let mut ends = Vec::new();
+    {
+        // SAFETY: serial phase (inside a global event).
+        let st = unsafe { state.get_mut() };
+        let total = st.cfg.total_players;
+        for _ in 0..total {
+            let p = st.new_player();
+            // Pre-populated players are mid-session: their remaining game
+            // count is residual (uniform in [1, max]), otherwise departures
+            // would lag arrivals and the population would overshoot.
+            let hi = st.cfg.games_per_player.1 as u64;
+            let remaining = st.rng.range_inclusive(1, hi) as u32;
+            if let Some(info) = st.players.get_mut(&p) {
+                info.games_left = remaining;
+            }
+        }
+        // Leave the pool at its target; everyone else plays.
+        while st.can_form_game() {
+            let g = st.form_game();
+            // Residual lifetime: uniform over a full game duration.
+            let full = st.game_duration();
+            let residual = Nanos::from_nanos(st.rng.range_inclusive(1, full.as_nanos().max(2)));
+            ends.push((g, residual));
+        }
+    }
+    for (g, at) in ends {
+        let state = Arc::clone(state);
+        ctx.schedule_global(at, move |ctx| game_over(&state, ctx, g));
+    }
+}
+
+/// One player arrives; matchmaking may start games.
+fn arrival_tick(state: &Arc<PhaseCell<HaloState>>, ctx: &mut GlobalCtx<'_, ShardedCluster>) {
+    let now = ctx.now;
+    let (gap, new_games, duration_end) = {
+        // SAFETY: serial phase.
+        let st = unsafe { state.get_mut() };
+        st.new_player();
+        let mut new_games = Vec::new();
+        while st.can_form_game() {
+            let g = st.form_game();
+            let d = st.game_duration();
+            new_games.push((g, d));
+        }
+        let rate = st.cfg.arrival_rate();
+        let gap = Nanos::from_secs_f64(st.rng.exp(1.0 / rate));
+        (gap, new_games, st.cfg.duration)
+    };
+    for (g, d) in new_games {
+        let state = Arc::clone(state);
+        ctx.schedule_global(now + d, move |ctx| game_over(&state, ctx, g));
+    }
+    if now + gap < duration_end {
+        let state = Arc::clone(state);
+        ctx.schedule_global(now + gap, move |ctx| arrival_tick(&state, ctx));
+    }
+}
+
+/// A game ends: members leave or re-enter the pool; matchmaking continues.
+fn game_over(
+    state: &Arc<PhaseCell<HaloState>>,
+    ctx: &mut GlobalCtx<'_, ShardedCluster>,
+    game: u64,
+) {
+    let now = ctx.now;
+    let new_games = {
+        // SAFETY: serial phase.
+        let st = unsafe { state.get_mut() };
+        let Some(members) = st.games.remove(&game) else {
+            return;
+        };
+        st.stats.games_ended += 1;
+        for p in members {
+            let Some(info) = st.players.get_mut(&p) else {
+                continue;
+            };
+            info.game = None;
+            info.games_left = info.games_left.saturating_sub(1);
+            if info.games_left == 0 {
+                st.players.remove(&p);
+                st.remove_alive(p);
+                st.stats.players_left += 1;
+            } else {
+                st.pool.push(p);
+            }
+        }
+        let mut new_games = Vec::new();
+        while st.can_form_game() {
+            let g = st.form_game();
+            let d = st.game_duration();
+            new_games.push((g, d));
+        }
+        new_games
+    };
+    for (g, d) in new_games {
+        let state = Arc::clone(state);
+        ctx.schedule_global(now + d, move |ctx| game_over(&state, ctx, g));
+    }
+}
+
+/// Everything the self-rescheduling request pump carries between batches.
+struct Pump {
+    state: Arc<PhaseCell<HaloState>>,
+    /// Target picks and inter-arrival gaps.
+    rng_req: DetRng,
+    /// Gateway selection per request.
+    rng_gateway: DetRng,
+    /// Client-to-gateway network delay per request.
+    rng_net: DetRng,
+    /// Timestamp of the next (already drawn into) arrival slot.
+    next_at: Nanos,
+    /// Monotone request serial.
+    next_request: u64,
+}
+
+/// The open-loop client status-request stream, one batch per call.
+fn request_pump(mut pump: Pump, ctx: &mut GlobalCtx<'_, ShardedCluster>) {
+    let batch_end = ctx.now + Nanos::from_nanos(PUMP_INTERVAL_NS);
+    let (rate, bytes, duration_end) = {
+        // SAFETY: serial phase.
+        let cfg = &unsafe { pump.state.get() }.cfg;
+        (cfg.request_rate, cfg.request_bytes, cfg.duration)
+    };
+    while pump.next_at < batch_end && pump.next_at < duration_end {
+        let target = {
+            // SAFETY: serial phase.
+            let st = unsafe { pump.state.get() };
+            if st.alive.is_empty() {
+                None
+            } else {
+                Some(st.alive[pump.rng_req.below(st.alive.len())])
+            }
+        };
+        if let Some(player) = target {
+            let request = pump.next_request;
+            pump.next_request += 1;
+            submit_client_request_sharded(
+                ctx,
+                pump.next_at,
+                player_actor(player),
+                TAG_STATUS,
+                bytes,
+                request,
+                &mut pump.rng_gateway,
+                &mut pump.rng_net,
+            );
+        }
+        let gap = Nanos::from_secs_f64(pump.rng_req.exp(1.0 / rate));
+        pump.next_at += gap;
+    }
+    if pump.next_at < duration_end {
+        ctx.schedule_global(batch_end, move |ctx| request_pump(pump, ctx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actop_runtime::sharded::{build_sharded, install_sharded_hooks, sharded_lookahead};
+    use actop_runtime::{ClusterMetrics, RuntimeConfig};
+
+    fn run_sharded_halo(
+        cfg: HaloConfig,
+        rt_seed: u64,
+        shards: usize,
+        threads: usize,
+    ) -> (ClusterMetrics, HaloStats, usize) {
+        let (app, workload) = ShardedHaloWorkload::build(cfg);
+        let rt = RuntimeConfig::paper_testbed(rt_seed);
+        let series_bin = rt.series_bin_ns;
+        let lookahead = sharded_lookahead(&rt);
+        let worlds = build_sharded(rt, app, shards);
+        let mut runner = ConservativeRunner::new(worlds, lookahead);
+        install_sharded_hooks(&mut runner);
+        workload.install(&mut runner);
+        // Run past the request stream's end so in-flight requests drain
+        // (the message-conservation assertions need a quiesced cluster).
+        runner.run_until(cfg.duration + Nanos::from_millis(100), threads);
+        let mut merged = ClusterMetrics::new(series_bin);
+        for cell in runner.cells() {
+            merged.merge_from(cell.world.metrics());
+        }
+        (merged, workload.stats(), workload.live_players())
+    }
+
+    #[test]
+    fn sharded_halo_completes_requests_with_full_fanout() {
+        let mut cfg = HaloConfig::paper_scale(64, 200.0, Nanos::from_millis(400), 3);
+        cfg.idle_pool_target = 0; // Everyone in games: full 18-message shape.
+        let (m, _, _) = run_sharded_halo(cfg, 3, 2, 2);
+        assert!(m.completed > 10, "completed {}", m.completed);
+        let actor_msgs = m.remote_messages + m.local_messages;
+        assert_eq!(
+            actor_msgs,
+            m.completed * 18,
+            "18 actor messages per status request"
+        );
+    }
+
+    #[test]
+    fn sharded_halo_identical_across_shard_counts() {
+        let cfg = HaloConfig::fast_churn(200, 300.0, Nanos::from_secs(2), 7);
+        let (base_m, base_stats, base_live) = run_sharded_halo(cfg, 7, 1, 1);
+        assert!(base_m.completed > 100);
+        assert!(base_stats.games_ended > 0, "fast churn must end games");
+        for (shards, threads) in [(2, 2), (4, 3)] {
+            let (m, stats, live) = run_sharded_halo(cfg, 7, shards, threads);
+            assert_eq!(base_m.completed, m.completed, "shards={shards}");
+            assert_eq!(base_m.submitted, m.submitted);
+            assert_eq!(base_m.remote_messages, m.remote_messages);
+            assert_eq!(base_m.local_messages, m.local_messages);
+            assert_eq!(
+                base_m.e2e_latency.summary(),
+                m.e2e_latency.summary(),
+                "latency distribution diverged at shards={shards}"
+            );
+            assert_eq!(base_stats, stats);
+            assert_eq!(base_live, live);
+        }
+    }
+}

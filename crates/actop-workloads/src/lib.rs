@@ -17,7 +17,9 @@
 //! single-threaded).
 
 pub mod halo;
+pub mod halo_sharded;
 pub mod uniform;
 
 pub use halo::{HaloConfig, HaloWorkload};
+pub use halo_sharded::ShardedHaloWorkload;
 pub use uniform::{counter, heartbeat, UniformConfig, UniformWorkload};
