@@ -15,18 +15,17 @@
 //! time and is excluded from determinism diffs). `ACTOP_CHAOS_SMOKE=1`
 //! shrinks the sweep to seconds for CI.
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::rc::Rc;
 
 use actop_bench::{
-    full_scale, maybe_export_trace, print_engine_line, print_row, trace_config_from_env,
-    HaloScenario,
+    full_scale, maybe_export_obs, maybe_export_trace, print_engine_line, print_row,
+    trace_config_from_env, HaloScenario,
 };
 use actop_chaos::{install_plan, FaultPlan};
 use actop_core::controllers::install_actop;
 use actop_core::experiment::{run_steady_state, RunSummary};
-use actop_runtime::{Cluster, DetectorConfig, RuntimeConfig};
+use actop_obs::{SloKind, SloSpec};
+use actop_runtime::{Cluster, DetectorAccuracy, DetectorConfig, ObsConfig, RuntimeConfig};
 use actop_sim::{Engine, EngineReport, Nanos};
 use actop_workloads::halo::HaloConfig;
 use actop_workloads::HaloWorkload;
@@ -34,57 +33,14 @@ use actop_workloads::HaloWorkload;
 /// Bin-mean end-to-end latency above this marks an SLO-violation window.
 const SLO_MS: f64 = 100.0;
 
+/// The declarative SLO the sweep evaluates (via the runtime's telemetry
+/// layer, which replaced this bench's hand-rolled window scan).
+fn chaos_slo() -> SloSpec {
+    SloSpec::new("latency_mean_100ms", SloKind::MeanLatencyBelowMs(SLO_MS))
+}
+
 fn smoke() -> bool {
     std::env::var("ACTOP_CHAOS_SMOKE").is_ok_and(|v| v == "1")
-}
-
-/// Detector-accuracy tallies: every 100 ms, each live observer's suspicion
-/// of every peer is compared against ground truth (`is_failed`).
-#[derive(Default, Clone, Copy)]
-struct DetectorAccuracy {
-    samples: u64,
-    true_suspect: u64,
-    false_suspect: u64,
-    missed_failure: u64,
-    true_clear: u64,
-}
-
-/// Self-rescheduling 100 ms accuracy sampler over `[at, until]`.
-fn schedule_accuracy_sampler(
-    engine: &mut Engine<Cluster>,
-    acc: Rc<RefCell<DetectorAccuracy>>,
-    at: Nanos,
-    until: Nanos,
-) {
-    engine.schedule(at, move |c: &mut Cluster, e| {
-        let now = e.now();
-        {
-            let mut a = acc.borrow_mut();
-            a.samples += 1;
-            let n = c.server_count();
-            for obs in 0..n {
-                if c.is_failed(obs) {
-                    continue; // A dead observer routes nothing.
-                }
-                for peer in 0..n {
-                    if peer == obs {
-                        continue;
-                    }
-                    let suspected = c.detector_suspects(obs, peer, now).unwrap_or(false);
-                    match (suspected, c.is_failed(peer)) {
-                        (true, true) => a.true_suspect += 1,
-                        (true, false) => a.false_suspect += 1,
-                        (false, true) => a.missed_failure += 1,
-                        (false, false) => a.true_clear += 1,
-                    }
-                }
-            }
-        }
-        let next = at + Nanos::from_millis(100);
-        if next <= until {
-            schedule_accuracy_sampler(e, acc, next, until);
-        }
-    });
 }
 
 /// One plan's results, reduced to plain data for reporting.
@@ -92,6 +48,9 @@ struct PlanResult {
     name: String,
     summary: RunSummary,
     accuracy: DetectorAccuracy,
+    /// `[start_s, end_s)` SLO-violation windows relative to measurement
+    /// start, from the telemetry layer's SLO engine.
+    windows: Vec<(usize, usize)>,
     /// Per-measurement-bin (goodput_per_s, mean_latency_ms), 1 s bins.
     bins: Vec<(f64, f64)>,
     flight_dumps: usize,
@@ -116,28 +75,43 @@ fn run_plan(scenario: &HaloScenario, plan: &FaultPlan) -> PlanResult {
     rt.migration_transfer = Some(Nanos::from_millis(2));
     rt.series_bin_ns = 1_000_000_000; // 1 s bins for SLO windows.
     rt.trace = trace_config_from_env(scenario.seed);
+    rt.obs = Some(ObsConfig {
+        slos: vec![chaos_slo()],
+        ..ObsConfig::default()
+    });
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
     workload.install(&mut engine);
     install_actop(&mut engine, scenario.servers, &scenario.actop(true, true));
     cluster.install_heartbeats(&mut engine, scenario.duration());
     cluster.install_timeline_sampler(&mut engine, scenario.duration());
+    cluster.install_scraper(&mut engine, scenario.duration());
     // Plans are authored relative to the measurement window.
     install_plan(&mut engine, &cluster, plan, scenario.warmup);
-    let acc = Rc::new(RefCell::new(DetectorAccuracy::default()));
-    schedule_accuracy_sampler(
+    cluster.install_accuracy_sampler(
         &mut engine,
-        Rc::clone(&acc),
         scenario.warmup,
         scenario.duration(),
+        Nanos::from_millis(100),
     );
 
     let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
 
-    // Slice the measurement window out of the absolute-time latency series.
+    // The measurement-relative violation windows, straight from the SLO
+    // engine (`run_steady_state` finalized it).
     let width = 1_000_000_000u64;
     let first = (scenario.warmup.as_nanos() / width) as usize;
     let last = (scenario.duration().as_nanos() / width) as usize;
+    let windows: Vec<(usize, usize)> = cluster
+        .obs
+        .as_ref()
+        .expect("chaos runs have telemetry on")
+        .slo_engine()
+        .windows_in(0, first, last)
+        .iter()
+        .map(|w| (w.start_bin, w.end_bin))
+        .collect();
+    // Goodput-over-time bins for the recovery assertions.
     let bins: Vec<(f64, f64)> = cluster
         .metrics
         .latency_series
@@ -148,31 +122,23 @@ fn run_plan(scenario: &HaloScenario, plan: &FaultPlan) -> PlanResult {
         .map(|(_, b)| (b.count as f64, b.mean() / 1e6))
         .collect();
     let flight_dumps = cluster.trace.flight_dumps().len();
+    let report = engine.report();
     maybe_export_trace(&cluster);
-    let accuracy = *acc.borrow();
+    maybe_export_obs(
+        &cluster,
+        &summary,
+        &report,
+        &plan.fault_notes(scenario.servers, scenario.warmup, scenario.duration()),
+    );
     PlanResult {
         name: plan.name.clone(),
         summary,
-        accuracy,
+        accuracy: cluster.detector_accuracy,
+        windows,
         bins,
         flight_dumps,
-        report: engine.report(),
+        report,
     }
-}
-
-/// `[start_s, end_s)` windows (relative to measurement start) whose
-/// bin-mean latency exceeded the SLO; adjacent bins merge.
-fn slo_windows(bins: &[(f64, f64)]) -> Vec<(usize, usize)> {
-    let mut out: Vec<(usize, usize)> = Vec::new();
-    for (i, &(count, mean_ms)) in bins.iter().enumerate() {
-        if count > 0.0 && mean_ms > SLO_MS {
-            match out.last_mut() {
-                Some(w) if w.1 == i => w.1 = i + 1,
-                _ => out.push((i, i + 1)),
-            }
-        }
-    }
-    out
 }
 
 /// Mean goodput (completions/s) over a bin range.
@@ -235,7 +201,7 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         let s = &r.summary;
         print_row(&r.name, s);
-        let windows = slo_windows(&r.bins);
+        let windows = &r.windows;
         let win_str: Vec<String> = windows.iter().map(|&(a, b)| format!("{a}-{b}s")).collect();
         let a = &r.accuracy;
         println!(

@@ -9,6 +9,14 @@ use actop_bench::{full_scale, run_halo_sweep, HaloCell, HaloScenario};
 use actop_core::controllers::ActOpConfig;
 use actop_sim::{EngineReport, Nanos};
 
+/// `ACTOP_PEAK_SMOKE=1` shrinks the ladder to a CI-sized probe (two load
+/// levels, short windows, small population) and writes
+/// `BENCH_engine_smoke.json` instead of `BENCH_engine.json` — the input
+/// of the `scripts/perf_gate.py` regression gate.
+fn peak_smoke() -> bool {
+    std::env::var("ACTOP_PEAK_SMOKE").is_ok_and(|v| v == "1")
+}
+
 /// A load level is sustained when overload shedding stays negligible,
 /// goodput tracks the offered rate (neither starving nor draining a
 /// backlog), and queueing has not gone pathological.
@@ -24,7 +32,11 @@ fn main() {
     println!("== Peak throughput: raise load until servers reject ==");
     println!("paper: baseline saturates ~6K req/s; ActOp sustains ~12K (2x)");
     println!();
-    let loads: Vec<f64> = (1..=9).map(|i| i as f64 * 2_000.0).collect();
+    let loads: Vec<f64> = if peak_smoke() {
+        vec![2_000.0, 4_000.0]
+    } else {
+        (1..=9).map(|i| i as f64 * 2_000.0).collect()
+    };
     // The whole (variant × load) ladder runs in parallel; the sequential
     // early-break at the first saturated level becomes an early break in
     // the in-order printing walk below, so the output is identical.
@@ -36,6 +48,11 @@ fn main() {
             if !full_scale() {
                 scenario.warmup = Nanos::from_secs(30);
                 scenario.measure = Nanos::from_secs(30);
+            }
+            if peak_smoke() {
+                scenario.players = 2_000;
+                scenario.warmup = Nanos::from_secs(5);
+                scenario.measure = Nanos::from_secs(10);
             }
             let actop = if kind == 0 {
                 ActOpConfig::default()
@@ -94,8 +111,13 @@ fn main() {
         engine_total.events_per_sec(),
     );
     json.push_str(&shard_scaling_rows());
-    if let Err(e) = std::fs::write("BENCH_engine.json", &json) {
-        eprintln!("could not write BENCH_engine.json: {e}");
+    let out = if peak_smoke() {
+        "BENCH_engine_smoke.json"
+    } else {
+        "BENCH_engine.json"
+    };
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("could not write {out}: {e}");
     }
 }
 
@@ -113,9 +135,17 @@ fn shard_scaling_rows() -> String {
         scenario.warmup = Nanos::from_secs(30);
         scenario.measure = Nanos::from_secs(30);
     }
+    let ladder: &[usize] = if peak_smoke() {
+        scenario.players = 2_000;
+        scenario.warmup = Nanos::from_secs(5);
+        scenario.measure = Nanos::from_secs(10);
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    };
     let actop = scenario.actop(true, true);
     let mut base_rate = 0.0f64;
-    for shards in [1usize, 2, 4, 8] {
+    for &shards in ladder {
         let (_, report, _) = run_halo_sharded(&scenario, &actop, shards);
         let rate = report.events_per_sec();
         if shards == 1 {

@@ -10,8 +10,12 @@ use actop_core::controllers::{
     install_actop, install_actop_sharded, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
+use actop_obs::{exposition, FaultNote, ScrapeWriter};
 use actop_runtime::sharded::install_sharded_hooks;
-use actop_runtime::{build_sharded, sharded_lookahead, Cluster, RuntimeConfig, TraceConfig};
+use actop_runtime::{
+    build_sharded, install_sharded_scrapers, sharded_lookahead, Cluster, ObsConfig, Observability,
+    RuntimeConfig, TraceConfig,
+};
 use actop_sim::{ConservativeRunner, Engine, EngineReport, Nanos};
 use actop_workloads::halo::HaloConfig;
 use actop_workloads::{HaloWorkload, ShardedHaloWorkload};
@@ -237,6 +241,132 @@ pub fn maybe_export_trace(cluster: &Cluster) {
     );
 }
 
+/// The env-configured telemetry for a run: `ACTOP_OBS=<path>` switches on
+/// metric scraping + SLO burn-rate alerting (the scrape JSONL and a
+/// Prometheus-exposition sibling are exported to `<path>` and `<path>.prom`
+/// by [`maybe_export_obs`]); `ACTOP_OBS_INTERVAL_MS=<ms>` overrides the
+/// 1 s scrape cadence.
+pub fn obs_config_from_env() -> Option<ObsConfig> {
+    std::env::var("ACTOP_OBS").ok()?;
+    let mut cfg = ObsConfig::default();
+    if let Ok(v) = std::env::var("ACTOP_OBS_INTERVAL_MS") {
+        match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => cfg.scrape_interval = Nanos::from_millis(ms),
+            _ => eprintln!(
+                "warning: ACTOP_OBS_INTERVAL_MS={v:?} is not a positive integer; scraping every 1 s"
+            ),
+        }
+    }
+    Some(cfg)
+}
+
+/// Whether `ACTOP_COST=1` switched on per-subsystem cost attribution (the
+/// `cost:` table printed by [`print_engine_line`]).
+pub fn cost_from_env() -> bool {
+    std::env::var("ACTOP_COST").is_ok_and(|v| v == "1")
+}
+
+/// Exports a telemetry-enabled run's artifacts if `ACTOP_OBS` is set: the
+/// scrape JSONL document (header, frames, alert/fault/SLO annotations,
+/// run summary, engine line) at `<path>` and the Prometheus exposition of
+/// the final scrape at `<path>.prom`. Everything written is a pure
+/// function of the simulation — same seed, byte-identical files (render
+/// the HTML report with `cargo run --bin report -- <path>`). Like
+/// [`maybe_export_trace`], a process running several simulations numbers
+/// the second and later exports `<path>.2`, `<path>.3`, ...
+pub fn maybe_export_obs(
+    cluster: &Cluster,
+    summary: &RunSummary,
+    report: &EngineReport,
+    faults: &[FaultNote],
+) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static EXPORTS: AtomicUsize = AtomicUsize::new(0);
+
+    let Ok(base) = std::env::var("ACTOP_OBS") else {
+        return;
+    };
+    let Some((jsonl, prom)) = obs_document(cluster, summary, report, faults) else {
+        return;
+    };
+    let obs = cluster.obs.as_ref().expect("obs_document checked");
+    let nth = EXPORTS.fetch_add(1, Ordering::SeqCst);
+    let path = if nth == 0 {
+        base.clone()
+    } else {
+        format!("{base}.{}", nth + 1)
+    };
+    let write = |path: &str, content: &str| {
+        if let Err(err) = std::fs::write(path, content) {
+            eprintln!("obs export failed for {path}: {err}");
+        }
+    };
+    write(&path, &jsonl);
+    write(&format!("{path}.prom"), &prom);
+    println!(
+        "obs: {path} frames={} alerts={} slos={}",
+        obs.registry().frames().count(),
+        obs.alerts().len(),
+        obs.slo_notes().len(),
+    );
+}
+
+/// Builds a telemetry-enabled run's artifacts in memory: the scrape JSONL
+/// document and the Prometheus exposition of the final scrape. `None`
+/// when the run had telemetry off. Pure function of the simulation —
+/// same seed, byte-identical strings (the property
+/// `tests/obs_determinism.rs` pins).
+pub fn obs_document(
+    cluster: &Cluster,
+    summary: &RunSummary,
+    report: &EngineReport,
+    faults: &[FaultNote],
+) -> Option<(String, String)> {
+    let obs = cluster.obs.as_ref()?;
+    let reg = obs.registry();
+    let mut w = ScrapeWriter::new(cluster.config.seed, obs.interval().as_nanos(), reg.defs());
+    w.frames(reg);
+    for a in obs.alerts() {
+        w.alert(a);
+    }
+    for f in faults {
+        w.fault(f);
+    }
+    for n in obs.slo_notes() {
+        w.slo(&n);
+    }
+    w.summary(&[
+        ("p50_ms", summary.p50_ms),
+        ("p95_ms", summary.p95_ms),
+        ("p99_ms", summary.p99_ms),
+        ("mean_ms", summary.mean_ms),
+        ("remote_fraction", summary.remote_fraction),
+        ("cpu_utilization", summary.cpu_utilization),
+        ("completed", summary.completed as f64),
+        ("submitted", summary.submitted as f64),
+        ("rejected", summary.rejected as f64),
+        ("timed_out", summary.timed_out as f64),
+        ("forwarded_messages", summary.forwarded_messages as f64),
+        ("stale_responses", summary.stale_responses as f64),
+        ("migrations", summary.migrations as f64),
+        ("throughput_per_s", summary.throughput_per_s),
+        ("retries", summary.retries as f64),
+        ("retry_backoff_ms", summary.retry_backoff_ms),
+        ("directory_repairs", summary.directory_repairs as f64),
+        (
+            "false_suspicion_repairs",
+            summary.false_suspicion_repairs as f64,
+        ),
+        ("shed_no_live", summary.shed_no_live as f64),
+        ("slo_alerts_opened", summary.slo_alerts_opened as f64),
+        ("slo_alerts_closed", summary.slo_alerts_closed as f64),
+    ]);
+    // Only deterministic engine quantities belong in the artifact; wall
+    // times and sampled costs are machine-dependent and stay on stdout.
+    w.engine(&[("events_processed", report.events_processed as f64)]);
+    Some((w.finish(), exposition(reg)))
+}
+
 /// The Halo workload configuration for a scenario, shared by both engine
 /// backends.
 fn halo_config(scenario: &HaloScenario) -> HaloConfig {
@@ -265,6 +395,8 @@ fn halo_runtime(scenario: &HaloScenario) -> RuntimeConfig {
     rt.servers = scenario.servers;
     rt.record_remote_call_latency = true;
     rt.trace = trace_config_from_env(scenario.seed);
+    rt.obs = obs_config_from_env();
+    rt.cost_attr = cost_from_env();
     if !full_scale() {
         rt.series_bin_ns = 5_000_000_000; // 5 s bins for the short runs.
     }
@@ -288,14 +420,20 @@ pub fn run_halo(
     }
     let (app, workload) = HaloWorkload::build(halo_config(scenario));
     let rt = halo_runtime(scenario);
+    let cost = rt.cost_attr;
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
+    engine.set_cost_attr(cost);
     workload.install(&mut engine);
     install_actop(&mut engine, scenario.servers, actop);
     cluster.install_timeline_sampler(&mut engine, scenario.duration());
+    cluster.install_scraper(&mut engine, scenario.duration());
     let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
+    let mut report = engine.report();
+    report.attr.merge(cluster.cost_attr());
     maybe_export_trace(&cluster);
-    (summary, engine.report(), cluster)
+    maybe_export_obs(&cluster, &summary, &report, &[]);
+    (summary, report, cluster)
 }
 
 /// Runs one Halo scenario on the sharded conservative-parallel backend
@@ -314,14 +452,21 @@ pub fn run_halo_sharded(
 ) -> (RunSummary, EngineReport, Cluster) {
     let cfg = halo_config(scenario);
     let rt = halo_runtime(scenario);
+    let cost = rt.cost_attr;
     let lookahead = sharded_lookahead(&rt);
     let (app, workload) = ShardedHaloWorkload::build(cfg);
     let worlds = build_sharded(rt, app, shards);
     let threads = worlds.len(); // `build_sharded` clamps to [1, servers].
     let mut runner = ConservativeRunner::new(worlds, lookahead);
+    for cell in runner.cells_mut() {
+        // Sharded attribution covers the engines' heap buckets; the
+        // runtime-subsystem buckets are a legacy-engine instrument.
+        cell.engine.set_cost_attr(cost);
+    }
     install_sharded_hooks(&mut runner);
     workload.install(&mut runner);
     install_actop_sharded(&mut runner, scenario.servers, actop);
+    install_sharded_scrapers(&mut runner, scenario.duration());
 
     runner.run_until(scenario.warmup, threads);
     for cell in runner.cells_mut() {
@@ -343,11 +488,32 @@ pub fn run_halo_sharded(
     }
     shell.directory = runner.cells()[0].world.directory_snapshot();
 
-    let util_sum: f64 = runner
-        .cells()
-        .iter()
-        .map(|cell| cell.world.utilization_sum(start, end))
-        .sum();
+    // Per-server utilizations reduced in global server order, so the
+    // cluster mean is bit-identical across shard splits (a float sum in
+    // shard order would differ in the last ulp).
+    let mut per_server_util = vec![0.0f64; scenario.servers];
+    for cell in runner.cells() {
+        for (server, util) in cell.world.utilizations(start, end) {
+            per_server_util[server] = util;
+        }
+    }
+    let util_sum: f64 = per_server_util.iter().sum();
+
+    // Merge the per-shard telemetry registries and evaluate the SLOs once
+    // over the merged series — bin-aligned alert timestamps make this
+    // byte-identical to the legacy engine's online alerting.
+    let mut merged_obs: Option<Observability> = None;
+    for cell in runner.cells_mut() {
+        if let Some(obs) = cell.world.take_obs() {
+            match merged_obs.as_mut() {
+                Some(m) => m.merge_from(&obs),
+                None => merged_obs = Some(obs),
+            }
+        }
+    }
+    if let Some(obs) = merged_obs {
+        shell.adopt_merged_obs(obs, end);
+    }
     let hist = &shell.metrics.e2e_latency;
     let quantiles = hist.summary();
     let summary = RunSummary {
@@ -370,9 +536,13 @@ pub fn run_halo_sharded(
         directory_repairs: shell.metrics.directory_repairs,
         false_suspicion_repairs: shell.metrics.false_suspicion_repairs,
         shed_no_live: shell.metrics.shed_no_live,
+        slo_alerts_opened: shell.metrics.slo_alerts_opened,
+        slo_alerts_closed: shell.metrics.slo_alerts_closed,
     };
+    let report = runner.report();
     maybe_export_trace(&shell);
-    (summary, runner.report(), shell)
+    maybe_export_obs(&shell, &summary, &report, &[]);
+    (summary, report, shell)
 }
 
 /// Runs a single-actor-type workload (counter / heartbeat) on a cluster.
@@ -392,12 +562,19 @@ pub fn run_uniform(
     if rt.trace.is_none() {
         rt.trace = trace_config_from_env(rt.seed);
     }
+    if rt.obs.is_none() {
+        rt.obs = obs_config_from_env();
+    }
+    rt.cost_attr = rt.cost_attr || cost_from_env();
+    let cost = rt.cost_attr;
     let servers = rt.servers;
     let (app, driver) = actop_workloads::UniformWorkload::build(workload);
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
+    engine.set_cost_attr(cost);
     driver.install(&mut engine);
     cluster.install_timeline_sampler(&mut engine, warmup + measure);
+    cluster.install_scraper(&mut engine, warmup + measure);
     if let Some(alloc) = threads {
         engine.schedule(Nanos::ZERO, move |c: &mut Cluster, e| {
             for server in 0..c.server_count() {
@@ -416,8 +593,11 @@ pub fn run_uniform(
         );
     }
     let summary = run_steady_state(&mut engine, &mut cluster, warmup, measure);
+    let mut report = engine.report();
+    report.attr.merge(cluster.cost_attr());
     maybe_export_trace(&cluster);
-    (summary, engine.report(), cluster)
+    maybe_export_obs(&cluster, &summary, &report, &[]);
+    (summary, report, cluster)
 }
 
 /// One (variant × seed) cell of a parallel sweep: everything a worker
@@ -553,6 +733,11 @@ pub fn print_engine_line(reports: &[EngineReport]) {
         total.merge(r);
     }
     println!("{}", total.line());
+    // Under `ACTOP_COST=1` the merged per-subsystem attribution follows
+    // (all-zero otherwise, in which case `table` stays silent).
+    if let Some(table) = total.attr.table() {
+        print!("{table}");
+    }
 }
 
 #[cfg(test)]

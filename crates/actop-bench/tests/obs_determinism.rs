@@ -1,0 +1,161 @@
+//! Telemetry artifacts are a pure function of the simulation.
+//!
+//! Two properties with teeth:
+//!
+//! 1. Same seed, two runs: the scrape JSONL document, its Prometheus
+//!    exposition, and the rendered HTML report are byte-identical.
+//! 2. Same seed, different shard counts: the sharded backend's exported
+//!    artifacts are byte-identical too, and the merged registry (frames
+//!    and final counter values) does not depend on the shard split —
+//!    including the satellite counters (rejected / timed out / forwarded
+//!    / stale) that ride on the merged shard metrics.
+//!
+//! The first test injects `ObsConfig` directly and builds the document
+//! in-process via [`actop_bench::obs_document`], so it needs no
+//! environment. The second drives the real `ACTOP_OBS` export path (this
+//! integration-test binary is its own process, and that test is the only
+//! one here that touches the environment).
+
+use actop_bench::{obs_document, run_halo_sharded, HaloScenario};
+use actop_core::controllers::install_actop;
+use actop_core::experiment::run_steady_state;
+use actop_obs::{parse_scrape_jsonl, render_html, validate_exposition, FrameValue, MetricKind};
+use actop_runtime::{Cluster, ObsConfig, RuntimeConfig};
+use actop_sim::{Engine, Nanos};
+use actop_workloads::halo::HaloConfig;
+use actop_workloads::HaloWorkload;
+
+fn scenario() -> HaloScenario {
+    HaloScenario {
+        players: 1_500,
+        request_rate: 500.0,
+        servers: 4,
+        warmup: Nanos::from_secs(4),
+        measure: Nanos::from_secs(10),
+        seed: 77,
+        game_duration_s: Some((60.0, 90.0)),
+    }
+}
+
+/// One telemetry-enabled legacy-engine run, reduced to its exported
+/// artifact strings (scrape JSONL, Prometheus exposition).
+fn legacy_run() -> (String, String) {
+    let sc = scenario();
+    let mut cfg = HaloConfig::paper_scale(sc.players, sc.request_rate, sc.duration(), sc.seed);
+    cfg.game_duration_s = sc.game_duration_s.unwrap();
+    let (app, workload) = HaloWorkload::build(cfg);
+    let mut rt = RuntimeConfig::paper_testbed(sc.seed);
+    rt.servers = sc.servers;
+    rt.series_bin_ns = 1_000_000_000;
+    rt.obs = Some(ObsConfig::default());
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    install_actop(&mut engine, sc.servers, &sc.actop(true, true));
+    cluster.install_scraper(&mut engine, sc.duration());
+    let summary = run_steady_state(&mut engine, &mut cluster, sc.warmup, sc.measure);
+    let report = engine.report();
+    obs_document(&cluster, &summary, &report, &[]).expect("telemetry was configured on")
+}
+
+#[test]
+fn two_runs_export_byte_identical_artifacts() {
+    let (jsonl_a, prom_a) = legacy_run();
+    let (jsonl_b, prom_b) = legacy_run();
+    assert_eq!(jsonl_a, jsonl_b, "scrape JSONL diverged across two runs");
+    assert_eq!(
+        prom_a, prom_b,
+        "Prometheus exposition diverged across two runs"
+    );
+
+    // The artifact round-trips through the report pipeline, the
+    // exposition validates, and the rendered HTML is byte-identical too.
+    let doc_a = parse_scrape_jsonl(&jsonl_a).expect("export must parse");
+    let doc_b = parse_scrape_jsonl(&jsonl_b).expect("export must parse");
+    let stats = validate_exposition(&prom_a).expect("exposition must validate");
+    assert!(stats.families > 0, "empty exposition");
+    let html_a = render_html(&doc_a, None);
+    let html_b = render_html(&doc_b, None);
+    assert!(!html_a.is_empty());
+    assert_eq!(html_a, html_b, "HTML report diverged across two runs");
+    assert!(!doc_a.frames.is_empty(), "no frames exported");
+}
+
+#[test]
+fn sharded_artifacts_are_shard_count_invariant() {
+    // Drive the real `ACTOP_OBS` export path: the first export in this
+    // process lands at `<base>`, the second at `<base>.2`.
+    let base = std::env::temp_dir().join(format!("actop-obs-det-{}.jsonl", std::process::id()));
+    let base = base.to_str().expect("temp path is utf-8").to_string();
+    std::env::set_var("ACTOP_OBS", &base);
+    let sc = scenario();
+    let actop = sc.actop(true, true);
+    let (s1, r1, shell1) = run_halo_sharded(&sc, &actop, 1);
+    let (s2, r2, shell2) = run_halo_sharded(&sc, &actop, 2);
+    std::env::remove_var("ACTOP_OBS");
+
+    let second = format!("{base}.2");
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p}: {e}"));
+    assert_eq!(
+        read(&base),
+        read(&second),
+        "exported scrape JSONL differs between 1 and 2 shards"
+    );
+    assert_eq!(
+        read(&format!("{base}.prom")),
+        read(&format!("{second}.prom")),
+        "exported exposition differs between 1 and 2 shards"
+    );
+    for p in [&base, &second] {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(format!("{p}.prom"));
+    }
+
+    // The merged registries agree frame-for-frame, and the satellite
+    // counters both exist and carry the same final values.
+    let obs1 = shell1.obs.as_ref().expect("sharded run had telemetry on");
+    let obs2 = shell2.obs.as_ref().expect("sharded run had telemetry on");
+    let (reg1, reg2) = (obs1.registry(), obs2.registry());
+    assert_eq!(reg1, reg2, "merged registry depends on the shard split");
+    assert!(reg1.frame_count() > 0, "no frames scraped");
+
+    let final_counter = |name: &str| -> u64 {
+        let idx = reg1
+            .defs()
+            .iter()
+            .position(|d| d.name == name && d.kind == MetricKind::Counter)
+            .unwrap_or_else(|| panic!("counter {name} not registered"));
+        let frame = reg1.frames().last().expect("at least one frame");
+        match frame.values[idx] {
+            FrameValue::Counter(v) => v,
+            ref other => panic!("{name}: expected a counter, got {other:?}"),
+        }
+    };
+    // Counters accumulate over the whole run (warmup included, resets
+    // folded in losslessly), so they bound the window-only summary
+    // counts from above.
+    for (name, window_count) in [
+        ("requests_rejected_total", s1.rejected),
+        ("requests_timed_out_total", s1.timed_out),
+        ("messages_forwarded_total", s1.forwarded_messages),
+        ("responses_stale_total", s1.stale_responses),
+    ] {
+        assert!(
+            final_counter(name) >= window_count,
+            "{name} fell below the window count"
+        );
+    }
+    assert!(
+        final_counter("requests_completed_total") >= s1.completed,
+        "completed counter fell below the window count"
+    );
+
+    // And the summaries/engine counts agree across the split (the full
+    // bit-level property lives in tests/shard_determinism.rs).
+    assert_eq!(s1.completed, s2.completed);
+    assert_eq!(s1.rejected, s2.rejected);
+    assert_eq!(s1.timed_out, s2.timed_out);
+    assert_eq!(s1.forwarded_messages, s2.forwarded_messages);
+    assert_eq!(s1.stale_responses, s2.stale_responses);
+    assert_eq!(r1.events_processed, r2.events_processed);
+}

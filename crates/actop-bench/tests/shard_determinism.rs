@@ -49,6 +49,8 @@ fn summary_bits(s: &RunSummary) -> Vec<u64> {
         s.directory_repairs,
         s.false_suspicion_repairs,
         s.shed_no_live,
+        s.slo_alerts_opened,
+        s.slo_alerts_closed,
     ]
 }
 

@@ -11,6 +11,7 @@
 //! `#` comments) so a failing chaos run's plan can be dumped, committed as
 //! a regression input, and replayed byte-for-byte.
 
+use actop_obs::FaultNote;
 use actop_sim::{DetRng, Nanos};
 
 /// One injectable fault (or its repair).
@@ -293,6 +294,89 @@ impl FaultPlan {
             }
         }
         p
+    }
+
+    /// The plan rendered as report annotations: crash windows plus rate
+    /// and link degradation windows, shifted to absolute sim time by
+    /// `base` (the offset passed to `install_plan`). A fault the plan
+    /// never repairs stays open (`end_ns: None`).
+    pub fn fault_notes(&self, servers: usize, base: Nanos, horizon: Nanos) -> Vec<FaultNote> {
+        let mut out = Vec::new();
+        let crashes = self.crash_windows(servers, base, horizon);
+        for s in 0..servers as u32 {
+            for &(from, to) in crashes.server(s) {
+                out.push(FaultNote {
+                    name: "crash".into(),
+                    server: Some(s),
+                    start_ns: from.as_nanos(),
+                    end_ns: (to < horizon).then(|| to.as_nanos()),
+                });
+            }
+        }
+        // Rate degradations: a factor != 1.0 opens a window, the next
+        // factor == 1.0 on the same server closes it.
+        let mut rate_open: Vec<Option<Nanos>> = vec![None; servers];
+        // Link degradations: closed by a LinkClear on the same pair.
+        let mut link_open: Vec<((u32, u32), Nanos)> = Vec::new();
+        for e in &self.events {
+            let at = base + e.at;
+            match e.fault {
+                Fault::Rate { server, factor } => {
+                    let slot = &mut rate_open[server as usize];
+                    if factor == 1.0 {
+                        if let Some(from) = slot.take() {
+                            out.push(FaultNote {
+                                name: "rate".into(),
+                                server: Some(server),
+                                start_ns: from.as_nanos(),
+                                end_ns: Some(at.as_nanos()),
+                            });
+                        }
+                    } else if slot.is_none() {
+                        *slot = Some(at);
+                    }
+                }
+                Fault::Link { a, b, .. } => {
+                    let key = (a.min(b), a.max(b));
+                    if !link_open.iter().any(|(k, _)| *k == key) {
+                        link_open.push((key, at));
+                    }
+                }
+                Fault::LinkClear { a, b } => {
+                    let key = (a.min(b), a.max(b));
+                    if let Some(pos) = link_open.iter().position(|(k, _)| *k == key) {
+                        let (_, from) = link_open.remove(pos);
+                        out.push(FaultNote {
+                            name: "link".into(),
+                            server: None,
+                            start_ns: from.as_nanos(),
+                            end_ns: Some(at.as_nanos()),
+                        });
+                    }
+                }
+                Fault::Crash { .. } | Fault::Recover { .. } => {}
+            }
+        }
+        for (s, slot) in rate_open.into_iter().enumerate() {
+            if let Some(from) = slot {
+                out.push(FaultNote {
+                    name: "rate".into(),
+                    server: Some(s as u32),
+                    start_ns: from.as_nanos(),
+                    end_ns: None,
+                });
+            }
+        }
+        for (_, from) in link_open {
+            out.push(FaultNote {
+                name: "link".into(),
+                server: None,
+                start_ns: from.as_nanos(),
+                end_ns: None,
+            });
+        }
+        out.sort_by_key(|n| (n.start_ns, n.server));
+        out
     }
 
     // ------------------------------------------------------------------
@@ -584,6 +668,50 @@ mod tests {
                 prop_assert_eq!(back.to_text(), text);
             }
         }
+    }
+
+    #[test]
+    fn fault_notes_pair_windows_and_shift_to_absolute_time() {
+        let mut p = FaultPlan::new("mixed");
+        p.push(Nanos::from_secs(1), Fault::Crash { server: 2 });
+        p.push(Nanos::from_secs(3), Fault::Recover { server: 2 });
+        p.push(
+            Nanos::from_secs(2),
+            Fault::Rate {
+                server: 1,
+                factor: 0.25,
+            },
+        );
+        p.push(
+            Nanos::from_secs(4),
+            Fault::Rate {
+                server: 1,
+                factor: 1.0,
+            },
+        );
+        p.push(
+            Nanos::from_secs(5),
+            Fault::Link {
+                a: 0,
+                b: 3,
+                extra_delay: Nanos::from_micros(500),
+                drop_prob: 0.05,
+            },
+        );
+        let base = Nanos::from_secs(10);
+        let horizon = Nanos::from_secs(30);
+        let notes = p.fault_notes(4, base, horizon);
+        assert_eq!(notes.len(), 3);
+        assert_eq!(notes[0].name, "crash");
+        assert_eq!(notes[0].server, Some(2));
+        assert_eq!(notes[0].start_ns, 11_000_000_000);
+        assert_eq!(notes[0].end_ns, Some(13_000_000_000));
+        assert_eq!(notes[1].name, "rate");
+        assert_eq!(notes[1].server, Some(1));
+        assert_eq!(notes[1].end_ns, Some(14_000_000_000));
+        assert_eq!(notes[2].name, "link");
+        assert_eq!(notes[2].server, None);
+        assert_eq!(notes[2].end_ns, None, "never cleared stays open");
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub struct RunSummary {
     /// Requests shed at admission because no live server remained, in the
     /// window (also counted in `rejected`).
     pub shed_no_live: u64,
+    /// SLO burn-rate alerts opened over the whole run (telemetry must be
+    /// enabled; zero otherwise).
+    pub slo_alerts_opened: u64,
+    /// SLO burn-rate alerts closed over the whole run.
+    pub slo_alerts_closed: u64,
 }
 
 impl RunSummary {
@@ -82,13 +87,17 @@ pub fn run_steady_state(
 ) -> RunSummary {
     let warmup_end = engine.now() + warmup;
     engine.run_until(cluster, warmup_end);
-    cluster.metrics.reset_steady_state();
+    cluster.reset_steady_state();
     let snapshots: Vec<f64> = (0..cluster.server_count())
         .map(|s| cluster.busy_core_ns(s))
         .collect();
     let start = engine.now();
     engine.run_until(cluster, start + measure);
     let now = engine.now();
+    // Feed any series bins that closed after the last scrape to the SLO
+    // engine so the alert tallies below are complete (no-op without
+    // telemetry).
+    cluster.finalize_obs(now);
 
     let hist = &cluster.metrics.e2e_latency;
     let summary = hist.summary();
@@ -112,6 +121,8 @@ pub fn run_steady_state(
         directory_repairs: cluster.metrics.directory_repairs,
         false_suspicion_repairs: cluster.metrics.false_suspicion_repairs,
         shed_no_live: cluster.metrics.shed_no_live,
+        slo_alerts_opened: cluster.metrics.slo_alerts_opened,
+        slo_alerts_closed: cluster.metrics.slo_alerts_closed,
     }
 }
 
@@ -164,6 +175,8 @@ mod tests {
             directory_repairs: 0,
             false_suspicion_repairs: 0,
             shed_no_live: 0,
+            slo_alerts_opened: 0,
+            slo_alerts_closed: 0,
         };
         let b = RunSummary {
             p50_ms: 24.0,

@@ -1,0 +1,120 @@
+//! `report` — render an instrumented run's scrape JSONL into a
+//! self-contained HTML report.
+//!
+//! ```text
+//! report <scrape.jsonl> [--out report.html] [--trace spans.jsonl] [--prom metrics.prom]
+//! ```
+//!
+//! * `<scrape.jsonl>` — the artifact written by `ACTOP_OBS=<path>`.
+//! * `--out` — output path; defaults to the input path with `.html`
+//!   appended.
+//! * `--trace` — optional span JSONL export; adds a span-kind census.
+//! * `--prom` — optional Prometheus exposition file to validate (the
+//!   `.prom` sibling the bench writes); errors are fatal so CI can use
+//!   this flag as the exposition parser check.
+//!
+//! The HTML is a pure function of the inputs: same files in, same bytes
+//! out.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: report <scrape.jsonl> [--out report.html] [--trace spans.jsonl] [--prom metrics.prom]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut out = None;
+    let mut trace = None;
+    let mut prom = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().cloned(),
+            "--trace" => trace = it.next().cloned(),
+            "--prom" => prom = it.next().cloned(),
+            "--help" | "-h" => return usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("report: unknown flag '{flag}'");
+                return usage();
+            }
+            path => {
+                if input.replace(path.to_string()).is_some() {
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(input) = input else { return usage() };
+
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("report: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match actop_obs::parse_scrape_jsonl(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("report: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spans = match &trace {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("report: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match actop_trace::parse_spans_jsonl(&text) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("report: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    if let Some(path) = &prom {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match actop_obs::validate_exposition(&text) {
+            Ok(stats) => println!(
+                "exposition ok: {} families, {} samples, {} histogram series",
+                stats.families, stats.samples, stats.histograms
+            ),
+            Err(e) => {
+                eprintln!("report: {path}: invalid exposition: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let html = actop_obs::render_html(&doc, spans.as_deref());
+    let out = out.unwrap_or_else(|| format!("{input}.html"));
+    if let Err(e) = std::fs::write(&out, &html) {
+        eprintln!("report: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "report: {} frames, {} alerts, {} faults -> {out}",
+        doc.frames.len(),
+        doc.alerts.len(),
+        doc.faults.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,951 @@
+//! Scrape exporters: the JSONL scrape stream, its parser, and the
+//! Prometheus-style text exposition.
+//!
+//! The JSONL stream is the durable artifact of an instrumented run. It is
+//! line-oriented so it can be diffed, grepped, and streamed:
+//!
+//! ```text
+//! {"type":"header","version":1,"seed":42,"interval_ns":1000000000,"metrics":[...]}
+//! {"type":"frame","t_ns":1000000000,"v":[12,0.5,{"c":[3,1,0],"sum":812,"n":4}]}
+//! {"type":"alert","slo":"latency_mean","state":"open","t_ns":...,"bin":7}
+//! {"type":"fault","name":"crash","server":3,"start_ns":...,"end_ns":...}
+//! {"type":"slo","name":"latency_mean","windows":[[2,5]],"opened":1,"closed":1}
+//! {"type":"summary","completed":2420,...}
+//! {"type":"engine","events":227646,...}
+//! ```
+//!
+//! Frame values appear in metric-registration order (the header's
+//! `metrics` array is the decoder key): counters as integers, gauges as
+//! JSON numbers, histograms as `{"c":[per-bucket counts],"sum":,"n":}`.
+//! Everything emitted is a deterministic function of sim state — no
+//! wall-clock, no environment — so one seed yields one byte string. The
+//! fault/alert/slo annotation lines are written by the run harness (the
+//! bench binaries), not the registry, which keeps `actop-obs` free of a
+//! dependency on the chaos crate.
+//!
+//! The exposition format is the Prometheus text format (hand-rolled like
+//! the trace JSON parser — the workspace vendors no deps): `# TYPE` per
+//! family, cumulative `le` buckets plus `_sum`/`_count` for histograms.
+
+use crate::registry::{Frame, FrameValue, MetricDef, MetricKind, Registry};
+use actop_trace::{parse_json, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Formats an f64 as a JSON number.
+///
+/// # Panics
+///
+/// Panics on non-finite input — nothing the registry stores should be
+/// NaN/inf, and silently writing `null` would corrupt the artifact.
+fn fmt_f64(v: f64) -> String {
+    assert!(v.is_finite(), "non-finite metric value {v}");
+    format!("{v}")
+}
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A fault-plan annotation destined for the scrape stream and the report
+/// timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultNote {
+    /// Fault kind ("crash", "rate", "link", ...).
+    pub name: String,
+    /// Affected server, if server-scoped.
+    pub server: Option<u32>,
+    /// When the fault started, sim ns.
+    pub start_ns: u64,
+    /// When it cleared, sim ns; `None` if it never did.
+    pub end_ns: Option<u64>,
+}
+
+/// An alert open/close annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertNote {
+    /// SLO spec name.
+    pub slo: String,
+    /// `true` for open, `false` for close.
+    pub open: bool,
+    /// Sim time of the transition.
+    pub t_ns: u64,
+    /// Bin index (engine-relative) of the transition.
+    pub bin: u64,
+}
+
+/// Per-SLO outcome annotation: violation windows and alert tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloNote {
+    /// SLO spec name.
+    pub name: String,
+    /// Merged violation windows as `(start_bin, end_bin)` pairs.
+    pub windows: Vec<(u64, u64)>,
+    /// Alerts opened.
+    pub opened: u64,
+    /// Alerts closed.
+    pub closed: u64,
+}
+
+/// Streaming writer for the scrape JSONL artifact.
+#[derive(Debug, Clone)]
+pub struct ScrapeWriter {
+    out: String,
+}
+
+impl ScrapeWriter {
+    /// Starts a document: writes the header line carrying the seed, the
+    /// scrape cadence, and the metric schema.
+    pub fn new(seed: u64, interval_ns: u64, defs: &[MetricDef]) -> Self {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"type\":\"header\",\"version\":1,\"seed\":{seed},\"interval_ns\":{interval_ns},\"metrics\":["
+        );
+        for (i, d) in defs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"kind\":\"{}\"",
+                json_escape(&d.name),
+                d.kind.name()
+            );
+            if !d.labels.is_empty() {
+                out.push_str(",\"labels\":{");
+                for (j, (k, v)) in d.labels.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+                }
+                out.push('}');
+            }
+            if !d.bounds.is_empty() {
+                out.push_str(",\"bounds\":[");
+                for (j, b) in d.bounds.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        ScrapeWriter { out }
+    }
+
+    /// Writes one scrape frame.
+    pub fn frame(&mut self, frame: &Frame) {
+        let _ = write!(
+            self.out,
+            "{{\"type\":\"frame\",\"t_ns\":{},\"v\":[",
+            frame.t_ns
+        );
+        for (i, v) in frame.values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            match v {
+                FrameValue::Counter(c) => {
+                    let _ = write!(self.out, "{c}");
+                }
+                FrameValue::Gauge(g) => self.out.push_str(&fmt_f64(*g)),
+                FrameValue::Hist { counts, sum, count } => {
+                    self.out.push_str("{\"c\":[");
+                    for (j, c) in counts.iter().enumerate() {
+                        if j > 0 {
+                            self.out.push(',');
+                        }
+                        let _ = write!(self.out, "{c}");
+                    }
+                    let _ = write!(self.out, "],\"sum\":{sum},\"n\":{count}}}");
+                }
+            }
+        }
+        self.out.push_str("]}\n");
+    }
+
+    /// Writes every frame the registry retained.
+    pub fn frames(&mut self, reg: &Registry) {
+        for f in reg.frames() {
+            self.frame(f);
+        }
+    }
+
+    /// Writes an alert transition annotation.
+    pub fn alert(&mut self, note: &AlertNote) {
+        let _ = writeln!(
+            self.out,
+            "{{\"type\":\"alert\",\"slo\":\"{}\",\"state\":\"{}\",\"t_ns\":{},\"bin\":{}}}",
+            json_escape(&note.slo),
+            if note.open { "open" } else { "close" },
+            note.t_ns,
+            note.bin
+        );
+    }
+
+    /// Writes a fault annotation.
+    pub fn fault(&mut self, note: &FaultNote) {
+        let _ = write!(
+            self.out,
+            "{{\"type\":\"fault\",\"name\":\"{}\",\"server\":",
+            json_escape(&note.name)
+        );
+        match note.server {
+            Some(s) => {
+                let _ = write!(self.out, "{s}");
+            }
+            None => self.out.push_str("null"),
+        }
+        let _ = write!(self.out, ",\"start_ns\":{},\"end_ns\":", note.start_ns);
+        match note.end_ns {
+            Some(e) => {
+                let _ = write!(self.out, "{e}");
+            }
+            None => self.out.push_str("null"),
+        }
+        self.out.push_str("}\n");
+    }
+
+    /// Writes a per-SLO outcome annotation.
+    pub fn slo(&mut self, note: &SloNote) {
+        let _ = write!(
+            self.out,
+            "{{\"type\":\"slo\",\"name\":\"{}\",\"windows\":[",
+            json_escape(&note.name)
+        );
+        for (i, (s, e)) in note.windows.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "[{s},{e}]");
+        }
+        let _ = writeln!(
+            self.out,
+            "],\"opened\":{},\"closed\":{}}}",
+            note.opened, note.closed
+        );
+    }
+
+    /// Writes a key/value annotation line of the given `type`. Values
+    /// must be finite.
+    pub fn kv_line(&mut self, line_type: &str, pairs: &[(&str, f64)]) {
+        let _ = write!(self.out, "{{\"type\":\"{}\"", json_escape(line_type));
+        for (k, v) in pairs {
+            let _ = write!(self.out, ",\"{}\":{}", json_escape(k), fmt_f64(*v));
+        }
+        self.out.push_str("}\n");
+    }
+
+    /// Writes the run-summary annotation.
+    pub fn summary(&mut self, pairs: &[(&str, f64)]) {
+        self.kv_line("summary", pairs);
+    }
+
+    /// Writes the engine self-metrics annotation. Only deterministic
+    /// quantities belong here (event/op counts) — wall-clock timings are
+    /// machine-dependent and would break byte-identical artifacts.
+    pub fn engine(&mut self, pairs: &[(&str, f64)]) {
+        self.kv_line("engine", pairs);
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// A parsed scrape document.
+#[derive(Debug, Clone, Default)]
+pub struct ScrapeDoc {
+    /// Run seed from the header.
+    pub seed: u64,
+    /// Scrape cadence from the header, ns.
+    pub interval_ns: u64,
+    /// Metric schema in wire order.
+    pub defs: Vec<MetricDef>,
+    /// Scrape frames in time order.
+    pub frames: Vec<Frame>,
+    /// Alert transitions.
+    pub alerts: Vec<AlertNote>,
+    /// Fault annotations.
+    pub faults: Vec<FaultNote>,
+    /// Per-SLO outcomes.
+    pub slos: Vec<SloNote>,
+    /// Run-summary pairs, line order.
+    pub summary: Vec<(String, f64)>,
+    /// Engine self-metric pairs, line order.
+    pub engine: Vec<(String, f64)>,
+}
+
+impl ScrapeDoc {
+    /// Index of the first metric with this family name, if registered.
+    pub fn metric(&self, name: &str) -> Option<usize> {
+        self.defs.iter().position(|d| d.name == name)
+    }
+
+    /// Indices of every metric in this family, wire order.
+    pub fn family(&self, name: &str) -> Vec<usize> {
+        (0..self.defs.len())
+            .filter(|&i| self.defs[i].name == name)
+            .collect()
+    }
+}
+
+fn num(v: &Json, what: &str) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| format!("{what}: not a number"))
+}
+
+fn field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing '{key}'"))
+}
+
+fn num_field(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    num(field(obj, key, what)?, &format!("{what}.{key}"))
+}
+
+fn str_field(obj: &Json, key: &str, what: &str) -> Result<String, String> {
+    field(obj, key, what)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}.{key}: not a string"))
+}
+
+fn parse_defs(metrics: &[Json]) -> Result<Vec<MetricDef>, String> {
+    let mut defs = Vec::with_capacity(metrics.len());
+    for (i, m) in metrics.iter().enumerate() {
+        let what = format!("metrics[{i}]");
+        let kind = match str_field(m, "kind", &what)?.as_str() {
+            "counter" => MetricKind::Counter,
+            "gauge" => MetricKind::Gauge,
+            "histogram" => MetricKind::Histogram,
+            other => return Err(format!("{what}: unknown kind '{other}'")),
+        };
+        let labels = match m.get("labels") {
+            Some(Json::Obj(map)) => map
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("{what}: label '{k}' not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(format!("{what}: 'labels' not an object")),
+            None => Vec::new(),
+        };
+        let bounds = match m.get("bounds") {
+            Some(b) => b
+                .as_array()
+                .ok_or_else(|| format!("{what}: 'bounds' not an array"))?
+                .iter()
+                .map(|x| num(x, &format!("{what}.bounds")).map(|f| f as u64))
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        defs.push(MetricDef {
+            name: str_field(m, "name", &what)?,
+            labels,
+            kind,
+            bounds,
+        });
+    }
+    Ok(defs)
+}
+
+fn parse_frame(obj: &Json, defs: &[MetricDef], line: usize) -> Result<Frame, String> {
+    let what = format!("line {line} frame");
+    let t_ns = num_field(obj, "t_ns", &what)? as u64;
+    let vals = field(obj, "v", &what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: 'v' not an array"))?;
+    if vals.len() != defs.len() {
+        return Err(format!(
+            "{what}: {} values for {} metrics",
+            vals.len(),
+            defs.len()
+        ));
+    }
+    let mut values = Vec::with_capacity(vals.len());
+    for (d, v) in defs.iter().zip(vals) {
+        let value = match d.kind {
+            MetricKind::Counter => FrameValue::Counter(num(v, &what)? as u64),
+            MetricKind::Gauge => FrameValue::Gauge(num(v, &what)?),
+            MetricKind::Histogram => {
+                let counts = field(v, "c", &what)?
+                    .as_array()
+                    .ok_or_else(|| format!("{what}: hist 'c' not an array"))?
+                    .iter()
+                    .map(|x| num(x, &what).map(|f| f as u64))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if counts.len() != d.bounds.len() + 1 {
+                    return Err(format!(
+                        "{what}: {} buckets for {} bounds",
+                        counts.len(),
+                        d.bounds.len()
+                    ));
+                }
+                FrameValue::Hist {
+                    counts,
+                    sum: num_field(v, "sum", &what)? as u64,
+                    count: num_field(v, "n", &what)? as u64,
+                }
+            }
+        };
+        values.push(value);
+    }
+    Ok(Frame { t_ns, values })
+}
+
+/// Parses a scrape JSONL document back into structured form. Validates
+/// the header-first discipline, frame arity against the schema, and
+/// frame-time monotonicity.
+pub fn parse_scrape_jsonl(text: &str) -> Result<ScrapeDoc, String> {
+    let mut doc = ScrapeDoc::default();
+    let mut saw_header = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_json(raw).map_err(|e| format!("line {line}: {e}"))?;
+        let ty = str_field(&obj, "type", &format!("line {line}"))?;
+        if !saw_header && ty != "header" {
+            return Err(format!("line {line}: '{ty}' before header"));
+        }
+        match ty.as_str() {
+            "header" => {
+                if saw_header {
+                    return Err(format!("line {line}: duplicate header"));
+                }
+                saw_header = true;
+                doc.seed = num_field(&obj, "seed", "header")? as u64;
+                doc.interval_ns = num_field(&obj, "interval_ns", "header")? as u64;
+                let metrics = field(&obj, "metrics", "header")?
+                    .as_array()
+                    .ok_or("header: 'metrics' not an array")?;
+                doc.defs = parse_defs(metrics)?;
+            }
+            "frame" => {
+                let f = parse_frame(&obj, &doc.defs, line)?;
+                if let Some(prev) = doc.frames.last() {
+                    if f.t_ns <= prev.t_ns {
+                        return Err(format!(
+                            "line {line}: frame time {} <= previous {}",
+                            f.t_ns, prev.t_ns
+                        ));
+                    }
+                }
+                doc.frames.push(f);
+            }
+            "alert" => {
+                let what = format!("line {line} alert");
+                doc.alerts.push(AlertNote {
+                    slo: str_field(&obj, "slo", &what)?,
+                    open: match str_field(&obj, "state", &what)?.as_str() {
+                        "open" => true,
+                        "close" => false,
+                        other => return Err(format!("{what}: bad state '{other}'")),
+                    },
+                    t_ns: num_field(&obj, "t_ns", &what)? as u64,
+                    bin: num_field(&obj, "bin", &what)? as u64,
+                });
+            }
+            "fault" => {
+                let what = format!("line {line} fault");
+                let server = match field(&obj, "server", &what)? {
+                    Json::Null => None,
+                    v => Some(num(v, &what)? as u32),
+                };
+                let end_ns = match field(&obj, "end_ns", &what)? {
+                    Json::Null => None,
+                    v => Some(num(v, &what)? as u64),
+                };
+                doc.faults.push(FaultNote {
+                    name: str_field(&obj, "name", &what)?,
+                    server,
+                    start_ns: num_field(&obj, "start_ns", &what)? as u64,
+                    end_ns,
+                });
+            }
+            "slo" => {
+                let what = format!("line {line} slo");
+                let windows = field(&obj, "windows", &what)?
+                    .as_array()
+                    .ok_or_else(|| format!("{what}: 'windows' not an array"))?
+                    .iter()
+                    .map(|w| {
+                        let pair = w
+                            .as_array()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| format!("{what}: window not a pair"))?;
+                        Ok((num(&pair[0], &what)? as u64, num(&pair[1], &what)? as u64))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                doc.slos.push(SloNote {
+                    name: str_field(&obj, "name", &what)?,
+                    windows,
+                    opened: num_field(&obj, "opened", &what)? as u64,
+                    closed: num_field(&obj, "closed", &what)? as u64,
+                });
+            }
+            "summary" | "engine" => {
+                let pairs = match &obj {
+                    Json::Obj(map) => map
+                        .iter()
+                        .filter(|(k, _)| k.as_str() != "type")
+                        .map(|(k, v)| {
+                            num(v, &format!("line {line} {ty}.{k}")).map(|f| (k.clone(), f))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(format!("line {line}: not an object")),
+                };
+                if ty == "summary" {
+                    doc.summary = pairs;
+                } else {
+                    doc.engine = pairs;
+                }
+            }
+            other => return Err(format!("line {line}: unknown type '{other}'")),
+        }
+    }
+    if !saw_header {
+        return Err("empty document: no header line".into());
+    }
+    Ok(doc)
+}
+
+/// Escapes a label value for the exposition format.
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", label_escape(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", label_escape(v));
+    }
+    out.push('}');
+}
+
+/// Renders the registry's current values in the Prometheus text
+/// exposition format: one `# TYPE` per family (first-seen order), then
+/// every sample of that family; histograms as cumulative `le` buckets
+/// plus `_sum` and `_count`.
+pub fn exposition(reg: &Registry) -> String {
+    let defs = reg.defs();
+    let mut families: Vec<&str> = Vec::new();
+    for d in defs {
+        if !families.contains(&d.name.as_str()) {
+            families.push(&d.name);
+        }
+    }
+    let mut out = String::new();
+    for fam in families {
+        let ids: Vec<usize> = (0..defs.len()).filter(|&i| defs[i].name == fam).collect();
+        let kind = defs[ids[0]].kind;
+        let _ = writeln!(out, "# TYPE {fam} {}", kind.name());
+        for i in ids {
+            let d = &defs[i];
+            match reg.current(crate::registry::MetricId(i as u32)) {
+                FrameValue::Counter(v) => {
+                    out.push_str(fam);
+                    render_labels(&mut out, &d.labels, None);
+                    let _ = writeln!(out, " {v}");
+                }
+                FrameValue::Gauge(v) => {
+                    out.push_str(fam);
+                    render_labels(&mut out, &d.labels, None);
+                    let _ = writeln!(out, " {}", fmt_f64(v));
+                }
+                FrameValue::Hist { counts, sum, count } => {
+                    let mut cum = 0u64;
+                    for (j, c) in counts.iter().enumerate() {
+                        cum += c;
+                        let le = if j < d.bounds.len() {
+                            d.bounds[j].to_string()
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = write!(out, "{fam}_bucket");
+                        render_labels(&mut out, &d.labels, Some(("le", &le)));
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let _ = write!(out, "{fam}_sum");
+                    render_labels(&mut out, &d.labels, None);
+                    let _ = writeln!(out, " {sum}");
+                    let _ = write!(out, "{fam}_count");
+                    render_labels(&mut out, &d.labels, None);
+                    let _ = writeln!(out, " {count}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Summary of a validated exposition document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpoStats {
+    /// `# TYPE` families.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+    /// Histogram series (distinct label sets) checked for cumulative
+    /// bucket consistency.
+    pub histograms: usize,
+}
+
+/// Splits an exposition sample line into (metric name, label text, value).
+fn split_sample(line: &str) -> Result<(&str, &str, f64), String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample '{line}': no value separator"))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("sample '{line}': bad value"))?;
+    let (name, labels) = match head.find('{') {
+        Some(pos) => {
+            if !head.ends_with('}') {
+                return Err(format!("sample '{line}': unterminated labels"));
+            }
+            (&head[..pos], &head[pos + 1..head.len() - 1])
+        }
+        None => (head, ""),
+    };
+    if name.is_empty() {
+        return Err(format!("sample '{line}': empty metric name"));
+    }
+    Ok((name, labels, value))
+}
+
+/// Validates a Prometheus text exposition: every sample belongs to a
+/// declared `# TYPE` family, histogram buckets are cumulative
+/// (non-decreasing, `+Inf` present and equal to `_count`), and counter
+/// samples are non-negative.
+pub fn validate_exposition(text: &str) -> Result<ExpoStats, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (family, labels-without-le) -> (bucket values in order, saw_inf, inf value)
+    let mut hist_buckets: BTreeMap<(String, String), Vec<(String, f64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut stats = ExpoStats::default();
+
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(k), None) => (n, k),
+                _ => return Err(format!("bad TYPE line '{line}'")),
+            };
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("TYPE '{name}': unknown kind '{kind}'"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("duplicate TYPE for '{name}'"));
+            }
+            stats.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comments / HELP
+        }
+        let (name, labels, value) = split_sample(line)?;
+        stats.samples += 1;
+        // Resolve the family: histogram samples use suffixed names.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                    .map(|base| (base, *suf))
+            })
+            .map(|(base, suf)| (base.to_string(), suf));
+        match family {
+            Some((base, "_bucket")) => {
+                // Split off the `le` label; order within the line is
+                // whatever the producer emitted, so scan pairs.
+                let mut le = None;
+                let mut rest = Vec::new();
+                for part in labels.split(',').filter(|p| !p.is_empty()) {
+                    match part.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')) {
+                        Some(v) => le = Some(v.to_string()),
+                        None => rest.push(part),
+                    }
+                }
+                let le = le.ok_or_else(|| format!("bucket '{line}': no le label"))?;
+                hist_buckets
+                    .entry((base, rest.join(",")))
+                    .or_default()
+                    .push((le, value));
+            }
+            Some((base, "_count")) => {
+                hist_counts.insert((base, labels.to_string()), value);
+            }
+            Some((_, _)) => {} // _sum: no invariant beyond being numeric
+            None => {
+                let kind = types
+                    .get(name)
+                    .ok_or_else(|| format!("sample '{name}' has no TYPE"))?;
+                if kind == "histogram" {
+                    return Err(format!("bare sample '{name}' for histogram family"));
+                }
+                if kind == "counter" && value < 0.0 {
+                    return Err(format!("counter '{name}' is negative"));
+                }
+            }
+        }
+    }
+
+    for ((family, labels), buckets) in &hist_buckets {
+        let mut prev = f64::NEG_INFINITY;
+        let mut inf = None;
+        for (le, v) in buckets {
+            if *v < prev {
+                return Err(format!(
+                    "histogram '{family}{{{labels}}}': bucket le={le} not cumulative"
+                ));
+            }
+            prev = *v;
+            if le == "+Inf" {
+                inf = Some(*v);
+            }
+        }
+        let inf = inf.ok_or_else(|| format!("histogram '{family}{{{labels}}}': no +Inf bucket"))?;
+        match hist_counts.get(&(family.clone(), labels.clone())) {
+            Some(&count) if count == inf => {}
+            Some(&count) => {
+                return Err(format!(
+                    "histogram '{family}{{{labels}}}': +Inf {inf} != _count {count}"
+                ))
+            }
+            None => return Err(format!("histogram '{family}{{{labels}}}': no _count")),
+        }
+        stats.histograms += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new(16);
+        let c = r.counter("requests_total", &[("class", "halo")]);
+        let g0 = r.gauge("queue_len", &[("server", "0")]);
+        let g1 = r.gauge("queue_len", &[("server", "1")]);
+        let h = r.histogram("latency_ns", &[], &[1_000, 10_000]);
+        r.set_counter(c, 7);
+        r.set_gauge(g0, 1.5);
+        r.set_gauge(g1, 0.0);
+        r.observe(h, 500);
+        r.observe(h, 5_000);
+        r.observe(h, 50_000);
+        r.scrape(1_000_000_000);
+        r.set_counter(c, 12);
+        r.observe(h, 700);
+        r.scrape(2_000_000_000);
+        r
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let reg = sample_registry();
+        let mut w = ScrapeWriter::new(42, 1_000_000_000, reg.defs());
+        w.frames(&reg);
+        w.alert(&AlertNote {
+            slo: "latency_mean".into(),
+            open: true,
+            t_ns: 1_000_000_000,
+            bin: 0,
+        });
+        w.fault(&FaultNote {
+            name: "crash".into(),
+            server: Some(3),
+            start_ns: 500,
+            end_ns: None,
+        });
+        w.slo(&SloNote {
+            name: "latency_mean".into(),
+            windows: vec![(2, 5), (7, 8)],
+            opened: 1,
+            closed: 1,
+        });
+        w.summary(&[("completed", 2420.0), ("p99_ms", 3.25)]);
+        w.engine(&[("events", 227646.0)]);
+        let text = w.finish();
+
+        let doc = parse_scrape_jsonl(&text).unwrap();
+        assert_eq!(doc.seed, 42);
+        assert_eq!(doc.interval_ns, 1_000_000_000);
+        assert_eq!(doc.defs, reg.defs());
+        assert_eq!(doc.frames.len(), 2);
+        let frames: Vec<&Frame> = reg.frames().collect();
+        assert_eq!(&doc.frames[0], frames[0]);
+        assert_eq!(&doc.frames[1], frames[1]);
+        assert_eq!(doc.alerts.len(), 1);
+        assert!(doc.alerts[0].open);
+        assert_eq!(doc.faults[0].server, Some(3));
+        assert_eq!(doc.faults[0].end_ns, None);
+        assert_eq!(doc.slos[0].windows, vec![(2, 5), (7, 8)]);
+        assert_eq!(doc.summary[0], ("completed".to_string(), 2420.0));
+        assert_eq!(doc.engine[0], ("events".to_string(), 227646.0));
+        assert_eq!(doc.metric("queue_len"), Some(1));
+        assert_eq!(doc.family("queue_len"), vec![1, 2]);
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let build = || {
+            let reg = sample_registry();
+            let mut w = ScrapeWriter::new(42, 1_000_000_000, reg.defs());
+            w.frames(&reg);
+            w.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_scrape_jsonl("").is_err());
+        assert!(parse_scrape_jsonl("{\"type\":\"frame\",\"t_ns\":1,\"v\":[]}").is_err());
+        let reg = sample_registry();
+        let mut w = ScrapeWriter::new(1, 1, reg.defs());
+        w.frames(&reg);
+        let good = w.finish();
+        // Truncate a frame's value array → arity error.
+        let bad = good.replace(",0,", ",");
+        assert!(parse_scrape_jsonl(&bad).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_non_monotone_frames() {
+        let reg = sample_registry();
+        let mut w = ScrapeWriter::new(1, 1, reg.defs());
+        let frames: Vec<Frame> = reg.frames().cloned().collect();
+        w.frame(&frames[1]);
+        w.frame(&frames[0]);
+        let err = parse_scrape_jsonl(&w.finish()).unwrap_err();
+        assert!(err.contains("frame time"), "got: {err}");
+    }
+
+    #[test]
+    fn exposition_renders_and_validates() {
+        let reg = sample_registry();
+        let text = exposition(&reg);
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{class=\"halo\"} 12"));
+        assert!(text.contains("queue_len{server=\"0\"} 1.5"));
+        assert!(text.contains("latency_ns_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("latency_ns_count 4"));
+        let stats = validate_exposition(&text).unwrap();
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.histograms, 1);
+        assert!(stats.samples >= 8);
+    }
+
+    #[test]
+    fn exposition_validator_catches_broken_histograms() {
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 10\nh_count 3\n";
+        assert!(validate_exposition(bad)
+            .unwrap_err()
+            .contains("not cumulative"));
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate_exposition(no_inf).unwrap_err().contains("+Inf"));
+        let mismatch = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
+        assert!(validate_exposition(mismatch)
+            .unwrap_err()
+            .contains("_count"));
+        let untyped = "c_total 5\n";
+        assert!(validate_exposition(untyped)
+            .unwrap_err()
+            .contains("no TYPE"));
+    }
+
+    #[test]
+    fn merged_registries_export_identically_to_single() {
+        // Two shards each observing half the traffic must serialize to
+        // the same frames as one registry observing all of it.
+        let mk = || {
+            let mut r = Registry::new(8);
+            r.counter("done", &[]);
+            r.histogram("lat", &[], &[100]);
+            r
+        };
+        let mut whole = mk();
+        whole.set_counter(MetricId(0), 3);
+        whole.observe(MetricId(1), 50);
+        whole.observe(MetricId(1), 150);
+        whole.observe(MetricId(1), 70);
+        whole.scrape(1_000);
+
+        let mut a = mk();
+        a.set_counter(MetricId(0), 1);
+        a.observe(MetricId(1), 50);
+        a.scrape(1_000);
+        let mut b = mk();
+        b.set_counter(MetricId(0), 2);
+        b.observe(MetricId(1), 150);
+        b.observe(MetricId(1), 70);
+        b.scrape(1_000);
+        a.merge_from(&b);
+
+        let dump = |r: &Registry| {
+            let mut w = ScrapeWriter::new(7, 1_000, r.defs());
+            w.frames(r);
+            w.finish()
+        };
+        assert_eq!(dump(&whole), dump(&a));
+        assert_eq!(exposition(&whole), exposition(&a));
+    }
+
+    use crate::registry::MetricId;
+}

@@ -1,0 +1,46 @@
+//! Unified telemetry for the ActOp repro: a metrics registry, an SLO
+//! engine with burn-rate alerting, scrape exporters, and the run
+//! reporter.
+//!
+//! The paper's runtime is built on the premise that the system measures
+//! itself continuously and acts on those measurements. Before this crate
+//! the repro measured plenty but scattered the machinery: SLO-violation
+//! windows were bench-local arithmetic, detector-accuracy sampling lived
+//! in the chaos bench, engine self-metrics in `EngineReport`. This crate
+//! makes telemetry a subsystem:
+//!
+//! * [`registry`] — typed counters/gauges/histograms with static label
+//!   sets, registered once, scraped on a sim-time cadence into a ring of
+//!   frames. Histograms are Prometheus-shaped (cumulative `le` buckets)
+//!   so per-shard frames sum-merge into exactly the frames a single
+//!   shard would have produced.
+//! * [`slo`] — declarative SLO specs evaluated online over closed bins,
+//!   with multi-window burn-rate alerting and the merged
+//!   violation-window view the chaos bench reports.
+//! * [`export`] — the deterministic scrape JSONL (writer + parser) and
+//!   the hand-rolled Prometheus text exposition with its validator.
+//! * [`report`] — one self-contained HTML page per run: latency
+//!   percentile bands, goodput, queue-depth timelines, fault/alert
+//!   annotations, SLO and cost tables. Byte-identical per seed.
+//!
+//! Everything is sim-time driven and wall-clock free, so all artifacts
+//! are byte-identical for a given seed — the determinism contract the
+//! rest of the workspace already lives by.
+
+pub mod export;
+pub mod registry;
+pub mod report;
+pub mod slo;
+
+pub use export::{
+    exposition, parse_scrape_jsonl, validate_exposition, AlertNote, ExpoStats, FaultNote,
+    ScrapeDoc, ScrapeWriter, SloNote,
+};
+pub use registry::{
+    latency_bounds_ns, Frame, FrameValue, MetricDef, MetricId, MetricKind, Registry,
+};
+pub use report::{bucket_quantile, render_html};
+pub use slo::{
+    merge_windows, AlertEpisode, AlertTransition, BinObs, BurnRate, SloEngine, SloKind, SloSpec,
+    Window,
+};

@@ -1,0 +1,535 @@
+//! The metrics registry: typed counters, gauges, and fixed-bucket
+//! histograms with static label sets, scraped on a sim-time cadence into
+//! a ring buffer of frames.
+//!
+//! The registry is the declarative half of the telemetry bus. Components
+//! register their metric families once at construction (registration
+//! order is the canonical wire order for every exporter), write values
+//! whenever they like, and a scraper snapshots the whole value vector at
+//! a fixed sim-time cadence. Because everything is driven by simulation
+//! time and values are either exact integers or deterministically
+//! computed floats, the same seed produces byte-identical scrape streams
+//! — the property the run reporter and the CI smoke legs pin.
+//!
+//! Histograms are Prometheus-shaped: cumulative `le` buckets plus `sum`
+//! and `count`. Cumulative bucket counts are sum-mergeable, which is what
+//! makes per-shard scrape frames from the conservative-parallel backend
+//! merge deterministically into the same frames a single shard produces.
+
+use std::collections::VecDeque;
+
+/// What a metric measures and how it is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing event count.
+    Counter,
+    /// Point-in-time level (queue depth, utilization).
+    Gauge,
+    /// Fixed-bound cumulative-bucket histogram (`le` buckets, sum, count).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Exposition-format type name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Handle to a registered metric. Cheap, `Copy`, and only valid for the
+/// registry that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(pub(crate) u32);
+
+/// A registered metric: family name, static labels, and kind. For
+/// histograms, `bounds` holds the upper bucket bounds (exclusive of the
+/// implicit `+Inf` bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDef {
+    /// Family name, `[a-z0-9_]` (exposition-compatible).
+    pub name: String,
+    /// Static label set, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Kind.
+    pub kind: MetricKind,
+    /// Histogram bucket upper bounds, ascending; empty for other kinds.
+    pub bounds: Vec<u64>,
+}
+
+/// Current value storage for one metric.
+#[derive(Debug, Clone, PartialEq)]
+enum Slot {
+    Counter(u64),
+    Gauge(f64),
+    Hist {
+        /// Per-bucket (non-cumulative) counts, one per bound plus the
+        /// overflow bucket.
+        counts: Vec<u64>,
+        sum: u64,
+        count: u64,
+    },
+}
+
+/// One metric's value as captured by a scrape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram snapshot: per-bucket counts (non-cumulative, overflow
+    /// last), value sum, and observation count — all cumulative since the
+    /// start of the run, so differencing consecutive frames yields the
+    /// per-window distribution.
+    Hist {
+        /// Per-bucket counts.
+        counts: Vec<u64>,
+        /// Sum of observed values.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One scrape: every registered metric's value at one sim time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Sim time of the scrape, nanoseconds.
+    pub t_ns: u64,
+    /// Values in registration order.
+    pub values: Vec<FrameValue>,
+}
+
+/// The registry: metric definitions, current values, and the ring buffer
+/// of scraped frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registry {
+    defs: Vec<MetricDef>,
+    slots: Vec<Slot>,
+    frames: VecDeque<Frame>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        && !name.as_bytes()[0].is_ascii_digit()
+}
+
+impl Registry {
+    /// Creates an empty registry whose frame ring holds at most
+    /// `capacity` scrapes (older frames are dropped, counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "frame ring needs capacity");
+        Registry {
+            defs: Vec::new(),
+            slots: Vec::new(),
+            frames: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn register(&mut self, def: MetricDef, slot: Slot) -> MetricId {
+        assert!(
+            valid_name(&def.name),
+            "metric name {:?} must be [a-z_][a-z0-9_]*",
+            def.name
+        );
+        for (k, _) in &def.labels {
+            assert!(valid_name(k), "label name {k:?} must be [a-z_][a-z0-9_]*");
+        }
+        assert!(
+            !self
+                .defs
+                .iter()
+                .any(|d| d.name == def.name && d.labels == def.labels),
+            "metric {:?} with identical labels registered twice",
+            def.name
+        );
+        if let Some(first) = self.defs.iter().find(|d| d.name == def.name) {
+            assert_eq!(
+                first.kind, def.kind,
+                "metric family {:?} registered with two kinds",
+                def.name
+            );
+        }
+        assert!(
+            self.frames.is_empty(),
+            "register every metric before the first scrape"
+        );
+        let id = MetricId(self.defs.len() as u32);
+        self.defs.push(def);
+        self.slots.push(slot);
+        id
+    }
+
+    /// Registers a counter.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(
+            MetricDef {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                kind: MetricKind::Counter,
+                bounds: Vec::new(),
+            },
+            Slot::Counter(0),
+        )
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(
+            MetricDef {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                kind: MetricKind::Gauge,
+                bounds: Vec::new(),
+            },
+            Slot::Gauge(0.0),
+        )
+    }
+
+    /// Registers a histogram with the given ascending upper bucket bounds
+    /// (an overflow bucket is implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> MetricId {
+        assert!(!bounds.is_empty(), "histogram needs bucket bounds");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        self.register(
+            MetricDef {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                kind: MetricKind::Histogram,
+                bounds: bounds.to_vec(),
+            },
+            Slot::Hist {
+                counts: vec![0; bounds.len() + 1],
+                sum: 0,
+                count: 0,
+            },
+        )
+    }
+
+    /// Sets a counter's value (counters are usually mirrored from an
+    /// existing accumulator at scrape time, hence `set` rather than
+    /// `inc`). A value below the current one panics: counters are
+    /// monotone by contract and a regression means the mirror is wrong.
+    pub fn set_counter(&mut self, id: MetricId, value: u64) {
+        match &mut self.slots[id.0 as usize] {
+            Slot::Counter(v) => {
+                assert!(value >= *v, "counter {} went backwards", id.0);
+                *v = value;
+            }
+            _ => panic!("metric {} is not a counter", id.0),
+        }
+    }
+
+    /// Sets a gauge's value.
+    pub fn set_gauge(&mut self, id: MetricId, value: f64) {
+        match &mut self.slots[id.0 as usize] {
+            Slot::Gauge(v) => *v = value,
+            _ => panic!("metric {} is not a gauge", id.0),
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: MetricId, value: u64) {
+        let bounds = &self.defs[id.0 as usize].bounds;
+        match &mut self.slots[id.0 as usize] {
+            Slot::Hist { counts, sum, count } => {
+                let idx = bounds.partition_point(|&b| value > b);
+                counts[idx] += 1;
+                *sum = sum.saturating_add(value);
+                *count += 1;
+            }
+            _ => panic!("metric {} is not a histogram", id.0),
+        }
+    }
+
+    /// Snapshots every metric's current value as one frame at sim time
+    /// `t_ns`. Frames beyond the ring capacity drop the oldest.
+    pub fn scrape(&mut self, t_ns: u64) {
+        if let Some(last) = self.frames.back() {
+            assert!(t_ns > last.t_ns, "scrapes must advance in sim time");
+        }
+        let values = self
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Counter(v) => FrameValue::Counter(*v),
+                Slot::Gauge(v) => FrameValue::Gauge(*v),
+                Slot::Hist { counts, sum, count } => FrameValue::Hist {
+                    counts: counts.clone(),
+                    sum: *sum,
+                    count: *count,
+                },
+            })
+            .collect();
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+            self.dropped += 1;
+        }
+        self.frames.push_back(Frame { t_ns, values });
+    }
+
+    /// Registered metric definitions, in registration order.
+    pub fn defs(&self) -> &[MetricDef] {
+        &self.defs
+    }
+
+    /// Scraped frames, oldest first.
+    pub fn frames(&self) -> impl Iterator<Item = &Frame> {
+        self.frames.iter()
+    }
+
+    /// Number of retained frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Frames dropped by the ring bound.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped
+    }
+
+    /// A metric's current value (as it would be scraped).
+    pub fn current(&self, id: MetricId) -> FrameValue {
+        match &self.slots[id.0 as usize] {
+            Slot::Counter(v) => FrameValue::Counter(*v),
+            Slot::Gauge(v) => FrameValue::Gauge(*v),
+            Slot::Hist { counts, sum, count } => FrameValue::Hist {
+                counts: counts.clone(),
+                sum: *sum,
+                count: *count,
+            },
+        }
+    }
+
+    /// Folds another registry (one shard's) into this one. Definitions
+    /// must match exactly and the two sides must have scraped at the same
+    /// sim times; counters and histogram buckets sum, gauges sum (each
+    /// shard reports only the servers it owns, zeros elsewhere, so the
+    /// sum of per-shard gauges equals the cluster-wide value).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched definitions or frame timestamps.
+    pub fn merge_from(&mut self, other: &Registry) {
+        assert_eq!(
+            self.defs, other.defs,
+            "cannot merge registries with different metric sets"
+        );
+        assert_eq!(
+            self.frames.len(),
+            other.frames.len(),
+            "cannot merge registries with different frame counts"
+        );
+        for (mine, theirs) in self.frames.iter_mut().zip(other.frames.iter()) {
+            assert_eq!(mine.t_ns, theirs.t_ns, "scrape times diverged");
+            for (a, b) in mine.values.iter_mut().zip(&theirs.values) {
+                match (a, b) {
+                    (FrameValue::Counter(x), FrameValue::Counter(y)) => *x += y,
+                    (FrameValue::Gauge(x), FrameValue::Gauge(y)) => *x += y,
+                    (
+                        FrameValue::Hist { counts, sum, count },
+                        FrameValue::Hist {
+                            counts: oc,
+                            sum: os,
+                            count: on,
+                        },
+                    ) => {
+                        for (c, o) in counts.iter_mut().zip(oc) {
+                            *c += o;
+                        }
+                        *sum = sum.saturating_add(*os);
+                        *count += on;
+                    }
+                    _ => unreachable!("defs matched but kinds diverged"),
+                }
+            }
+        }
+        // Merge current values the same way so post-merge scrapes and
+        // exposition reflect the whole cluster.
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            match (a, b) {
+                (Slot::Counter(x), Slot::Counter(y)) => *x += y,
+                (Slot::Gauge(x), Slot::Gauge(y)) => *x += y,
+                (
+                    Slot::Hist { counts, sum, count },
+                    Slot::Hist {
+                        counts: oc,
+                        sum: os,
+                        count: on,
+                    },
+                ) => {
+                    for (c, o) in counts.iter_mut().zip(oc) {
+                        *c += o;
+                    }
+                    *sum = sum.saturating_add(*os);
+                    *count += on;
+                }
+                _ => unreachable!("defs matched but kinds diverged"),
+            }
+        }
+        self.dropped += other.dropped;
+    }
+}
+
+/// Default latency-histogram bucket bounds: powers of two from 0.25 ms to
+/// 32 s, nanoseconds. Coarse enough to keep frames small, fine enough for
+/// the reporter's interpolated percentile bands.
+pub fn latency_bounds_ns() -> Vec<u64> {
+    (0..18).map(|i| 250_000u64 << i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_scrape_in_order() {
+        let mut r = Registry::new(8);
+        let c = r.counter("reqs_total", &[]);
+        let g = r.gauge("queue_len", &[("server", "0")]);
+        let h = r.histogram("lat_ns", &[], &[10, 100]);
+        r.set_counter(c, 5);
+        r.set_gauge(g, 2.5);
+        r.observe(h, 7);
+        r.observe(h, 50);
+        r.observe(h, 1_000);
+        r.scrape(1_000);
+        r.set_counter(c, 9);
+        r.scrape(2_000);
+        let frames: Vec<&Frame> = r.frames().collect();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].t_ns, 1_000);
+        assert_eq!(frames[0].values[0], FrameValue::Counter(5));
+        assert_eq!(frames[0].values[1], FrameValue::Gauge(2.5));
+        assert_eq!(
+            frames[0].values[2],
+            FrameValue::Hist {
+                counts: vec![1, 1, 1],
+                sum: 1_057,
+                count: 3
+            }
+        );
+        assert_eq!(frames[1].values[0], FrameValue::Counter(9));
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_upper() {
+        let mut r = Registry::new(2);
+        let h = r.histogram("h", &[], &[10, 100]);
+        r.observe(h, 10); // lands in the `le=10` bucket
+        r.observe(h, 11); // lands in the `le=100` bucket
+        r.observe(h, 101); // overflow
+        match r.current(h) {
+            FrameValue::Hist { counts, .. } => assert_eq!(counts, vec![1, 1, 1]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut r = Registry::new(2);
+        let c = r.counter("c", &[]);
+        for t in 1..=4u64 {
+            r.set_counter(c, t);
+            r.scrape(t * 100);
+        }
+        assert_eq!(r.frame_count(), 2);
+        assert_eq!(r.dropped_frames(), 2);
+        let ts: Vec<u64> = r.frames().map(|f| f.t_ns).collect();
+        assert_eq!(ts, vec![300, 400]);
+    }
+
+    #[test]
+    fn merge_sums_counters_gauges_and_buckets() {
+        let build = |c1: u64, g1: f64, obs: &[u64]| {
+            let mut r = Registry::new(8);
+            let c = r.counter("c", &[]);
+            let g = r.gauge("g", &[]);
+            let h = r.histogram("h", &[], &[10]);
+            r.set_counter(c, c1);
+            r.set_gauge(g, g1);
+            for &o in obs {
+                r.observe(h, o);
+            }
+            r.scrape(100);
+            r
+        };
+        let mut a = build(3, 1.0, &[5]);
+        let b = build(4, 2.0, &[50]);
+        a.merge_from(&b);
+        let f = a.frames().next().unwrap();
+        assert_eq!(f.values[0], FrameValue::Counter(7));
+        assert_eq!(f.values[1], FrameValue::Gauge(3.0));
+        assert_eq!(
+            f.values[2],
+            FrameValue::Hist {
+                counts: vec![1, 1],
+                sum: 55,
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn counter_regression_panics() {
+        let mut r = Registry::new(2);
+        let c = r.counter("c", &[]);
+        r.set_counter(c, 5);
+        r.set_counter(c, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be [a-z_]")]
+    fn bad_name_panics() {
+        let mut r = Registry::new(2);
+        r.counter("Bad-Name", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut r = Registry::new(2);
+        r.counter("c", &[("s", "0")]);
+        r.counter("c", &[("s", "0")]);
+    }
+
+    #[test]
+    fn latency_bounds_are_ascending() {
+        let b = latency_bounds_ns();
+        assert_eq!(b[0], 250_000);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.len(), 18);
+    }
+}

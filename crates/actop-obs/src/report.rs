@@ -1,0 +1,680 @@
+//! The run reporter: turns a parsed scrape document (plus an optional
+//! span dump) into one self-contained HTML page — latency percentile
+//! bands, goodput, queue-depth timelines, fault/alert annotations, and
+//! the SLO / counter / engine-cost tables.
+//!
+//! Rendering is a pure function of its inputs: charts are inline SVG with
+//! fixed-precision coordinates, tables iterate wire-ordered data, and no
+//! wall-clock or environment leaks in — so the page is byte-identical for
+//! a given scrape document, which is what the two-run determinism test
+//! and the CI `obs` leg pin.
+
+use crate::export::{AlertNote, ScrapeDoc};
+use crate::registry::{FrameValue, MetricKind};
+use actop_trace::SpanEvent;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const CHART_W: f64 = 860.0;
+const CHART_H: f64 = 220.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_B: f64 = 26.0;
+const MARGIN_T: f64 = 10.0;
+
+/// Fixed-precision coordinate/value formatting — two decimals everywhere
+/// keeps the SVG compact and the output byte-stable.
+fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Linear mapping from data space to SVG pixel space.
+struct Scale {
+    t0: f64,
+    t1: f64,
+    v0: f64,
+    v1: f64,
+}
+
+impl Scale {
+    fn x(&self, t: f64) -> f64 {
+        if self.t1 <= self.t0 {
+            return MARGIN_L;
+        }
+        MARGIN_L + (t - self.t0) / (self.t1 - self.t0) * (CHART_W - MARGIN_L - 10.0)
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        if self.v1 <= self.v0 {
+            return CHART_H - MARGIN_B;
+        }
+        let frac = (v - self.v0) / (self.v1 - self.v0);
+        MARGIN_T + (1.0 - frac) * (CHART_H - MARGIN_T - MARGIN_B)
+    }
+}
+
+/// One series to draw: (t_seconds, value) points.
+struct Series<'a> {
+    name: String,
+    color: &'a str,
+    points: Vec<(f64, f64)>,
+}
+
+/// A shaded time-range annotation.
+struct Band {
+    label: String,
+    start_s: f64,
+    end_s: f64,
+    color: &'static str,
+}
+
+fn polyline(out: &mut String, scale: &Scale, pts: &[(f64, f64)], color: &str, width: f64) {
+    if pts.is_empty() {
+        return;
+    }
+    let _ = write!(
+        out,
+        "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"{width}\" points=\""
+    );
+    for (i, (t, v)) in pts.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{},{}", fmt2(scale.x(*t)), fmt2(scale.y(*v)));
+    }
+    out.push_str("\"/>");
+}
+
+/// Renders one chart: axes with min/max tick labels, annotation bands,
+/// then the series with a small legend.
+fn chart(title: &str, unit: &str, series: &[Series], bands: &[Band]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "<h3>{}</h3>", esc(title));
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() {
+        out.push_str("<p class=\"empty\">no data</p>");
+        return out;
+    }
+    let t0 = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let t1 = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let vmax = all.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    let scale = Scale {
+        t0,
+        t1,
+        v0: 0.0,
+        v1: if vmax > 0.0 { vmax * 1.05 } else { 1.0 },
+    };
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" width=\"{CHART_W}\" height=\"{CHART_H}\" role=\"img\">"
+    );
+    // Annotation bands first, under the data.
+    for b in bands {
+        let x0 = scale.x(b.start_s.max(t0));
+        let x1 = scale.x(b.end_s.min(t1));
+        if x1 <= x0 {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\" opacity=\"0.18\"><title>{}</title></rect>",
+            fmt2(x0),
+            fmt2(MARGIN_T),
+            fmt2(x1 - x0),
+            fmt2(CHART_H - MARGIN_T - MARGIN_B),
+            b.color,
+            esc(&b.label)
+        );
+    }
+    // Axes.
+    let _ = write!(
+        out,
+        "<line x1=\"{l}\" y1=\"{t}\" x2=\"{l}\" y2=\"{b}\" stroke=\"#999\"/><line x1=\"{l}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"#999\"/>",
+        l = MARGIN_L,
+        t = MARGIN_T,
+        b = CHART_H - MARGIN_B,
+        r = CHART_W - 10.0
+    );
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" class=\"tick\">{} {}</text><text x=\"{}\" y=\"{}\" class=\"tick\">0</text>",
+        4.0,
+        MARGIN_T + 10.0,
+        fmt2(scale.v1),
+        esc(unit),
+        MARGIN_L - 14.0,
+        CHART_H - MARGIN_B
+    );
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" class=\"tick\">{} s</text><text x=\"{}\" y=\"{}\" class=\"tick\">{} s</text>",
+        MARGIN_L,
+        CHART_H - 8.0,
+        fmt2(t0),
+        CHART_W - 70.0,
+        CHART_H - 8.0,
+        fmt2(t1)
+    );
+    for s in series {
+        polyline(&mut out, &scale, &s.points, s.color, 1.5);
+    }
+    out.push_str("</svg>");
+    // Legend.
+    out.push_str("<p class=\"legend\">");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" · ");
+        }
+        let _ = write!(
+            out,
+            "<span style=\"color:{}\">■</span> {}",
+            s.color,
+            esc(&s.name)
+        );
+    }
+    out.push_str("</p>");
+    out
+}
+
+fn table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
+    out.push_str("<table><tr>");
+    for h in headers {
+        let _ = write!(out, "<th>{}</th>", esc(h));
+    }
+    out.push_str("</tr>");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            let _ = write!(out, "<td>{}</td>", esc(cell));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+}
+
+/// Interpolated quantile from per-bucket (non-cumulative) counts over
+/// `bounds` (ascending upper bounds; overflow bucket last). Linear within
+/// a bucket; the overflow bucket is clamped to twice the last bound.
+pub fn bucket_quantile(bounds: &[u64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = q * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let lo = if i == 0 { 0 } else { bounds[i - 1] } as f64;
+        let hi = if i < bounds.len() {
+            bounds[i] as f64
+        } else {
+            bounds.last().copied().unwrap_or(0) as f64 * 2.0
+        };
+        if (cum + c) as f64 >= target {
+            let within = (target - cum as f64) / c as f64;
+            return lo + (hi - lo) * within.clamp(0.0, 1.0);
+        }
+        cum += c;
+    }
+    bounds.last().copied().unwrap_or(0) as f64 * 2.0
+}
+
+/// Pairs alert open/close transitions into shaded bands, per SLO name.
+/// An unclosed alert extends to `end_s`.
+fn alert_bands(alerts: &[AlertNote], end_s: f64) -> Vec<Band> {
+    let mut open: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut bands = Vec::new();
+    for a in alerts {
+        let t = a.t_ns as f64 / 1e9;
+        if a.open {
+            open.insert(&a.slo, t);
+        } else if let Some(start) = open.remove(a.slo.as_str()) {
+            bands.push(Band {
+                label: format!("alert {}", a.slo),
+                start_s: start,
+                end_s: t,
+                color: "#e69500",
+            });
+        }
+    }
+    for (slo, start) in open {
+        bands.push(Band {
+            label: format!("alert {slo} (open)"),
+            start_s: start,
+            end_s,
+            color: "#e69500",
+        });
+    }
+    bands
+}
+
+/// Per-window histogram deltas for metric `idx`: `(end_t_s, counts)`
+/// including the implicit zero frame at t=0.
+fn hist_windows(doc: &ScrapeDoc, idx: usize) -> Vec<(f64, Vec<u64>)> {
+    let mut prev: Option<&Vec<u64>> = None;
+    let mut out = Vec::new();
+    for f in &doc.frames {
+        if let FrameValue::Hist { counts, .. } = &f.values[idx] {
+            let delta = match prev {
+                Some(p) => counts.iter().zip(p).map(|(c, p)| c - p).collect(),
+                None => counts.clone(),
+            };
+            out.push((f.t_ns as f64 / 1e9, delta));
+            prev = Some(counts);
+        }
+    }
+    out
+}
+
+/// Per-window counter deltas for metric `idx`: `(end_t_s, delta)`.
+fn counter_windows(doc: &ScrapeDoc, idx: usize) -> Vec<(f64, u64)> {
+    let mut prev = 0u64;
+    let mut out = Vec::new();
+    for f in &doc.frames {
+        if let FrameValue::Counter(v) = f.values[idx] {
+            out.push((f.t_ns as f64 / 1e9, v - prev));
+            prev = v;
+        }
+    }
+    out
+}
+
+fn def_label(doc: &ScrapeDoc, idx: usize) -> String {
+    let d = &doc.defs[idx];
+    if d.labels.is_empty() {
+        d.name.clone()
+    } else {
+        let labels: Vec<String> = d.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{}{{{}}}", d.name, labels.join(","))
+    }
+}
+
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+/// Renders the full report page. `spans`, when given, contributes a
+/// span-kind census table (the trace itself stays in its own viewers).
+pub fn render_html(doc: &ScrapeDoc, spans: Option<&[SpanEvent]>) -> String {
+    let end_s = doc.frames.last().map_or(0.0, |f| f.t_ns as f64 / 1e9);
+    let mut bands: Vec<Band> = doc
+        .faults
+        .iter()
+        .map(|f| Band {
+            label: match f.server {
+                Some(s) => format!("{} s{}", f.name, s),
+                None => f.name.clone(),
+            },
+            start_s: f.start_ns as f64 / 1e9,
+            end_s: f.end_ns.map_or(end_s, |e| e as f64 / 1e9),
+            color: "#d62728",
+        })
+        .collect();
+    bands.extend(alert_bands(&doc.alerts, end_s));
+
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "<h1>actop run report</h1><p>seed {} · scrape interval {} ms · {} frames · {} s horizon</p>",
+        doc.seed,
+        doc.interval_ns / 1_000_000,
+        doc.frames.len(),
+        fmt2(end_s)
+    );
+
+    // Latency percentile bands: the first histogram metric.
+    if let Some(idx) = doc
+        .defs
+        .iter()
+        .position(|d| d.kind == MetricKind::Histogram)
+    {
+        let bounds = &doc.defs[idx].bounds;
+        let windows = hist_windows(doc, idx);
+        let mut series = vec![
+            Series {
+                name: "p50".into(),
+                color: PALETTE[0],
+                points: Vec::new(),
+            },
+            Series {
+                name: "p95".into(),
+                color: PALETTE[4],
+                points: Vec::new(),
+            },
+            Series {
+                name: "p99".into(),
+                color: PALETTE[1],
+                points: Vec::new(),
+            },
+        ];
+        for (t, counts) in &windows {
+            for (s, q) in series.iter_mut().zip([0.50, 0.95, 0.99]) {
+                s.points
+                    .push((*t, bucket_quantile(bounds, counts, q) / 1e6));
+            }
+        }
+        body.push_str(&chart(
+            &format!("latency percentiles — {}", def_label(doc, idx)),
+            "ms",
+            &series,
+            &bands,
+        ));
+    }
+
+    // Goodput: the completion counter differenced per window.
+    let goodput_idx = doc
+        .defs
+        .iter()
+        .position(|d| d.kind == MetricKind::Counter && d.name.contains("completed"))
+        .or_else(|| doc.defs.iter().position(|d| d.kind == MetricKind::Counter));
+    if let Some(idx) = goodput_idx {
+        let interval_s = doc.interval_ns as f64 / 1e9;
+        let points: Vec<(f64, f64)> = counter_windows(doc, idx)
+            .iter()
+            .map(|(t, d)| (*t, *d as f64 / interval_s))
+            .collect();
+        body.push_str(&chart(
+            &format!("goodput — {}", def_label(doc, idx)),
+            "req/s",
+            &[Series {
+                name: "completions/s".into(),
+                color: PALETTE[2],
+                points,
+            }],
+            &bands,
+        ));
+    }
+
+    // Queue depth: every gauge in the queue_len family (or the first
+    // gauge family), one series per label set, palette-cycled.
+    let gauge_family = doc
+        .defs
+        .iter()
+        .find(|d| d.kind == MetricKind::Gauge && d.name == "queue_len")
+        .or_else(|| doc.defs.iter().find(|d| d.kind == MetricKind::Gauge))
+        .map(|d| d.name.clone());
+    if let Some(fam) = gauge_family {
+        let idxs = doc.family(&fam);
+        let series: Vec<Series> = idxs
+            .iter()
+            .enumerate()
+            .map(|(i, &idx)| Series {
+                name: def_label(doc, idx),
+                color: PALETTE[i % PALETTE.len()],
+                points: doc
+                    .frames
+                    .iter()
+                    .filter_map(|f| match f.values[idx] {
+                        FrameValue::Gauge(v) => Some((f.t_ns as f64 / 1e9, v)),
+                        _ => None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        body.push_str(&chart(&fam, "", &series, &bands));
+    }
+
+    // SLO outcomes.
+    if !doc.slos.is_empty() {
+        body.push_str("<h3>SLOs</h3>");
+        let bin_s = doc.interval_ns as f64 / 1e9;
+        let rows: Vec<Vec<String>> = doc
+            .slos
+            .iter()
+            .map(|s| {
+                let violated: u64 = s.windows.iter().map(|(a, b)| b - a).sum();
+                vec![
+                    s.name.clone(),
+                    s.windows.len().to_string(),
+                    fmt2(violated as f64 * bin_s),
+                    s.opened.to_string(),
+                    s.closed.to_string(),
+                ]
+            })
+            .collect();
+        table(
+            &mut body,
+            &[
+                "slo",
+                "violation windows",
+                "violated time (s)",
+                "alerts opened",
+                "alerts closed",
+            ],
+            &rows,
+        );
+    }
+
+    // Fault timeline table.
+    if !doc.faults.is_empty() {
+        body.push_str("<h3>Faults</h3>");
+        let rows: Vec<Vec<String>> = doc
+            .faults
+            .iter()
+            .map(|f| {
+                vec![
+                    f.name.clone(),
+                    f.server.map_or("-".into(), |s| s.to_string()),
+                    fmt2(f.start_ns as f64 / 1e9),
+                    f.end_ns.map_or("never".into(), |e| fmt2(e as f64 / 1e9)),
+                ]
+            })
+            .collect();
+        table(
+            &mut body,
+            &["fault", "server", "start (s)", "end (s)"],
+            &rows,
+        );
+    }
+
+    // Final counter values.
+    let counter_rows: Vec<Vec<String>> = doc
+        .defs
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.kind == MetricKind::Counter)
+        .filter_map(|(i, _)| {
+            doc.frames.last().map(|f| {
+                let v = match f.values[i] {
+                    FrameValue::Counter(v) => v,
+                    _ => 0,
+                };
+                vec![def_label(doc, i), v.to_string()]
+            })
+        })
+        .collect();
+    if !counter_rows.is_empty() {
+        body.push_str("<h3>Counters (final)</h3>");
+        table(&mut body, &["counter", "value"], &counter_rows);
+    }
+
+    // Run summary / engine self-metrics (includes cost-attribution op
+    // counts when the run had them enabled).
+    for (title, pairs) in [("Run summary", &doc.summary), ("Engine", &doc.engine)] {
+        if !pairs.is_empty() {
+            let _ = write!(body, "<h3>{title}</h3>");
+            let rows: Vec<Vec<String>> = pairs
+                .iter()
+                .map(|(k, v)| {
+                    let text = if *v == v.trunc() && v.abs() < 1e15 {
+                        format!("{}", *v as i64)
+                    } else {
+                        fmt2(*v)
+                    };
+                    vec![k.clone(), text]
+                })
+                .collect();
+            table(&mut body, &["metric", "value"], &rows);
+        }
+    }
+
+    // Span census from an optional trace export.
+    if let Some(spans) = spans {
+        body.push_str("<h3>Trace span census</h3>");
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in spans {
+            *counts.entry(s.kind.name()).or_default() += 1;
+        }
+        let rows: Vec<Vec<String>> = counts
+            .iter()
+            .map(|(k, v)| vec![(*k).to_string(), v.to_string()])
+            .collect();
+        table(&mut body, &["span kind", "count"], &rows);
+        let _ = write!(body, "<p>{} spans total</p>", spans.len());
+    }
+
+    format!(
+        "<!doctype html><html><head><meta charset=\"utf-8\"><title>actop run report — seed {}</title><style>\
+body{{font-family:system-ui,sans-serif;max-width:920px;margin:2em auto;color:#222}}\
+table{{border-collapse:collapse;margin:0.5em 0}}\
+th,td{{border:1px solid #ccc;padding:3px 10px;text-align:left;font-size:13px}}\
+th{{background:#f2f2f2}}\
+.tick{{font-size:11px;fill:#666}}\
+.legend{{font-size:12px;color:#444}}\
+.empty{{color:#888;font-style:italic}}\
+</style></head><body>{}</body></html>\n",
+        doc.seed, body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{parse_scrape_jsonl, FaultNote, ScrapeWriter, SloNote};
+    use crate::registry::Registry;
+
+    fn sample_doc() -> ScrapeDoc {
+        let mut r = Registry::new(16);
+        let c = r.counter("requests_completed_total", &[]);
+        let g0 = r.gauge("queue_len", &[("server", "0")]);
+        let h = r.histogram("latency_e2e_ns", &[], &[1_000_000, 10_000_000, 100_000_000]);
+        for i in 1..=5u64 {
+            r.set_counter(c, i * 100);
+            r.set_gauge(g0, i as f64);
+            for _ in 0..10 {
+                r.observe(h, i * 2_000_000);
+            }
+            r.scrape(i * 1_000_000_000);
+        }
+        let mut w = ScrapeWriter::new(42, 1_000_000_000, r.defs());
+        w.frames(&r);
+        w.alert(&AlertNote {
+            slo: "lat".into(),
+            open: true,
+            t_ns: 1_000_000_000,
+            bin: 1,
+        });
+        w.alert(&AlertNote {
+            slo: "lat".into(),
+            open: false,
+            t_ns: 3_000_000_000,
+            bin: 3,
+        });
+        w.fault(&FaultNote {
+            name: "crash".into(),
+            server: Some(2),
+            start_ns: 2_000_000_000,
+            end_ns: Some(4_000_000_000),
+        });
+        w.slo(&SloNote {
+            name: "lat".into(),
+            windows: vec![(1, 3)],
+            opened: 1,
+            closed: 1,
+        });
+        w.summary(&[("completed", 500.0)]);
+        w.engine(&[("events", 12345.0), ("cost_heap_ops", 99.0)]);
+        parse_scrape_jsonl(&w.finish()).unwrap()
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let bounds = [10, 20, 40];
+        // 10 obs in (0,10], 10 in (10,20], none beyond.
+        let counts = [10, 10, 0, 0];
+        assert_eq!(bucket_quantile(&bounds, &counts, 0.5), 10.0);
+        assert_eq!(bucket_quantile(&bounds, &counts, 0.25), 5.0);
+        assert_eq!(bucket_quantile(&bounds, &counts, 0.75), 15.0);
+        // Overflow clamps to twice the last bound.
+        assert_eq!(bucket_quantile(&bounds, &[0, 0, 0, 4], 1.0), 80.0);
+        assert_eq!(bucket_quantile(&bounds, &[0, 0, 0, 0], 0.99), 0.0);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let doc = sample_doc();
+        let html = render_html(&doc, None);
+        assert!(html.contains("<h1>actop run report</h1>"));
+        assert!(html.contains("latency percentiles"));
+        assert!(html.contains("goodput"));
+        assert!(html.contains("queue_len"));
+        assert!(html.contains("SLOs"));
+        assert!(html.contains("Faults"));
+        assert!(html.contains("crash s2"));
+        assert!(html.contains("alert lat"));
+        assert!(html.contains("cost_heap_ops"));
+        assert!(html.contains("</html>"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let doc = sample_doc();
+        assert_eq!(render_html(&doc, None), render_html(&doc, None));
+    }
+
+    #[test]
+    fn report_survives_empty_document() {
+        let r = Registry::new(2);
+        let w = ScrapeWriter::new(1, 1_000, r.defs());
+        let doc = parse_scrape_jsonl(&w.finish()).unwrap();
+        let html = render_html(&doc, None);
+        assert!(html.contains("0 frames"));
+    }
+
+    #[test]
+    fn span_census_counts_kinds() {
+        use actop_trace::{HopKind, NO_SERVER, NO_STAGE};
+        let doc = sample_doc();
+        let spans = vec![
+            SpanEvent {
+                request: 1,
+                kind: HopKind::GatewayAdmit,
+                server: 0,
+                stage: NO_STAGE,
+                aux: 0,
+                t_start: actop_sim::Nanos(0),
+                t_end: actop_sim::Nanos(0),
+            },
+            SpanEvent {
+                request: 1,
+                kind: HopKind::GatewayAdmit,
+                server: NO_SERVER,
+                stage: NO_STAGE,
+                aux: 0,
+                t_start: actop_sim::Nanos(5),
+                t_end: actop_sim::Nanos(5),
+            },
+        ];
+        let html = render_html(&doc, Some(&spans));
+        assert!(html.contains("Trace span census"));
+        assert!(html.contains("2 spans total"));
+    }
+}

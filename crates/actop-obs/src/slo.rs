@@ -1,0 +1,559 @@
+//! The SLO engine: declarative service-level objectives evaluated online
+//! over fixed sim-time bins, with multi-window burn-rate alerting.
+//!
+//! Each [`SloSpec`] names an objective over one binned observation stream
+//! (latency bins, goodput bins, detector false-suspicion bins). The
+//! engine consumes closed bins one at a time — `push` is called once per
+//! bin per spec, in time order — and classifies each bin as violated or
+//! not. Two layers sit on top of that classification:
+//!
+//! * **Violation windows** — maximal runs of consecutive violated bins,
+//!   the exact quantity `bench_chaos` used to report (a window is an
+//!   outage interval, its length the time-to-recover).
+//! * **Burn-rate alerts** — the multi-window pattern from Google's SRE
+//!   workbook: an alert *opens* when the violated-bin fraction over both
+//!   a short window (fast signal) and a long window (sustained signal)
+//!   reaches a threshold, and *closes* when the short window clears.
+//!   Evaluated purely in sim time, so alerting is deterministic.
+//!
+//! Everything here is plain arithmetic over `(count, sum)` bin pairs; no
+//! wall-clock, no RNG. Same bins in ⇒ same alerts and windows out.
+
+/// One closed observation bin handed to the engine: how many events the
+/// bin saw and their value sum (units depend on the stream — latency
+/// bins carry nanoseconds, rate bins just use `count`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinObs {
+    /// Events observed in the bin.
+    pub count: f64,
+    /// Sum of observed values (stream-specific units).
+    pub sum: f64,
+}
+
+impl BinObs {
+    /// Mean value per event, or 0 for an empty bin.
+    pub fn mean(&self) -> f64 {
+        if self.count > 0.0 {
+            self.sum / self.count
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What an SLO demands of each bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// Mean latency in the bin must stay below this many milliseconds;
+    /// empty bins are compliant (matches the historical `bench_chaos`
+    /// rule: `count > 0 && mean_ms > target` ⇒ violated). Bin sums are
+    /// nanoseconds.
+    MeanLatencyBelowMs(f64),
+    /// The bin must complete at least this many events per second.
+    GoodputAtLeastPerS(f64),
+    /// The bin must see fewer than this many events per second (for
+    /// "bad event" streams such as detector false suspicions).
+    RateBelowPerS(f64),
+}
+
+impl SloKind {
+    /// Whether one closed bin of width `bin_s` seconds violates the
+    /// objective.
+    pub fn violated(&self, obs: &BinObs, bin_s: f64) -> bool {
+        match *self {
+            SloKind::MeanLatencyBelowMs(target_ms) => {
+                obs.count > 0.0 && obs.mean() / 1e6 > target_ms
+            }
+            SloKind::GoodputAtLeastPerS(floor) => obs.count / bin_s < floor,
+            SloKind::RateBelowPerS(ceiling) => obs.count / bin_s >= ceiling,
+        }
+    }
+}
+
+/// Burn-rate alert policy: fractions of violated bins over two sliding
+/// windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRate {
+    /// Long (sustained) window length, bins.
+    pub long_bins: usize,
+    /// Short (fast) window length, bins.
+    pub short_bins: usize,
+    /// Violated-bin fraction at or above which a window is burning.
+    pub threshold: f64,
+}
+
+impl Default for BurnRate {
+    /// 5-bin short window and 60-bin long window at a 50% violation
+    /// fraction — with 1 s bins, the classic "5 m fast / 1 h sustained"
+    /// shape scaled to simulation horizons.
+    fn default() -> Self {
+        BurnRate {
+            long_bins: 60,
+            short_bins: 5,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// One declarative SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Name, used in exports and alert trace events.
+    pub name: String,
+    /// The per-bin objective.
+    pub kind: SloKind,
+    /// Alerting policy.
+    pub burn: BurnRate,
+}
+
+impl SloSpec {
+    /// A spec with the default burn-rate policy.
+    pub fn new(name: &str, kind: SloKind) -> Self {
+        SloSpec {
+            name: name.to_string(),
+            kind,
+            burn: BurnRate::default(),
+        }
+    }
+}
+
+/// A maximal run of consecutive violated bins, `[start_bin, end_bin)`,
+/// indices relative to whatever origin the caller's bins use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First violated bin.
+    pub start_bin: usize,
+    /// One past the last violated bin.
+    pub end_bin: usize,
+}
+
+impl Window {
+    /// Window length in bins.
+    pub fn len(&self) -> usize {
+        self.end_bin - self.start_bin
+    }
+
+    /// Whether the window is empty (never produced by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.end_bin <= self.start_bin
+    }
+}
+
+/// What `push` observed for one bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertTransition {
+    /// No alert state change.
+    None,
+    /// The alert opened at this bin.
+    Opened,
+    /// The alert closed at this bin.
+    Closed,
+}
+
+/// Online state for one spec.
+#[derive(Debug, Clone)]
+struct SpecState {
+    /// Per-bin violation verdicts, index = bin number since start.
+    violated: Vec<bool>,
+    /// Violated count inside the trailing short window.
+    short_hits: usize,
+    /// Violated count inside the trailing long window.
+    long_hits: usize,
+    /// Whether the alert is currently open.
+    open: bool,
+    /// Bin at which the open alert started (valid when `open`).
+    open_bin: usize,
+    /// Alerts opened so far.
+    opened: u64,
+    /// Alerts closed so far.
+    closed: u64,
+}
+
+/// An alert episode: `[open_bin, close_bin)`; `close_bin == usize::MAX`
+/// while still open at finalize time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertEpisode {
+    /// Bin at which the alert opened.
+    pub open_bin: usize,
+    /// Bin at which it closed, or `usize::MAX` if never.
+    pub close_bin: usize,
+}
+
+/// The engine: a set of specs evaluated in lockstep over a shared bin
+/// clock.
+#[derive(Debug, Clone)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    states: Vec<SpecState>,
+    bin_s: f64,
+    episodes: Vec<Vec<AlertEpisode>>,
+}
+
+impl SloEngine {
+    /// Builds an engine over `specs` with `bin_ns`-wide bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_ns == 0` or any spec has a zero-length window or a
+    /// short window longer than its long window.
+    pub fn new(specs: Vec<SloSpec>, bin_ns: u64) -> Self {
+        assert!(bin_ns > 0, "bin width must be positive");
+        for s in &specs {
+            assert!(
+                s.burn.short_bins > 0 && s.burn.long_bins >= s.burn.short_bins,
+                "spec {:?}: need 0 < short_bins <= long_bins",
+                s.name
+            );
+            assert!(
+                s.burn.threshold > 0.0 && s.burn.threshold <= 1.0,
+                "spec {:?}: threshold must be in (0, 1]",
+                s.name
+            );
+        }
+        let states = specs
+            .iter()
+            .map(|_| SpecState {
+                violated: Vec::new(),
+                short_hits: 0,
+                long_hits: 0,
+                open: false,
+                open_bin: 0,
+                opened: 0,
+                closed: 0,
+            })
+            .collect();
+        let episodes = specs.iter().map(|_| Vec::new()).collect();
+        SloEngine {
+            specs,
+            states,
+            bin_s: bin_ns as f64 / 1e9,
+            episodes,
+        }
+    }
+
+    /// The specs, in registration order.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Number of bins pushed so far (same for every spec).
+    pub fn bins_seen(&self) -> usize {
+        self.states.first().map_or(0, |s| s.violated.len())
+    }
+
+    /// Feeds the next closed bin for spec `idx` and returns the alert
+    /// transition it caused. Bins must be pushed in time order, one per
+    /// spec per bin.
+    pub fn push(&mut self, idx: usize, obs: BinObs) -> AlertTransition {
+        let spec = &self.specs[idx];
+        let violated = spec.kind.violated(&obs, self.bin_s);
+        let burn = spec.burn;
+        let st = &mut self.states[idx];
+        let bin = st.violated.len();
+        st.violated.push(violated);
+        if violated {
+            st.short_hits += 1;
+            st.long_hits += 1;
+        }
+        // Expire bins sliding out of each window.
+        if bin >= burn.short_bins && st.violated[bin - burn.short_bins] {
+            st.short_hits -= 1;
+        }
+        if bin >= burn.long_bins && st.violated[bin - burn.long_bins] {
+            st.long_hits -= 1;
+        }
+        let short_n = (bin + 1).min(burn.short_bins) as f64;
+        let long_n = (bin + 1).min(burn.long_bins) as f64;
+        let short_burn = st.short_hits as f64 / short_n >= burn.threshold;
+        let long_burn = st.long_hits as f64 / long_n >= burn.threshold;
+        if !st.open && short_burn && long_burn {
+            st.open = true;
+            st.open_bin = bin;
+            st.opened += 1;
+            self.episodes[idx].push(AlertEpisode {
+                open_bin: bin,
+                close_bin: usize::MAX,
+            });
+            AlertTransition::Opened
+        } else if st.open && !short_burn {
+            st.open = false;
+            st.closed += 1;
+            self.episodes[idx]
+                .last_mut()
+                .expect("open episode")
+                .close_bin = bin;
+            AlertTransition::Closed
+        } else {
+            AlertTransition::None
+        }
+    }
+
+    /// Total alerts opened for spec `idx`.
+    pub fn alerts_opened(&self, idx: usize) -> u64 {
+        self.states[idx].opened
+    }
+
+    /// Total alerts closed for spec `idx`.
+    pub fn alerts_closed(&self, idx: usize) -> u64 {
+        self.states[idx].closed
+    }
+
+    /// Whether spec `idx`'s alert is currently open.
+    pub fn is_open(&self, idx: usize) -> bool {
+        self.states[idx].open
+    }
+
+    /// Alert episodes for spec `idx`, in open order.
+    pub fn episodes(&self, idx: usize) -> &[AlertEpisode] {
+        &self.episodes[idx]
+    }
+
+    /// Per-bin violation verdicts for spec `idx`.
+    pub fn verdicts(&self, idx: usize) -> &[bool] {
+        &self.states[idx].violated
+    }
+
+    /// All maximal violation windows for spec `idx`, bin indices relative
+    /// to the engine's first bin.
+    pub fn windows(&self, idx: usize) -> Vec<Window> {
+        merge_windows(&self.states[idx].violated)
+    }
+
+    /// Violation windows clipped to `[first, last)` and rebased so bin
+    /// `first` becomes 0 — the measurement-relative view `bench_chaos`
+    /// reports (clip-then-rebase of merged windows equals filtering bins
+    /// to the measurement range and merging those, because clipping a
+    /// maximal run yields the maximal runs of the restricted sequence).
+    pub fn windows_in(&self, idx: usize, first: usize, last: usize) -> Vec<Window> {
+        self.windows(idx)
+            .iter()
+            .filter_map(|w| {
+                let start = w.start_bin.max(first);
+                let end = w.end_bin.min(last);
+                if start < end {
+                    Some(Window {
+                        start_bin: start - first,
+                        end_bin: end - first,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Merges a per-bin violation sequence into maximal windows.
+pub fn merge_windows(violated: &[bool]) -> Vec<Window> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, &v) in violated.iter().enumerate() {
+        match (v, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                out.push(Window {
+                    start_bin: s,
+                    end_bin: i,
+                });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(Window {
+            start_bin: s,
+            end_bin: violated.len(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat_bin(count: f64, mean_ms: f64) -> BinObs {
+        BinObs {
+            count,
+            sum: count * mean_ms * 1e6,
+        }
+    }
+
+    #[test]
+    fn mean_latency_rule_matches_bench_chaos() {
+        let kind = SloKind::MeanLatencyBelowMs(100.0);
+        assert!(!kind.violated(&lat_bin(0.0, 0.0), 1.0), "empty bin is fine");
+        assert!(
+            !kind.violated(&lat_bin(5.0, 100.0), 1.0),
+            "at target is fine"
+        );
+        assert!(kind.violated(&lat_bin(5.0, 100.01), 1.0));
+    }
+
+    #[test]
+    fn goodput_and_rate_rules() {
+        let good = SloKind::GoodputAtLeastPerS(100.0);
+        assert!(good.violated(
+            &BinObs {
+                count: 99.0,
+                sum: 0.0
+            },
+            1.0
+        ));
+        assert!(!good.violated(
+            &BinObs {
+                count: 100.0,
+                sum: 0.0
+            },
+            1.0
+        ));
+        let rate = SloKind::RateBelowPerS(2.0);
+        assert!(!rate.violated(
+            &BinObs {
+                count: 1.0,
+                sum: 0.0
+            },
+            1.0
+        ));
+        assert!(rate.violated(
+            &BinObs {
+                count: 2.0,
+                sum: 0.0
+            },
+            1.0
+        ));
+    }
+
+    #[test]
+    fn windows_merge_adjacent_violations() {
+        assert_eq!(
+            merge_windows(&[false, true, true, false, true]),
+            vec![
+                Window {
+                    start_bin: 1,
+                    end_bin: 3
+                },
+                Window {
+                    start_bin: 4,
+                    end_bin: 5
+                }
+            ]
+        );
+        assert_eq!(merge_windows(&[]), vec![]);
+        assert_eq!(
+            merge_windows(&[true]),
+            vec![Window {
+                start_bin: 0,
+                end_bin: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn windows_in_clips_and_rebases() {
+        // Violations at bins 1..3 and 4..7; measurement range [2, 6).
+        let mut eng = SloEngine::new(
+            vec![SloSpec::new("lat", SloKind::MeanLatencyBelowMs(100.0))],
+            1_000_000_000,
+        );
+        for v in [false, true, true, false, true, true, true, false] {
+            eng.push(0, lat_bin(1.0, if v { 200.0 } else { 10.0 }));
+        }
+        assert_eq!(
+            eng.windows_in(0, 2, 6),
+            vec![
+                Window {
+                    start_bin: 0,
+                    end_bin: 1
+                },
+                Window {
+                    start_bin: 2,
+                    end_bin: 4
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn alert_opens_on_both_windows_and_closes_on_short() {
+        let spec = SloSpec {
+            name: "lat".into(),
+            kind: SloKind::MeanLatencyBelowMs(100.0),
+            burn: BurnRate {
+                long_bins: 6,
+                short_bins: 2,
+                threshold: 0.5,
+            },
+        };
+        let mut eng = SloEngine::new(vec![spec], 1_000_000_000);
+        // Bin 0 violated: short 1/1 = 1.0, long 1/1 = 1.0 → opens at once.
+        assert_eq!(eng.push(0, lat_bin(1.0, 200.0)), AlertTransition::Opened);
+        assert!(eng.is_open(0));
+        // One healthy bin: short 1/2 = 0.5 ≥ thr, still open.
+        assert_eq!(eng.push(0, lat_bin(1.0, 10.0)), AlertTransition::None);
+        // Second healthy bin: short 0/2 < thr → closes.
+        assert_eq!(eng.push(0, lat_bin(1.0, 10.0)), AlertTransition::Closed);
+        assert!(!eng.is_open(0));
+        assert_eq!(eng.alerts_opened(0), 1);
+        assert_eq!(eng.alerts_closed(0), 1);
+        assert_eq!(
+            eng.episodes(0),
+            &[AlertEpisode {
+                open_bin: 0,
+                close_bin: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn long_window_gates_reopening() {
+        // Long window must also be burning for an open; with a long run
+        // of healthy bins behind it, a single violated bin can satisfy
+        // the short window but not the long one.
+        let spec = SloSpec {
+            name: "lat".into(),
+            kind: SloKind::MeanLatencyBelowMs(100.0),
+            burn: BurnRate {
+                long_bins: 10,
+                short_bins: 1,
+                threshold: 0.5,
+            },
+        };
+        let mut eng = SloEngine::new(vec![spec], 1_000_000_000);
+        for _ in 0..9 {
+            assert_eq!(eng.push(0, lat_bin(1.0, 10.0)), AlertTransition::None);
+        }
+        // Bin 9 violated: short 1/1 burning, long 1/10 = 0.1 < 0.5 → no open.
+        assert_eq!(eng.push(0, lat_bin(1.0, 200.0)), AlertTransition::None);
+        assert_eq!(eng.alerts_opened(0), 0);
+        // Sustained violations eventually satisfy the long window too.
+        let mut opened = false;
+        for _ in 0..10 {
+            if eng.push(0, lat_bin(1.0, 200.0)) == AlertTransition::Opened {
+                opened = true;
+                break;
+            }
+        }
+        assert!(opened, "sustained burn must open the alert");
+    }
+
+    #[test]
+    fn open_episode_is_max_until_closed() {
+        let spec = SloSpec {
+            name: "lat".into(),
+            kind: SloKind::MeanLatencyBelowMs(100.0),
+            burn: BurnRate {
+                long_bins: 2,
+                short_bins: 1,
+                threshold: 0.5,
+            },
+        };
+        let mut eng = SloEngine::new(vec![spec], 1_000_000_000);
+        eng.push(0, lat_bin(1.0, 200.0));
+        eng.push(0, lat_bin(1.0, 200.0));
+        assert_eq!(eng.alerts_opened(0), 1);
+        assert_eq!(eng.alerts_closed(0), 0);
+        assert_eq!(eng.episodes(0)[0].close_bin, usize::MAX);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the burn-rate window algebra: the streaming
+//! [`SloEngine`] must agree with a naive recompute-from-scratch reference
+//! on every bin, and its alert stream must be structurally consistent
+//! (opens and closes alternate, episodes nest the violation windows they
+//! were triggered by, clip-then-rebase equals filter-then-merge).
+
+use actop_obs::{
+    merge_windows, AlertTransition, BinObs, BurnRate, SloEngine, SloKind, SloSpec, Window,
+};
+use proptest::prelude::*;
+
+/// Naive reference: recompute both window fractions from the full
+/// verdict prefix at every bin and run the same open/close state
+/// machine.
+fn reference_transitions(violated: &[bool], burn: BurnRate) -> Vec<AlertTransition> {
+    let mut out = Vec::with_capacity(violated.len());
+    let mut open = false;
+    for i in 0..violated.len() {
+        let frac = |w: usize| {
+            let lo = (i + 1).saturating_sub(w);
+            let hits = violated[lo..=i].iter().filter(|&&v| v).count();
+            hits as f64 / (i + 1 - lo) as f64
+        };
+        let burning =
+            frac(burn.short_bins) >= burn.threshold && frac(burn.long_bins) >= burn.threshold;
+        let calm = frac(burn.short_bins) < burn.threshold;
+        out.push(if !open && burning {
+            open = true;
+            AlertTransition::Opened
+        } else if open && calm {
+            open = false;
+            AlertTransition::Closed
+        } else {
+            AlertTransition::None
+        });
+    }
+    out
+}
+
+fn engine_for(burn: BurnRate) -> SloEngine {
+    SloEngine::new(
+        vec![SloSpec {
+            name: "lat".into(),
+            kind: SloKind::MeanLatencyBelowMs(100.0),
+            burn,
+        }],
+        1_000_000_000,
+    )
+}
+
+/// Encodes a violation verdict as a latency bin the spec will classify
+/// the same way.
+fn obs_for(violated: bool) -> BinObs {
+    if violated {
+        BinObs {
+            count: 2.0,
+            sum: 2.0 * 250.0 * 1e6,
+        }
+    } else {
+        BinObs {
+            count: 2.0,
+            sum: 2.0 * 10.0 * 1e6,
+        }
+    }
+}
+
+fn burn_strategy() -> impl Strategy<Value = BurnRate> {
+    // The vendored proptest shim has no `prop_oneof!`; pick the
+    // threshold from a fixed menu by index instead.
+    (1usize..=8, 0usize..=20, 0usize..4).prop_map(|(short, extra, t)| BurnRate {
+        short_bins: short,
+        long_bins: short + extra,
+        threshold: [0.25, 0.5, 0.75, 1.0][t],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_engine_matches_naive_reference(
+        violated in proptest::collection::vec(any::<bool>(), 0..200),
+        burn in burn_strategy(),
+    ) {
+        let mut eng = engine_for(burn);
+        let streamed: Vec<AlertTransition> =
+            violated.iter().map(|&v| eng.push(0, obs_for(v))).collect();
+        prop_assert_eq!(streamed, reference_transitions(&violated, burn));
+        prop_assert_eq!(eng.verdicts(0), violated.as_slice());
+    }
+
+    #[test]
+    fn alert_stream_is_structurally_consistent(
+        violated in proptest::collection::vec(any::<bool>(), 0..200),
+        burn in burn_strategy(),
+    ) {
+        let mut eng = engine_for(burn);
+        let mut last_open = false;
+        for &v in &violated {
+            match eng.push(0, obs_for(v)) {
+                AlertTransition::Opened => {
+                    prop_assert!(!last_open, "open while open");
+                    last_open = true;
+                }
+                AlertTransition::Closed => {
+                    prop_assert!(last_open, "close while closed");
+                    last_open = false;
+                }
+                AlertTransition::None => {}
+            }
+        }
+        // Tallies reconcile with the final state.
+        prop_assert_eq!(eng.is_open(0), last_open);
+        prop_assert_eq!(
+            eng.alerts_opened(0) - eng.alerts_closed(0),
+            u64::from(last_open)
+        );
+        // Episodes are ordered and disjoint; all but possibly the last
+        // are closed, and an open episode implies the open state.
+        let eps = eng.episodes(0);
+        prop_assert_eq!(eps.len() as u64, eng.alerts_opened(0));
+        for pair in eps.windows(2) {
+            prop_assert!(pair[0].close_bin != usize::MAX);
+            prop_assert!(pair[0].close_bin <= pair[1].open_bin);
+            prop_assert!(pair[0].open_bin < pair[1].open_bin);
+        }
+        if let Some(last) = eps.last() {
+            prop_assert_eq!(last.close_bin == usize::MAX, last_open);
+        }
+        // An alert can only open on a violated bin (a compliant bin
+        // strictly lowers both window fractions below a just-reached
+        // threshold only when it wasn't reached, and threshold > 0).
+        for ep in eps {
+            prop_assert!(violated[ep.open_bin], "opened on a compliant bin");
+        }
+    }
+
+    #[test]
+    fn clip_then_rebase_equals_filter_then_merge(
+        violated in proptest::collection::vec(any::<bool>(), 0..120),
+        range in (0usize..=120, 0usize..=120),
+    ) {
+        let (a, b) = range;
+        let (first, last) = if a <= b { (a, b) } else { (b, a) };
+        let mut eng = engine_for(BurnRate::default());
+        for &v in &violated {
+            eng.push(0, obs_for(v));
+        }
+        // Reference: restrict the verdict sequence to [first, last) and
+        // merge the restriction — the way bench_chaos historically
+        // filtered per-bin stats to the measurement range before merging.
+        let lo = first.min(violated.len());
+        let hi = last.min(violated.len());
+        let expect: Vec<Window> = merge_windows(&violated[lo..hi]);
+        prop_assert_eq!(eng.windows_in(0, first, last), expect);
+    }
+
+    #[test]
+    fn windows_partition_the_violated_bins(
+        violated in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let windows = merge_windows(&violated);
+        // Every violated bin is covered exactly once; no compliant bin is.
+        let mut covered = vec![false; violated.len()];
+        for w in &windows {
+            prop_assert!(w.start_bin < w.end_bin);
+            for (i, bin) in covered.iter_mut().enumerate().take(w.end_bin).skip(w.start_bin) {
+                prop_assert!(!*bin, "bin {i} covered twice");
+                *bin = true;
+            }
+        }
+        prop_assert_eq!(covered, violated);
+        // Maximality: windows are separated by at least one compliant bin.
+        for pair in windows.windows(2) {
+            prop_assert!(pair[0].end_bin < pair[1].start_bin);
+        }
+    }
+}

@@ -11,7 +11,7 @@
 
 use actop_metrics::TimelineSample;
 use actop_partition::{DenseDirectory, ExchangeOutcome};
-use actop_sim::{DetRng, Engine, Nanos};
+use actop_sim::{CostAttr, DetRng, Engine, Nanos, Subsystem};
 use actop_sketch::fxmap::{fx_map_with_capacity, FxHashMap};
 use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE, PROC_LABEL, QUEUE_LABEL};
 
@@ -20,6 +20,7 @@ use crate::config::{HiccupModel, RuntimeConfig};
 use crate::detector::{DetectorConfig, FailureDetector, Transition};
 use crate::ids::{ActorId, CallId, RequestId, StageKind};
 use crate::metrics::ClusterMetrics;
+use crate::obs::{DetectorAccuracy, Observability, SloTransition};
 use crate::proto::{
     Message, MsgKind, PendingJoin, PostAction, ReplyTarget, RequestMeta, RunningTask, StageItem,
 };
@@ -85,6 +86,15 @@ pub struct Cluster {
     /// Causal request tracer + flight recorder (disabled unless
     /// `config.trace` is set; every hook is then a single branch).
     pub trace: Tracer,
+    /// Telemetry: metric registry + SLO engine (`config.obs`); `None`
+    /// keeps every telemetry hook at a single branch.
+    pub obs: Option<Observability>,
+    /// Detector-accuracy tallies, fed by
+    /// [`Cluster::install_accuracy_sampler`].
+    pub detector_accuracy: DetectorAccuracy,
+    /// Cluster-side cost attribution (`config.cost_attr`); the engine
+    /// carries its own accumulator for heap work, merged at report time.
+    attr: CostAttr,
     app: Box<dyn AppLogic>,
     rng_place: DetRng,
     rng_net: DetRng,
@@ -131,11 +141,22 @@ impl Cluster {
             Some(tc) => Tracer::new(config.servers, tc),
             None => Tracer::disabled(),
         };
+        let obs = config
+            .obs
+            .as_ref()
+            .map(|o| Observability::new(o, config.servers, config.series_bin_ns));
         Cluster {
             servers,
             directory: DenseDirectory::new(config.servers),
             metrics: ClusterMetrics::new(config.series_bin_ns),
             trace,
+            obs,
+            detector_accuracy: DetectorAccuracy::default(),
+            attr: if config.cost_attr {
+                CostAttr::enabled()
+            } else {
+                CostAttr::default()
+            },
             app,
             rng_place: DetRng::stream(config.seed, 0x01),
             rng_net: DetRng::stream(config.seed, 0x02),
@@ -202,7 +223,7 @@ impl Cluster {
             gateway: gateway as u32,
         }));
         if self.trace.enabled() {
-            self.trace.record(SpanEvent::instant(
+            self.record_span(SpanEvent::instant(
                 rid.0,
                 HopKind::GatewayAdmit,
                 gateway as u32,
@@ -220,7 +241,7 @@ impl Cluster {
                     c.joins.retain(|j| j.request != rid);
                     if c.trace.enabled() {
                         let at = e.now();
-                        c.trace.record(SpanEvent::instant(
+                        c.record_span(SpanEvent::instant(
                             rid.0,
                             HopKind::Timeout,
                             meta.gateway,
@@ -252,7 +273,7 @@ impl Cluster {
         let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
         self.account(rid, "Network", delay.as_nanos() as f64);
         if self.trace.enabled() {
-            self.trace.record(SpanEvent {
+            self.record_span(SpanEvent {
                 request: rid.0,
                 kind: HopKind::Network,
                 server: gateway as u32,
@@ -285,7 +306,7 @@ impl Cluster {
             // the root request eventually times out.
             self.metrics.lost_in_flight += 1;
             if self.trace.enabled() {
-                self.trace.record(SpanEvent::instant(
+                self.record_span(SpanEvent::instant(
                     msg.request.0,
                     HopKind::MsgLost,
                     server as u32,
@@ -313,7 +334,7 @@ impl Cluster {
             self.requests.remove(msg.request.0);
             if self.trace.enabled() {
                 let at = engine.now();
-                self.trace.record(SpanEvent::instant(
+                self.record_span(SpanEvent::instant(
                     msg.request.0,
                     HopKind::Shed,
                     server as u32,
@@ -368,7 +389,7 @@ impl Cluster {
         self.metrics.retries += 1;
         self.metrics.retry_backoff_ns += delay.as_nanos();
         if self.trace.enabled() {
-            self.trace.record(SpanEvent::instant(
+            self.record_span(SpanEvent::instant(
                 msg.request.0,
                 HopKind::Retry,
                 dead as u32,
@@ -387,7 +408,7 @@ impl Cluster {
                     let mut m = msg;
                     m.forwarded = true;
                     if c.trace.enabled() {
-                        c.trace.record(SpanEvent::instant(
+                        c.record_span(SpanEvent::instant(
                             m.request.0,
                             HopKind::FailoverRetry,
                             retry as u32,
@@ -439,7 +460,7 @@ impl Cluster {
                         self.account(rid, QUEUE_LABEL[stage], wait.as_nanos() as f64);
                     }
                     if self.trace.enabled() {
-                        self.trace.record(SpanEvent {
+                        self.record_span(SpanEvent {
                             request: item_request(&item).0,
                             kind: HopKind::QueueWait,
                             server: server as u32,
@@ -620,7 +641,7 @@ impl Cluster {
             );
         }
         if self.trace.enabled() {
-            self.trace.record(SpanEvent {
+            self.record_span(SpanEvent {
                 request: task.request.0,
                 kind: HopKind::Service,
                 server: server as u32,
@@ -655,7 +676,7 @@ impl Cluster {
                 let delay = self.config.costs.network.delay(&mut self.rng_net, bytes);
                 self.account(request, "Network", delay.as_nanos() as f64);
                 if self.trace.enabled() {
-                    self.trace.record(SpanEvent {
+                    self.record_span(SpanEvent {
                         request: request.0,
                         kind: HopKind::Network,
                         server: server as u32,
@@ -688,7 +709,7 @@ impl Cluster {
             if fault.drop_prob > 0.0 && self.rng_fault.chance(fault.drop_prob) {
                 self.metrics.net_dropped += 1;
                 if self.trace.enabled() {
-                    self.trace.record(SpanEvent::instant(
+                    self.record_span(SpanEvent::instant(
                         msg.request.0,
                         HopKind::MsgLost,
                         dst as u32,
@@ -708,7 +729,7 @@ impl Cluster {
         }
         self.account(msg.request, "Network", delay.as_nanos() as f64);
         if self.trace.enabled() {
-            self.trace.record(SpanEvent {
+            self.record_span(SpanEvent {
                 request: msg.request.0,
                 kind: HopKind::Network,
                 server: src as u32,
@@ -810,7 +831,7 @@ impl Cluster {
             } else {
                 HopKind::LocalDispatch
             };
-            self.trace.record(SpanEvent {
+            self.record_span(SpanEvent {
                 request: request.0,
                 kind,
                 server: server as u32,
@@ -963,7 +984,7 @@ impl Cluster {
             // let the client timeout resolve the request.
             self.metrics.forward_loop_drops += 1;
             if self.trace.enabled() {
-                self.trace.record(SpanEvent::instant(
+                self.record_span(SpanEvent::instant(
                     msg.request.0,
                     HopKind::MsgLost,
                     server as u32,
@@ -977,7 +998,7 @@ impl Cluster {
         msg.forwarded = true;
         let dst = self.resolve(engine.now(), msg.to, Some(server));
         if self.trace.enabled() {
-            self.trace.record(SpanEvent::instant(
+            self.record_span(SpanEvent::instant(
                 msg.request.0,
                 HopKind::Forward,
                 server as u32,
@@ -1021,8 +1042,10 @@ impl Cluster {
         self.metrics
             .remote_share_series
             .record(now.as_nanos(), if remote { 1.0 } else { 0.0 });
+        let t = self.attr.begin(Subsystem::Sketch);
         self.servers[src_server].edge_sketch.offer((from, to), 1);
         self.servers[dst_server].edge_sketch.offer((to, from), 1);
+        self.attr.end(Subsystem::Sketch, t);
     }
 
     /// Resolves the hosting server for `actor`, activating it if needed:
@@ -1035,6 +1058,14 @@ impl Cluster {
     /// so the actor re-places — and hints/targets on suspected servers are
     /// skipped. False suspicion therefore causes real, counted damage.
     fn resolve(&mut self, now: Nanos, actor: ActorId, origin: Option<usize>) -> usize {
+        let t = self.attr.begin(Subsystem::Routing);
+        let target = self.resolve_inner(now, actor, origin);
+        self.attr.end(Subsystem::Routing, t);
+        target
+    }
+
+    /// [`Cluster::resolve`] without the cost-attribution wrapper.
+    fn resolve_inner(&mut self, now: Nanos, actor: ActorId, origin: Option<usize>) -> usize {
         if let Some(server) = self.directory.server_of(actor.0) {
             let repair = match origin {
                 Some(o) if o != server => self.suspects(o, server, now),
@@ -1046,11 +1077,12 @@ impl Cluster {
             self.metrics.directory_repairs += 1;
             if !self.failed[server] {
                 self.metrics.false_suspicion_repairs += 1;
+                self.metrics.false_suspicion_series.mark(now.as_nanos());
             }
             if self.trace.enabled() {
                 // Lifecycle event: `request` carries the actor id,
                 // `server` the observer, `aux` the suspected host.
-                self.trace.record(SpanEvent::instant(
+                self.record_span(SpanEvent::instant(
                     actor.0,
                     HopKind::DirRepair,
                     origin.expect("repair implies an origin") as u32,
@@ -1093,12 +1125,18 @@ impl Cluster {
     /// detector's suspicion when configured (transitions are counted and
     /// traced here), ground truth otherwise.
     fn suspects(&mut self, observer: usize, peer: usize, now: Nanos) -> bool {
-        let Some(d) = self.detector.as_mut() else {
+        if self.detector.is_none() {
             return self.failed[peer];
-        };
-        let (suspected, transition) = d.check(observer, peer, now);
-        if let Some(t) = transition {
-            self.note_suspicion_transition(t, observer, peer, now);
+        }
+        let t = self.attr.begin(Subsystem::Detector);
+        let (suspected, transition) = self
+            .detector
+            .as_mut()
+            .expect("checked above")
+            .check(observer, peer, now);
+        self.attr.end(Subsystem::Detector, t);
+        if let Some(tr) = transition {
+            self.note_suspicion_transition(tr, observer, peer, now);
         }
         suspected
     }
@@ -1117,7 +1155,7 @@ impl Cluster {
                 if self.trace.enabled() {
                     // Lifecycle event: `request` carries the suspected
                     // server id, `server` the observer.
-                    self.trace.record(SpanEvent::instant(
+                    self.record_span(SpanEvent::instant(
                         peer as u64,
                         HopKind::Suspect,
                         observer as u32,
@@ -1131,7 +1169,7 @@ impl Cluster {
             Transition::Cleared => {
                 self.metrics.unsuspicions += 1;
                 if self.trace.enabled() {
-                    self.trace.record(SpanEvent::instant(
+                    self.record_span(SpanEvent::instant(
                         peer as u64,
                         HopKind::Unsuspect,
                         observer as u32,
@@ -1165,7 +1203,7 @@ impl Cluster {
         };
         self.metrics.completed += 1;
         if self.trace.enabled() {
-            self.trace.record(SpanEvent::instant(
+            self.record_span(SpanEvent::instant(
                 request.0,
                 HopKind::ClientDone,
                 NO_SERVER,
@@ -1178,6 +1216,9 @@ impl Cluster {
         self.metrics
             .latency_series
             .record(now.as_nanos(), total as f64);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.observe_latency(total);
+        }
         if self.config.record_breakdown {
             let other = (total as f64 - meta.accounted_ns).max(0.0);
             self.metrics.breakdown.add("Other", other);
@@ -1191,7 +1232,7 @@ impl Cluster {
     #[inline(never)]
     fn note_stale_response(&mut self, now: Nanos, request: RequestId, server: usize) {
         if self.trace.enabled() {
-            self.trace.record(SpanEvent::instant(
+            self.record_span(SpanEvent::instant(
                 request.0,
                 HopKind::StaleResponse,
                 server as u32,
@@ -1327,7 +1368,7 @@ impl Cluster {
         if self.trace.enabled() {
             // Lifecycle event: bypasses request sampling; `request` carries
             // the actor id, `aux` the destination server.
-            self.trace.record(SpanEvent::instant(
+            self.record_span(SpanEvent::instant(
                 actor.0,
                 HopKind::Migration,
                 from as u32,
@@ -1505,6 +1546,142 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Telemetry (metric scrapes, SLO alerting, cost attribution).
+    // ------------------------------------------------------------------
+
+    /// Records a span through the cost-attribution wrapper. Call sites
+    /// guard on `trace.enabled()` first, so tracer op counts equal spans
+    /// recorded.
+    #[inline]
+    fn record_span(&mut self, ev: SpanEvent) {
+        let t = self.attr.begin(Subsystem::Tracer);
+        self.trace.record(ev);
+        self.attr.end(Subsystem::Tracer, t);
+    }
+
+    /// Installs the sim-time metric scraper: every `config.obs`
+    /// scrape-interval the registry mirrors the cluster counters, samples
+    /// the per-server gauges, snapshots a frame, and feeds newly closed
+    /// series bins to the SLO engine (online alerting). A no-op without
+    /// `config.obs`; the horizon keeps the event queue drainable. Pair
+    /// with [`Cluster::finalize_obs`] after the run.
+    pub fn install_scraper(&self, engine: &mut Engine<Cluster>, horizon: Nanos) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        schedule_scrape(engine, obs.interval(), horizon);
+    }
+
+    /// Takes one telemetry scrape at `now`. Driven by
+    /// [`Cluster::install_scraper`]; public so harnesses with bespoke
+    /// cadences can scrape directly.
+    pub fn obs_scrape(&mut self, now: Nanos) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        let t = self.attr.begin(Subsystem::Scrape);
+        let per_server: Vec<(f64, f64)> = self
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let queue: usize = s.queue_lengths().iter().sum();
+                (queue as f64, if self.failed[i] { 0.0 } else { 1.0 })
+            })
+            .collect();
+        obs.scrape(now, &self.metrics, &per_server);
+        for tr in obs.drain_slos(now, &self.metrics) {
+            self.note_slo_transition(tr);
+        }
+        self.attr.end(Subsystem::Scrape, t);
+        self.obs = Some(obs);
+    }
+
+    /// Feeds any series bins closed after the last scrape to the SLO
+    /// engine. Call once when the run's horizon is reached.
+    pub fn finalize_obs(&mut self, now: Nanos) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        for tr in obs.drain_slos(now, &self.metrics) {
+            self.note_slo_transition(tr);
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Tallies an SLO alert transition and records its lifecycle trace
+    /// event. The event timestamp is the close time of the bin that
+    /// caused the transition, so online (legacy) and merge-time (sharded)
+    /// evaluation emit identical events.
+    pub(crate) fn note_slo_transition(&mut self, tr: SloTransition) {
+        if tr.open {
+            self.metrics.slo_alerts_opened += 1;
+        } else {
+            self.metrics.slo_alerts_closed += 1;
+        }
+        if self.trace.enabled() {
+            // Lifecycle event: `request` carries the SLO spec index,
+            // `aux` the series bin.
+            self.record_span(SpanEvent::instant(
+                tr.spec as u64,
+                if tr.open {
+                    HopKind::SloOpen
+                } else {
+                    HopKind::SloClose
+                },
+                NO_SERVER,
+                tr.bin,
+                Nanos::from_nanos(tr.t_ns),
+            ));
+        }
+    }
+
+    /// Adopts a registry merged across shard telemetry and evaluates the
+    /// SLOs once over this (shell) cluster's merged series up to `now` —
+    /// the sharded counterpart of online alerting. Alert tallies land in
+    /// `metrics` and lifecycle trace events in `trace`, with the same
+    /// bin-aligned timestamps the legacy path emits.
+    pub fn adopt_merged_obs(&mut self, mut obs: Observability, now: Nanos) {
+        let transitions = obs.drain_slos(now, &self.metrics);
+        self.obs = Some(obs);
+        for tr in transitions {
+            self.note_slo_transition(tr);
+        }
+    }
+
+    /// Resets steady-state measurement at the warmup boundary: announces
+    /// the reset to the telemetry mirrors (registry counters must stay
+    /// monotone) and then clears the request-scoped metrics.
+    pub fn reset_steady_state(&mut self) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.note_reset(&self.metrics);
+        }
+        self.metrics.reset_steady_state();
+    }
+
+    /// Installs the detector-accuracy sampler: every `every` over
+    /// `[start, until]`, each live observer's suspicion of every peer is
+    /// compared against ground truth and tallied into
+    /// [`Cluster::detector_accuracy`]. Read-only probes — the detector's
+    /// transition state is untouched.
+    pub fn install_accuracy_sampler(
+        &self,
+        engine: &mut Engine<Cluster>,
+        start: Nanos,
+        until: Nanos,
+        every: Nanos,
+    ) {
+        schedule_accuracy_sample(engine, start, until, every);
+    }
+
+    /// The cluster-side cost-attribution accumulator (routing, sketch,
+    /// detector, tracer, scrape). Merge into the engine's report for the
+    /// full picture.
+    pub fn cost_attr(&self) -> &CostAttr {
+        &self.attr
+    }
+
+    // ------------------------------------------------------------------
     // Fault injection (what chaos plans drive).
     // ------------------------------------------------------------------
 
@@ -1595,7 +1772,7 @@ impl Cluster {
         self.metrics.server_failures += 1;
         let at = engine.now();
         if self.trace.enabled() {
-            self.trace.record(SpanEvent::instant(
+            self.record_span(SpanEvent::instant(
                 0,
                 HopKind::ServerFail,
                 server as u32,
@@ -1625,7 +1802,7 @@ impl Cluster {
                 if self.trace.enabled() {
                     // Lifecycle event: `request` carries the actor id,
                     // `server` the source, `aux` the destination.
-                    self.trace.record(SpanEvent::instant(
+                    self.record_span(SpanEvent::instant(
                         actor,
                         HopKind::MigrationAbort,
                         from,
@@ -1705,6 +1882,52 @@ fn schedule_heartbeat(
             c.emit_heartbeats(e, server, dc);
         }
         schedule_heartbeat(e, server, dc, dc.heartbeat_interval, horizon);
+    });
+}
+
+/// Schedules the next telemetry scrape `interval` from now and, when it
+/// fires, the one after — the same self-rescheduling, horizon-bounded
+/// shape as the heartbeat loop.
+fn schedule_scrape(engine: &mut Engine<Cluster>, interval: Nanos, horizon: Nanos) {
+    if engine.now() + interval > horizon {
+        return;
+    }
+    engine.schedule_after(interval, move |c: &mut Cluster, e| {
+        c.obs_scrape(e.now());
+        schedule_scrape(e, interval, horizon);
+    });
+}
+
+/// Schedules a detector-accuracy sample at absolute time `at` and, when it
+/// fires, the next one `every` later while it stays within `until`.
+fn schedule_accuracy_sample(engine: &mut Engine<Cluster>, at: Nanos, until: Nanos, every: Nanos) {
+    engine.schedule(at, move |c: &mut Cluster, e| {
+        let now = e.now();
+        let t = c.attr.begin(Subsystem::Detector);
+        c.detector_accuracy.samples += 1;
+        let n = c.server_count();
+        for obs in 0..n {
+            if c.is_failed(obs) {
+                continue; // A dead observer routes nothing.
+            }
+            for peer in 0..n {
+                if peer == obs {
+                    continue;
+                }
+                let suspected = c.detector_suspects(obs, peer, now).unwrap_or(false);
+                match (suspected, c.is_failed(peer)) {
+                    (true, true) => c.detector_accuracy.true_suspect += 1,
+                    (true, false) => c.detector_accuracy.false_suspect += 1,
+                    (false, true) => c.detector_accuracy.missed_failure += 1,
+                    (false, false) => c.detector_accuracy.true_clear += 1,
+                }
+            }
+        }
+        c.attr.end(Subsystem::Detector, t);
+        let next = at + every;
+        if next <= until {
+            schedule_accuracy_sample(e, next, until, every);
+        }
     });
 }
 

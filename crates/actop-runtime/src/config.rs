@@ -1,10 +1,43 @@
 //! Runtime configuration.
 
+use actop_obs::{SloKind, SloSpec};
 use actop_sim::{CostModel, Nanos};
 use actop_trace::TraceConfig;
 
 use crate::detector::DetectorConfig;
 use crate::placement::PlacementPolicy;
+
+/// Telemetry configuration: typed metric scraping on a sim-time cadence
+/// plus declarative SLO alerting over the cluster's binned series.
+///
+/// `None` (the default) leaves every telemetry hook at a single branch and
+/// draws no randomness, so golden-fingerprint tests are unaffected.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Sim-time interval between registry scrapes.
+    pub scrape_interval: Nanos,
+    /// Ring-buffer capacity for retained scrape frames; when a run
+    /// produces more scrapes than this, the oldest frames drop (and the
+    /// drop count is reported).
+    pub ring_capacity: usize,
+    /// Declarative SLOs, evaluated online as series bins close. Latency
+    /// and goodput objectives read the end-to-end latency series;
+    /// rate-ceiling objectives read the false-suspicion series.
+    pub slos: Vec<SloSpec>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            scrape_interval: Nanos::from_secs(1),
+            ring_capacity: 4096,
+            slos: vec![SloSpec::new(
+                "latency_mean_100ms",
+                SloKind::MeanLatencyBelowMs(100.0),
+            )],
+        }
+    }
+}
 
 /// Stop-the-world pause model (.NET garbage collection and similar
 /// runtime hiccups). The paper's heavy latency tails (baseline p99 of
@@ -114,6 +147,17 @@ pub struct RuntimeConfig {
     /// the transfer window, during which a crash of either endpoint
     /// aborts the migration cleanly back to the source.
     pub migration_transfer: Option<Nanos>,
+    /// Optional telemetry: metric scrapes + SLO alerting. `None` (the
+    /// default) disables all of it. Pair with
+    /// [`Cluster::install_scraper`](crate::Cluster::install_scraper) (or
+    /// the sharded equivalent) to drive scrapes on sim time.
+    pub obs: Option<ObsConfig>,
+    /// Opt-in coarse cost attribution: exact per-subsystem op counts plus
+    /// sampled wall time for routing, sketch, detector, tracer and scrape
+    /// work (heap costs live on the engine). Off by default — wall
+    /// sampling is machine-dependent and excluded from deterministic
+    /// artifacts.
+    pub cost_attr: bool,
 }
 
 impl RuntimeConfig {
@@ -138,6 +182,8 @@ impl RuntimeConfig {
             detector: None,
             retry: RetryPolicy::default(),
             migration_transfer: None,
+            obs: None,
+            cost_attr: false,
         }
     }
 
@@ -165,6 +211,10 @@ impl RuntimeConfig {
             (0.0..=1.0).contains(&self.retry.jitter),
             "retry jitter must be a fraction"
         );
+        if let Some(o) = &self.obs {
+            assert!(o.scrape_interval > Nanos::ZERO, "need a scrape interval");
+            assert!(o.ring_capacity > 0, "need frame ring capacity");
+        }
         if let Some(d) = self.detector {
             assert!(
                 d.heartbeat_interval > Nanos::ZERO,

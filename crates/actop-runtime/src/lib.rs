@@ -36,6 +36,7 @@ pub mod config;
 pub mod detector;
 pub mod ids;
 pub mod metrics;
+pub mod obs;
 pub mod placement;
 pub(crate) mod proto;
 pub mod server;
@@ -45,11 +46,13 @@ pub mod table;
 pub use actop_trace::{TraceConfig, Tracer};
 pub use app::{AppLogic, Call, Outcome, Reaction};
 pub use cluster::{Cluster, LinkFault, MAX_FORWARD_HOPS};
-pub use config::{RetryPolicy, RuntimeConfig};
+pub use config::{ObsConfig, RetryPolicy, RuntimeConfig};
 pub use detector::{DetectorConfig, FailureDetector, Transition};
 pub use ids::{ActorId, RequestId, StageKind};
 pub use metrics::ClusterMetrics;
+pub use obs::{DetectorAccuracy, Observability, SloTransition};
 pub use placement::PlacementPolicy;
 pub use sharded::{
-    build_sharded, sharded_lookahead, ShardApp, ShardCtx, ShardTopology, ShardedCluster,
+    build_sharded, install_sharded_scrapers, sharded_lookahead, ShardApp, ShardCtx, ShardTopology,
+    ShardedCluster,
 };

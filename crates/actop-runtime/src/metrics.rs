@@ -82,6 +82,15 @@ pub struct ClusterMetrics {
     /// Request branches cancelled because their root request was already
     /// resolved (timed out or shed) when the handler's decision landed.
     pub zombie_branches: u64,
+    /// SLO alert episodes opened by the telemetry engine. Lifecycle
+    /// counts: an alert that opened during warmup still happened.
+    pub slo_alerts_opened: u64,
+    /// SLO alert episodes closed by the telemetry engine.
+    pub slo_alerts_closed: u64,
+    /// False-suspicion repairs over time (one mark per repair whose
+    /// suspected host was in fact alive) — the series detector-health
+    /// SLOs read.
+    pub false_suspicion_series: BinnedSeries,
 }
 
 impl ClusterMetrics {
@@ -119,6 +128,9 @@ impl ClusterMetrics {
             migrations_aborted: 0,
             forward_loop_drops: 0,
             zombie_branches: 0,
+            slo_alerts_opened: 0,
+            slo_alerts_closed: 0,
+            false_suspicion_series: BinnedSeries::new(series_bin_ns),
         }
     }
 
@@ -198,6 +210,10 @@ impl ClusterMetrics {
         self.migrations_aborted += other.migrations_aborted;
         self.forward_loop_drops += other.forward_loop_drops;
         self.zombie_branches += other.zombie_branches;
+        self.slo_alerts_opened += other.slo_alerts_opened;
+        self.slo_alerts_closed += other.slo_alerts_closed;
+        self.false_suspicion_series
+            .merge_from(&other.false_suspicion_series);
     }
 }
 

@@ -62,6 +62,7 @@ use crate::cluster::{StageReport, MAX_FORWARD_HOPS};
 use crate::config::RuntimeConfig;
 use crate::ids::{ActorId, StageKind};
 use crate::metrics::ClusterMetrics;
+use crate::obs::Observability;
 use crate::server::StageWindow;
 use crate::table::SlabTable;
 
@@ -381,6 +382,9 @@ pub struct ShardedCluster {
     pub(crate) slots: Vec<ServerSlot>,
     pub(crate) metrics: ClusterMetrics,
     pub(crate) trace: Tracer,
+    /// Shard-local telemetry; every shard registers the identical schema
+    /// so registries merge by value summation after the run.
+    pub(crate) obs: Option<Observability>,
     outbox: Vec<OutMsg<Wire>>,
     pub(crate) dir_ops: Vec<DirOp>,
     pub(crate) sketch_offers: Vec<(u32, ActorId, ActorId)>,
@@ -458,6 +462,11 @@ pub fn build_sharded(
                 Some(tc) => Tracer::new(servers, tc),
                 None => Tracer::disabled(),
             };
+            let obs = ctx
+                .config
+                .obs
+                .as_ref()
+                .map(|o| Observability::new(o, servers, series_bin));
             ShardedCluster {
                 shard: shard as u32,
                 ctx: Arc::clone(&ctx),
@@ -465,6 +474,7 @@ pub fn build_sharded(
                 slots,
                 metrics: ClusterMetrics::new(series_bin),
                 trace,
+                obs,
                 outbox: Vec::new(),
                 dir_ops: Vec::new(),
                 sketch_offers: Vec::new(),
@@ -530,22 +540,66 @@ impl ShardedCluster {
     }
 
     /// Resets latency/counter state for steady-state measurement and
-    /// snapshots each local server's busy-core integral.
+    /// snapshots each local server's busy-core integral. Announces the
+    /// reset to the telemetry mirrors first so registry counters stay
+    /// monotone.
     pub fn reset_steady_state(&mut self) {
+        if let Some(obs) = self.obs.as_mut() {
+            obs.note_reset(&self.metrics);
+        }
         self.metrics.reset_steady_state();
         for slot in &mut self.slots {
             slot.busy_snapshot = slot.cpu.busy_core_ns();
         }
     }
 
-    /// Sum of local servers' CPU utilization over `[since, now]`, measured
-    /// from the steady-state snapshots. Divide the cross-shard sum by the
-    /// total server count for the cluster mean.
-    pub fn utilization_sum(&self, since: Nanos, now: Nanos) -> f64 {
+    /// The telemetry scrape cadence, when configured.
+    pub fn obs_interval(&self) -> Option<Nanos> {
+        self.obs.as_ref().map(|o| o.interval())
+    }
+
+    /// Takes this shard's telemetry out (for post-run cross-shard
+    /// merging).
+    pub fn take_obs(&mut self) -> Option<Observability> {
+        self.obs.take()
+    }
+
+    /// Takes one telemetry scrape at `now` (serial phase). Counters and
+    /// the latency histogram come from shard-local metrics; gauges are
+    /// set only for owned servers and left at zero elsewhere, so the
+    /// cross-shard gauge *sum* equals the cluster value. `failed` is the
+    /// shared ground-truth liveness vector, read by the caller in the
+    /// serial phase.
+    pub fn obs_scrape(&mut self, now: Nanos, failed: &[bool]) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        let per_server: Vec<(f64, f64)> = (0..failed.len())
+            .map(|s| {
+                if !self.owns_server(s) {
+                    return (0.0, 0.0);
+                }
+                let queue: usize = self.queue_lengths(s).iter().sum();
+                (queue as f64, if failed[s] { 0.0 } else { 1.0 })
+            })
+            .collect();
+        obs.scrape(now, &self.metrics, &per_server);
+        // No SLO drain here: sharded SLO evaluation runs once over the
+        // *merged* series after the run, producing the same bin-aligned
+        // alert stream the legacy backend emits online.
+        self.obs = Some(obs);
+    }
+
+    /// Each local server's CPU utilization over `[since, now]`, measured
+    /// from the steady-state snapshots, keyed by global server id. Callers
+    /// must reduce across shards in global server order — a float sum in
+    /// shard order would make the cluster mean's low bits depend on the
+    /// shard split.
+    pub fn utilizations(&self, since: Nanos, now: Nanos) -> Vec<(usize, f64)> {
         self.slots
             .iter()
-            .map(|s| s.cpu.utilization_since(s.busy_snapshot, since, now))
-            .sum()
+            .map(|s| (s.id, s.cpu.utilization_since(s.busy_snapshot, since, now)))
+            .collect()
     }
 
     /// A snapshot of the shared placement directory, for post-run
@@ -1429,6 +1483,9 @@ impl ShardedCluster {
         self.metrics
             .latency_series
             .record(now.as_nanos(), total as f64);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.observe_latency(total);
+        }
     }
 
     /// Records a stale-response trace instant.
@@ -1754,6 +1811,40 @@ pub fn sharded_locate(ctx: Ctx<'_, '_>, actor: ActorId) -> Option<usize> {
     let shared = shared_of(ctx);
     // SAFETY: serial phase.
     unsafe { shared.directory.get() }.server_of(actor.0)
+}
+
+/// Installs the sharded telemetry scraper: a self-rescheduling global
+/// event every scrape-interval that scrapes every shard's registry in the
+/// serial phase, so frames carry identical timestamps across shards and
+/// merge deterministically regardless of the shard count. A no-op without
+/// `config.obs`; the horizon keeps the global queue drainable.
+pub fn install_sharded_scrapers(runner: &mut ConservativeRunner<ShardedCluster>, horizon: Nanos) {
+    let Some(interval) = runner.cells().first().and_then(|c| c.world.obs_interval()) else {
+        return;
+    };
+    let first = runner.now() + interval;
+    if first > horizon {
+        return;
+    }
+    runner.schedule_global(first, move |ctx| {
+        sharded_scrape_tick(ctx, interval, horizon)
+    });
+}
+
+/// One global scrape tick: reads the shared liveness vector once, scrapes
+/// every shard, and reschedules itself while within the horizon.
+fn sharded_scrape_tick(ctx: Ctx<'_, '_>, interval: Nanos, horizon: Nanos) {
+    let now = ctx.now;
+    let shared = shared_of(ctx);
+    // SAFETY: serial phase.
+    let failed = unsafe { shared.failed.get() }.clone();
+    for cell in ctx.cells() {
+        cell.world.obs_scrape(now, &failed);
+    }
+    let next = now + interval;
+    if next <= horizon {
+        ctx.schedule_global(next, move |ctx| sharded_scrape_tick(ctx, interval, horizon));
+    }
 }
 
 /// Whether a server is currently failed.

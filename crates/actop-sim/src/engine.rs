@@ -18,6 +18,7 @@
 //! stale [`EventId`] (its event already fired or was cancelled) is detected
 //! exactly and cancelling it is a no-op rather than a miscount.
 
+use crate::attr::{CostAttr, Subsystem};
 use crate::time::Nanos;
 
 /// Identifier of a scheduled event, usable for cancellation and
@@ -101,6 +102,11 @@ pub struct EngineReport {
     ///
     /// [`merge`]: EngineReport::merge
     pub cpu_ns: u128,
+    /// Opt-in per-subsystem cost attribution ([`Engine::set_cost_attr`]).
+    /// The engine fills the heap bucket; runtimes layered on top fold
+    /// their own buckets (routing, sketch, detector, tracer, scrape) in
+    /// via [`CostAttr::merge`]. All-zero when accounting is off.
+    pub attr: CostAttr,
 }
 
 impl EngineReport {
@@ -126,6 +132,7 @@ impl EngineReport {
         self.peak_pending = self.peak_pending.max(other.peak_pending);
         self.wall_ns = self.wall_ns.max(other.wall_ns);
         self.cpu_ns += other.cpu_ns;
+        self.attr.merge(&other.attr);
     }
 
     /// The one-line summary the bench binaries print: throughput against
@@ -174,6 +181,7 @@ pub struct Engine<W> {
     reschedules: u64,
     peak_pending: usize,
     wall_ns: u128,
+    attr: CostAttr,
 }
 
 impl<W> Default for Engine<W> {
@@ -196,7 +204,22 @@ impl<W> Engine<W> {
             reschedules: 0,
             peak_pending: 0,
             wall_ns: 0,
+            attr: CostAttr::default(),
         }
+    }
+
+    /// Enables or disables per-subsystem cost attribution. When on, the
+    /// engine counts heap operations (schedule/pop/cancel/reschedule) and
+    /// samples their wall time into [`EngineReport::attr`]. Off by
+    /// default: the uninstrumented hot path pays one branch per op.
+    pub fn set_cost_attr(&mut self, enabled: bool) {
+        self.attr.enabled = enabled;
+    }
+
+    /// The engine's cost accumulator, for layered runtimes that want to
+    /// time their own subsystems into the same report.
+    pub fn cost_attr_mut(&mut self) -> &mut CostAttr {
+        &mut self.attr
     }
 
     /// Current simulation time.
@@ -234,6 +257,7 @@ impl<W> Engine<W> {
             // A single engine runs on one thread: its CPU time inside the
             // run loops equals the time they spanned.
             cpu_ns: self.wall_ns,
+            attr: self.attr,
         }
     }
 
@@ -284,6 +308,7 @@ impl<W> Engine<W> {
     }
 
     fn insert(&mut self, at: Nanos, payload: Payload<W>) -> EventId {
+        let timed = self.attr.begin(Subsystem::Heap);
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -309,6 +334,7 @@ impl<W> Engine<W> {
         self.slots[slot as usize].pos = pos as u32;
         self.sift_up(pos);
         self.peak_pending = self.peak_pending.max(self.heap.len());
+        self.attr.end(Subsystem::Heap, timed);
         EventId {
             slot,
             gen: self.slots[slot as usize].gen,
@@ -337,10 +363,12 @@ impl<W> Engine<W> {
         let Some(slot) = self.live(id) else {
             return;
         };
+        let timed = self.attr.begin(Subsystem::Heap);
         let pos = self.slots[slot as usize].pos as usize;
         self.remove_at(pos);
         self.release(slot);
         self.cancels += 1;
+        self.attr.end(Subsystem::Heap, timed);
     }
 
     /// Retargets a pending event to fire at `at` (clamped to now), keeping
@@ -359,9 +387,11 @@ impl<W> Engine<W> {
         self.heap[pos].at = at;
         self.heap[pos].seq = seq;
         // The key changed arbitrarily: restore heap order from `pos`.
+        let timed = self.attr.begin(Subsystem::Heap);
         self.sift_down(pos);
         self.sift_up(self.slots[slot as usize].pos as usize);
         self.reschedules += 1;
+        self.attr.end(Subsystem::Heap, timed);
         true
     }
 
@@ -455,6 +485,7 @@ impl<W> Engine<W> {
         }
         let at = head.at;
         let slot = head.slot;
+        let timed = self.attr.begin(Subsystem::Heap);
         let last = self.heap.len() - 1;
         self.heap.swap(0, last);
         self.heap.pop();
@@ -464,6 +495,7 @@ impl<W> Engine<W> {
         }
         let payload = std::mem::replace(&mut self.slots[slot as usize].payload, Payload::Vacant);
         self.release(slot);
+        self.attr.end(Subsystem::Heap, timed);
         Some((at, payload))
     }
 

@@ -19,6 +19,7 @@
 //! * [`costs`] — the calibrated cost model shared by all experiments.
 //! * [`shard`] — conservative-parallel windowed execution over shards.
 
+pub mod attr;
 pub mod costs;
 pub mod cpu;
 pub mod engine;
@@ -28,6 +29,7 @@ pub mod shard;
 pub mod stage;
 pub mod time;
 
+pub use attr::{CostAttr, Subsystem, SAMPLE_EVERY};
 pub use costs::CostModel;
 pub use cpu::{CpuTaskId, PsCpu};
 pub use engine::{Engine, EngineReport, EventId, TickFn};

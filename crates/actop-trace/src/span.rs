@@ -104,12 +104,19 @@ pub enum HopKind {
     /// (instant; lifecycle — `request` carries the actor id, `server` the
     /// source, `aux` the destination).
     MigrationAbort,
+    /// An SLO burn-rate alert opened (instant; lifecycle — `request`
+    /// carries the SLO spec index, `server` is [`NO_SERVER`], `aux` the
+    /// bin index at which the alert fired).
+    SloOpen,
+    /// An SLO burn-rate alert closed (instant; lifecycle — same field
+    /// conventions as [`Self::SloOpen`]).
+    SloClose,
 }
 
 impl HopKind {
     /// Every kind, in declaration order. Checkers and exporters that build
     /// per-kind histograms iterate this instead of hand-listing variants.
-    pub const ALL: [HopKind; 20] = [
+    pub const ALL: [HopKind; 22] = [
         HopKind::GatewayAdmit,
         HopKind::Shed,
         HopKind::QueueWait,
@@ -130,6 +137,8 @@ impl HopKind {
         HopKind::Unsuspect,
         HopKind::DirRepair,
         HopKind::MigrationAbort,
+        HopKind::SloOpen,
+        HopKind::SloClose,
     ];
 
     /// Inverse of [`HopKind::name`], for JSONL re-import.
@@ -160,6 +169,8 @@ impl HopKind {
             HopKind::Unsuspect => "unsuspect",
             HopKind::DirRepair => "dir-repair",
             HopKind::MigrationAbort => "migration-abort",
+            HopKind::SloOpen => "slo-open",
+            HopKind::SloClose => "slo-close",
         }
     }
 
@@ -183,6 +194,8 @@ impl HopKind {
                 | HopKind::Unsuspect
                 | HopKind::DirRepair
                 | HopKind::MigrationAbort
+                | HopKind::SloOpen
+                | HopKind::SloClose
         )
     }
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Engine perf-regression gate.
+
+Compares the merged engine throughput (``events_per_sec`` on the first
+line of a ``BENCH_engine*.json`` artifact, as written by
+``bench_throughput_peak``) of a fresh run against a committed baseline
+and fails when the fresh run falls below ``min_ratio`` of it.
+
+The throughput is wall-clock, so the band is deliberately wide: the gate
+exists to catch order-of-magnitude regressions (an accidentally
+quadratic hot path, instrumentation left on by default), not percentage
+drift between machines. Event *counts* are deterministic, so those are
+checked exactly when the baseline carries them for the same scenario
+scale (``--check-events``).
+
+Usage:
+    perf_gate.py FRESH BASELINE [--min-ratio 0.25] [--check-events]
+
+Stdlib only; exit code 0 = pass, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def first_object(path):
+    """The first JSON object in a line-oriented artifact."""
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                return json.loads(line)
+    raise ValueError(f"{path}: no JSON object found")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly generated BENCH_engine*.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_engine*.json")
+    ap.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.25,
+        help="fail when fresh events_per_sec < min_ratio * baseline (default 0.25)",
+    )
+    ap.add_argument(
+        "--check-events",
+        action="store_true",
+        help="also require identical events_processed (same scenario scale only)",
+    )
+    args = ap.parse_args()
+
+    try:
+        fresh = first_object(args.fresh)
+        base = first_object(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"perf gate: cannot read input: {err}", file=sys.stderr)
+        return 2
+
+    for obj, path in ((fresh, args.fresh), (base, args.baseline)):
+        if "events_per_sec" not in obj:
+            print(f"perf gate: {path}: missing events_per_sec", file=sys.stderr)
+            return 2
+
+    rate_fresh = float(fresh["events_per_sec"])
+    rate_base = float(base["events_per_sec"])
+    if rate_base <= 0:
+        print(f"perf gate: baseline rate is {rate_base}; nothing to compare", file=sys.stderr)
+        return 2
+    ratio = rate_fresh / rate_base
+    print(
+        f"perf gate: fresh {rate_fresh / 1e6:.2f}M events/s vs baseline "
+        f"{rate_base / 1e6:.2f}M events/s (ratio {ratio:.2f}, floor {args.min_ratio:.2f})"
+    )
+
+    ok = True
+    if ratio < args.min_ratio:
+        print(
+            f"perf gate: REGRESSION — throughput fell below {args.min_ratio:.2f}x baseline",
+            file=sys.stderr,
+        )
+        ok = False
+
+    if args.check_events:
+        ev_fresh = int(fresh.get("events_processed", -1))
+        ev_base = int(base.get("events_processed", -2))
+        if ev_fresh != ev_base:
+            print(
+                f"perf gate: DETERMINISM — events_processed {ev_fresh} != baseline {ev_base}",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(f"perf gate: events_processed {ev_fresh} matches baseline")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
