@@ -1,0 +1,191 @@
+//! The players-vs-p99 headline: million-player scale with and without
+//! hot-actor replication.
+//!
+//! Sweeps the celebrity workload over populations of 100K to 1M players
+//! (aggregate rate scales with the population), with replication off and
+//! on, and writes one JSON row per cell to `BENCH_scale.json`. At 1M the
+//! top celebrity alone draws ~37% of all traffic — ~1.2x one server's
+//! capacity — so the single-activation model melts (queue-bound p50 in
+//! the seconds) while replication spreads the reads across replicas and
+//! holds the p99 near the uncontended baseline. Ablation rows run the
+//! flash-crowd, diurnal and rotating-hotspot shapes at a fixed
+//! population.
+//!
+//! `ACTOP_SCALE_SMOKE=1` shrinks the sweep to the CI probe (100K players,
+//! replication on, short windows) and writes `BENCH_scale_smoke.json`.
+//! All JSON rows are deterministic; wall-clock and peak-RSS truth goes to
+//! the trailing `{"kind":"engine",...}` row (and the `engine:` stdout
+//! line), which determinism diffs must exclude.
+
+use actop_bench::{env_shards, run_scale, scale_runtime};
+use actop_core::RunSummary;
+use actop_runtime::Cluster;
+use actop_sim::Nanos;
+use actop_workloads::scale::peak_rss_bytes;
+use actop_workloads::{MemoryAudit, ScaleConfig};
+
+fn scale_smoke() -> bool {
+    std::env::var("ACTOP_SCALE_SMOKE").is_ok_and(|v| v == "1")
+}
+
+struct Windows {
+    warmup: Nanos,
+    measure: Nanos,
+}
+
+fn windows() -> Windows {
+    if scale_smoke() {
+        Windows {
+            warmup: Nanos::from_secs(6),
+            measure: Nanos::from_secs(8),
+        }
+    } else {
+        // 45 s warmup: the 1M celebrity ladder takes ~15 s of 2 s-cooldown
+        // split decisions to converge, and the pre-split queue backlog
+        // needs several more seconds to drain before steady state.
+        Windows {
+            warmup: Nanos::from_secs(45),
+            measure: Nanos::from_secs(60),
+        }
+    }
+}
+
+/// One bench cell: runs it and renders the deterministic JSON row.
+fn run_cell(
+    scenario: &str,
+    cfg: ScaleConfig,
+    warmup: Nanos,
+    replication: bool,
+    shards: usize,
+) -> (RunSummary, Cluster, MemoryAudit, String) {
+    let rt = scale_runtime(cfg.seed, replication);
+    let (summary, _, shell, audit) = run_scale(cfg, warmup, rt, shards);
+    let m = &shell.metrics;
+    println!(
+        "{scenario:>9} {:>9} players rep={} | p50 {:>8.2}ms p99 {:>9.2}ms | done {:>7} shed {:>6} | splits {:>2} drops {:>2} rep-reads {:>7}",
+        cfg.players,
+        if replication { "on " } else { "off" },
+        summary.p50_ms,
+        summary.p99_ms,
+        summary.completed,
+        summary.rejected,
+        m.splits,
+        m.replica_drops,
+        m.replica_reads,
+    );
+    let row = format!(
+        "{{\"scenario\":\"{scenario}\",\"players\":{},\"replication\":{replication},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\"mean_ms\":{:.3},\"completed\":{},\"submitted\":{},\"rejected\":{},\"shed_no_live\":{},\"forward_loop_drops\":{},\"forwarded\":{},\"splits\":{},\"replica_drops\":{},\"replica_reads\":{},\"replica_writes\":{},\"migrations\":{},\"slab_bytes\":{}}}\n",
+        cfg.players,
+        summary.p50_ms,
+        summary.p95_ms,
+        summary.p99_ms,
+        summary.mean_ms,
+        summary.completed,
+        summary.submitted,
+        summary.rejected,
+        summary.shed_no_live,
+        m.forward_loop_drops,
+        summary.forwarded_messages,
+        m.splits,
+        m.replica_drops,
+        m.replica_reads,
+        m.replica_writes,
+        summary.migrations,
+        audit.slab_bytes,
+    );
+    (summary, shell, audit, row)
+}
+
+fn main() {
+    let smoke = scale_smoke();
+    let w = windows();
+    let duration = w.warmup + w.measure;
+    let shards = env_shards().unwrap_or(1);
+    let wall_start = std::time::Instant::now();
+    println!("== Players vs p99: hot-actor replication at scale ==");
+    println!(
+        "celebrity workload, 8 servers x 4 cores, shards={shards}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!();
+
+    let populations: &[u64] = if smoke {
+        &[100_000]
+    } else {
+        &[100_000, 250_000, 500_000, 1_000_000]
+    };
+    let variants: &[bool] = if smoke { &[true] } else { &[false, true] };
+
+    let mut json = String::new();
+    let mut headline: Vec<(u64, bool, f64)> = Vec::new();
+    for &players in populations {
+        for &replication in variants {
+            let cfg = ScaleConfig::celebrity(players, duration, 77);
+            let (summary, _, _, row) = run_cell("celebrity", cfg, w.warmup, replication, shards);
+            headline.push((players, replication, summary.p99_ms));
+            json.push_str(&row);
+        }
+    }
+
+    if !smoke {
+        println!();
+        println!("-- ablation: time-varying shapes at 250K players, replication on --");
+        let players = 250_000;
+        let flash_cfg = ScaleConfig::flash_crowd(players, duration, 78);
+        let (flash, flash_shell, _, row) = run_cell("flash", flash_cfg, w.warmup, true, shards);
+        json.push_str(&row);
+        // Acceptance: the flash crowd rides through without shedding to a
+        // dead end or tripping the forward-loop cap.
+        assert_eq!(flash.shed_no_live, 0, "flash crowd hit shed_no_live");
+        assert_eq!(
+            flash_shell.metrics.forward_loop_drops, 0,
+            "flash crowd hit the forward-loop cap"
+        );
+        for (scenario, cfg) in [
+            ("diurnal", ScaleConfig::diurnal(players, duration, 79)),
+            ("rotating", ScaleConfig::rotating(players, duration, 80)),
+        ] {
+            let (_, _, _, row) = run_cell(scenario, cfg, w.warmup, true, shards);
+            json.push_str(&row);
+        }
+
+        // The headline claim: at 1M players under the celebrity skew,
+        // replication must strictly beat the single-activation model.
+        let p99_at = |players: u64, rep: bool| {
+            headline
+                .iter()
+                .find(|(p, r, _)| *p == players && *r == rep)
+                .map(|(_, _, p99)| *p99)
+                .expect("headline cell missing")
+        };
+        let off = p99_at(1_000_000, false);
+        let on = p99_at(1_000_000, true);
+        println!();
+        println!("1M-player p99: replication off {off:.1}ms vs on {on:.1}ms");
+        assert!(
+            on < off,
+            "replication-on p99 ({on:.1}ms) must beat off ({off:.1}ms) at 1M players"
+        );
+    }
+
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let rss = peak_rss_bytes().unwrap_or(0);
+    println!();
+    println!(
+        "engine: wall {:.2}s, peak RSS {:.0} MiB",
+        wall_ns as f64 / 1e9,
+        rss as f64 / (1024.0 * 1024.0)
+    );
+    json.push_str(&format!(
+        "{{\"kind\":\"engine\",\"wall_ns\":{wall_ns},\"peak_rss_bytes\":{rss},\"smoke\":{smoke}}}\n"
+    ));
+    let out = if smoke {
+        "BENCH_scale_smoke.json"
+    } else {
+        "BENCH_scale.json"
+    };
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("could not write {out}: {e}");
+    }
+    println!("wrote {out}");
+}

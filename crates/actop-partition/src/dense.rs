@@ -15,7 +15,19 @@
 //! placed, so memory is proportional to the populated span of each band,
 //! and steady-state lookups never allocate.
 //!
+//! Hot-actor **replication** rides on top of the primary assignment: an
+//! actor may carry extra read-only activations (*replicas*) on other
+//! servers, stored in a side table keyed by actor id. The side table is
+//! empty in every run that never splits an actor, and
+//! [`DenseDirectory::has_replicas`] lets the routing hot path skip it with
+//! one branch. `sizes()` and `vertices_on()` intentionally count
+//! *primaries only* — the balance constraint the partitioner enforces is
+//! over primary activations; replicas are load-shedding clones managed by
+//! the replication agent.
+//!
 //! [`Partition`]: crate::Partition
+
+use actop_sketch::fxmap::FxHashMap;
 
 /// Ids per region: regions are aligned `2^24`-id windows of the `u64`
 /// actor-id space. Large enough that any realistic band (millions of
@@ -47,6 +59,12 @@ pub struct DenseDirectory {
     regions: Vec<Region>,
     sizes: Vec<usize>,
     assigned: usize,
+    /// Replica activations: actor id -> hosting servers, sorted ascending,
+    /// never containing the primary. Empty for every unsplit actor, so the
+    /// routing hot path pays one `is_empty` branch when replication is off.
+    replicas: FxHashMap<u64, Vec<u32>>,
+    /// Total replica activations across all actors (the obs gauge).
+    replica_total: usize,
 }
 
 impl DenseDirectory {
@@ -65,6 +83,8 @@ impl DenseDirectory {
             regions: Vec::new(),
             sizes: vec![0; servers],
             assigned: 0,
+            replicas: FxHashMap::default(),
+            replica_total: 0,
         }
     }
 
@@ -145,6 +165,10 @@ impl DenseDirectory {
     /// Panics if the vertex is unassigned or the server is out of range.
     pub fn migrate(&mut self, v: u64, to: usize) {
         assert!(to < self.sizes.len(), "server out of range");
+        assert!(
+            !self.replica_hosted(v, to),
+            "primary migrated onto a replica's server"
+        );
         let offset = (v & (REGION_SPAN - 1)) as usize;
         let region = self.region_mut(v);
         let slot = &mut region.slots[offset];
@@ -159,7 +183,15 @@ impl DenseDirectory {
     }
 
     /// Removes a vertex (e.g. a departed actor). No-op when unassigned.
+    /// Any replica activations die with the primary: a removed entry means
+    /// the actor's state is gone (crash or deactivation), and replicas are
+    /// read-only clones of that state.
     pub fn remove(&mut self, v: u64) {
+        if !self.replicas.is_empty() {
+            if let Some(reps) = self.replicas.remove(&v) {
+                self.replica_total -= reps.len();
+            }
+        }
         let page = v >> REGION_BITS;
         let offset = (v & (REGION_SPAN - 1)) as usize;
         for region in &mut self.regions {
@@ -213,6 +245,122 @@ impl DenseDirectory {
         let max = self.sizes.iter().copied().max().unwrap_or(0);
         let min = self.sizes.iter().copied().min().unwrap_or(0);
         max - min
+    }
+
+    // ------------------------------------------------------------------
+    // Replica activations (hot-actor splits).
+    // ------------------------------------------------------------------
+
+    /// Whether *any* actor currently has replicas. One branch; the routing
+    /// hot path checks this before touching the replica table at all.
+    #[inline]
+    pub fn has_replicas(&self) -> bool {
+        !self.replicas.is_empty()
+    }
+
+    /// Total replica activations across all actors.
+    pub fn replica_count(&self) -> usize {
+        self.replica_total
+    }
+
+    /// Whether `v` has at least one replica activation.
+    #[inline]
+    pub fn is_replicated(&self, v: u64) -> bool {
+        !self.replicas.is_empty() && self.replicas.contains_key(&v)
+    }
+
+    /// The replica servers of `v`, sorted ascending (never the primary).
+    /// Empty for unsplit actors.
+    #[inline]
+    pub fn replicas_of(&self, v: u64) -> &[u32] {
+        if self.replicas.is_empty() {
+            return &[];
+        }
+        self.replicas.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `server` hosts a replica activation of `v`.
+    #[inline]
+    pub fn replica_hosted(&self, v: u64, server: usize) -> bool {
+        if self.replicas.is_empty() {
+            return false;
+        }
+        self.replicas
+            .get(&v)
+            .is_some_and(|reps| reps.binary_search(&(server as u32)).is_ok())
+    }
+
+    /// Adds a replica activation of `v` on `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is unassigned, `server` is the primary or already a
+    /// replica, or `server` is out of range — replica lifecycle bugs are
+    /// protocol errors, not recoverable conditions.
+    pub fn add_replica(&mut self, v: u64, server: usize) {
+        assert!(server < self.sizes.len(), "server out of range");
+        let primary = self.server_of(v).expect("replica of an unassigned vertex");
+        assert!(primary != server, "replica on the primary's server");
+        let reps = self.replicas.entry(v).or_default();
+        let at = reps
+            .binary_search(&(server as u32))
+            .expect_err("replica already present");
+        reps.insert(at, server as u32);
+        self.replica_total += 1;
+    }
+
+    /// Drops the replica activation of `v` on `server`. Returns whether a
+    /// replica was actually present (a no-op drop returns `false`, so
+    /// crash cleanup can sweep unconditionally).
+    pub fn drop_replica(&mut self, v: u64, server: usize) -> bool {
+        if self.replicas.is_empty() {
+            return false;
+        }
+        let Some(reps) = self.replicas.get_mut(&v) else {
+            return false;
+        };
+        let Ok(at) = reps.binary_search(&(server as u32)) else {
+            return false;
+        };
+        reps.remove(at);
+        self.replica_total -= 1;
+        if reps.is_empty() {
+            self.replicas.remove(&v);
+        }
+        true
+    }
+
+    /// The replicated actors whose *primary* is on `server`, sorted
+    /// ascending. Iterates the replica table (small: hot actors only),
+    /// not the directory, so detection ticks stay cheap at 10^6 actors.
+    pub fn replicated_primaried_on(&self, server: usize) -> Vec<u64> {
+        if self.replicas.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<u64> = self
+            .replicas
+            .keys()
+            .copied()
+            .filter(|&v| self.server_of(v) == Some(server))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The actors with a replica activation on `server`, sorted ascending.
+    pub fn replicas_on(&self, server: usize) -> Vec<u64> {
+        if self.replicas.is_empty() {
+            return Vec::new();
+        }
+        let want = server as u32;
+        let mut out: Vec<u64> = self
+            .replicas
+            .iter()
+            .filter(|(_, reps)| reps.binary_search(&want).is_ok())
+            .map(|(&v, _)| v)
+            .collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -287,6 +435,80 @@ mod tests {
     fn migrate_unassigned_panics() {
         let mut d = DenseDirectory::new(2);
         d.migrate(1, 0);
+    }
+
+    #[test]
+    fn replica_roundtrip_and_sorted_views() {
+        let mut d = DenseDirectory::new(4);
+        d.place(7, 0);
+        d.place(9, 1);
+        assert!(!d.has_replicas());
+        assert_eq!(d.replicas_of(7), &[] as &[u32]);
+        d.add_replica(7, 3);
+        d.add_replica(7, 1);
+        d.add_replica(9, 3);
+        assert!(d.has_replicas());
+        assert_eq!(d.replica_count(), 3);
+        assert_eq!(d.replicas_of(7), &[1, 3]);
+        assert!(d.replica_hosted(7, 3));
+        assert!(!d.replica_hosted(7, 0), "primary is not a replica");
+        assert_eq!(d.replicas_on(3), vec![7, 9]);
+        assert_eq!(d.replicas_on(2), Vec::<u64>::new());
+        // Sizes stay primaries-only: replicas are not balance mass.
+        assert_eq!(d.sizes(), &[1, 1, 0, 0]);
+        assert!(d.drop_replica(7, 1));
+        assert!(!d.drop_replica(7, 1), "second drop is a no-op");
+        assert_eq!(d.replicas_of(7), &[3]);
+        assert_eq!(d.replica_count(), 2);
+        assert!(d.is_replicated(7));
+        d.drop_replica(7, 3);
+        assert!(!d.is_replicated(7));
+        assert!(d.has_replicas(), "actor 9 still split");
+    }
+
+    #[test]
+    fn remove_purges_replicas_with_the_primary() {
+        let mut d = DenseDirectory::new(3);
+        d.place(5, 0);
+        d.add_replica(5, 1);
+        d.add_replica(5, 2);
+        d.remove(5);
+        assert_eq!(d.server_of(5), None);
+        assert!(!d.has_replicas());
+        assert_eq!(d.replica_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica on the primary's server")]
+    fn replica_on_primary_panics() {
+        let mut d = DenseDirectory::new(2);
+        d.place(1, 0);
+        d.add_replica(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica already present")]
+    fn double_replica_panics() {
+        let mut d = DenseDirectory::new(3);
+        d.place(1, 0);
+        d.add_replica(1, 2);
+        d.add_replica(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica of an unassigned vertex")]
+    fn replica_of_unassigned_panics() {
+        let mut d = DenseDirectory::new(2);
+        d.add_replica(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary migrated onto a replica's server")]
+    fn migrate_onto_replica_panics() {
+        let mut d = DenseDirectory::new(3);
+        d.place(1, 0);
+        d.add_replica(1, 2);
+        d.migrate(1, 2);
     }
 
     #[test]

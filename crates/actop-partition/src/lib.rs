@@ -26,6 +26,9 @@
 //!   comparison points and ablations.
 //! * [`sized`] — the §4.2 extension: heterogeneous actor sizes, migration
 //!   costs, and size-based balance.
+//! * [`split`] — hot-actor split decisions: when one actor's demand
+//!   exceeds a single server's capacity, replicate it instead of
+//!   migrating it.
 
 pub mod baselines;
 pub mod config;
@@ -35,9 +38,11 @@ pub mod exchange;
 pub mod graph;
 pub mod score;
 pub mod sized;
+pub mod split;
 
 pub use config::PartitionConfig;
 pub use dense::DenseDirectory;
 pub use exchange::{select_exchange, ExchangeOutcome, ExchangeRequest};
 pub use graph::{CommGraph, Partition};
 pub use score::{candidate_set, transfer_scores, ScoredVertex};
+pub use split::{decide as decide_split, SplitDecision, SplitThresholds};

@@ -1,0 +1,170 @@
+//! Hot-actor split decisions (data-parallel replication).
+//!
+//! The pairwise exchange protocol ([`crate::exchange`]) assumes every
+//! actor fits on *some* server: it migrates whole activations. A
+//! celebrity actor whose sustained request mass exceeds a single
+//! server's service capacity breaks that assumption — no migration
+//! target helps, the hot server saturates, and tail latency explodes.
+//! Following the DPA load-balancer line of work, the runtime instead
+//! **splits** such an actor across several read-only replicas and
+//! routes read-mostly requests over them, keeping writes on the
+//! primary.
+//!
+//! This module is the pure decision kernel: given one actor's observed
+//! service demand over a detection window and the server's capacity
+//! over that window, decide whether to add a replica, drop one, or
+//! leave the actor alone. It owns no clocks, no RNG, and no directory
+//! state, so the legacy and sharded runtimes share it verbatim and the
+//! thresholds are unit-testable in isolation.
+
+/// Tunables for the split detector. Embedded in the runtime's
+/// `ReplicationConfig`; kept here so the decision logic and its
+/// thresholds live together.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitThresholds {
+    /// Split when one actor's observed service demand over the window
+    /// exceeds this fraction of a single server's capacity. The paper's
+    /// load-balancing goal caps per-server utilization well below 1.0;
+    /// 0.5 leaves headroom for the rest of the server's actors.
+    pub capacity_fraction: f64,
+    /// Hysteresis for merging back: drop a replica only when the
+    /// *post-drop* per-activation demand would still sit below
+    /// `capacity_fraction * drop_fraction` of capacity. Must be < 1 or
+    /// a split would oscillate at the boundary.
+    pub drop_fraction: f64,
+    /// Hard cap on replicas per actor (not counting the primary).
+    pub max_replicas: usize,
+}
+
+impl Default for SplitThresholds {
+    fn default() -> Self {
+        SplitThresholds {
+            capacity_fraction: 0.5,
+            drop_fraction: 0.6,
+            max_replicas: 7,
+        }
+    }
+}
+
+impl SplitThresholds {
+    /// Panics on degenerate settings (build-time inputs, not runtime
+    /// data — same policy as `RuntimeConfig::validate`).
+    pub fn validate(&self) {
+        assert!(
+            self.capacity_fraction > 0.0 && self.capacity_fraction <= 1.0,
+            "capacity_fraction must be in (0, 1]"
+        );
+        assert!(
+            self.drop_fraction > 0.0 && self.drop_fraction < 1.0,
+            "drop_fraction must be in (0, 1) for hysteresis"
+        );
+        assert!(self.max_replicas >= 1, "max_replicas must be at least 1");
+    }
+}
+
+/// What the detector decided for one actor this window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitDecision {
+    /// Demand exceeds one server's share: add a replica.
+    Split,
+    /// Demand has fallen enough that one fewer activation still fits:
+    /// drop a replica.
+    Drop,
+    /// Leave the activation set alone.
+    Hold,
+}
+
+/// Decides split/drop/hold for one actor.
+///
+/// * `observed_ns` — service demand the *primary's* sketch attributed
+///   to the actor over the window. With replicas active, read traffic
+///   fans across activations, so this is already the per-activation
+///   share, not the actor's total demand.
+/// * `window_capacity_ns` — one server's service capacity over the
+///   same window (`cores_per_server * window_ns`).
+/// * `replicas` — current replica count (excluding the primary).
+///
+/// The drop test reconstructs total demand as `observed * (r + 1)`
+/// (every activation carries the same per-request cost, and rendezvous
+/// routing spreads reads near-uniformly), then asks whether `r`
+/// activations would each stay below the hysteresis threshold.
+pub fn decide(
+    t: &SplitThresholds,
+    observed_ns: u64,
+    window_capacity_ns: u64,
+    replicas: usize,
+) -> SplitDecision {
+    let cap = window_capacity_ns as f64 * t.capacity_fraction;
+    let observed = observed_ns as f64;
+    if observed > cap && replicas < t.max_replicas {
+        return SplitDecision::Split;
+    }
+    if replicas > 0 {
+        let total = observed * (replicas + 1) as f64;
+        let per_activation_after_drop = total / replicas as f64;
+        if per_activation_after_drop < cap * t.drop_fraction {
+            return SplitDecision::Drop;
+        }
+    }
+    SplitDecision::Hold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WINDOW: u64 = 1_000_000_000;
+
+    fn t() -> SplitThresholds {
+        let t = SplitThresholds::default();
+        t.validate();
+        t
+    }
+
+    #[test]
+    fn cold_actor_holds() {
+        assert_eq!(decide(&t(), 0, WINDOW, 0), SplitDecision::Hold);
+        assert_eq!(decide(&t(), 100_000_000, WINDOW, 0), SplitDecision::Hold);
+    }
+
+    #[test]
+    fn hot_actor_splits_until_cap() {
+        // 60% of capacity > 50% threshold.
+        assert_eq!(decide(&t(), 600_000_000, WINDOW, 0), SplitDecision::Split);
+        assert_eq!(decide(&t(), 600_000_000, WINDOW, 6), SplitDecision::Split);
+        // At max_replicas the decision degrades to Hold, not Drop: the
+        // per-activation share is still hot.
+        assert_eq!(decide(&t(), 600_000_000, WINDOW, 7), SplitDecision::Hold);
+    }
+
+    #[test]
+    fn cooled_actor_drops_with_hysteresis() {
+        // One replica, per-activation share 10% of capacity. Total 20%;
+        // a single activation at 20% sits below 50% * 0.6 = 30% — drop.
+        assert_eq!(decide(&t(), 100_000_000, WINDOW, 1), SplitDecision::Drop);
+        // Per-activation 20%: post-drop single activation carries 40%,
+        // above the 30% hysteresis bar — hold, no flapping.
+        assert_eq!(decide(&t(), 200_000_000, WINDOW, 1), SplitDecision::Hold);
+    }
+
+    #[test]
+    fn boundary_is_strict() {
+        // Exactly at the split threshold: no split (strict >).
+        assert_eq!(decide(&t(), 500_000_000, WINDOW, 0), SplitDecision::Hold);
+    }
+
+    #[test]
+    fn zero_load_replicated_actor_drops() {
+        assert_eq!(decide(&t(), 0, WINDOW, 3), SplitDecision::Drop);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_fraction must be in (0, 1)")]
+    fn full_drop_fraction_panics() {
+        SplitThresholds {
+            drop_fraction: 1.0,
+            ..SplitThresholds::default()
+        }
+        .validate();
+    }
+}

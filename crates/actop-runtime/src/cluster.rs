@@ -10,13 +10,13 @@
 //! a runtime extension rather than application code.
 
 use actop_metrics::TimelineSample;
-use actop_partition::{DenseDirectory, ExchangeOutcome};
-use actop_sim::{CostAttr, DetRng, Engine, Nanos, Subsystem};
+use actop_partition::{decide_split, DenseDirectory, ExchangeOutcome, SplitDecision};
+use actop_sim::{mix64, CostAttr, DetRng, Engine, Nanos, Subsystem};
 use actop_sketch::fxmap::{fx_map_with_capacity, FxHashMap};
 use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE, PROC_LABEL, QUEUE_LABEL};
 
 use crate::app::{AppLogic, Call, Outcome, Reaction};
-use crate::config::{HiccupModel, RuntimeConfig};
+use crate::config::{HiccupModel, ReplicationConfig, RuntimeConfig};
 use crate::detector::{DetectorConfig, FailureDetector, Transition};
 use crate::ids::{ActorId, CallId, RequestId, StageKind};
 use crate::metrics::ClusterMetrics;
@@ -117,6 +117,10 @@ pub struct Cluster {
     /// actor id -> (source, destination). A crash of either endpoint
     /// aborts the entry; the actor stays at its source.
     migrations_in_flight: FxHashMap<u64, (u32, u32)>,
+    /// Hot-actor splits currently in transfer: actor id -> (primary,
+    /// replica destination). Same abort discipline as migrations: a
+    /// crash of either endpoint kills the entry and no replica appears.
+    splits_in_flight: FxHashMap<u64, (u32, u32)>,
     /// In-flight fan-out joins, keyed by [`CallId`] slab handle.
     joins: SlabTable<PendingJoin>,
     /// In-flight client requests, keyed by [`RequestId`] slab handle.
@@ -170,6 +174,7 @@ impl Cluster {
                 .map(|d| FailureDetector::new(config.servers, d.suspect_after, Nanos::ZERO)),
             link_faults: fx_map_with_capacity(0),
             migrations_in_flight: fx_map_with_capacity(0),
+            splits_in_flight: fx_map_with_capacity(0),
             joins: SlabTable::new(),
             requests: SlabTable::new(),
             config,
@@ -500,7 +505,7 @@ impl Cluster {
     /// ends).
     fn prepare(
         &mut self,
-        _now: Nanos,
+        now: Nanos,
         server: usize,
         item: StageItem,
     ) -> (f64, f64, PostAction, RequestId) {
@@ -513,15 +518,50 @@ impl Cluster {
                 msg.request,
             ),
             StageItem::Execute(msg) => {
-                let hosted = self.directory.server_of(msg.to.0) == Some(server);
+                let mut hosted = self.directory.server_of(msg.to.0) == Some(server);
+                if !hosted
+                    && self.config.replication.is_some()
+                    && self.directory.replica_hosted(msg.to.0, server)
+                {
+                    // A replica activation: read-tagged requests and join
+                    // continuations execute here; writes fall through to
+                    // the forward path (primary-routed).
+                    hosted = match msg.kind {
+                        MsgKind::Request { .. } => {
+                            let read = self
+                                .config
+                                .replication
+                                .as_ref()
+                                .expect("checked above")
+                                .is_read(u64::from(msg.tag));
+                            if read {
+                                self.metrics.replica_reads += 1;
+                                if self.trace.enabled() {
+                                    self.record_span(SpanEvent::instant(
+                                        msg.request.0,
+                                        HopKind::ReplicaRead,
+                                        server as u32,
+                                        msg.to.0,
+                                        now,
+                                    ));
+                                }
+                            } else {
+                                self.metrics.replica_writes += 1;
+                            }
+                            read
+                        }
+                        MsgKind::Response { .. } => true,
+                    };
+                }
                 if !hosted {
                     return (
-                        costs.dispatch_fixed_ns,
+                        self.config.costs.dispatch_fixed_ns,
                         0.0,
                         PostAction::Forward(msg),
                         msg.request,
                     );
                 }
+                let costs = &self.config.costs;
                 let local_copy = if !msg.delivered_remotely && msg.from_actor.is_some() {
                     costs.local_copy_ns(msg.bytes)
                 } else {
@@ -530,6 +570,13 @@ impl Cluster {
                 match msg.kind {
                     MsgKind::Request { .. } => {
                         let reaction = self.app.on_request(msg.to, msg.tag, &mut self.rng_app);
+                        if self.config.replication.is_some() {
+                            // Feed the split detector: service demand per
+                            // activation over the current window.
+                            self.servers[server]
+                                .load_sketch
+                                .offer(msg.to, reaction.cpu_ns as u64);
+                        }
                         (
                             reaction.cpu_ns + local_copy,
                             reaction.blocking_ns,
@@ -822,7 +869,7 @@ impl Cluster {
         request: RequestId,
     ) {
         let now = engine.now();
-        let dst = self.resolve(now, call.to, Some(server));
+        let dst = self.route_request(now, call.to, call.tag, request, server);
         let remote = dst != server;
         self.note_actor_message(now, server, dst, from, call.to);
         if self.trace.enabled() {
@@ -996,7 +1043,12 @@ impl Cluster {
         }
         self.metrics.forwarded_messages += 1;
         msg.forwarded = true;
-        let dst = self.resolve(engine.now(), msg.to, Some(server));
+        let dst = match msg.kind {
+            MsgKind::Request { .. } => {
+                self.route_request(engine.now(), msg.to, msg.tag, msg.request, server)
+            }
+            MsgKind::Response { .. } => self.resolve(engine.now(), msg.to, Some(server)),
+        };
         if self.trace.enabled() {
             self.record_span(SpanEvent::instant(
                 msg.request.0,
@@ -1046,6 +1098,88 @@ impl Cluster {
         self.servers[src_server].edge_sketch.offer((from, to), 1);
         self.servers[dst_server].edge_sketch.offer((to, from), 1);
         self.attr.end(Subsystem::Sketch, t);
+    }
+
+    /// Routes a request about to be dispatched: read-tagged requests on
+    /// replicated actors spread across live activations by seeded
+    /// rendezvous hashing; writes (and everything else, including every
+    /// request while replication is off) take the plain [`Cluster::resolve`]
+    /// path to the primary.
+    fn route_request(
+        &mut self,
+        now: Nanos,
+        actor: ActorId,
+        tag: u32,
+        request: RequestId,
+        origin: usize,
+    ) -> usize {
+        if let Some(rep) = self.config.replication {
+            if self.directory.has_replicas() && rep.is_read(u64::from(tag)) {
+                if let Some(dst) = self.route_read(now, actor, request, origin) {
+                    return dst;
+                }
+            }
+        }
+        self.resolve(now, actor, Some(origin))
+    }
+
+    /// Rendezvous selection over the live activations of a replicated
+    /// actor. `None` when the actor is unsplit (or no candidate survives
+    /// suspicion filtering) — the caller falls back to `resolve`.
+    ///
+    /// Selection is a pure hash of `(request, actor, candidate)`: each
+    /// request lands on a stable activation (forward chains terminate) and
+    /// the population of requests spreads near-uniformly, with no RNG
+    /// stream drawn — replication-off runs stay byte-identical.
+    ///
+    /// Liveness is the origin's *suspicion*, exactly as in `resolve`: a
+    /// suspected replica is dropped from the directory at routing time —
+    /// the replica-set mirror of the `DirRepair` path for primaries.
+    fn route_read(
+        &mut self,
+        now: Nanos,
+        actor: ActorId,
+        request: RequestId,
+        origin: usize,
+    ) -> Option<usize> {
+        let primary = self.directory.server_of(actor.0)?;
+        let reps = self.directory.replicas_of(actor.0);
+        if reps.is_empty() {
+            return None;
+        }
+        let reps: Vec<u32> = reps.to_vec();
+        let mut candidates: Vec<u32> = Vec::with_capacity(reps.len() + 1);
+        if origin == primary || !self.suspects(origin, primary, now) {
+            candidates.push(primary as u32);
+        }
+        for r in reps {
+            let rs = r as usize;
+            if origin != rs && self.suspects(origin, rs, now) {
+                self.directory.drop_replica(actor.0, rs);
+                self.metrics.replica_drops += 1;
+                if self.trace.enabled() {
+                    // Lifecycle event: `request` carries the actor id,
+                    // `server` the primary, `aux` the dropped replica.
+                    self.record_span(SpanEvent::instant(
+                        actor.0,
+                        HopKind::ReplicaDrop,
+                        primary as u32,
+                        u64::from(r),
+                        now,
+                    ));
+                }
+            } else {
+                candidates.push(r);
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let salt = mix64(request.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ actor.0);
+        candidates
+            .into_iter()
+            .max_by_key(|&c| mix64(salt ^ (u64::from(c) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .map(|c| c as usize)
     }
 
     /// Resolves the hosting server for `actor`, activating it if needed:
@@ -1330,6 +1464,14 @@ impl Cluster {
         if from == to {
             return;
         }
+        // Replicated actors pin their primary: their load moves by
+        // splitting and dropping replicas, not by migration (and a
+        // deactivation would discard the whole replica set).
+        if self.directory.is_replicated(actor.0)
+            || (!self.splits_in_flight.is_empty() && self.splits_in_flight.contains_key(&actor.0))
+        {
+            return;
+        }
         match self.config.migration_transfer {
             None => self.commit_migration(now, actor, from, to),
             Some(transfer) => {
@@ -1354,7 +1496,9 @@ impl Cluster {
         let Some((from, to)) = self.migrations_in_flight.remove(&actor.0) else {
             return; // Aborted by fail_server.
         };
-        if self.directory.server_of(actor.0) == Some(from as usize) {
+        if self.directory.server_of(actor.0) == Some(from as usize)
+            && !self.directory.is_replicated(actor.0)
+        {
             self.commit_migration(now, actor, from as usize, to as usize);
         }
     }
@@ -1384,6 +1528,96 @@ impl Cluster {
             .retain(|&(local, _)| local != actor);
         self.metrics.migrations += 1;
         self.metrics.migration_series.mark(now.as_nanos());
+    }
+
+    /// Adds a read replica of `actor` on `to` (a hot-actor split). With
+    /// `config.migration_transfer` unset the replica materializes
+    /// instantly; otherwise after the transfer window — the same state
+    /// copy a migration pays — during which a crash of either endpoint
+    /// aborts the split cleanly (see [`Cluster::fail_server`]).
+    pub fn split_actor(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        now: Nanos,
+        actor: ActorId,
+        to: usize,
+    ) {
+        let Some(from) = self.directory.server_of(actor.0) else {
+            return;
+        };
+        if from == to
+            || self.directory.replica_hosted(actor.0, to)
+            || self.splits_in_flight.contains_key(&actor.0)
+            || self.migrations_in_flight.contains_key(&actor.0)
+            || self.failed[to]
+        {
+            return;
+        }
+        match self.config.migration_transfer {
+            None => self.commit_split(now, actor, from, to),
+            Some(transfer) => {
+                self.splits_in_flight
+                    .insert(actor.0, (from as u32, to as u32));
+                engine.schedule_after(transfer, move |c: &mut Cluster, e| {
+                    c.finish_split(e.now(), actor);
+                });
+            }
+        }
+    }
+
+    /// A split transfer window elapsed: commit unless a crash aborted it
+    /// (entry gone), the primary moved, or the replica already exists.
+    fn finish_split(&mut self, now: Nanos, actor: ActorId) {
+        let Some((from, to)) = self.splits_in_flight.remove(&actor.0) else {
+            return; // Aborted by fail_server.
+        };
+        if self.directory.server_of(actor.0) == Some(from as usize)
+            && !self.directory.replica_hosted(actor.0, to as usize)
+        {
+            self.commit_split(now, actor, from as usize, to as usize);
+        }
+    }
+
+    /// Commits a split: the replica activation appears in the directory
+    /// and rendezvous routing starts spreading reads over it.
+    fn commit_split(&mut self, now: Nanos, actor: ActorId, from: usize, to: usize) {
+        if self.trace.enabled() {
+            // Lifecycle event: `request` carries the actor id, `server`
+            // the primary, `aux` the replica's server.
+            self.record_span(SpanEvent::instant(
+                actor.0,
+                HopKind::Split,
+                from as u32,
+                to as u64,
+                now,
+            ));
+        }
+        self.directory.add_replica(actor.0, to);
+        self.metrics.splits += 1;
+    }
+
+    /// Drops the replica activation of `actor` on `server` (a no-op when
+    /// absent, so crash cleanup can sweep unconditionally).
+    pub fn drop_replica_actor(&mut self, now: Nanos, actor: ActorId, server: usize) {
+        let primary = self.directory.server_of(actor.0);
+        if self.directory.drop_replica(actor.0, server) {
+            self.metrics.replica_drops += 1;
+            if self.trace.enabled() {
+                // Lifecycle event: same field conventions as `Split`.
+                self.record_span(SpanEvent::instant(
+                    actor.0,
+                    HopKind::ReplicaDrop,
+                    primary.map_or(NO_SERVER, |p| p as u32),
+                    server as u64,
+                    now,
+                ));
+            }
+        }
+    }
+
+    /// Number of splits currently in transfer.
+    pub fn splits_in_flight(&self) -> usize {
+        self.splits_in_flight.len()
     }
 
     /// Drains the per-stage observation windows of a server.
@@ -1545,6 +1779,105 @@ impl Cluster {
         }
     }
 
+    /// Installs the hot-actor split detector: every
+    /// [`ReplicationConfig::check_interval`] each server scans its load
+    /// sketch for actors whose sustained service demand exceeds the
+    /// configured fraction of one server's capacity and splits them
+    /// (or drops replicas of actors that cooled down), staggered across
+    /// servers like heartbeats, until `horizon`. A no-op without
+    /// `config.replication`.
+    pub fn install_replication(&self, engine: &mut Engine<Cluster>, horizon: Nanos) {
+        let Some(rep) = self.config.replication else {
+            return;
+        };
+        let n = self.servers.len();
+        for server in 0..n {
+            let phase = Nanos::from_nanos(rep.check_interval.as_nanos() * server as u64 / n as u64);
+            schedule_replication_tick(engine, server, rep, fx_map_with_capacity(0), phase, horizon);
+        }
+    }
+
+    /// One split-detection tick on `server`: scan the window's load
+    /// sketch, decide split/drop/hold per hot actor primaried here, and
+    /// reset the window. `cooldowns` carries each actor's
+    /// no-decisions-before time across ticks.
+    fn replication_tick(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        rep: &ReplicationConfig,
+        cooldowns: &mut FxHashMap<u64, Nanos>,
+    ) {
+        if self.failed[server] {
+            return; // Sketch state died with the process; nothing to scan.
+        }
+        let now = engine.now();
+        let window_capacity_ns =
+            rep.check_interval.as_nanos() * self.config.costs.cores_per_server as u64;
+        // Candidates: this window's sustained heavy hitters primaried
+        // here, plus every replicated actor primaried here (so cooled
+        // actors that fell out of the sketch still get drop decisions).
+        let mut candidates: Vec<u64> = self.servers[server]
+            .load_sketch
+            .sustained_heavy_hitters(rep.min_load_ns)
+            .map(|e| e.item.0)
+            .filter(|&a| self.directory.server_of(a) == Some(server))
+            .collect();
+        candidates.extend(self.directory.replicated_primaried_on(server));
+        candidates.sort_unstable();
+        candidates.dedup();
+        for a in candidates {
+            if cooldowns.get(&a).is_some_and(|&until| now < until) {
+                continue;
+            }
+            let observed = self.servers[server].load_sketch.lower_bound(&ActorId(a));
+            let replicas = self.directory.replicas_of(a).len();
+            match decide_split(&rep.thresholds, observed, window_capacity_ns, replicas) {
+                SplitDecision::Split => {
+                    if let Some(to) = self.split_target(a, replicas, now, server) {
+                        self.split_actor(engine, now, ActorId(a), to);
+                        cooldowns.insert(a, now + rep.cooldown);
+                    }
+                }
+                SplitDecision::Drop => {
+                    // Deterministic victim: the highest replica server id.
+                    if let Some(&victim) = self.directory.replicas_of(a).last() {
+                        self.drop_replica_actor(now, ActorId(a), victim as usize);
+                        cooldowns.insert(a, now + rep.cooldown);
+                    }
+                }
+                SplitDecision::Hold => {}
+            }
+        }
+        self.servers[server].load_sketch.clear();
+    }
+
+    /// Picks the replica destination for a split of `a` by rendezvous
+    /// over the eligible servers (not the primary, not already a replica,
+    /// not distrusted by the primary), keyed by the current replica count
+    /// so successive splits spread deterministically.
+    fn split_target(
+        &mut self,
+        a: u64,
+        replicas: usize,
+        now: Nanos,
+        primary: usize,
+    ) -> Option<usize> {
+        let salt = mix64(a ^ (replicas as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut best: Option<(u64, usize)> = None;
+        for c in 0..self.servers.len() {
+            if c == primary || self.directory.replica_hosted(a, c) || self.suspects(primary, c, now)
+            {
+                continue;
+            }
+            let score = mix64(salt ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, c));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
     // ------------------------------------------------------------------
     // Telemetry (metric scrapes, SLO alerting, cost attribution).
     // ------------------------------------------------------------------
@@ -1589,6 +1922,9 @@ impl Cluster {
                 (queue as f64, if self.failed[i] { 0.0 } else { 1.0 })
             })
             .collect();
+        if self.config.replication.is_some() {
+            obs.set_replica_activations(self.directory.replica_count() as f64);
+        }
         obs.scrape(now, &self.metrics, &per_server);
         for tr in obs.drain_slos(now, &self.metrics) {
             self.note_slo_transition(tr);
@@ -1812,6 +2148,36 @@ impl Cluster {
                 }
             }
         }
+        // Abort in-flight splits touching the crashed server, with the
+        // same discipline: the transfer dies with an endpoint and no
+        // replica ever appears.
+        if !self.splits_in_flight.is_empty() {
+            let mut aborted: Vec<u64> = self
+                .splits_in_flight
+                .iter()
+                .filter(|&(_, &(from, to))| from as usize == server || to as usize == server)
+                .map(|(&actor, _)| actor)
+                .collect();
+            aborted.sort_unstable(); // Deterministic abort/trace order.
+            for actor in aborted {
+                let (from, to) = self
+                    .splits_in_flight
+                    .remove(&actor)
+                    .expect("collected above");
+                self.metrics.splits_aborted += 1;
+                if self.trace.enabled() {
+                    // Lifecycle event: `request` carries the actor id,
+                    // `server` the primary, `aux` the replica destination.
+                    self.record_span(SpanEvent::instant(
+                        actor,
+                        HopKind::SplitAbort,
+                        from,
+                        u64::from(to),
+                        at,
+                    ));
+                }
+            }
+        }
         // With the legacy oracle the whole cluster learns of the crash
         // instantly: drop every activation the server hosted. (No location
         // hints: the server crashed, it had no chance to leave forwarding
@@ -1820,6 +2186,21 @@ impl Cluster {
         // suspicion repairs them, which is exactly the detection-lag cost
         // the chaos benchmarks measure.
         if self.detector.is_none() {
+            if self.directory.has_replicas() {
+                // Replica activations hosted on the crashed server die
+                // with it, and so does every replica of an actor whose
+                // primary it hosted (the primary's deactivation discards
+                // the whole set) — all recorded as explicit drops so the
+                // trace tells a complete replica-lifetime story.
+                for actor in self.directory.replicas_on(server) {
+                    self.drop_replica_actor(at, ActorId(actor), server);
+                }
+                for actor in self.directory.vertices_on(server) {
+                    for r in self.directory.replicas_of(actor).to_vec() {
+                        self.drop_replica_actor(at, ActorId(actor), r as usize);
+                    }
+                }
+            }
             for actor in self.directory.vertices_on(server) {
                 self.directory.remove(actor);
             }
@@ -1882,6 +2263,27 @@ fn schedule_heartbeat(
             c.emit_heartbeats(e, server, dc);
         }
         schedule_heartbeat(e, server, dc, dc.heartbeat_interval, horizon);
+    });
+}
+
+/// Schedules a server's next split-detection tick `delay` from now and,
+/// when it fires, the one after — the same self-rescheduling,
+/// horizon-bounded shape as the heartbeat loop. The per-actor cooldown
+/// map travels through the closure chain, so it needs no cluster field.
+fn schedule_replication_tick(
+    engine: &mut Engine<Cluster>,
+    server: usize,
+    rep: ReplicationConfig,
+    mut cooldowns: FxHashMap<u64, Nanos>,
+    delay: Nanos,
+    horizon: Nanos,
+) {
+    if engine.now() + delay > horizon {
+        return;
+    }
+    engine.schedule_after(delay, move |c: &mut Cluster, e| {
+        c.replication_tick(e, server, &rep, &mut cooldowns);
+        schedule_replication_tick(e, server, rep, cooldowns, rep.check_interval, horizon);
     });
 }
 

@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use actop_obs::{SloKind, SloSpec};
+use actop_partition::SplitThresholds;
 use actop_sim::{CostModel, Nanos};
 use actop_trace::TraceConfig;
 
@@ -93,6 +94,52 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Hot-actor replication: split read-mostly hotspots across replicas
+/// instead of migrating them (the celebrity / flash-crowd regime, where
+/// one actor's demand exceeds any single server's capacity).
+///
+/// `None` (the default) keeps the single-activation model and every hot
+/// path at one branch, so golden-fingerprint tests are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationConfig {
+    /// Bitmask of read-only application tags: bit `t` set means requests
+    /// with `tag == t` are side-effect-free and may execute at any
+    /// replica. Tags ≥ 64 are always treated as writes.
+    pub read_tags: u64,
+    /// Split/drop thresholds (capacity fraction, hysteresis, replica cap).
+    pub thresholds: SplitThresholds,
+    /// Sim-time interval between per-server hot-actor checks. Also the
+    /// detection window the load sketch accumulates over.
+    pub check_interval: Nanos,
+    /// Minimum interval between decisions for one actor. Replica churn is
+    /// as costly as migration churn; a cooldown of several windows rides
+    /// out flash-crowd ramps.
+    pub cooldown: Nanos,
+    /// Ignore sketch entries below this guaranteed service demand per
+    /// window — noise floor for the heavy-hitter scan.
+    pub min_load_ns: u64,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            read_tags: 0b1,
+            thresholds: SplitThresholds::default(),
+            check_interval: Nanos::from_secs(1),
+            cooldown: Nanos::from_secs(3),
+            min_load_ns: 1_000_000,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// True if requests with this tag are read-only under the mask.
+    #[inline]
+    pub fn is_read(&self, tag: u64) -> bool {
+        tag < 64 && (self.read_tags >> tag) & 1 == 1
+    }
+}
+
 /// Configuration of a simulated cluster.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -152,6 +199,13 @@ pub struct RuntimeConfig {
     /// [`Cluster::install_scraper`](crate::Cluster::install_scraper) (or
     /// the sharded equivalent) to drive scrapes on sim time.
     pub obs: Option<ObsConfig>,
+    /// Optional hot-actor replication: detect actors whose sustained
+    /// demand exceeds a fraction of one server's capacity and split them
+    /// across read replicas. `None` (the default) keeps the
+    /// single-activation model. Pair with
+    /// [`Cluster::install_replication`](crate::Cluster::install_replication)
+    /// (or the sharded equivalent) to drive detection ticks.
+    pub replication: Option<ReplicationConfig>,
     /// Opt-in coarse cost attribution: exact per-subsystem op counts plus
     /// sampled wall time for routing, sketch, detector, tracer and scrape
     /// work (heap costs live on the engine). Off by default — wall
@@ -183,6 +237,7 @@ impl RuntimeConfig {
             retry: RetryPolicy::default(),
             migration_transfer: None,
             obs: None,
+            replication: None,
             cost_attr: false,
         }
     }
@@ -214,6 +269,14 @@ impl RuntimeConfig {
         if let Some(o) = &self.obs {
             assert!(o.scrape_interval > Nanos::ZERO, "need a scrape interval");
             assert!(o.ring_capacity > 0, "need frame ring capacity");
+        }
+        if let Some(r) = self.replication {
+            r.thresholds.validate();
+            assert!(r.check_interval > Nanos::ZERO, "need a check interval");
+            assert!(
+                r.cooldown >= r.check_interval,
+                "a cooldown shorter than one window cannot damp churn"
+            );
         }
         if let Some(d) = self.detector {
             assert!(

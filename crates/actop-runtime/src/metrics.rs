@@ -91,6 +91,19 @@ pub struct ClusterMetrics {
     /// suspected host was in fact alive) — the series detector-health
     /// SLOs read.
     pub false_suspicion_series: BinnedSeries,
+    /// Hot-actor splits committed (a replica activation added).
+    pub splits: u64,
+    /// In-flight splits aborted by a crash of either endpoint.
+    pub splits_aborted: u64,
+    /// Replica activations dropped (demand cooled, host crashed, or host
+    /// came under suspicion).
+    pub replica_drops: u64,
+    /// Read-mostly requests executed at a replica instead of the primary.
+    pub replica_reads: u64,
+    /// Write requests that arrived at a replica and were forwarded to the
+    /// primary. Structurally zero under rendezvous routing — a nonzero
+    /// value flags a routing bug.
+    pub replica_writes: u64,
 }
 
 impl ClusterMetrics {
@@ -131,6 +144,11 @@ impl ClusterMetrics {
             slo_alerts_opened: 0,
             slo_alerts_closed: 0,
             false_suspicion_series: BinnedSeries::new(series_bin_ns),
+            splits: 0,
+            splits_aborted: 0,
+            replica_drops: 0,
+            replica_reads: 0,
+            replica_writes: 0,
         }
     }
 
@@ -169,9 +187,12 @@ impl ClusterMetrics {
         self.false_suspicion_repairs = 0;
         self.forward_loop_drops = 0;
         self.zombie_branches = 0;
-        // Heartbeat traffic, suspicion transitions and migration aborts are
-        // cluster-lifecycle counts, not request-scoped: they survive the
-        // warmup reset like the time series do.
+        self.replica_reads = 0;
+        self.replica_writes = 0;
+        // Heartbeat traffic, suspicion transitions, migration aborts and
+        // split/replica-drop counts are cluster-lifecycle counts, not
+        // request-scoped: they survive the warmup reset like the time
+        // series do.
     }
 
     /// Folds another shard's metrics into this one: histograms and time
@@ -214,6 +235,11 @@ impl ClusterMetrics {
         self.slo_alerts_closed += other.slo_alerts_closed;
         self.false_suspicion_series
             .merge_from(&other.false_suspicion_series);
+        self.splits += other.splits;
+        self.splits_aborted += other.splits_aborted;
+        self.replica_drops += other.replica_drops;
+        self.replica_reads += other.replica_reads;
+        self.replica_writes += other.replica_writes;
     }
 }
 
@@ -271,11 +297,17 @@ mod tests {
         m.heartbeats_sent = 100;
         m.suspicions = 3;
         m.migrations_aborted = 1;
+        m.splits = 2;
+        m.replica_drops = 1;
+        m.replica_reads = 40;
         m.reset_steady_state();
         assert_eq!(m.retries, 0, "request-scoped: reset with warmup");
         assert_eq!(m.shed_no_live, 0, "request-scoped: reset with warmup");
+        assert_eq!(m.replica_reads, 0, "request-scoped: reset with warmup");
         assert_eq!(m.heartbeats_sent, 100, "lifecycle: survives");
         assert_eq!(m.suspicions, 3, "lifecycle: survives");
         assert_eq!(m.migrations_aborted, 1, "lifecycle: survives");
+        assert_eq!(m.splits, 2, "lifecycle: survives");
+        assert_eq!(m.replica_drops, 1, "lifecycle: survives");
     }
 }

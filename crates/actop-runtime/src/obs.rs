@@ -100,6 +100,10 @@ const COUNTERS: &[CounterSource] = &[
     ("false_suspicion_repairs_total", |m| {
         m.false_suspicion_repairs
     }),
+    ("splits_total", |m| m.splits),
+    ("splits_aborted_total", |m| m.splits_aborted),
+    ("replica_drops_total", |m| m.replica_drops),
+    ("replica_reads_total", |m| m.replica_reads),
 ];
 
 /// An SLO alert transition surfaced to the caller so it can record trace
@@ -128,6 +132,12 @@ pub struct Observability {
     counters: Vec<CounterMirror>,
     queue_gauges: Vec<MetricId>,
     up_gauges: Vec<MetricId>,
+    /// Cluster-wide replica-activation count (hot-actor splits). Always
+    /// registered — an identical schema across backends is a merge
+    /// requirement — and simply stays 0 when replication is off. In a
+    /// sharded run only the world owning server 0 sets it, so the
+    /// cross-shard gauge sum equals the cluster value.
+    replica_gauge: MetricId,
     latency_hist: MetricId,
     alerts: Vec<AlertNote>,
 }
@@ -164,6 +174,7 @@ impl Observability {
             queue_gauges.push(registry.gauge("server_queue_depth", &[("server", &label)]));
             up_gauges.push(registry.gauge("server_up", &[("server", &label)]));
         }
+        let replica_gauge = registry.gauge("replica_activations", &[]);
         let latency_hist = registry.histogram("e2e_latency_ns", &[], &latency_bounds_ns());
         Observability {
             registry,
@@ -174,9 +185,17 @@ impl Observability {
             counters,
             queue_gauges,
             up_gauges,
+            replica_gauge,
             latency_hist,
             alerts: Vec::new(),
         }
+    }
+
+    /// Sets the cluster-wide replica-activation gauge. Call before
+    /// [`Observability::scrape`]; sharded worlds that do not own server 0
+    /// skip the call and leave the gauge at its zero default.
+    pub fn set_replica_activations(&mut self, count: f64) {
+        self.registry.set_gauge(self.replica_gauge, count);
     }
 
     /// The scrape cadence.

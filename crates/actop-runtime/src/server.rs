@@ -41,6 +41,10 @@ pub struct Server {
     /// Nanosecond timestamp of the last exchange this server took part in
     /// (the §4.2 cooldown).
     pub last_exchange_ns: Option<u64>,
+    /// Per-actor service-demand sample over the current replication
+    /// detection window: `actor -> cpu ns`. Offered only when hot-actor
+    /// replication is enabled; cleared at every detection tick.
+    pub load_sketch: SpaceSaving<ActorId>,
 }
 
 /// Bound on location-cache entries; reaching it evicts the whole cache
@@ -73,6 +77,7 @@ impl Server {
             location_cache: FxHashMap::default(),
             windows: [StageWindow::default(); 4],
             last_exchange_ns: None,
+            load_sketch: SpaceSaving::new(sketch_capacity),
         }
     }
 

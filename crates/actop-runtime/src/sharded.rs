@@ -49,7 +49,7 @@
 
 use std::sync::Arc;
 
-use actop_partition::{DenseDirectory, ExchangeOutcome};
+use actop_partition::{decide_split, DenseDirectory, ExchangeOutcome, SplitDecision};
 use actop_sim::{
     mix64, ConservativeRunner, CpuTaskId, DetRng, Engine, EventId, GlobalCtx, Nanos, OutMsg,
     PhaseCell, PsCpu, ShardWorld, StagePool,
@@ -59,7 +59,7 @@ use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE};
 
 use crate::app::{Call, Outcome, Reaction};
 use crate::cluster::{StageReport, MAX_FORWARD_HOPS};
-use crate::config::RuntimeConfig;
+use crate::config::{ReplicationConfig, RuntimeConfig};
 use crate::ids::{ActorId, StageKind};
 use crate::metrics::ClusterMetrics;
 use crate::obs::Observability;
@@ -275,6 +275,12 @@ pub(crate) struct ServerSlot {
     pub windows: [StageWindow; 4],
     pub last_exchange_ns: Option<u64>,
     pub joins: SlabTable<SJoin>,
+    /// Per-actor service-demand sample over the current replication
+    /// detection window (the sharded twin of `Server::load_sketch`).
+    /// Offered only when hot-actor replication is enabled; cleared at
+    /// every detection tick. Offers happen in per-server event order, so
+    /// the sketch contents are shard-layout invariant.
+    pub load_sketch: SpaceSaving<ActorId>,
     pub rng_app: DetRng,
     pub rng_net: DetRng,
     /// Monotone per-sender outbox sequence (injection tie-break).
@@ -300,6 +306,7 @@ impl ServerSlot {
             windows: [StageWindow::default(); 4],
             last_exchange_ns: None,
             joins: SlabTable::new(),
+            load_sketch: SpaceSaving::new(config.sketch_capacity),
             rng_app: DetRng::stream(config.seed, 0x1000 + id as u64),
             rng_net: DetRng::stream(config.seed, 0x2000 + id as u64),
             out_seq: 0,
@@ -325,6 +332,7 @@ impl ServerSlot {
         self.windows = [StageWindow::default(); 4];
         self.last_exchange_ns = None;
         self.joins = SlabTable::new();
+        self.load_sketch = SpaceSaving::new(config.sketch_capacity);
     }
 
     fn thread_allocation(&self) -> [usize; 4] {
@@ -568,9 +576,10 @@ impl ShardedCluster {
     /// the latency histogram come from shard-local metrics; gauges are
     /// set only for owned servers and left at zero elsewhere, so the
     /// cross-shard gauge *sum* equals the cluster value. `failed` is the
-    /// shared ground-truth liveness vector, read by the caller in the
-    /// serial phase.
-    pub fn obs_scrape(&mut self, now: Nanos, failed: &[bool]) {
+    /// shared ground-truth liveness vector and `replicas` the directory's
+    /// replica-activation count, both read by the caller in the serial
+    /// phase.
+    pub fn obs_scrape(&mut self, now: Nanos, failed: &[bool], replicas: f64) {
         let Some(mut obs) = self.obs.take() else {
             return;
         };
@@ -583,6 +592,11 @@ impl ShardedCluster {
                 (queue as f64, if failed[s] { 0.0 } else { 1.0 })
             })
             .collect();
+        if self.ctx.config.replication.is_some() && self.owns_server(0) {
+            // Cluster-wide gauge: registries merge by value summation, so
+            // exactly one shard (the owner of server 0) reports it.
+            obs.set_replica_activations(replicas);
+        }
         obs.scrape(now, &self.metrics, &per_server);
         // No SLO drain here: sharded SLO evaluation runs once over the
         // *merged* series after the run, producing the same bin-aligned
@@ -827,7 +841,7 @@ impl ShardedCluster {
                             t_end: now,
                         });
                     }
-                    let (cpu_ns, wait_ns, post, request) = self.prepare(server, item);
+                    let (cpu_ns, wait_ns, post, request) = self.prepare(now, server, item);
                     let cpu_ns = cpu_ns.max(1.0);
                     let tid = self.slots[idx].cpu.add(now, cpu_ns);
                     self.slots[idx].running.insert(
@@ -854,7 +868,7 @@ impl ShardedCluster {
     /// Computes a stage item's CPU demand, blocking time, and completion
     /// action. Worker requests invoke the shared application logic with the
     /// *server's* RNG stream.
-    fn prepare(&mut self, server: usize, item: SItem) -> (f64, f64, SPost, u64) {
+    fn prepare(&mut self, now: Nanos, server: usize, item: SItem) -> (f64, f64, SPost, u64) {
         let costs = &self.ctx.config.costs;
         match item {
             SItem::Deserialize(msg) => (
@@ -869,7 +883,7 @@ impl ShardedCluster {
                     // placement not yet flushed to the directory.
                     // SAFETY: window-phase read; writers only at barriers.
                     let dir = unsafe { self.ctx.directory.get() };
-                    let hosted = match dir.server_of(msg.to.0) {
+                    let mut hosted = match dir.server_of(msg.to.0) {
                         Some(s) => s == server,
                         None => {
                             self.slots[self.local_idx[server]]
@@ -878,6 +892,31 @@ impl ShardedCluster {
                                 == Some(&(server as u32))
                         }
                     };
+                    // A replica activation executes reads in place; a write
+                    // that lands here falls through to the forward path and
+                    // reaches the primary (replica sets change only at
+                    // barriers, so this check is shard-layout invariant).
+                    if !hosted {
+                        if let Some(rep) = self.ctx.config.replication {
+                            if dir.replica_hosted(msg.to.0, server) {
+                                if rep.is_read(u64::from(msg.tag)) {
+                                    hosted = true;
+                                    self.metrics.replica_reads += 1;
+                                    if self.trace.enabled() {
+                                        self.trace.record(SpanEvent::instant(
+                                            msg.request,
+                                            HopKind::ReplicaRead,
+                                            server as u32,
+                                            msg.to.0,
+                                            now,
+                                        ));
+                                    }
+                                } else {
+                                    self.metrics.replica_writes += 1;
+                                }
+                            }
+                        }
+                    }
                     if !hosted {
                         return (
                             costs.dispatch_fixed_ns,
@@ -894,6 +933,9 @@ impl ShardedCluster {
                     let ctx = &self.ctx;
                     let slot = &mut self.slots[self.local_idx[server]];
                     let reaction = ctx.app.on_request(msg.to, msg.tag, &mut slot.rng_app);
+                    if ctx.config.replication.is_some() {
+                        slot.load_sketch.offer(msg.to, reaction.cpu_ns as u64);
+                    }
                     (
                         reaction.cpu_ns + local_copy,
                         reaction.blocking_ns,
@@ -1191,7 +1233,7 @@ impl ShardedCluster {
         root_start: Nanos,
     ) {
         let now = engine.now();
-        let dst = self.resolve(server, call.to);
+        let dst = self.route_request(server, call.to, call.tag, request);
         let remote = dst != server;
         self.note_actor_message(now, server, dst, from, call.to);
         if self.trace.enabled() {
@@ -1372,7 +1414,12 @@ impl ShardedCluster {
         }
         self.metrics.forwarded_messages += 1;
         msg.forwarded = true;
-        let dst = self.resolve(server, msg.to);
+        let dst = match msg.kind {
+            // Client requests reach their gateway unresolved and route
+            // here, so the replica-aware path covers them too.
+            SKind::Request { .. } => self.route_request(server, msg.to, msg.tag, msg.request),
+            SKind::Response { .. } => self.resolve(server, msg.to),
+        };
         if self.trace.enabled() {
             self.trace.record(SpanEvent::instant(
                 msg.request,
@@ -1427,6 +1474,43 @@ impl ShardedCluster {
         } else {
             self.sketch_offers.push((dst_server as u32, to, from));
         }
+    }
+
+    /// Routes a request about to be dispatched: read-tagged requests on
+    /// replicated actors spread across live activations by the same seeded
+    /// rendezvous hash as the sequential cluster; writes (and every request
+    /// while replication is off) take the plain [`Self::resolve`] path to
+    /// the primary. Replica sets and liveness change only at barriers, so
+    /// the choice is shard-layout invariant; no RNG stream is drawn, so
+    /// replication-off runs stay byte-identical.
+    fn route_request(&mut self, server: usize, actor: ActorId, tag: u32, request: u64) -> usize {
+        if let Some(rep) = self.ctx.config.replication {
+            if rep.is_read(u64::from(tag)) {
+                // SAFETY: window-phase read; writers only at barriers.
+                let dir = unsafe { self.ctx.directory.get() };
+                if let Some(primary) = dir.server_of(actor.0) {
+                    let reps = dir.replicas_of(actor.0);
+                    if !reps.is_empty() {
+                        // Failed servers are purged from the directory
+                        // eagerly (serial phase), so every candidate is
+                        // live; the filter is cheap insurance.
+                        // SAFETY: as in `server_failed`.
+                        let failed = unsafe { self.ctx.failed.get() };
+                        let salt = mix64(request.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ actor.0);
+                        let choice = std::iter::once(primary as u32)
+                            .chain(reps.iter().copied())
+                            .filter(|&c| !failed[c as usize])
+                            .max_by_key(|&c| {
+                                mix64(salt ^ (u64::from(c) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                            });
+                        if let Some(c) = choice {
+                            return c as usize;
+                        }
+                    }
+                }
+            }
+        }
+        self.resolve(server, actor)
     }
 
     /// Resolves the hosting server for `actor`, activating it if needed.
@@ -1722,6 +1806,12 @@ pub fn migrate_actor_sharded(ctx: Ctx<'_, '_>, now: Nanos, actor: ActorId, to: u
         if from == to {
             return;
         }
+        if dir.is_replicated(actor.0) {
+            // Replicated actors pin their primary: the replica set would
+            // dangle across a re-placement (same rule as the sequential
+            // cluster's `migrate_actor`).
+            return;
+        }
         dir.remove(actor.0);
         from
     };
@@ -1838,13 +1928,187 @@ fn sharded_scrape_tick(ctx: Ctx<'_, '_>, interval: Nanos, horizon: Nanos) {
     let shared = shared_of(ctx);
     // SAFETY: serial phase.
     let failed = unsafe { shared.failed.get() }.clone();
+    // SAFETY: serial phase.
+    let replicas = unsafe { shared.directory.get() }.replica_count() as f64;
     for cell in ctx.cells() {
-        cell.world.obs_scrape(now, &failed);
+        cell.world.obs_scrape(now, &failed, replicas);
     }
     let next = now + interval;
     if next <= horizon {
         ctx.schedule_global(next, move |ctx| sharded_scrape_tick(ctx, interval, horizon));
     }
+}
+
+/// Installs the sharded hot-actor replication controller: a
+/// self-rescheduling global event every `check_interval` that runs the
+/// split/drop decision kernel for every server in id order from the serial
+/// phase. Splits and drops commit instantly (the sharded backend has no
+/// transfer windows), mutating the shared directory between windows — so
+/// replica sets, like placements, only ever change at barriers and routing
+/// stays shard-layout invariant. A no-op when `config.replication` is
+/// `None`; the horizon keeps the global queue drainable.
+pub fn install_replication_sharded(
+    runner: &mut ConservativeRunner<ShardedCluster>,
+    horizon: Nanos,
+) {
+    let Some(rep) = runner
+        .cells()
+        .first()
+        .and_then(|c| c.world.shared().config.replication)
+    else {
+        return;
+    };
+    let first = runner.now() + rep.check_interval;
+    if first > horizon {
+        return;
+    }
+    let cooldowns: FxHashMap<u64, Nanos> = FxHashMap::default();
+    runner.schedule_global(first, move |ctx| {
+        sharded_replication_tick(ctx, rep, cooldowns, horizon)
+    });
+}
+
+/// One global replication tick: the sharded twin of the sequential
+/// cluster's `replication_tick`, run for every live server in id order.
+/// The per-actor cooldown map travels through the reschedule chain; an
+/// actor's decisions happen only at its primary's turn, so one cluster-wide
+/// map behaves exactly like the legacy per-server maps.
+fn sharded_replication_tick(
+    ctx: Ctx<'_, '_>,
+    rep: ReplicationConfig,
+    mut cooldowns: FxHashMap<u64, Nanos>,
+    horizon: Nanos,
+) {
+    let now = ctx.now;
+    let shared = shared_of(ctx);
+    let n = shared.topo.servers;
+    let window_capacity_ns =
+        rep.check_interval.as_nanos() * shared.config.costs.cores_per_server as u64;
+    for server in 0..n {
+        // SAFETY: serial phase.
+        if unsafe { shared.failed.get() }[server] {
+            continue;
+        }
+        let shard = shared.topo.shard_of(server);
+        // Candidates: sustained heavy hitters primaried here (by
+        // guaranteed sketch weight), plus every already-replicated actor
+        // primaried here (so idle celebrities shrink back).
+        let candidates: Vec<u64> = {
+            let cell = ctx.cell(shard);
+            let idx = cell.world.local_idx[server];
+            // SAFETY: serial phase.
+            let dir = unsafe { shared.directory.get() };
+            let mut c: Vec<u64> = cell.world.slots[idx]
+                .load_sketch
+                .sustained_heavy_hitters(rep.min_load_ns)
+                .map(|e| e.item.0)
+                .filter(|&a| dir.server_of(a) == Some(server))
+                .collect();
+            c.extend(dir.replicated_primaried_on(server));
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        for a in candidates {
+            if cooldowns.get(&a).is_some_and(|&until| until > now) {
+                continue;
+            }
+            let (observed, replicas) = {
+                let cell = ctx.cell(shard);
+                let idx = cell.world.local_idx[server];
+                // SAFETY: serial phase.
+                let dir = unsafe { shared.directory.get() };
+                (
+                    cell.world.slots[idx].load_sketch.lower_bound(&ActorId(a)),
+                    dir.replicas_of(a).len(),
+                )
+            };
+            match decide_split(&rep.thresholds, observed, window_capacity_ns, replicas) {
+                SplitDecision::Split => {
+                    if let Some(to) = sharded_split_target(&shared, a, replicas, server) {
+                        // SAFETY: serial phase.
+                        unsafe { shared.directory.get_mut() }.add_replica(a, to);
+                        let cell = ctx.cell(shard);
+                        cell.world.metrics.splits += 1;
+                        if cell.world.trace.enabled() {
+                            // Lifecycle event: `request` carries the actor
+                            // id, `server` the primary, `aux` the replica.
+                            cell.world.trace.record(SpanEvent::instant(
+                                a,
+                                HopKind::Split,
+                                server as u32,
+                                to as u64,
+                                now,
+                            ));
+                        }
+                        cooldowns.insert(a, now + rep.cooldown);
+                    }
+                }
+                SplitDecision::Drop => {
+                    // Deterministic victim: the highest replica server id.
+                    let victim = {
+                        // SAFETY: serial phase.
+                        let dir = unsafe { shared.directory.get() };
+                        *dir.replicas_of(a).last().expect("Drop implies replicas") as usize
+                    };
+                    // SAFETY: serial phase.
+                    if unsafe { shared.directory.get_mut() }.drop_replica(a, victim) {
+                        let cell = ctx.cell(shard);
+                        cell.world.metrics.replica_drops += 1;
+                        if cell.world.trace.enabled() {
+                            cell.world.trace.record(SpanEvent::instant(
+                                a,
+                                HopKind::ReplicaDrop,
+                                server as u32,
+                                victim as u64,
+                                now,
+                            ));
+                        }
+                        cooldowns.insert(a, now + rep.cooldown);
+                    }
+                }
+                SplitDecision::Hold => {}
+            }
+        }
+        let cell = ctx.cell(shard);
+        let idx = cell.world.local_idx[server];
+        cell.world.slots[idx].load_sketch.clear();
+    }
+    let next = now + rep.check_interval;
+    if next <= horizon {
+        ctx.schedule_global(next, move |ctx| {
+            sharded_replication_tick(ctx, rep, cooldowns, horizon)
+        });
+    }
+}
+
+/// Rendezvous split destination over the eligible servers (not the
+/// primary, not already a replica, live), keyed by the current replica
+/// count — the sequential cluster's `split_target` with ground-truth
+/// liveness in place of suspicion. Call only from the serial phase (reads
+/// the shared directory and liveness flags).
+fn sharded_split_target(
+    shared: &ShardCtx,
+    a: u64,
+    replicas: usize,
+    primary: usize,
+) -> Option<usize> {
+    // SAFETY: serial phase, per the caller contract.
+    let dir = unsafe { shared.directory.get() };
+    // SAFETY: as above.
+    let failed = unsafe { shared.failed.get() };
+    let salt = mix64(a ^ (replicas as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut best: Option<(u64, usize)> = None;
+    for (c, &down) in failed.iter().enumerate().take(shared.topo.servers) {
+        if c == primary || down || dir.replica_hosted(a, c) {
+            continue;
+        }
+        let score = mix64(salt ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if best.is_none_or(|(s, _)| score > s) {
+            best = Some((score, c));
+        }
+    }
+    best.map(|(_, c)| c)
 }
 
 /// Whether a server is currently failed.
@@ -1910,6 +2174,42 @@ pub fn fail_server_sharded(ctx: Ctx<'_, '_>, server: usize) {
     {
         // SAFETY: serial phase.
         let dir = unsafe { shared.directory.get_mut() };
+        if dir.has_replicas() {
+            // Replica activations hosted on the crashed server die with
+            // it, and so does every replica of an actor whose primary it
+            // hosted (the primary's deactivation discards the whole set)
+            // — all recorded as explicit drops, attributed to the shard
+            // owning each actor's primary, so the merged trace tells the
+            // same complete replica-lifetime story as the legacy backend.
+            let mut drops: Vec<(u64, u32, u32)> = Vec::new();
+            for actor in dir.replicas_on(server) {
+                let primary = dir
+                    .server_of(actor)
+                    .expect("replicated actor has a primary");
+                drops.push((actor, primary as u32, server as u32));
+            }
+            for actor in dir.vertices_on(server) {
+                for &r in dir.replicas_of(actor) {
+                    drops.push((actor, server as u32, r));
+                }
+            }
+            for &(actor, _, replica) in &drops {
+                dir.drop_replica(actor, replica as usize);
+            }
+            for (actor, primary, replica) in drops {
+                let cell = ctx.cell(shared.topo.shard_of(primary as usize));
+                cell.world.metrics.replica_drops += 1;
+                if cell.world.trace.enabled() {
+                    cell.world.trace.record(SpanEvent::instant(
+                        actor,
+                        HopKind::ReplicaDrop,
+                        primary,
+                        u64::from(replica),
+                        now,
+                    ));
+                }
+            }
+        }
         for actor in dir.vertices_on(server) {
             dir.remove(actor);
         }

@@ -247,6 +247,18 @@ impl<T: Eq + Hash + Clone> SpaceSaving<T> {
         out
     }
 
+    /// Monitored entries whose *guaranteed* weight (`count - error`)
+    /// reaches `min_count`, in slot order (deterministic). Using the lower
+    /// bound instead of the estimate means an item only qualifies once its
+    /// own observed mass — not inherited eviction error — clears the bar,
+    /// which is the right test for irreversible decisions like splitting a
+    /// hot actor.
+    pub fn sustained_heavy_hitters(&self, min_count: u64) -> impl Iterator<Item = &SketchEntry<T>> {
+        self.slots
+            .iter()
+            .filter(move |e| e.count - e.error >= min_count)
+    }
+
     /// Multiplies every counter (and error) by `factor` in `[0, 1]`,
     /// dropping entries that reach zero. Periodic scaling makes the sketch
     /// track the recent stream — essential for rapidly changing
@@ -513,5 +525,20 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: SpaceSaving<u32> = SpaceSaving::new(0);
+    }
+
+    #[test]
+    fn sustained_heavy_hitters_use_lower_bound() {
+        let mut s = SpaceSaving::new(2);
+        s.offer("a", 100);
+        s.offer("b", 5);
+        // "c" evicts "b" and inherits its count as error: estimate 6,
+        // lower bound 1 — not a sustained hitter at threshold 50.
+        s.offer("c", 1);
+        let hot: Vec<&str> = s.sustained_heavy_hitters(50).map(|e| e.item).collect();
+        assert_eq!(hot, vec!["a"]);
+        assert_eq!(s.sustained_heavy_hitters(101).count(), 0);
+        // Threshold 0 admits every monitored entry.
+        assert_eq!(s.sustained_heavy_hitters(0).count(), 2);
     }
 }

@@ -111,12 +111,27 @@ pub enum HopKind {
     /// An SLO burn-rate alert closed (instant; lifecycle — same field
     /// conventions as [`Self::SloOpen`]).
     SloClose,
+    /// A hot actor gained a read replica (instant; lifecycle — `request`
+    /// carries the actor id, `server` the primary, `aux` the replica's
+    /// server).
+    Split,
+    /// An in-flight split aborted because an endpoint crashed (instant;
+    /// lifecycle — same field conventions as [`Self::Split`]).
+    SplitAbort,
+    /// A replica activation was dropped — demand cooled, its server
+    /// crashed, or its server came under suspicion (instant; lifecycle —
+    /// same field conventions as [`Self::Split`]).
+    ReplicaDrop,
+    /// A read-mostly request executed at a replica instead of the primary
+    /// (instant; `request` is the client request, `server` the replica,
+    /// `aux` the actor id).
+    ReplicaRead,
 }
 
 impl HopKind {
     /// Every kind, in declaration order. Checkers and exporters that build
     /// per-kind histograms iterate this instead of hand-listing variants.
-    pub const ALL: [HopKind; 22] = [
+    pub const ALL: [HopKind; 26] = [
         HopKind::GatewayAdmit,
         HopKind::Shed,
         HopKind::QueueWait,
@@ -139,6 +154,10 @@ impl HopKind {
         HopKind::MigrationAbort,
         HopKind::SloOpen,
         HopKind::SloClose,
+        HopKind::Split,
+        HopKind::SplitAbort,
+        HopKind::ReplicaDrop,
+        HopKind::ReplicaRead,
     ];
 
     /// Inverse of [`HopKind::name`], for JSONL re-import.
@@ -171,6 +190,10 @@ impl HopKind {
             HopKind::MigrationAbort => "migration-abort",
             HopKind::SloOpen => "slo-open",
             HopKind::SloClose => "slo-close",
+            HopKind::Split => "split",
+            HopKind::SplitAbort => "split-abort",
+            HopKind::ReplicaDrop => "replica-drop",
+            HopKind::ReplicaRead => "replica-read",
         }
     }
 
@@ -196,6 +219,9 @@ impl HopKind {
                 | HopKind::MigrationAbort
                 | HopKind::SloOpen
                 | HopKind::SloClose
+                | HopKind::Split
+                | HopKind::SplitAbort
+                | HopKind::ReplicaDrop
         )
     }
 }

@@ -24,6 +24,16 @@
 //!   transfer window (crashes abort in-flight migrations).
 //! * **Forward-hop bound** — a lifecycle accumulates at most
 //!   [`MAX_FORWARD_HOPS`] re-routes (the runtime cuts forwarding loops).
+//! * **Replica lifecycle discipline** — hot-actor replication keeps at
+//!   most one activation per actor per server and exactly one primary:
+//!   a split never lands a replica on the primary's server or a server
+//!   already holding one; every split of a replicated actor names the
+//!   same primary (the primary is pinned while replicas are live);
+//!   replicated actors never migrate; drops only remove live replicas;
+//!   and every replica-routed read falls inside a split → drop replica
+//!   lifetime. Replica events from different servers interleave across
+//!   shard-merged traces, so this family runs as a second, time-ordered
+//!   pass.
 //!
 //! The checker is a library first (tests call [`check_events`] on live
 //! tracers) and a CLI second (the `check_trace` binary feeds it JSONL).
@@ -157,6 +167,143 @@ struct Life {
     forwards: u32,
     /// Latest activity end seen for this lifecycle.
     last_activity: Nanos,
+}
+
+/// Replays the replica lifecycle events in time order and enforces the
+/// multi-activation discipline: one primary, one activation per server,
+/// reads only inside live replica windows.
+///
+/// Shard-merged traces concatenate per-shard streams, so cross-server
+/// replica events are not in stream order; this pass sorts by record
+/// time, breaking ties so state-opening events (splits) apply before
+/// reads and reads before state-closing events (drops).
+fn check_replica_lifecycles(events: &[SpanEvent], violations: &mut Vec<Violation>) {
+    fn phase(kind: HopKind) -> Option<u8> {
+        match kind {
+            HopKind::Split => Some(0),
+            HopKind::ReplicaRead => Some(1),
+            HopKind::ReplicaDrop => Some(2),
+            HopKind::Migration => Some(3),
+            _ => None,
+        }
+    }
+    let mut ordered: Vec<(usize, u8)> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, ev)| phase(ev.kind).map(|p| (i, p)))
+        .collect();
+    // Migrations without any split in the trace have nothing to violate.
+    if !ordered.iter().any(|&(_, p)| p == 0) {
+        return;
+    }
+    ordered.sort_by_key(|&(i, p)| (record_time(&events[i]), p, i));
+
+    // actor -> (pinned primary, live replica servers).
+    let mut live: HashMap<u64, (u32, Vec<u32>)> = HashMap::new();
+    for (i, _) in ordered {
+        let ev = &events[i];
+        match ev.kind {
+            HopKind::Split => {
+                let actor = ev.request;
+                let replica = ev.aux as u32;
+                if replica == ev.server {
+                    violations.push(Violation {
+                        index: i,
+                        request: actor,
+                        rule: "replica-on-primary",
+                        detail: format!(
+                            "split placed a replica on the primary's server {}",
+                            ev.server
+                        ),
+                    });
+                    continue;
+                }
+                match live.get_mut(&actor) {
+                    Some((primary, reps)) => {
+                        if *primary != ev.server {
+                            violations.push(Violation {
+                                index: i,
+                                request: actor,
+                                rule: "split-primary-conflict",
+                                detail: format!(
+                                    "split names primary {} but replicas are live under primary {}",
+                                    ev.server, primary
+                                ),
+                            });
+                        } else if reps.contains(&replica) {
+                            violations.push(Violation {
+                                index: i,
+                                request: actor,
+                                rule: "replica-duplicate",
+                                detail: format!("server {replica} already holds a live replica"),
+                            });
+                        } else {
+                            reps.push(replica);
+                        }
+                    }
+                    None => {
+                        live.insert(actor, (ev.server, vec![replica]));
+                    }
+                }
+            }
+            HopKind::ReplicaDrop => {
+                let actor = ev.request;
+                let replica = ev.aux as u32;
+                let emptied = match live.get_mut(&actor) {
+                    Some((_, reps)) if reps.contains(&replica) => {
+                        reps.retain(|&r| r != replica);
+                        reps.is_empty()
+                    }
+                    _ => {
+                        violations.push(Violation {
+                            index: i,
+                            request: actor,
+                            rule: "drop-without-replica",
+                            detail: format!("no live replica on server {replica}"),
+                        });
+                        false
+                    }
+                };
+                if emptied {
+                    // The actor is unsplit again: it may migrate and later
+                    // re-split under a new primary.
+                    live.remove(&actor);
+                }
+            }
+            HopKind::ReplicaRead => {
+                let actor = ev.aux;
+                let hosted = live
+                    .get(&actor)
+                    .is_some_and(|(_, reps)| reps.contains(&ev.server));
+                if !hosted {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "replica-read-outside-window",
+                        detail: format!(
+                            "read of actor {actor} at server {} with no live replica there",
+                            ev.server
+                        ),
+                    });
+                }
+            }
+            HopKind::Migration => {
+                if let Some((_, reps)) = live.get(&ev.request) {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "migration-of-replicated",
+                        detail: format!(
+                            "actor migrated with {} live replica(s); the primary is pinned \
+                             while replicas are live",
+                            reps.len()
+                        ),
+                    });
+                }
+            }
+            _ => unreachable!("phase() only admits replica lifecycle kinds"),
+        }
+    }
 }
 
 /// Checks an event stream (a `Tracer`'s spans or re-parsed JSONL, in
@@ -380,6 +527,11 @@ pub fn check_events(events: &[SpanEvent], cfg: &CheckerConfig) -> CheckReport {
             }
         }
     }
+
+    check_replica_lifecycles(events, &mut violations);
+    // The replica pass appends out of stream order; restore index order
+    // (stable, so same-event findings keep their emission order).
+    violations.sort_by_key(|v| v.index);
 
     // End of trace: open lifecycles are fine only inside the grace window
     // (genuinely in flight at the horizon).
@@ -653,6 +805,120 @@ mod tests {
         ];
         let report = check_events(&events, &CheckerConfig::default());
         assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    fn split(actor: u64, primary: u32, replica: u32, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(actor, HopKind::Split, primary, u64::from(replica), at)
+    }
+
+    fn drop_rep(actor: u64, primary: u32, replica: u32, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(actor, HopKind::ReplicaDrop, primary, u64::from(replica), at)
+    }
+
+    fn replica_read(req: u64, actor: u64, server: u32, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(req, HopKind::ReplicaRead, server, actor, at)
+    }
+
+    #[test]
+    fn replica_lifetime_with_reads_inside_is_clean() {
+        let events = vec![
+            admit(1, 0, us(10)),
+            split(42, 0, 2, us(20)),
+            replica_read(1, 42, 2, us(30)),
+            done(1, us(40)),
+            drop_rep(42, 0, 2, us(50)),
+            // Unsplit again: the actor may migrate and re-split elsewhere.
+            SpanEvent::instant(42, HopKind::Migration, 0, 3, us(60)),
+            split(42, 3, 1, us(70)),
+            drop_rep(42, 3, 1, us(80)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn replica_read_outside_window_is_flagged() {
+        let events = vec![
+            admit(1, 0, us(10)),
+            split(42, 0, 2, us(20)),
+            drop_rep(42, 0, 2, us(30)),
+            replica_read(1, 42, 2, us(40)), // After the drop: stale routing.
+            done(1, us(50)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "replica-read-outside-window");
+        assert_eq!(report.violations[0].request, 1);
+    }
+
+    #[test]
+    fn replica_pass_orders_by_time_not_stream_position() {
+        // A shard-merged trace concatenates per-shard streams: the read
+        // (shard B) can precede the split (shard A) in stream order while
+        // following it in sim time. The checker must accept this...
+        let events = vec![
+            admit(1, 2, us(5)),
+            replica_read(1, 42, 2, us(30)),
+            done(1, us(40)),
+            split(42, 0, 2, us(20)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        // ...and still flag a read whose sim time precedes every split.
+        let events = vec![
+            admit(1, 2, us(5)),
+            replica_read(1, 42, 2, us(10)),
+            done(1, us(40)),
+            split(42, 0, 2, us(20)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "replica-read-outside-window");
+    }
+
+    #[test]
+    fn double_activation_splits_are_flagged() {
+        let events = vec![
+            split(42, 0, 0, us(10)), // Replica on the primary's own server.
+            split(42, 0, 2, us(20)),
+            split(42, 0, 2, us(30)), // Same server again: duplicate.
+            split(42, 1, 3, us(40)), // Different primary while replicated.
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(
+            rules,
+            vec![
+                "replica-on-primary",
+                "replica-duplicate",
+                "split-primary-conflict"
+            ]
+        );
+    }
+
+    #[test]
+    fn drop_without_replica_is_flagged() {
+        let events = vec![
+            split(42, 0, 2, us(10)),
+            drop_rep(42, 0, 3, us(20)), // Server 3 never held a replica.
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "drop-without-replica");
+    }
+
+    #[test]
+    fn migration_of_replicated_actor_is_flagged() {
+        let events = vec![
+            split(42, 0, 2, us(10)),
+            SpanEvent::instant(42, HopKind::Migration, 0, 3, us(20)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "migration-of-replicated");
+        // With no splits anywhere, migrations pay no replica bookkeeping.
+        let lone = [SpanEvent::instant(42, HopKind::Migration, 0, 3, us(20))];
+        assert!(check_events(&lone, &CheckerConfig::default()).is_clean());
     }
 
     #[test]

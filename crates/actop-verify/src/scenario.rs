@@ -17,7 +17,9 @@ use actop_core::controllers::{
     install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
-use actop_runtime::{Cluster, DetectorConfig, RuntimeConfig, TraceConfig};
+use actop_runtime::{
+    Cluster, DetectorConfig, ReplicationConfig, RuntimeConfig, SplitThresholds, TraceConfig,
+};
 use actop_sim::{DetRng, Engine, Nanos};
 use actop_workloads::uniform::{UniformConfig, UniformWorkload};
 
@@ -54,6 +56,12 @@ pub struct Scenario {
     pub partition_ctl: bool,
     /// Thread-allocation controller on?
     pub thread_ctl: bool,
+    /// Hot-actor replication on? Scenarios run it with thresholds far
+    /// below any real deployment's so ordinary uniform actors split, and
+    /// the replica lifecycle invariants (one primary, reads only inside
+    /// split → drop windows, no migration while replicated) see real
+    /// split/read/drop traffic interleaved with faults.
+    pub replication: bool,
     /// Initial threads per SEDA stage.
     pub threads_per_stage: usize,
     /// The fault schedule, authored relative to measurement start.
@@ -79,6 +87,9 @@ impl Scenario {
             Nanos::from_secs_f64(measure_secs),
             fault_count,
         );
+        // Drawn after every pre-existing field so adding the replication
+        // dimension re-rolled nothing else for already-pinned seeds.
+        let replication = rng.chance(0.5);
         Scenario {
             seed,
             servers,
@@ -89,6 +100,7 @@ impl Scenario {
             detector,
             partition_ctl,
             thread_ctl,
+            replication,
             threads_per_stage,
             plan,
         }
@@ -99,7 +111,7 @@ impl Scenario {
     pub fn describe(&self) -> String {
         format!(
             "seed={:#x} servers={} rate={}/s actors={} warmup={}s measure={}s \
-             detector={} partition_ctl={} thread_ctl={} threads/stage={}\n{}",
+             detector={} partition_ctl={} thread_ctl={} replication={} threads/stage={}\n{}",
             self.seed,
             self.servers,
             self.request_rate,
@@ -109,6 +121,7 @@ impl Scenario {
             self.detector,
             self.partition_ctl,
             self.thread_ctl,
+            self.replication,
             self.threads_per_stage,
             self.plan.to_text()
         )
@@ -136,11 +149,12 @@ impl Scenario {
             c.plan.events.remove(i);
             out.push(c);
         }
-        for flag in 0..3 {
+        for flag in 0..4 {
             let mut c = self.clone();
             let on = match flag {
                 0 => std::mem::replace(&mut c.partition_ctl, false),
                 1 => std::mem::replace(&mut c.thread_ctl, false),
+                2 => std::mem::replace(&mut c.replication, false),
                 _ => std::mem::replace(&mut c.detector, false),
             };
             if on {
@@ -220,6 +234,22 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
     rt.request_timeout = Some(SCENARIO_TIMEOUT);
     rt.migration_transfer = Some(SCENARIO_TRANSFER);
     rt.detector = sc.detector.then(DetectorConfig::default);
+    rt.replication = sc.replication.then(|| ReplicationConfig {
+        // A 40 us split trigger (1e-5 of a 500 ms x 8-core window) sits
+        // inside the per-actor demand range the workload draws span
+        // (~1.3-72 us per window), so high-rate scenarios split broadly,
+        // low-rate ones barely — and the 0.6 drop hysteresis churns
+        // replicas against faults, which is exactly what the replica
+        // lifecycle invariants want to see.
+        thresholds: SplitThresholds {
+            capacity_fraction: 1.0e-5,
+            ..SplitThresholds::default()
+        },
+        check_interval: Nanos::from_millis(500),
+        cooldown: Nanos::from_secs(1),
+        min_load_ns: 20_000,
+        ..ReplicationConfig::default()
+    });
     rt.trace = Some(TraceConfig {
         sample_rate: 1.0, // Every request: the checker wants whole lifecycles.
         seed: sc.seed,
@@ -239,6 +269,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
         },
     );
     cluster.install_heartbeats(&mut engine, sc.duration());
+    cluster.install_replication(&mut engine, sc.duration());
     install_plan(&mut engine, &cluster, &sc.plan, sc.warmup());
     let summary = run_steady_state(&mut engine, &mut cluster, sc.warmup(), sc.measure());
 
@@ -383,6 +414,7 @@ mod tests {
             detector: false,
             partition_ctl: false,
             thread_ctl: false,
+            replication: false,
             threads_per_stage: 4,
             plan: FaultPlan::new("none"),
         };
@@ -392,5 +424,38 @@ mod tests {
         let b = run_scenario(&sc);
         assert_eq!(a.digest, b.digest, "same scenario, same trace");
         assert_eq!(a.summary.completed, b.summary.completed);
+    }
+
+    #[test]
+    fn replication_scenarios_split_and_stay_clean() {
+        // High per-actor rate so the scenario thresholds split real
+        // actors: the replica invariants must see live split / read /
+        // drop traffic, not vacuously pass on an empty event set.
+        let sc = Scenario {
+            seed: 23,
+            servers: 4,
+            request_rate: 1_000.0,
+            actors: 400,
+            warmup_secs: 1.0,
+            measure_secs: 4.0,
+            detector: false,
+            partition_ctl: false,
+            thread_ctl: false,
+            replication: true,
+            threads_per_stage: 4,
+            plan: FaultPlan::new("none"),
+        };
+        let out = run_scenario(&sc);
+        assert!(out.is_ok(), "failures: {:?}", out.failures);
+        assert!(
+            out.report.kind_count("split") > 0,
+            "no splits fired; thresholds too high for the workload"
+        );
+        assert!(
+            out.report.kind_count("replica-read") > 0,
+            "splits fired but no read was replica-routed"
+        );
+        let b = run_scenario(&sc);
+        assert_eq!(out.digest, b.digest, "replication must stay deterministic");
     }
 }

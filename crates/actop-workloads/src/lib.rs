@@ -9,6 +9,9 @@
 //! * [`uniform`] — single-actor-type request/reply services:
 //!   [`uniform::heartbeat`] (the §6.2 thread-allocation benchmark) and
 //!   [`uniform::counter`] (the §3 latency-breakdown microbenchmark).
+//! * [`scale`] — million-player skewed-traffic generators (Zipf
+//!   celebrity, flash crowd, diurnal wave, rotating hotspot) that drive
+//!   the hot-actor replication evaluation.
 //!
 //! Each workload builds two halves: an [`actop_runtime::AppLogic`]
 //! implementation handed to the cluster, and a *driver* that schedules
@@ -18,8 +21,12 @@
 
 pub mod halo;
 pub mod halo_sharded;
+pub mod scale;
 pub mod uniform;
 
 pub use halo::{HaloConfig, HaloWorkload};
 pub use halo_sharded::ShardedHaloWorkload;
+pub use scale::{
+    MemoryAudit, ScaleConfig, ScaleTraffic, ScaleWorkload, ShardedScaleWorkload, TrafficShape,
+};
 pub use uniform::{counter, heartbeat, UniformConfig, UniformWorkload};

@@ -13,8 +13,18 @@ drift between machines. Event *counts* are deterministic, so those are
 checked exactly when the baseline carries them for the same scenario
 scale (``--check-events``).
 
+``--mode rss`` gates memory instead: it reads ``peak_rss_bytes`` from
+the trailing ``{"kind":"engine",...}`` row of a ``BENCH_scale*.json``
+artifact (as written by ``bench_scale``, whose full sweep includes the
+1M-player build) and fails when the fresh peak leaves the
+floor/ceiling band around the committed baseline. The ceiling catches
+per-player memory bloat (a 1M-player slab regression dwarfs allocator
+noise); the floor catches a silently shrunken run — a population or
+sweep change that makes the "1M fits" claim vacuous.
+
 Usage:
     perf_gate.py FRESH BASELINE [--min-ratio 0.25] [--check-events]
+    perf_gate.py FRESH BASELINE --mode rss [--rss-floor 0.5] [--rss-ceiling 1.5]
 
 Stdlib only; exit code 0 = pass, 1 = regression, 2 = bad input.
 """
@@ -34,6 +44,63 @@ def first_object(path):
     raise ValueError(f"{path}: no JSON object found")
 
 
+def engine_object(path):
+    """The ``{"kind":"engine",...}`` row of a line-oriented artifact."""
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("kind") == "engine":
+                return obj
+    raise ValueError(f'{path}: no {{"kind":"engine"}} row found')
+
+
+def gate_rss(args):
+    try:
+        fresh = engine_object(args.fresh)
+        base = engine_object(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"perf gate: cannot read input: {err}", file=sys.stderr)
+        return 2
+
+    for obj, path in ((fresh, args.fresh), (base, args.baseline)):
+        if int(obj.get("peak_rss_bytes", 0)) <= 0:
+            print(f"perf gate: {path}: missing peak_rss_bytes", file=sys.stderr)
+            return 2
+    if fresh.get("smoke") != base.get("smoke"):
+        print(
+            "perf gate: smoke/full mismatch between fresh and baseline artifacts",
+            file=sys.stderr,
+        )
+        return 2
+
+    rss_fresh = int(fresh["peak_rss_bytes"])
+    rss_base = int(base["peak_rss_bytes"])
+    ratio = rss_fresh / rss_base
+    mib = 1024.0 * 1024.0
+    print(
+        f"perf gate: fresh peak RSS {rss_fresh / mib:.0f} MiB vs baseline "
+        f"{rss_base / mib:.0f} MiB (ratio {ratio:.2f}, "
+        f"band [{args.rss_floor:.2f}, {args.rss_ceiling:.2f}])"
+    )
+    if ratio > args.rss_ceiling:
+        print(
+            f"perf gate: MEMORY REGRESSION — peak RSS above {args.rss_ceiling:.2f}x baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if ratio < args.rss_floor:
+        print(
+            f"perf gate: SUSPICIOUS — peak RSS below {args.rss_floor:.2f}x baseline; "
+            "did the sweep still build the full population?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("fresh", help="freshly generated BENCH_engine*.json")
@@ -49,7 +116,28 @@ def main():
         action="store_true",
         help="also require identical events_processed (same scenario scale only)",
     )
+    ap.add_argument(
+        "--mode",
+        choices=("throughput", "rss"),
+        default="throughput",
+        help="gate events_per_sec (default) or the engine row's peak_rss_bytes",
+    )
+    ap.add_argument(
+        "--rss-floor",
+        type=float,
+        default=0.5,
+        help="rss mode: fail when fresh peak RSS < rss_floor * baseline (default 0.5)",
+    )
+    ap.add_argument(
+        "--rss-ceiling",
+        type=float,
+        default=1.5,
+        help="rss mode: fail when fresh peak RSS > rss_ceiling * baseline (default 1.5)",
+    )
     args = ap.parse_args()
+
+    if args.mode == "rss":
+        return gate_rss(args)
 
     try:
         fresh = first_object(args.fresh)
