@@ -14,8 +14,9 @@ use actop_obs::{exposition, FaultNote, ScrapeWriter};
 use actop_partition::SplitThresholds;
 use actop_runtime::sharded::install_sharded_hooks;
 use actop_runtime::{
-    build_sharded, install_replication_sharded, install_sharded_scrapers, sharded_lookahead,
-    Cluster, ObsConfig, Observability, ReplicationConfig, RuntimeConfig, TraceConfig,
+    build_sharded, install_replication_sharded, install_sharded_scrapers,
+    install_snapshots_sharded, sharded_lookahead, Cluster, ObsConfig, Observability,
+    ReplicationConfig, RuntimeConfig, SnapshotConfig, TraceConfig,
 };
 use actop_sim::{ConservativeRunner, Engine, EngineReport, Nanos};
 use actop_workloads::halo::HaloConfig;
@@ -270,6 +271,31 @@ pub fn cost_from_env() -> bool {
     std::env::var("ACTOP_COST").is_ok_and(|v| v == "1")
 }
 
+/// The env-configured snapshot subsystem: `ACTOP_SNAPSHOT=1` switches on
+/// asynchronous actor snapshots with the kernel defaults (2 s rounds,
+/// write tag 1 — Halo's `TAG_POLL`, the scale workload's `TAG_WRITE`);
+/// `ACTOP_SNAPSHOT_INTERVAL_MS=<ms>` overrides the round interval, with
+/// the capture window scaled to half of it. Unset leaves the subsystem
+/// off and every run byte-identical to a build without it.
+pub fn snapshot_config_from_env() -> Option<SnapshotConfig> {
+    if !std::env::var("ACTOP_SNAPSHOT").is_ok_and(|v| v == "1") {
+        return None;
+    }
+    let mut cfg = SnapshotConfig::default();
+    if let Ok(v) = std::env::var("ACTOP_SNAPSHOT_INTERVAL_MS") {
+        match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => {
+                cfg.interval = Nanos::from_millis(ms);
+                cfg.capture_window = Nanos::from_millis((ms / 2).max(1));
+            }
+            _ => eprintln!(
+                "warning: ACTOP_SNAPSHOT_INTERVAL_MS={v:?} is not a positive integer; using 2 s rounds"
+            ),
+        }
+    }
+    Some(cfg)
+}
+
 /// Exports a telemetry-enabled run's artifacts if `ACTOP_OBS` is set: the
 /// scrape JSONL document (header, frames, alert/fault/SLO annotations,
 /// run summary, engine line) at `<path>` and the Prometheus exposition of
@@ -401,6 +427,7 @@ fn halo_runtime(scenario: &HaloScenario) -> RuntimeConfig {
     rt.trace = trace_config_from_env(scenario.seed);
     rt.obs = obs_config_from_env();
     rt.cost_attr = cost_from_env();
+    rt.snapshot = snapshot_config_from_env();
     if !full_scale() {
         rt.series_bin_ns = 5_000_000_000; // 5 s bins for the short runs.
     }
@@ -432,6 +459,7 @@ pub fn run_halo(
     install_actop(&mut engine, scenario.servers, actop);
     cluster.install_timeline_sampler(&mut engine, scenario.duration());
     cluster.install_scraper(&mut engine, scenario.duration());
+    cluster.install_snapshots(&mut engine, scenario.duration());
     let summary = run_steady_state(&mut engine, &mut cluster, scenario.warmup, scenario.measure);
     let mut report = engine.report();
     report.attr.merge(cluster.cost_attr());
@@ -471,6 +499,7 @@ pub fn run_halo_sharded(
     workload.install(&mut runner);
     install_actop_sharded(&mut runner, scenario.servers, actop);
     install_sharded_scrapers(&mut runner, scenario.duration());
+    install_snapshots_sharded(&mut runner, scenario.duration());
 
     runner.run_until(scenario.warmup, threads);
     for cell in runner.cells_mut() {
@@ -574,6 +603,7 @@ pub fn scale_runtime(seed: u64, replication: bool) -> RuntimeConfig {
     rt.series_bin_ns = 5_000_000_000;
     rt.trace = trace_config_from_env(seed);
     rt.obs = obs_config_from_env();
+    rt.snapshot = snapshot_config_from_env();
     if replication {
         rt.replication = Some(ReplicationConfig {
             thresholds: SplitThresholds {
@@ -621,6 +651,7 @@ pub fn run_scale(
     workload.install(&mut runner);
     install_replication_sharded(&mut runner, cfg.duration);
     install_sharded_scrapers(&mut runner, cfg.duration);
+    install_snapshots_sharded(&mut runner, cfg.duration);
 
     runner.run_until(warmup, threads);
     for cell in runner.cells_mut() {
@@ -715,6 +746,9 @@ pub fn run_uniform(
         rt.obs = obs_config_from_env();
     }
     rt.cost_attr = rt.cost_attr || cost_from_env();
+    if rt.snapshot.is_none() {
+        rt.snapshot = snapshot_config_from_env();
+    }
     let cost = rt.cost_attr;
     let servers = rt.servers;
     let (app, driver) = actop_workloads::UniformWorkload::build(workload);
@@ -724,6 +758,7 @@ pub fn run_uniform(
     driver.install(&mut engine);
     cluster.install_timeline_sampler(&mut engine, warmup + measure);
     cluster.install_scraper(&mut engine, warmup + measure);
+    cluster.install_snapshots(&mut engine, warmup + measure);
     if let Some(alloc) = threads {
         engine.schedule(Nanos::ZERO, move |c: &mut Cluster, e| {
             for server in 0..c.server_count() {

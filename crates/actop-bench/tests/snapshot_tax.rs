@@ -1,0 +1,86 @@
+//! Snapshot latency tax: the acceptance bound on the snapshot subsystem's
+//! overhead. Asynchronous rounds plus per-write journaling must cost the
+//! fig10a Halo workload at most 5% of p50/p99 end-to-end latency — the
+//! "non-blocking" claim, measured rather than asserted.
+//!
+//! The comparison run is constructed directly (no `ACTOP_SNAPSHOT` env
+//! plumbing) so the test is hermetic under parallel test threads.
+
+use actop_bench::HaloScenario;
+use actop_core::controllers::install_actop;
+use actop_core::experiment::{run_steady_state, RunSummary};
+use actop_runtime::{Cluster, RuntimeConfig, SnapshotConfig};
+use actop_sim::{Engine, Nanos};
+use actop_workloads::halo::HaloConfig;
+use actop_workloads::HaloWorkload;
+
+/// A scaled-down fig10a cell: the ActOp-optimized Halo runtime (partition
+/// agent on, thread agent off — the figure's "optimized" arm).
+fn scenario() -> HaloScenario {
+    HaloScenario {
+        players: 1_000,
+        request_rate: 400.0,
+        servers: 4,
+        warmup: Nanos::from_secs(2),
+        measure: Nanos::from_secs(8),
+        seed: 110,
+        game_duration_s: Some((60.0, 90.0)),
+    }
+}
+
+/// One legacy-engine run with snapshots on or off; everything else held
+/// identical.
+fn run(snapshot: Option<SnapshotConfig>) -> (RunSummary, u64, u64) {
+    let sc = scenario();
+    let mut cfg = HaloConfig::paper_scale(sc.players, sc.request_rate, sc.duration(), sc.seed);
+    cfg.game_duration_s = sc.game_duration_s.unwrap();
+    let (app, workload) = HaloWorkload::build(cfg);
+    let mut rt = RuntimeConfig::paper_testbed(sc.seed);
+    rt.servers = sc.servers;
+    rt.snapshot = snapshot;
+    let mut cluster = Cluster::new(rt, app);
+    let mut engine: Engine<Cluster> = Engine::new();
+    workload.install(&mut engine);
+    install_actop(&mut engine, sc.servers, &sc.actop(true, false));
+    cluster.install_snapshots(&mut engine, sc.duration());
+    let summary = run_steady_state(&mut engine, &mut cluster, sc.warmup, sc.measure);
+    (
+        summary,
+        cluster.metrics.state_writes,
+        cluster.metrics.snap_captures,
+    )
+}
+
+#[test]
+fn snapshot_tax_stays_under_five_percent_on_fig10a() {
+    let (base, base_writes, _) = run(None);
+    let (snap, writes, captures) = run(Some(SnapshotConfig::default()));
+
+    // The baseline must be snapshot-free and the instrumented run must
+    // actually be doing snapshot work, or the bound is vacuous.
+    assert_eq!(base_writes, 0, "snapshot-off run journaled writes");
+    assert!(
+        writes > 0,
+        "no write-tagged traffic reached the state cells"
+    );
+    assert!(captures > 0, "no snapshot round captured state");
+    assert!(base.completed > 1_000, "completed {}", base.completed);
+
+    for (name, b, s) in [
+        ("p50", base.p50_ms, snap.p50_ms),
+        ("p99", base.p99_ms, snap.p99_ms),
+    ] {
+        assert!(
+            s <= b * 1.05,
+            "snapshot {name} tax exceeds 5%: {s:.3} ms vs baseline {b:.3} ms"
+        );
+    }
+    // Goodput must not degrade either: same load, same completions
+    // within a 1% band.
+    assert!(
+        (snap.completed as f64) >= 0.99 * base.completed as f64,
+        "snapshot run lost goodput: {} vs {}",
+        snap.completed,
+        base.completed
+    );
+}

@@ -59,5 +59,19 @@ fn apply_fault(c: &mut Cluster, engine: &mut Engine<Cluster>, fault: Fault) {
             },
         ),
         Fault::LinkClear { a, b } => c.clear_link_fault(a as usize, b as usize),
+        Fault::AssertRestored { server } => {
+            // The crash_restore audit: a no-op when snapshots are off
+            // (state_divergence returns None) or the server is down again
+            // under an overlapping fault — that fault owns the recovery.
+            if c.is_failed(server as usize) {
+                return;
+            }
+            if let Some((actor, mem, durable)) = c.state_divergence() {
+                panic!(
+                    "state not rehydrated after server {server} recovery: \
+                     actor {actor} holds version {mem}, store holds {durable}"
+                );
+            }
+        }
     }
 }

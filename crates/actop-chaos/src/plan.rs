@@ -54,6 +54,16 @@ pub enum Fault {
         /// The other endpoint.
         b: u32,
     },
+    /// Checkpoint-recovery audit point — the closing act of the
+    /// [`FaultPlan::crash_restore`] shape. At fire time the run asserts
+    /// that every live in-memory state cell agrees with the durable
+    /// snapshot store (state rehydrated, zero lost or duplicated
+    /// transitions). A no-op when snapshots are off or the audited server
+    /// is (again) down under an overlapping fault.
+    AssertRestored {
+        /// The server whose recovery is being audited.
+        server: u32,
+    },
 }
 
 /// A fault scheduled at a sim time.
@@ -100,7 +110,8 @@ impl FaultPlan {
             .map(|e| match e.fault {
                 Fault::Crash { server }
                 | Fault::Recover { server }
-                | Fault::Rate { server, .. } => server,
+                | Fault::Rate { server, .. }
+                | Fault::AssertRestored { server } => server,
                 Fault::Link { a, b, .. } | Fault::LinkClear { a, b } => a.max(b),
             })
             .max()
@@ -201,6 +212,22 @@ impl FaultPlan {
         p
     }
 
+    /// The stateful-recovery shape: `server` crashes at `crash_at`,
+    /// recovers at `recover_at`, and at `check_at` the run audits that its
+    /// state rehydrated from the durable snapshot store. The audit is what
+    /// distinguishes this from [`FaultPlan::single_crash`]: a chaos run
+    /// with snapshots enabled fails loudly if recovery served lost or
+    /// duplicated state transitions.
+    pub fn crash_restore(server: u32, crash_at: Nanos, recover_at: Nanos, check_at: Nanos) -> Self {
+        assert!(crash_at < recover_at, "recovery precedes the crash");
+        assert!(recover_at < check_at, "audit precedes the recovery");
+        let mut p = FaultPlan::new("crash-restore");
+        p.push(crash_at, Fault::Crash { server });
+        p.push(recover_at, Fault::Recover { server });
+        p.push(check_at, Fault::AssertRestored { server });
+        p
+    }
+
     /// A gray failure: the server keeps accepting messages but services
     /// them at 2% speed over `[from, until]` — alive to the network, dead
     /// to its users.
@@ -242,7 +269,8 @@ impl FaultPlan {
     }
 
     /// A seed-derived random plan over `[0, horizon]` for `servers`
-    /// servers: `count` faults, mixing short crash/recover windows, rate
+    /// servers: `count` faults, mixing short crash/recover windows,
+    /// crash-restore shapes (crash + recover + rehydration audit), rate
     /// dips, and link degradations. Every fault injected is paired with
     /// its repair inside the horizon, so the plan always heals.
     pub fn random(seed: u64, servers: u32, horizon: Nanos, count: usize) -> Self {
@@ -254,10 +282,20 @@ impl FaultPlan {
             let at = Nanos(rng.range_inclusive(0, h / 2));
             let dur = Nanos(rng.range_inclusive(1, h / 2));
             let server = rng.below(servers as usize) as u32;
-            match rng.below(3) {
+            match rng.below(4) {
                 0 => {
                     p.push(at, Fault::Crash { server });
                     p.push(at + dur, Fault::Recover { server });
+                }
+                3 => {
+                    // The crash_restore shape: heal, then audit the
+                    // rehydrated state a beat after recovery.
+                    p.push(at, Fault::Crash { server });
+                    p.push(at + dur, Fault::Recover { server });
+                    p.push(
+                        at + dur + Nanos(1 + dur.as_nanos() / 2),
+                        Fault::AssertRestored { server },
+                    );
                 }
                 1 => {
                     let factor = rng.uniform(0.02, 0.75);
@@ -354,7 +392,7 @@ impl FaultPlan {
                         });
                     }
                 }
-                Fault::Crash { .. } | Fault::Recover { .. } => {}
+                Fault::Crash { .. } | Fault::Recover { .. } | Fault::AssertRestored { .. } => {}
             }
         }
         for (s, slot) in rate_open.into_iter().enumerate() {
@@ -404,6 +442,9 @@ impl FaultPlan {
                     extra_delay.as_nanos()
                 )),
                 Fault::LinkClear { a, b } => out.push_str(&format!("{at} link-clear {a} {b}\n")),
+                Fault::AssertRestored { server } => {
+                    out.push_str(&format!("{at} assert-restored {server}\n"));
+                }
             }
         }
         out
@@ -474,6 +515,9 @@ impl FaultPlan {
                     a: next_u32(&mut parts)?,
                     b: next_u32(&mut parts)?,
                 },
+                "assert-restored" => Fault::AssertRestored {
+                    server: next_u32(&mut parts)?,
+                },
                 _ => return Err(err("unknown fault kind")),
             };
             if parts.next().is_some() {
@@ -543,6 +587,7 @@ mod tests {
     fn named_shapes_are_sorted_and_heal() {
         let plans = [
             FaultPlan::single_crash(3, ms(100), ms(400)),
+            FaultPlan::crash_restore(4, ms(100), ms(400), ms(450)),
             FaultPlan::rolling(&[0, 1, 2], ms(50), ms(200), ms(100)),
             FaultPlan::straggler(1, 0.25, ms(10), ms(500)),
             FaultPlan::gray(2, ms(10), ms(500)),
@@ -630,7 +675,7 @@ mod tests {
         fn arb_fault() -> impl Strategy<Value = Fault> {
             // The vendored proptest shim has no `prop_oneof!`; select the
             // variant by an integer discriminant instead.
-            (0u8..5, 0u32..16, 0u32..16, 0u64..10_000_000, 0.0f64..1.0).prop_map(
+            (0u8..6, 0u32..16, 0u32..16, 0u64..10_000_000, 0.0f64..1.0).prop_map(
                 |(kind, a, b, extra, p)| match kind {
                     0 => Fault::Crash { server: a },
                     1 => Fault::Recover { server: a },
@@ -644,7 +689,8 @@ mod tests {
                         extra_delay: Nanos(extra),
                         drop_prob: p,
                     },
-                    _ => Fault::LinkClear { a, b },
+                    4 => Fault::LinkClear { a, b },
+                    _ => Fault::AssertRestored { server: a },
                 },
             )
         }

@@ -13,6 +13,7 @@ use actop_metrics::TimelineSample;
 use actop_partition::{decide_split, DenseDirectory, ExchangeOutcome, SplitDecision};
 use actop_sim::{mix64, CostAttr, DetRng, Engine, Nanos, Subsystem};
 use actop_sketch::fxmap::{fx_map_with_capacity, FxHashMap};
+use actop_snapshot::{OpenRound, SnapshotConfig, SnapshotStore, StateCell};
 use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE, PROC_LABEL, QUEUE_LABEL};
 
 use crate::app::{AppLogic, Call, Outcome, Reaction};
@@ -72,6 +73,43 @@ fn link_key(a: usize, b: usize) -> (u32, u32) {
     (a.min(b) as u32, a.max(b) as u32)
 }
 
+/// Runtime state of the snapshot subsystem (`config.snapshot`).
+struct SnapState {
+    cfg: SnapshotConfig,
+    /// The durable store: per-actor write-ahead journals plus the latest
+    /// committed snapshot per actor. Its *data* survives every crash
+    /// (stable storage); only access is gated on the store server being
+    /// up.
+    store: SnapshotStore,
+    /// In-memory state cells: actor -> (hosting server, cell). A crash
+    /// drops the dead server's cells; restore rebuilds them from the
+    /// store. The host hint self-heals at the next touch, so stale hints
+    /// after a migration cost at worst a spurious (exact) restore.
+    cells: FxHashMap<u64, (u32, StateCell)>,
+    /// The open snapshot round, if any.
+    round: Option<OpenRound>,
+    /// Rounds begun so far — also the round-id source (ids start at 1).
+    rounds_started: u64,
+    /// Per-actor count of consecutive deferred restores (store down),
+    /// driving the deterministic exponential backoff.
+    defer_attempts: FxHashMap<u64, u32>,
+    /// Per-directed-link sent counters (`src * n + dst`), server-server
+    /// payload messages only — the marker-sequencing feed.
+    link_sent: Vec<u64>,
+    /// Per-directed-link delivered counters, same indexing.
+    link_recv: Vec<u64>,
+}
+
+/// What the snapshot subsystem decided about a hosted request.
+enum SnapTouch {
+    /// Serve it; the request pays this much extra CPU (journal/capture)
+    /// and blocking time (restore fetch + replay).
+    Proceed { cpu_ns: f64, blocking_ns: f64 },
+    /// The actor needs a restore but the store server is down: defer the
+    /// execute by this backoff.
+    Defer(Nanos),
+}
+
 /// The simulated cluster (the discrete-event world type).
 pub struct Cluster {
     /// Static configuration.
@@ -111,6 +149,10 @@ pub struct Cluster {
     /// Heartbeat-based failure detector (`config.detector`); `None` keeps
     /// the legacy oracle where routing consults `failed` directly.
     detector: Option<FailureDetector>,
+    /// Snapshot/restore subsystem (`config.snapshot`); `None` keeps every
+    /// snapshot hook at a single branch and draws nothing, so
+    /// snapshot-off runs stay byte-identical.
+    snap: Option<SnapState>,
     /// Installed link degradations, keyed by normalized server pair.
     link_faults: FxHashMap<(u32, u32), LinkFault>,
     /// Migrations currently in transfer (`config.migration_transfer`):
@@ -145,10 +187,24 @@ impl Cluster {
             Some(tc) => Tracer::new(config.servers, tc),
             None => Tracer::disabled(),
         };
-        let obs = config
-            .obs
-            .as_ref()
-            .map(|o| Observability::new(o, config.servers, config.series_bin_ns));
+        let obs = config.obs.as_ref().map(|o| {
+            Observability::with_snapshot(
+                o,
+                config.servers,
+                config.series_bin_ns,
+                config.snapshot.is_some(),
+            )
+        });
+        let snap = config.snapshot.map(|cfg| SnapState {
+            cfg,
+            store: SnapshotStore::new(),
+            cells: fx_map_with_capacity(0),
+            round: None,
+            rounds_started: 0,
+            defer_attempts: fx_map_with_capacity(0),
+            link_sent: vec![0; config.servers * config.servers],
+            link_recv: vec![0; config.servers * config.servers],
+        });
         Cluster {
             servers,
             directory: DenseDirectory::new(config.servers),
@@ -169,9 +225,10 @@ impl Cluster {
             rng_fault: DetRng::stream(config.seed, 0x05),
             rng_hb: DetRng::stream(config.seed, 0x06),
             failed: vec![false; config.servers],
-            detector: config
-                .detector
-                .map(|d| FailureDetector::new(config.servers, d.suspect_after, Nanos::ZERO)),
+            detector: config.detector.map(|d| {
+                FailureDetector::with_rt(config.servers, d.suspect_after, Nanos::ZERO, d.rt)
+            }),
+            snap,
             link_faults: fx_map_with_capacity(0),
             migrations_in_flight: fx_map_with_capacity(0),
             splits_in_flight: fx_map_with_capacity(0),
@@ -518,7 +575,8 @@ impl Cluster {
                 msg.request,
             ),
             StageItem::Execute(msg) => {
-                let mut hosted = self.directory.server_of(msg.to.0) == Some(server);
+                let primary = self.directory.server_of(msg.to.0) == Some(server);
+                let mut hosted = primary;
                 if !hosted
                     && self.config.replication.is_some()
                     && self.directory.replica_hosted(msg.to.0, server)
@@ -569,6 +627,28 @@ impl Cluster {
                 };
                 match msg.kind {
                     MsgKind::Request { .. } => {
+                        // Snapshot hook: restore-or-defer dead state, then
+                        // capture + journal writes — before the handler
+                        // runs (and before any RNG draw, so a deferred
+                        // execute replays identically).
+                        let (snap_cpu, snap_wait) = if self.snap.is_some() && primary {
+                            match self.snapshot_touch(now, server, msg.to.0, msg.tag) {
+                                SnapTouch::Proceed {
+                                    cpu_ns,
+                                    blocking_ns,
+                                } => (cpu_ns, blocking_ns),
+                                SnapTouch::Defer(backoff) => {
+                                    return (
+                                        self.config.costs.dispatch_fixed_ns,
+                                        0.0,
+                                        PostAction::SnapshotDefer { msg, backoff },
+                                        msg.request,
+                                    );
+                                }
+                            }
+                        } else {
+                            (0.0, 0.0)
+                        };
                         let reaction = self.app.on_request(msg.to, msg.tag, &mut self.rng_app);
                         if self.config.replication.is_some() {
                             // Feed the split detector: service demand per
@@ -578,8 +658,8 @@ impl Cluster {
                                 .offer(msg.to, reaction.cpu_ns as u64);
                         }
                         (
-                            reaction.cpu_ns + local_copy,
-                            reaction.blocking_ns,
+                            reaction.cpu_ns + local_copy + snap_cpu,
+                            reaction.blocking_ns + snap_wait,
                             PostAction::ApplyRequest { msg, reaction },
                             msg.request,
                         )
@@ -737,6 +817,9 @@ impl Cluster {
                     c.complete_request(e.now(), request);
                 });
             }
+            PostAction::SnapshotDefer { msg, backoff } => {
+                self.snapshot_defer(engine, server, msg, backoff);
+            }
         }
         self.pump(engine, server);
     }
@@ -786,7 +869,28 @@ impl Cluster {
                 t_end: now + delay,
             });
         }
-        engine.schedule_after(delay, move |c: &mut Cluster, e| c.wire_arrive(e, dst, msg));
+        if let Some(snap) = self.snap.as_mut() {
+            let n = self.servers.len();
+            snap.link_sent[src * n + dst] += 1;
+        }
+        engine.schedule_after(delay, move |c: &mut Cluster, e| {
+            if let Some(snap) = c.snap.as_mut() {
+                // Delivered (not processed): on-the-wire accounting only,
+                // so queue losses in a crash never skew the counters.
+                let n = c.servers.len();
+                snap.link_recv[src * n + dst] += 1;
+            }
+            if !c.failed[dst] && matches!(msg.kind, MsgKind::Response { .. }) {
+                // Service-time suspicion feed: a response delivery is an
+                // observed ack of the call issued at `msg.issued_at`.
+                // Inert (no state, no draws) unless `detector.rt` is set.
+                let rt = e.now().saturating_sub(msg.issued_at).as_nanos();
+                if let Some(d) = c.detector.as_mut() {
+                    d.note_service_ack(dst, src, rt);
+                }
+            }
+            c.wire_arrive(e, dst, msg);
+        });
     }
 
     /// Applies a request handler's decision.
@@ -1523,6 +1627,14 @@ impl Cluster {
         self.directory.remove(actor.0);
         self.servers[from].cache_location(actor, to);
         self.servers[to].cache_location(actor, to);
+        if let Some(snap) = self.snap.as_mut() {
+            // The state cell travels with the activation (the transfer
+            // window already modeled the copy); the hint self-heals at
+            // the next touch if re-activation lands elsewhere.
+            if let Some(entry) = snap.cells.get_mut(&actor.0) {
+                entry.0 = to as u32;
+            }
+        }
         self.servers[from]
             .edge_sketch
             .retain(|&(local, _)| local != actor);
@@ -1879,6 +1991,357 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Asynchronous snapshots & stateful recovery.
+    // ------------------------------------------------------------------
+
+    /// Installs the periodic snapshot coordinator: every
+    /// [`SnapshotConfig::interval`] the store server begins an
+    /// asynchronous marker round over the live cluster, and
+    /// `capture_window` later the round sweeps the untouched remainder
+    /// and commits. A no-op without `config.snapshot`; the horizon keeps
+    /// the event queue drainable. Rounds are skipped (never queued) while
+    /// the store server is down, so the loop survives chaos and resumes
+    /// by itself on recovery.
+    pub fn install_snapshots(&self, engine: &mut Engine<Cluster>, horizon: Nanos) {
+        let Some(snap) = &self.snap else {
+            return;
+        };
+        schedule_snapshot_round(engine, snap.cfg.interval, horizon);
+    }
+
+    /// Begins one snapshot round: the store server (the coordinator)
+    /// marks itself, markers ride to every live peer, and the sweep that
+    /// commits the round is scheduled `capture_window` out. Skipped while
+    /// a round is still open or the store server is down.
+    fn snapshot_begin(&mut self, engine: &mut Engine<Cluster>) {
+        let now = engine.now();
+        let n = self.servers.len();
+        let snap = self.snap.as_mut().expect("guarded by install");
+        let cfg = snap.cfg;
+        let coord = cfg.store_server as usize;
+        if snap.round.is_some() || self.failed[coord] {
+            self.metrics.snap_rounds_skipped += 1;
+            return;
+        }
+        snap.rounds_started += 1;
+        let id = snap.rounds_started;
+        let mut round = OpenRound::new(id, now, n);
+        round.mark(coord, &snap.link_sent, &snap.link_recv);
+        snap.round = Some(round);
+        self.metrics.snap_rounds_started += 1;
+        if self.trace.enabled() {
+            // Lifecycle events: `request` carries the round id.
+            self.record_span(SpanEvent::instant(
+                id,
+                HopKind::SnapBegin,
+                coord as u32,
+                0,
+                now,
+            ));
+            self.record_span(SpanEvent::instant(
+                id,
+                HopKind::SnapMarker,
+                coord as u32,
+                0,
+                now,
+            ));
+        }
+        // Markers ride the mean network delay: the snapshot machinery
+        // must not draw from the shared RNG streams, or enabling it
+        // would perturb snapshot-off-identical workload behavior.
+        let marker_delay = self.config.costs.network.mean_delay(0);
+        for peer in 0..n {
+            if peer == coord || self.failed[peer] {
+                continue;
+            }
+            engine.schedule_after(marker_delay, move |c: &mut Cluster, e| {
+                c.snapshot_marker(e.now(), id, peer);
+            });
+        }
+        engine.schedule_after(cfg.capture_window, move |c: &mut Cluster, e| {
+            c.snapshot_sweep(e.now(), id);
+        });
+    }
+
+    /// A snapshot marker reaches `server`: it snapshots its per-link
+    /// send/receive counters (the round's in-flight accounting) and joins
+    /// the cut. Late markers — the round aborted in the meantime — are
+    /// ignored, as are markers to a server that crashed in flight.
+    fn snapshot_marker(&mut self, now: Nanos, round_id: u64, server: usize) {
+        if self.failed[server] {
+            return; // Crashed since the marker was sent; the round aborts.
+        }
+        let Some(snap) = self.snap.as_mut() else {
+            return;
+        };
+        let Some(round) = snap.round.as_mut() else {
+            return;
+        };
+        if round.id != round_id || !round.mark(server, &snap.link_sent, &snap.link_recv) {
+            return;
+        }
+        if self.trace.enabled() {
+            self.record_span(SpanEvent::instant(
+                round_id,
+                HopKind::SnapMarker,
+                server as u32,
+                0,
+                now,
+            ));
+        }
+    }
+
+    /// The capture window of round `round_id` elapsed: capture every
+    /// still-untouched state cell at its current value, commit the round
+    /// to the durable store (truncating the journals it covers), and
+    /// account the round. A no-op when a crash aborted the round.
+    fn snapshot_sweep(&mut self, now: Nanos, round_id: u64) {
+        let (swept, captures, in_flight, begun_at, cfg) = {
+            let snap = self
+                .snap
+                .as_mut()
+                .expect("sweep only scheduled with snapshots");
+            let cfg = snap.cfg;
+            if snap.round.as_ref().map(|r| r.id) != Some(round_id) {
+                return; // Aborted by a crash.
+            }
+            let mut round = snap.round.take().expect("checked above");
+            // Sweep stragglers in actor order so the capture trace is
+            // deterministic regardless of map iteration order.
+            let mut remaining: Vec<u64> = snap.cells.keys().copied().collect();
+            remaining.sort_unstable();
+            let mut swept: Vec<(u64, u32, u64)> = Vec::new();
+            for actor in remaining {
+                let (host, cell) = snap.cells[&actor];
+                if cell.version == 0 {
+                    continue; // Never written: nothing to snapshot.
+                }
+                if round.capture(actor, cell.version, cell.value, cfg.state_bytes) {
+                    swept.push((actor, host, cell.version));
+                }
+            }
+            let captures = round.sorted_captures();
+            snap.store.commit(round_id, &captures);
+            (swept, captures, round.in_flight(), round.begun_at, cfg)
+        };
+        self.metrics.snap_rounds_completed += 1;
+        self.metrics.snap_captures += swept.len() as u64;
+        self.metrics.snap_bytes += swept.len() as u64 * cfg.state_bytes;
+        self.metrics.snap_inflight += in_flight;
+        let duration = now.saturating_sub(begun_at);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.observe_snap_round(duration.as_nanos());
+        }
+        if self.trace.enabled() {
+            for (actor, host, version) in swept {
+                // Lifecycle event: `request` carries the actor id, `aux`
+                // packs (round, captured version).
+                self.record_span(SpanEvent::instant(
+                    actor,
+                    HopKind::SnapCapture,
+                    host,
+                    (round_id << 40) | version,
+                    now,
+                ));
+            }
+            self.record_span(SpanEvent::instant(
+                round_id,
+                HopKind::SnapComplete,
+                cfg.store_server,
+                captures.len() as u64,
+                now,
+            ));
+        }
+    }
+
+    /// The snapshot subsystem's pre-handler hook for a request hosted at
+    /// `server`: rehydrates the actor's state cell from the durable store
+    /// if the in-memory copy died with a crash (deferring with backoff
+    /// while the store server is down), lazily captures the pre-write
+    /// state into an open round, and applies write-tagged requests to the
+    /// versioned cell, journaling each transition. Draws no RNG.
+    fn snapshot_touch(&mut self, now: Nanos, server: usize, actor: u64, tag: u32) -> SnapTouch {
+        let store_down = {
+            let snap = self.snap.as_ref().expect("guarded by caller");
+            self.failed[snap.cfg.store_server as usize]
+        };
+        let snap = self.snap.as_mut().expect("guarded by caller");
+        let cfg = snap.cfg;
+        let mut cpu_ns = 0.0;
+        let mut blocking_ns = 0.0;
+        let mut restore_ev = None;
+        let mut capture_ev = None;
+        let mut write_ev = None;
+        let mut replayed = 0u64;
+        if let Some(entry) = snap.cells.get_mut(&actor) {
+            // In-memory state exists; self-heal the host hint (it can be
+            // stale after a migration whose re-activation landed off the
+            // intended destination).
+            entry.0 = server as u32;
+        } else if let Some(plan) = snap.store.restore(actor) {
+            // The in-memory cell died with a crash: rehydrate from the
+            // last complete snapshot plus the journal tail — unless the
+            // store server is down, in which case the execute defers.
+            if store_down {
+                let attempts = snap.defer_attempts.entry(actor).or_insert(0);
+                *attempts = attempts.saturating_add(1);
+                let backoff = cfg.defer_backoff(*attempts);
+                self.metrics.restores_deferred += 1;
+                return SnapTouch::Defer(backoff);
+            }
+            snap.defer_attempts.remove(&actor);
+            snap.cells.insert(
+                actor,
+                (
+                    server as u32,
+                    StateCell {
+                        version: plan.version,
+                        value: plan.value,
+                    },
+                ),
+            );
+            replayed = plan.replayed;
+            blocking_ns +=
+                cfg.restore_base_ns as f64 + cfg.restore_per_entry_ns as f64 * plan.replayed as f64;
+            restore_ev = Some((plan.round, plan.version));
+        }
+        if cfg.is_write(u64::from(tag)) {
+            let entry = snap
+                .cells
+                .entry(actor)
+                .or_insert((server as u32, StateCell::default()));
+            // Lazy capture: the first post-marker write at a marked
+            // server snapshots the pre-write state, making the round a
+            // consistent cut without ever stalling the actor.
+            if let Some(round) = snap.round.as_mut() {
+                if round.marked[server]
+                    && entry.1.version > 0
+                    && round.capture(actor, entry.1.version, entry.1.value, cfg.state_bytes)
+                {
+                    capture_ev = Some((round.id, entry.1.version));
+                    cpu_ns += cfg.capture_cpu_ns;
+                }
+            }
+            let version = entry.1.apply_write(actor);
+            let value = entry.1.value;
+            snap.store.append(actor, version, value);
+            cpu_ns += cfg.journal_cpu_ns;
+            write_ev = Some(version);
+        }
+        if restore_ev.is_some() {
+            self.metrics.restores += 1;
+            self.metrics.restore_replayed += replayed;
+        }
+        if capture_ev.is_some() {
+            self.metrics.snap_captures += 1;
+            self.metrics.snap_bytes += cfg.state_bytes;
+        }
+        if write_ev.is_some() {
+            self.metrics.state_writes += 1;
+        }
+        if self.trace.enabled() {
+            // Lifecycle events in causal order: restore before capture
+            // before the write itself, all at the touch timestamp.
+            if let Some((round, version)) = restore_ev {
+                self.record_span(SpanEvent::instant(
+                    actor,
+                    HopKind::Restore,
+                    server as u32,
+                    (round << 40) | version,
+                    now,
+                ));
+            }
+            if let Some((round, version)) = capture_ev {
+                self.record_span(SpanEvent::instant(
+                    actor,
+                    HopKind::SnapCapture,
+                    server as u32,
+                    (round << 40) | version,
+                    now,
+                ));
+            }
+            if let Some(version) = write_ev {
+                self.record_span(SpanEvent::instant(
+                    actor,
+                    HopKind::StateWrite,
+                    server as u32,
+                    version,
+                    now,
+                ));
+            }
+        }
+        SnapTouch::Proceed {
+            cpu_ns,
+            blocking_ns,
+        }
+    }
+
+    /// Re-runs a hosted execute whose restore found the store server
+    /// down: after the deterministic backoff the message re-enters this
+    /// server's worker stage — or the failover retry path, if the server
+    /// crashed while waiting.
+    #[cold]
+    fn snapshot_defer(
+        &mut self,
+        engine: &mut Engine<Cluster>,
+        server: usize,
+        msg: Message,
+        backoff: Nanos,
+    ) {
+        engine.schedule_after(backoff, move |c: &mut Cluster, e| {
+            if c.requests.get(msg.request.0).is_none() {
+                c.metrics.zombie_branches += 1;
+                return;
+            }
+            if c.failed[server] {
+                c.schedule_retry(e, msg, server);
+                return;
+            }
+            c.enqueue(
+                e,
+                server,
+                StageKind::Worker.index(),
+                StageItem::Execute(msg),
+            );
+        });
+    }
+
+    /// Read-only view of the durable snapshot store (`None` without
+    /// `config.snapshot`) — what verification harnesses inspect.
+    pub fn snapshot_store(&self) -> Option<&SnapshotStore> {
+        self.snap.as_ref().map(|s| &s.store)
+    }
+
+    /// The in-memory state cell of `actor`, if the snapshot subsystem is
+    /// on and the actor currently has one.
+    pub fn state_cell(&self, actor: u64) -> Option<StateCell> {
+        self.snap
+            .as_ref()
+            .and_then(|s| s.cells.get(&actor).map(|&(_, cell)| cell))
+    }
+
+    /// The lowest-numbered actor whose in-memory state cell disagrees with
+    /// its durable image, as `(actor, memory version, durable version)` —
+    /// `None` when every live cell matches the store, or snapshots are
+    /// off. The store is ground truth under crash recovery (the journal is
+    /// appended in the same touch that bumps the cell), so any divergence
+    /// means a restore served lost or duplicated transitions. This is the
+    /// check behind the chaos `crash_restore` audit fault.
+    pub fn state_divergence(&self) -> Option<(u64, u64, u64)> {
+        let snap = self.snap.as_ref()?;
+        let mut actors: Vec<u64> = snap.cells.keys().copied().collect();
+        actors.sort_unstable();
+        for actor in actors {
+            let (_, cell) = snap.cells[&actor];
+            let durable = snap.store.restore(actor).map_or(0, |p| p.version);
+            if cell.version != durable {
+                return Some((actor, cell.version, durable));
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
     // Telemetry (metric scrapes, SLO alerting, cost attribution).
     // ------------------------------------------------------------------
 
@@ -2178,6 +2641,41 @@ impl Cluster {
                 }
             }
         }
+        // Snapshot subsystem: any crash aborts the open round — the dead
+        // server was part of the cut, so the round can never commit as a
+        // consistent one — and the dead server's in-memory state cells
+        // die with it. Their durable journals and snapshots survive in
+        // the store; restore replays them at the next touch.
+        if self.snap.is_some() {
+            let aborted = {
+                let snap = self.snap.as_mut().expect("checked above");
+                let mut dead: Vec<u64> = snap
+                    .cells
+                    .iter()
+                    .filter(|&(_, &(host, _))| host as usize == server)
+                    .map(|(&actor, _)| actor)
+                    .collect();
+                dead.sort_unstable(); // Deterministic drop order.
+                for actor in dead {
+                    snap.cells.remove(&actor);
+                }
+                snap.round.take().map(|r| r.id)
+            };
+            if let Some(id) = aborted {
+                self.metrics.snap_rounds_aborted += 1;
+                if self.trace.enabled() {
+                    // Lifecycle event: `request` carries the round id,
+                    // `server` the crash that killed it.
+                    self.record_span(SpanEvent::instant(
+                        id,
+                        HopKind::SnapAbort,
+                        server as u32,
+                        0,
+                        at,
+                    ));
+                }
+            }
+        }
         // With the legacy oracle the whole cluster learns of the crash
         // instantly: drop every activation the server hosted. (No location
         // hints: the server crashed, it had no chance to leave forwarding
@@ -2284,6 +2782,26 @@ fn schedule_replication_tick(
     engine.schedule_after(delay, move |c: &mut Cluster, e| {
         c.replication_tick(e, server, &rep, &mut cooldowns);
         schedule_replication_tick(e, server, rep, cooldowns, rep.check_interval, horizon);
+    });
+}
+
+/// Schedules the next snapshot round `delay` from now and, when it fires,
+/// the one after — the same self-rescheduling, horizon-bounded shape as
+/// the heartbeat loop. The loop outlives crashes (a round is simply
+/// skipped while the store server is down), so rounds resume on recovery.
+fn schedule_snapshot_round(engine: &mut Engine<Cluster>, delay: Nanos, horizon: Nanos) {
+    if engine.now() + delay > horizon {
+        return;
+    }
+    engine.schedule_after(delay, move |c: &mut Cluster, e| {
+        c.snapshot_begin(e);
+        let interval = c
+            .snap
+            .as_ref()
+            .expect("loop only installed with snapshots")
+            .cfg
+            .interval;
+        schedule_snapshot_round(e, interval, horizon);
     });
 }
 

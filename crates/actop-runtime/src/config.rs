@@ -3,6 +3,7 @@
 use actop_obs::{SloKind, SloSpec};
 use actop_partition::SplitThresholds;
 use actop_sim::{CostModel, Nanos};
+use actop_snapshot::SnapshotConfig;
 use actop_trace::TraceConfig;
 
 use crate::detector::DetectorConfig;
@@ -206,6 +207,16 @@ pub struct RuntimeConfig {
     /// [`Cluster::install_replication`](crate::Cluster::install_replication)
     /// (or the sharded equivalent) to drive detection ticks.
     pub replication: Option<ReplicationConfig>,
+    /// Optional asynchronous actor snapshots + stateful crash recovery.
+    /// `None` (the default) gives actors no durable state and keeps every
+    /// snapshot hook at a single branch, so golden-fingerprint tests are
+    /// unaffected. `Some` gives each touched actor a versioned state cell
+    /// mutated by write-tagged requests, journals every write durably,
+    /// runs coordinator-initiated non-blocking snapshot rounds, and
+    /// rehydrates re-placed actors after a crash. Pair with
+    /// [`Cluster::install_snapshots`](crate::Cluster::install_snapshots)
+    /// (or the sharded equivalent) to drive rounds on sim time.
+    pub snapshot: Option<SnapshotConfig>,
     /// Opt-in coarse cost attribution: exact per-subsystem op counts plus
     /// sampled wall time for routing, sketch, detector, tracer and scrape
     /// work (heap costs live on the engine). Off by default — wall
@@ -238,6 +249,7 @@ impl RuntimeConfig {
             migration_transfer: None,
             obs: None,
             replication: None,
+            snapshot: None,
             cost_attr: false,
         }
     }
@@ -277,6 +289,15 @@ impl RuntimeConfig {
                 r.cooldown >= r.check_interval,
                 "a cooldown shorter than one window cannot damp churn"
             );
+        }
+        if let Some(s) = self.snapshot {
+            s.validate(self.servers);
+            if let Some(r) = self.replication {
+                assert!(
+                    s.write_tags & r.read_tags == 0,
+                    "a tag cannot be both a snapshot write and a replication read"
+                );
+            }
         }
         if let Some(d) = self.detector {
             assert!(

@@ -35,6 +35,12 @@ pub struct DetectorConfig {
     /// CPU slowdown, so stragglers and gray-failing servers heartbeat
     /// late — the mechanism behind false suspicion.
     pub heartbeat_process_ns: f64,
+    /// Optional response-time suspicion channel for gray failures:
+    /// servers whose heartbeats stay timely while their *service* grinds
+    /// (GC storms, saturated CPUs) are invisible to the silence detector.
+    /// `None` (the default) disables the channel and keeps the detector
+    /// byte-identical to the silence-only detector.
+    pub rt: Option<RtSuspicionConfig>,
 }
 
 impl Default for DetectorConfig {
@@ -44,6 +50,38 @@ impl Default for DetectorConfig {
             suspect_after: Nanos::from_millis(50),
             heartbeat_bytes: 64,
             heartbeat_process_ns: 20_000.0,
+            rt: None,
+        }
+    }
+}
+
+/// Response-time suspicion tuning: each observer keeps an EWMA of the
+/// round-trip times of service acks it receives from each peer; an ack
+/// slower than `factor ×` the expectation (with a floor against cold
+/// starts) flags the peer as *anomalous*, which ORs into suspicion. A
+/// subsequent timely ack clears the flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtSuspicionConfig {
+    /// EWMA smoothing weight for each new sample.
+    pub alpha: f64,
+    /// An ack slower than `factor × EWMA` is anomalous.
+    pub factor: f64,
+    /// Never flag acks faster than this, regardless of the EWMA — guards
+    /// against hair-trigger suspicion while the expectation is still
+    /// microsecond-scale.
+    pub floor_ns: u64,
+    /// Samples an observer must fold in per peer before the channel can
+    /// flag — a cold EWMA is not an expectation.
+    pub min_samples: u32,
+}
+
+impl Default for RtSuspicionConfig {
+    fn default() -> Self {
+        RtSuspicionConfig {
+            alpha: 0.1,
+            factor: 8.0,
+            floor_ns: 20_000_000,
+            min_samples: 16,
         }
     }
 }
@@ -67,17 +105,41 @@ pub struct FailureDetector {
     /// `[observer * n + peer]`: cached suspicion state, updated on
     /// `check`/`heard` so transitions are reported exactly once.
     suspected: Vec<bool>,
+    /// Response-time channel, when configured. Disabled, the anomaly
+    /// vector stays all-false and every path below reduces to the
+    /// silence-only detector.
+    rt: Option<RtSuspicionConfig>,
+    /// `[observer * n + peer]`: EWMA of service-ack round-trip time.
+    rt_ewma: Vec<f64>,
+    /// `[observer * n + peer]`: samples folded into the EWMA.
+    rt_samples: Vec<u32>,
+    /// `[observer * n + peer]`: latest ack was anomalously slow.
+    rt_anomaly: Vec<bool>,
 }
 
 impl FailureDetector {
     /// Creates a detector for `n` servers. Every pair starts with a full
     /// grace period from `now` (boot counts as having just heard).
     pub fn new(n: usize, suspect_after: Nanos, now: Nanos) -> Self {
+        Self::with_rt(n, suspect_after, now, None)
+    }
+
+    /// Creates a detector with the optional response-time channel.
+    pub fn with_rt(
+        n: usize,
+        suspect_after: Nanos,
+        now: Nanos,
+        rt: Option<RtSuspicionConfig>,
+    ) -> Self {
         FailureDetector {
             n,
             suspect_after,
             last_heard: vec![now; n * n],
             suspected: vec![false; n * n],
+            rt,
+            rt_ewma: vec![0.0; n * n],
+            rt_samples: vec![0; n * n],
+            rt_anomaly: vec![false; n * n],
         }
     }
 
@@ -87,16 +149,41 @@ impl FailureDetector {
     }
 
     /// Records a heartbeat from `peer` heard at `observer`. Returns
-    /// [`Transition::Cleared`] when this un-suspects the peer.
+    /// [`Transition::Cleared`] when this un-suspects the peer. A timely
+    /// heartbeat does *not* clear a response-time anomaly — heartbeating
+    /// on schedule while service grinds is exactly the gray-failure shape
+    /// the channel exists to catch.
     pub fn heard(&mut self, observer: usize, peer: usize, now: Nanos) -> Option<Transition> {
         let i = self.idx(observer, peer);
         self.last_heard[i] = self.last_heard[i].max(now);
-        if self.suspected[i] {
+        if self.suspected[i] && !self.rt_anomaly[i] {
             self.suspected[i] = false;
             Some(Transition::Cleared)
         } else {
             None
         }
+    }
+
+    /// Folds one observed service-ack round-trip time into `observer`'s
+    /// expectation of `peer`, flagging (or clearing) a response-time
+    /// anomaly. A no-op when the channel is not configured. The caller
+    /// picks up any resulting suspicion transition at the next `check`.
+    pub fn note_service_ack(&mut self, observer: usize, peer: usize, rt_ns: u64) {
+        let Some(cfg) = self.rt else { return };
+        if observer == peer {
+            return;
+        }
+        let i = self.idx(observer, peer);
+        let expectation = (self.rt_ewma[i] * cfg.factor).max(cfg.floor_ns as f64);
+        if self.rt_samples[i] >= cfg.min_samples {
+            self.rt_anomaly[i] = rt_ns as f64 > expectation;
+        }
+        if self.rt_samples[i] == 0 {
+            self.rt_ewma[i] = rt_ns as f64;
+        } else {
+            self.rt_ewma[i] += cfg.alpha * (rt_ns as f64 - self.rt_ewma[i]);
+        }
+        self.rt_samples[i] = self.rt_samples[i].saturating_add(1);
     }
 
     /// Whether `observer` suspects `peer` at `now`, updating the cached
@@ -113,13 +200,14 @@ impl FailureDetector {
         }
         let i = self.idx(observer, peer);
         let silent = now.saturating_sub(self.last_heard[i]) > self.suspect_after;
-        let transition = match (self.suspected[i], silent) {
+        let suspect = silent || self.rt_anomaly[i];
+        let transition = match (self.suspected[i], suspect) {
             (false, true) => Some(Transition::Suspected),
             (true, false) => Some(Transition::Cleared),
             _ => None,
         };
-        self.suspected[i] = silent;
-        (silent, transition)
+        self.suspected[i] = suspect;
+        (suspect, transition)
     }
 
     /// Read-only suspicion probe (no transition bookkeeping) — for
@@ -129,17 +217,22 @@ impl FailureDetector {
         if observer == peer {
             return false;
         }
-        now.saturating_sub(self.last_heard[self.idx(observer, peer)]) > self.suspect_after
+        let i = self.idx(observer, peer);
+        now.saturating_sub(self.last_heard[i]) > self.suspect_after || self.rt_anomaly[i]
     }
 
     /// Resets an observer's rows after it recovers from a crash: a fresh
     /// process trusts every peer for one grace period instead of mass-
-    /// suspecting the cluster the instant it boots.
+    /// suspecting the cluster the instant it boots. Response-time
+    /// expectations reset too — the reborn process has no history.
     pub fn reset_observer(&mut self, observer: usize, now: Nanos) {
         for peer in 0..self.n {
             let i = self.idx(observer, peer);
             self.last_heard[i] = now;
             self.suspected[i] = false;
+            self.rt_ewma[i] = 0.0;
+            self.rt_samples[i] = 0;
+            self.rt_anomaly[i] = false;
         }
     }
 }
@@ -213,5 +306,77 @@ mod tests {
         d.heard(0, 1, ms(40)); // Reordered delivery must not rewind.
         assert!(!d.would_suspect(0, 1, ms(120)));
         assert!(d.would_suspect(0, 1, ms(151)));
+    }
+
+    fn rt_cfg() -> RtSuspicionConfig {
+        RtSuspicionConfig {
+            alpha: 0.1,
+            factor: 8.0,
+            floor_ns: 1_000_000, // 1 ms floor for the tests.
+            min_samples: 4,
+        }
+    }
+
+    #[test]
+    fn gray_server_becomes_suspect_via_slow_acks() {
+        let mut d = FailureDetector::with_rt(2, ms(50), Nanos::ZERO, Some(rt_cfg()));
+        // Healthy expectation: ~100 us acks.
+        for _ in 0..10 {
+            d.note_service_ack(0, 1, 100_000);
+        }
+        assert!(!d.would_suspect(0, 1, ms(10)), "timely acks: trusted");
+        // Gray failure: heartbeats stay timely but service grinds.
+        d.heard(0, 1, ms(10));
+        d.note_service_ack(0, 1, 200_000_000); // A 200 ms ack.
+        let (suspect, transition) = d.check(0, 1, ms(11));
+        assert!(suspect, "slow ack flags the peer despite fresh heartbeats");
+        assert_eq!(transition, Some(Transition::Suspected));
+        // A timely heartbeat alone cannot clear an rt anomaly.
+        assert_eq!(d.heard(0, 1, ms(12)), None);
+        assert!(d.would_suspect(0, 1, ms(12)));
+        // A fast ack clears it; the next check reports the transition.
+        d.note_service_ack(0, 1, 100_000);
+        assert_eq!(d.check(0, 1, ms(13)), (false, Some(Transition::Cleared)));
+    }
+
+    #[test]
+    fn rt_channel_needs_warm_expectation() {
+        let mut d = FailureDetector::with_rt(2, ms(50), Nanos::ZERO, Some(rt_cfg()));
+        // First samples are slow, but the EWMA is cold: no flag.
+        d.note_service_ack(0, 1, 500_000_000);
+        d.note_service_ack(0, 1, 500_000_000);
+        assert!(!d.would_suspect(0, 1, ms(1)), "below min_samples: no flag");
+        // Once warm on slow acks, equally slow acks match expectation.
+        for _ in 0..6 {
+            d.note_service_ack(0, 1, 500_000_000);
+        }
+        assert!(!d.would_suspect(0, 1, ms(1)), "consistent latency: no flag");
+    }
+
+    #[test]
+    fn rt_channel_disabled_is_inert() {
+        let mut d = FailureDetector::new(2, ms(50), Nanos::ZERO);
+        for _ in 0..20 {
+            d.note_service_ack(0, 1, 500_000_000);
+        }
+        assert!(!d.would_suspect(0, 1, ms(1)));
+        assert_eq!(d.check(0, 1, ms(1)), (false, None));
+    }
+
+    #[test]
+    fn reset_observer_clears_rt_state() {
+        let mut d = FailureDetector::with_rt(2, ms(50), Nanos::ZERO, Some(rt_cfg()));
+        for _ in 0..10 {
+            d.note_service_ack(0, 1, 100_000);
+        }
+        d.note_service_ack(0, 1, 200_000_000);
+        assert!(d.would_suspect(0, 1, ms(1)));
+        d.reset_observer(0, ms(1));
+        assert!(
+            !d.would_suspect(0, 1, ms(2)),
+            "reborn observer has no history"
+        );
+        d.note_service_ack(0, 1, 200_000_000);
+        assert!(!d.would_suspect(0, 1, ms(3)), "expectation is cold again");
     }
 }

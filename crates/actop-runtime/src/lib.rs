@@ -44,16 +44,18 @@ pub mod sharded;
 pub mod table;
 
 pub use actop_partition::SplitThresholds;
+pub use actop_snapshot::{SnapshotConfig, SnapshotStore, StateCell};
 pub use actop_trace::{TraceConfig, Tracer};
 pub use app::{AppLogic, Call, Outcome, Reaction};
 pub use cluster::{Cluster, LinkFault, MAX_FORWARD_HOPS};
 pub use config::{ObsConfig, ReplicationConfig, RetryPolicy, RuntimeConfig};
-pub use detector::{DetectorConfig, FailureDetector, Transition};
+pub use detector::{DetectorConfig, FailureDetector, RtSuspicionConfig, Transition};
 pub use ids::{ActorId, RequestId, StageKind};
 pub use metrics::ClusterMetrics;
 pub use obs::{DetectorAccuracy, Observability, SloTransition};
 pub use placement::PlacementPolicy;
 pub use sharded::{
-    build_sharded, install_replication_sharded, install_sharded_scrapers, sharded_lookahead,
-    ShardApp, ShardCtx, ShardTopology, ShardedCluster,
+    build_sharded, install_replication_sharded, install_sharded_scrapers,
+    install_snapshots_sharded, sharded_lookahead, ShardApp, ShardCtx, ShardTopology,
+    ShardedCluster,
 };

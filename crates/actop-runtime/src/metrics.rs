@@ -104,6 +104,29 @@ pub struct ClusterMetrics {
     /// primary. Structurally zero under rendezvous routing — a nonzero
     /// value flags a routing bug.
     pub replica_writes: u64,
+    /// Snapshot rounds the coordinator opened.
+    pub snap_rounds_started: u64,
+    /// Snapshot rounds that committed as complete restore sources.
+    pub snap_rounds_completed: u64,
+    /// Snapshot rounds aborted by a mid-round crash.
+    pub snap_rounds_aborted: u64,
+    /// Snapshot rounds skipped (a round was still open, or the store
+    /// server was down).
+    pub snap_rounds_skipped: u64,
+    /// Per-actor state captures taken into snapshot rounds.
+    pub snap_captures: u64,
+    /// Bytes of actor state captured into snapshot rounds.
+    pub snap_bytes: u64,
+    /// Messages counted in flight across committed snapshot cuts.
+    pub snap_inflight: u64,
+    /// State-mutating requests applied to durable actor cells.
+    pub state_writes: u64,
+    /// Re-placed actors rehydrated from the snapshot store.
+    pub restores: u64,
+    /// Journal entries replayed on top of snapshots during restores.
+    pub restore_replayed: u64,
+    /// Restores deferred because the snapshot store's server was down.
+    pub restores_deferred: u64,
 }
 
 impl ClusterMetrics {
@@ -149,6 +172,17 @@ impl ClusterMetrics {
             replica_drops: 0,
             replica_reads: 0,
             replica_writes: 0,
+            snap_rounds_started: 0,
+            snap_rounds_completed: 0,
+            snap_rounds_aborted: 0,
+            snap_rounds_skipped: 0,
+            snap_captures: 0,
+            snap_bytes: 0,
+            snap_inflight: 0,
+            state_writes: 0,
+            restores: 0,
+            restore_replayed: 0,
+            restores_deferred: 0,
         }
     }
 
@@ -189,10 +223,14 @@ impl ClusterMetrics {
         self.zombie_branches = 0;
         self.replica_reads = 0;
         self.replica_writes = 0;
-        // Heartbeat traffic, suspicion transitions, migration aborts and
-        // split/replica-drop counts are cluster-lifecycle counts, not
-        // request-scoped: they survive the warmup reset like the time
-        // series do.
+        self.state_writes = 0;
+        self.restores = 0;
+        self.restore_replayed = 0;
+        self.restores_deferred = 0;
+        // Heartbeat traffic, suspicion transitions, migration aborts,
+        // split/replica-drop counts and snapshot-round counts are
+        // cluster-lifecycle counts, not request-scoped: they survive the
+        // warmup reset like the time series do.
     }
 
     /// Folds another shard's metrics into this one: histograms and time
@@ -240,6 +278,17 @@ impl ClusterMetrics {
         self.replica_drops += other.replica_drops;
         self.replica_reads += other.replica_reads;
         self.replica_writes += other.replica_writes;
+        self.snap_rounds_started += other.snap_rounds_started;
+        self.snap_rounds_completed += other.snap_rounds_completed;
+        self.snap_rounds_aborted += other.snap_rounds_aborted;
+        self.snap_rounds_skipped += other.snap_rounds_skipped;
+        self.snap_captures += other.snap_captures;
+        self.snap_bytes += other.snap_bytes;
+        self.snap_inflight += other.snap_inflight;
+        self.state_writes += other.state_writes;
+        self.restores += other.restores;
+        self.restore_replayed += other.restore_replayed;
+        self.restores_deferred += other.restores_deferred;
     }
 }
 
@@ -300,14 +349,22 @@ mod tests {
         m.splits = 2;
         m.replica_drops = 1;
         m.replica_reads = 40;
+        m.snap_rounds_completed = 5;
+        m.snap_captures = 12;
+        m.state_writes = 30;
+        m.restores = 2;
         m.reset_steady_state();
         assert_eq!(m.retries, 0, "request-scoped: reset with warmup");
         assert_eq!(m.shed_no_live, 0, "request-scoped: reset with warmup");
         assert_eq!(m.replica_reads, 0, "request-scoped: reset with warmup");
+        assert_eq!(m.state_writes, 0, "request-scoped: reset with warmup");
+        assert_eq!(m.restores, 0, "request-scoped: reset with warmup");
         assert_eq!(m.heartbeats_sent, 100, "lifecycle: survives");
         assert_eq!(m.suspicions, 3, "lifecycle: survives");
         assert_eq!(m.migrations_aborted, 1, "lifecycle: survives");
         assert_eq!(m.splits, 2, "lifecycle: survives");
         assert_eq!(m.replica_drops, 1, "lifecycle: survives");
+        assert_eq!(m.snap_rounds_completed, 5, "lifecycle: survives");
+        assert_eq!(m.snap_captures, 12, "lifecycle: survives");
     }
 }

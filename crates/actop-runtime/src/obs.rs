@@ -106,6 +106,26 @@ const COUNTERS: &[CounterSource] = &[
     ("replica_reads_total", |m| m.replica_reads),
 ];
 
+/// Snapshot-subsystem counters, registered after [`COUNTERS`] only when
+/// the run has snapshots configured. Conditional registration keeps the
+/// snapshot-off wire schema — and therefore every golden artifact —
+/// byte-identical to builds predating the subsystem; both backends derive
+/// the flag from the same config, so cross-shard merge schemas still
+/// match.
+const SNAP_COUNTERS: &[CounterSource] = &[
+    ("snap_rounds_started_total", |m| m.snap_rounds_started),
+    ("snap_rounds_completed_total", |m| m.snap_rounds_completed),
+    ("snap_rounds_aborted_total", |m| m.snap_rounds_aborted),
+    ("snap_rounds_skipped_total", |m| m.snap_rounds_skipped),
+    ("snap_captures_total", |m| m.snap_captures),
+    ("snap_bytes_total", |m| m.snap_bytes),
+    ("snap_inflight_total", |m| m.snap_inflight),
+    ("state_writes_total", |m| m.state_writes),
+    ("restores_total", |m| m.restores),
+    ("restore_replayed_total", |m| m.restore_replayed),
+    ("restores_deferred_total", |m| m.restores_deferred),
+];
+
 /// An SLO alert transition surfaced to the caller so it can record trace
 /// events and tally cluster metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +159,9 @@ pub struct Observability {
     /// cross-shard gauge sum equals the cluster value.
     replica_gauge: MetricId,
     latency_hist: MetricId,
+    /// Snapshot round-duration histogram; registered (with the snapshot
+    /// counters) only when the run has snapshots configured.
+    snap_round_hist: Option<MetricId>,
     alerts: Vec<AlertNote>,
 }
 
@@ -157,8 +180,21 @@ impl Observability {
     /// the same `(config, servers, series_bin_ns)` builds an *identical*
     /// schema — a requirement for cross-shard merging.
     pub fn new(cfg: &ObsConfig, servers: usize, series_bin_ns: u64) -> Self {
+        Self::with_snapshot(cfg, servers, series_bin_ns, false)
+    }
+
+    /// Like [`Observability::new`], additionally registering the snapshot
+    /// counters and round-duration histogram when `snapshot` is true.
+    /// Both backends derive the flag from `config.snapshot.is_some()`, so
+    /// every shard of one run builds the same schema.
+    pub fn with_snapshot(
+        cfg: &ObsConfig,
+        servers: usize,
+        series_bin_ns: u64,
+        snapshot: bool,
+    ) -> Self {
         let mut registry = Registry::new(cfg.ring_capacity);
-        let counters = COUNTERS
+        let mut counters: Vec<CounterMirror> = COUNTERS
             .iter()
             .map(|&(name, read)| CounterMirror {
                 id: registry.counter(name, &[]),
@@ -167,6 +203,14 @@ impl Observability {
                 acc: 0,
             })
             .collect();
+        if snapshot {
+            counters.extend(SNAP_COUNTERS.iter().map(|&(name, read)| CounterMirror {
+                id: registry.counter(name, &[]),
+                read,
+                prev: 0,
+                acc: 0,
+            }));
+        }
         let mut queue_gauges = Vec::with_capacity(servers);
         let mut up_gauges = Vec::with_capacity(servers);
         for s in 0..servers {
@@ -176,6 +220,8 @@ impl Observability {
         }
         let replica_gauge = registry.gauge("replica_activations", &[]);
         let latency_hist = registry.histogram("e2e_latency_ns", &[], &latency_bounds_ns());
+        let snap_round_hist = snapshot
+            .then(|| registry.histogram("snapshot_round_duration_ns", &[], &latency_bounds_ns()));
         Observability {
             registry,
             slo: SloEngine::new(cfg.slos.clone(), series_bin_ns),
@@ -187,7 +233,17 @@ impl Observability {
             up_gauges,
             replica_gauge,
             latency_hist,
+            snap_round_hist,
             alerts: Vec::new(),
+        }
+    }
+
+    /// Records one completed snapshot round's duration. A no-op when the
+    /// snapshot schema is not registered.
+    #[inline]
+    pub fn observe_snap_round(&mut self, duration_ns: u64) {
+        if let Some(id) = self.snap_round_hist {
+            self.registry.observe(id, duration_ns);
         }
     }
 
@@ -466,6 +522,39 @@ mod tests {
         assert_eq!(o.alerts().len(), 2);
         assert_eq!(o.slo_notes()[0].opened, 1);
         assert_eq!(o.slo_notes()[0].closed, 1);
+    }
+
+    #[test]
+    fn snapshot_schema_is_opt_in_and_merges() {
+        let cfg = ObsConfig::default();
+        let plain = Observability::new(&cfg, 2, 1_000_000_000);
+        let with = Observability::with_snapshot(&cfg, 2, 1_000_000_000, true);
+        assert!(
+            !plain
+                .registry()
+                .defs()
+                .iter()
+                .any(|d| d.name.starts_with("snap_")),
+            "snapshot-off schema is untouched"
+        );
+        assert!(with
+            .registry()
+            .defs()
+            .iter()
+            .any(|d| d.name == "snapshot_round_duration_ns"));
+        // Two shards with the snapshot schema merge; counters sum.
+        let mut a = Observability::with_snapshot(&cfg, 2, 1_000_000_000, true);
+        let mut b = Observability::with_snapshot(&cfg, 2, 1_000_000_000, true);
+        let mut ma = ClusterMetrics::new(1_000_000_000);
+        let mut mb = ClusterMetrics::new(1_000_000_000);
+        ma.snap_captures = 3;
+        mb.snap_captures = 4;
+        let zeros = [(0.0, 0.0), (0.0, 0.0)];
+        a.scrape(Nanos::from_secs(1), &ma, &zeros);
+        b.scrape(Nanos::from_secs(1), &mb, &zeros);
+        a.observe_snap_round(5_000_000);
+        a.merge_from(&b);
+        assert_eq!(counter_value(&a, "snap_captures_total"), 7);
     }
 
     #[test]

@@ -120,6 +120,15 @@ pub(crate) enum PostAction {
         /// Response payload size (drives the network delay).
         bytes: u64,
     },
+    /// Worker found the target actor needs a snapshot restore but the
+    /// store server is down: re-run the execute after a deterministic
+    /// backoff instead of serving with lost state.
+    SnapshotDefer {
+        /// The message whose execution is deferred.
+        msg: Message,
+        /// Deterministic backoff before the re-run.
+        backoff: Nanos,
+    },
 }
 
 /// A task currently executing on a server's CPU.

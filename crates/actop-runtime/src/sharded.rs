@@ -46,6 +46,17 @@
 //! * Unsupported features are rejected at build time: failure detectors,
 //!   hiccups, latency breakdown, request timeouts, migration transfer
 //!   windows, and link faults.
+//! * Snapshots replace the legacy marker protocol with an **instant cut**:
+//!   the serial point that begins a round marks every live server at once,
+//!   and the in-flight count is the wire-counter difference
+//!   (Σ sent − Σ delivered) at that instant — no per-link marker chase.
+//!   Consistency is the same (a barrier is a consistent cut by
+//!   construction); only the round's *shape* differs. Two smaller
+//!   deviations ride along: state cells attach only to directory-hosted
+//!   primary executions (a fresh actor's first-window writes carry no
+//!   state until its placement commits at the barrier), and a deferred
+//!   restore re-enters through the wire (one extra receiver pass per
+//!   retry, where the legacy backend re-queues the execute directly).
 
 use std::sync::Arc;
 
@@ -55,6 +66,7 @@ use actop_sim::{
     PhaseCell, PsCpu, ShardWorld, StagePool,
 };
 use actop_sketch::{FxHashMap, SpaceSaving};
+use actop_snapshot::{SnapshotConfig, SnapshotStore, StateCell};
 use actop_trace::{HopKind, SpanEvent, Tracer, NO_SERVER, NO_STAGE};
 
 use crate::app::{Call, Outcome, Reaction};
@@ -113,9 +125,71 @@ pub struct ShardCtx {
     pub topo: ShardTopology,
     pub(crate) directory: PhaseCell<DenseDirectory>,
     pub(crate) failed: PhaseCell<Vec<bool>>,
+    /// Shared snapshot/restore state (`config.snapshot`), under the same
+    /// phase discipline as the directory: windows read it (restore plans,
+    /// the open round's cut membership), per-shard effects are buffered
+    /// and flushed sorted at barriers, and the round lifecycle mutates it
+    /// from the serial phase.
+    pub(crate) snap: Option<PhaseCell<SharedSnap>>,
     pub(crate) app: Box<dyn ShardApp>,
     pub(crate) seed_mix: u64,
     pub(crate) lookahead_ns: u64,
+}
+
+/// The shared half of the snapshot subsystem: the durable store, the
+/// authoritative per-actor state cells (current as of the last barrier),
+/// and the open round.
+#[derive(Default)]
+pub(crate) struct SharedSnap {
+    pub(crate) store: SnapshotStore,
+    /// `actor -> (host, cell)`. The host hint names whose crash kills the
+    /// in-memory copy; it self-heals on the next touch, so a stale hint
+    /// costs at worst a spurious (exact, WAL-backed) restore.
+    pub(crate) cells: FxHashMap<u64, (u32, StateCell)>,
+    pub(crate) round: Option<SRound>,
+    pub(crate) rounds_started: u64,
+}
+
+/// An open sharded snapshot round. Unlike the legacy backend's marker
+/// propagation, the cut is instantaneous: the serial point that begins
+/// the round IS the consistent cut (every pre-cut event has executed and
+/// every cross-server message still traveling sits in an outbox or a
+/// scheduled delivery), so all live servers join at once and the
+/// in-flight count is the wire-counter difference at that instant.
+#[derive(Debug)]
+pub(crate) struct SRound {
+    pub(crate) id: u64,
+    pub(crate) begun_at: Nanos,
+    /// Live at the cut: only these servers' actors capture lazily.
+    pub(crate) marked: Vec<bool>,
+    /// Cross-server messages in flight across the cut.
+    pub(crate) in_flight: u64,
+    /// Captured pre-write state per actor: `(version, value)`.
+    pub(crate) captured: FxHashMap<u64, (u64, u64)>,
+    pub(crate) bytes: u64,
+}
+
+impl SRound {
+    /// First capture wins (same contract as the legacy `OpenRound`).
+    fn capture(&mut self, actor: u64, version: u64, value: u64, state_bytes: u64) -> bool {
+        if self.captured.contains_key(&actor) {
+            return false;
+        }
+        self.captured.insert(actor, (version, value));
+        self.bytes += state_bytes;
+        true
+    }
+
+    /// The round's captures sorted by actor id (the commit order).
+    fn sorted_captures(&self) -> Vec<(u64, u64, u64)> {
+        let mut out: Vec<(u64, u64, u64)> = self
+            .captured
+            .iter()
+            .map(|(&a, &(ver, val))| (a, ver, val))
+            .collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 /// The conservative lookahead implied by a configuration: the network
@@ -213,6 +287,23 @@ pub(crate) enum SPost {
         root_start: Nanos,
         bytes: u64,
     },
+    /// The target actor needs a snapshot restore but the store server is
+    /// down: re-deliver the execute to this same server through the
+    /// outbox after a deterministic backoff (which build validation pins
+    /// at or above the lookahead).
+    SnapshotDefer {
+        msg: SMsg,
+        backoff: Nanos,
+    },
+}
+
+/// What the snapshot subsystem decided about a hosted request (the
+/// sharded twin of the sequential cluster's `SnapTouch`).
+enum STouch {
+    /// Serve it, with the snapshot tax folded into the task.
+    Proceed { cpu_ns: f64, blocking_ns: f64 },
+    /// The store server is down: re-deliver after this backoff.
+    Defer(Nanos),
 }
 
 /// A task currently executing on a server's CPU.
@@ -396,6 +487,27 @@ pub struct ShardedCluster {
     outbox: Vec<OutMsg<Wire>>,
     pub(crate) dir_ops: Vec<DirOp>,
     pub(crate) sketch_offers: Vec<(u32, ActorId, ActorId)>,
+    /// Window-local working copies of state cells touched by this shard's
+    /// servers (an actor's host is unique between barriers, so exactly one
+    /// shard writes it). Flushed into [`SharedSnap::cells`] at barriers.
+    pub(crate) snap_overlay: FxHashMap<u64, (u32, StateCell)>,
+    /// Window-local journal appends: `(actor, version, value)`. Flushed
+    /// sorted into the shared store at barriers — versions are per-actor
+    /// monotone, so the sort is the canonical, layout-invariant order.
+    pub(crate) snap_journal_ops: Vec<(u64, u64, u64)>,
+    /// Window-local lazy captures: `actor -> (round, version, value)`.
+    /// Rounds open and close only at serial points, so every buffered
+    /// entry belongs to the currently open round.
+    pub(crate) snap_capture_buf: FxHashMap<u64, (u64, u64, u64)>,
+    /// Restore-deferral attempt counts (the exponential-backoff input).
+    /// Deferred messages re-deliver to the same server, so the counter
+    /// stays on one shard.
+    pub(crate) snap_defer_attempts: FxHashMap<u64, u32>,
+    /// Cross-server wires pushed by this shard's servers (snapshot-only
+    /// accounting; the cut's in-flight count is Σ sent − Σ recv).
+    pub(crate) snap_wire_sent: u64,
+    /// Cross-server wires that arrived at this shard's servers.
+    pub(crate) snap_wire_recv: u64,
 }
 
 /// Builds the shard worlds for a configuration. `shards` is clamped to
@@ -442,6 +554,14 @@ pub fn build_sharded(
         config.retry.base_backoff.as_nanos() >= lookahead_ns,
         "retry base backoff must be at least the network delay floor"
     );
+    if let Some(s) = config.snapshot {
+        // Restore deferrals re-deliver through the outbox, so the first
+        // backoff must already clear the conservative lookahead.
+        assert!(
+            s.restore_backoff.as_nanos() >= lookahead_ns,
+            "snapshot restore backoff must be at least the network delay floor"
+        );
+    }
     let shards = shards.clamp(1, config.servers);
     let servers = config.servers;
     let series_bin = config.series_bin_ns;
@@ -451,6 +571,9 @@ pub fn build_sharded(
         topo: ShardTopology { servers, shards },
         directory: PhaseCell::new(DenseDirectory::new(servers)),
         failed: PhaseCell::new(vec![false; servers]),
+        snap: config
+            .snapshot
+            .map(|_| PhaseCell::new(SharedSnap::default())),
         app,
         seed_mix,
         lookahead_ns,
@@ -470,11 +593,9 @@ pub fn build_sharded(
                 Some(tc) => Tracer::new(servers, tc),
                 None => Tracer::disabled(),
             };
-            let obs = ctx
-                .config
-                .obs
-                .as_ref()
-                .map(|o| Observability::new(o, servers, series_bin));
+            let obs = ctx.config.obs.as_ref().map(|o| {
+                Observability::with_snapshot(o, servers, series_bin, ctx.config.snapshot.is_some())
+            });
             ShardedCluster {
                 shard: shard as u32,
                 ctx: Arc::clone(&ctx),
@@ -486,6 +607,12 @@ pub fn build_sharded(
                 outbox: Vec::new(),
                 dir_ops: Vec::new(),
                 sketch_offers: Vec::new(),
+                snap_overlay: FxHashMap::default(),
+                snap_journal_ops: Vec::new(),
+                snap_capture_buf: FxHashMap::default(),
+                snap_defer_attempts: FxHashMap::default(),
+                snap_wire_sent: 0,
+                snap_wire_recv: 0,
             }
         })
         .collect()
@@ -507,6 +634,12 @@ unsafe impl ShardWorld for ShardedCluster {
         let dst = wire.dst as usize;
         let msg = wire.msg;
         engine.schedule(at, move |w: &mut ShardedCluster, e| {
+            if w.ctx.snap.is_some() {
+                // Delivered-not-processed accounting: bumped even when the
+                // destination is down, so the counters self-heal across
+                // crashes (sent − recv counts on-the-wire only).
+                w.snap_wire_recv += 1;
+            }
             w.wire_arrive(e, dst, msg)
         });
     }
@@ -788,6 +921,9 @@ impl ShardedCluster {
     /// barrier. `src` keys the tie-break sequence; `at` must be at least
     /// one lookahead past the current window.
     fn push_wire(&mut self, at: Nanos, src: usize, dst: usize, msg: SMsg) {
+        if self.ctx.snap.is_some() {
+            self.snap_wire_sent += 1;
+        }
         let idx = self.slot_idx(src);
         let slot = &mut self.slots[idx];
         slot.out_seq += 1;
@@ -883,6 +1019,7 @@ impl ShardedCluster {
                     // placement not yet flushed to the directory.
                     // SAFETY: window-phase read; writers only at barriers.
                     let dir = unsafe { self.ctx.directory.get() };
+                    let dir_primary = dir.server_of(msg.to.0) == Some(server);
                     let mut hosted = match dir.server_of(msg.to.0) {
                         Some(s) => s == server,
                         None => {
@@ -925,6 +1062,33 @@ impl ShardedCluster {
                             msg.request,
                         );
                     }
+                    // Snapshot state attaches only to directory-hosted
+                    // primary executions: an activation still pending in a
+                    // window-local overlay may lose its placement conflict
+                    // at the barrier, so its first-window touches carry no
+                    // state (a documented deviation from the sequential
+                    // cluster). The gate makes every state touch happen on
+                    // the actor's unique host, which is what keeps version
+                    // sequences exact across shard layouts.
+                    let (snap_cpu, snap_wait) = if self.ctx.snap.is_some() && dir_primary {
+                        match self.snapshot_touch(now, server, msg.to.0, msg.tag) {
+                            STouch::Proceed {
+                                cpu_ns,
+                                blocking_ns,
+                            } => (cpu_ns, blocking_ns),
+                            STouch::Defer(backoff) => {
+                                return (
+                                    self.ctx.config.costs.dispatch_fixed_ns,
+                                    0.0,
+                                    SPost::SnapshotDefer { msg, backoff },
+                                    msg.request,
+                                );
+                            }
+                        }
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    let costs = &self.ctx.config.costs;
                     let local_copy = if !msg.delivered_remotely && msg.from_actor.is_some() {
                         costs.local_copy_ns(msg.bytes)
                     } else {
@@ -937,8 +1101,8 @@ impl ShardedCluster {
                         slot.load_sketch.offer(msg.to, reaction.cpu_ns as u64);
                     }
                     (
-                        reaction.cpu_ns + local_copy,
-                        reaction.blocking_ns,
+                        reaction.cpu_ns + local_copy + snap_cpu,
+                        reaction.blocking_ns + snap_wait,
                         SPost::ApplyRequest { msg, reaction },
                         msg.request,
                     )
@@ -1114,6 +1278,18 @@ impl ShardedCluster {
                 engine.schedule_after(delay, move |w: &mut ShardedCluster, e| {
                     w.complete_request(e.now(), request, root_start);
                 });
+            }
+            SPost::SnapshotDefer { mut msg, backoff } => {
+                // Re-deliver the execute to this same server through the
+                // outbox (the backoff clears the lookahead by build
+                // validation). The arrival re-enters the receiver stage —
+                // a deferral pays one extra receiver pass here, unlike the
+                // sequential cluster's direct worker re-enqueue. Marking
+                // it forwarded keeps the redelivery out of the
+                // fresh-request admission check.
+                msg.forwarded = true;
+                debug_assert!(backoff.as_nanos() >= self.ctx.lookahead_ns);
+                self.push_wire(now + backoff, server, server, msg);
             }
         }
         self.pump(engine, server);
@@ -1588,6 +1764,163 @@ impl ShardedCluster {
     }
 
     // ------------------------------------------------------------------
+    // Snapshots & stateful recovery (the window-phase half; the round
+    // lifecycle lives in the serial-phase helpers below).
+    // ------------------------------------------------------------------
+
+    /// The snapshot subsystem's pre-handler hook for a directory-hosted
+    /// request at `server`: rehydrates the actor's state cell from the
+    /// durable store if the in-memory copy died with a crash (deferring
+    /// with backoff while the store server is down), lazily captures the
+    /// pre-write state into the open round, and applies write-tagged
+    /// requests to the versioned cell. Draws no RNG. Shared snapshot
+    /// state is only *read* here — every mutation lands in this shard's
+    /// window-local buffers, flushed sorted at the next barrier.
+    fn snapshot_touch(&mut self, now: Nanos, server: usize, actor: u64, tag: u32) -> STouch {
+        let cfg = self.ctx.config.snapshot.expect("guarded by caller");
+        // SAFETY: window-phase read; writers only in the serial phase.
+        let snap = unsafe { self.ctx.snap.as_ref().expect("guarded by caller").get() };
+        // SAFETY: as above.
+        let failed = unsafe { self.ctx.failed.get() };
+        let mut cpu_ns = 0.0;
+        let mut blocking_ns = 0.0;
+        let mut restore_ev = None;
+        let mut replayed = 0u64;
+        // The working copy: this window's overlay entry, else the shared
+        // cell as of the last barrier (the host is unique between
+        // barriers, so nobody else writes this actor concurrently).
+        let mut cell_state: Option<StateCell> = match self.snap_overlay.get(&actor) {
+            Some(&(_, cell)) => Some(cell),
+            None => snap.cells.get(&actor).map(|&(_, cell)| cell),
+        };
+        if cell_state.is_none() {
+            if let Some(plan) = snap.store.restore(actor) {
+                // The in-memory cell died with a crash: rehydrate from
+                // the last complete snapshot plus the journal tail —
+                // unless the store server is down, in which case the
+                // execute defers rather than serving lost state.
+                if failed[cfg.store_server as usize] {
+                    let attempts = self.snap_defer_attempts.entry(actor).or_insert(0);
+                    *attempts = attempts.saturating_add(1);
+                    let backoff = cfg.defer_backoff(*attempts);
+                    self.metrics.restores_deferred += 1;
+                    return STouch::Defer(backoff);
+                }
+                self.snap_defer_attempts.remove(&actor);
+                cell_state = Some(StateCell {
+                    version: plan.version,
+                    value: plan.value,
+                });
+                replayed = plan.replayed;
+                blocking_ns += cfg.restore_base_ns as f64
+                    + cfg.restore_per_entry_ns as f64 * plan.replayed as f64;
+                restore_ev = Some((plan.round, plan.version));
+            }
+        }
+        let is_write = cfg.is_write(u64::from(tag));
+        if cell_state.is_none() && is_write {
+            cell_state = Some(StateCell::default());
+        }
+        let mut capture_ev = None;
+        let mut write_ev = None;
+        if let Some(mut cell) = cell_state {
+            if is_write {
+                // Lazy capture: the first post-cut write at a marked
+                // server snapshots the pre-write state, making the round
+                // a consistent cut without ever stalling the actor.
+                if let Some(round) = snap.round.as_ref() {
+                    if round.marked[server]
+                        && cell.version > 0
+                        && !round.captured.contains_key(&actor)
+                        && !self.snap_capture_buf.contains_key(&actor)
+                    {
+                        self.snap_capture_buf
+                            .insert(actor, (round.id, cell.version, cell.value));
+                        capture_ev = Some((round.id, cell.version));
+                        cpu_ns += cfg.capture_cpu_ns;
+                    }
+                }
+                let version = cell.apply_write(actor);
+                self.snap_journal_ops.push((actor, version, cell.value));
+                cpu_ns += cfg.journal_cpu_ns;
+                write_ev = Some(version);
+            }
+            // Every touch refreshes the overlay entry, which self-heals
+            // the host hint at the barrier flush.
+            self.snap_overlay.insert(actor, (server as u32, cell));
+        }
+        if restore_ev.is_some() {
+            self.metrics.restores += 1;
+            self.metrics.restore_replayed += replayed;
+        }
+        if capture_ev.is_some() {
+            self.metrics.snap_captures += 1;
+            self.metrics.snap_bytes += cfg.state_bytes;
+        }
+        if write_ev.is_some() {
+            self.metrics.state_writes += 1;
+        }
+        if self.trace.enabled() {
+            // Lifecycle events in causal order: restore before capture
+            // before the write itself, all at the touch timestamp.
+            if let Some((round, version)) = restore_ev {
+                self.trace.record(SpanEvent::instant(
+                    actor,
+                    HopKind::Restore,
+                    server as u32,
+                    (round << 40) | version,
+                    now,
+                ));
+            }
+            if let Some((round, version)) = capture_ev {
+                self.trace.record(SpanEvent::instant(
+                    actor,
+                    HopKind::SnapCapture,
+                    server as u32,
+                    (round << 40) | version,
+                    now,
+                ));
+            }
+            if let Some(version) = write_ev {
+                self.trace.record(SpanEvent::instant(
+                    actor,
+                    HopKind::StateWrite,
+                    server as u32,
+                    version,
+                    now,
+                ));
+            }
+        }
+        STouch::Proceed {
+            cpu_ns,
+            blocking_ns,
+        }
+    }
+
+    /// Runs `f` against the shared durable snapshot store (`None` without
+    /// `config.snapshot`) — what verification harnesses inspect.
+    ///
+    /// Call only while the runner is idle — between `run_until` calls or
+    /// after the run — never from inside a window phase (the same
+    /// contract as [`Self::directory_snapshot`]).
+    pub fn with_snapshot_store<R>(&self, f: impl FnOnce(&SnapshotStore) -> R) -> Option<R> {
+        self.ctx.snap.as_ref().map(|cell| {
+            // SAFETY: no window phase is live on an idle runner.
+            f(&unsafe { cell.get() }.store)
+        })
+    }
+
+    /// The in-memory state cell of `actor`, if the snapshot subsystem is
+    /// on and the actor currently has one. Same idle-runner contract as
+    /// [`Self::with_snapshot_store`].
+    pub fn shared_state_cell(&self, actor: u64) -> Option<StateCell> {
+        self.ctx.snap.as_ref().and_then(|cell| {
+            // SAFETY: no window phase is live on an idle runner.
+            unsafe { cell.get() }.cells.get(&actor).map(|&(_, c)| c)
+        })
+    }
+
+    // ------------------------------------------------------------------
     // ActOp hooks (serial-phase; driven through `GlobalCtx` helpers or
     // directly by the thread agent on the owning cell).
     // ------------------------------------------------------------------
@@ -1711,6 +2044,64 @@ pub fn barrier_flush(ctx: &mut GlobalCtx<'_, ShardedCluster>) {
             let idx = cell.world.local_idx[dst as usize];
             cell.world.slots[idx].edge_sketch.offer((to, from), count);
             i = j;
+        }
+    }
+    flush_snap_ops(ctx, &shared);
+}
+
+/// Applies every shard's buffered snapshot effects to the shared state,
+/// in sorted (layout-invariant) order: overlay cells replace their shared
+/// entries, journal appends land in the durable store, and lazy captures
+/// join the open round. Runs inside the barrier hook, so every
+/// serial-phase global event observes current shared snapshot state.
+fn flush_snap_ops(ctx: &mut GlobalCtx<'_, ShardedCluster>, shared: &ShardCtx) {
+    let Some(snap_cell) = shared.snap.as_ref() else {
+        return;
+    };
+    let mut cells: Vec<(u64, u32, StateCell)> = Vec::new();
+    let mut journal: Vec<(u64, u64, u64)> = Vec::new();
+    let mut captures: Vec<(u64, u64, u64, u64)> = Vec::new();
+    for cell in ctx.cells() {
+        cells.extend(
+            cell.world
+                .snap_overlay
+                .drain()
+                .map(|(a, (host, st))| (a, host, st)),
+        );
+        journal.append(&mut cell.world.snap_journal_ops);
+        captures.extend(
+            cell.world
+                .snap_capture_buf
+                .drain()
+                .map(|(a, (round, ver, val))| (a, round, ver, val)),
+        );
+    }
+    if cells.is_empty() && journal.is_empty() && captures.is_empty() {
+        return;
+    }
+    // An actor's host is unique between barriers, so each actor appears
+    // in at most one shard's buffers; sorting makes the apply order
+    // independent of both shard layout and map iteration order.
+    cells.sort_unstable_by_key(|&(a, ..)| a);
+    journal.sort_unstable();
+    captures.sort_unstable();
+    // SAFETY: serial phase; no window reader is live.
+    let snap = unsafe { snap_cell.get_mut() };
+    for (a, host, st) in cells {
+        snap.cells.insert(a, (host, st));
+    }
+    for (a, version, value) in journal {
+        snap.store.append(a, version, value);
+    }
+    if let Some(round) = snap.round.as_mut() {
+        let cfg = shared.config.snapshot.expect("snap state implies config");
+        for (a, rid, ver, val) in captures {
+            // Rounds open and close only at serial points, so a buffered
+            // capture can only belong to the still-open round; a stale id
+            // means the round aborted mid-window and the capture dies.
+            if rid == round.id {
+                round.capture(a, ver, val, cfg.state_bytes);
+            }
         }
     }
 }
@@ -1837,6 +2228,16 @@ pub fn migrate_actor_sharded(ctx: Ctx<'_, '_>, now: Nanos, actor: ActorId, to: u
     let cell = ctx.cell(shared.topo.shard_of(to));
     let idx = cell.world.local_idx[to];
     cell.world.slots[idx].cache_location(actor, to);
+    if let Some(snap_cell) = shared.snap.as_ref() {
+        // Keep the state cell's host hint current so a crash of `to`
+        // drops it. The hint is best-effort (a stale one costs at worst a
+        // spurious exact restore), but migrations are serial-phase so we
+        // update it for free.
+        // SAFETY: serial phase.
+        if let Some(entry) = unsafe { snap_cell.get_mut() }.cells.get_mut(&actor.0) {
+            entry.0 = to as u32;
+        }
+    }
 }
 
 /// Applies an exchange outcome from the pairwise partition protocol.
@@ -2111,6 +2512,183 @@ fn sharded_split_target(
     best.map(|(_, c)| c)
 }
 
+/// Installs the sharded snapshot coordinator: a self-rescheduling global
+/// event every [`SnapshotConfig::interval`] that begins an asynchronous
+/// snapshot round from the serial phase, with the sweep-and-commit
+/// scheduled `capture_window` later. A no-op without `config.snapshot`;
+/// the horizon keeps the global queue drainable. Rounds are skipped
+/// (never queued) while the store server is down, so the loop survives
+/// chaos and resumes by itself on recovery.
+pub fn install_snapshots_sharded(runner: &mut ConservativeRunner<ShardedCluster>, horizon: Nanos) {
+    let Some(cfg) = runner
+        .cells()
+        .first()
+        .and_then(|c| c.world.shared().config.snapshot)
+    else {
+        return;
+    };
+    let first = runner.now() + cfg.interval;
+    if first > horizon {
+        return;
+    }
+    runner.schedule_global(first, move |ctx| sharded_snapshot_begin(ctx, cfg, horizon));
+}
+
+/// Begins one snapshot round. The serial point is the cut: every live
+/// server joins at once (the legacy backend's marker propagation
+/// collapses to an instantaneous barrier cut — a documented deviation),
+/// and the in-flight count is the wire-counter difference at this
+/// instant. Skipped while a round is still open or the store server is
+/// down.
+fn sharded_snapshot_begin(ctx: Ctx<'_, '_>, cfg: SnapshotConfig, horizon: Nanos) {
+    let now = ctx.now;
+    let shared = shared_of(ctx);
+    let coord = cfg.store_server as usize;
+    let store_shard = shared.topo.shard_of(coord);
+    // SAFETY: serial phase.
+    let failed: Vec<bool> = unsafe { shared.failed.get() }.clone();
+    let mut sent = 0u64;
+    let mut recv = 0u64;
+    for cell in ctx.cells() {
+        sent += cell.world.snap_wire_sent;
+        recv += cell.world.snap_wire_recv;
+    }
+    let begun = {
+        let snap_cell = shared.snap.as_ref().expect("installed with snapshots");
+        // SAFETY: serial phase.
+        let snap = unsafe { snap_cell.get_mut() };
+        if snap.round.is_some() || failed[coord] {
+            None
+        } else {
+            snap.rounds_started += 1;
+            let id = snap.rounds_started;
+            snap.round = Some(SRound {
+                id,
+                begun_at: now,
+                marked: failed.iter().map(|&f| !f).collect(),
+                in_flight: sent - recv,
+                captured: FxHashMap::default(),
+                bytes: 0,
+            });
+            Some(id)
+        }
+    };
+    match begun {
+        None => ctx.cell(store_shard).world.metrics.snap_rounds_skipped += 1,
+        Some(id) => {
+            let w = &mut ctx.cell(store_shard).world;
+            w.metrics.snap_rounds_started += 1;
+            if w.trace.enabled() {
+                // Lifecycle events: `request` carries the round id. All
+                // markers land at the cut instant.
+                w.trace.record(SpanEvent::instant(
+                    id,
+                    HopKind::SnapBegin,
+                    coord as u32,
+                    0,
+                    now,
+                ));
+                for (s, &down) in failed.iter().enumerate() {
+                    if !down {
+                        w.trace.record(SpanEvent::instant(
+                            id,
+                            HopKind::SnapMarker,
+                            s as u32,
+                            0,
+                            now,
+                        ));
+                    }
+                }
+            }
+            ctx.schedule_global(now + cfg.capture_window, move |ctx| {
+                sharded_snapshot_sweep(ctx, cfg, id)
+            });
+        }
+    }
+    let next = now + cfg.interval;
+    if next <= horizon {
+        ctx.schedule_global(next, move |ctx| sharded_snapshot_begin(ctx, cfg, horizon));
+    }
+}
+
+/// The capture window of `round_id` elapsed: capture every
+/// still-untouched state cell at its current value (the barrier hook has
+/// already flushed this window's buffered captures into the round),
+/// commit the round to the durable store, and account it. A no-op when a
+/// crash aborted the round.
+fn sharded_snapshot_sweep(ctx: Ctx<'_, '_>, cfg: SnapshotConfig, round_id: u64) {
+    let now = ctx.now;
+    let shared = shared_of(ctx);
+    let store_shard = shared.topo.shard_of(cfg.store_server as usize);
+    let result = {
+        let snap_cell = shared
+            .snap
+            .as_ref()
+            .expect("sweep only scheduled with snapshots");
+        // SAFETY: serial phase.
+        let snap = unsafe { snap_cell.get_mut() };
+        if snap.round.as_ref().map(|r| r.id) != Some(round_id) {
+            None // Aborted by a crash.
+        } else {
+            let mut round = snap.round.take().expect("checked above");
+            // Sweep stragglers in actor order so the capture trace is
+            // deterministic regardless of map iteration order.
+            let mut remaining: Vec<u64> = snap.cells.keys().copied().collect();
+            remaining.sort_unstable();
+            let mut swept: Vec<(u64, u32, u64)> = Vec::new();
+            for actor in remaining {
+                let (host, cell) = snap.cells[&actor];
+                if cell.version == 0 {
+                    continue; // Never written: nothing to snapshot.
+                }
+                if round.capture(actor, cell.version, cell.value, cfg.state_bytes) {
+                    swept.push((actor, host, cell.version));
+                }
+            }
+            let captures = round.sorted_captures();
+            snap.store.commit(round_id, &captures);
+            (
+                swept,
+                captures.len() as u64,
+                round.in_flight,
+                round.begun_at,
+            )
+                .into()
+        }
+    };
+    let Some((swept, capture_count, in_flight, begun_at)) = result else {
+        return;
+    };
+    let w = &mut ctx.cell(store_shard).world;
+    w.metrics.snap_rounds_completed += 1;
+    w.metrics.snap_captures += swept.len() as u64;
+    w.metrics.snap_bytes += swept.len() as u64 * cfg.state_bytes;
+    w.metrics.snap_inflight += in_flight;
+    if let Some(obs) = w.obs.as_mut() {
+        obs.observe_snap_round(now.saturating_sub(begun_at).as_nanos());
+    }
+    if w.trace.enabled() {
+        for (actor, host, version) in swept {
+            // Lifecycle event: `request` carries the actor id, `aux`
+            // packs (round, captured version).
+            w.trace.record(SpanEvent::instant(
+                actor,
+                HopKind::SnapCapture,
+                host,
+                (round_id << 40) | version,
+                now,
+            ));
+        }
+        w.trace.record(SpanEvent::instant(
+            round_id,
+            HopKind::SnapComplete,
+            cfg.store_server,
+            capture_count,
+            now,
+        ));
+    }
+}
+
 /// Whether a server is currently failed.
 pub fn sharded_is_failed(ctx: Ctx<'_, '_>, server: usize) -> bool {
     let shared = shared_of(ctx);
@@ -2171,6 +2749,43 @@ pub fn fail_server_sharded(ctx: Ctx<'_, '_>, server: usize) {
         failed[server] = true;
     }
     let now = ctx.now;
+    if let Some(snap_cell) = shared.snap.as_ref() {
+        let cfg = shared.config.snapshot.expect("snap cell implies config");
+        // SAFETY: serial phase.
+        let snap = unsafe { snap_cell.get_mut() };
+        // In-memory state hosted on the dead server is gone; survivors
+        // rehydrate from the durable store on next touch. Dropped in
+        // actor order so any future ordering-sensitive consumer sees a
+        // canonical sequence.
+        let mut dead: Vec<u64> = snap
+            .cells
+            .iter()
+            .filter(|(_, &(host, _))| host as usize == server)
+            .map(|(&a, _)| a)
+            .collect();
+        dead.sort_unstable();
+        for actor in dead {
+            snap.cells.remove(&actor);
+        }
+        // A crash punctures the open cut: the round aborts and never
+        // commits (mirrors the legacy marker protocol, where a dead
+        // participant can no longer ack its marker).
+        if let Some(round) = snap.round.take() {
+            let w = &mut ctx
+                .cell(shared.topo.shard_of(cfg.store_server as usize))
+                .world;
+            w.metrics.snap_rounds_aborted += 1;
+            if w.trace.enabled() {
+                w.trace.record(SpanEvent::instant(
+                    round.id,
+                    HopKind::SnapAbort,
+                    server as u32,
+                    0,
+                    now,
+                ));
+            }
+        }
+    }
     {
         // SAFETY: serial phase.
         let dir = unsafe { shared.directory.get_mut() };
@@ -2450,6 +3065,147 @@ mod tests {
             );
             assert_eq!(base.e2e_latency.summary(), m.e2e_latency.summary());
         }
+    }
+
+    /// A chaos run with snapshots on: the store server itself crashes
+    /// mid-round (forcing an abort, skipped rounds, and deferred
+    /// restores) and recovers, so every snapshot code path executes.
+    /// Returns the merged metrics plus the durable per-actor version sum
+    /// — the store's view of "transitions that happened".
+    fn run_snap_chaos_case(shards: usize, threads: usize) -> (ClusterMetrics, u64) {
+        let mut config = test_config(6);
+        config.snapshot = Some(SnapshotConfig {
+            interval: Nanos::from_millis(10),
+            capture_window: Nanos::from_millis(6),
+            ..SnapshotConfig::default()
+        });
+        let lookahead = sharded_lookahead(&config);
+        let series_bin = config.series_bin_ns;
+        let worlds = build_sharded(config, Box::new(FanApp), shards);
+        let mut runner = ConservativeRunner::new(worlds, lookahead);
+        install_sharded_hooks(&mut runner);
+        install_snapshots_sharded(&mut runner, Nanos::from_millis(120));
+        let mut rng_gw = DetRng::stream(9, 0x90);
+        let mut rng_net = DetRng::stream(9, 0x91);
+        runner.schedule_global(Nanos::ZERO, move |ctx| {
+            for i in 0..500u64 {
+                let at = Nanos::from_micros(150 * i);
+                submit_client_request_sharded(
+                    ctx,
+                    at,
+                    ActorId(1 + i % 8),
+                    1,
+                    256,
+                    i,
+                    &mut rng_gw,
+                    &mut rng_net,
+                );
+            }
+        });
+        // Crash the store server (0) inside the round that began at
+        // 10 ms (sweep due at 16 ms) plus an ordinary server; recover
+        // the store at 29 ms so the 30 ms round runs again.
+        runner.schedule_global(Nanos::from_millis(14), |ctx| {
+            fail_server_sharded(ctx, 0);
+            fail_server_sharded(ctx, 3);
+        });
+        runner.schedule_global(Nanos::from_millis(29), |ctx| {
+            recover_server_sharded(ctx, 0);
+        });
+        runner.run_until(Nanos::from_millis(120), threads);
+        let mut merged = ClusterMetrics::new(series_bin);
+        for cell in runner.cells() {
+            merged.merge_from(cell.world.metrics());
+        }
+        let version_sum = runner.cells()[0]
+            .world
+            .with_snapshot_store(|store| {
+                (0..200)
+                    .map(|a| store.restore(a).map_or(0, |p| p.version))
+                    .sum()
+            })
+            .expect("snapshots on");
+        (merged, version_sum)
+    }
+
+    fn snap_counters(m: &ClusterMetrics) -> Vec<u64> {
+        let mut c = counters(m);
+        c.extend([
+            m.state_writes,
+            m.restores,
+            m.restore_replayed,
+            m.restores_deferred,
+            m.snap_rounds_started,
+            m.snap_rounds_completed,
+            m.snap_rounds_aborted,
+            m.snap_rounds_skipped,
+            m.snap_captures,
+            m.snap_bytes,
+            m.snap_inflight,
+        ]);
+        c
+    }
+
+    #[test]
+    fn snapshot_chaos_recovers_state_and_exercises_every_path() {
+        let (m, version_sum) = run_snap_chaos_case(1, 1);
+        assert_eq!(m.server_failures, 2);
+        assert!(
+            m.snap_rounds_completed >= 4,
+            "rounds {}",
+            m.snap_rounds_completed
+        );
+        assert!(m.snap_rounds_aborted >= 1, "the punctured round aborted");
+        assert!(
+            m.snap_rounds_skipped >= 1,
+            "rounds skip while the store is down"
+        );
+        assert!(m.snap_captures > 0, "state was checkpointed");
+        assert!(m.restores > 0, "lost actors rehydrated");
+        assert!(
+            m.restores_deferred > 0,
+            "touches while the store was down deferred"
+        );
+        assert!(m.state_writes > 0);
+        // Zero lost, zero duplicated transitions: the durable journal's
+        // per-actor version count equals the writes the cluster executed.
+        assert_eq!(version_sum, m.state_writes);
+    }
+
+    #[test]
+    fn snapshot_chaos_identical_across_shard_counts() {
+        let base = run_snap_chaos_case(1, 1);
+        for (shards, threads) in [(2, 2), (5, 3)] {
+            let m = run_snap_chaos_case(shards, threads);
+            assert_eq!(
+                snap_counters(&base.0),
+                snap_counters(&m.0),
+                "snapshot chaos shards={shards} threads={threads} diverged"
+            );
+            assert_eq!(base.1, m.1, "durable state diverged at shards={shards}");
+            assert_eq!(base.0.e2e_latency.summary(), m.0.e2e_latency.summary());
+        }
+    }
+
+    #[test]
+    fn snapshot_off_runs_are_unchanged() {
+        // The snapshot hook must not perturb a run when disabled: the
+        // plain chaos case (snapshot = None) is the baseline everything
+        // in `chaos_results_identical_across_shard_counts` pins.
+        let m = run_chaos_case(1, 1);
+        assert_eq!(m.state_writes, 0);
+        assert_eq!(m.snap_rounds_started, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot restore backoff")]
+    fn build_rejects_sub_lookahead_restore_backoff() {
+        let mut config = test_config(4);
+        config.snapshot = Some(SnapshotConfig {
+            restore_backoff: Nanos::from_nanos(1),
+            ..SnapshotConfig::default()
+        });
+        let _ = build_sharded(config, Box::new(FanApp), 2);
     }
 
     #[test]

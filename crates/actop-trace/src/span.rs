@@ -126,12 +126,39 @@ pub enum HopKind {
     /// (instant; `request` is the client request, `server` the replica,
     /// `aux` the actor id).
     ReplicaRead,
+    /// A snapshot round opened at the coordinator (instant; lifecycle —
+    /// `request` carries the round id, `server` the coordinator).
+    SnapBegin,
+    /// A server processed a snapshot round's marker, joining the cut
+    /// (instant; lifecycle — `request` carries the round id, `server` the
+    /// marked server).
+    SnapMarker,
+    /// An actor's pre-marker state was captured into an open round
+    /// (instant; lifecycle — `request` carries the actor id, `server` its
+    /// host, `aux` packs `(round << 40) | version`).
+    SnapCapture,
+    /// A snapshot round committed as complete (instant; lifecycle —
+    /// `request` carries the round id, `server` the coordinator, `aux`
+    /// the number of actors captured).
+    SnapComplete,
+    /// A snapshot round aborted because a participant crashed mid-round
+    /// (instant; lifecycle — `request` carries the round id, `server` the
+    /// crashed server).
+    SnapAbort,
+    /// A state-mutating request advanced its actor's durable state cell
+    /// (instant; lifecycle — `request` carries the actor id, `server` its
+    /// host, `aux` the new version).
+    StateWrite,
+    /// A re-placed actor rehydrated from the snapshot store (instant;
+    /// lifecycle — `request` carries the actor id, `server` the new host,
+    /// `aux` packs `(round << 40) | restored_version`).
+    Restore,
 }
 
 impl HopKind {
     /// Every kind, in declaration order. Checkers and exporters that build
     /// per-kind histograms iterate this instead of hand-listing variants.
-    pub const ALL: [HopKind; 26] = [
+    pub const ALL: [HopKind; 33] = [
         HopKind::GatewayAdmit,
         HopKind::Shed,
         HopKind::QueueWait,
@@ -158,6 +185,13 @@ impl HopKind {
         HopKind::SplitAbort,
         HopKind::ReplicaDrop,
         HopKind::ReplicaRead,
+        HopKind::SnapBegin,
+        HopKind::SnapMarker,
+        HopKind::SnapCapture,
+        HopKind::SnapComplete,
+        HopKind::SnapAbort,
+        HopKind::StateWrite,
+        HopKind::Restore,
     ];
 
     /// Inverse of [`HopKind::name`], for JSONL re-import.
@@ -194,6 +228,13 @@ impl HopKind {
             HopKind::SplitAbort => "split-abort",
             HopKind::ReplicaDrop => "replica-drop",
             HopKind::ReplicaRead => "replica-read",
+            HopKind::SnapBegin => "snap-begin",
+            HopKind::SnapMarker => "snap-marker",
+            HopKind::SnapCapture => "snap-capture",
+            HopKind::SnapComplete => "snap-complete",
+            HopKind::SnapAbort => "snap-abort",
+            HopKind::StateWrite => "state-write",
+            HopKind::Restore => "restore",
         }
     }
 
@@ -222,6 +263,13 @@ impl HopKind {
                 | HopKind::Split
                 | HopKind::SplitAbort
                 | HopKind::ReplicaDrop
+                | HopKind::SnapBegin
+                | HopKind::SnapMarker
+                | HopKind::SnapCapture
+                | HopKind::SnapComplete
+                | HopKind::SnapAbort
+                | HopKind::StateWrite
+                | HopKind::Restore
         )
     }
 }

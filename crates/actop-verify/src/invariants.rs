@@ -34,11 +34,21 @@
 //!   lifetime. Replica events from different servers interleave across
 //!   shard-merged traces, so this family runs as a second, time-ordered
 //!   pass.
+//! * **Snapshot & stateful-recovery discipline** — per-actor state
+//!   transitions are exactly `1..k` with no gap (lost write) or repeat
+//!   (duplicated write), even across crashes and restores; a restore's
+//!   version always equals the actor's last written version (the journal
+//!   reproduces exactly the executed transitions) and names either the
+//!   journal (round 0) or a round that committed; snapshot rounds never
+//!   overlap, markers and captures land only inside their open round,
+//!   each round captures an actor at most once, and complete/abort each
+//!   close a round that actually began. Runs as a third time-ordered
+//!   pass for the same shard-merge reason.
 //!
 //! The checker is a library first (tests call [`check_events`] on live
 //! tracers) and a CLI second (the `check_trace` binary feeds it JSONL).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use actop_chaos::CrashWindows;
@@ -171,7 +181,9 @@ struct Life {
 
 /// Replays the replica lifecycle events in time order and enforces the
 /// multi-activation discipline: one primary, one activation per server,
-/// reads only inside live replica windows.
+/// reads only inside live replica windows. A directory repair
+/// ([`HopKind::DirRepair`]) closes the actor's replica window implicitly:
+/// the repair drops the primary's entry and the replica set dies with it.
 ///
 /// Shard-merged traces concatenate per-shard streams, so cross-server
 /// replica events are not in stream order; this pass sorts by record
@@ -183,6 +195,7 @@ fn check_replica_lifecycles(events: &[SpanEvent], violations: &mut Vec<Violation
             HopKind::Split => Some(0),
             HopKind::ReplicaRead => Some(1),
             HopKind::ReplicaDrop => Some(2),
+            HopKind::DirRepair => Some(2),
             HopKind::Migration => Some(3),
             _ => None,
         }
@@ -270,6 +283,14 @@ fn check_replica_lifecycles(events: &[SpanEvent], violations: &mut Vec<Violation
                     live.remove(&actor);
                 }
             }
+            HopKind::DirRepair => {
+                // A directory repair drops the primary's entry, and the
+                // replica set — read-only clones of the lost state — dies
+                // with it. The repair event itself closes the replica
+                // window; the actor may later re-split under a new
+                // primary.
+                live.remove(&ev.request);
+            }
             HopKind::ReplicaRead => {
                 let actor = ev.aux;
                 let hosted = live
@@ -302,6 +323,184 @@ fn check_replica_lifecycles(events: &[SpanEvent], violations: &mut Vec<Violation
                 }
             }
             _ => unreachable!("phase() only admits replica lifecycle kinds"),
+        }
+    }
+}
+
+/// Replays the snapshot lifecycle events in time order and enforces the
+/// stateful-recovery discipline: contiguous per-actor transitions,
+/// restores that reproduce exactly the executed writes from committed
+/// rounds only, and well-formed non-overlapping snapshot rounds.
+///
+/// Like the replica pass, this sorts by record time (shard-merged traces
+/// interleave streams), breaking ties causally: a round begins before its
+/// markers, a touch restores before it captures before it writes, and a
+/// round's sweep captures apply before its commit.
+fn check_snapshot_lifecycles(events: &[SpanEvent], violations: &mut Vec<Violation>) {
+    fn phase(kind: HopKind) -> Option<u8> {
+        match kind {
+            HopKind::SnapBegin => Some(0),
+            HopKind::SnapMarker => Some(1),
+            HopKind::Restore => Some(2),
+            HopKind::SnapCapture => Some(3),
+            HopKind::StateWrite => Some(4),
+            HopKind::SnapComplete => Some(5),
+            HopKind::SnapAbort => Some(6),
+            _ => None,
+        }
+    }
+    let mut ordered: Vec<(usize, u8)> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, ev)| phase(ev.kind).map(|p| (i, p)))
+        .collect();
+    if ordered.is_empty() {
+        return;
+    }
+    ordered.sort_by_key(|&(i, p)| (record_time(&events[i]), p, i));
+
+    // Capture and restore events pack `(round << 40) | version` in aux.
+    const VERSION_MASK: u64 = (1 << 40) - 1;
+    let mut open: Option<u64> = None;
+    let mut completed: HashSet<u64> = HashSet::new();
+    // (round, actor) pairs captured — first-wins, never twice.
+    let mut captured: HashSet<(u64, u64)> = HashSet::new();
+    // actor -> last written transition counter.
+    let mut writes: HashMap<u64, u64> = HashMap::new();
+    for (i, _) in ordered {
+        let ev = &events[i];
+        match ev.kind {
+            HopKind::SnapBegin => {
+                if let Some(other) = open {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-overlapping-rounds",
+                        detail: format!("round began while round {other} is still open"),
+                    });
+                }
+                open = Some(ev.request);
+            }
+            HopKind::SnapMarker => {
+                if open != Some(ev.request) {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-marker-outside-round",
+                        detail: format!(
+                            "server {} marked for round {} which is not open",
+                            ev.server, ev.request
+                        ),
+                    });
+                }
+            }
+            HopKind::SnapCapture => {
+                let (round, version) = (ev.aux >> 40, ev.aux & VERSION_MASK);
+                if open != Some(round) {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-capture-outside-round",
+                        detail: format!("capture names round {round} which is not open"),
+                    });
+                } else if !captured.insert((round, ev.request)) {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-duplicate-capture",
+                        detail: format!("round {round} already captured this actor"),
+                    });
+                }
+                let current = writes.get(&ev.request).copied().unwrap_or(0);
+                if version != current {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-capture-version-mismatch",
+                        detail: format!(
+                            "captured version {version} but the actor's last write is {current}"
+                        ),
+                    });
+                }
+            }
+            HopKind::StateWrite => {
+                let prev = writes.get(&ev.request).copied().unwrap_or(0);
+                if ev.aux <= prev {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "state-transition-duplicate",
+                        detail: format!("write produced version {} after {prev}", ev.aux),
+                    });
+                } else if ev.aux != prev + 1 {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "state-transition-gap",
+                        detail: format!(
+                            "write jumped to version {} from {prev}: transitions lost",
+                            ev.aux
+                        ),
+                    });
+                }
+                writes.insert(ev.request, ev.aux);
+            }
+            HopKind::SnapComplete => {
+                if open == Some(ev.request) {
+                    open = None;
+                    completed.insert(ev.request);
+                } else {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-complete-without-begin",
+                        detail: "commit of a round that is not open".into(),
+                    });
+                }
+            }
+            HopKind::SnapAbort => {
+                if open == Some(ev.request) {
+                    open = None;
+                } else {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-abort-without-begin",
+                        detail: "abort of a round that is not open".into(),
+                    });
+                }
+            }
+            HopKind::Restore => {
+                let (round, version) = (ev.aux >> 40, ev.aux & VERSION_MASK);
+                // Round 0 is the journal-only restore source (no complete
+                // round yet); any other round must have committed.
+                if round != 0 && !completed.contains(&round) {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-restore-from-incomplete",
+                        detail: format!("restore sourced round {round} which never committed"),
+                    });
+                }
+                let current = writes.get(&ev.request).copied().unwrap_or(0);
+                if version != current {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "snap-restore-version-mismatch",
+                        detail: format!(
+                            "restored version {version} but the actor's last write is {current}: \
+                             transitions {}",
+                            if version < current {
+                                "lost"
+                            } else {
+                                "duplicated"
+                            }
+                        ),
+                    });
+                }
+            }
+            _ => unreachable!("phase() only admits snapshot lifecycle kinds"),
         }
     }
 }
@@ -529,8 +728,10 @@ pub fn check_events(events: &[SpanEvent], cfg: &CheckerConfig) -> CheckReport {
     }
 
     check_replica_lifecycles(events, &mut violations);
-    // The replica pass appends out of stream order; restore index order
-    // (stable, so same-event findings keep their emission order).
+    check_snapshot_lifecycles(events, &mut violations);
+    // The replica and snapshot passes append out of stream order; restore
+    // index order (stable, so same-event findings keep their emission
+    // order).
     violations.sort_by_key(|v| v.index);
 
     // End of trace: open lifecycles are fine only inside the grace window
@@ -897,6 +1098,33 @@ mod tests {
     }
 
     #[test]
+    fn dir_repair_closes_the_replica_window() {
+        // Crash-era lazy knowledge: the primary's entry is repaired away
+        // (replicas die with it, no explicit drops), then the actor
+        // re-splits under a new primary. Clean — but a read against the
+        // dead window is still flagged.
+        let events = vec![
+            split(42, 0, 2, us(10)),
+            // `request` the actor, `server` the observer, `aux` the host.
+            SpanEvent::instant(42, HopKind::DirRepair, 3, 0, us(20)),
+            split(42, 1, 3, us(30)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+
+        let events = vec![
+            split(42, 0, 2, us(10)),
+            admit(7, 2, us(15)),
+            SpanEvent::instant(42, HopKind::DirRepair, 3, 0, us(20)),
+            replica_read(7, 42, 2, us(30)),
+            done(7, us(40)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "replica-read-outside-window");
+    }
+
+    #[test]
     fn drop_without_replica_is_flagged() {
         let events = vec![
             split(42, 0, 2, us(10)),
@@ -919,6 +1147,132 @@ mod tests {
         // With no splits anywhere, migrations pay no replica bookkeeping.
         let lone = [SpanEvent::instant(42, HopKind::Migration, 0, 3, us(20))];
         assert!(check_events(&lone, &CheckerConfig::default()).is_clean());
+    }
+
+    fn snap_round(id: u64, kind: HopKind, server: u32, aux: u64, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(id, kind, server, aux, at)
+    }
+
+    fn write(actor: u64, server: u32, version: u64, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(actor, HopKind::StateWrite, server, version, at)
+    }
+
+    fn capture(actor: u64, server: u32, round: u64, version: u64, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(
+            actor,
+            HopKind::SnapCapture,
+            server,
+            (round << 40) | version,
+            at,
+        )
+    }
+
+    fn restore(actor: u64, server: u32, round: u64, version: u64, at: Nanos) -> SpanEvent {
+        SpanEvent::instant(actor, HopKind::Restore, server, (round << 40) | version, at)
+    }
+
+    #[test]
+    fn snapshot_lifecycle_with_crash_recovery_is_clean() {
+        let events = vec![
+            write(7, 1, 1, us(5)),
+            snap_round(1, HopKind::SnapBegin, 0, 0, us(10)),
+            snap_round(1, HopKind::SnapMarker, 0, 0, us(10)),
+            snap_round(1, HopKind::SnapMarker, 1, 0, us(12)),
+            // Lazy capture at the pre-write version, then the write.
+            capture(7, 1, 1, 1, us(15)),
+            write(7, 1, 2, us(15)),
+            snap_round(1, HopKind::SnapComplete, 0, 1, us(20)),
+            // Crash wipes the cell; restore reproduces the last write
+            // from the committed round, then writing resumes.
+            restore(7, 2, 1, 2, us(40)),
+            write(7, 2, 3, us(40)),
+            // A later journal-only restore (round 0) is always legal.
+            restore(7, 0, 0, 3, us(60)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn lost_and_duplicated_transitions_are_flagged() {
+        let events = vec![
+            write(7, 1, 1, us(5)),
+            write(7, 1, 1, us(10)), // Same version again: duplicated.
+            write(7, 1, 3, us(20)), // Skipped 2: lost.
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(
+            rules,
+            vec!["state-transition-duplicate", "state-transition-gap"]
+        );
+    }
+
+    #[test]
+    fn restore_version_mismatch_is_flagged() {
+        let events = vec![
+            write(7, 1, 1, us(5)),
+            write(7, 1, 2, us(10)),
+            restore(7, 2, 0, 1, us(40)), // Served version 1, lost write 2.
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "snap-restore-version-mismatch");
+    }
+
+    #[test]
+    fn restore_only_from_complete_rounds() {
+        let events = vec![
+            write(7, 1, 1, us(5)),
+            snap_round(1, HopKind::SnapBegin, 0, 0, us(10)),
+            capture(7, 1, 1, 1, us(12)),
+            snap_round(1, HopKind::SnapAbort, 1, 0, us(15)),
+            restore(7, 2, 1, 1, us(40)), // Round 1 aborted: bad source.
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "snap-restore-from-incomplete");
+    }
+
+    #[test]
+    fn round_shape_violations_are_flagged() {
+        let events = vec![
+            snap_round(1, HopKind::SnapBegin, 0, 0, us(10)),
+            snap_round(2, HopKind::SnapBegin, 0, 0, us(20)), // 1 still open.
+            snap_round(9, HopKind::SnapMarker, 1, 0, us(21)), // Not open.
+            write(7, 1, 1, us(22)),
+            capture(7, 1, 2, 1, us(25)),
+            capture(7, 1, 2, 1, us(26)), // Captured twice in round 2.
+            snap_round(2, HopKind::SnapComplete, 0, 1, us(30)),
+            snap_round(2, HopKind::SnapAbort, 0, 0, us(31)), // Closed already.
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+        assert_eq!(
+            rules,
+            vec![
+                "snap-overlapping-rounds",
+                "snap-marker-outside-round",
+                "snap-duplicate-capture",
+                "snap-abort-without-begin"
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_pass_orders_by_time_not_stream_position() {
+        // Shard-merged: the store shard's round events and another
+        // shard's writes interleave out of stream order (each server's
+        // own stream stays monotone).
+        let events = vec![
+            capture(7, 1, 1, 1, us(15)),
+            write(7, 1, 2, us(15)),
+            write(7, 2, 1, us(5)),
+            snap_round(1, HopKind::SnapBegin, 0, 0, us(10)),
+            snap_round(1, HopKind::SnapComplete, 0, 1, us(20)),
+        ];
+        let report = check_events(&events, &CheckerConfig::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
     }
 
     #[test]

@@ -18,7 +18,8 @@ use actop_core::controllers::{
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
 use actop_runtime::{
-    Cluster, DetectorConfig, ReplicationConfig, RuntimeConfig, SplitThresholds, TraceConfig,
+    ActorId, Cluster, DetectorConfig, ReplicationConfig, RuntimeConfig, SnapshotConfig,
+    SplitThresholds, TraceConfig,
 };
 use actop_sim::{DetRng, Engine, Nanos};
 use actop_workloads::uniform::{UniformConfig, UniformWorkload};
@@ -62,6 +63,13 @@ pub struct Scenario {
     /// split → drop windows, no migration while replicated) see real
     /// split/read/drop traffic interleaved with faults.
     pub replication: bool,
+    /// Asynchronous snapshots on? Snapshot scenarios add a write-tagged
+    /// request stream (a tenth of the read rate) so rounds capture real
+    /// state transitions, and the snapshot lifecycle invariants see
+    /// rounds, captures, and restores interleaved with faults.
+    pub snapshot: bool,
+    /// Snapshot round interval, milliseconds (used only when `snapshot`).
+    pub snapshot_interval_ms: u64,
     /// Initial threads per SEDA stage.
     pub threads_per_stage: usize,
     /// The fault schedule, authored relative to measurement start.
@@ -90,6 +98,10 @@ impl Scenario {
         // Drawn after every pre-existing field so adding the replication
         // dimension re-rolled nothing else for already-pinned seeds.
         let replication = rng.chance(0.5);
+        // Same rule again: the snapshot dimension draws last so every
+        // earlier field keeps its pre-snapshot value for a given seed.
+        let snapshot = rng.chance(0.5);
+        let snapshot_interval_ms = 100 + rng.below(400) as u64;
         Scenario {
             seed,
             servers,
@@ -101,6 +113,8 @@ impl Scenario {
             partition_ctl,
             thread_ctl,
             replication,
+            snapshot,
+            snapshot_interval_ms,
             threads_per_stage,
             plan,
         }
@@ -111,7 +125,8 @@ impl Scenario {
     pub fn describe(&self) -> String {
         format!(
             "seed={:#x} servers={} rate={}/s actors={} warmup={}s measure={}s \
-             detector={} partition_ctl={} thread_ctl={} replication={} threads/stage={}\n{}",
+             detector={} partition_ctl={} thread_ctl={} replication={} snapshot={} \
+             snap_interval={}ms threads/stage={}\n{}",
             self.seed,
             self.servers,
             self.request_rate,
@@ -122,6 +137,8 @@ impl Scenario {
             self.partition_ctl,
             self.thread_ctl,
             self.replication,
+            self.snapshot,
+            self.snapshot_interval_ms,
             self.threads_per_stage,
             self.plan.to_text()
         )
@@ -149,12 +166,13 @@ impl Scenario {
             c.plan.events.remove(i);
             out.push(c);
         }
-        for flag in 0..4 {
+        for flag in 0..5 {
             let mut c = self.clone();
             let on = match flag {
                 0 => std::mem::replace(&mut c.partition_ctl, false),
                 1 => std::mem::replace(&mut c.thread_ctl, false),
                 2 => std::mem::replace(&mut c.replication, false),
+                3 => std::mem::replace(&mut c.snapshot, false),
                 _ => std::mem::replace(&mut c.detector, false),
             };
             if on {
@@ -216,6 +234,26 @@ impl ScenarioOutcome {
     }
 }
 
+/// Open-loop Poisson stream of write-tagged (tag 1) requests, the state
+/// traffic snapshot scenarios run alongside the uniform read workload.
+fn write_tick(
+    cluster: &mut Cluster,
+    engine: &mut Engine<Cluster>,
+    actors: u64,
+    rate: f64,
+    duration: Nanos,
+    mut rng: DetRng,
+) {
+    let actor = ActorId(rng.range_inclusive(0, actors - 1));
+    cluster.submit_client_request(engine, actor, 1, 600);
+    let gap = Nanos::from_secs_f64(rng.exp(1.0 / rate));
+    if engine.now() + gap < duration {
+        engine.schedule_after(gap, move |c: &mut Cluster, e| {
+            write_tick(c, e, actors, rate, duration, rng);
+        });
+    }
+}
+
 /// Runs a scenario end to end and checks it.
 pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
     let (app, workload) = UniformWorkload::build(UniformConfig {
@@ -250,6 +288,13 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
         min_load_ns: 20_000,
         ..ReplicationConfig::default()
     });
+    // Default masks keep snapshot write-tags (0b10) and replication
+    // read-tags (0b1) disjoint, so both dimensions compose in one run.
+    rt.snapshot = sc.snapshot.then(|| SnapshotConfig {
+        interval: Nanos::from_millis(sc.snapshot_interval_ms),
+        capture_window: Nanos::from_millis(sc.snapshot_interval_ms / 2),
+        ..SnapshotConfig::default()
+    });
     rt.trace = Some(TraceConfig {
         sample_rate: 1.0, // Every request: the checker wants whole lifecycles.
         seed: sc.seed,
@@ -258,6 +303,17 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
     let mut cluster = Cluster::new(rt, app);
     let mut engine: Engine<Cluster> = Engine::new();
     workload.install(&mut engine);
+    if sc.snapshot {
+        // The uniform workload is all tag-0 reads; snapshot rounds with
+        // nothing to capture would test nothing. Add a write stream at a
+        // tenth of the read rate so every round sees live transitions.
+        let rate = (sc.request_rate / 10.0).max(50.0);
+        let rng = DetRng::stream(sc.seed, 0x57A7E);
+        let (actors, duration) = (sc.actors, sc.duration());
+        engine.schedule(Nanos::ZERO, move |c: &mut Cluster, e| {
+            write_tick(c, e, actors, rate, duration, rng);
+        });
+    }
     install_actop(
         &mut engine,
         sc.servers,
@@ -270,6 +326,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
     );
     cluster.install_heartbeats(&mut engine, sc.duration());
     cluster.install_replication(&mut engine, sc.duration());
+    cluster.install_snapshots(&mut engine, sc.duration());
     install_plan(&mut engine, &cluster, &sc.plan, sc.warmup());
     let summary = run_steady_state(&mut engine, &mut cluster, sc.warmup(), sc.measure());
 
@@ -392,6 +449,7 @@ mod tests {
             let smaller = c.plan.events.len() < sc.plan.events.len()
                 || (!c.partition_ctl && sc.partition_ctl)
                 || (!c.thread_ctl && sc.thread_ctl)
+                || (!c.snapshot && sc.snapshot)
                 || (!c.detector && sc.detector)
                 || c.measure_secs < sc.measure_secs
                 || c.request_rate < sc.request_rate
@@ -415,6 +473,8 @@ mod tests {
             partition_ctl: false,
             thread_ctl: false,
             replication: false,
+            snapshot: false,
+            snapshot_interval_ms: 200,
             threads_per_stage: 4,
             plan: FaultPlan::new("none"),
         };
@@ -442,6 +502,8 @@ mod tests {
             partition_ctl: false,
             thread_ctl: false,
             replication: true,
+            snapshot: false,
+            snapshot_interval_ms: 200,
             threads_per_stage: 4,
             plan: FaultPlan::new("none"),
         };
@@ -457,5 +519,45 @@ mod tests {
         );
         let b = run_scenario(&sc);
         assert_eq!(out.digest, b.digest, "replication must stay deterministic");
+    }
+
+    #[test]
+    fn snapshot_scenarios_capture_under_chaos_and_stay_clean() {
+        // A crash + recovery over live snapshot rounds: the checker's
+        // snapshot lifecycle pass must see real round / capture / write
+        // traffic and still come back clean.
+        let sc = Scenario {
+            seed: 31,
+            servers: 3,
+            request_rate: 400.0,
+            actors: 600,
+            warmup_secs: 1.0,
+            measure_secs: 4.0,
+            detector: false,
+            partition_ctl: false,
+            thread_ctl: false,
+            replication: false,
+            snapshot: true,
+            snapshot_interval_ms: 150,
+            threads_per_stage: 4,
+            plan: FaultPlan::crash_restore(
+                1,
+                Nanos::from_millis(500),
+                Nanos::from_millis(1_500),
+                Nanos::from_secs(3),
+            ),
+        };
+        let out = run_scenario(&sc);
+        assert!(out.is_ok(), "failures: {:?}", out.failures);
+        assert!(
+            out.report.kind_count("state-write") > 0,
+            "write stream produced no state transitions"
+        );
+        assert!(
+            out.report.kind_count("snap-capture") > 0,
+            "snapshot rounds captured nothing"
+        );
+        let b = run_scenario(&sc);
+        assert_eq!(out.digest, b.digest, "snapshots must stay deterministic");
     }
 }

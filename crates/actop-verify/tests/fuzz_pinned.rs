@@ -5,7 +5,9 @@
 use actop_verify::fuzz_one;
 
 /// Keep in sync with ACTOP_FUZZ_SEEDS in `.github/workflows/ci.yml`.
-const PINNED: [u64; 6] = [1, 2, 3, 7, 11, 19];
+/// Seed 45 draws snapshot=true + replication=true with a 12-fault plan,
+/// pinning a snapshot+chaos interleaving.
+const PINNED: [u64; 7] = [1, 2, 3, 7, 11, 19, 45];
 
 #[test]
 fn pinned_fuzz_seeds_are_clean() {
