@@ -11,7 +11,7 @@ use actop_core::controllers::{
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
 use actop_obs::{exposition, FaultNote, ScrapeWriter};
-use actop_partition::SplitThresholds;
+use actop_partition::{MigrationCostConfig, RepartitionPolicyKind, SplitThresholds};
 use actop_runtime::sharded::install_sharded_hooks;
 use actop_runtime::{
     build_sharded, install_replication_sharded, install_sharded_scrapers,
@@ -92,6 +92,8 @@ impl HaloScenario {
             },
             interval,
             sketch_age_factor: 0.8,
+            policy: env_policy().unwrap_or_default(),
+            cost: MigrationCostConfig::default(),
         }
     }
 
@@ -172,6 +174,32 @@ pub fn env_workers() -> Option<usize> {
 /// the legacy single-threaded engine.
 pub fn env_shards() -> Option<usize> {
     concurrency_from_env("ACTOP_SHARDS")
+}
+
+/// Parses the `ACTOP_POLICY` repartitioning-policy knob: `None` when
+/// unset (the bench's configured policy applies — the paper's exchange
+/// protocol unless the bench says otherwise), a policy kind for a valid
+/// name, and a descriptive error for anything else. Pure, for tests; the
+/// env-reading wrapper exits on error.
+pub fn parse_policy(raw: Option<&str>) -> Result<Option<RepartitionPolicyKind>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => RepartitionPolicyKind::parse(v)
+            .map(Some)
+            .map_err(|e| format!("ACTOP_POLICY: {e}")),
+    }
+}
+
+/// The `ACTOP_POLICY` repartitioning-policy override, validated.
+pub fn env_policy() -> Option<RepartitionPolicyKind> {
+    let raw = std::env::var("ACTOP_POLICY").ok();
+    match parse_policy(raw.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The env-configured tracer for a run: `ACTOP_TRACE=<path>` turns
@@ -424,6 +452,7 @@ fn halo_runtime(scenario: &HaloScenario) -> RuntimeConfig {
     let mut rt = RuntimeConfig::paper_testbed(scenario.seed);
     rt.servers = scenario.servers;
     rt.record_remote_call_latency = true;
+    rt.repartition = env_policy().unwrap_or_default();
     rt.trace = trace_config_from_env(scenario.seed);
     rt.obs = obs_config_from_env();
     rt.cost_attr = cost_from_env();
@@ -944,6 +973,26 @@ mod tests {
         assert!(parse_concurrency("ACTOP_SHARDS", Some("eight")).is_err());
         let err = parse_concurrency("ACTOP_SHARDS", Some("eight")).unwrap_err();
         assert!(err.contains("ACTOP_SHARDS"), "error names the knob: {err}");
+    }
+
+    #[test]
+    fn policy_parsing_accepts_known_names_and_rejects_garbage() {
+        assert_eq!(parse_policy(None), Ok(None));
+        assert_eq!(
+            parse_policy(Some("actop")),
+            Ok(Some(RepartitionPolicyKind::Exchange))
+        );
+        assert_eq!(
+            parse_policy(Some("actop-cost")),
+            Ok(Some(RepartitionPolicyKind::ExchangeCostAware))
+        );
+        assert_eq!(
+            parse_policy(Some("dynamic")),
+            Ok(Some(RepartitionPolicyKind::DynamicBalanced))
+        );
+        let err = parse_policy(Some("metis")).unwrap_err();
+        assert!(err.contains("ACTOP_POLICY"), "error names the knob: {err}");
+        assert!(err.contains("stream"), "error lists the names: {err}");
     }
 
     #[test]

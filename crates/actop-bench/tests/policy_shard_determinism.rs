@@ -1,0 +1,83 @@
+//! The sharded half of the policy differential story: every selectable
+//! repartitioning policy must be deterministic in the shard count. The
+//! in-vitro half (placement invariants, replay determinism on a
+//! [`GraphHost`]) lives in `actop-partition/tests/policy_differential.rs`;
+//! this test drives the live sharded runtime and pins that splitting the
+//! cluster across conservative-parallel shards never changes what any
+//! policy decided — the full [`RunSummary`] stays bit-identical between
+//! the sequential oracle (`shards = 1`) and a genuine multi-shard split.
+//!
+//! [`GraphHost`]: actop_partition::GraphHost
+
+use actop_bench::{run_halo_sharded, HaloScenario};
+use actop_core::RunSummary;
+use actop_partition::RepartitionPolicyKind;
+use actop_sim::Nanos;
+
+/// Every `RunSummary` field as exact bits, so float equality is checked
+/// bit-for-bit rather than within an epsilon.
+fn summary_bits(s: &RunSummary) -> Vec<u64> {
+    vec![
+        s.p50_ms.to_bits(),
+        s.p95_ms.to_bits(),
+        s.p99_ms.to_bits(),
+        s.mean_ms.to_bits(),
+        s.remote_fraction.to_bits(),
+        s.cpu_utilization.to_bits(),
+        s.completed,
+        s.submitted,
+        s.rejected,
+        s.timed_out,
+        s.forwarded_messages,
+        s.stale_responses,
+        s.migrations,
+        s.throughput_per_s.to_bits(),
+        s.retries,
+        s.retry_backoff_ms.to_bits(),
+        s.directory_repairs,
+        s.false_suspicion_repairs,
+        s.shed_no_live,
+        s.slo_alerts_opened,
+        s.slo_alerts_closed,
+    ]
+}
+
+#[test]
+fn every_policy_is_shard_count_invariant() {
+    let scenario = HaloScenario {
+        players: 300,
+        request_rate: 250.0,
+        servers: 6,
+        warmup: Nanos::from_secs(1),
+        measure: Nanos::from_secs(2),
+        seed: 21,
+        game_duration_s: Some((10.0, 20.0)),
+    };
+    for kind in RepartitionPolicyKind::ALL {
+        let mut actop = scenario.actop(true, false);
+        actop
+            .partition
+            .as_mut()
+            .expect("partition agent enabled")
+            .policy = kind;
+        let (base, base_report, _) = run_halo_sharded(&scenario, &actop, 1);
+        assert!(
+            base.completed > 200,
+            "{kind:?}: completed {}",
+            base.completed
+        );
+        // 7 shards clamp to the 6 servers — still a distinct split from 3.
+        for shards in [3usize, 7] {
+            let (s, report, _) = run_halo_sharded(&scenario, &actop, shards);
+            assert_eq!(
+                summary_bits(&base),
+                summary_bits(&s),
+                "{kind:?}: RunSummary diverged at shards={shards}"
+            );
+            assert_eq!(
+                base_report.events_processed, report.events_processed,
+                "{kind:?}: event count diverged at shards={shards}"
+            );
+        }
+    }
+}

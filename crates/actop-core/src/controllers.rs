@@ -7,11 +7,14 @@
 //! the paper's protocol exchanges candidate sets of bounded size and its
 //! measured overhead is negligible next to data-plane traffic.
 
-use actop_partition::score::{candidate_set, total_score};
-use actop_partition::{select_exchange, ExchangeRequest, PartitionConfig};
+use actop_partition::{
+    build_policy, CostSignals, ExchangePolicy, MigrationCostConfig, PartitionConfig, PolicyHost,
+    RepartitionPolicy, RepartitionPolicyKind,
+};
 use actop_runtime::sharded::{
-    apply_exchange_sharded, sharded_age_sketch, sharded_is_failed, sharded_last_exchange,
-    sharded_partition_view, sharded_server_sizes, with_directory_sharded,
+    migrate_actor_sharded, sharded_age_sketch, sharded_age_sketches, sharded_cost_signals,
+    sharded_is_failed, sharded_last_exchange, sharded_locate, sharded_note_exchange,
+    sharded_partition_view, sharded_server_sizes,
 };
 use actop_runtime::ActorId;
 use actop_runtime::{Cluster, ShardedCluster};
@@ -29,6 +32,13 @@ pub struct PartitionAgentConfig {
     pub interval: Nanos,
     /// Sketch aging factor applied once per interval (1.0 disables aging).
     pub sketch_age_factor: f64,
+    /// Which repartitioning algorithm the agent drives. The default is the
+    /// paper's exchange protocol, scheduled byte-identically to the
+    /// pre-policy agent.
+    pub policy: RepartitionPolicyKind,
+    /// Migration-cost amortization settings; consumed only by
+    /// [`RepartitionPolicyKind::ExchangeCostAware`].
+    pub cost: MigrationCostConfig,
 }
 
 impl Default for PartitionAgentConfig {
@@ -50,7 +60,15 @@ impl PartitionAgentConfig {
             },
             interval,
             sketch_age_factor: 0.8,
+            policy: RepartitionPolicyKind::default(),
+            cost: MigrationCostConfig::default(),
         }
+    }
+
+    /// The same agent driving a different repartitioning policy.
+    pub fn with_policy(mut self, policy: RepartitionPolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -146,12 +164,37 @@ impl ActOpConfig {
 /// are staggered across the interval so servers do not act in lockstep.
 pub fn install_actop(engine: &mut Engine<Cluster>, servers: usize, config: &ActOpConfig) {
     if let Some(partition) = config.partition {
-        for server in 0..servers {
-            let offset =
-                Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
-            engine.schedule(offset, move |c: &mut Cluster, e| {
-                partition_tick(c, e, server, partition);
-            });
+        match partition.policy {
+            // The exchange protocol (cost-aware or not) keeps the original
+            // per-server tick — the default path schedules byte-identically
+            // to the pre-policy agent.
+            RepartitionPolicyKind::Exchange | RepartitionPolicyKind::ExchangeCostAware => {
+                for server in 0..servers {
+                    let offset =
+                        Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
+                    engine.schedule(offset, move |c: &mut Cluster, e| {
+                        partition_tick(c, e, server, partition);
+                    });
+                }
+            }
+            RepartitionPolicyKind::OneSided | RepartitionPolicyKind::Stream => {
+                for server in 0..servers {
+                    let offset =
+                        Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
+                    let policy = build_policy::<ActorId>(partition.policy, partition.cost);
+                    engine.schedule(offset, move |c: &mut Cluster, e| {
+                        policy_tick(c, e, server, partition, policy);
+                    });
+                }
+            }
+            // Global policies run one round per interval over every
+            // server's view; their state travels through the event chain.
+            RepartitionPolicyKind::DynamicBalanced | RepartitionPolicyKind::Centralized => {
+                let policy = build_policy::<ActorId>(partition.policy, partition.cost);
+                engine.schedule(partition.interval, move |c: &mut Cluster, e| {
+                    global_policy_tick(c, e, partition, policy);
+                });
+            }
         }
     }
     if let Some(threads) = config.threads {
@@ -199,6 +242,10 @@ fn partition_tick(
 /// benches can drive rounds manually. Returns the number of migrations.
 /// `now` stays an explicit parameter (it stamps the exchange cooldown)
 /// while `engine` schedules migration transfer windows.
+///
+/// With `config.policy == ExchangeCostAware` every candidate move is
+/// charged the measured migration tax; any other kind runs the paper's
+/// cost-oblivious protocol (byte-identical to the pre-policy agent).
 pub fn run_partition_round(
     cluster: &mut Cluster,
     engine: &mut Engine<Cluster>,
@@ -206,66 +253,122 @@ pub fn run_partition_round(
     initiator: usize,
     config: &PartitionAgentConfig,
 ) -> usize {
-    let servers = cluster.server_count();
-    if servers < 2 {
-        return 0;
-    }
-    let view = cluster.partition_view(initiator);
-    if view.is_empty() {
-        return 0;
-    }
-    let locate = |a: &ActorId| cluster.locate(*a);
-    let sets = candidate_set(
-        &view,
-        initiator,
-        servers,
-        config.protocol.candidate_set_size,
-        locate,
-    );
-    let mut targets: Vec<(usize, i64)> = sets
-        .iter()
-        .enumerate()
-        .filter(|(q, set)| *q != initiator && !set.is_empty())
-        .map(|(q, set)| (q, total_score(set)))
-        .filter(|&(_, score)| score >= config.protocol.min_total_score)
-        .collect();
-    targets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut policy = ExchangePolicy {
+        cost: (config.policy == RepartitionPolicyKind::ExchangeCostAware).then_some(config.cost),
+    };
+    let mut host = LegacyHost {
+        cluster,
+        engine,
+        now,
+    };
+    policy.round(&mut host, now.as_nanos(), initiator, &config.protocol)
+}
 
-    let sizes = cluster.server_sizes();
-    for (target, _) in targets {
-        // Crashed servers neither respond nor receive migrations.
-        if cluster.is_failed(target) {
-            continue;
-        }
-        // §4.2 cooldown: a server that exchanged recently rejects.
-        if let Some(last) = cluster.servers[target].last_exchange_ns {
-            if now.as_nanos().saturating_sub(last) < config.protocol.exchange_cooldown_ns {
-                continue;
-            }
-        }
-        let responder_view = cluster.partition_view(target);
-        let own = candidate_set(
-            &responder_view,
-            target,
-            servers,
-            config.protocol.candidate_set_size,
-            |a: &ActorId| cluster.locate(*a),
-        )
-        .swap_remove(initiator);
-        let request = ExchangeRequest {
-            from: initiator,
-            from_size: sizes[initiator],
-            candidates: sets[target].clone(),
+/// One round of a non-exchange per-server policy, state moving through the
+/// event chain.
+fn policy_tick(
+    cluster: &mut Cluster,
+    engine: &mut Engine<Cluster>,
+    server: usize,
+    config: PartitionAgentConfig,
+    mut policy: Box<dyn RepartitionPolicy<ActorId>>,
+) {
+    let now = engine.now();
+    {
+        let mut host = LegacyHost {
+            cluster,
+            engine,
+            now,
         };
-        let outcome = select_exchange(&request, sizes[target], &own, &config.protocol);
-        if outcome.is_empty() {
-            continue; // Fall back to the next-best server.
-        }
-        let moves = outcome.moves();
-        cluster.apply_exchange(engine, now, initiator, target, &outcome);
-        return moves;
+        policy.round(&mut host, now.as_nanos(), server, &config.protocol);
     }
-    0
+    if config.sketch_age_factor < 1.0 {
+        cluster.servers[server]
+            .edge_sketch
+            .scale(config.sketch_age_factor);
+    }
+    engine.schedule_after(config.interval, move |c: &mut Cluster, e| {
+        policy_tick(c, e, server, config, policy);
+    });
+}
+
+/// One round of a global-scope policy (one interval covers the whole
+/// cluster, so every server's sketch ages here).
+fn global_policy_tick(
+    cluster: &mut Cluster,
+    engine: &mut Engine<Cluster>,
+    config: PartitionAgentConfig,
+    mut policy: Box<dyn RepartitionPolicy<ActorId>>,
+) {
+    let now = engine.now();
+    {
+        let mut host = LegacyHost {
+            cluster,
+            engine,
+            now,
+        };
+        policy.round(&mut host, now.as_nanos(), 0, &config.protocol);
+    }
+    if config.sketch_age_factor < 1.0 {
+        for server in 0..cluster.server_count() {
+            cluster.servers[server]
+                .edge_sketch
+                .scale(config.sketch_age_factor);
+        }
+    }
+    engine.schedule_after(config.interval, move |c: &mut Cluster, e| {
+        global_policy_tick(c, e, config, policy);
+    });
+}
+
+/// [`PolicyHost`] over the sequential cluster: views and placement come
+/// from the live directory/sketches, migrations go through
+/// [`Cluster::migrate_actor`] (so transfer windows and pinning rules
+/// apply), and cost signals are the cluster's measured counters.
+struct LegacyHost<'a, 'b> {
+    cluster: &'a mut Cluster,
+    engine: &'b mut Engine<Cluster>,
+    now: Nanos,
+}
+
+impl PolicyHost<ActorId> for LegacyHost<'_, '_> {
+    fn servers(&self) -> usize {
+        self.cluster.server_count()
+    }
+
+    fn view(&mut self, server: usize) -> Vec<(ActorId, Vec<(ActorId, u64)>)> {
+        self.cluster.partition_view(server)
+    }
+
+    fn locate(&mut self, a: &ActorId) -> Option<usize> {
+        self.cluster.locate(*a)
+    }
+
+    fn sizes(&mut self) -> Vec<usize> {
+        self.cluster.server_sizes()
+    }
+
+    fn is_failed(&mut self, server: usize) -> bool {
+        self.cluster.is_failed(server)
+    }
+
+    fn last_exchange_ns(&mut self, server: usize) -> Option<u64> {
+        self.cluster.servers[server].last_exchange_ns
+    }
+
+    fn migrate(&mut self, a: ActorId, to: usize) {
+        self.cluster.migrate_actor(self.engine, self.now, a, to);
+    }
+
+    fn note_exchange(&mut self, p: usize, q: usize) {
+        let ns = self.now.as_nanos();
+        self.cluster.servers[p].last_exchange_ns = Some(ns);
+        self.cluster.servers[q].last_exchange_ns = Some(ns);
+    }
+
+    fn cost_signals(&mut self) -> CostSignals {
+        self.cluster.migration_cost_signals()
+    }
 }
 
 /// One thread-agent round for `server`: measure, estimate, re-solve,
@@ -342,12 +445,32 @@ pub fn install_actop_sharded(
     config: &ActOpConfig,
 ) {
     if let Some(partition) = config.partition {
-        for server in 0..servers {
-            let offset =
-                Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
-            runner.schedule_global(offset, move |ctx| {
-                partition_tick_sharded(ctx, server, partition);
-            });
+        match partition.policy {
+            RepartitionPolicyKind::Exchange | RepartitionPolicyKind::ExchangeCostAware => {
+                for server in 0..servers {
+                    let offset =
+                        Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
+                    runner.schedule_global(offset, move |ctx| {
+                        partition_tick_sharded(ctx, server, partition);
+                    });
+                }
+            }
+            RepartitionPolicyKind::OneSided | RepartitionPolicyKind::Stream => {
+                for server in 0..servers {
+                    let offset =
+                        Nanos(partition.interval.as_nanos() * (server as u64 + 1) / servers as u64);
+                    let policy = build_policy::<ActorId>(partition.policy, partition.cost);
+                    runner.schedule_global(offset, move |ctx| {
+                        policy_tick_sharded(ctx, server, partition, policy);
+                    });
+                }
+            }
+            RepartitionPolicyKind::DynamicBalanced | RepartitionPolicyKind::Centralized => {
+                let policy = build_policy::<ActorId>(partition.policy, partition.cost);
+                runner.schedule_global(partition.interval, move |ctx| {
+                    global_policy_tick_sharded(ctx, partition, policy);
+                });
+            }
         }
     }
     if let Some(threads) = config.threads {
@@ -396,69 +519,104 @@ pub fn run_partition_round_sharded(
     initiator: usize,
     config: &PartitionAgentConfig,
 ) -> usize {
+    let mut policy = ExchangePolicy {
+        cost: (config.policy == RepartitionPolicyKind::ExchangeCostAware).then_some(config.cost),
+    };
     let servers = sharded_server_sizes(ctx).len();
-    if servers < 2 {
-        return 0;
-    }
-    let view = sharded_partition_view(ctx, initiator);
-    if view.is_empty() {
-        return 0;
-    }
-    let sets = with_directory_sharded(ctx, |dir| {
-        candidate_set(
-            &view,
-            initiator,
-            servers,
-            config.protocol.candidate_set_size,
-            |a: &ActorId| dir.server_of(a.0),
-        )
-    });
-    let mut targets: Vec<(usize, i64)> = sets
-        .iter()
-        .enumerate()
-        .filter(|(q, set)| *q != initiator && !set.is_empty())
-        .map(|(q, set)| (q, total_score(set)))
-        .filter(|&(_, score)| score >= config.protocol.min_total_score)
-        .collect();
-    targets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut host = ShardedHost { ctx, now, servers };
+    policy.round(&mut host, now.as_nanos(), initiator, &config.protocol)
+}
 
-    let sizes = sharded_server_sizes(ctx);
-    for (target, _) in targets {
-        // Crashed servers neither respond nor receive migrations.
-        if sharded_is_failed(ctx, target) {
-            continue;
-        }
-        // §4.2 cooldown: a server that exchanged recently rejects.
-        if let Some(last) = sharded_last_exchange(ctx, target) {
-            if now.as_nanos().saturating_sub(last) < config.protocol.exchange_cooldown_ns {
-                continue;
-            }
-        }
-        let responder_view = sharded_partition_view(ctx, target);
-        let own = with_directory_sharded(ctx, |dir| {
-            candidate_set(
-                &responder_view,
-                target,
-                servers,
-                config.protocol.candidate_set_size,
-                |a: &ActorId| dir.server_of(a.0),
-            )
-        })
-        .swap_remove(initiator);
-        let request = ExchangeRequest {
-            from: initiator,
-            from_size: sizes[initiator],
-            candidates: sets[target].clone(),
-        };
-        let outcome = select_exchange(&request, sizes[target], &own, &config.protocol);
-        if outcome.is_empty() {
-            continue; // Fall back to the next-best server.
-        }
-        let moves = outcome.moves();
-        apply_exchange_sharded(ctx, now, initiator, target, &outcome);
-        return moves;
+/// One round of a non-exchange per-server policy on the sharded backend.
+fn policy_tick_sharded(
+    ctx: &mut GlobalCtx<'_, ShardedCluster>,
+    server: usize,
+    config: PartitionAgentConfig,
+    mut policy: Box<dyn RepartitionPolicy<ActorId>>,
+) {
+    let now = ctx.now;
+    {
+        let servers = sharded_server_sizes(ctx).len();
+        let mut host = ShardedHost { ctx, now, servers };
+        policy.round(&mut host, now.as_nanos(), server, &config.protocol);
     }
-    0
+    if config.sketch_age_factor < 1.0 {
+        sharded_age_sketch(ctx, server, config.sketch_age_factor);
+    }
+    ctx.schedule_global(now + config.interval, move |ctx| {
+        policy_tick_sharded(ctx, server, config, policy);
+    });
+}
+
+/// One round of a global-scope policy on the sharded backend; the single
+/// interval covers the whole cluster, so every server's sketch ages here.
+fn global_policy_tick_sharded(
+    ctx: &mut GlobalCtx<'_, ShardedCluster>,
+    config: PartitionAgentConfig,
+    mut policy: Box<dyn RepartitionPolicy<ActorId>>,
+) {
+    let now = ctx.now;
+    {
+        let servers = sharded_server_sizes(ctx).len();
+        let mut host = ShardedHost { ctx, now, servers };
+        policy.round(&mut host, now.as_nanos(), 0, &config.protocol);
+    }
+    if config.sketch_age_factor < 1.0 {
+        sharded_age_sketches(ctx, config.sketch_age_factor);
+    }
+    ctx.schedule_global(now + config.interval, move |ctx| {
+        global_policy_tick_sharded(ctx, config, policy);
+    });
+}
+
+/// [`PolicyHost`] over the sharded backend. All accessors run in the
+/// serial phase (no window in flight), so the shard-local reads and the
+/// shared-directory writes behind the `sharded_*` helpers are safe, and
+/// migrations commit instantly — there is no transfer window to stall on.
+struct ShardedHost<'a, 'b> {
+    ctx: &'a mut GlobalCtx<'b, ShardedCluster>,
+    now: Nanos,
+    /// Precomputed at construction: the trait reads it through `&self`,
+    /// but counting servers needs `&mut` access to the context.
+    servers: usize,
+}
+
+impl PolicyHost<ActorId> for ShardedHost<'_, '_> {
+    fn servers(&self) -> usize {
+        self.servers
+    }
+
+    fn view(&mut self, server: usize) -> Vec<(ActorId, Vec<(ActorId, u64)>)> {
+        sharded_partition_view(self.ctx, server)
+    }
+
+    fn locate(&mut self, a: &ActorId) -> Option<usize> {
+        sharded_locate(self.ctx, *a)
+    }
+
+    fn sizes(&mut self) -> Vec<usize> {
+        sharded_server_sizes(self.ctx)
+    }
+
+    fn is_failed(&mut self, server: usize) -> bool {
+        sharded_is_failed(self.ctx, server)
+    }
+
+    fn last_exchange_ns(&mut self, server: usize) -> Option<u64> {
+        sharded_last_exchange(self.ctx, server)
+    }
+
+    fn migrate(&mut self, a: ActorId, to: usize) {
+        migrate_actor_sharded(self.ctx, self.now, a, to);
+    }
+
+    fn note_exchange(&mut self, p: usize, q: usize) {
+        sharded_note_exchange(self.ctx, self.now, p, q);
+    }
+
+    fn cost_signals(&mut self) -> CostSignals {
+        sharded_cost_signals(self.ctx)
+    }
 }
 
 /// One thread-agent round for `server` on the sharded backend: measure,
@@ -541,6 +699,8 @@ mod tests {
             },
             interval: Nanos::from_secs(1),
             sketch_age_factor: 1.0,
+            policy: RepartitionPolicyKind::Exchange,
+            cost: MigrationCostConfig::default(),
         }
     }
 
@@ -628,6 +788,8 @@ mod tests {
             },
             interval: Nanos::from_secs(1),
             sketch_age_factor: 1.0,
+            policy: RepartitionPolicyKind::Exchange,
+            cost: MigrationCostConfig::default(),
         };
         let now = engine.now();
         let first = run_partition_round(&mut cluster, &mut engine, now, 0, &agent);

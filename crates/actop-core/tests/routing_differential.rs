@@ -42,6 +42,7 @@ fn halo_summary() -> RunSummary {
         },
         interval: Nanos::from_secs(1),
         sketch_age_factor: 0.8,
+        ..PartitionAgentConfig::default()
     };
     install_actop(
         &mut engine,

@@ -48,6 +48,12 @@ pub struct ExchangeOutcome<V> {
     pub accepted: Vec<V>,
     /// `T0`: the responder's own vertices transferred back (`q -> p`).
     pub returned: Vec<V>,
+    /// The sum of every chosen vertex's transfer score *at the moment it
+    /// was selected* (after step-3 updates from earlier moves): the
+    /// exchange's estimated per-interval communication savings, in
+    /// sampled-score units. This is what the cost-aware veto weighs
+    /// against the migration tax.
+    pub gain: i64,
 }
 
 impl<V> ExchangeOutcome<V> {
@@ -82,6 +88,37 @@ pub fn select_exchange<V>(
     responder_size: usize,
     own_candidates: &[ScoredVertex<V>],
     config: &PartitionConfig,
+) -> ExchangeOutcome<V>
+where
+    V: Copy + Eq + Hash + Ord,
+{
+    select_exchange_with_cost(request, responder_size, own_candidates, config, 0)
+}
+
+/// [`select_exchange`] with a migration-cost penalty, charged at *round*
+/// granularity: the greedy selection runs exactly as the paper specifies,
+/// and the finished move-set is then accepted only if its total gain
+/// strictly exceeds `moves * penalty` — i.e. the round's communication
+/// savings amortize its total migration tax within the horizon the
+/// penalty was derived for. Otherwise the whole exchange is vetoed and
+/// nothing moves.
+///
+/// The veto is deliberately all-or-nothing rather than per-candidate: a
+/// per-candidate score bar splits tightly-coupled actor groups (the
+/// high scorers migrate, the rest stay behind), and the split halves
+/// then generate above-bar cross-traffic forever — a drip of taxed
+/// migrations that never converges. Judging the round as a whole keeps
+/// the balance negotiation and group structure of the paper's procedure
+/// intact and merely decides whether this round is worth paying for.
+///
+/// At `penalty = 0` this is exactly the paper's procedure — the default
+/// protocol delegates here.
+pub fn select_exchange_with_cost<V>(
+    request: &ExchangeRequest<V>,
+    responder_size: usize,
+    own_candidates: &[ScoredVertex<V>],
+    config: &PartitionConfig,
+    penalty: i64,
 ) -> ExchangeOutcome<V>
 where
     V: Copy + Eq + Hash + Ord,
@@ -139,6 +176,7 @@ where
     let mut outcome = ExchangeOutcome {
         accepted: Vec::new(),
         returned: Vec::new(),
+        gain: 0,
     };
 
     loop {
@@ -207,6 +245,7 @@ where
 
         // Apply the move.
         items[chosen].taken = true;
+        outcome.gain += items[chosen].score;
         let moved_side = items[chosen].from_initiator;
         if moved_side {
             p_size -= 1;
@@ -234,6 +273,15 @@ where
                 item.score -= delta_score;
             }
         }
+    }
+    // The cost-aware veto: the round's savings must strictly exceed its
+    // total migration tax, or nothing moves.
+    if penalty > 0 && outcome.gain <= outcome.moves() as i64 * penalty {
+        return ExchangeOutcome {
+            accepted: Vec::new(),
+            returned: Vec::new(),
+            gain: 0,
+        };
     }
     outcome
 }
@@ -391,6 +439,61 @@ mod tests {
         // 8-12 diff 4 blocked; T(101): 10-10 ok. Then S(1): 9-11 ok.
         assert_eq!(outcome.returned, vec![100, 101]);
         assert_eq!(outcome.accepted, vec![1]);
+    }
+
+    #[test]
+    fn zero_penalty_is_the_identity() {
+        // The default protocol and the cost-aware one at penalty 0 must be
+        // the same procedure (the golden byte-compat hinges on this).
+        let request = ExchangeRequest {
+            from: 0,
+            from_size: 10,
+            candidates: vec![
+                cand(1, 10, vec![(2, 6)]),
+                cand(2, -5, vec![(1, 6)]),
+                cand(3, 1, vec![]),
+            ],
+        };
+        let own = vec![cand(100, 4, vec![]), cand(101, 1, vec![])];
+        let a = select_exchange(&request, 10, &own, &config(2));
+        let b = select_exchange_with_cost(&request, 10, &own, &config(2), 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn penalty_vetoes_rounds_that_cannot_amortize() {
+        // Selection picks [1, 2] with total gain 5 + 3 = 8 over 2 moves.
+        // The veto compares the whole round: at penalty 3 the tax is 6 < 8
+        // (kept, group intact — no per-candidate splitting); at penalty 4
+        // the tax is 8, not strictly beaten, and nothing moves.
+        let request = ExchangeRequest {
+            from: 0,
+            from_size: 10,
+            candidates: vec![cand(1, 5, vec![]), cand(2, 3, vec![])],
+        };
+        let outcome = select_exchange_with_cost(&request, 10, &[], &config(4), 3);
+        assert_eq!(outcome.accepted, vec![1, 2]);
+        assert_eq!(outcome.gain, 8);
+        let outcome = select_exchange_with_cost(&request, 10, &[], &config(4), 4);
+        assert!(outcome.is_empty());
+        assert_eq!(outcome.gain, 0);
+    }
+
+    #[test]
+    fn gain_counts_updated_scores() {
+        // Vertex 2's score rises from 4 to 16 once its heavy peer moves;
+        // the round's gain is 20 + 16 = 36, so the veto threshold sits at
+        // penalty 18 (2 moves), not at the naive 12 from initial scores.
+        let request = ExchangeRequest {
+            from: 0,
+            from_size: 10,
+            candidates: vec![cand(1, 20, vec![(2, 6)]), cand(2, 4, vec![(1, 6)])],
+        };
+        let outcome = select_exchange_with_cost(&request, 10, &[], &config(10), 17);
+        assert_eq!(outcome.accepted, vec![1, 2]);
+        assert_eq!(outcome.gain, 36);
+        let outcome = select_exchange_with_cost(&request, 10, &[], &config(10), 18);
+        assert!(outcome.is_empty());
     }
 
     #[test]

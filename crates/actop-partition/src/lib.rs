@@ -29,6 +29,12 @@
 //! * [`split`] — hot-actor split decisions: when one actor's demand
 //!   exceeds a single server's capacity, replicate it instead of
 //!   migrating it.
+//! * [`policy`] — the pluggable [`RepartitionPolicy`] trait: the exchange
+//!   protocol (optionally migration-cost-aware), one-sided migration, and
+//!   centralized refinement as selectable policies over an abstract host.
+//! * [`online`] — online comparators with published guarantees: dynamic
+//!   balanced partitioning (Räcke/Schmid/Zabrodin style) and streaming
+//!   re-partitioning (Le Merrer/Trédan style).
 
 pub mod baselines;
 pub mod config;
@@ -36,13 +42,20 @@ pub mod dense;
 pub mod driver;
 pub mod exchange;
 pub mod graph;
+pub mod online;
+pub mod policy;
 pub mod score;
 pub mod sized;
 pub mod split;
 
 pub use config::PartitionConfig;
 pub use dense::DenseDirectory;
-pub use exchange::{select_exchange, ExchangeOutcome, ExchangeRequest};
+pub use exchange::{select_exchange, select_exchange_with_cost, ExchangeOutcome, ExchangeRequest};
 pub use graph::{CommGraph, Partition};
-pub use score::{candidate_set, transfer_scores, ScoredVertex};
+pub use online::{DynamicBalancedConfig, DynamicBalancedPolicy, StreamPolicy};
+pub use policy::{
+    build_policy, move_penalty, CostSignals, ExchangePolicy, GraphHost, MigrationCostConfig,
+    PolicyHost, PolicyScope, RepartitionPolicy, RepartitionPolicyKind,
+};
+pub use score::{candidate_set, retain_above, transfer_scores, ScoredVertex};
 pub use split::{decide as decide_split, SplitDecision, SplitThresholds};

@@ -111,6 +111,20 @@ pub fn total_score<V>(candidates: &[ScoredVertex<V>]) -> i64 {
     candidates.iter().map(|c| c.score).sum()
 }
 
+/// Drops candidates whose score does not strictly exceed `threshold` from
+/// every per-server set. The migration-cost-aware objective prunes offers
+/// that could never repay the migration tax before they are even sent; at
+/// `threshold = 0` this is a no-op, since [`candidate_set`] only emits
+/// positive-score candidates.
+pub fn retain_above<V>(sets: &mut [Vec<ScoredVertex<V>>], threshold: i64) {
+    if threshold <= 0 {
+        return;
+    }
+    for set in sets {
+        set.retain(|c| c.score > threshold);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +192,29 @@ mod tests {
         let sets = candidate_set(&vertices, 0, 2, 2, |p: &u32| (*p == 100).then_some(1));
         let picked: Vec<u32> = sets[1].iter().map(|c| c.vertex).collect();
         assert_eq!(picked, vec![3, 7]);
+    }
+
+    #[test]
+    fn retain_above_prunes_only_past_the_threshold() {
+        let vertices = vec![
+            (1u32, vec![(10u32, 5u64)]),
+            (2, vec![(10, 9)]),
+            (3, vec![(10, 7)]),
+        ];
+        let full = candidate_set(&vertices, 0, 2, 8, |p: &u32| (*p == 10).then_some(1));
+
+        let mut sets = full.clone();
+        retain_above(&mut sets, 0);
+        assert_eq!(sets, full, "threshold 0 is a no-op");
+
+        let mut sets = full.clone();
+        retain_above(&mut sets, -3);
+        assert_eq!(sets, full, "negative thresholds never prune");
+
+        let mut sets = full.clone();
+        retain_above(&mut sets, 6);
+        let kept: Vec<u32> = sets[1].iter().map(|c| c.vertex).collect();
+        assert_eq!(kept, vec![2, 3], "scores 9 and 7 exceed 6; 5 does not");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Differential property tests for the repartitioning policy roster:
+//! every selectable policy, fed the same random demand stream over a
+//! [`GraphHost`], must preserve the partition invariants after every
+//! control round —
+//!
+//! * each vertex is placed exactly once (no loss, no duplication, no
+//!   placement on a server outside the cluster);
+//! * the capacity-aware policies (dynamic balanced, stream) never push a
+//!   server past `ceil(total/servers) + imbalance_tolerance`;
+//! * replaying the identical stream from scratch reproduces the final
+//!   partition and the full migration log byte-for-byte.
+//!
+//! The sharded-backend half of the differential story (policies are
+//! deterministic across shard counts) lives in
+//! `actop-bench/tests/policy_shard_determinism.rs`, which drives the
+//! live runtime rather than the in-vitro host.
+
+use actop_partition::{
+    build_policy, CommGraph, GraphHost, MigrationCostConfig, Partition, PartitionConfig,
+    PolicyScope, RepartitionPolicyKind,
+};
+use proptest::prelude::*;
+
+/// A random demand stream: an initial assignment plus batches of demand
+/// increments, one batch revealed before each control round.
+#[derive(Debug, Clone)]
+struct Stream {
+    servers: usize,
+    vertices: u16,
+    assignment: Vec<u8>,
+    batches: Vec<Vec<(u16, u16, u8)>>,
+}
+
+fn arb_stream() -> impl Strategy<Value = Stream> {
+    (2usize..5, 8u16..32).prop_flat_map(|(servers, vertices)| {
+        let assignment = proptest::collection::vec(0u8..servers as u8, vertices as usize);
+        let batch = proptest::collection::vec((0..vertices, 0..vertices, 1u8..16), 1..24);
+        let batches = proptest::collection::vec(batch, 1..8);
+        (assignment, batches).prop_map(move |(assignment, batches)| Stream {
+            servers,
+            vertices,
+            assignment,
+            batches,
+        })
+    })
+}
+
+fn config() -> PartitionConfig {
+    PartitionConfig {
+        candidate_set_size: 8,
+        imbalance_tolerance: 3,
+        exchange_cooldown_ns: 0,
+        min_total_score: 1,
+    }
+}
+
+/// A final placement (or a move log): `(vertex, server)` pairs.
+type Placement = Vec<(u16, usize)>;
+
+/// Runs `kind` over the stream, checking placement invariants after
+/// every round, and returns the final placement plus the move log.
+fn run_stream(kind: RepartitionPolicyKind, stream: &Stream) -> (Placement, Placement) {
+    let mut graph = CommGraph::new();
+    let mut partition = Partition::new(stream.servers);
+    for (v, &s) in stream.assignment.iter().enumerate() {
+        graph.add_vertex(v as u16);
+        partition.place(v as u16, s as usize);
+    }
+    let mut host = GraphHost::new(graph, partition);
+    let mut policy = build_policy::<u16>(kind, MigrationCostConfig::default());
+    let cfg = config();
+    let total = stream.assignment.len();
+    let cap = total.div_ceil(stream.servers) + cfg.imbalance_tolerance;
+    let capacity_aware = matches!(
+        kind,
+        RepartitionPolicyKind::DynamicBalanced | RepartitionPolicyKind::Stream
+    );
+
+    for (round, batch) in stream.batches.iter().enumerate() {
+        for &(a, b, w) in batch {
+            if a != b {
+                host.graph.add_edge(a, b, w as u64);
+            }
+        }
+        match policy.scope() {
+            PolicyScope::PerServer => {
+                for s in 0..stream.servers {
+                    policy.round(&mut host, round as u64, s, &cfg);
+                }
+            }
+            PolicyScope::Global => {
+                policy.round(&mut host, round as u64, 0, &cfg);
+            }
+        }
+
+        // Placed exactly once: every vertex somewhere, sizes consistent.
+        let mut counted = vec![0usize; stream.servers];
+        for v in 0..stream.vertices {
+            let s = host
+                .partition
+                .server_of(&v)
+                .unwrap_or_else(|| panic!("{kind:?} lost vertex {v} in round {round}"));
+            prop_assert!(
+                s < stream.servers,
+                "{kind:?} placed {v} on phantom server {s}"
+            );
+            counted[s] += 1;
+        }
+        prop_assert_eq!(host.partition.sizes(), &counted[..]);
+        if capacity_aware {
+            for (s, &size) in counted.iter().enumerate() {
+                prop_assert!(
+                    size <= cap,
+                    "{kind:?} overfilled server {s}: {size} > cap {cap} in round {round}"
+                );
+            }
+        }
+    }
+
+    let placement: Vec<(u16, usize)> = (0..stream.vertices)
+        .map(|v| (v, host.partition.server_of(&v).unwrap()))
+        .collect();
+    (placement, host.moves)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every policy preserves the placement invariants on random demand
+    /// streams and is a pure function of the stream: a replay reproduces
+    /// the final partition and the migration log exactly.
+    #[test]
+    fn policies_preserve_invariants_and_replay_deterministically(stream in arb_stream()) {
+        for kind in RepartitionPolicyKind::ALL {
+            let (placement, moves) = run_stream(kind, &stream);
+            let (replacement, removes) = run_stream(kind, &stream);
+            prop_assert_eq!(&placement, &replacement, "{:?} placement diverged on replay", kind);
+            prop_assert_eq!(&moves, &removes, "{:?} move log diverged on replay", kind);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Zero-penalty regression (ISSUE 10, satellite 3): the cost-aware
+//! selection with the cost term at zero IS the paper's procedure, on
+//! arbitrary exchange requests — not just the hand-built unit cases. The
+//! default policy routes every exchange through
+//! [`select_exchange_with_cost`] with `penalty = 0`, so this equivalence
+//! is what keeps the pre-policy golden `RunSummary` fingerprints
+//! (`actop-core/tests/routing_differential.rs`,
+//! `actop-bench/tests/golden_halo.rs`) byte-identical by default.
+
+use actop_partition::{
+    select_exchange, select_exchange_with_cost, ExchangeRequest, PartitionConfig, ScoredVertex,
+};
+use proptest::prelude::*;
+
+/// A random exchange: server sizes, tolerance, and two candidate sets
+/// with signed scores and random edges among the candidates.
+#[derive(Debug, Clone)]
+struct Case {
+    from_size: usize,
+    responder_size: usize,
+    delta: usize,
+    candidates: Vec<ScoredVertex<u16>>,
+    own: Vec<ScoredVertex<u16>>,
+}
+
+fn arb_side(
+    ids: std::ops::Range<u16>,
+    max_len: usize,
+) -> impl Strategy<Value = Vec<ScoredVertex<u16>>> {
+    let lo = ids.start;
+    let hi = ids.end;
+    proptest::collection::vec(
+        (
+            lo..hi,
+            -20i64..40,
+            proptest::collection::vec((lo..hi, 1u64..10), 0..4),
+        ),
+        0..max_len,
+    )
+    .prop_map(|raw| {
+        let mut seen = std::collections::BTreeSet::new();
+        raw.into_iter()
+            .filter(|(v, _, _)| seen.insert(*v))
+            .map(|(vertex, score, edges)| ScoredVertex {
+                vertex,
+                score,
+                edges,
+            })
+            .collect()
+    })
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        0usize..20,
+        0usize..20,
+        0usize..6,
+        arb_side(0..40, 8),
+        arb_side(40..80, 8),
+    )
+        .prop_map(|(from_size, responder_size, delta, candidates, own)| Case {
+            from_size,
+            responder_size,
+            delta,
+            candidates,
+            own,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `select_exchange_with_cost(.., 0)` and `select_exchange` agree on
+    /// every random request: same accepted set, same returned set, same
+    /// order — the whole outcome.
+    #[test]
+    fn zero_penalty_selection_is_the_paper_procedure(case in arb_case()) {
+        let request = ExchangeRequest {
+            from: 0,
+            from_size: case.from_size,
+            candidates: case.candidates.clone(),
+        };
+        let config = PartitionConfig {
+            imbalance_tolerance: case.delta,
+            ..PartitionConfig::for_tests()
+        };
+        let legacy = select_exchange(&request, case.responder_size, &case.own, &config);
+        let costed =
+            select_exchange_with_cost(&request, case.responder_size, &case.own, &config, 0);
+        prop_assert_eq!(&legacy, &costed, "zero-penalty selection diverged on {:?}", case);
+        // And a positive penalty only ever acts as a round veto: it either
+        // reproduces the same move-set or suppresses it entirely.
+        for penalty in [1i64, 5, 1_000] {
+            let taxed = select_exchange_with_cost(
+                &request, case.responder_size, &case.own, &config, penalty,
+            );
+            prop_assert!(
+                taxed == legacy || taxed.is_empty(),
+                "penalty {penalty} altered the move-set instead of vetoing it on {:?}",
+                case
+            );
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! a runtime extension rather than application code.
 
 use actop_metrics::TimelineSample;
-use actop_partition::{decide_split, DenseDirectory, ExchangeOutcome, SplitDecision};
+use actop_partition::{decide_split, CostSignals, DenseDirectory, ExchangeOutcome, SplitDecision};
 use actop_sim::{mix64, CostAttr, DetRng, Engine, Nanos, Subsystem};
 use actop_sketch::fxmap::{fx_map_with_capacity, FxHashMap};
 use actop_snapshot::{OpenRound, SnapshotConfig, SnapshotStore, StateCell};
@@ -1526,6 +1526,24 @@ impl Cluster {
         self.directory.server_of(actor.0)
     }
 
+    /// The measured migration-cost signals the cost-aware repartitioning
+    /// objective consumes: cumulative migrations and transfer-window
+    /// stall, an upper bound on move-attributable repair traffic, the
+    /// configured transfer window (the estimate's prior), and the CPU
+    /// overhead of one remote message at a typical payload (the exchange
+    /// rate from stall time into score units).
+    pub fn migration_cost_signals(&self) -> CostSignals {
+        CostSignals {
+            migrations: self.metrics.migrations,
+            stall_ns: self.metrics.migration_stall_ns,
+            repair_msgs: self.metrics.directory_repairs
+                + self.metrics.stale_responses
+                + self.metrics.forwarded_messages,
+            transfer_ns: self.config.migration_transfer.map_or(0, |t| t.as_nanos()),
+            remote_cost_ns: self.config.costs.remote_overhead_ns(600).max(0.0) as u64,
+        }
+    }
+
     /// Applies an exchange outcome from the pairwise protocol: accepted
     /// actors migrate initiator → responder, returned actors the other way.
     ///
@@ -1604,6 +1622,11 @@ impl Cluster {
             && !self.directory.is_replicated(actor.0)
         {
             self.commit_migration(now, actor, from as usize, to as usize);
+            // The actor sat pinned at its source for the whole transfer
+            // window — the stall the cost-aware objective charges moves.
+            if let Some(transfer) = self.config.migration_transfer {
+                self.metrics.migration_stall_ns += transfer.as_nanos();
+            }
         }
     }
 

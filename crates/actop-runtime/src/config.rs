@@ -1,7 +1,7 @@
 //! Runtime configuration.
 
 use actop_obs::{SloKind, SloSpec};
-use actop_partition::SplitThresholds;
+use actop_partition::{RepartitionPolicyKind, SplitThresholds};
 use actop_sim::{CostModel, Nanos};
 use actop_snapshot::SnapshotConfig;
 use actop_trace::TraceConfig;
@@ -223,6 +223,11 @@ pub struct RuntimeConfig {
     /// sampling is machine-dependent and excluded from deterministic
     /// artifacts.
     pub cost_attr: bool,
+    /// Which online repartitioning policy the partition agent drives
+    /// (`ACTOP_POLICY` in the bench harness). The default is the paper's
+    /// pairwise exchange protocol, byte-identical to the pre-policy
+    /// runtime.
+    pub repartition: RepartitionPolicyKind,
 }
 
 impl RuntimeConfig {
@@ -251,6 +256,7 @@ impl RuntimeConfig {
             replication: None,
             snapshot: None,
             cost_attr: false,
+            repartition: RepartitionPolicyKind::default(),
         }
     }
 

@@ -43,7 +43,9 @@ pub mod server;
 pub mod sharded;
 pub mod table;
 
-pub use actop_partition::SplitThresholds;
+pub use actop_partition::{
+    CostSignals, MigrationCostConfig, RepartitionPolicyKind, SplitThresholds,
+};
 pub use actop_snapshot::{SnapshotConfig, SnapshotStore, StateCell};
 pub use actop_trace::{TraceConfig, Tracer};
 pub use app::{AppLogic, Call, Outcome, Reaction};

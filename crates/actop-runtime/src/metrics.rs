@@ -26,6 +26,11 @@ pub struct ClusterMetrics {
     pub migration_series: BinnedSeries,
     /// Total actor migrations.
     pub migrations: u64,
+    /// Total transfer-window time actors spent pinned at their source
+    /// during migrations, nanoseconds — the stall the migration-cost-aware
+    /// objective charges against a candidate move. Zero when migrations
+    /// are instantaneous.
+    pub migration_stall_ns: u64,
     /// Client requests submitted.
     pub submitted: u64,
     /// Client requests completed.
@@ -142,6 +147,7 @@ impl ClusterMetrics {
             remote_share_series: BinnedSeries::new(series_bin_ns),
             migration_series: BinnedSeries::new(series_bin_ns),
             migrations: 0,
+            migration_stall_ns: 0,
             submitted: 0,
             completed: 0,
             rejected: 0,
@@ -248,6 +254,7 @@ impl ClusterMetrics {
         self.local_messages += other.local_messages;
         self.forwarded_messages += other.forwarded_messages;
         self.migrations += other.migrations;
+        self.migration_stall_ns += other.migration_stall_ns;
         self.submitted += other.submitted;
         self.completed += other.completed;
         self.rejected += other.rejected;

@@ -2705,6 +2705,37 @@ pub fn sharded_last_exchange(ctx: Ctx<'_, '_>, server: usize) -> Option<u64> {
     cell.world.slots[idx].last_exchange_ns
 }
 
+/// Stamps the exchange cooldown on both parties of a policy round that
+/// issued migrations outside `apply_exchange_sharded`.
+pub fn sharded_note_exchange(ctx: Ctx<'_, '_>, now: Nanos, p: usize, q: usize) {
+    let shared = shared_of(ctx);
+    let ns = now.as_nanos();
+    for server in [p, q] {
+        let cell = ctx.cell(shared.topo.shard_of(server));
+        let idx = cell.world.local_idx[server];
+        cell.world.slots[idx].last_exchange_ns = Some(ns);
+    }
+}
+
+/// The measured migration-cost signals (cluster-wide, summed over shards
+/// in shard order). Sharded migrations commit instantly, so the stall
+/// term and its transfer-window prior are structurally zero — the
+/// cost-aware objective still charges repair traffic.
+pub fn sharded_cost_signals(ctx: Ctx<'_, '_>) -> actop_partition::CostSignals {
+    let shared = shared_of(ctx);
+    let mut signals = actop_partition::CostSignals {
+        remote_cost_ns: shared.config.costs.remote_overhead_ns(600).max(0.0) as u64,
+        ..actop_partition::CostSignals::default()
+    };
+    for cell in ctx.cells() {
+        let m = &cell.world.metrics;
+        signals.migrations += m.migrations;
+        signals.stall_ns += m.migration_stall_ns;
+        signals.repair_msgs += m.directory_repairs + m.stale_responses + m.forwarded_messages;
+    }
+    signals
+}
+
 /// Runs `f` against the shared placement directory (read-only). The
 /// `GlobalCtx` parameter is the serial-phase proof; the closure form lets
 /// protocol code (e.g. candidate-set scoring) do many lookups without

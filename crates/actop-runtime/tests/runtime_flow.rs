@@ -229,6 +229,7 @@ fn apply_exchange_moves_actors_both_ways() {
     let outcome = ExchangeOutcome {
         accepted: vec![on0[0]],
         returned: vec![on1[0]],
+        gain: 0,
     };
     let before = cluster.metrics.migrations;
     let now = engine.now();

@@ -20,6 +20,10 @@
 //!                      event time + grace)
 //!   --servers <n>      cluster size (default: plan's max server + 1)
 //!   --transfer-ns <n>  migration transfer window (default none)
+//!   --stall-budget-ns <n>  scored amortization budget per migration:
+//!                      flag any commit whose span-measured stall (span
+//!                      width, else the transfer window) exceeds it
+//!                      (default none)
 //!   --grace-ns <n>     open-lifecycle grace at end of trace (default 5 s)
 //!
 //! Exits nonzero if the file is missing, malformed, or violates any
@@ -39,6 +43,7 @@ struct Options {
     horizon_ns: Option<u64>,
     servers: Option<usize>,
     transfer_ns: Option<u64>,
+    stall_budget_ns: Option<u64>,
     grace_ns: Option<u64>,
 }
 
@@ -51,6 +56,7 @@ fn parse_args() -> Result<Options, String> {
         horizon_ns: None,
         servers: None,
         transfer_ns: None,
+        stall_budget_ns: None,
         grace_ns: None,
     };
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -85,6 +91,13 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--transfer-ns: {e}"))?,
                 );
             }
+            "--stall-budget-ns" => {
+                opts.stall_budget_ns = Some(
+                    value(&mut args, "--stall-budget-ns")?
+                        .parse()
+                        .map_err(|e| format!("--stall-budget-ns: {e}"))?,
+                );
+            }
             "--grace-ns" => {
                 opts.grace_ns = Some(
                     value(&mut args, "--grace-ns")?
@@ -109,6 +122,7 @@ fn check_spans(text: &str, opts: &Options) -> Result<(), String> {
         cfg.open_at_end_grace = Nanos(grace);
     }
     cfg.migration_transfer = opts.transfer_ns.map(Nanos);
+    cfg.stall_budget = opts.stall_budget_ns.map(Nanos);
     if let Some(plan_path) = &opts.plan {
         let plan_text = std::fs::read_to_string(plan_path)
             .map_err(|e| format!("cannot read {plan_path}: {e}"))?;

@@ -22,6 +22,12 @@
 //! * **Migration transfer windows never overlap an endpoint crash** — a
 //!   committed migration implies both endpoints were up for the whole
 //!   transfer window (crashes abort in-flight migrations).
+//! * **Migration stalls stay inside the scored amortization budget** —
+//!   when the run's repartitioning policy priced moves (the cost-aware
+//!   objective charges each move its measured stall and requires the
+//!   gain to amortize it), no committed migration's span-measured stall
+//!   may exceed the budget the scoring assumed. A longer stall means the
+//!   move was committed on stale pricing.
 //! * **Forward-hop bound** — a lifecycle accumulates at most
 //!   [`MAX_FORWARD_HOPS`] re-routes (the runtime cuts forwarding loops).
 //! * **Replica lifecycle discipline** — hot-actor replication keeps at
@@ -66,6 +72,16 @@ pub struct CheckerConfig {
     /// The run's `RuntimeConfig::migration_transfer`, if set: a committed
     /// migration at `t` implies both endpoints were up over `(t-Δ, t)`.
     pub migration_transfer: Option<Nanos>,
+    /// The scored amortization budget for one migration's stall, if the
+    /// run's repartitioning policy priced its moves: the largest
+    /// transfer-window stall a single committed move may impose. The
+    /// cost-aware objective charges each move the measured per-move
+    /// stall, so a run's budget is the transfer window it was scored
+    /// under (plus whatever headroom the caller grants). A migration
+    /// span's stall is its own width when the span carries a window,
+    /// else [`CheckerConfig::migration_transfer`]. `None` disables the
+    /// rule.
+    pub stall_budget: Option<Nanos>,
     /// Maximum re-routes per lifecycle.
     pub max_forward_hops: u32,
     /// Lifecycles still open at end-of-trace are violations only when
@@ -81,6 +97,7 @@ impl Default for CheckerConfig {
         CheckerConfig {
             crash_windows: CrashWindows::default(),
             migration_transfer: None,
+            stall_budget: None,
             max_forward_hops: MAX_FORWARD_HOPS as u32,
             open_at_end_grace: Nanos::from_secs(5),
         }
@@ -579,6 +596,30 @@ pub fn check_events(events: &[SpanEvent], cfg: &CheckerConfig) -> CheckReport {
         // Migration commits imply both endpoints lived through the
         // transfer window.
         if ev.kind == HopKind::Migration {
+            if let Some(budget) = cfg.stall_budget {
+                // The span-measured stall: the span's own width when the
+                // recorder gave the commit a window, else the run's
+                // configured transfer window (the runtime records
+                // commits as instants and keeps the window as run
+                // metadata).
+                let stall = if ev.t_end > ev.t_start {
+                    ev.t_end.saturating_sub(ev.t_start)
+                } else {
+                    cfg.migration_transfer.unwrap_or(Nanos::ZERO)
+                };
+                if stall > budget {
+                    violations.push(Violation {
+                        index: i,
+                        request: ev.request,
+                        rule: "migration-stall-over-budget",
+                        detail: format!(
+                            "stall {} ns exceeds the scored amortization budget of {} ns",
+                            stall.as_nanos(),
+                            budget.as_nanos()
+                        ),
+                    });
+                }
+            }
             let from = ev
                 .t_start
                 .saturating_sub(cfg.migration_transfer.unwrap_or(Nanos::ZERO));
@@ -934,6 +975,49 @@ mod tests {
         // Commit at 250: window (200, 250) clears the healed crash.
         let good = SpanEvent::instant(77, HopKind::Migration, 1, 2, us(250));
         assert!(check_events(&[good], &cfg).is_clean());
+    }
+
+    #[test]
+    fn migration_stall_over_budget_is_flagged() {
+        let cfg = CheckerConfig {
+            migration_transfer: Some(us(50)),
+            stall_budget: Some(us(80)),
+            ..CheckerConfig::default()
+        };
+        // Instant commit: the stall is the configured window (50 us),
+        // inside the 80 us budget.
+        let instant = SpanEvent::instant(9, HopKind::Migration, 1, 2, us(200));
+        assert!(check_events(&[instant], &cfg).is_clean());
+        // A windowed commit span measures its own stall: 120 us > 80 us.
+        let windowed = SpanEvent {
+            request: 9,
+            kind: HopKind::Migration,
+            server: 1,
+            stage: 0,
+            aux: 2,
+            t_start: us(200),
+            t_end: us(320),
+        };
+        let report = check_events(&[windowed], &cfg);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "migration-stall-over-budget");
+        assert_eq!(report.violations[0].request, 9);
+        // An instant commit under a window wider than the budget is the
+        // same overrun, witnessed through the run metadata.
+        let tight = CheckerConfig {
+            migration_transfer: Some(us(100)),
+            stall_budget: Some(us(80)),
+            ..CheckerConfig::default()
+        };
+        let report = check_events(&[instant], &tight);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "migration-stall-over-budget");
+        // No budget, no rule: the windowed span is clean again.
+        let off = CheckerConfig {
+            migration_transfer: Some(us(50)),
+            ..CheckerConfig::default()
+        };
+        assert!(check_events(&[windowed], &off).is_clean());
     }
 
     #[test]

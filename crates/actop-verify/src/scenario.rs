@@ -17,6 +17,7 @@ use actop_core::controllers::{
     install_actop, ActOpConfig, PartitionAgentConfig, ThreadAgentConfig,
 };
 use actop_core::experiment::{run_steady_state, RunSummary};
+use actop_partition::RepartitionPolicyKind;
 use actop_runtime::{
     ActorId, Cluster, DetectorConfig, ReplicationConfig, RuntimeConfig, SnapshotConfig,
     SplitThresholds, TraceConfig,
@@ -70,6 +71,10 @@ pub struct Scenario {
     pub snapshot: bool,
     /// Snapshot round interval, milliseconds (used only when `snapshot`).
     pub snapshot_interval_ms: u64,
+    /// Which repartitioning policy the partition controller drives (used
+    /// only when `partition_ctl`). Every selectable policy must survive
+    /// the same chaos the default does.
+    pub policy: RepartitionPolicyKind,
     /// Initial threads per SEDA stage.
     pub threads_per_stage: usize,
     /// The fault schedule, authored relative to measurement start.
@@ -102,6 +107,9 @@ impl Scenario {
         // earlier field keeps its pre-snapshot value for a given seed.
         let snapshot = rng.chance(0.5);
         let snapshot_interval_ms = 100 + rng.below(400) as u64;
+        // Last-of-all for the same reason: the policy dimension re-rolls
+        // nothing an already-pinned seed drew before it existed.
+        let policy = RepartitionPolicyKind::ALL[rng.below(RepartitionPolicyKind::ALL.len())];
         Scenario {
             seed,
             servers,
@@ -115,6 +123,7 @@ impl Scenario {
             replication,
             snapshot,
             snapshot_interval_ms,
+            policy,
             threads_per_stage,
             plan,
         }
@@ -126,7 +135,7 @@ impl Scenario {
         format!(
             "seed={:#x} servers={} rate={}/s actors={} warmup={}s measure={}s \
              detector={} partition_ctl={} thread_ctl={} replication={} snapshot={} \
-             snap_interval={}ms threads/stage={}\n{}",
+             snap_interval={}ms policy={} threads/stage={}\n{}",
             self.seed,
             self.servers,
             self.request_rate,
@@ -139,6 +148,7 @@ impl Scenario {
             self.replication,
             self.snapshot,
             self.snapshot_interval_ms,
+            self.policy.name(),
             self.threads_per_stage,
             self.plan.to_text()
         )
@@ -318,9 +328,9 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
         &mut engine,
         sc.servers,
         &ActOpConfig {
-            partition: sc
-                .partition_ctl
-                .then(|| PartitionAgentConfig::with_interval(Nanos::from_millis(500))),
+            partition: sc.partition_ctl.then(|| {
+                PartitionAgentConfig::with_interval(Nanos::from_millis(500)).with_policy(sc.policy)
+            }),
             threads: sc.thread_ctl.then(ThreadAgentConfig::default),
         },
     );
@@ -338,6 +348,10 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioOutcome {
             sc.duration() + Nanos::from_secs(5),
         ),
         migration_transfer: Some(SCENARIO_TRANSFER),
+        // Every commit stalls exactly the transfer window, and that
+        // window is what the cost-aware scoring prices moves at — so the
+        // window IS the budget, with zero headroom.
+        stall_budget: Some(SCENARIO_TRANSFER),
         open_at_end_grace: SCENARIO_TIMEOUT * 2,
         ..CheckerConfig::default()
     };
@@ -475,6 +489,7 @@ mod tests {
             replication: false,
             snapshot: false,
             snapshot_interval_ms: 200,
+            policy: RepartitionPolicyKind::Exchange,
             threads_per_stage: 4,
             plan: FaultPlan::new("none"),
         };
@@ -504,6 +519,7 @@ mod tests {
             replication: true,
             snapshot: false,
             snapshot_interval_ms: 200,
+            policy: RepartitionPolicyKind::Exchange,
             threads_per_stage: 4,
             plan: FaultPlan::new("none"),
         };
@@ -539,6 +555,7 @@ mod tests {
             replication: false,
             snapshot: true,
             snapshot_interval_ms: 150,
+            policy: RepartitionPolicyKind::Exchange,
             threads_per_stage: 4,
             plan: FaultPlan::crash_restore(
                 1,

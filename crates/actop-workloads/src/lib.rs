@@ -12,6 +12,9 @@
 //! * [`scale`] — million-player skewed-traffic generators (Zipf
 //!   celebrity, flash crowd, diurnal wave, rotating hotspot) that drive
 //!   the hot-actor replication evaluation.
+//! * [`adversarial`] — demand families built to defeat online
+//!   repartitioners (ring demands, a rotating hot clique, repeated-pair
+//!   churn); the fixtures of the repartitioning bake-off.
 //!
 //! Each workload builds two halves: an [`actop_runtime::AppLogic`]
 //! implementation handed to the cluster, and a *driver* that schedules
@@ -19,11 +22,13 @@
 //! share state through an `Rc<RefCell<..>>` (the simulation is
 //! single-threaded).
 
+pub mod adversarial;
 pub mod halo;
 pub mod halo_sharded;
 pub mod scale;
 pub mod uniform;
 
+pub use adversarial::{AdversarialConfig, AdversarialWorkload, DemandPattern};
 pub use halo::{HaloConfig, HaloWorkload};
 pub use halo_sharded::ShardedHaloWorkload;
 pub use scale::{
